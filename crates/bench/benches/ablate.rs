@@ -1,0 +1,108 @@
+//! Ablation benches: storlet execution stage, partition chunk size, and
+//! filter pipelining (DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scoop_compute::ExecutionMode;
+use scoop_connector::RunOn;
+use scoop_core::experiments::{Lab, Scale};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+const SQL: &str = "SELECT vid, sum(index) as total FROM largeMeter \
+    WHERE city LIKE 'Rotterdam' GROUP BY vid ORDER BY vid";
+
+fn scale() -> Scale {
+    scoop_bench::bench_scale()
+}
+
+fn bench_stage(c: &mut Criterion) {
+    static OBJ: OnceLock<Lab> = OnceLock::new();
+    static PROXY: OnceLock<Lab> = OnceLock::new();
+    let labs = [
+        ("object_node", OBJ.get_or_init(|| Lab::with_run_on(&scale(), RunOn::ObjectNode).unwrap())),
+        ("proxy", PROXY.get_or_init(|| Lab::with_run_on(&scale(), RunOn::Proxy).unwrap())),
+    ];
+    let mut g = c.benchmark_group("ablate/storlet_stage");
+    g.sample_size(10);
+    for (label, lab) in labs {
+        g.bench_with_input(BenchmarkId::from_parameter(label), lab, |b, lab| {
+            b.iter(|| black_box(lab.run(SQL, ExecutionMode::Pushdown).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chunk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate/chunk_size");
+    g.sample_size(10);
+    for chunk in [16 * 1024u64, 64 * 1024, 512 * 1024] {
+        let mut s = scale();
+        s.chunk_size = chunk;
+        let lab = Lab::new(&s).unwrap();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}KB", chunk / 1024)),
+            &lab,
+            |b, lab| b.iter(|| black_box(lab.run(SQL, ExecutionMode::Pushdown).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    use scoop_objectstore::request::Request;
+    use scoop_objectstore::ObjectPath;
+    use scoop_storlets::middleware::{encode_params, headers};
+    use std::collections::HashMap;
+
+    static LAB: OnceLock<Lab> = OnceLock::new();
+    let lab = LAB.get_or_init(|| Lab::new(&scale()).unwrap());
+    let spec = scoop_csv::PushdownSpec {
+        columns: Some(vec!["vid".into(), "date".into(), "index".into()]),
+        predicate: None,
+        has_header: true,
+    };
+    let mut params = HashMap::new();
+    params.insert("spec".to_string(), spec.to_header());
+    params.insert(
+        "schema".to_string(),
+        scoop_workload::generator::meter_schema().names().join(","),
+    );
+    let object = lab.ctx.client().list(&lab.container, None).unwrap()[0]
+        .name
+        .clone();
+    let path = ObjectPath::new(
+        lab.ctx.config().account.clone(),
+        lab.container.clone(),
+        object,
+    )
+    .unwrap();
+
+    let mut g = c.benchmark_group("ablate/filter_pipelining");
+    g.sample_size(10);
+    for pipeline in ["csvfilter", "csvfilter,rlecompress"] {
+        g.bench_with_input(BenchmarkId::from_parameter(pipeline), &path, |b, path| {
+            b.iter(|| {
+                let req = Request::get(path.clone())
+                    .with_header(headers::RUN_STORLET, pipeline)
+                    .with_header(headers::PARAMETERS, encode_params(&params));
+                black_box(
+                    lab.ctx
+                        .client()
+                        .request(req)
+                        .unwrap()
+                        .read_body()
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = ablate;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_stage, bench_chunk, bench_pipeline
+);
+criterion_main!(ablate);

@@ -1,0 +1,48 @@
+//! Fig. 1 — ingest-then-compute query time grows with dataset size.
+//!
+//! Measures the real vanilla execution over increasing numbers of objects
+//! (laptop scale), the behaviour whose testbed projection is Fig. 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scoop_core::{ExecutionMode, ScoopConfig, ScoopContext};
+use scoop_workload::{GeneratorConfig, MeterDataset};
+use std::hint::black_box;
+
+const SQL: &str = "SELECT vid, sum(index) as t FROM meters GROUP BY vid";
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1/vanilla_query_time_vs_size");
+    g.sample_size(10);
+    for objects in [1usize, 2, 4] {
+        let ctx = ScoopContext::new(ScoopConfig {
+            chunk_size: 64 * 1024,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut gen = MeterDataset::new(&GeneratorConfig {
+            meters: 40,
+            interval_minutes: 24 * 60,
+            ..Default::default()
+        });
+        let objs: Vec<(String, bytes::Bytes)> = (0..objects)
+            .map(|i| (format!("p{i}.csv"), gen.csv_object(1_500)))
+            .collect();
+        let report = ctx.upload_csv("meters", objs, None).unwrap();
+        g.throughput(Throughput::Bytes(report.bytes_in));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{objects}obj")),
+            &ctx,
+            |b, ctx| {
+                b.iter(|| black_box(ctx.query("meters", SQL, ExecutionMode::Vanilla).unwrap()))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = fig1;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+);
+criterion_main!(fig1);

@@ -1,0 +1,47 @@
+//! Fig. 5 — pushdown vs vanilla across data selectivity (row/column/mixed).
+//!
+//! Real executions at laptop scale; each group compares the two arms on the
+//! same synthetic selectivity-controlled query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scoop_bench::bench_lab;
+use scoop_compute::ExecutionMode;
+use scoop_workload::queries::{synthetic_query, SelectivityKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let lab = bench_lab();
+    for kind in [SelectivityKind::Row, SelectivityKind::Column, SelectivityKind::Mixed] {
+        let mut g = c.benchmark_group(format!("fig5/{kind}"));
+        g.sample_size(10);
+        for keep in [1.0f64, 0.4, 0.1] {
+            let sql = match kind {
+                SelectivityKind::Row => synthetic_query(kind, keep, 10, lab.meters),
+                SelectivityKind::Column => {
+                    synthetic_query(kind, 1.0, (keep * 10.0).max(1.0) as usize, lab.meters)
+                }
+                SelectivityKind::Mixed => {
+                    synthetic_query(kind, keep, (keep * 10.0).max(2.0) as usize, lab.meters)
+                }
+            };
+            for (arm, mode) in [
+                ("vanilla", ExecutionMode::Vanilla),
+                ("pushdown", ExecutionMode::Pushdown),
+            ] {
+                g.bench_with_input(
+                    BenchmarkId::new(arm, format!("keep{:.0}pct", keep * 100.0)),
+                    &sql,
+                    |b, sql| b.iter(|| black_box(lab.run(sql, mode).unwrap())),
+                );
+            }
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(
+    name = fig5;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+);
+criterion_main!(fig5);

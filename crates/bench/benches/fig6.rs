@@ -1,0 +1,43 @@
+//! Fig. 6 — pushdown at very high data selectivity: the storage filters
+//! nearly everything, so compute-side work approaches zero.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scoop_bench::bench_lab;
+use scoop_compute::ExecutionMode;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let lab = bench_lab();
+    let mut g = c.benchmark_group("fig6/high_selectivity");
+    g.sample_size(10);
+    // Selecting a single meter of the fleet (~1/40) over one column: the
+    // laptop equivalent of the paper's 99.9%+ selectivity points.
+    for (label, sql) in [
+        (
+            "sel_high",
+            "SELECT vid FROM largeMeter WHERE vid < 'M00001'".to_string(),
+        ),
+        (
+            "sel_extreme",
+            "SELECT vid FROM largeMeter WHERE vid LIKE 'M00000' AND date LIKE '2015-01-01%'"
+                .to_string(),
+        ),
+    ] {
+        for (arm, mode) in [
+            ("vanilla", ExecutionMode::Vanilla),
+            ("pushdown", ExecutionMode::Pushdown),
+        ] {
+            g.bench_with_input(BenchmarkId::new(arm, label), &sql, |b, sql| {
+                b.iter(|| black_box(lab.run(sql, mode).unwrap()))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = fig6;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+);
+criterion_main!(fig6);

@@ -1,0 +1,31 @@
+//! Fig. 7 — the seven real GridPocket queries (Table I), both arms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scoop_bench::bench_lab;
+use scoop_compute::ExecutionMode;
+use scoop_workload::table1_queries;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let lab = bench_lab();
+    let mut g = c.benchmark_group("fig7/gridpocket_queries");
+    g.sample_size(10);
+    for q in table1_queries() {
+        for (arm, mode) in [
+            ("vanilla", ExecutionMode::Vanilla),
+            ("pushdown", ExecutionMode::Pushdown),
+        ] {
+            g.bench_with_input(BenchmarkId::new(arm, q.name), &q.sql, |b, sql| {
+                b.iter(|| black_box(lab.run(sql, mode).unwrap()))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = fig7;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+);
+criterion_main!(fig7);

@@ -1,0 +1,57 @@
+//! Fig. 8 — Scoop pushdown vs the columnar (Parquet-like) format across
+//! column selectivity, at laptop scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scoop_bench::bench_lab;
+use scoop_compute::{ExecutionMode, TableFormat};
+use scoop_workload::queries::{synthetic_query, SelectivityKind};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn bench(c: &mut Criterion) {
+    let lab = bench_lab();
+    // Convert once.
+    static CONVERTED: OnceLock<()> = OnceLock::new();
+    CONVERTED.get_or_init(|| {
+        lab.ctx
+            .convert_to_columnar(&lab.container, "colmeter", 2_000)
+            .expect("conversion");
+    });
+    let mut g = c.benchmark_group("fig8/scoop_vs_columnar");
+    g.sample_size(10);
+    for cols in [10usize, 5, 1] {
+        let sql = synthetic_query(SelectivityKind::Column, 1.0, cols, lab.meters);
+        g.bench_with_input(
+            BenchmarkId::new("scoop", format!("{cols}cols")),
+            &sql,
+            |b, sql| b.iter(|| black_box(lab.run(sql, ExecutionMode::Pushdown).unwrap())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("columnar", format!("{cols}cols")),
+            &sql,
+            |b, sql| {
+                b.iter(|| {
+                    let session = lab
+                        .ctx
+                        .session_with_schema("colmeter", ExecutionMode::Columnar, None);
+                    session.register_table(
+                        "largemeter",
+                        "colmeter",
+                        None,
+                        TableFormat::Columnar,
+                        None,
+                    );
+                    black_box(session.sql(sql).unwrap())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = fig8;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+);
+criterion_main!(fig8);

@@ -1,0 +1,40 @@
+//! Figs. 9 & 10 — resource-usage simulation of the ShowGraphHCHP run at
+//! 3 TB (both arms), plus the simulator's own cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scoop_cluster::simulate::simulate;
+use scoop_cluster::{CostModel, SimJob, SimMode, Topology};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_fig10/testbed_simulation");
+    let topology = Topology::osic();
+    let model = CostModel::paper_default();
+    for (label, mode, sel) in [
+        ("vanilla_3tb", SimMode::Vanilla, 0.0),
+        ("scoop_3tb_sel99", SimMode::Pushdown, 0.99),
+        (
+            "columnar_3tb",
+            SimMode::Columnar { transfer_ratio: 0.5, decoded_ratio: 1.0 },
+            0.0,
+        ),
+    ] {
+        let job = SimJob {
+            dataset_bytes: 3_000_000_000_000,
+            data_selectivity: sel,
+            mode,
+            tasks: 24_000,
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &job, |b, job| {
+            b.iter(|| black_box(simulate(job, &topology, &model).duration))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = fig9_fig10;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+);
+criterion_main!(fig9_fig10);

@@ -1,0 +1,27 @@
+//! Table I — selectivity measurement of each GridPocket query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scoop_bench::bench_csv;
+use scoop_workload::selectivity::measure;
+use scoop_workload::table1_queries;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let csv = bench_csv();
+    let mut g = c.benchmark_group("table1/selectivity_measurement");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(csv.len() as u64));
+    for q in table1_queries() {
+        g.bench_with_input(BenchmarkId::from_parameter(q.name), &q.sql, |b, sql| {
+            b.iter(|| black_box(measure(sql, csv).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = table1;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+);
+criterion_main!(table1);

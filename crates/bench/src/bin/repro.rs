@@ -1,0 +1,112 @@
+//! The reproduction harness: regenerates every table and figure of the
+//! paper's evaluation and prints them as text tables.
+//!
+//! ```text
+//! repro [all|fig1|table1|fig5|fig6|fig7|fig8|fig9|fig10|multi-tenant|ablations|calibration] ...
+//!       [--quick] [--series-dir DIR]
+//! ```
+//!
+//! By default runs everything at the standard scale and writes the Fig. 9
+//! time-series CSVs under `target/figures/`.
+
+use scoop_core::experiments::{ablations, figures, lab, resources, table1, FigureResult, Lab, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let series_dir = args
+        .iter()
+        .position(|a| a == "--series-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/figures"));
+    let mut wanted: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--") && *a != series_dir.to_string_lossy())
+        .collect();
+    if wanted.is_empty() {
+        wanted.push("all");
+    }
+    let all = wanted.contains(&"all");
+    let scale = if quick { Scale::quick() } else { Scale::standard() };
+
+    eprintln!(
+        "building lab: {} meters, {} objects x {} rows ...",
+        scale.meters, scale.objects, scale.rows_per_object
+    );
+    let lab_env = Lab::new(&scale).expect("lab setup");
+    eprintln!(
+        "dataset: {} over {} objects; workers={} chunk={}\n",
+        scoop_common::ByteSize::b(lab_env.dataset_bytes),
+        scale.objects,
+        scale.workers,
+        scoop_common::ByteSize::b(scale.chunk_size),
+    );
+
+    let want = |id: &str| all || wanted.contains(&id);
+    let mut failures = 0usize;
+    let mut show = |result: scoop_common::Result<FigureResult>| match result {
+        Ok(fig) => println!("{}", fig.render()),
+        Err(e) => {
+            failures += 1;
+            eprintln!("experiment failed: {e}");
+        }
+    };
+
+    if want("calibration") {
+        let (filter_tp, parse_tp) = lab::calibrate_throughputs(&lab_env.sample_csv);
+        println!("== calibration — measured single-core throughputs ==");
+        println!("storlet CSV filter : {:.0} MB/s", filter_tp / 1e6);
+        println!("compute CSV parse  : {:.0} MB/s", parse_tp / 1e6);
+        println!(
+            "(the testbed projections use the paper-fitted cost model; see EXPERIMENTS.md)\n"
+        );
+    }
+    if want("fig1") {
+        show(figures::fig1(&lab_env));
+    }
+    if want("table1") {
+        show(table1::run(&lab_env));
+    }
+    if want("fig5") {
+        show(figures::fig5(&lab_env));
+    }
+    if want("fig6") {
+        show(figures::fig6(&lab_env));
+    }
+    if want("fig7") {
+        show(figures::fig7(&lab_env));
+    }
+    if want("fig8") {
+        show(figures::fig8(&lab_env));
+    }
+    if want("multi-tenant") {
+        show(figures::multi_tenant(&lab_env));
+    }
+    if want("fig9") {
+        show(resources::fig9(&lab_env));
+        match resources::export_series(&lab_env, &series_dir) {
+            Ok(files) => println!(
+                "wrote {} time-series CSVs under {}\n",
+                files.len(),
+                series_dir.display()
+            ),
+            Err(e) => eprintln!("series export failed: {e}"),
+        }
+    }
+    if want("fig10") {
+        show(resources::fig10(&lab_env));
+    }
+    if want("ablations") {
+        show(ablations::stage(&scale));
+        show(ablations::chunk_size(&scale));
+        show(ablations::pipelining(&scale));
+        show(ablations::tiering(&scale));
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+}

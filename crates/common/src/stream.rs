@@ -1,0 +1,199 @@
+//! Chunked byte streams — the unit of data flow across the workspace.
+//!
+//! Object GET/PUT bodies, storlet input/output and compute-side ingestion all
+//! move data as a stream of [`bytes::Bytes`] chunks so that a pushdown filter
+//! can transform a multi-gigabyte object without materializing it, exactly as
+//! the Storlets framework streams request bodies through `invoke()`.
+
+use crate::error::Result;
+use bytes::Bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A boxed, fallible, sendable stream of byte chunks.
+pub type ByteStream = Box<dyn Iterator<Item = Result<Bytes>> + Send>;
+
+/// Default chunk size for streams fabricated from contiguous buffers.
+/// 64 KiB mirrors Swift's default disk chunk size.
+pub const DEFAULT_CHUNK: usize = 64 * 1024;
+
+/// Create an empty stream.
+pub fn empty() -> ByteStream {
+    Box::new(std::iter::empty())
+}
+
+/// Create a single-chunk stream from one buffer.
+pub fn once(data: Bytes) -> ByteStream {
+    if data.is_empty() {
+        empty()
+    } else {
+        Box::new(std::iter::once(Ok(data)))
+    }
+}
+
+/// Create a stream that yields `data` in chunks of `chunk_size` bytes.
+pub fn chunked(data: Bytes, chunk_size: usize) -> ByteStream {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let mut offset = 0usize;
+    Box::new(std::iter::from_fn(move || {
+        if offset >= data.len() {
+            return None;
+        }
+        let end = (offset + chunk_size).min(data.len());
+        let chunk = data.slice(offset..end);
+        offset = end;
+        Some(Ok(chunk))
+    }))
+}
+
+/// Create a stream yielding the given chunks in order.
+pub fn from_chunks(chunks: Vec<Bytes>) -> ByteStream {
+    Box::new(chunks.into_iter().filter(|c| !c.is_empty()).map(Ok))
+}
+
+/// Create a stream that immediately fails with `err`.
+pub fn error(err: crate::ScoopError) -> ByteStream {
+    Box::new(std::iter::once(Err(err)))
+}
+
+/// Drain a stream into one contiguous buffer.
+pub fn collect(stream: ByteStream) -> Result<Bytes> {
+    let mut out: Vec<u8> = Vec::new();
+    for chunk in stream {
+        out.extend_from_slice(&chunk?);
+    }
+    Ok(Bytes::from(out))
+}
+
+/// Shared byte counter observable while a stream is being consumed elsewhere.
+#[derive(Debug, Default, Clone)]
+pub struct ByteCounter(Arc<AtomicU64>);
+
+impl ByteCounter {
+    /// Create a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Bytes observed so far.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+    fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Stream adaptor that counts the bytes flowing through it.
+///
+/// The connector wraps every GET body in one of these so experiments can
+/// report exactly how many bytes crossed the (simulated) inter-cluster link.
+pub struct CountingStream {
+    inner: ByteStream,
+    counter: ByteCounter,
+}
+
+impl CountingStream {
+    /// Wrap `inner`, reporting into `counter`.
+    pub fn new(inner: ByteStream, counter: ByteCounter) -> Self {
+        CountingStream { inner, counter }
+    }
+}
+
+impl Iterator for CountingStream {
+    type Item = Result<Bytes>;
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next();
+        if let Some(Ok(chunk)) = &item {
+            self.counter.add(chunk.len() as u64);
+        }
+        item
+    }
+}
+
+/// Extension helpers on [`ByteStream`].
+pub trait StreamExt {
+    /// Count bytes through a fresh counter; returns (wrapped stream, counter).
+    fn counted(self) -> (ByteStream, ByteCounter);
+    /// Apply a per-chunk transformation.
+    fn map_chunks<F>(self, f: F) -> ByteStream
+    where
+        F: FnMut(Bytes) -> Result<Bytes> + Send + 'static;
+}
+
+impl StreamExt for ByteStream {
+    fn counted(self) -> (ByteStream, ByteCounter) {
+        let counter = ByteCounter::new();
+        let stream = Box::new(CountingStream::new(self, counter.clone()));
+        (stream, counter)
+    }
+
+    fn map_chunks<F>(self, mut f: F) -> ByteStream
+    where
+        F: FnMut(Bytes) -> Result<Bytes> + Send + 'static,
+    {
+        Box::new(self.map(move |chunk| chunk.and_then(&mut f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScoopError;
+
+    fn payload(n: usize) -> Bytes {
+        Bytes::from((0..n).map(|i| (i % 251) as u8).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn chunked_roundtrip_preserves_bytes() {
+        let data = payload(200_001);
+        for chunk in [1usize, 7, 4096, DEFAULT_CHUNK, 1_000_000] {
+            let s = chunked(data.clone(), chunk);
+            assert_eq!(collect(s).unwrap(), data, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn empty_and_once() {
+        assert_eq!(collect(empty()).unwrap().len(), 0);
+        assert_eq!(collect(once(Bytes::new())).unwrap().len(), 0);
+        assert_eq!(collect(once(Bytes::from_static(b"xyz"))).unwrap(), "xyz");
+    }
+
+    #[test]
+    fn from_chunks_skips_empties() {
+        let s = from_chunks(vec![
+            Bytes::from_static(b"ab"),
+            Bytes::new(),
+            Bytes::from_static(b"cd"),
+        ]);
+        assert_eq!(collect(s).unwrap(), "abcd");
+    }
+
+    #[test]
+    fn counting_stream_observes_all_bytes() {
+        let data = payload(123_456);
+        let (s, counter) = chunked(data.clone(), 1000).counted();
+        assert_eq!(counter.get(), 0);
+        let got = collect(s).unwrap();
+        assert_eq!(got.len(), 123_456);
+        assert_eq!(counter.get(), 123_456);
+    }
+
+    #[test]
+    fn error_stream_propagates() {
+        let s = error(ScoopError::NotFound("gone".into()));
+        assert!(collect(s).is_err());
+    }
+
+    #[test]
+    fn map_chunks_transforms() {
+        let s = chunked(Bytes::from_static(b"abcdef"), 2);
+        let upper = s.map_chunks(|c| {
+            Ok(Bytes::from(
+                c.iter().map(|b| b.to_ascii_uppercase()).collect::<Vec<u8>>(),
+            ))
+        });
+        assert_eq!(collect(upper).unwrap(), "ABCDEF");
+    }
+}

@@ -1,0 +1,66 @@
+//! The Data Sources API.
+//!
+//! "The Data Sources API has several flavors. The simplest flavor is called
+//! Scan ... A more complex flavor is the PrunedScan API which takes a
+//! selection filter as a parameter ... Further, the PrunedFilteredScan API
+//! flavor takes both a projection and selection filters" — Section V. The
+//! trait hierarchy below mirrors those flavors; `Session` always drives the
+//! richest one a relation implements.
+
+use crate::partition::InputPartition;
+use scoop_common::Result;
+use scoop_csv::{Predicate, Schema, Value};
+
+/// A stream of typed rows produced by one partition scan.
+pub type RowStream = Box<dyn Iterator<Item = Result<Vec<Value>>> + Send>;
+
+/// Per-scan accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Whether the pushed filters were fully applied by the source (when
+    /// true, the executor must not re-apply them).
+    pub filters_handled: bool,
+}
+
+/// The output of scanning one partition.
+pub struct ScanOutput {
+    /// Schema of the produced rows.
+    pub schema: Schema,
+    /// The rows.
+    pub rows: RowStream,
+    /// Accounting.
+    pub stats: ScanStats,
+}
+
+/// Simplest flavor: full scan of a partition, all columns, all rows.
+pub trait TableScan: Send + Sync {
+    /// The relation's full schema.
+    fn schema(&self) -> Result<Schema>;
+
+    /// Discover the relation's partitions.
+    fn partitions(&self, chunk_size: u64) -> Result<Vec<InputPartition>>;
+
+    /// Scan everything in one partition.
+    fn scan(&self, partition: &InputPartition) -> Result<ScanOutput>;
+}
+
+/// Adds column pruning.
+pub trait PrunedScan: TableScan {
+    /// Scan only the named columns (output order follows the request).
+    fn scan_pruned(&self, partition: &InputPartition, columns: &[String]) -> Result<ScanOutput>;
+}
+
+/// Adds selection pushdown — the flavor the paper's extended Spark-CSV
+/// implements ("we augmented the Spark CSV library with the
+/// PrunedFilteredScan Data Source API").
+pub trait PrunedFilteredScan: PrunedScan {
+    /// Scan with projection and selection. `columns == None` keeps all
+    /// columns. The implementation reports via [`ScanStats::filters_handled`]
+    /// whether the predicate was fully applied.
+    fn scan_pruned_filtered(
+        &self,
+        partition: &InputPartition,
+        columns: Option<&[String]>,
+        predicate: Option<&Predicate>,
+    ) -> Result<ScanOutput>;
+}

@@ -1,0 +1,151 @@
+//! The driver's task scheduler: a fixed worker pool executing one task per
+//! partition, with per-task timing — the in-process equivalent of Spark's
+//! stage execution over its standalone cluster.
+
+use scoop_common::Result;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Outcome of one task.
+pub struct TaskResult<T> {
+    /// Partition / task index.
+    pub index: usize,
+    /// The task's produced value or error.
+    pub result: Result<T>,
+    /// Wall time the task took.
+    pub duration: Duration,
+}
+
+/// Run `n_tasks` tasks over `workers` threads. `task_fn` is invoked with the
+/// task index; tasks are claimed dynamically (work stealing by counter), like
+/// Spark assigning tasks to free executor slots. Results arrive indexed.
+pub fn run_tasks<T, F>(workers: usize, n_tasks: usize, task_fn: F) -> Vec<TaskResult<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let workers = workers.max(1);
+    let next = AtomicUsize::new(0);
+    let results: parking_lot::Mutex<Vec<TaskResult<T>>> =
+        parking_lot::Mutex::new(Vec::with_capacity(n_tasks));
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n_tasks.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_tasks {
+                    break;
+                }
+                let started = Instant::now();
+                // A panicking task must fail its own task, not the job: the
+                // executor survives, like a Spark task failure.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    task_fn(i)
+                }))
+                .unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "task panicked".to_string());
+                    Err(scoop_common::ScoopError::Compute(format!(
+                        "task {i} panicked: {msg}"
+                    )))
+                });
+                results.lock().push(TaskResult {
+                    index: i,
+                    result,
+                    duration: started.elapsed(),
+                });
+            });
+        }
+    });
+    let mut out = results.into_inner();
+    out.sort_by_key(|r| r.index);
+    out
+}
+
+/// Collapse task results, propagating the first error.
+pub fn collect_ok<T>(results: Vec<TaskResult<T>>) -> Result<(Vec<T>, Vec<Duration>)> {
+    let mut values = Vec::with_capacity(results.len());
+    let mut durations = Vec::with_capacity(results.len());
+    for r in results {
+        durations.push(r.duration);
+        values.push(r.result?);
+    }
+    Ok((values, durations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scoop_common::ScoopError;
+
+    #[test]
+    fn runs_all_tasks_in_index_order() {
+        let results = run_tasks(4, 100, |i| Ok(i * 2));
+        assert_eq!(results.len(), 100);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(*r.result.as_ref().unwrap(), i * 2);
+        }
+    }
+
+    #[test]
+    fn parallelism_actually_engages() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let threads: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        run_tasks(4, 64, |_| {
+            threads.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(Duration::from_micros(200));
+            Ok(())
+        });
+        assert!(threads.lock().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn zero_tasks_and_zero_workers() {
+        let results = run_tasks::<(), _>(0, 0, |_| Ok(()));
+        assert!(results.is_empty());
+        let results = run_tasks(0, 3, Ok);
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn collect_ok_propagates_errors() {
+        let results = run_tasks(2, 5, |i| {
+            if i == 3 {
+                Err(ScoopError::Compute("task 3 exploded".into()))
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(collect_ok(results).is_err());
+        let results = run_tasks(2, 5, Ok);
+        let (vals, durs) = collect_ok(results).unwrap();
+        assert_eq!(vals, vec![0, 1, 2, 3, 4]);
+        assert_eq!(durs.len(), 5);
+    }
+}
+
+#[cfg(test)]
+mod panic_tests {
+    use super::*;
+
+    #[test]
+    fn panicking_task_becomes_an_error_not_a_crash() {
+        let results = run_tasks(3, 8, |i| {
+            if i == 5 {
+                panic!("boom in task {i}");
+            }
+            Ok(i)
+        });
+        assert_eq!(results.len(), 8);
+        let err = results[5].result.as_ref().unwrap_err();
+        assert_eq!(err.kind(), "compute");
+        assert!(err.to_string().contains("boom in task 5"));
+        // Other tasks completed normally.
+        assert_eq!(*results[0].result.as_ref().unwrap(), 0);
+        assert_eq!(*results[7].result.as_ref().unwrap(), 7);
+    }
+}

@@ -1,0 +1,647 @@
+//! The user-facing session: register tables, run SQL, get results + metrics.
+//!
+//! This is the "Spark client" of Fig. 4: it parses the query, lets Catalyst
+//! extract the pushdown, discovers partitions, fans tasks out to the worker
+//! pool (each task scanning one partition through the Data Sources API and
+//! folding rows into a partial aggregate), then merges and finalizes on the
+//! driver. The `pushdown` toggle is the with/without-Scoop experiment switch.
+
+use crate::columnar_relation::ColumnarRelation;
+use crate::csv_relation::CsvRelation;
+use crate::datasource::PrunedFilteredScan;
+use crate::partition::DEFAULT_CHUNK_SIZE;
+use crate::scheduler::{collect_ok, run_tasks};
+use parking_lot::RwLock;
+use scoop_common::{Result, ScoopError};
+use scoop_csv::{Schema, Value};
+use scoop_sql::catalyst::plan_query;
+use scoop_sql::exec::{execute_with_where, Aggregator, PartialAgg};
+use scoop_sql::{parse, ResultSet};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::connector::StorageConnector;
+
+/// How a registered table is stored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableFormat {
+    /// CSV objects (optionally with a header row).
+    Csv {
+        /// Whether objects start with a header record.
+        has_header: bool,
+    },
+    /// Columnar objects (the Parquet-like format).
+    Columnar,
+}
+
+/// Which execution arm a query ran under (reported in metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Ingest-then-compute: full objects transferred, filtered at compute.
+    Vanilla,
+    /// Scoop: projections/selections executed at the object store.
+    Pushdown,
+    /// Columnar with column pruning, compute-side selection.
+    Columnar,
+}
+
+impl std::fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionMode::Vanilla => write!(f, "vanilla"),
+            ExecutionMode::Pushdown => write!(f, "pushdown"),
+            ExecutionMode::Columnar => write!(f, "columnar"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TableDef {
+    location: String,
+    prefix: Option<String>,
+    format: TableFormat,
+    schema: Option<Schema>,
+}
+
+/// Per-query accounting.
+#[derive(Debug, Clone)]
+pub struct JobMetrics {
+    /// Execution arm.
+    pub mode: ExecutionMode,
+    /// Tasks executed (== partitions).
+    pub tasks: usize,
+    /// Bytes that crossed the storage→compute boundary.
+    pub bytes_transferred: u64,
+    /// Rows materialized at the compute side (post-store-filtering).
+    pub rows_to_compute: u64,
+    /// Rows surviving compute-side filtering (input to agg/projection).
+    pub rows_after_filter: u64,
+    /// WHERE conjuncts pushed to the store.
+    pub pushed_conjuncts: usize,
+    /// WHERE conjuncts evaluated at the compute side.
+    pub residual_conjuncts: usize,
+    /// End-to-end wall time of the query.
+    pub wall: Duration,
+    /// Per-task wall times.
+    pub task_durations: Vec<Duration>,
+}
+
+/// A finished query: result + metrics.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Rows and columns.
+    pub result: ResultSet,
+    /// Accounting.
+    pub metrics: JobMetrics,
+}
+
+/// The Spark-like session.
+pub struct Session {
+    connector: Arc<dyn StorageConnector>,
+    workers: usize,
+    chunk_size: u64,
+    pushdown: bool,
+    stats_pruning: bool,
+    tables: RwLock<HashMap<String, TableDef>>,
+}
+
+impl Session {
+    /// Create a session over a connector with the given worker-pool size.
+    pub fn new(connector: Arc<dyn StorageConnector>, workers: usize) -> Session {
+        Session {
+            connector,
+            workers: workers.max(1),
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            pushdown: true,
+            stats_pruning: false,
+            tables: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Set the partition-discovery chunk size (builder style).
+    pub fn with_chunk_size(mut self, chunk_size: u64) -> Session {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    /// Enable/disable pushdown (the with/without-Scoop switch).
+    pub fn with_pushdown(mut self, enabled: bool) -> Session {
+        self.pushdown = enabled;
+        self
+    }
+
+    /// Enable columnar row-group stats skipping (extension).
+    pub fn with_stats_pruning(mut self, enabled: bool) -> Session {
+        self.stats_pruning = enabled;
+        self
+    }
+
+    /// Whether pushdown is enabled.
+    pub fn pushdown_enabled(&self) -> bool {
+        self.pushdown
+    }
+
+    /// The session's connector.
+    pub fn connector(&self) -> &Arc<dyn StorageConnector> {
+        &self.connector
+    }
+
+    /// Register a table at a location. `schema == None` infers on first use.
+    pub fn register_table(
+        &self,
+        name: &str,
+        location: &str,
+        prefix: Option<&str>,
+        format: TableFormat,
+        schema: Option<Schema>,
+    ) {
+        self.tables.write().insert(
+            name.to_ascii_lowercase(),
+            TableDef {
+                location: location.to_string(),
+                prefix: prefix.map(str::to_string),
+                format,
+                schema,
+            },
+        );
+    }
+
+    fn table(&self, name: &str) -> Result<TableDef> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| ScoopError::Sql(format!("unknown table '{name}'")))
+    }
+
+    /// Explain how a query would execute, without running it: the extracted
+    /// pushdown, the residual predicate, the scan schema and the partition
+    /// plan — the reproduction's equivalent of `EXPLAIN` over a Spark plan.
+    pub fn explain(&self, text: &str) -> Result<String> {
+        let query = parse(text)?;
+        let def = self.table(&query.table)?;
+        let (schema, partitions, format_name) = match &def.format {
+            TableFormat::Csv { has_header } => {
+                let rel = CsvRelation::open(
+                    self.connector.clone(),
+                    &def.location,
+                    def.prefix.as_deref(),
+                    *has_header,
+                    def.schema.clone(),
+                    self.pushdown,
+                )?;
+                {
+                    use crate::datasource::TableScan;
+                    (rel.schema()?, rel.partitions(self.chunk_size)?, "csv")
+                }
+            }
+            TableFormat::Columnar => {
+                let rel = ColumnarRelation::open(
+                    self.connector.clone(),
+                    &def.location,
+                    def.prefix.as_deref(),
+                    self.stats_pruning,
+                )?;
+                {
+                    use crate::datasource::TableScan;
+                    (rel.schema()?, rel.partitions(self.chunk_size)?, "columnar")
+                }
+            }
+        };
+        let has_header = matches!(def.format, TableFormat::Csv { has_header: true });
+        let plan = plan_query(&query, &schema, has_header)?;
+        let pushdown_active = self.pushdown
+            && self.connector.supports_pushdown()
+            && format_name == "csv";
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== plan for table '{}' ({format_name}, {} partitions) ==\n",
+            query.table,
+            partitions.len()
+        ));
+        out.push_str(&format!(
+            "scan     : columns {}\n",
+            match &plan.pushdown.columns {
+                None => "* (no pruning)".to_string(),
+                Some(c) => c.join(", "),
+            }
+        ));
+        out.push_str(&format!(
+            "pushdown : {} ({} conjunct(s) pushed{})\n",
+            if pushdown_active { "at object store" } else { "disabled — compute-side" },
+            plan.pushed_conjuncts,
+            match &plan.pushdown.predicate {
+                Some(p) => format!(": {p}"),
+                None => String::new(),
+            }
+        ));
+        out.push_str(&format!(
+            "residual : {}\n",
+            match &plan.residual_where {
+                Some(e) => e.to_string(),
+                None => "none".to_string(),
+            }
+        ));
+        out.push_str(&format!(
+            "execute  : {}{}{}{}\n",
+            if query.is_aggregate() {
+                "partial aggregation on workers → merge on driver"
+            } else {
+                "collect on workers → project/sort on driver"
+            },
+            if query.distinct { " → DISTINCT" } else { "" },
+            if query.having.is_some() { " → HAVING" } else { "" },
+            match query.limit {
+                Some(n) => format!(" → LIMIT {n}"),
+                None => String::new(),
+            }
+        ));
+        Ok(out)
+    }
+
+    /// Parse and execute a SQL query.
+    pub fn sql(&self, text: &str) -> Result<QueryOutcome> {
+        let started = std::time::Instant::now();
+        let query = parse(text)?;
+        let def = self.table(&query.table)?;
+
+        // Build the relation (and cache the inferred schema).
+        let (relation, mode): (Arc<dyn PrunedFilteredScan>, ExecutionMode) = match &def.format {
+            TableFormat::Csv { has_header } => {
+                let rel = CsvRelation::open(
+                    self.connector.clone(),
+                    &def.location,
+                    def.prefix.as_deref(),
+                    *has_header,
+                    def.schema.clone(),
+                    self.pushdown,
+                )?;
+                let mode = if self.pushdown && self.connector.supports_pushdown() {
+                    ExecutionMode::Pushdown
+                } else {
+                    ExecutionMode::Vanilla
+                };
+                (Arc::new(rel), mode)
+            }
+            TableFormat::Columnar => {
+                let rel = ColumnarRelation::open(
+                    self.connector.clone(),
+                    &def.location,
+                    def.prefix.as_deref(),
+                    self.stats_pruning,
+                )?;
+                (Arc::new(rel), ExecutionMode::Columnar)
+            }
+        };
+        let schema = relation.schema()?;
+        if def.schema.is_none() {
+            self.tables
+                .write()
+                .get_mut(&query.table)
+                .expect("table registered")
+                .schema = Some(schema.clone());
+        }
+
+        // Catalyst: extract pushdown + residual.
+        let has_header = matches!(def.format, TableFormat::Csv { has_header: true });
+        let plan = plan_query(&query, &schema, has_header)?;
+        let partitions = relation.partitions(self.chunk_size)?;
+
+        let transferred_before = self.connector.bytes_transferred();
+
+        // Per-task work.
+        enum TaskOut {
+            Partial(Box<PartialAgg>, u64, u64),
+            Rows(Vec<Vec<Value>>, u64),
+        }
+        let aggregator = if query.is_aggregate() {
+            Some(Aggregator::new(&query, &plan.scan_schema)?)
+        } else {
+            None
+        };
+        let columns = plan.pushdown.columns.clone();
+        let predicate = plan.pushdown.predicate.clone();
+        // CollectLimit: an unsorted, non-distinct LIMIT needs only the first
+        // `n` passing rows; tasks stop scanning (and hence stop pulling
+        // bytes off the lazy streams) once the job-wide quota is met.
+        let early_limit = if !query.is_aggregate()
+            && query.order_by.is_empty()
+            && !query.distinct
+        {
+            query.limit
+        } else {
+            None
+        };
+        let collected = std::sync::atomic::AtomicUsize::new(0);
+        let results = run_tasks(self.workers, partitions.len(), |i| {
+            let part = &partitions[i];
+            let out = relation.scan_pruned_filtered(
+                part,
+                columns.as_deref(),
+                predicate.as_ref(),
+            )?;
+            // Effective compute-side predicate: residual when the source
+            // handled the pushed filters, the full WHERE otherwise.
+            let effective = if out.stats.filters_handled {
+                plan.residual_where.clone()
+            } else {
+                query.where_clause.clone()
+            };
+            let mut rows_in = 0u64;
+            let mut rows_kept = 0u64;
+            match &aggregator {
+                Some(agg) => {
+                    let mut partial = agg.make_partial();
+                    for row in out.rows {
+                        let row = row?;
+                        rows_in += 1;
+                        if passes(&effective, &row, &plan.scan_schema)? {
+                            rows_kept += 1;
+                            agg.update(&mut partial, &row)?;
+                        }
+                    }
+                    Ok(TaskOut::Partial(Box::new(partial), rows_in, rows_kept))
+                }
+                None => {
+                    let mut kept = Vec::new();
+                    for row in out.rows {
+                        if let Some(lim) = early_limit {
+                            if collected.load(std::sync::atomic::Ordering::Relaxed) >= lim {
+                                break;
+                            }
+                        }
+                        let row = row?;
+                        rows_in += 1;
+                        if passes(&effective, &row, &plan.scan_schema)? {
+                            if early_limit.is_some() {
+                                collected
+                                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            kept.push(row);
+                        }
+                    }
+                    Ok(TaskOut::Rows(kept, rows_in))
+                }
+            }
+        });
+        let (outputs, task_durations) = collect_ok(results)?;
+
+        // Driver-side merge/finalize.
+        let mut rows_to_compute = 0u64;
+        let mut rows_after_filter = 0u64;
+        let result = match aggregator {
+            Some(agg) => {
+                let mut merged = agg.make_partial();
+                for out in outputs {
+                    let TaskOut::Partial(partial, rows_in, kept) = out else {
+                        return Err(ScoopError::Internal("mixed task outputs".into()));
+                    };
+                    rows_to_compute += rows_in;
+                    rows_after_filter += kept;
+                    agg.merge(&mut merged, *partial);
+                }
+                agg.finalize(merged)?
+            }
+            None => {
+                let mut all_rows = Vec::new();
+                for out in outputs {
+                    let TaskOut::Rows(rows, rows_in) = out else {
+                        return Err(ScoopError::Internal("mixed task outputs".into()));
+                    };
+                    rows_to_compute += rows_in;
+                    rows_after_filter += rows.len() as u64;
+                    all_rows.extend(rows);
+                }
+                // WHERE already applied per-task; run projection/sort/limit.
+                execute_with_where(
+                    &query,
+                    &plan.scan_schema,
+                    None,
+                    all_rows.into_iter().map(Ok),
+                )?
+            }
+        };
+
+        Ok(QueryOutcome {
+            result,
+            metrics: JobMetrics {
+                mode,
+                tasks: partitions.len(),
+                bytes_transferred: self
+                    .connector
+                    .bytes_transferred()
+                    .saturating_sub(transferred_before),
+                rows_to_compute,
+                rows_after_filter,
+                pushed_conjuncts: plan.pushed_conjuncts,
+                residual_conjuncts: plan.residual_conjuncts,
+                wall: started.elapsed(),
+                task_durations,
+            },
+        })
+    }
+}
+
+fn passes(
+    where_clause: &Option<scoop_sql::Expr>,
+    row: &[Value],
+    schema: &Schema,
+) -> Result<bool> {
+    match where_clause {
+        None => Ok(true),
+        Some(w) => Ok(scoop_sql::exec::eval_pred(w, row, schema)? == Some(true)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::MemoryConnector;
+    use bytes::Bytes;
+    use scoop_columnar::ColumnarWriter;
+    use scoop_csv::schema::{DataType, Field};
+
+    fn csv_data() -> Bytes {
+        let mut out = String::from("vid,date,index,city\n");
+        for i in 0..200 {
+            out.push_str(&format!(
+                "m{},2015-{:02}-10 00:00:00,{}.5,{}\n",
+                i % 10,
+                i % 12 + 1,
+                i,
+                if i % 4 == 0 { "Rotterdam" } else { "Paris" },
+            ));
+        }
+        Bytes::from(out)
+    }
+
+    fn session(pushdown: bool) -> Session {
+        let conn = MemoryConnector::with_pushdown();
+        conn.put("meters", "part-0.csv", csv_data());
+        let s = Session::new(conn, 4)
+            .with_chunk_size(512)
+            .with_pushdown(pushdown);
+        s.register_table(
+            "largemeter",
+            "meters",
+            None,
+            TableFormat::Csv { has_header: true },
+            None,
+        );
+        s
+    }
+
+    const QUERY: &str = "SELECT vid, sum(index) as total, count(*) as n \
+        FROM largeMeter WHERE date LIKE '2015-01%' AND city LIKE 'Rotterdam' \
+        GROUP BY vid ORDER BY vid";
+
+    #[test]
+    fn pushdown_and_vanilla_agree_on_results() {
+        let vanilla = session(false).sql(QUERY).unwrap();
+        let pushed = session(true).sql(QUERY).unwrap();
+        assert_eq!(vanilla.result, pushed.result);
+        assert_eq!(vanilla.metrics.mode, ExecutionMode::Vanilla);
+        assert_eq!(pushed.metrics.mode, ExecutionMode::Pushdown);
+        assert!(pushed.metrics.pushed_conjuncts == 2);
+        // The whole point: pushdown transfers far less.
+        assert!(
+            pushed.metrics.bytes_transferred * 4 < vanilla.metrics.bytes_transferred,
+            "pushdown {} vs vanilla {}",
+            pushed.metrics.bytes_transferred,
+            vanilla.metrics.bytes_transferred
+        );
+        assert!(pushed.metrics.rows_to_compute < vanilla.metrics.rows_to_compute);
+        assert!(vanilla.metrics.tasks > 1);
+    }
+
+    #[test]
+    fn non_aggregate_query_with_order_and_limit() {
+        let s = session(true);
+        let out = s
+            .sql("SELECT vid, index FROM largemeter WHERE city LIKE 'Rotterdam' ORDER BY index DESC LIMIT 3")
+            .unwrap();
+        assert_eq!(out.result.rows.len(), 3);
+        let v0 = out.result.rows[0][1].as_f64().unwrap();
+        let v1 = out.result.rows[1][1].as_f64().unwrap();
+        assert!(v0 >= v1);
+    }
+
+    #[test]
+    fn residual_filters_are_applied_compute_side() {
+        let s = session(true);
+        let out = s
+            .sql("SELECT count(*) as n FROM largemeter WHERE SUBSTRING(date, 0, 7) = '2015-01' AND city LIKE 'Rotterdam'")
+            .unwrap();
+        assert_eq!(out.metrics.pushed_conjuncts, 1);
+        assert_eq!(out.metrics.residual_conjuncts, 1);
+        let reference = session(false)
+            .sql("SELECT count(*) as n FROM largemeter WHERE SUBSTRING(date, 0, 7) = '2015-01' AND city LIKE 'Rotterdam'")
+            .unwrap();
+        assert_eq!(out.result, reference.result);
+    }
+
+    #[test]
+    fn columnar_table_agrees_with_csv() {
+        // Same logical data in both formats.
+        let conn = MemoryConnector::with_pushdown();
+        conn.put("meters", "p.csv", csv_data());
+        let schema = Schema::new(vec![
+            Field::new("vid", DataType::Str),
+            Field::new("date", DataType::Str),
+            Field::new("index", DataType::Float),
+            Field::new("city", DataType::Str),
+        ]);
+        let mut w = ColumnarWriter::with_row_group_rows(schema.clone(), 50);
+        let reader = scoop_csv::CsvReader::new(
+            scoop_common::stream::once(csv_data()),
+            schema,
+            true,
+        );
+        for row in reader {
+            w.write_row(&row.unwrap());
+        }
+        conn.put("meters-col", "p.scol", w.finish());
+
+        let s = Session::new(conn, 2).with_chunk_size(512);
+        s.register_table(
+            "largemeter",
+            "meters",
+            None,
+            TableFormat::Csv { has_header: true },
+            None,
+        );
+        s.register_table("colmeter", "meters-col", None, TableFormat::Columnar, None);
+        let a = s.sql(QUERY).unwrap();
+        let b = s.sql(&QUERY.replace("largeMeter", "colmeter")).unwrap();
+        assert_eq!(a.result, b.result);
+        assert_eq!(b.metrics.mode, ExecutionMode::Columnar);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let s = session(true);
+        assert!(s.sql("SELECT x FROM ghost").is_err());
+    }
+
+    #[test]
+    fn schema_is_cached_after_first_query() {
+        let s = session(true);
+        s.sql("SELECT count(*) FROM largemeter").unwrap();
+        let def = s.table("largemeter").unwrap();
+        assert!(def.schema.is_some());
+    }
+}
+
+#[cfg(test)]
+mod explain_tests {
+    use super::*;
+    use crate::connector::MemoryConnector;
+    use bytes::Bytes;
+
+    #[test]
+    fn explain_reports_plan_shape() {
+        let conn = MemoryConnector::with_pushdown();
+        conn.put(
+            "meters",
+            "a.csv",
+            Bytes::from_static(b"vid,date,index,city\nm1,2015-01-01,1.0,Paris\n"),
+        );
+        let s = Session::new(conn, 2).with_chunk_size(16);
+        s.register_table(
+            "largemeter",
+            "meters",
+            None,
+            TableFormat::Csv { has_header: true },
+            None,
+        );
+        let plan = s
+            .explain(
+                "SELECT vid, sum(index) as t FROM largemeter \
+                 WHERE city LIKE 'Paris' AND index + 1 > 2 \
+                 GROUP BY vid HAVING count(*) > 0 ORDER BY vid LIMIT 5",
+            )
+            .unwrap();
+        assert!(plan.contains("at object store"), "{plan}");
+        assert!(plan.contains("1 conjunct(s) pushed"), "{plan}");
+        assert!(plan.contains("residual : "), "{plan}");
+        assert!(plan.contains("index"), "{plan}");
+        assert!(plan.contains("partial aggregation"), "{plan}");
+        assert!(plan.contains("HAVING"), "{plan}");
+        assert!(plan.contains("LIMIT 5"), "{plan}");
+
+        // Vanilla session reports disabled pushdown.
+        let conn = MemoryConnector::new();
+        conn.put("meters", "a.csv", Bytes::from_static(b"vid,city\nm1,Paris\n"));
+        let s = Session::new(conn, 2).with_pushdown(false);
+        s.register_table(
+            "largemeter",
+            "meters",
+            None,
+            TableFormat::Csv { has_header: true },
+            None,
+        );
+        let plan = s.explain("SELECT vid FROM largemeter").unwrap();
+        assert!(plan.contains("disabled — compute-side"), "{plan}");
+    }
+}

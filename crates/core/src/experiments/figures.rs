@@ -1,0 +1,479 @@
+//! Figures 1, 5, 6, 7 and 8 — query-time and speedup experiments.
+
+use super::lab::{project, projected_speedup, Lab};
+use super::{pct, secs, FigureResult};
+use scoop_cluster::SimMode;
+use scoop_common::{ByteSize, Result};
+use scoop_compute::ExecutionMode;
+use scoop_workload::queries::{synthetic_query, SelectivityKind};
+use scoop_workload::table1_queries;
+
+/// Fig. 1 — the ingest-then-compute problem: vanilla query completion time
+/// grows linearly with dataset size.
+pub fn fig1(lab: &Lab) -> Result<FigureResult> {
+    let mut rows = Vec::new();
+    // Projected testbed times.
+    for gb in [50u64, 250, 500, 1000, 2000, 3000] {
+        let report = project(SimMode::Vanilla, ByteSize::gb(gb).as_u64(), 0.0);
+        rows.push(vec![
+            format!("{gb} GB (testbed sim)"),
+            secs(report.duration),
+            format!("{:.2} GB/s", report.pipeline_rate / 1e9),
+        ]);
+    }
+    // Measured laptop-scale times: the same query over growing object
+    // prefixes of the uploaded dataset (objects are named part-000, ...).
+    let sql = "SELECT vid, sum(index) as t FROM largeMeter GROUP BY vid";
+    let objects = lab.ctx.client().list(&lab.container, None)?;
+    for take in [1usize, objects.len().div_ceil(2), objects.len()] {
+        let session = lab.ctx.session(&lab.container, ExecutionMode::Vanilla);
+        // Register a view over the first `take` objects via their common
+        // prefix when possible, else measure the whole container.
+        let subset_bytes: u64 = objects.iter().take(take).map(|o| o.size).sum();
+        let prefix = if take == 1 {
+            Some(objects[0].name.clone())
+        } else if take < objects.len() {
+            // part-000 / part-001 share "part-00" only up to 10 objects;
+            // fall back to whole-container when prefixes cannot express it.
+            None
+        } else {
+            None
+        };
+        let (label_bytes, outcome) = match (&prefix, take == objects.len()) {
+            (Some(p), _) => {
+                session.register_table(
+                    "largemeter",
+                    &lab.container,
+                    Some(p),
+                    scoop_compute::TableFormat::Csv { has_header: true },
+                    None,
+                );
+                (subset_bytes, session.sql(sql)?)
+            }
+            (None, true) => (lab.dataset_bytes, session.sql(sql)?),
+            (None, false) => continue,
+        };
+        rows.push(vec![
+            format!("{} (laptop, measured)", ByteSize::b(label_bytes)),
+            format!("{:.1} ms", outcome.metrics.wall.as_secs_f64() * 1e3),
+            format!("{} tasks", outcome.metrics.tasks),
+        ]);
+    }
+    // Linearity check on the simulated series.
+    let t50 = project(SimMode::Vanilla, ByteSize::gb(50).as_u64(), 0.0).duration;
+    let t3000 = project(SimMode::Vanilla, ByteSize::gb(3000).as_u64(), 0.0).duration;
+    let linear_ratio = t3000 / t50;
+    Ok(FigureResult {
+        id: "fig1",
+        title: "Ingest-then-compute query time vs dataset size (linear growth)".to_string(),
+        header: vec!["dataset".into(), "query time".into(), "detail".into()],
+        rows,
+        notes: vec![format!(
+            "3TB/50GB time ratio = {linear_ratio:.1} (ideal linear = 60.0; sub-linear \
+             remainder is the fixed job startup)"
+        )],
+    })
+}
+
+/// One row of the Fig. 5 sweep.
+fn fig5_row(
+    lab: &Lab,
+    kind: SelectivityKind,
+    target: f64,
+    sizes: &[u64],
+) -> Result<Vec<String>> {
+    // Build the synthetic query for the target selectivity.
+    let keep_rows = 1.0 - target;
+    // For column selectivity, pick the column-prefix whose measured byte
+    // share is closest to the target.
+    let sql = match kind {
+        SelectivityKind::Row => synthetic_query(kind, keep_rows, 10, lab.meters),
+        SelectivityKind::Column | SelectivityKind::Mixed => {
+            let mut best = (10usize, f64::MAX);
+            for cols in 1..=10usize {
+                let candidate = synthetic_query(SelectivityKind::Column, 1.0, cols, lab.meters);
+                let measured = lab.selectivity(&candidate)?.data;
+                let err = (measured - target).abs();
+                if err < best.1 {
+                    best = (cols, err);
+                }
+            }
+            match kind {
+                SelectivityKind::Column => {
+                    synthetic_query(kind, 1.0, best.0, lab.meters)
+                }
+                _ => {
+                    // Mixed: split the target between rows and columns.
+                    let keep = (1.0 - target).sqrt();
+                    synthetic_query(SelectivityKind::Mixed, keep, best.0.max(2), lab.meters)
+                }
+            }
+        }
+    };
+    let measured = lab.selectivity(&sql)?.data;
+    let run = lab.measure(&sql)?;
+    let mut row = vec![
+        kind.to_string(),
+        pct(target),
+        pct(measured),
+        format!("{:.3}", run.transfer_ratio),
+    ];
+    for &gb in sizes {
+        let s = projected_speedup(ByteSize::gb(gb).as_u64(), measured);
+        row.push(format!("{s:.2}x"));
+    }
+    Ok(row)
+}
+
+/// Fig. 5 — `S_Q` vs data selectivity for row/column/mixed selectivity and
+/// several dataset sizes.
+pub fn fig5(lab: &Lab) -> Result<FigureResult> {
+    let sizes = [50u64, 500, 3000];
+    let mut rows = Vec::new();
+    for kind in [SelectivityKind::Row, SelectivityKind::Column, SelectivityKind::Mixed] {
+        for target in [0.0, 0.2, 0.4, 0.6, 0.8, 0.9] {
+            rows.push(fig5_row(lab, kind, target, &sizes)?);
+        }
+    }
+    Ok(FigureResult {
+        id: "fig5",
+        title: "S_Q vs data selectivity (superlinear; ≈5x @80%, >10x @90%)".to_string(),
+        header: vec![
+            "kind".into(),
+            "target selec.".into(),
+            "measured selec.".into(),
+            "transfer ratio".into(),
+            "S_Q @50GB".into(),
+            "S_Q @500GB".into(),
+            "S_Q @3TB".into(),
+        ],
+        rows,
+        notes: vec![
+            "paper Fig. 5: S_Q≈1 at 0% (worst-case −3.4%), ≈5 at 80%, >10 at 90%; larger \
+             datasets speed up more"
+                .to_string(),
+        ],
+    })
+}
+
+/// Fig. 6 — `S_Q` at very high data selectivity (up to ~31x).
+pub fn fig6(_lab: &Lab) -> Result<FigureResult> {
+    let sizes = [50u64, 500, 3000];
+    let mut rows = Vec::new();
+    for sel in [0.90, 0.95, 0.99, 0.999, 0.9999] {
+        let mut row = vec![pct(sel)];
+        for &gb in &sizes {
+            row.push(format!(
+                "{:.2}x",
+                projected_speedup(ByteSize::gb(gb).as_u64(), sel)
+            ));
+        }
+        rows.push(row);
+    }
+    Ok(FigureResult {
+        id: "fig6",
+        title: "S_Q at high data selectivity (paper: 6.72/10.23/12.51 @90%, up to 31x)"
+            .to_string(),
+        header: vec![
+            "data selec.".into(),
+            "S_Q @50GB".into(),
+            "S_Q @500GB".into(),
+            "S_Q @3TB".into(),
+        ],
+        rows,
+        notes: vec![
+            "the storage-CPU bottleneck caps the speedup near 30x at extreme selectivity"
+                .to_string(),
+        ],
+    })
+}
+
+/// Fig. 7 — `S_Q` for the real GridPocket queries over two dataset sizes,
+/// with the absolute `original/pushdown` times annotated like the paper.
+pub fn fig7(lab: &Lab) -> Result<FigureResult> {
+    let sizes = [(50u64, "50GB"), (500, "500GB")];
+    let mut rows = Vec::new();
+    let mut totals = [(0.0f64, 0.0f64); 2];
+    for q in table1_queries() {
+        let sel = lab.selectivity(&q.sql)?.data;
+        let run = lab.measure(&q.sql)?;
+        let mut row = vec![q.name.to_string(), pct(sel)];
+        for (i, (gb, _)) in sizes.iter().enumerate() {
+            let bytes = ByteSize::gb(*gb).as_u64();
+            let vanilla = project(SimMode::Vanilla, bytes, 0.0);
+            let scoop = project(SimMode::Pushdown, bytes, sel);
+            totals[i].0 += vanilla.duration;
+            totals[i].1 += scoop.duration;
+            row.push(format!(
+                "{:.1}/{:.1}s = {:.1}x",
+                vanilla.duration,
+                scoop.duration,
+                vanilla.duration / scoop.duration
+            ));
+        }
+        row.push(format!("{:.3}", run.transfer_ratio));
+        rows.push(row);
+    }
+    let mut total_row = vec!["TOTAL".to_string(), String::new()];
+    for (v, s) in totals {
+        total_row.push(format!("{v:.1}/{s:.1}s = {:.1}x", v / s));
+    }
+    total_row.push(String::new());
+    rows.push(total_row);
+    Ok(FigureResult {
+        id: "fig7",
+        title: "GridPocket query speedups (paper: 4.1–18.7x @50GB; totals 4814.7→155.5s @500GB)"
+            .to_string(),
+        header: vec![
+            "query".into(),
+            "measured selec.".into(),
+            "orig/pushdown @50GB".into(),
+            "orig/pushdown @500GB".into(),
+            "laptop transfer ratio".into(),
+        ],
+        rows,
+        notes: vec![
+            "synthetic data spans fewer months than GridPocket's, so measured selectivities \
+             and hence projected speedups sit below the paper's 99.9%+ extremes"
+                .to_string(),
+        ],
+    })
+}
+
+/// Fig. 8 — Scoop vs the columnar (Parquet-like) format across column
+/// selectivity.
+pub fn fig8(lab: &Lab) -> Result<FigureResult> {
+    // Convert the lab's CSV into columnar once; measure its real
+    // compression.
+    let (csv_bytes, col_bytes) = lab
+        .ctx
+        .convert_to_columnar(&lab.container, "colmeter", 2_000)?;
+    let compression = col_bytes as f64 / csv_bytes as f64;
+    let mut rows = Vec::new();
+    for cols_kept in [10usize, 8, 6, 4, 2, 1] {
+        let sql = synthetic_query(SelectivityKind::Column, 1.0, cols_kept, lab.meters);
+        let sel = lab.selectivity(&sql)?.data;
+        // Measure the *range-pruned* columnar transfer (our extension) by
+        // running the query over the converted container.
+        let session = lab
+            .ctx
+            .session_with_schema("colmeter", ExecutionMode::Columnar, None);
+        session.register_table(
+            "largemeter",
+            "colmeter",
+            None,
+            scoop_compute::TableFormat::Columnar,
+            None,
+        );
+        let columnar_run = session.sql(&sql)?;
+        let pruned_transfer =
+            columnar_run.metrics.bytes_transferred as f64 / csv_bytes as f64;
+
+        let bytes = ByteSize::gb(500).as_u64();
+        let vanilla = project(SimMode::Vanilla, bytes, 0.0);
+        let scoop = project(SimMode::Pushdown, bytes, sel);
+        // Paper-faithful Parquet: the whole compressed file is ingested and
+        // Spark discards columns after decoding ("Spark is in charge of
+        // carrying out the tasks of (de)compressing data and discarding
+        // columns").
+        let parquet = project(
+            SimMode::Columnar { transfer_ratio: compression, decoded_ratio: 1.0 },
+            bytes,
+            0.0,
+        );
+        // Extension: our reader prunes chunks over ranged GETs.
+        let pruned = project(
+            SimMode::Columnar {
+                transfer_ratio: pruned_transfer,
+                decoded_ratio: 1.0 - sel,
+            },
+            bytes,
+            0.0,
+        );
+        let s_scoop = vanilla.duration / scoop.duration;
+        let s_parquet = vanilla.duration / parquet.duration;
+        let s_pruned = vanilla.duration / pruned.duration;
+        rows.push(vec![
+            format!("{cols_kept}/10 cols"),
+            pct(sel),
+            format!("{pruned_transfer:.3}"),
+            format!("{s_scoop:.2}x"),
+            format!("{s_parquet:.2}x"),
+            format!("{s_pruned:.2}x"),
+            if s_scoop > s_parquet { "scoop" } else { "parquet" }.to_string(),
+        ]);
+    }
+    Ok(FigureResult {
+        id: "fig8",
+        title: "Scoop vs columnar format (paper: Parquet wins at 0% selectivity, Scoop wins ≥60%)"
+            .to_string(),
+        header: vec![
+            "projection".into(),
+            "column selec.".into(),
+            "pruned transfer ratio".into(),
+            "S_Q scoop".into(),
+            "S_Q parquet (paper)".into(),
+            "S_Q columnar+pruning (ext.)".into(),
+            "winner (paper arms)".into(),
+        ],
+        rows,
+        notes: vec![format!(
+            "measured columnar compression of the generated dataset: {:.1}% of CSV size",
+            compression * 100.0
+        )],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::lab::Scale;
+
+    fn lab() -> Lab {
+        Lab::new(&Scale::quick()).unwrap()
+    }
+
+    #[test]
+    fn fig1_shows_linear_growth() {
+        let fig = fig1(&lab()).unwrap();
+        // Simulated times grow monotonically with size.
+        let times: Vec<f64> = fig.rows[..6]
+            .iter()
+            .map(|r| r[1].trim_end_matches('s').parse().unwrap())
+            .collect();
+        assert!(times.windows(2).all(|w| w[1] > w[0]), "{times:?}");
+        // Roughly linear: 10x data ≥ 8x time.
+        assert!(times[3] / times[0] > 8.0);
+    }
+
+    #[test]
+    fn fig6_caps_near_paper_max() {
+        let fig = fig6(&lab()).unwrap();
+        let parse = |s: &str| s.trim_end_matches('x').parse::<f64>().unwrap();
+        // 90% column at 3TB in the paper: 12.51; we expect 8–16.
+        let s90_3tb = parse(&fig.rows[0][3]);
+        assert!((6.0..18.0).contains(&s90_3tb), "{s90_3tb}");
+        // Highest selectivity approaches but does not exceed ~35x.
+        let max = parse(&fig.rows[4][3]);
+        assert!((20.0..40.0).contains(&max), "{max}");
+        // Monotone in selectivity.
+        for col in 1..=3 {
+            let vals: Vec<f64> = fig.rows.iter().map(|r| parse(&r[col])).collect();
+            assert!(vals.windows(2).all(|w| w[1] >= w[0] * 0.99), "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn fig5_superlinear_and_fig7_totals() {
+        let lab = lab();
+        let fig = fig5(&lab).unwrap();
+        assert_eq!(fig.rows.len(), 18);
+        // Row-selectivity sweep at 3TB: superlinear growth.
+        let parse = |s: &str| s.trim_end_matches('x').parse::<f64>().unwrap();
+        let row_kind: Vec<f64> = fig.rows[..6].iter().map(|r| parse(&r[6])).collect();
+        assert!(row_kind[5] > row_kind[4], "{row_kind:?}");
+        assert!(
+            row_kind[5] - row_kind[4] > row_kind[4] - row_kind[3],
+            "superlinear: {row_kind:?}"
+        );
+        // S_Q ≈ 1 at zero selectivity.
+        assert!((0.85..1.05).contains(&row_kind[0]), "{row_kind:?}");
+
+        let fig = fig7(&lab).unwrap();
+        assert_eq!(fig.rows.len(), 8);
+        let total = fig.rows.last().unwrap();
+        assert!(total[2].contains('x'));
+    }
+
+    #[test]
+    fn fig8_crossover() {
+        let lab = lab();
+        let fig = fig8(&lab).unwrap();
+        // At full projection (0% selectivity) the columnar arm wins
+        // (compression); at high column selectivity scoop wins.
+        assert_eq!(fig.rows.first().unwrap()[6], "parquet");
+        assert_eq!(fig.rows.last().unwrap()[6], "scoop");
+        // The paper-faithful parquet line is roughly flat in selectivity.
+        let parse = |s: &str| s.trim_end_matches('x').parse::<f64>().unwrap();
+        let first = parse(&fig.rows.first().unwrap()[4]);
+        let last = parse(&fig.rows.last().unwrap()[4]);
+        assert!((last / first - 1.0).abs() < 0.5, "parquet flat: {first} vs {last}");
+    }
+}
+
+/// Bonus experiment — the paper's motivating multi-tenant scenario:
+/// "inter-cluster network bandwidth may be saturated due to parallel data
+/// ingestions from multiple analytics jobs" (Section I).
+pub fn multi_tenant(lab: &Lab) -> Result<FigureResult> {
+    use scoop_cluster::simulate::{simulate, simulate_concurrent};
+    use scoop_cluster::{CostModel, SimJob, Topology};
+    let sel = lab.selectivity(&table1_queries()[0].sql)?.data;
+    let topology = Topology::osic();
+    let model = CostModel::paper_default();
+    let bytes = ByteSize::gb(500).as_u64();
+    let mk = |mode| SimJob {
+        dataset_bytes: bytes,
+        data_selectivity: sel,
+        mode,
+        tasks: 4000,
+    };
+    let solo_vanilla = simulate(&mk(SimMode::Vanilla), &topology, &model).duration;
+    let solo_scoop = simulate(&mk(SimMode::Pushdown), &topology, &model).duration;
+    let mut rows = vec![vec![
+        "1 (solo)".to_string(),
+        secs(solo_vanilla),
+        secs(solo_scoop),
+        format!("{:.1}x", solo_vanilla / solo_scoop),
+    ]];
+    for n in [2usize, 4, 8] {
+        let vanilla =
+            simulate_concurrent(&vec![mk(SimMode::Vanilla); n], &topology, &model);
+        let scoop =
+            simulate_concurrent(&vec![mk(SimMode::Pushdown); n], &topology, &model);
+        rows.push(vec![
+            format!("{n} concurrent"),
+            secs(vanilla[0].duration),
+            secs(scoop[0].duration),
+            format!("{:.1}x", vanilla[0].duration / scoop[0].duration),
+        ]);
+    }
+    Ok(FigureResult {
+        id: "multi-tenant",
+        title: format!(
+            "Concurrent jobs sharing the cluster (ShowMapCons-like, selec. {:.1}%, 500GB each)",
+            sel * 100.0
+        ),
+        header: vec![
+            "tenants".into(),
+            "per-job time (vanilla)".into(),
+            "per-job time (scoop)".into(),
+            "S_Q".into(),
+        ],
+        rows,
+        notes: vec![
+            "vanilla jobs serialize on the 10Gbps inter-cluster link; Scoop jobs contend \
+             only on storage CPU, so the speedup grows with tenancy"
+                .to_string(),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod multi_tenant_tests {
+    use super::*;
+    use crate::experiments::lab::{Lab, Scale};
+
+    #[test]
+    fn speedup_grows_with_tenancy() {
+        let lab = Lab::new(&Scale::quick()).unwrap();
+        let fig = multi_tenant(&lab).unwrap();
+        assert_eq!(fig.rows.len(), 4);
+        let parse = |s: &str| s.trim_end_matches('x').parse::<f64>().unwrap();
+        let speedups: Vec<f64> = fig.rows.iter().map(|r| parse(&r[3])).collect();
+        assert!(
+            speedups.windows(2).all(|w| w[1] >= w[0] * 0.95),
+            "{speedups:?}"
+        );
+        assert!(speedups[3] > speedups[0], "{speedups:?}");
+    }
+}

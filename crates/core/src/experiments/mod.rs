@@ -1,0 +1,66 @@
+//! Reproduction of every table and figure in the paper's evaluation
+//! (Section VI), per the experiment index in DESIGN.md.
+//!
+//! Each experiment follows the same two-layer protocol:
+//!
+//! 1. **Real execution (laptop scale)** — data is generated, uploaded into
+//!    the Swift-like store, filtered by the real storlet engine and queried
+//!    by the real compute framework in both arms. This yields *measured*
+//!    selectivities, transferred bytes and result-equality checks.
+//! 2. **Testbed projection** — the measured selectivities feed the fluid
+//!    simulator configured as the paper's 63-machine OSIC testbed, yielding
+//!    the end-to-end times, speedups and resource series the figures plot.
+//!
+//! Absolute numbers are not expected to match the paper (different storlet
+//! implementation, synthetic data); the *shapes* — who wins, by what factor,
+//! where crossovers and bottleneck shifts fall — are asserted in this
+//! module's tests.
+
+pub mod ablations;
+pub mod figures;
+pub mod lab;
+pub mod resources;
+pub mod table1;
+
+pub use lab::{Lab, Scale};
+
+/// A rendered experiment result: one table the `repro` binary prints and
+/// EXPERIMENTS.md records.
+#[derive(Debug, Clone)]
+pub struct FigureResult {
+    /// Experiment id ("fig5", "table1", ...).
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (paper-vs-measured commentary).
+    pub notes: Vec<String>,
+}
+
+impl FigureResult {
+    /// Render as an aligned text table with title and notes.
+    pub fn render(&self) -> String {
+        let mut table = scoop_common::table::TextTable::new(self.header.clone());
+        for row in &self.rows {
+            table.row(row.clone());
+        }
+        let mut out = format!("== {} — {} ==\n{}", self.id, self.title, table.render());
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage string.
+pub(crate) fn pct(f: f64) -> String {
+    format!("{:.2}%", f * 100.0)
+}
+
+/// Format seconds.
+pub(crate) fn secs(s: f64) -> String {
+    format!("{s:.1}s")
+}

@@ -1,0 +1,48 @@
+//! Scoop — pushdown of SQL projections and selections into an object store.
+//!
+//! This is the top-level crate of the reproduction of *"Too Big to Eat:
+//! Boosting Analytics Data Ingestion from Object Stores with Scoop"* (ICDE
+//! 2017). It assembles every substrate built in this workspace into the
+//! system the paper describes:
+//!
+//! ```text
+//!  Spark-like session ──sql()──▶ Catalyst extraction ──▶ tasks
+//!        │                                            (worker pool)
+//!        ▼ per task                                        │
+//!  Stocator-like connector ── GET + X-Run-Storlet ────────▶│
+//!        │                                                 ▼
+//!  Swift-like cluster: proxies ─▶ object servers ─▶ storlet engine
+//!                                   └─ CSVStorlet filters the byte range
+//! ```
+//!
+//! Quick start:
+//!
+//! ```
+//! use scoop_core::{ScoopContext, ScoopConfig, ExecutionMode};
+//! use scoop_workload::{GeneratorConfig, MeterDataset};
+//!
+//! let ctx = ScoopContext::new(ScoopConfig::default()).unwrap();
+//! // Generate & upload a small meter dataset.
+//! let mut gen = MeterDataset::new(&GeneratorConfig {
+//!     meters: 20, ..Default::default()
+//! });
+//! ctx.upload_csv("meters", vec![("jan.csv".into(), gen.csv_object(500))], None)
+//!     .unwrap();
+//! // Run the same query with and without pushdown.
+//! let sql = "SELECT vid, sum(index) as total FROM meters \
+//!            WHERE city LIKE 'Rotterdam' GROUP BY vid ORDER BY vid";
+//! let vanilla = ctx.query("meters", sql, ExecutionMode::Vanilla).unwrap();
+//! let scoop = ctx.query("meters", sql, ExecutionMode::Pushdown).unwrap();
+//! assert_eq!(vanilla.result, scoop.result);
+//! assert!(scoop.metrics.bytes_transferred < vanilla.metrics.bytes_transferred);
+//! ```
+//!
+//! The [`experiments`] module regenerates every table and figure of the
+//! paper's evaluation (see DESIGN.md for the index, EXPERIMENTS.md for the
+//! paper-vs-measured record).
+
+pub mod context;
+pub mod experiments;
+
+pub use context::{EtlSpec, ScoopConfig, ScoopContext, UploadReport};
+pub use scoop_compute::{ExecutionMode, JobMetrics, QueryOutcome};

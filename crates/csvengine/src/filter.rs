@@ -1,0 +1,501 @@
+//! Pushdown filter evaluation over raw CSV records.
+//!
+//! This is the code the CSV storlet executes at storage nodes: it resolves the
+//! [`PushdownSpec`]'s column names against the object schema, then streams
+//! records through selection + projection, emitting filtered CSV.
+//!
+//! ## NULL semantics
+//!
+//! An empty CSV field is NULL. Comparisons and string matches against NULL are
+//! false (`IS NULL` / `IS NOT NULL` excepted), and comparisons between a
+//! numeric literal and a non-numeric field are false — exactly matching the
+//! typed evaluation in `scoop-sql`, which is what makes pushdown transparent.
+
+use crate::pushdown::{like_match, Predicate, PushdownSpec};
+use crate::record::{parse_fields, write_field, RecordSplitter};
+use crate::value::Value;
+use scoop_common::{Result, ScoopError};
+use std::borrow::Cow;
+use std::cmp::Ordering;
+
+/// A predicate with column names resolved to field indices.
+#[derive(Debug, Clone)]
+enum CompiledPred {
+    Eq(usize, Value),
+    Ne(usize, Value),
+    Lt(usize, Value),
+    Le(usize, Value),
+    Gt(usize, Value),
+    Ge(usize, Value),
+    Like(usize, String),
+    StartsWith(usize, String),
+    EndsWith(usize, String),
+    Contains(usize, String),
+    In(usize, Vec<Value>),
+    IsNull(usize),
+    IsNotNull(usize),
+    And(Box<CompiledPred>, Box<CompiledPred>),
+    Or(Box<CompiledPred>, Box<CompiledPred>),
+    Not(Box<CompiledPred>),
+}
+
+/// Resolve a column name against a header (case-insensitive).
+fn resolve(header: &[String], name: &str) -> Result<usize> {
+    header
+        .iter()
+        .position(|h| h.eq_ignore_ascii_case(name))
+        .ok_or_else(|| ScoopError::InvalidRequest(format!("unknown pushdown column '{name}'")))
+}
+
+fn compile_pred(p: &Predicate, header: &[String]) -> Result<CompiledPred> {
+    Ok(match p {
+        Predicate::Eq(c, v) => CompiledPred::Eq(resolve(header, c)?, v.clone()),
+        Predicate::Ne(c, v) => CompiledPred::Ne(resolve(header, c)?, v.clone()),
+        Predicate::Lt(c, v) => CompiledPred::Lt(resolve(header, c)?, v.clone()),
+        Predicate::Le(c, v) => CompiledPred::Le(resolve(header, c)?, v.clone()),
+        Predicate::Gt(c, v) => CompiledPred::Gt(resolve(header, c)?, v.clone()),
+        Predicate::Ge(c, v) => CompiledPred::Ge(resolve(header, c)?, v.clone()),
+        Predicate::Like(c, s) => CompiledPred::Like(resolve(header, c)?, s.clone()),
+        Predicate::StartsWith(c, s) => CompiledPred::StartsWith(resolve(header, c)?, s.clone()),
+        Predicate::EndsWith(c, s) => CompiledPred::EndsWith(resolve(header, c)?, s.clone()),
+        Predicate::Contains(c, s) => CompiledPred::Contains(resolve(header, c)?, s.clone()),
+        Predicate::In(c, vs) => CompiledPred::In(resolve(header, c)?, vs.clone()),
+        Predicate::IsNull(c) => CompiledPred::IsNull(resolve(header, c)?),
+        Predicate::IsNotNull(c) => CompiledPred::IsNotNull(resolve(header, c)?),
+        Predicate::And(a, b) => CompiledPred::And(
+            Box::new(compile_pred(a, header)?),
+            Box::new(compile_pred(b, header)?),
+        ),
+        Predicate::Or(a, b) => CompiledPred::Or(
+            Box::new(compile_pred(a, header)?),
+            Box::new(compile_pred(b, header)?),
+        ),
+        Predicate::Not(a) => CompiledPred::Not(Box::new(compile_pred(a, header)?)),
+    })
+}
+
+/// Compare a raw field with a literal under the NULL/coercion rules above.
+fn cmp_field(field: &str, lit: &Value) -> Option<Ordering> {
+    if field.is_empty() {
+        return None;
+    }
+    match lit {
+        Value::Null => None,
+        Value::Int(_) | Value::Float(_) => {
+            let f = field.parse::<f64>().ok()?;
+            f.partial_cmp(&lit.as_f64().expect("numeric literal"))
+        }
+        Value::Str(s) => Some(field.cmp(s.as_str())),
+    }
+}
+
+/// Field equality under the same rules.
+fn eq_field(field: &str, lit: &Value) -> bool {
+    cmp_field(field, lit) == Some(Ordering::Equal)
+}
+
+impl CompiledPred {
+    fn eval(&self, fields: &[Cow<'_, str>]) -> bool {
+        let get = |i: usize| fields.get(i).map(|c| c.as_ref()).unwrap_or("");
+        match self {
+            CompiledPred::Eq(i, v) => eq_field(get(*i), v),
+            CompiledPred::Ne(i, v) => {
+                // SQL: NULL <> x is unknown → false.
+                matches!(cmp_field(get(*i), v), Some(o) if o != Ordering::Equal)
+            }
+            CompiledPred::Lt(i, v) => cmp_field(get(*i), v) == Some(Ordering::Less),
+            CompiledPred::Le(i, v) => {
+                matches!(cmp_field(get(*i), v), Some(Ordering::Less | Ordering::Equal))
+            }
+            CompiledPred::Gt(i, v) => cmp_field(get(*i), v) == Some(Ordering::Greater),
+            CompiledPred::Ge(i, v) => {
+                matches!(cmp_field(get(*i), v), Some(Ordering::Greater | Ordering::Equal))
+            }
+            CompiledPred::Like(i, p) => {
+                let f = get(*i);
+                !f.is_empty() && like_match(p, f)
+            }
+            CompiledPred::StartsWith(i, p) => {
+                let f = get(*i);
+                !f.is_empty() && f.starts_with(p.as_str())
+            }
+            CompiledPred::EndsWith(i, p) => {
+                let f = get(*i);
+                !f.is_empty() && f.ends_with(p.as_str())
+            }
+            CompiledPred::Contains(i, p) => {
+                let f = get(*i);
+                !f.is_empty() && f.contains(p.as_str())
+            }
+            CompiledPred::In(i, vs) => vs.iter().any(|v| eq_field(get(*i), v)),
+            CompiledPred::IsNull(i) => get(*i).is_empty(),
+            CompiledPred::IsNotNull(i) => !get(*i).is_empty(),
+            CompiledPred::And(a, b) => a.eval(fields) && b.eval(fields),
+            CompiledPred::Or(a, b) => a.eval(fields) || b.eval(fields),
+            CompiledPred::Not(a) => !a.eval(fields),
+        }
+    }
+}
+
+/// A [`PushdownSpec`] resolved against a concrete file schema, ready for
+/// record-rate evaluation.
+#[derive(Debug, Clone)]
+pub struct CompiledSpec {
+    /// Projected field indices in output order; `None` = all fields.
+    projection: Option<Vec<usize>>,
+    pred: Option<CompiledPred>,
+    /// Whether the object's first record is a header row.
+    pub has_header: bool,
+}
+
+impl CompiledSpec {
+    /// Resolve `spec` against the object's column list (in file order).
+    pub fn compile(spec: &PushdownSpec, header: &[String]) -> Result<CompiledSpec> {
+        let projection = match &spec.columns {
+            None => None,
+            Some(cols) => Some(
+                cols.iter()
+                    .map(|c| resolve(header, c))
+                    .collect::<Result<Vec<usize>>>()?,
+            ),
+        };
+        let pred = spec
+            .predicate
+            .as_ref()
+            .map(|p| compile_pred(p, header))
+            .transpose()?;
+        Ok(CompiledSpec { projection, pred, has_header: spec.has_header })
+    }
+
+    /// Evaluate the selection on parsed fields.
+    pub fn matches(&self, fields: &[Cow<'_, str>]) -> bool {
+        self.pred.as_ref().is_none_or(|p| p.eval(fields))
+    }
+
+    /// Parse a raw record; when it passes selection, append the projected
+    /// record to `out` and return true.
+    pub fn filter_record(&self, record: &[u8], out: &mut Vec<u8>) -> bool {
+        let fields = parse_fields(record);
+        if !self.matches(&fields) {
+            return false;
+        }
+        match &self.projection {
+            None => {
+                out.extend_from_slice(record);
+                out.push(b'\n');
+            }
+            Some(idx) => {
+                // A single projected NULL field must not serialize to a
+                // blank line (readers skip those): quote it, matching
+                // `record::write_record`.
+                if idx.len() == 1
+                    && fields
+                        .get(idx[0])
+                        .map(|c| c.as_ref().is_empty())
+                        .unwrap_or(true)
+                {
+                    out.extend_from_slice(b"\"\"\n");
+                    return true;
+                }
+                for (k, &i) in idx.iter().enumerate() {
+                    if k > 0 {
+                        out.push(b',');
+                    }
+                    write_field(out, fields.get(i).map(|c| c.as_ref()).unwrap_or(""));
+                }
+                out.push(b'\n');
+            }
+        }
+        true
+    }
+}
+
+/// Cumulative statistics from a [`StreamFilter`] run; the storlet engine
+/// reports these for resource accounting and selectivity measurement.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Raw bytes consumed (including records that were discarded).
+    pub bytes_in: u64,
+    /// Filtered bytes produced.
+    pub bytes_out: u64,
+    /// Records examined (excluding a consumed header row).
+    pub records_in: u64,
+    /// Records that passed selection.
+    pub records_out: u64,
+}
+
+impl FilterStats {
+    /// Fraction of input bytes discarded — the paper's "query data selectivity".
+    pub fn data_selectivity(&self) -> f64 {
+        if self.bytes_in == 0 {
+            0.0
+        } else {
+            1.0 - self.bytes_out as f64 / self.bytes_in as f64
+        }
+    }
+}
+
+/// Stateful, chunk-at-a-time filter over a CSV byte stream.
+///
+/// Drives [`RecordSplitter`] + [`CompiledSpec`]; this is the storlet's
+/// `invoke()` body. When `consume_header` is true the first record of the
+/// stream is treated as the header row and dropped (the compute side already
+/// knows the schema; pushdown responses carry pure data records).
+pub struct StreamFilter {
+    compiled: CompiledSpec,
+    splitter: RecordSplitter,
+    header_pending: bool,
+    stats: FilterStats,
+}
+
+impl StreamFilter {
+    /// Create a filter. `range_starts_at_zero` tells the filter whether the
+    /// header row (if the object has one) is present at the stream start.
+    pub fn new(compiled: CompiledSpec, range_starts_at_zero: bool) -> Self {
+        let header_pending = compiled.has_header && range_starts_at_zero;
+        StreamFilter {
+            compiled,
+            splitter: RecordSplitter::new(),
+            header_pending,
+            stats: FilterStats::default(),
+        }
+    }
+
+    /// Feed a chunk; filtered output is appended to `out`.
+    pub fn push(&mut self, chunk: &[u8], out: &mut Vec<u8>) {
+        self.stats.bytes_in += chunk.len() as u64;
+        let compiled = &self.compiled;
+        let stats = &mut self.stats;
+        let header_pending = &mut self.header_pending;
+        let before = out.len();
+        self.splitter.push(chunk, |record| {
+            if *header_pending {
+                *header_pending = false;
+                return;
+            }
+            stats.records_in += 1;
+            if compiled.filter_record(record, out) {
+                stats.records_out += 1;
+            }
+        });
+        self.stats.bytes_out += (out.len() - before) as u64;
+    }
+
+    /// Flush the trailing record and return cumulative statistics.
+    pub fn finish(self, out: &mut Vec<u8>) -> FilterStats {
+        let StreamFilter { compiled, splitter, mut header_pending, mut stats } = self;
+        let before = out.len();
+        splitter.finish(|record| {
+            if header_pending {
+                header_pending = false;
+                return;
+            }
+            stats.records_in += 1;
+            if compiled.filter_record(record, out) {
+                stats.records_out += 1;
+            }
+        });
+        stats.bytes_out += (out.len() - before) as u64;
+        stats
+    }
+}
+
+/// Convenience: filter an entire in-memory buffer.
+///
+/// ```
+/// use scoop_csv::{filter::filter_buffer, Predicate, PushdownSpec, Value};
+/// let spec = PushdownSpec {
+///     columns: Some(vec!["vid".into()]),
+///     predicate: Some(Predicate::Eq("city".into(), Value::Str("Paris".into()))),
+///     has_header: true,
+/// };
+/// let header = vec!["vid".to_string(), "city".to_string()];
+/// let data = b"vid,city\nm1,Paris\nm2,Nice\n";
+/// let (out, stats) = filter_buffer(&spec, &header, data, true).unwrap();
+/// assert_eq!(out, b"m1\n");
+/// assert_eq!(stats.records_out, 1);
+/// ```
+pub fn filter_buffer(
+    spec: &PushdownSpec,
+    header: &[String],
+    data: &[u8],
+    range_starts_at_zero: bool,
+) -> Result<(Vec<u8>, FilterStats)> {
+    let compiled = CompiledSpec::compile(spec, header)?;
+    let mut f = StreamFilter::new(compiled, range_starts_at_zero);
+    let mut out = Vec::new();
+    f.push(data, &mut out);
+    let stats = f.finish(&mut out);
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> Vec<String> {
+        ["vid", "date", "index", "city", "state"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    const DATA: &[u8] = b"vid,date,index,city,state\n\
+        m1,2015-01-03 10:00:00,100.5,Rotterdam,NLD\n\
+        m2,2015-01-04 11:00:00,200.0,Paris,FRA\n\
+        m3,2015-02-01 09:00:00,50.0,Utrecht,NLD\n\
+        m4,2015-01-09 09:30:00,,Rotterdam,NLD\n";
+
+    fn run(spec: PushdownSpec) -> (String, FilterStats) {
+        let (out, stats) = filter_buffer(&spec, &header(), DATA, true).unwrap();
+        (String::from_utf8(out).unwrap(), stats)
+    }
+
+    #[test]
+    fn passthrough_drops_only_header() {
+        let (out, stats) = run(PushdownSpec {
+            has_header: true,
+            ..PushdownSpec::passthrough()
+        });
+        assert_eq!(out.lines().count(), 4);
+        assert_eq!(stats.records_in, 4);
+        assert_eq!(stats.records_out, 4);
+        assert!(!out.contains("vid,date"));
+    }
+
+    #[test]
+    fn like_selection_on_date() {
+        let spec = PushdownSpec {
+            columns: None,
+            predicate: Some(Predicate::Like("date".into(), "2015-01%".into())),
+            has_header: true,
+        };
+        let (out, stats) = run(spec);
+        assert_eq!(stats.records_out, 3);
+        assert!(!out.contains("2015-02"));
+    }
+
+    #[test]
+    fn projection_reorders_columns() {
+        let spec = PushdownSpec {
+            columns: Some(vec!["index".into(), "vid".into()]),
+            predicate: Some(Predicate::Eq("city".into(), Value::Str("Paris".into()))),
+            has_header: true,
+        };
+        let (out, _) = run(spec);
+        assert_eq!(out, "200.0,m2\n");
+    }
+
+    #[test]
+    fn numeric_comparison_and_null_semantics() {
+        let gt = PushdownSpec {
+            columns: Some(vec!["vid".into()]),
+            predicate: Some(Predicate::Gt("index".into(), Value::Float(99.0))),
+            has_header: true,
+        };
+        let (out, _) = run(gt);
+        // m4's empty index is NULL → excluded even though Rotterdam.
+        assert_eq!(out, "m1\nm2\n");
+
+        let isnull = PushdownSpec {
+            columns: Some(vec!["vid".into()]),
+            predicate: Some(Predicate::IsNull("index".into())),
+            has_header: true,
+        };
+        assert_eq!(run(isnull).0, "m4\n");
+
+        // NOT (index > 99) still excludes NULL under... note: our NOT is
+        // boolean (two-valued), so NULL rows *pass* NOT. Catalyst never pushes
+        // NOT over nullable comparisons for this reason; the planner in
+        // scoop-sql mirrors that restriction.
+        let ne = PushdownSpec {
+            columns: Some(vec!["vid".into()]),
+            predicate: Some(Predicate::Ne("index".into(), Value::Float(100.5))),
+            has_header: true,
+        };
+        assert_eq!(run(ne).0, "m2\nm3\n");
+    }
+
+    #[test]
+    fn in_and_string_ops() {
+        let spec = PushdownSpec {
+            columns: Some(vec!["vid".into()]),
+            predicate: Some(Predicate::In(
+                "state".into(),
+                vec![Value::Str("FRA".into()), Value::Str("DEU".into())],
+            )),
+            has_header: true,
+        };
+        assert_eq!(run(spec).0, "m2\n");
+
+        let sw = PushdownSpec {
+            columns: Some(vec!["vid".into()]),
+            predicate: Some(Predicate::StartsWith("city".into(), "Rot".into())),
+            has_header: true,
+        };
+        assert_eq!(run(sw).0, "m1\nm4\n");
+
+        let ct = PushdownSpec {
+            columns: Some(vec!["vid".into()]),
+            predicate: Some(Predicate::Contains("city".into(), "tre".into())),
+            has_header: true,
+        };
+        assert_eq!(run(ct).0, "m3\n");
+    }
+
+    #[test]
+    fn selectivity_reported() {
+        let spec = PushdownSpec {
+            columns: Some(vec!["vid".into()]),
+            predicate: Some(Predicate::Eq("vid".into(), Value::Str("m1".into()))),
+            has_header: true,
+        };
+        let (_, stats) = run(spec);
+        assert!(stats.data_selectivity() > 0.9, "{stats:?}");
+        assert_eq!(stats.records_in, 4);
+        assert_eq!(stats.records_out, 1);
+    }
+
+    #[test]
+    fn range_not_at_zero_keeps_all_records() {
+        // When the byte range starts mid-object there is no header to drop.
+        let body = b"m9,2015-01-01 00:00:00,1.0,Nice,FRA\n";
+        let spec = PushdownSpec { has_header: true, ..Default::default() };
+        let (out, stats) = filter_buffer(&spec, &header(), body, false).unwrap();
+        assert_eq!(out, body);
+        assert_eq!(stats.records_in, 1);
+    }
+
+    #[test]
+    fn unknown_column_fails_compile() {
+        let spec = PushdownSpec {
+            columns: Some(vec!["ghost".into()]),
+            predicate: None,
+            has_header: true,
+        };
+        assert!(CompiledSpec::compile(&spec, &header()).is_err());
+    }
+
+    #[test]
+    fn chunked_push_equals_whole_buffer() {
+        let spec = PushdownSpec {
+            columns: Some(vec!["vid".into(), "city".into()]),
+            predicate: Some(Predicate::Like("date".into(), "2015-01%".into())),
+            has_header: true,
+        };
+        let (whole, ws) = filter_buffer(&spec, &header(), DATA, true).unwrap();
+        for chunk in [1usize, 3, 8, 17] {
+            let compiled = CompiledSpec::compile(&spec, &header()).unwrap();
+            let mut f = StreamFilter::new(compiled, true);
+            let mut out = Vec::new();
+            for c in DATA.chunks(chunk) {
+                f.push(c, &mut out);
+            }
+            let stats = f.finish(&mut out);
+            assert_eq!(out, whole, "chunk={chunk}");
+            assert_eq!(stats.records_out, ws.records_out);
+            assert_eq!(stats.bytes_in, ws.bytes_in);
+            assert_eq!(stats.bytes_out, ws.bytes_out);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Streaming CSV engine for Scoop.
+//!
+//! The paper's proof-of-concept pushes SQL projections and selections down to
+//! raw CSV objects in the store. This crate implements everything both sides
+//! of that pushdown need:
+//!
+//! * [`value`] / [`schema`] — the typed data model (rows of [`value::Value`]
+//!   described by a [`schema::Schema`]).
+//! * [`record`] — byte-level record splitting and field parsing (RFC-4180
+//!   quoting, embedded delimiters/newlines).
+//! * [`reader`] / [`writer`] — streaming readers and writers over
+//!   [`scoop_common::ByteStream`] chunked bodies.
+//! * [`split`] — record-aligned byte-range splits, matching Hadoop's
+//!   `LineRecordReader` contract that the Storlet byte-range extension in the
+//!   paper had to honour ("running Storlets at storage nodes for byte ranges").
+//! * [`pushdown`] — the [`pushdown::PushdownSpec`] (projection + selection)
+//!   exchanged between the analytics delegator and the CSV storlet, including
+//!   its compact header serialization.
+//! * [`filter`] — evaluation of a compiled pushdown spec against raw records;
+//!   the exact code the CSV storlet runs at storage nodes.
+
+pub mod filter;
+pub mod pushdown;
+pub mod reader;
+pub mod record;
+pub mod schema;
+pub mod split;
+pub mod value;
+pub mod writer;
+
+pub use filter::CompiledSpec;
+pub use pushdown::{Predicate, PushdownSpec};
+pub use reader::CsvReader;
+pub use schema::{DataType, Field, Schema};
+pub use value::Value;
+pub use writer::CsvWriter;

@@ -1,0 +1,654 @@
+//! The pushdown task payload: projection + selection filters.
+//!
+//! In the paper, a *pushdown task* "is represented as a piece of metadata
+//! attached to an object request": the Catalyst-extracted projections and
+//! selections are serialized into HTTP headers by the Stocator connector and
+//! deserialized by the CSV storlet at the object store. This module defines
+//! that payload ([`PushdownSpec`]), its predicate language (the same shapes as
+//! Spark's Data Sources `Filter` API), and a compact, reversible header
+//! encoding.
+
+use crate::value::Value;
+use scoop_common::{Result, ScoopError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A selection predicate over named columns.
+///
+/// Mirrors the filter shapes Spark SQL hands to a `PrunedFilteredScan`
+/// implementation: comparisons, string matches, set membership, null tests
+/// and boolean combinators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `col = value`
+    Eq(String, Value),
+    /// `col <> value`
+    Ne(String, Value),
+    /// `col < value`
+    Lt(String, Value),
+    /// `col <= value`
+    Le(String, Value),
+    /// `col > value`
+    Gt(String, Value),
+    /// `col >= value`
+    Ge(String, Value),
+    /// `col LIKE pattern` (`%` any run, `_` any single char)
+    Like(String, String),
+    /// `col` starts with the literal prefix
+    StartsWith(String, String),
+    /// `col` ends with the literal suffix
+    EndsWith(String, String),
+    /// `col` contains the literal substring
+    Contains(String, String),
+    /// `col IN (v1, v2, ...)`
+    In(String, Vec<Value>),
+    /// `col IS NULL`
+    IsNull(String),
+    /// `col IS NOT NULL`
+    IsNotNull(String),
+    /// Conjunction
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Conjunction helper that flattens `None` sides.
+    pub fn and_all(preds: Vec<Predicate>) -> Option<Predicate> {
+        preds
+            .into_iter()
+            .reduce(|a, b| Predicate::And(Box::new(a), Box::new(b)))
+    }
+
+    /// All column names referenced by this predicate.
+    pub fn columns(&self) -> BTreeSet<String> {
+        let mut set = BTreeSet::new();
+        self.collect_columns(&mut set);
+        set
+    }
+
+    fn collect_columns(&self, set: &mut BTreeSet<String>) {
+        match self {
+            Predicate::Eq(c, _)
+            | Predicate::Ne(c, _)
+            | Predicate::Lt(c, _)
+            | Predicate::Le(c, _)
+            | Predicate::Gt(c, _)
+            | Predicate::Ge(c, _)
+            | Predicate::Like(c, _)
+            | Predicate::StartsWith(c, _)
+            | Predicate::EndsWith(c, _)
+            | Predicate::Contains(c, _)
+            | Predicate::In(c, _)
+            | Predicate::IsNull(c)
+            | Predicate::IsNotNull(c) => {
+                set.insert(c.clone());
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_columns(set);
+                b.collect_columns(set);
+            }
+            Predicate::Not(p) => p.collect_columns(set),
+        }
+    }
+}
+
+/// SQL `LIKE` matching with `%` (any run) and `_` (any single char),
+/// operating on Unicode scalar values.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    let pat: Vec<char> = pattern.chars().collect();
+    let txt: Vec<char> = text.chars().collect();
+    // Classic iterative wildcard matching with backtracking to the last '%'.
+    let (mut p, mut t) = (0usize, 0usize);
+    let (mut star_p, mut star_t) = (usize::MAX, 0usize);
+    while t < txt.len() {
+        if p < pat.len() && (pat[p] == '_' || pat[p] == txt[t]) {
+            p += 1;
+            t += 1;
+        } else if p < pat.len() && pat[p] == '%' {
+            star_p = p;
+            star_t = t;
+            p += 1;
+        } else if star_p != usize::MAX {
+            p = star_p + 1;
+            star_t += 1;
+            t = star_t;
+        } else {
+            return false;
+        }
+    }
+    while p < pat.len() && pat[p] == '%' {
+        p += 1;
+    }
+    p == pat.len()
+}
+
+/// The full pushdown payload for one object request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PushdownSpec {
+    /// Columns to project, in output order. `None` means all columns.
+    pub columns: Option<Vec<String>>,
+    /// Selection predicate. `None` means keep every row.
+    pub predicate: Option<Predicate>,
+    /// Whether the first record of the object is a header row the filter must
+    /// consume (and echo, projected, when the range starts at offset 0).
+    pub has_header: bool,
+}
+
+impl PushdownSpec {
+    /// A no-op spec (all columns, all rows).
+    pub fn passthrough() -> Self {
+        PushdownSpec::default()
+    }
+
+    /// True when the spec neither projects nor filters.
+    pub fn is_passthrough(&self) -> bool {
+        self.columns.is_none() && self.predicate.is_none()
+    }
+
+    /// Columns the filter must *read* (projected + referenced by predicate).
+    pub fn required_columns(&self) -> Option<BTreeSet<String>> {
+        let cols = self.columns.as_ref()?;
+        let mut set: BTreeSet<String> = cols.iter().cloned().collect();
+        if let Some(p) = &self.predicate {
+            set.extend(p.columns());
+        }
+        Some(set)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compact header encoding
+// ---------------------------------------------------------------------------
+//
+// Grammar (tokens separated by single spaces, strings percent-encoded):
+//   spec  := "hdr=" ("1"|"0") ";cols=" ("*" | name,name,...) ";pred=" pexpr?
+//   pexpr := "(" op args ")"
+//   value := "n" | "i:<i64>" | "f:<f64>" | "s:<enc>"
+
+/// Percent-encode characters that collide with the grammar. The empty string
+/// is encoded as `~` (and a literal `~` is escaped) so that every encoded
+/// string is a non-empty token.
+fn enc(s: &str) -> String {
+    if s.is_empty() {
+        return "~".to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'%' | b'(' | b')' | b' ' | b',' | b';' | b'=' | b'~' | 0..=31 | 127 => {
+                out.push_str(&format!("%{b:02X}"));
+            }
+            _ => out.push(b as char),
+        }
+    }
+    out
+}
+
+fn dec(s: &str) -> Result<String> {
+    if s == "~" {
+        return Ok(String::new());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .ok_or_else(|| ScoopError::InvalidRequest("truncated %-escape".into()))?;
+            let v = u8::from_str_radix(
+                std::str::from_utf8(hex)
+                    .map_err(|_| ScoopError::InvalidRequest("bad %-escape".into()))?,
+                16,
+            )
+            .map_err(|_| ScoopError::InvalidRequest("bad %-escape".into()))?;
+            out.push(v);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| ScoopError::InvalidRequest("non-utf8 header".into()))
+}
+
+fn enc_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push('n'),
+        Value::Int(i) => out.push_str(&format!("i:{i}")),
+        Value::Float(f) => out.push_str(&format!("f:{f}")),
+        Value::Str(s) => {
+            out.push_str("s:");
+            out.push_str(&enc(s));
+        }
+    }
+}
+
+fn enc_pred(p: &Predicate, out: &mut String) {
+    let bin = |op: &str, c: &str, v: &Value, out: &mut String| {
+        out.push('(');
+        out.push_str(op);
+        out.push(' ');
+        out.push_str(&enc(c));
+        out.push(' ');
+        enc_value(v, out);
+        out.push(')');
+    };
+    let strop = |op: &str, c: &str, s: &str, out: &mut String| {
+        out.push('(');
+        out.push_str(op);
+        out.push(' ');
+        out.push_str(&enc(c));
+        out.push(' ');
+        out.push_str(&enc(s));
+        out.push(')');
+    };
+    match p {
+        Predicate::Eq(c, v) => bin("eq", c, v, out),
+        Predicate::Ne(c, v) => bin("ne", c, v, out),
+        Predicate::Lt(c, v) => bin("lt", c, v, out),
+        Predicate::Le(c, v) => bin("le", c, v, out),
+        Predicate::Gt(c, v) => bin("gt", c, v, out),
+        Predicate::Ge(c, v) => bin("ge", c, v, out),
+        Predicate::Like(c, s) => strop("like", c, s, out),
+        Predicate::StartsWith(c, s) => strop("sw", c, s, out),
+        Predicate::EndsWith(c, s) => strop("ew", c, s, out),
+        Predicate::Contains(c, s) => strop("ct", c, s, out),
+        Predicate::In(c, vs) => {
+            out.push_str("(in ");
+            out.push_str(&enc(c));
+            for v in vs {
+                out.push(' ');
+                enc_value(v, out);
+            }
+            out.push(')');
+        }
+        Predicate::IsNull(c) => {
+            out.push_str("(null ");
+            out.push_str(&enc(c));
+            out.push(')');
+        }
+        Predicate::IsNotNull(c) => {
+            out.push_str("(notnull ");
+            out.push_str(&enc(c));
+            out.push(')');
+        }
+        Predicate::And(a, b) => {
+            out.push_str("(and ");
+            enc_pred(a, out);
+            out.push(' ');
+            enc_pred(b, out);
+            out.push(')');
+        }
+        Predicate::Or(a, b) => {
+            out.push_str("(or ");
+            enc_pred(a, out);
+            out.push(' ');
+            enc_pred(b, out);
+            out.push(')');
+        }
+        Predicate::Not(a) => {
+            out.push_str("(not ");
+            enc_pred(a, out);
+            out.push(')');
+        }
+    }
+}
+
+/// Tokenizer for the s-expression predicate grammar.
+struct Tokens<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(src: &'a str) -> Self {
+        Tokens { src, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek() == Some(' ') {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(ScoopError::InvalidRequest(format!(
+                "expected '{c}' at {} in pushdown header",
+                self.pos
+            )))
+        }
+    }
+
+    /// Read a bare token (up to whitespace or paren).
+    fn word(&mut self) -> Result<&'a str> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == ' ' || c == '(' || c == ')' {
+                break;
+            }
+            self.pos += c.len_utf8();
+        }
+        if self.pos == start {
+            Err(ScoopError::InvalidRequest("empty token in header".into()))
+        } else {
+            Ok(&self.src[start..self.pos])
+        }
+    }
+}
+
+fn dec_value(tok: &str) -> Result<Value> {
+    if tok == "n" {
+        return Ok(Value::Null);
+    }
+    if let Some(rest) = tok.strip_prefix("i:") {
+        return rest
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| ScoopError::InvalidRequest(format!("bad int literal '{rest}'")));
+    }
+    if let Some(rest) = tok.strip_prefix("f:") {
+        return rest
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| ScoopError::InvalidRequest(format!("bad float literal '{rest}'")));
+    }
+    if let Some(rest) = tok.strip_prefix("s:") {
+        return Ok(Value::Str(dec(rest)?));
+    }
+    Err(ScoopError::InvalidRequest(format!("bad value token '{tok}'")))
+}
+
+fn dec_pred(t: &mut Tokens<'_>) -> Result<Predicate> {
+    t.expect('(')?;
+    let op = t.word()?.to_string();
+    let pred = match op.as_str() {
+        "eq" | "ne" | "lt" | "le" | "gt" | "ge" => {
+            let col = dec(t.word()?)?;
+            let val = dec_value(t.word()?)?;
+            match op.as_str() {
+                "eq" => Predicate::Eq(col, val),
+                "ne" => Predicate::Ne(col, val),
+                "lt" => Predicate::Lt(col, val),
+                "le" => Predicate::Le(col, val),
+                "gt" => Predicate::Gt(col, val),
+                _ => Predicate::Ge(col, val),
+            }
+        }
+        "like" | "sw" | "ew" | "ct" => {
+            let col = dec(t.word()?)?;
+            let s = dec(t.word()?)?;
+            match op.as_str() {
+                "like" => Predicate::Like(col, s),
+                "sw" => Predicate::StartsWith(col, s),
+                "ew" => Predicate::EndsWith(col, s),
+                _ => Predicate::Contains(col, s),
+            }
+        }
+        "in" => {
+            let col = dec(t.word()?)?;
+            let mut vals = Vec::new();
+            loop {
+                t.skip_ws();
+                if t.peek() == Some(')') {
+                    break;
+                }
+                vals.push(dec_value(t.word()?)?);
+            }
+            Predicate::In(col, vals)
+        }
+        "null" => Predicate::IsNull(dec(t.word()?)?),
+        "notnull" => Predicate::IsNotNull(dec(t.word()?)?),
+        "and" | "or" => {
+            let a = dec_pred(t)?;
+            let b = dec_pred(t)?;
+            if op == "and" {
+                Predicate::And(Box::new(a), Box::new(b))
+            } else {
+                Predicate::Or(Box::new(a), Box::new(b))
+            }
+        }
+        "not" => Predicate::Not(Box::new(dec_pred(t)?)),
+        other => {
+            return Err(ScoopError::InvalidRequest(format!(
+                "unknown predicate op '{other}'"
+            )))
+        }
+    };
+    t.expect(')')?;
+    Ok(pred)
+}
+
+impl PushdownSpec {
+    /// Serialize into the compact single-line header value.
+    pub fn to_header(&self) -> String {
+        let mut out = String::new();
+        out.push_str("hdr=");
+        out.push(if self.has_header { '1' } else { '0' });
+        out.push_str(";cols=");
+        match &self.columns {
+            None => out.push('*'),
+            Some(cols) => {
+                for (i, c) in cols.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&enc(c));
+                }
+            }
+        }
+        out.push_str(";pred=");
+        if let Some(p) = &self.predicate {
+            enc_pred(p, &mut out);
+        }
+        out
+    }
+
+    /// Parse a header value produced by [`PushdownSpec::to_header`].
+    pub fn from_header(header: &str) -> Result<PushdownSpec> {
+        let mut parts = header.splitn(3, ';');
+        let hdr = parts
+            .next()
+            .and_then(|s| s.strip_prefix("hdr="))
+            .ok_or_else(|| ScoopError::InvalidRequest("missing hdr= section".into()))?;
+        let cols = parts
+            .next()
+            .and_then(|s| s.strip_prefix("cols="))
+            .ok_or_else(|| ScoopError::InvalidRequest("missing cols= section".into()))?;
+        let pred = parts
+            .next()
+            .and_then(|s| s.strip_prefix("pred="))
+            .ok_or_else(|| ScoopError::InvalidRequest("missing pred= section".into()))?;
+        let has_header = match hdr {
+            "1" => true,
+            "0" => false,
+            other => {
+                return Err(ScoopError::InvalidRequest(format!(
+                    "bad hdr flag '{other}'"
+                )))
+            }
+        };
+        let columns = if cols == "*" {
+            None
+        } else if cols.is_empty() {
+            Some(Vec::new())
+        } else {
+            Some(
+                cols.split(',')
+                    .map(dec)
+                    .collect::<Result<Vec<String>>>()?,
+            )
+        };
+        let predicate = if pred.is_empty() {
+            None
+        } else {
+            let mut toks = Tokens::new(pred);
+            let p = dec_pred(&mut toks)?;
+            toks.skip_ws();
+            if toks.pos != pred.len() {
+                return Err(ScoopError::InvalidRequest(
+                    "trailing garbage after predicate".into(),
+                ));
+            }
+            Some(p)
+        };
+        Ok(PushdownSpec { columns, predicate, has_header })
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        enc_pred(self, &mut out);
+        write!(f, "{out}")
+    }
+}
+
+impl fmt::Display for PushdownSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_header())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(spec: &PushdownSpec) {
+        let hdr = spec.to_header();
+        let back = PushdownSpec::from_header(&hdr).expect("parse back");
+        assert_eq!(&back, spec, "header was: {hdr}");
+    }
+
+    #[test]
+    fn like_basic() {
+        assert!(like_match("2015-01%", "2015-01-15 10:20:00"));
+        assert!(!like_match("2015-01%", "2015-02-01"));
+        assert!(like_match("Rotterdam", "Rotterdam"));
+        assert!(!like_match("Rotterdam", "rotterdam"));
+        assert!(like_match("U%", "USA"));
+        assert!(like_match("%dam", "Rotterdam"));
+        assert!(like_match("R%dam", "Rotterdam"));
+        assert!(like_match("_otterdam", "Rotterdam"));
+        assert!(like_match("%", ""));
+        assert!(like_match("%%", "anything"));
+        assert!(!like_match("_", ""));
+        assert!(like_match("a%b%c", "a-x-b-y-c"));
+        assert!(!like_match("a%b%c", "a-x-c-y-b"));
+    }
+
+    #[test]
+    fn like_unicode() {
+        assert!(like_match("caf_", "café"));
+        assert!(like_match("%é", "café"));
+    }
+
+    #[test]
+    fn header_roundtrip_simple() {
+        roundtrip(&PushdownSpec::passthrough());
+        roundtrip(&PushdownSpec {
+            columns: Some(vec!["vid".into(), "date".into(), "index".into()]),
+            predicate: Some(Predicate::Like("date".into(), "2015-01%".into())),
+            has_header: true,
+        });
+    }
+
+    #[test]
+    fn header_roundtrip_nested_and_weird_strings() {
+        let p = Predicate::And(
+            Box::new(Predicate::Or(
+                Box::new(Predicate::Eq("city".into(), Value::Str("Rot,ter;dam=()".into()))),
+                Box::new(Predicate::In(
+                    "state".into(),
+                    vec![Value::Str("FRA".into()), Value::Int(7), Value::Null],
+                )),
+            )),
+            Box::new(Predicate::Not(Box::new(Predicate::Ge(
+                "index".into(),
+                Value::Float(3.25),
+            )))),
+        );
+        roundtrip(&PushdownSpec {
+            columns: Some(vec!["a b".into(), "c%d".into()]),
+            predicate: Some(p),
+            has_header: false,
+        });
+    }
+
+    #[test]
+    fn header_roundtrip_all_ops() {
+        for p in [
+            Predicate::Eq("a".into(), Value::Int(1)),
+            Predicate::Ne("a".into(), Value::Float(1.5)),
+            Predicate::Lt("a".into(), Value::Str("x".into())),
+            Predicate::Le("a".into(), Value::Null),
+            Predicate::Gt("a".into(), Value::Int(-9)),
+            Predicate::Ge("a".into(), Value::Int(0)),
+            Predicate::Like("a".into(), "%x_".into()),
+            Predicate::StartsWith("a".into(), "pre".into()),
+            Predicate::EndsWith("a".into(), "suf".into()),
+            Predicate::Contains("a".into(), "mid".into()),
+            Predicate::In("a".into(), vec![]),
+            Predicate::IsNull("a".into()),
+            Predicate::IsNotNull("a".into()),
+        ] {
+            roundtrip(&PushdownSpec {
+                columns: None,
+                predicate: Some(p),
+                has_header: true,
+            });
+        }
+    }
+
+    #[test]
+    fn malformed_headers_error() {
+        assert!(PushdownSpec::from_header("").is_err());
+        assert!(PushdownSpec::from_header("hdr=2;cols=*;pred=").is_err());
+        assert!(PushdownSpec::from_header("hdr=1;cols=*;pred=(bogus a b)").is_err());
+        assert!(PushdownSpec::from_header("hdr=1;cols=*;pred=(eq a i:1) junk").is_err());
+        assert!(PushdownSpec::from_header("hdr=1;cols=*;pred=(eq a i:zz)").is_err());
+    }
+
+    #[test]
+    fn required_columns_unions_projection_and_predicate() {
+        let spec = PushdownSpec {
+            columns: Some(vec!["vid".into(), "index".into()]),
+            predicate: Some(Predicate::And(
+                Box::new(Predicate::Like("date".into(), "2015%".into())),
+                Box::new(Predicate::Eq("city".into(), Value::Str("Rotterdam".into()))),
+            )),
+            has_header: true,
+        };
+        let req = spec.required_columns().unwrap();
+        let want: BTreeSet<String> =
+            ["vid", "index", "date", "city"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(req, want);
+        assert!(PushdownSpec::passthrough().required_columns().is_none());
+    }
+
+    #[test]
+    fn and_all_builds_balanced_conjunction() {
+        assert_eq!(Predicate::and_all(vec![]), None);
+        let p = Predicate::and_all(vec![
+            Predicate::IsNull("a".into()),
+            Predicate::IsNull("b".into()),
+            Predicate::IsNull("c".into()),
+        ])
+        .unwrap();
+        assert_eq!(p.columns().len(), 3);
+    }
+}

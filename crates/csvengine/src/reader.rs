@@ -1,0 +1,192 @@
+//! Streaming CSV reader: chunked byte stream → typed rows.
+
+use crate::record::{parse_fields, RecordSplitter};
+use crate::schema::Schema;
+use crate::value::Value;
+use scoop_common::{ByteStream, Result};
+use std::collections::VecDeque;
+
+/// Iterator of typed rows over a chunked CSV byte stream.
+///
+/// This is the compute-side ingestion path: Spark workers pull the (possibly
+/// storlet-filtered) GET body through one of these to materialize rows for the
+/// SQL executor.
+pub struct CsvReader {
+    stream: ByteStream,
+    splitter: Option<RecordSplitter>,
+    queue: VecDeque<Vec<u8>>,
+    schema: Schema,
+    skip_header: bool,
+}
+
+impl CsvReader {
+    /// Create a reader. When `has_header` is true the first record of the
+    /// stream is dropped.
+    pub fn new(stream: ByteStream, schema: Schema, has_header: bool) -> Self {
+        CsvReader {
+            stream,
+            splitter: Some(RecordSplitter::new()),
+            queue: VecDeque::new(),
+            schema,
+            skip_header: has_header,
+        }
+    }
+
+    fn fill_queue(&mut self) -> Result<()> {
+        while self.queue.is_empty() && self.splitter.is_some() {
+            match self.stream.next() {
+                Some(chunk) => {
+                    let chunk = chunk?;
+                    let queue = &mut self.queue;
+                    self.splitter
+                        .as_mut()
+                        .expect("checked in loop condition")
+                        .push(&chunk, |r| queue.push_back(r.to_vec()));
+                }
+                None => {
+                    let splitter = self.splitter.take().expect("checked in loop condition");
+                    let queue = &mut self.queue;
+                    splitter.finish(|r| queue.push_back(r.to_vec()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Iterator for CsvReader {
+    type Item = Result<Vec<Value>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Err(e) = self.fill_queue() {
+                return Some(Err(e));
+            }
+            let record = self.queue.pop_front()?;
+            if self.skip_header {
+                self.skip_header = false;
+                continue;
+            }
+            let fields = parse_fields(&record);
+            let refs: Vec<&str> = fields.iter().map(|c| c.as_ref()).collect();
+            return Some(Ok(self.schema.parse_row(&refs)));
+        }
+    }
+}
+
+/// Read the header record of a CSV buffer (the column names in file order).
+pub fn read_header(data: &[u8]) -> Result<Vec<String>> {
+    let mut header = None;
+    let mut splitter = RecordSplitter::new();
+    // Feed incrementally-larger prefixes until the first record completes, so
+    // huge objects don't get scanned fully just to find the header.
+    for chunk in data.chunks(64 * 1024) {
+        splitter.push(chunk, |r| {
+            if header.is_none() {
+                header = Some(parse_fields(r).into_iter().map(|c| c.into_owned()).collect());
+            }
+        });
+        if header.is_some() {
+            break;
+        }
+    }
+    if header.is_none() {
+        splitter.finish(|r| {
+            header = Some(parse_fields(r).into_iter().map(|c| c.into_owned()).collect());
+        });
+    }
+    header.ok_or_else(|| scoop_common::ScoopError::Csv("empty CSV object".into()))
+}
+
+/// Infer a schema by sampling up to `sample_rows` data records.
+pub fn infer_schema(data: &[u8], sample_rows: usize) -> Result<Schema> {
+    let mut records: Vec<Vec<u8>> = Vec::new();
+    let mut splitter = RecordSplitter::new();
+    for chunk in data.chunks(64 * 1024) {
+        splitter.push(chunk, |r| {
+            if records.len() <= sample_rows {
+                records.push(r.to_vec());
+            }
+        });
+        if records.len() > sample_rows {
+            break;
+        }
+    }
+    if records.len() <= sample_rows {
+        splitter.finish(|r| records.push(r.to_vec()));
+    }
+    if records.is_empty() {
+        return Err(scoop_common::ScoopError::Csv("empty CSV object".into()));
+    }
+    let header_fields = parse_fields(&records[0]);
+    let header: Vec<&str> = header_fields.iter().map(|c| c.as_ref()).collect();
+    let sample_owned: Vec<Vec<String>> = records[1..]
+        .iter()
+        .map(|r| parse_fields(r).into_iter().map(|c| c.into_owned()).collect())
+        .collect();
+    let samples: Vec<Vec<&str>> = sample_owned
+        .iter()
+        .map(|row| row.iter().map(String::as_str).collect())
+        .collect();
+    Ok(Schema::infer(&header, &samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field};
+    use scoop_common::stream;
+    use bytes::Bytes;
+
+    const DATA: &[u8] = b"vid,index,city\nm1,100.5,Rotterdam\nm2,7,Paris\nm3,,Nice\n";
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("vid", DataType::Str),
+            Field::new("index", DataType::Float),
+            Field::new("city", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn reads_typed_rows_skipping_header() {
+        let s = stream::chunked(Bytes::copy_from_slice(DATA), 5);
+        let rows: Vec<Vec<Value>> = CsvReader::new(s, schema(), true)
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][0], Value::Str("m1".into()));
+        assert_eq!(rows[0][1], Value::Float(100.5));
+        assert_eq!(rows[1][1], Value::Float(7.0));
+        assert!(rows[2][1].is_null());
+    }
+
+    #[test]
+    fn reads_headerless() {
+        let s = stream::once(Bytes::from_static(b"m1,1.0,X\n"));
+        let rows: Vec<Vec<Value>> = CsvReader::new(s, schema(), false)
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn propagates_stream_errors() {
+        let s = stream::error(scoop_common::ScoopError::NotFound("x".into()));
+        let mut r = CsvReader::new(s, schema(), false);
+        assert!(r.next().unwrap().is_err());
+    }
+
+    #[test]
+    fn header_and_inference() {
+        assert_eq!(read_header(DATA).unwrap(), vec!["vid", "index", "city"]);
+        let s = infer_schema(DATA, 10).unwrap();
+        assert_eq!(s.fields[0].dtype, DataType::Str);
+        assert_eq!(s.fields[1].dtype, DataType::Float);
+        assert_eq!(s.fields[2].dtype, DataType::Str);
+        assert!(read_header(b"").is_err());
+        // Header-only object still infers (all Str).
+        let s = infer_schema(b"a,b\n", 5).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+}

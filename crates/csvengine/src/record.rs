@@ -1,0 +1,290 @@
+//! Byte-level CSV record machinery: incremental record splitting (quote-aware)
+//! and RFC-4180 field parsing.
+//!
+//! This is the hot path of the whole system: the CSV storlet runs these
+//! routines at storage nodes over every byte of every object, so field parsing
+//! borrows from the record wherever possible and the splitter never rescans
+//! bytes it has already classified.
+
+use std::borrow::Cow;
+
+/// Incremental, quote-aware record splitter.
+///
+/// Feed arbitrary chunks with [`RecordSplitter::push`]; complete records
+/// (without their line terminator) are handed to the callback. Newlines inside
+/// double-quoted fields do not split records. Call
+/// [`RecordSplitter::finish`] to flush a trailing record that lacks a final
+/// newline.
+#[derive(Debug, Default)]
+pub struct RecordSplitter {
+    buf: Vec<u8>,
+    /// Scan resume position within `buf` (bytes before it are already classified).
+    scan: usize,
+    in_quotes: bool,
+}
+
+impl RecordSplitter {
+    /// Create an empty splitter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed a chunk, invoking `emit` once per completed record.
+    pub fn push(&mut self, chunk: &[u8], mut emit: impl FnMut(&[u8])) {
+        self.buf.extend_from_slice(chunk);
+        let mut record_start = 0usize;
+        let mut i = self.scan;
+        while i < self.buf.len() {
+            let b = self.buf[i];
+            if b == b'"' {
+                // A doubled quote inside a quoted field toggles twice — the
+                // net quote state is still correct for line-splitting.
+                self.in_quotes = !self.in_quotes;
+            } else if b == b'\n' && !self.in_quotes {
+                let mut end = i;
+                if end > record_start && self.buf[end - 1] == b'\r' {
+                    end -= 1;
+                }
+                // Blank lines are not records (Spark-CSV semantics).
+                if end > record_start {
+                    emit(&self.buf[record_start..end]);
+                }
+                record_start = i + 1;
+            }
+            i += 1;
+        }
+        if record_start > 0 {
+            self.buf.drain(..record_start);
+        }
+        self.scan = self.buf.len();
+    }
+
+    /// Flush the final record (if any bytes remain) and consume the splitter.
+    pub fn finish(mut self, mut emit: impl FnMut(&[u8])) {
+        if !self.buf.is_empty() {
+            let mut end = self.buf.len();
+            if self.buf[end - 1] == b'\r' {
+                end -= 1;
+            }
+            if end > 0 {
+                emit(&self.buf[..end]);
+            }
+            self.buf.clear();
+        }
+    }
+
+    /// Bytes currently buffered awaiting a record terminator.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Split a whole in-memory buffer into records (helper over the splitter).
+pub fn split_records(data: &[u8]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut sp = RecordSplitter::new();
+    sp.push(data, |r| out.push(r.to_vec()));
+    sp.finish(|r| out.push(r.to_vec()));
+    out
+}
+
+/// Parse one record into fields.
+///
+/// Unquoted fields are borrowed; quoted fields are unescaped into owned
+/// strings (doubled quotes collapse). Invalid UTF-8 is replaced lossily —
+/// object stores accept arbitrary bytes, but SQL operates on text.
+pub fn parse_fields(record: &[u8]) -> Vec<Cow<'_, str>> {
+    let mut fields = Vec::new();
+    if record.is_empty() {
+        return fields;
+    }
+    let mut i = 0usize;
+    loop {
+        if i < record.len() && record[i] == b'"' {
+            // Quoted field.
+            let mut owned = Vec::new();
+            i += 1;
+            loop {
+                match record.get(i) {
+                    Some(b'"') if record.get(i + 1) == Some(&b'"') => {
+                        owned.push(b'"');
+                        i += 2;
+                    }
+                    Some(b'"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&b) => {
+                        owned.push(b);
+                        i += 1;
+                    }
+                    // Unterminated quote: treat remainder as the field.
+                    None => break,
+                }
+            }
+            fields.push(Cow::Owned(
+                String::from_utf8_lossy(&owned).into_owned(),
+            ));
+            // Skip up to the next comma (tolerate stray bytes after the quote).
+            while i < record.len() && record[i] != b',' {
+                i += 1;
+            }
+        } else {
+            let start = i;
+            while i < record.len() && record[i] != b',' {
+                i += 1;
+            }
+            fields.push(String::from_utf8_lossy(&record[start..i]));
+        }
+        if i >= record.len() {
+            break;
+        }
+        i += 1; // consume the comma
+        if i == record.len() {
+            // Trailing comma → trailing empty field.
+            fields.push(Cow::Borrowed(""));
+            break;
+        }
+    }
+    fields
+}
+
+/// True when the raw value needs quoting when written back out.
+pub fn needs_quoting(field: &str) -> bool {
+    field
+        .bytes()
+        .any(|b| matches!(b, b',' | b'"' | b'\n' | b'\r'))
+}
+
+/// Append a single field to `out`, quoting/escaping as required.
+pub fn write_field(out: &mut Vec<u8>, field: &str) {
+    if needs_quoting(field) {
+        out.push(b'"');
+        for b in field.bytes() {
+            if b == b'"' {
+                out.push(b'"');
+            }
+            out.push(b);
+        }
+        out.push(b'"');
+    } else {
+        out.extend_from_slice(field.as_bytes());
+    }
+}
+
+/// Serialize string fields into one CSV record terminated by `\n`.
+///
+/// A record consisting of a single empty field is written as `""` — a bare
+/// empty line would be indistinguishable from a blank line, which readers
+/// (like Spark-CSV) skip.
+pub fn write_record(out: &mut Vec<u8>, fields: &[&str]) {
+    if fields.len() == 1 && fields[0].is_empty() {
+        out.extend_from_slice(b"\"\"\n");
+        return;
+    }
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        write_field(out, f);
+    }
+    out.push(b'\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(data: &[u8]) -> Vec<String> {
+        split_records(data)
+            .into_iter()
+            .map(|r| String::from_utf8(r).unwrap())
+            .collect()
+    }
+
+    fn fields(rec: &str) -> Vec<String> {
+        parse_fields(rec.as_bytes())
+            .into_iter()
+            .map(|c| c.into_owned())
+            .collect()
+    }
+
+    #[test]
+    fn splits_simple_lines() {
+        assert_eq!(records(b"a\nb\nc\n"), vec!["a", "b", "c"]);
+        // Missing trailing newline still yields the last record.
+        assert_eq!(records(b"a\nb"), vec!["a", "b"]);
+        assert_eq!(records(b""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn handles_crlf() {
+        assert_eq!(records(b"a\r\nb\r\n"), vec!["a", "b"]);
+        assert_eq!(records(b"a\r"), vec!["a"]);
+    }
+
+    #[test]
+    fn quoted_newlines_do_not_split() {
+        assert_eq!(
+            records(b"\"a\nstill a\",x\nb,y\n"),
+            vec!["\"a\nstill a\",x", "b,y"]
+        );
+    }
+
+    #[test]
+    fn chunk_boundaries_are_invisible() {
+        let data = b"alpha,1\n\"be,ta\",2\r\n\"ga\"\"mma\",3\nlast,4";
+        let whole = records(data);
+        for chunk in [1usize, 2, 3, 5, 7, 100] {
+            let mut out = Vec::new();
+            let mut sp = RecordSplitter::new();
+            for c in data.chunks(chunk) {
+                sp.push(c, |r| out.push(String::from_utf8(r.to_vec()).unwrap()));
+            }
+            sp.finish(|r| out.push(String::from_utf8(r.to_vec()).unwrap()));
+            assert_eq!(out, whole, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn parses_plain_fields() {
+        assert_eq!(fields("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(fields("a,,c"), vec!["a", "", "c"]);
+        assert_eq!(fields("a,b,"), vec!["a", "b", ""]);
+        assert_eq!(fields(""), Vec::<String>::new());
+        assert_eq!(fields("solo"), vec!["solo"]);
+    }
+
+    #[test]
+    fn parses_quoted_fields() {
+        assert_eq!(fields("\"a,b\",c"), vec!["a,b", "c"]);
+        assert_eq!(fields("\"he said \"\"hi\"\"\",x"), vec!["he said \"hi\"", "x"]);
+        assert_eq!(fields("\"multi\nline\",y"), vec!["multi\nline", "y"]);
+        // Unterminated quote tolerated.
+        assert_eq!(fields("\"open"), vec!["open"]);
+    }
+
+    #[test]
+    fn write_roundtrip() {
+        let cases: Vec<Vec<&str>> = vec![
+            vec!["a", "b"],
+            vec!["with,comma", "with\"quote", "with\nnewline"],
+            vec!["", "", ""],
+            vec!["plain"],
+        ];
+        for case in cases {
+            let mut buf = Vec::new();
+            write_record(&mut buf, &case);
+            let recs = split_records(&buf);
+            assert_eq!(recs.len(), 1);
+            assert_eq!(fields(std::str::from_utf8(&recs[0]).unwrap()), case);
+        }
+    }
+
+    #[test]
+    fn pending_tracks_incomplete_record() {
+        let mut sp = RecordSplitter::new();
+        sp.push(b"unfinished", |_| panic!("no record yet"));
+        assert_eq!(sp.pending(), 10);
+    }
+}

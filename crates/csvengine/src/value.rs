@@ -1,0 +1,239 @@
+//! The typed scalar data model.
+//!
+//! A deliberately small lattice — `Null < Int/Float < Str` — matching what the
+//! GridPocket meter data and the Table I queries require. Numeric comparisons
+//! coerce `Int` and `Float`; strings compare lexicographically (byte order),
+//! which is also how the paper's `date LIKE '2015-01%'`-style predicates rely
+//! on ISO-8601 dates sorting textually.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A scalar value flowing through the SQL engine and pushdown filters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL / empty CSV field in a numeric column.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Parse a raw CSV field according to a preferred type, falling back to
+    /// string when the field does not parse. Empty fields become `Null`.
+    pub fn parse_typed(field: &str, dtype: crate::schema::DataType) -> Value {
+        use crate::schema::DataType;
+        if field.is_empty() {
+            return Value::Null;
+        }
+        match dtype {
+            DataType::Int => field
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or_else(|_| Value::Str(field.to_string())),
+            DataType::Float => field
+                .parse::<f64>()
+                .map(Value::Float)
+                .unwrap_or_else(|_| Value::Str(field.to_string())),
+            DataType::Str => Value::Str(field.to_string()),
+        }
+    }
+
+    /// Best-effort numeric view (`Int` and `Float` only).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view (only for `Str`).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True for `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL-style three-valued comparison: `None` when either side is NULL or
+    /// the types are incomparable (e.g. string vs number).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y),
+                _ => None,
+            },
+        }
+    }
+
+    /// SQL equality under the same coercion rules (NULL = anything → false).
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        self.sql_cmp(other) == Some(Ordering::Equal)
+    }
+
+    /// Total ordering for ORDER BY / GROUP BY keys: NULLs first, then numbers
+    /// (coerced), then strings. Unlike [`Value::sql_cmp`] this is total.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) | Value::Float(_) => 1,
+                Value::Str(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) if rank(a) == 1 && rank(b) == 1 => {
+                let x = a.as_f64().expect("numeric");
+                let y = b.as_f64().expect("numeric");
+                x.total_cmp(&y)
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Render the value the way the CSV writer / result printer does.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Hash numerics by their f64 bits after coercion so Int(2) and
+            // Float(2.0) (equal under total_cmp) hash identically.
+            Value::Int(i) => (*i as f64).to_bits().hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => Ok(()),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    #[test]
+    fn parse_typed_respects_type_and_falls_back() {
+        assert_eq!(Value::parse_typed("42", DataType::Int), Value::Int(42));
+        assert_eq!(Value::parse_typed("4.5", DataType::Float), Value::Float(4.5));
+        assert_eq!(
+            Value::parse_typed("oops", DataType::Int),
+            Value::Str("oops".into())
+        );
+        assert!(Value::parse_typed("", DataType::Int).is_null());
+        assert_eq!(
+            Value::parse_typed("Rotterdam", DataType::Str),
+            Value::Str("Rotterdam".into())
+        );
+    }
+
+    #[test]
+    fn sql_cmp_coerces_numerics_and_rejects_mixed() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Float(1.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Str("a".into()).sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert!(!Value::Null.sql_eq(&Value::Null));
+    }
+
+    #[test]
+    fn total_cmp_is_total_and_ranks_types() {
+        let vals = [
+            Value::Null,
+            Value::Int(1),
+            Value::Float(1.5),
+            Value::Str("a".into()),
+        ];
+        for a in &vals {
+            for b in &vals {
+                // Anti-symmetry sanity.
+                assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse());
+            }
+        }
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Int(9) < Value::Str(String::new()));
+    }
+
+    #[test]
+    fn equal_numerics_hash_identically() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_eq!(h(&Value::Int(2)), h(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn display_matches_csv_expectations() {
+        assert_eq!(Value::Null.to_string(), "");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.25).to_string(), "2.25");
+        assert_eq!(Value::Str("x,y".into()).to_string(), "x,y");
+    }
+}

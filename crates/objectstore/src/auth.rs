@@ -1,0 +1,106 @@
+//! Token authentication.
+//!
+//! Stands in for the Keystone identity service of the paper's testbed: users
+//! register under an account with a secret key, exchange it for a bearer
+//! token, and proxies validate the token against the account being accessed.
+
+use parking_lot::RwLock;
+use scoop_common::hash::hash64;
+use scoop_common::{Result, ScoopError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The auth service shared by all proxies.
+#[derive(Debug, Default)]
+pub struct AuthService {
+    /// (account, user) → key.
+    users: RwLock<HashMap<(String, String), String>>,
+    /// token → account.
+    tokens: RwLock<HashMap<String, String>>,
+    counter: AtomicU64,
+}
+
+impl AuthService {
+    /// Create an empty service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or rotate the key of) a user within an account.
+    pub fn register_user(&self, account: &str, user: &str, key: &str) {
+        self.users
+            .write()
+            .insert((account.to_string(), user.to_string()), key.to_string());
+    }
+
+    /// Exchange credentials for a bearer token.
+    pub fn issue_token(&self, account: &str, user: &str, key: &str) -> Result<String> {
+        let users = self.users.read();
+        match users.get(&(account.to_string(), user.to_string())) {
+            Some(k) if k == key => {}
+            _ => {
+                return Err(ScoopError::Unauthorized(format!(
+                    "bad credentials for {account}:{user}"
+                )))
+            }
+        }
+        drop(users);
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let token = format!(
+            "AUTH_tk{:016x}",
+            hash64(format!("{account}:{user}:{n}").as_bytes())
+        );
+        self.tokens
+            .write()
+            .insert(token.clone(), account.to_string());
+        Ok(token)
+    }
+
+    /// Resolve a token to its account.
+    pub fn validate(&self, token: &str) -> Option<String> {
+        self.tokens.read().get(token).cloned()
+    }
+
+    /// Revoke a token.
+    pub fn revoke(&self, token: &str) -> bool {
+        self.tokens.write().remove(token).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_lifecycle() {
+        let auth = AuthService::new();
+        auth.register_user("AUTH_gp", "analyst", "s3cret");
+        assert!(auth.issue_token("AUTH_gp", "analyst", "wrong").is_err());
+        assert!(auth.issue_token("AUTH_gp", "nobody", "s3cret").is_err());
+        let tok = auth.issue_token("AUTH_gp", "analyst", "s3cret").unwrap();
+        assert_eq!(auth.validate(&tok).as_deref(), Some("AUTH_gp"));
+        assert!(auth.revoke(&tok));
+        assert!(auth.validate(&tok).is_none());
+        assert!(!auth.revoke(&tok));
+    }
+
+    #[test]
+    fn tokens_are_unique_per_issue() {
+        let auth = AuthService::new();
+        auth.register_user("a", "u", "k");
+        let t1 = auth.issue_token("a", "u", "k").unwrap();
+        let t2 = auth.issue_token("a", "u", "k").unwrap();
+        assert_ne!(t1, t2);
+        assert_eq!(auth.validate(&t1).as_deref(), Some("a"));
+        assert_eq!(auth.validate(&t2).as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn key_rotation_invalidates_old_key() {
+        let auth = AuthService::new();
+        auth.register_user("a", "u", "old");
+        auth.register_user("a", "u", "new");
+        assert!(auth.issue_token("a", "u", "old").is_err());
+        assert!(auth.issue_token("a", "u", "new").is_ok());
+    }
+}

@@ -1,0 +1,380 @@
+//! Pluggable device storage backends.
+//!
+//! An object server owns one backend per device. The in-memory backend backs
+//! tests and experiments; the disk backend persists objects under a directory
+//! per device, the way Swift lays objects out under `/srv/node/<device>`.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use scoop_common::hash::fingerprint_hex;
+use scoop_common::{Result, ScoopError};
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::PathBuf;
+
+/// A stored object: payload plus system/user metadata.
+#[derive(Debug, Clone)]
+pub struct StoredObject {
+    /// Object payload.
+    pub data: Bytes,
+    /// Content fingerprint (assigned at PUT).
+    pub etag: String,
+    /// User metadata (`x-object-meta-*` headers, lowercased keys).
+    pub metadata: BTreeMap<String, String>,
+}
+
+impl StoredObject {
+    /// Create an object, computing its ETag.
+    pub fn new(data: Bytes, metadata: BTreeMap<String, String>) -> Self {
+        let etag = fingerprint_hex(&data);
+        StoredObject { data, etag, metadata }
+    }
+}
+
+/// Metadata-only view returned by HEAD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectMeta {
+    /// Payload length in bytes.
+    pub size: u64,
+    /// Content fingerprint.
+    pub etag: String,
+    /// User metadata.
+    pub metadata: BTreeMap<String, String>,
+}
+
+/// Device-local storage operations.
+pub trait StorageBackend: Send + Sync {
+    /// Store (or replace) an object.
+    fn put(&self, key: &str, obj: StoredObject) -> Result<()>;
+    /// Fetch a whole object.
+    fn get(&self, key: &str) -> Result<StoredObject>;
+    /// Fetch `[start, end)` of an object's payload.
+    fn get_range(&self, key: &str, start: u64, end: u64) -> Result<Bytes> {
+        let obj = self.get(key)?;
+        let len = obj.data.len() as u64;
+        let s = start.min(len) as usize;
+        let e = end.min(len).max(start.min(len)) as usize;
+        Ok(obj.data.slice(s..e))
+    }
+    /// Metadata only.
+    fn head(&self, key: &str) -> Result<ObjectMeta>;
+    /// Remove an object. Missing keys are an error (`NotFound`).
+    fn delete(&self, key: &str) -> Result<()>;
+    /// True when the key is present.
+    fn contains(&self, key: &str) -> bool;
+    /// All stored keys (used by the replicator's audit pass).
+    fn keys(&self) -> Vec<String>;
+    /// Total payload bytes stored.
+    fn bytes_used(&self) -> u64;
+}
+
+/// In-memory backend.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    objects: RwLock<BTreeMap<String, StoredObject>>,
+}
+
+impl MemBackend {
+    /// Create an empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn put(&self, key: &str, obj: StoredObject) -> Result<()> {
+        self.objects.write().insert(key.to_string(), obj);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<StoredObject> {
+        self.objects
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| ScoopError::NotFound(format!("object {key}")))
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        let guard = self.objects.read();
+        let obj = guard
+            .get(key)
+            .ok_or_else(|| ScoopError::NotFound(format!("object {key}")))?;
+        Ok(ObjectMeta {
+            size: obj.data.len() as u64,
+            etag: obj.etag.clone(),
+            metadata: obj.metadata.clone(),
+        })
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.objects
+            .write()
+            .remove(key)
+            .map(|_| ())
+            .ok_or_else(|| ScoopError::NotFound(format!("object {key}")))
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        self.objects.read().contains_key(key)
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.objects.read().keys().cloned().collect()
+    }
+
+    fn bytes_used(&self) -> u64 {
+        self.objects
+            .read()
+            .values()
+            .map(|o| o.data.len() as u64)
+            .sum()
+    }
+}
+
+/// Disk-persisted backend: one data file + one metadata sidecar per object,
+/// named by the key's fingerprint, under the device directory.
+#[derive(Debug)]
+pub struct DiskBackend {
+    dir: PathBuf,
+    /// Index: key → (file stem, size, etag, metadata). Rebuilt on open.
+    index: RwLock<BTreeMap<String, DiskEntry>>,
+}
+
+#[derive(Debug, Clone)]
+struct DiskEntry {
+    stem: String,
+    size: u64,
+    etag: String,
+    metadata: BTreeMap<String, String>,
+}
+
+impl DiskBackend {
+    /// Open (creating if needed) a device directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let backend = DiskBackend { dir, index: RwLock::new(BTreeMap::new()) };
+        backend.rebuild_index()?;
+        Ok(backend)
+    }
+
+    fn rebuild_index(&self) -> Result<()> {
+        let mut index = self.index.write();
+        index.clear();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(stem) = name.strip_suffix(".meta") {
+                let meta_raw = std::fs::read_to_string(entry.path())?;
+                if let Some(parsed) = Self::parse_meta(stem, &meta_raw) {
+                    index.insert(parsed.0, parsed.1);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sidecar format: line 1 key, line 2 etag, line 3 size, then `k\tv` pairs.
+    fn render_meta(key: &str, entry: &DiskEntry) -> String {
+        let mut out = format!("{key}\n{}\n{}\n", entry.etag, entry.size);
+        for (k, v) in &entry.metadata {
+            out.push_str(k);
+            out.push('\t');
+            out.push_str(v);
+            out.push('\n');
+        }
+        out
+    }
+
+    fn parse_meta(stem: &str, raw: &str) -> Option<(String, DiskEntry)> {
+        let mut lines = raw.lines();
+        let key = lines.next()?.to_string();
+        let etag = lines.next()?.to_string();
+        let size: u64 = lines.next()?.parse().ok()?;
+        let mut metadata = BTreeMap::new();
+        for line in lines {
+            if let Some((k, v)) = line.split_once('\t') {
+                metadata.insert(k.to_string(), v.to_string());
+            }
+        }
+        Some((key, DiskEntry { stem: stem.to_string(), size, etag, metadata }))
+    }
+
+    fn data_path(&self, stem: &str) -> PathBuf {
+        self.dir.join(format!("{stem}.data"))
+    }
+
+    fn meta_path(&self, stem: &str) -> PathBuf {
+        self.dir.join(format!("{stem}.meta"))
+    }
+}
+
+impl StorageBackend for DiskBackend {
+    fn put(&self, key: &str, obj: StoredObject) -> Result<()> {
+        let stem = scoop_common::hash::fingerprint_hex(key.as_bytes());
+        let entry = DiskEntry {
+            stem: stem.clone(),
+            size: obj.data.len() as u64,
+            etag: obj.etag.clone(),
+            metadata: obj.metadata.clone(),
+        };
+        std::fs::write(self.data_path(&stem), &obj.data)?;
+        std::fs::write(self.meta_path(&stem), Self::render_meta(key, &entry))?;
+        self.index.write().insert(key.to_string(), entry);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<StoredObject> {
+        let entry = {
+            let guard = self.index.read();
+            guard
+                .get(key)
+                .cloned()
+                .ok_or_else(|| ScoopError::NotFound(format!("object {key}")))?
+        };
+        let data = std::fs::read(self.data_path(&entry.stem))?;
+        Ok(StoredObject {
+            data: Bytes::from(data),
+            etag: entry.etag,
+            metadata: entry.metadata,
+        })
+    }
+
+    fn get_range(&self, key: &str, start: u64, end: u64) -> Result<Bytes> {
+        let entry = {
+            let guard = self.index.read();
+            guard
+                .get(key)
+                .cloned()
+                .ok_or_else(|| ScoopError::NotFound(format!("object {key}")))?
+        };
+        let s = start.min(entry.size);
+        let e = end.min(entry.size).max(s);
+        let mut f = std::fs::File::open(self.data_path(&entry.stem))?;
+        f.seek(SeekFrom::Start(s))?;
+        let mut buf = vec![0u8; (e - s) as usize];
+        f.read_exact(&mut buf)?;
+        Ok(Bytes::from(buf))
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        let guard = self.index.read();
+        let entry = guard
+            .get(key)
+            .ok_or_else(|| ScoopError::NotFound(format!("object {key}")))?;
+        Ok(ObjectMeta {
+            size: entry.size,
+            etag: entry.etag.clone(),
+            metadata: entry.metadata.clone(),
+        })
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        let entry = self
+            .index
+            .write()
+            .remove(key)
+            .ok_or_else(|| ScoopError::NotFound(format!("object {key}")))?;
+        let _ = std::fs::remove_file(self.data_path(&entry.stem));
+        let _ = std::fs::remove_file(self.meta_path(&entry.stem));
+        Ok(())
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        self.index.read().contains_key(key)
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.index.read().keys().cloned().collect()
+    }
+
+    fn bytes_used(&self) -> u64 {
+        self.index.read().values().map(|e| e.size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(backend: &dyn StorageBackend) {
+        let mut meta = BTreeMap::new();
+        meta.insert("x-object-meta-kind".to_string(), "csv".to_string());
+        let obj = StoredObject::new(Bytes::from_static(b"hello world"), meta.clone());
+        let etag = obj.etag.clone();
+        backend.put("/a/c/o1", obj).unwrap();
+        assert!(backend.contains("/a/c/o1"));
+        assert!(!backend.contains("/a/c/o2"));
+
+        let got = backend.get("/a/c/o1").unwrap();
+        assert_eq!(got.data, "hello world");
+        assert_eq!(got.etag, etag);
+        assert_eq!(got.metadata, meta);
+
+        let head = backend.head("/a/c/o1").unwrap();
+        assert_eq!(head.size, 11);
+        assert_eq!(head.etag, etag);
+
+        assert_eq!(backend.get_range("/a/c/o1", 6, 11).unwrap(), "world");
+        assert_eq!(backend.get_range("/a/c/o1", 6, 999).unwrap(), "world");
+        assert_eq!(backend.get_range("/a/c/o1", 999, 1000).unwrap().len(), 0);
+
+        assert_eq!(backend.keys(), vec!["/a/c/o1".to_string()]);
+        assert_eq!(backend.bytes_used(), 11);
+
+        backend.delete("/a/c/o1").unwrap();
+        assert!(backend.get("/a/c/o1").is_err());
+        assert!(backend.delete("/a/c/o1").is_err());
+        assert_eq!(backend.bytes_used(), 0);
+    }
+
+    #[test]
+    fn mem_backend_contract() {
+        exercise(&MemBackend::new());
+    }
+
+    #[test]
+    fn disk_backend_contract() {
+        let dir = std::env::temp_dir().join(format!("scoop-disk-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        exercise(&DiskBackend::open(&dir).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_backend_survives_reopen() {
+        let dir =
+            std::env::temp_dir().join(format!("scoop-disk-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let b = DiskBackend::open(&dir).unwrap();
+            let mut meta = BTreeMap::new();
+            meta.insert("x-object-meta-owner".to_string(), "gp".to_string());
+            b.put("/a/c/persist", StoredObject::new(Bytes::from_static(b"abc"), meta))
+                .unwrap();
+        }
+        let b = DiskBackend::open(&dir).unwrap();
+        let got = b.get("/a/c/persist").unwrap();
+        assert_eq!(got.data, "abc");
+        assert_eq!(got.metadata["x-object-meta-owner"], "gp");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn put_overwrites() {
+        let b = MemBackend::new();
+        b.put(
+            "/a/c/o",
+            StoredObject::new(Bytes::from_static(b"v1"), BTreeMap::new()),
+        )
+        .unwrap();
+        b.put(
+            "/a/c/o",
+            StoredObject::new(Bytes::from_static(b"v2-longer"), BTreeMap::new()),
+        )
+        .unwrap();
+        assert_eq!(b.get("/a/c/o").unwrap().data, "v2-longer");
+        assert_eq!(b.keys().len(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! A from-scratch, Swift-like object store.
+//!
+//! This crate reproduces the parts of OpenStack Swift that Scoop's data path
+//! depends on (Section III-B of the paper):
+//!
+//! * A flat `/account/container/object` namespace ([`path`]).
+//! * A consistent-hash **ring** mapping objects to devices across zones with
+//!   weighted balancing and minimal movement on rebalance ([`ring`]).
+//! * A **two-tier architecture**: proxy servers (authentication, routing,
+//!   replication fan-out) and object servers (device-local storage)
+//!   ([`proxy`], [`objserver`]).
+//! * A WSGI-like **middleware pipeline** on both tiers — the hook the Storlet
+//!   engine uses to intercept requests ([`middleware`]).
+//! * HTTP-shaped requests/responses with headers, metadata and byte ranges
+//!   ([`request`]).
+//! * Token **authentication** ([`auth`]), **replication** with failure
+//!   injection and repair ([`replication`]), and pluggable storage
+//!   **backends** (memory / disk) ([`backend`]).
+//!
+//! The top-level entry point is [`swift::SwiftCluster`], which assembles the
+//! tiers exactly like the paper's testbed (6 proxies, 29 object servers, 10
+//! devices each) and exposes a client API.
+
+pub mod auth;
+pub mod backend;
+pub mod middleware;
+pub mod objserver;
+pub mod path;
+pub mod proxy;
+pub mod replication;
+pub mod request;
+pub mod ring;
+pub mod swift;
+
+pub use path::ObjectPath;
+pub use request::{Method, Request, Response};
+pub use ring::{DeviceId, Ring, RingBuilder};
+pub use swift::{SwiftClient, SwiftCluster, SwiftConfig};

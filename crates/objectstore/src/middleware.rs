@@ -1,0 +1,161 @@
+//! WSGI-like middleware pipeline.
+//!
+//! "Both proxies and storage nodes include a WSGI pipeline that enables
+//! developers to configure middlewares that intercept object requests with
+//! environment information." The Storlet engine (in `scoop-storlets`) plugs in
+//! here, at either tier, without the store knowing anything about it — the
+//! paper's requirement that "the instrumented object store is oblivious to
+//! their execution".
+
+use crate::request::{Request, Response};
+use scoop_common::Result;
+use std::sync::Arc;
+
+/// The continuation a middleware invokes to pass the request on.
+pub trait Handler: Sync {
+    /// Process the request.
+    fn call(&self, req: Request) -> Result<Response>;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(Request) -> Result<Response> + Sync,
+{
+    fn call(&self, req: Request) -> Result<Response> {
+        self(req)
+    }
+}
+
+/// A request interceptor. Middlewares may rewrite the request, short-circuit,
+/// and/or transform the response (including wrapping its body stream).
+pub trait Middleware: Send + Sync {
+    /// Name for diagnostics and pipeline introspection.
+    fn name(&self) -> &str;
+    /// Handle the request, calling `next` zero or one times.
+    fn handle(&self, req: Request, next: &dyn Handler) -> Result<Response>;
+}
+
+/// An ordered middleware chain.
+#[derive(Clone, Default)]
+pub struct Pipeline {
+    middlewares: Vec<Arc<dyn Middleware>>,
+}
+
+impl Pipeline {
+    /// An empty pipeline (requests flow straight to the terminal handler).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a middleware (runs after the ones already added).
+    pub fn push(&mut self, mw: Arc<dyn Middleware>) {
+        self.middlewares.push(mw);
+    }
+
+    /// Names of installed middlewares, in execution order.
+    pub fn names(&self) -> Vec<&str> {
+        self.middlewares.iter().map(|m| m.name()).collect()
+    }
+
+    /// Run `req` through the chain into `terminal`.
+    pub fn execute(&self, req: Request, terminal: &dyn Handler) -> Result<Response> {
+        struct Chain<'a> {
+            rest: &'a [Arc<dyn Middleware>],
+            terminal: &'a dyn Handler,
+        }
+        impl Handler for Chain<'_> {
+            fn call(&self, req: Request) -> Result<Response> {
+                match self.rest.split_first() {
+                    None => self.terminal.call(req),
+                    Some((head, tail)) => {
+                        head.handle(req, &Chain { rest: tail, terminal: self.terminal })
+                    }
+                }
+            }
+        }
+        Chain { rest: &self.middlewares, terminal }.call(req)
+    }
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline").field("middlewares", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::ObjectPath;
+    use bytes::Bytes;
+    use scoop_common::stream;
+
+    struct Tag(&'static str);
+
+    impl Middleware for Tag {
+        fn name(&self) -> &str {
+            self.0
+        }
+        fn handle(&self, mut req: Request, next: &dyn Handler) -> Result<Response> {
+            let trail = req.headers.get("x-trail").unwrap_or("").to_string();
+            req.headers.set("x-trail", format!("{trail}>{}", self.0));
+            let resp = next.call(req)?;
+            Ok(resp.with_header(format!("x-seen-{}", self.0).as_str(), "1"))
+        }
+    }
+
+    struct ShortCircuit;
+
+    impl Middleware for ShortCircuit {
+        fn name(&self) -> &str {
+            "short"
+        }
+        fn handle(&self, _req: Request, _next: &dyn Handler) -> Result<Response> {
+            Ok(Response { status: 403, headers: Default::default(), body: stream::empty() })
+        }
+    }
+
+    fn get_req() -> Request {
+        Request::get(ObjectPath::new("a", "c", "o").unwrap())
+    }
+
+    #[test]
+    fn executes_in_order_and_wraps_response() {
+        let mut p = Pipeline::new();
+        p.push(Arc::new(Tag("one")));
+        p.push(Arc::new(Tag("two")));
+        assert_eq!(p.names(), vec!["one", "two"]);
+        let resp = p
+            .execute(get_req(), &|req: Request| {
+                assert_eq!(req.headers.get("x-trail"), Some(">one>two"));
+                Ok(Response::ok(stream::once(Bytes::from_static(b"body"))))
+            })
+            .unwrap();
+        assert_eq!(resp.headers.get("x-seen-one"), Some("1"));
+        assert_eq!(resp.headers.get("x-seen-two"), Some("1"));
+        assert_eq!(resp.read_body().unwrap(), "body");
+    }
+
+    #[test]
+    fn empty_pipeline_is_passthrough() {
+        let p = Pipeline::new();
+        let resp = p
+            .execute(get_req(), &|_req: Request| Ok(Response::no_content()))
+            .unwrap();
+        assert_eq!(resp.status, 204);
+    }
+
+    #[test]
+    fn middleware_can_short_circuit() {
+        let mut p = Pipeline::new();
+        p.push(Arc::new(ShortCircuit));
+        p.push(Arc::new(Tag("never")));
+        let resp = p
+            .execute(get_req(), &|_req: Request| {
+                panic!("terminal must not run");
+            })
+            .unwrap();
+        assert_eq!(resp.status, 403);
+        assert!(resp.headers.get("x-seen-never").is_none());
+    }
+}

@@ -1,0 +1,394 @@
+//! Object servers: device-local request handling.
+//!
+//! Swift object servers "are responsible for handling the replication of
+//! objects across available disks ... and for managing objects". Here each
+//! object server owns a set of devices (one backend per device), runs its own
+//! middleware pipeline — the hook that lets the paper's extension run
+//! "Storlets at storage nodes for byte ranges" — and exposes health toggles
+//! for failure-injection tests.
+
+use crate::backend::{MemBackend, StorageBackend, StoredObject};
+use crate::middleware::Pipeline;
+use crate::request::{Method, Request, Response};
+use crate::ring::DeviceId;
+use parking_lot::RwLock;
+use scoop_common::{stream, Result, ScoopError};
+
+/// GET response chunk size. Small (like Hadoop's 4 KB I/O buffer) so lazy
+/// consumers that stop at a record boundary overshoot by at most this much;
+/// chunks are zero-copy `Bytes` slices, so small chunks cost only iterator
+/// overhead.
+pub const RESPONSE_CHUNK: usize = 4 * 1024;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Stage marker header set by servers before running their pipeline, so a
+/// middleware (e.g. the storlet engine) knows which tier it executes on.
+pub const STAGE_HEADER: &str = "x-backend-stage";
+/// Stage value at proxies.
+pub const STAGE_PROXY: &str = "proxy";
+/// Stage value at object servers.
+pub const STAGE_OBJECT: &str = "object";
+
+/// Monotonic counters exposed for experiments (bytes served, request counts).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// GET requests served.
+    pub gets: AtomicU64,
+    /// PUT requests served.
+    pub puts: AtomicU64,
+    /// Payload bytes written by PUTs.
+    pub bytes_in: AtomicU64,
+    /// Payload bytes read by GETs (before any middleware filtering).
+    pub bytes_out: AtomicU64,
+}
+
+impl ServerStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServerStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// GET requests served.
+    pub gets: u64,
+    /// PUT requests served.
+    pub puts: u64,
+    /// Payload bytes written.
+    pub bytes_in: u64,
+    /// Payload bytes read.
+    pub bytes_out: u64,
+}
+
+/// An object server hosting several devices.
+pub struct ObjectServer {
+    /// Node id referenced by ring devices.
+    pub id: u32,
+    devices: HashMap<DeviceId, Arc<dyn StorageBackend>>,
+    pipeline: RwLock<Pipeline>,
+    down: AtomicBool,
+    stats: ServerStats,
+}
+
+impl ObjectServer {
+    /// Create a server with in-memory backends for the given devices.
+    pub fn with_mem_devices(id: u32, devices: &[DeviceId]) -> Self {
+        let map = devices
+            .iter()
+            .map(|&d| (d, Arc::new(MemBackend::new()) as Arc<dyn StorageBackend>))
+            .collect();
+        ObjectServer {
+            id,
+            devices: map,
+            pipeline: RwLock::new(Pipeline::new()),
+            down: AtomicBool::new(false),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Create a server with explicit backends.
+    pub fn with_backends(id: u32, devices: HashMap<DeviceId, Arc<dyn StorageBackend>>) -> Self {
+        ObjectServer {
+            id,
+            devices,
+            pipeline: RwLock::new(Pipeline::new()),
+            down: AtomicBool::new(false),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Replace the middleware pipeline (e.g. to install the storlet engine).
+    pub fn set_pipeline(&self, pipeline: Pipeline) {
+        *self.pipeline.write() = pipeline;
+    }
+
+    /// Mark the server up/down (failure injection).
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::SeqCst);
+    }
+
+    /// True when the server is marked down.
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    /// Device ids hosted by this server.
+    pub fn device_ids(&self) -> Vec<DeviceId> {
+        let mut ids: Vec<DeviceId> = self.devices.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Direct backend access for a device — used by the replicator, which in
+    /// Swift talks rsync directly between object servers. Fails when down.
+    pub fn backend(&self, device: DeviceId) -> Result<Arc<dyn StorageBackend>> {
+        if self.is_down() {
+            return Err(ScoopError::Io(std::io::Error::other(format!(
+                "object server {} is down",
+                self.id
+            ))));
+        }
+        self.devices
+            .get(&device)
+            .cloned()
+            .ok_or_else(|| ScoopError::NotFound(format!("device {device:?} on node {}", self.id)))
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Handle a request against one of this server's devices, running the
+    /// object-stage middleware pipeline.
+    pub fn handle(&self, device: DeviceId, mut req: Request) -> Result<Response> {
+        if self.is_down() {
+            return Err(ScoopError::Io(std::io::Error::other(format!(
+                "object server {} is down",
+                self.id
+            ))));
+        }
+        let backend = self.backend(device)?;
+        req.headers.set(STAGE_HEADER, STAGE_OBJECT);
+        let pipeline = self.pipeline.read().clone();
+        let stats = &self.stats;
+        pipeline.execute(req, &move |req: Request| {
+            Self::terminal(stats, backend.as_ref(), req)
+        })
+    }
+
+    /// Extract `x-object-meta-*` headers into a metadata map.
+    fn user_metadata(req: &Request) -> BTreeMap<String, String> {
+        req.headers
+            .with_prefix("x-object-meta-")
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    fn terminal(
+        stats: &ServerStats,
+        backend: &dyn StorageBackend,
+        req: Request,
+    ) -> Result<Response> {
+        let key = req.path.ring_key();
+        match req.method {
+            Method::Put => {
+                let body = req.body.clone().unwrap_or_default();
+                stats.puts.fetch_add(1, Ordering::Relaxed);
+                stats.bytes_in.fetch_add(body.len() as u64, Ordering::Relaxed);
+                let obj = StoredObject::new(body, Self::user_metadata(&req));
+                let etag = obj.etag.clone();
+                let size = obj.data.len();
+                backend.put(&key, obj)?;
+                Ok(Response::created()
+                    .with_header("etag", etag)
+                    .with_header("content-length", size.to_string()))
+            }
+            Method::Get => {
+                let meta = backend.head(&key)?;
+                let (start, end) = match req.range()? {
+                    Some(r) => r.resolve(meta.size),
+                    None => (0, meta.size),
+                };
+                let data = backend.get_range(&key, start, end)?;
+                stats.gets.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .bytes_out
+                    .fetch_add(data.len() as u64, Ordering::Relaxed);
+                let mut resp = Response::ok(stream::chunked(data, RESPONSE_CHUNK))
+                    .with_header("etag", meta.etag)
+                    .with_header("content-length", (end - start).to_string())
+                    .with_header("x-object-length", meta.size.to_string());
+                for (k, v) in &meta.metadata {
+                    resp.headers.set(k, v.clone());
+                }
+                if req.range()?.is_some() {
+                    resp.status = 206;
+                    resp.headers.set(
+                        "content-range",
+                        format!("bytes {start}-{}/{}", end.saturating_sub(1), meta.size),
+                    );
+                }
+                Ok(resp)
+            }
+            Method::Head => {
+                let meta = backend.head(&key)?;
+                let mut resp = Response::no_content()
+                    .with_header("etag", meta.etag)
+                    .with_header("content-length", meta.size.to_string());
+                for (k, v) in &meta.metadata {
+                    resp.headers.set(k, v.clone());
+                }
+                Ok(resp)
+            }
+            Method::Delete => {
+                backend.delete(&key)?;
+                Ok(Response::no_content())
+            }
+            Method::Post => {
+                // Metadata-only update: replace user metadata, keep payload.
+                let mut obj = backend.get(&key)?;
+                obj.metadata = Self::user_metadata(&req);
+                backend.put(&key, obj)?;
+                Ok(Response::no_content())
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ObjectServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObjectServer")
+            .field("id", &self.id)
+            .field("devices", &self.device_ids())
+            .field("down", &self.is_down())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::ObjectPath;
+    use bytes::Bytes;
+    use crate::request::ByteRange;
+
+    fn server() -> ObjectServer {
+        ObjectServer::with_mem_devices(0, &[DeviceId(0), DeviceId(1)])
+    }
+
+    fn path() -> ObjectPath {
+        ObjectPath::new("a", "c", "data.csv").unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip_with_metadata() {
+        let s = server();
+        let put = Request::put(path(), Bytes::from_static(b"col1,col2\n1,2\n"))
+            .with_header("X-Object-Meta-Schema", "col1,col2");
+        let resp = s.handle(DeviceId(0), put).unwrap();
+        assert_eq!(resp.status, 201);
+        let etag = resp.headers.get("etag").unwrap().to_string();
+
+        let got = s.handle(DeviceId(0), Request::get(path())).unwrap();
+        assert_eq!(got.status, 200);
+        assert_eq!(got.headers.get("etag"), Some(etag.as_str()));
+        assert_eq!(got.headers.get("x-object-meta-schema"), Some("col1,col2"));
+        assert_eq!(got.read_body().unwrap(), "col1,col2\n1,2\n");
+
+        // The same object is absent on another device.
+        assert!(s.handle(DeviceId(1), Request::get(path())).is_err());
+    }
+
+    #[test]
+    fn ranged_get_returns_206() {
+        let s = server();
+        s.handle(DeviceId(0), Request::put(path(), Bytes::from_static(b"0123456789")))
+            .unwrap();
+        let resp = s
+            .handle(
+                DeviceId(0),
+                Request::get(path()).with_range(ByteRange { start: 2, end: Some(5) }),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 206);
+        assert_eq!(resp.headers.get("content-range"), Some("bytes 2-5/10"));
+        assert_eq!(resp.read_body().unwrap(), "2345");
+    }
+
+    #[test]
+    fn head_delete_post() {
+        let s = server();
+        s.handle(
+            DeviceId(0),
+            Request::put(path(), Bytes::from_static(b"xyz"))
+                .with_header("x-object-meta-a", "1"),
+        )
+        .unwrap();
+        let head = s.handle(DeviceId(0), Request::head(path())).unwrap();
+        assert_eq!(head.headers.get("content-length"), Some("3"));
+        assert_eq!(head.headers.get("x-object-meta-a"), Some("1"));
+
+        // POST replaces user metadata.
+        let post = Request {
+            method: Method::Post,
+            path: path(),
+            headers: Default::default(),
+            body: None,
+        }
+        .with_header("x-object-meta-b", "2");
+        s.handle(DeviceId(0), post).unwrap();
+        let head = s.handle(DeviceId(0), Request::head(path())).unwrap();
+        assert!(head.headers.get("x-object-meta-a").is_none());
+        assert_eq!(head.headers.get("x-object-meta-b"), Some("2"));
+
+        s.handle(DeviceId(0), Request::delete(path())).unwrap();
+        assert!(s.handle(DeviceId(0), Request::head(path())).is_err());
+    }
+
+    #[test]
+    fn down_server_rejects_everything() {
+        let s = server();
+        s.handle(DeviceId(0), Request::put(path(), Bytes::from_static(b"x")))
+            .unwrap();
+        s.set_down(true);
+        assert!(s.is_down());
+        let err = s.handle(DeviceId(0), Request::get(path())).unwrap_err();
+        assert!(err.is_retryable());
+        assert!(s.backend(DeviceId(0)).is_err());
+        s.set_down(false);
+        assert!(s.handle(DeviceId(0), Request::get(path())).is_ok());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let s = server();
+        s.handle(DeviceId(0), Request::put(path(), Bytes::from_static(b"abcde")))
+            .unwrap();
+        s.handle(DeviceId(0), Request::get(path())).unwrap();
+        s.handle(DeviceId(0), Request::get(path())).unwrap();
+        let st = s.stats();
+        assert_eq!(st.puts, 1);
+        assert_eq!(st.gets, 2);
+        assert_eq!(st.bytes_in, 5);
+        assert_eq!(st.bytes_out, 10);
+    }
+
+    #[test]
+    fn unknown_device_is_not_found() {
+        let s = server();
+        let err = s
+            .handle(DeviceId(99), Request::get(path()))
+            .unwrap_err();
+        assert_eq!(err.kind(), "not_found");
+    }
+
+    #[test]
+    fn stage_header_is_set_for_middleware() {
+        use crate::middleware::{Handler, Middleware};
+        struct AssertStage;
+        impl Middleware for AssertStage {
+            fn name(&self) -> &str {
+                "assert-stage"
+            }
+            fn handle(&self, req: Request, next: &dyn Handler) -> Result<Response> {
+                assert_eq!(req.headers.get(STAGE_HEADER), Some(STAGE_OBJECT));
+                next.call(req)
+            }
+        }
+        let s = server();
+        let mut p = Pipeline::new();
+        p.push(Arc::new(AssertStage));
+        s.set_pipeline(p);
+        s.handle(DeviceId(0), Request::put(path(), Bytes::from_static(b"x")))
+            .unwrap();
+    }
+}

@@ -1,0 +1,582 @@
+//! Proxy servers: authentication, routing, replication fan-out, listings.
+//!
+//! Swift proxies "are in charge of authentication, authorization and access
+//! control enforcement of storage requests. Upon reception of a valid request,
+//! a proxy server routes it to the corresponding object servers". The
+//! container/account metadata service lives with the proxies here, mirroring
+//! the paper's testbed where "container and account rings were defined over
+//! ... the 6 proxies".
+
+use crate::auth::AuthService;
+use crate::middleware::Pipeline;
+use crate::objserver::{ObjectServer, STAGE_HEADER, STAGE_PROXY};
+use crate::path::ObjectPath;
+use crate::request::{Method, Request, Response};
+use crate::ring::Ring;
+use parking_lot::RwLock;
+use scoop_common::{Result, ScoopError};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One entry in a container listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectRecord {
+    /// Object name within the container.
+    pub name: String,
+    /// Payload size in bytes.
+    pub size: u64,
+    /// Content fingerprint.
+    pub etag: String,
+}
+
+/// Account + container metadata: which containers exist, what objects they
+/// hold. Shared across all proxies.
+#[derive(Debug, Default)]
+pub struct ContainerService {
+    containers: RwLock<BTreeMap<String, BTreeSet<String>>>,
+    listings: RwLock<BTreeMap<(String, String), BTreeMap<String, ObjectRecord>>>,
+}
+
+impl ContainerService {
+    /// Create an empty service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a container (idempotent).
+    pub fn create_container(&self, account: &str, container: &str) {
+        self.containers
+            .write()
+            .entry(account.to_string())
+            .or_default()
+            .insert(container.to_string());
+        self.listings
+            .write()
+            .entry((account.to_string(), container.to_string()))
+            .or_default();
+    }
+
+    /// Delete a container; fails when non-empty or absent.
+    pub fn delete_container(&self, account: &str, container: &str) -> Result<()> {
+        let key = (account.to_string(), container.to_string());
+        let mut listings = self.listings.write();
+        match listings.get(&key) {
+            None => return Err(ScoopError::NotFound(format!("container /{account}/{container}"))),
+            Some(objs) if !objs.is_empty() => {
+                return Err(ScoopError::Conflict(format!(
+                    "container /{account}/{container} is not empty"
+                )))
+            }
+            Some(_) => {
+                listings.remove(&key);
+            }
+        }
+        if let Some(set) = self.containers.write().get_mut(account) {
+            set.remove(container);
+        }
+        Ok(())
+    }
+
+    /// True when the container exists.
+    pub fn container_exists(&self, account: &str, container: &str) -> bool {
+        self.listings
+            .read()
+            .contains_key(&(account.to_string(), container.to_string()))
+    }
+
+    /// Containers of an account.
+    pub fn list_containers(&self, account: &str) -> Vec<String> {
+        self.containers
+            .read()
+            .get(account)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Objects in a container, optionally filtered by name prefix.
+    pub fn list_objects(
+        &self,
+        account: &str,
+        container: &str,
+        prefix: Option<&str>,
+    ) -> Result<Vec<ObjectRecord>> {
+        let listings = self.listings.read();
+        let objs = listings
+            .get(&(account.to_string(), container.to_string()))
+            .ok_or_else(|| ScoopError::NotFound(format!("container /{account}/{container}")))?;
+        Ok(objs
+            .values()
+            .filter(|r| prefix.is_none_or(|p| r.name.starts_with(p)))
+            .cloned()
+            .collect())
+    }
+
+    /// Record a successful object PUT.
+    pub fn record_put(&self, path: &ObjectPath, size: u64, etag: &str) {
+        if let Some(objs) = self
+            .listings
+            .write()
+            .get_mut(&(path.account.clone(), path.container.clone()))
+        {
+            objs.insert(
+                path.object.clone(),
+                ObjectRecord { name: path.object.clone(), size, etag: etag.to_string() },
+            );
+        }
+    }
+
+    /// Record a successful object DELETE.
+    pub fn record_delete(&self, path: &ObjectPath) {
+        if let Some(objs) = self
+            .listings
+            .write()
+            .get_mut(&(path.account.clone(), path.container.clone()))
+        {
+            objs.remove(&path.object);
+        }
+    }
+
+    /// Per-container statistics (object count, total logical bytes) — the
+    /// Swift `HEAD /account/container` numbers.
+    pub fn container_stats(&self, account: &str, container: &str) -> Result<(u64, u64)> {
+        let listings = self.listings.read();
+        let objs = listings
+            .get(&(account.to_string(), container.to_string()))
+            .ok_or_else(|| ScoopError::NotFound(format!("container /{account}/{container}")))?;
+        let count = objs.len() as u64;
+        let bytes = objs.values().map(|r| r.size).sum();
+        Ok((count, bytes))
+    }
+
+    /// All object paths known to the service (replicator audit input).
+    pub fn all_objects(&self) -> Vec<(ObjectPath, u64)> {
+        let listings = self.listings.read();
+        let mut out = Vec::new();
+        for ((account, container), objs) in listings.iter() {
+            for rec in objs.values() {
+                if let Ok(p) = ObjectPath::new(account.clone(), container.clone(), rec.name.clone())
+                {
+                    out.push((p, rec.size));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Counters for proxy throughput (drives the Fig. 9 network series).
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    /// Requests routed.
+    pub requests: AtomicU64,
+    /// Body bytes relayed toward clients.
+    pub bytes_to_clients: AtomicU64,
+}
+
+/// A proxy server.
+pub struct ProxyServer {
+    /// Proxy id (0-based).
+    pub id: u32,
+    ring: Arc<RwLock<Ring>>,
+    servers: Arc<HashMap<u32, Arc<ObjectServer>>>,
+    containers: Arc<ContainerService>,
+    auth: Arc<AuthService>,
+    auth_enabled: bool,
+    pipeline: RwLock<Pipeline>,
+    /// Throughput counters.
+    pub stats: ProxyStats,
+}
+
+impl ProxyServer {
+    /// Assemble a proxy.
+    pub fn new(
+        id: u32,
+        ring: Arc<RwLock<Ring>>,
+        servers: Arc<HashMap<u32, Arc<ObjectServer>>>,
+        containers: Arc<ContainerService>,
+        auth: Arc<AuthService>,
+        auth_enabled: bool,
+    ) -> Self {
+        ProxyServer {
+            id,
+            ring,
+            servers,
+            containers,
+            auth,
+            auth_enabled,
+            pipeline: RwLock::new(Pipeline::new()),
+            stats: ProxyStats::default(),
+        }
+    }
+
+    /// Install the proxy-stage middleware pipeline.
+    pub fn set_pipeline(&self, pipeline: Pipeline) {
+        *self.pipeline.write() = pipeline;
+    }
+
+    fn authorize(&self, req: &Request) -> Result<()> {
+        if !self.auth_enabled {
+            return Ok(());
+        }
+        let token = req
+            .headers
+            .get("x-auth-token")
+            .ok_or_else(|| ScoopError::Unauthorized("missing X-Auth-Token".into()))?;
+        match self.auth.validate(token) {
+            Some(account) if account == req.path.account => Ok(()),
+            Some(account) => Err(ScoopError::Unauthorized(format!(
+                "token for account {account} cannot access {}",
+                req.path.account
+            ))),
+            None => Err(ScoopError::Unauthorized("invalid token".into())),
+        }
+    }
+
+    /// Handle a client request: auth → proxy middleware → route to replicas.
+    pub fn handle(&self, mut req: Request) -> Result<Response> {
+        self.authorize(&req)?;
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        req.headers.set(STAGE_HEADER, STAGE_PROXY);
+        let pipeline = self.pipeline.read().clone();
+        pipeline.execute(req, &|req: Request| self.route(req))
+    }
+
+    /// Quorum size for writes.
+    fn quorum(&self) -> usize {
+        self.ring.read().replicas() / 2 + 1
+    }
+
+    fn route(&self, req: Request) -> Result<Response> {
+        let ring = self.ring.read();
+        let key = req.path.ring_key();
+        let replica_devices: Vec<_> = ring.lookup(&key).to_vec();
+        let devices: Vec<(crate::ring::DeviceId, u32)> = replica_devices
+            .iter()
+            .map(|&d| (d, ring.device(d).node))
+            .collect();
+        drop(ring);
+
+        match req.method {
+            Method::Put => {
+                if !self
+                    .containers
+                    .container_exists(&req.path.account, &req.path.container)
+                {
+                    return Err(ScoopError::NotFound(format!(
+                        "container {}",
+                        req.path.container_path()
+                    )));
+                }
+                let mut last_err = None;
+                let mut oks = 0usize;
+                let mut etag = String::new();
+                let mut size = 0u64;
+                for (dev, node) in &devices {
+                    let server = self.server(*node)?;
+                    match server.handle(*dev, req.clone()) {
+                        Ok(resp) => {
+                            oks += 1;
+                            if let Some(e) = resp.headers.get("etag") {
+                                etag = e.to_string();
+                            }
+                            if let Some(l) = resp.headers.get("content-length") {
+                                size = l.parse().unwrap_or(0);
+                            }
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                if oks >= self.quorum() {
+                    self.containers.record_put(&req.path, size, &etag);
+                    Ok(Response::created().with_header("etag", etag))
+                } else {
+                    Err(last_err.unwrap_or_else(|| {
+                        ScoopError::Internal("write quorum not met".into())
+                    }))
+                }
+            }
+            Method::Get | Method::Head => {
+                let mut last_err: Option<ScoopError> = None;
+                for (dev, node) in &devices {
+                    let server = match self.server(*node) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            last_err = Some(e);
+                            continue;
+                        }
+                    };
+                    match server.handle(*dev, req.clone()) {
+                        Ok(resp) => {
+                            if let Some(l) = resp.headers.get("content-length") {
+                                self.stats
+                                    .bytes_to_clients
+                                    .fetch_add(l.parse().unwrap_or(0), Ordering::Relaxed);
+                            }
+                            return Ok(resp);
+                        }
+                        // Retryable errors (server down / IO) → next replica.
+                        Err(e) if e.is_retryable() => last_err = Some(e),
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(last_err
+                    .unwrap_or_else(|| ScoopError::NotFound(format!("object {key}"))))
+            }
+            Method::Delete => {
+                let mut oks = 0usize;
+                let mut last_err = None;
+                for (dev, node) in &devices {
+                    match self
+                        .server(*node)
+                        .and_then(|s| s.handle(*dev, req.clone()))
+                    {
+                        Ok(_) => oks += 1,
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                if oks >= 1 {
+                    self.containers.record_delete(&req.path);
+                    Ok(Response::no_content())
+                } else {
+                    Err(last_err.unwrap_or(ScoopError::NotFound(key)))
+                }
+            }
+            Method::Post => {
+                let mut oks = 0usize;
+                let mut last_err = None;
+                for (dev, node) in &devices {
+                    match self
+                        .server(*node)
+                        .and_then(|s| s.handle(*dev, req.clone()))
+                    {
+                        Ok(_) => oks += 1,
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                if oks >= self.quorum() {
+                    Ok(Response::no_content())
+                } else {
+                    Err(last_err
+                        .unwrap_or_else(|| ScoopError::Internal("post quorum not met".into())))
+                }
+            }
+        }
+    }
+
+    fn server(&self, node: u32) -> Result<Arc<ObjectServer>> {
+        self.servers
+            .get(&node)
+            .cloned()
+            .ok_or_else(|| ScoopError::Internal(format!("no object server for node {node}")))
+    }
+
+    /// The shared container service (listings, container management).
+    pub fn containers(&self) -> &ContainerService {
+        &self.containers
+    }
+}
+
+impl std::fmt::Debug for ProxyServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProxyServer").field("id", &self.id).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::RingBuilder;
+    use bytes::Bytes;
+
+    fn make_proxy(auth_enabled: bool) -> (ProxyServer, Arc<AuthService>) {
+        let mut builder = RingBuilder::new(6, 3);
+        for node in 0..4u32 {
+            for _ in 0..2 {
+                builder.add_device(node, node, 1.0);
+            }
+        }
+        let ring = Arc::new(RwLock::new(builder.build().unwrap()));
+        let mut servers = HashMap::new();
+        for node in 0..4u32 {
+            let devs: Vec<_> = ring
+                .read()
+                .devices()
+                .iter()
+                .filter(|d| d.node == node)
+                .map(|d| d.id)
+                .collect();
+            servers.insert(node, Arc::new(ObjectServer::with_mem_devices(node, &devs)));
+        }
+        let auth = Arc::new(AuthService::new());
+        auth.register_user("AUTH_gp", "u", "k");
+        let proxy = ProxyServer::new(
+            0,
+            ring,
+            Arc::new(servers),
+            Arc::new(ContainerService::new()),
+            auth.clone(),
+            auth_enabled,
+        );
+        (proxy, auth)
+    }
+
+    fn p(obj: &str) -> ObjectPath {
+        ObjectPath::new("AUTH_gp", "meters", obj).unwrap()
+    }
+
+    #[test]
+    fn put_requires_container() {
+        let (proxy, _) = make_proxy(false);
+        let err = proxy
+            .handle(Request::put(p("x.csv"), Bytes::from_static(b"d")))
+            .unwrap_err();
+        assert_eq!(err.kind(), "not_found");
+    }
+
+    #[test]
+    fn put_get_delete_with_listing() {
+        let (proxy, _) = make_proxy(false);
+        proxy.containers().create_container("AUTH_gp", "meters");
+        let resp = proxy
+            .handle(Request::put(p("x.csv"), Bytes::from_static(b"hello")))
+            .unwrap();
+        assert_eq!(resp.status, 201);
+
+        let listing = proxy
+            .containers()
+            .list_objects("AUTH_gp", "meters", None)
+            .unwrap();
+        assert_eq!(listing.len(), 1);
+        assert_eq!(listing[0].size, 5);
+
+        let got = proxy.handle(Request::get(p("x.csv"))).unwrap();
+        assert_eq!(got.read_body().unwrap(), "hello");
+
+        proxy.handle(Request::delete(p("x.csv"))).unwrap();
+        assert!(proxy.handle(Request::get(p("x.csv"))).is_err());
+        assert!(proxy
+            .containers()
+            .list_objects("AUTH_gp", "meters", None)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn listing_prefix_filter_and_container_lifecycle() {
+        let (proxy, _) = make_proxy(false);
+        let c = proxy.containers();
+        c.create_container("AUTH_gp", "meters");
+        proxy
+            .handle(Request::put(p("2015/01/a.csv"), Bytes::from_static(b"1")))
+            .unwrap();
+        proxy
+            .handle(Request::put(p("2015/02/b.csv"), Bytes::from_static(b"2")))
+            .unwrap();
+        assert_eq!(
+            c.list_objects("AUTH_gp", "meters", Some("2015/01/")).unwrap().len(),
+            1
+        );
+        assert_eq!(c.list_containers("AUTH_gp"), vec!["meters"]);
+        // Non-empty container refuses deletion.
+        assert!(c.delete_container("AUTH_gp", "meters").is_err());
+        proxy.handle(Request::delete(p("2015/01/a.csv"))).unwrap();
+        proxy.handle(Request::delete(p("2015/02/b.csv"))).unwrap();
+        c.delete_container("AUTH_gp", "meters").unwrap();
+        assert!(!c.container_exists("AUTH_gp", "meters"));
+        assert!(c.delete_container("AUTH_gp", "meters").is_err());
+    }
+
+    #[test]
+    fn auth_is_enforced() {
+        let (proxy, auth) = make_proxy(true);
+        proxy.containers().create_container("AUTH_gp", "meters");
+        // No token.
+        assert_eq!(
+            proxy
+                .handle(Request::get(p("x.csv")))
+                .unwrap_err()
+                .kind(),
+            "unauthorized"
+        );
+        // Bad token.
+        assert_eq!(
+            proxy
+                .handle(Request::get(p("x.csv")).with_header("x-auth-token", "nope"))
+                .unwrap_err()
+                .kind(),
+            "unauthorized"
+        );
+        // Valid token, wrong account.
+        auth.register_user("AUTH_other", "u", "k");
+        let wrong = auth.issue_token("AUTH_other", "u", "k").unwrap();
+        assert_eq!(
+            proxy
+                .handle(Request::get(p("x.csv")).with_header("x-auth-token", wrong))
+                .unwrap_err()
+                .kind(),
+            "unauthorized"
+        );
+        // Valid token, right account (404 now, not 401).
+        let tok = auth.issue_token("AUTH_gp", "u", "k").unwrap();
+        assert_eq!(
+            proxy
+                .handle(Request::get(p("x.csv")).with_header("x-auth-token", tok))
+                .unwrap_err()
+                .kind(),
+            "not_found"
+        );
+    }
+
+    #[test]
+    fn get_survives_replica_failures() {
+        let (proxy, _) = make_proxy(false);
+        proxy.containers().create_container("AUTH_gp", "meters");
+        proxy
+            .handle(Request::put(p("x.csv"), Bytes::from_static(b"resilient")))
+            .unwrap();
+        // Down the primary replica's server.
+        let ring = proxy.ring.read();
+        let primary = ring.lookup(&p("x.csv").ring_key())[0];
+        let node = ring.device(primary).node;
+        drop(ring);
+        proxy.servers[&node].set_down(true);
+        let got = proxy.handle(Request::get(p("x.csv"))).unwrap();
+        assert_eq!(got.read_body().unwrap(), "resilient");
+    }
+
+    #[test]
+    fn put_fails_without_quorum() {
+        let (proxy, _) = make_proxy(false);
+        proxy.containers().create_container("AUTH_gp", "meters");
+        for s in proxy.servers.values() {
+            s.set_down(true);
+        }
+        assert!(proxy
+            .handle(Request::put(p("x.csv"), Bytes::from_static(b"d")))
+            .is_err());
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    #[test]
+    fn container_stats_track_puts_and_deletes() {
+        let c = ContainerService::new();
+        c.create_container("a", "meters");
+        assert_eq!(c.container_stats("a", "meters").unwrap(), (0, 0));
+        let p1 = ObjectPath::new("a", "meters", "x").unwrap();
+        let p2 = ObjectPath::new("a", "meters", "y").unwrap();
+        c.record_put(&p1, 100, "e1");
+        c.record_put(&p2, 250, "e2");
+        assert_eq!(c.container_stats("a", "meters").unwrap(), (2, 350));
+        // Overwrite replaces, not accumulates.
+        c.record_put(&p1, 40, "e3");
+        assert_eq!(c.container_stats("a", "meters").unwrap(), (2, 290));
+        c.record_delete(&p2);
+        assert_eq!(c.container_stats("a", "meters").unwrap(), (1, 40));
+        assert!(c.container_stats("a", "ghost").is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! HTTP-shaped requests and responses.
+//!
+//! Swift is driven through a RESTful HTTP API; Scoop piggybacks pushdown
+//! tasks "by piggybacking specific metadata fields in the HTTP GET request".
+//! This module models exactly the parts of HTTP the system relies on:
+//! methods, headers (case-insensitive), byte ranges and streamed bodies.
+
+use crate::path::ObjectPath;
+use bytes::Bytes;
+use scoop_common::{stream, ByteStream, Result, ScoopError};
+use std::collections::BTreeMap;
+
+/// Request methods used by the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Retrieve an object (optionally a byte range).
+    Get,
+    /// Store an object.
+    Put,
+    /// Remove an object.
+    Delete,
+    /// Retrieve object metadata only.
+    Head,
+    /// Update object metadata.
+    Post,
+}
+
+/// An inclusive byte range `[start, end]`, mirroring `Range: bytes=a-b`.
+/// `end == None` means "to end of object".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByteRange {
+    /// First byte offset (inclusive).
+    pub start: u64,
+    /// Last byte offset (inclusive), or `None` for EOF.
+    pub end: Option<u64>,
+}
+
+impl ByteRange {
+    /// Parse a `bytes=a-b` / `bytes=a-` header value.
+    pub fn parse(header: &str) -> Result<ByteRange> {
+        let spec = header
+            .strip_prefix("bytes=")
+            .ok_or_else(|| ScoopError::InvalidRequest(format!("bad range '{header}'")))?;
+        let (a, b) = spec
+            .split_once('-')
+            .ok_or_else(|| ScoopError::InvalidRequest(format!("bad range '{header}'")))?;
+        let start: u64 = a
+            .parse()
+            .map_err(|_| ScoopError::InvalidRequest(format!("bad range start '{a}'")))?;
+        let end = if b.is_empty() {
+            None
+        } else {
+            let e: u64 = b
+                .parse()
+                .map_err(|_| ScoopError::InvalidRequest(format!("bad range end '{b}'")))?;
+            if e < start {
+                return Err(ScoopError::InvalidRequest(format!(
+                    "range end before start in '{header}'"
+                )));
+            }
+            Some(e)
+        };
+        Ok(ByteRange { start, end })
+    }
+
+    /// Render back to a header value.
+    pub fn to_header(self) -> String {
+        match self.end {
+            Some(e) => format!("bytes={}-{e}", self.start),
+            None => format!("bytes={}-", self.start),
+        }
+    }
+
+    /// Clamp against an object of `len` bytes → half-open `[start, end)`.
+    pub fn resolve(self, len: u64) -> (u64, u64) {
+        let start = self.start.min(len);
+        let end = match self.end {
+            Some(e) => (e + 1).min(len),
+            None => len,
+        };
+        (start, end.max(start))
+    }
+}
+
+/// Case-insensitive header map (values keep their case).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Headers(BTreeMap<String, String>);
+
+impl Headers {
+    /// Empty header map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set a header (replacing any previous value).
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.0.insert(name.to_ascii_lowercase(), value.into());
+    }
+
+    /// Get a header value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.0.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+
+    /// Remove a header, returning its value.
+    pub fn remove(&mut self, name: &str) -> Option<String> {
+        self.0.remove(&name.to_ascii_lowercase())
+    }
+
+    /// True when the header is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.0.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Iterate over `(name, value)` pairs (names lowercased).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// All headers with the given prefix (e.g. `x-object-meta-`).
+    pub fn with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a str)> + 'a {
+        let prefix = prefix.to_ascii_lowercase();
+        self.0
+            .iter()
+            .filter(move |(k, _)| k.starts_with(&prefix))
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+/// A storage request.
+#[derive(Clone)]
+pub struct Request {
+    /// HTTP-like method.
+    pub method: Method,
+    /// Target object.
+    pub path: ObjectPath,
+    /// Request headers (auth token, pushdown metadata, range, user metadata).
+    pub headers: Headers,
+    /// Body for PUT requests.
+    pub body: Option<Bytes>,
+}
+
+impl Request {
+    /// Build a GET request.
+    pub fn get(path: ObjectPath) -> Request {
+        Request { method: Method::Get, path, headers: Headers::new(), body: None }
+    }
+
+    /// Build a PUT request with a body.
+    pub fn put(path: ObjectPath, body: Bytes) -> Request {
+        Request { method: Method::Put, path, headers: Headers::new(), body: Some(body) }
+    }
+
+    /// Build a DELETE request.
+    pub fn delete(path: ObjectPath) -> Request {
+        Request { method: Method::Delete, path, headers: Headers::new(), body: None }
+    }
+
+    /// Build a HEAD request.
+    pub fn head(path: ObjectPath) -> Request {
+        Request { method: Method::Head, path, headers: Headers::new(), body: None }
+    }
+
+    /// Attach a header (builder style).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Request {
+        self.headers.set(name, value);
+        self
+    }
+
+    /// Attach a byte range.
+    pub fn with_range(self, range: ByteRange) -> Request {
+        self.with_header("range", range.to_header())
+    }
+
+    /// Parse the `Range` header if present.
+    pub fn range(&self) -> Result<Option<ByteRange>> {
+        self.headers.get("range").map(ByteRange::parse).transpose()
+    }
+}
+
+impl std::fmt::Debug for Request {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Request")
+            .field("method", &self.method)
+            .field("path", &self.path.to_string())
+            .field("headers", &self.headers)
+            .field("body_len", &self.body.as_ref().map(Bytes::len))
+            .finish()
+    }
+}
+
+/// A storage response with a streamed body.
+pub struct Response {
+    /// HTTP-like status code.
+    pub status: u16,
+    /// Response headers (etag, content-length, metadata, filter stats).
+    pub headers: Headers,
+    /// Body stream (empty for errors / HEAD / PUT acks).
+    pub body: ByteStream,
+}
+
+impl Response {
+    /// 200 response with a streamed body.
+    pub fn ok(body: ByteStream) -> Response {
+        Response { status: 200, headers: Headers::new(), body }
+    }
+
+    /// 201 created (PUT ack).
+    pub fn created() -> Response {
+        Response { status: 201, headers: Headers::new(), body: stream::empty() }
+    }
+
+    /// 204 no content (DELETE ack, HEAD).
+    pub fn no_content() -> Response {
+        Response { status: 204, headers: Headers::new(), body: stream::empty() }
+    }
+
+    /// Attach a header (builder style).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.set(name, value);
+        self
+    }
+
+    /// True for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// Drain the body into one buffer (test/convenience helper).
+    pub fn read_body(self) -> Result<Bytes> {
+        stream::collect(self.body)
+    }
+}
+
+impl std::fmt::Debug for Response {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Response")
+            .field("status", &self.status)
+            .field("headers", &self.headers)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_range_parse_and_render() {
+        let r = ByteRange::parse("bytes=10-20").unwrap();
+        assert_eq!(r, ByteRange { start: 10, end: Some(20) });
+        assert_eq!(r.to_header(), "bytes=10-20");
+        let open = ByteRange::parse("bytes=5-").unwrap();
+        assert_eq!(open.end, None);
+        assert!(ByteRange::parse("10-20").is_err());
+        assert!(ByteRange::parse("bytes=20-10").is_err());
+        assert!(ByteRange::parse("bytes=x-2").is_err());
+    }
+
+    #[test]
+    fn byte_range_resolution_clamps() {
+        assert_eq!(ByteRange { start: 0, end: Some(9) }.resolve(100), (0, 10));
+        assert_eq!(ByteRange { start: 0, end: None }.resolve(100), (0, 100));
+        assert_eq!(ByteRange { start: 50, end: Some(500) }.resolve(100), (50, 100));
+        assert_eq!(ByteRange { start: 200, end: None }.resolve(100), (100, 100));
+    }
+
+    #[test]
+    fn headers_are_case_insensitive() {
+        let mut h = Headers::new();
+        h.set("X-Auth-Token", "tok");
+        assert_eq!(h.get("x-auth-token"), Some("tok"));
+        assert!(h.contains("X-AUTH-TOKEN"));
+        h.set("X-Object-Meta-Owner", "gp");
+        h.set("X-Object-Meta-Kind", "csv");
+        assert_eq!(h.with_prefix("X-Object-Meta-").count(), 2);
+        assert_eq!(h.remove("x-auth-token"), Some("tok".into()));
+        assert!(!h.contains("x-auth-token"));
+    }
+
+    #[test]
+    fn request_builders() {
+        let p = ObjectPath::new("a", "c", "o").unwrap();
+        let req = Request::get(p.clone())
+            .with_range(ByteRange { start: 0, end: Some(99) })
+            .with_header("x-run-storlet", "csvfilter");
+        assert_eq!(req.range().unwrap().unwrap().end, Some(99));
+        assert_eq!(req.headers.get("x-run-storlet"), Some("csvfilter"));
+        let put = Request::put(p, Bytes::from_static(b"data"));
+        assert_eq!(put.body.as_ref().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn response_helpers() {
+        let r = Response::ok(stream::once(Bytes::from_static(b"xy")))
+            .with_header("etag", "abc");
+        assert!(r.is_success());
+        assert_eq!(r.headers.get("etag"), Some("abc"));
+        assert_eq!(r.read_body().unwrap(), "xy");
+        assert!(!crate::request::Response {
+            status: 404,
+            headers: Headers::new(),
+            body: stream::empty()
+        }
+        .is_success());
+    }
+}

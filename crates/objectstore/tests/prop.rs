@@ -1,0 +1,91 @@
+//! Property-based tests for the ring and byte-range handling.
+
+use proptest::prelude::*;
+use scoop_objectstore::request::ByteRange;
+use scoop_objectstore::ring::{Device, DeviceId, RingBuilder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any cluster shape, every partition gets `replicas` distinct
+    /// devices and assignments stay within a 2x balance envelope.
+    #[test]
+    fn ring_invariants(
+        nodes in 3u32..10,
+        devs_per_node in 1u32..4,
+        part_power in 4u32..9,
+        replicas in 1usize..4,
+    ) {
+        let mut b = RingBuilder::new(part_power, replicas);
+        for n in 0..nodes {
+            for _ in 0..devs_per_node {
+                b.add_device(n, n % 3, 1.0);
+            }
+        }
+        let ring = b.build().unwrap();
+        let eff_replicas = ring.replicas();
+        prop_assert!(eff_replicas <= (nodes * devs_per_node) as usize);
+        for part in 0..ring.partitions() {
+            let devs = ring.devices_of_partition(part);
+            prop_assert_eq!(devs.len(), eff_replicas);
+            let mut uniq = devs.to_vec();
+            uniq.sort();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), eff_replicas, "partition {} duplicates", part);
+        }
+        let counts = ring.assignment_counts();
+        let expected =
+            ring.partitions() as f64 * eff_replicas as f64 / (nodes * devs_per_node) as f64;
+        for (_, c) in counts {
+            prop_assert!((c as f64) < expected * 2.0 + 4.0);
+        }
+    }
+
+    /// Rebalancing after adding one device keeps every partition fully
+    /// replicated with distinct devices and moves < 40% of assignments.
+    #[test]
+    fn rebalance_keeps_invariants(
+        nodes in 3u32..8,
+        part_power in 4u32..8,
+    ) {
+        let mut b = RingBuilder::new(part_power, 3);
+        for n in 0..nodes {
+            b.add_device(n, n % 3, 1.0);
+            b.add_device(n, n % 3, 1.0);
+        }
+        let mut ring = b.build().unwrap();
+        let mut devices: Vec<Device> = ring.devices().to_vec();
+        devices.push(Device {
+            id: DeviceId(devices.len() as u32),
+            node: nodes,
+            zone: 1,
+            weight: 1.0,
+        });
+        let moved = ring.rebalance(devices).unwrap();
+        let total = ring.partitions() * 3;
+        prop_assert!((moved as f64) < total as f64 * 0.4, "moved {}/{}", moved, total);
+        for part in 0..ring.partitions() {
+            let devs = ring.devices_of_partition(part);
+            let mut uniq = devs.to_vec();
+            uniq.sort();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), 3);
+        }
+    }
+
+    /// Byte-range parse/render round-trips and resolution is always within
+    /// bounds and well-ordered.
+    #[test]
+    fn byte_range_roundtrip_and_resolve(
+        start in 0u64..10_000,
+        extra in proptest::option::of(0u64..10_000),
+        len in 0u64..20_000,
+    ) {
+        let range = ByteRange { start, end: extra.map(|e| start + e) };
+        let parsed = ByteRange::parse(&range.to_header()).unwrap();
+        prop_assert_eq!(parsed, range);
+        let (s, e) = range.resolve(len);
+        prop_assert!(s <= e);
+        prop_assert!(e <= len);
+    }
+}

@@ -1,0 +1,419 @@
+//! The SQL abstract syntax tree.
+
+use scoop_csv::Value;
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinOp {
+    /// Render the SQL token.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `SUM(expr)`
+    Sum,
+    /// `COUNT(expr)` / `COUNT(*)`
+    Count,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+    /// `AVG(expr)`
+    Avg,
+    /// `FIRST_VALUE(expr)` — first value in encounter order.
+    First,
+}
+
+impl AggFunc {
+    /// Parse a function name as an aggregate.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_lowercase().as_str() {
+            "sum" => Some(AggFunc::Sum),
+            "count" => Some(AggFunc::Count),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            "avg" => Some(AggFunc::Avg),
+            "first_value" | "first" => Some(AggFunc::First),
+            _ => None,
+        }
+    }
+
+    /// SQL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Count => "count",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+            AggFunc::First => "first_value",
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference (stored lowercased by the parser).
+    Column(String),
+    /// Literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `NOT expr`
+    Not(Box<Expr>),
+    /// `expr [NOT] LIKE 'pattern'`
+    Like {
+        /// Matched expression.
+        expr: Box<Expr>,
+        /// SQL LIKE pattern.
+        pattern: String,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (e1, e2, ...)`
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate list.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// Scalar function call (`SUBSTRING`, `UPPER`, ...).
+    Func {
+        /// Lowercased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Aggregate call. `arg == None` encodes `COUNT(*)`.
+    Agg {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Argument (None for `COUNT(*)`).
+        arg: Option<Box<Expr>>,
+    },
+    /// `*` in `SELECT *`.
+    Star,
+}
+
+impl Expr {
+    /// All column names referenced (lowercased).
+    pub fn columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(c) => {
+                if !out.contains(c) {
+                    out.push(c.clone());
+                }
+            }
+            Expr::Literal(_) | Expr::Star => {}
+            Expr::Binary { left, right, .. } => {
+                left.columns(out);
+                right.columns(out);
+            }
+            Expr::Not(e) => e.columns(out),
+            Expr::Like { expr, .. } => expr.columns(out),
+            Expr::InList { expr, list, .. } => {
+                expr.columns(out);
+                for e in list {
+                    e.columns(out);
+                }
+            }
+            Expr::IsNull { expr, .. } => expr.columns(out),
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.columns(out);
+                }
+            }
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.columns(out);
+                }
+            }
+        }
+    }
+
+    /// True when the expression (transitively) contains an aggregate call.
+    pub fn contains_agg(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Column(_) | Expr::Literal(_) | Expr::Star => false,
+            Expr::Binary { left, right, .. } => left.contains_agg() || right.contains_agg(),
+            Expr::Not(e) => e.contains_agg(),
+            Expr::Like { expr, .. } => expr.contains_agg(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_agg() || list.iter().any(Expr::contains_agg)
+            }
+            Expr::IsNull { expr, .. } => expr.contains_agg(),
+            Expr::Func { args, .. } => args.iter().any(Expr::contains_agg),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(Value::Str(s)) => write!(f, "'{s}'"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Binary { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::Like { expr, pattern, negated } => {
+                write!(f, "({expr} {}LIKE '{pattern}')", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList { expr, list, negated } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::Func { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Agg { func, arg } => match arg {
+                Some(a) => write!(f, "{}({a})", func.name()),
+                None => write!(f, "{}(*)", func.name()),
+            },
+            Expr::Star => write!(f, "*"),
+        }
+    }
+}
+
+/// One SELECT-list item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: Expr,
+    /// Optional `AS alias`.
+    pub alias: Option<String>,
+}
+
+impl SelectItem {
+    /// The output column name: alias, or a rendering of the expression.
+    pub fn output_name(&self) -> String {
+        match &self.alias {
+            Some(a) => a.clone(),
+            None => self.expr.to_string(),
+        }
+    }
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Sort expression.
+    pub expr: Expr,
+    /// Descending order.
+    pub desc: bool,
+}
+
+/// A parsed SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// SELECT list.
+    pub items: Vec<SelectItem>,
+    /// FROM table name (lowercased).
+    pub table: String,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate (post-aggregation filter).
+    pub having: Option<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// True when the query aggregates (GROUP BY present or any aggregate in
+    /// the select list).
+    pub fn is_aggregate(&self) -> bool {
+        !self.group_by.is_empty() || self.items.iter().any(|i| i.expr.contains_agg())
+    }
+
+    /// All referenced column names; `None` when `SELECT *` requires all.
+    pub fn referenced_columns(&self) -> Option<Vec<String>> {
+        if self.items.iter().any(|i| matches!(i.expr, Expr::Star)) {
+            return None;
+        }
+        let mut cols = Vec::new();
+        for item in &self.items {
+            item.expr.columns(&mut cols);
+        }
+        if let Some(w) = &self.where_clause {
+            w.columns(&mut cols);
+        }
+        for g in &self.group_by {
+            g.columns(&mut cols);
+        }
+        if let Some(h) = &self.having {
+            h.columns(&mut cols);
+        }
+        for o in &self.order_by {
+            o.expr.columns(&mut cols);
+        }
+        Some(cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(c: &str) -> Expr {
+        Expr::Column(c.into())
+    }
+
+    #[test]
+    fn columns_dedup_and_walk_nested() {
+        let e = Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(Expr::Like {
+                expr: Box::new(col("date")),
+                pattern: "2015%".into(),
+                negated: false,
+            }),
+            right: Box::new(Expr::Binary {
+                op: BinOp::Gt,
+                left: Box::new(Expr::Func {
+                    name: "substring".into(),
+                    args: vec![col("date"), Expr::Literal(Value::Int(0))],
+                }),
+                right: Box::new(col("vid")),
+            }),
+        };
+        let mut cols = Vec::new();
+        e.columns(&mut cols);
+        assert_eq!(cols, vec!["date".to_string(), "vid".to_string()]);
+    }
+
+    #[test]
+    fn contains_agg_detects_nesting() {
+        let agg = Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(col("index"))) };
+        let nested = Expr::Binary {
+            op: BinOp::Div,
+            left: Box::new(agg.clone()),
+            right: Box::new(Expr::Literal(Value::Int(100))),
+        };
+        assert!(agg.contains_agg());
+        assert!(nested.contains_agg());
+        assert!(!col("x").contains_agg());
+    }
+
+    #[test]
+    fn output_names() {
+        let item = SelectItem {
+            expr: Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(col("index"))) },
+            alias: Some("max".into()),
+        };
+        assert_eq!(item.output_name(), "max");
+        let bare = SelectItem { expr: col("vid"), alias: None };
+        assert_eq!(bare.output_name(), "vid");
+    }
+
+    #[test]
+    fn referenced_columns_covers_all_clauses() {
+        let q = Query {
+            distinct: false,
+            items: vec![SelectItem { expr: col("a"), alias: None }],
+            table: "t".into(),
+            where_clause: Some(Expr::IsNull { expr: Box::new(col("b")), negated: false }),
+            group_by: vec![col("c")],
+            having: Some(Expr::IsNull { expr: Box::new(col("e")), negated: true }),
+            order_by: vec![OrderItem { expr: col("d"), desc: true }],
+            limit: None,
+        };
+        assert_eq!(
+            q.referenced_columns().unwrap(),
+            vec!["a", "b", "c", "e", "d"]
+        );
+        let star = Query {
+            items: vec![SelectItem { expr: Expr::Star, alias: None }],
+            ..q
+        };
+        assert!(star.referenced_columns().is_none());
+    }
+}

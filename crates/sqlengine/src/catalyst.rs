@@ -1,0 +1,394 @@
+//! Catalyst-style pushdown extraction.
+//!
+//! "Given a SQL query, the optimizer *extracts* the projection and selection
+//! filters implied by the query. These extracted filters are then used by
+//! Spark SQL with the customized flavors of the data source API." This module
+//! is that optimizer: it turns a parsed [`Query`] into
+//!
+//! * a [`PushdownSpec`] — the projection (columns the query touches) and the
+//!   WHERE conjuncts expressible in the Data-Sources filter language, and
+//! * the **residual** predicate — conjuncts the store cannot evaluate, which
+//!   stay on the compute side (`PrunedFilteredScan` semantics: the source
+//!   fully handles the filters it accepts).
+//!
+//! `NOT` is never pushed: the raw-field filter is two-valued while SQL is
+//! three-valued, and they disagree on `NOT <null comparison>` (real Catalyst
+//! has the same restriction on nullable columns).
+
+use crate::ast::{BinOp, Expr, Query};
+use scoop_common::Result;
+use scoop_csv::{Predicate, PushdownSpec, Schema, Value};
+
+/// A query analyzed for pushdown execution.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The original query.
+    pub query: Query,
+    /// What the object store will execute (projection + pushed selection).
+    pub pushdown: PushdownSpec,
+    /// Conjuncts the compute side must still apply.
+    pub residual_where: Option<Expr>,
+    /// The schema of rows the scan produces under `pushdown` (projected).
+    pub scan_schema: Schema,
+    /// How many WHERE conjuncts were pushed (diagnostics).
+    pub pushed_conjuncts: usize,
+    /// How many stayed residual (diagnostics).
+    pub residual_conjuncts: usize,
+}
+
+/// Analyze a query against a table schema.
+pub fn plan_query(query: &Query, schema: &Schema, has_header: bool) -> Result<PlannedQuery> {
+    // Validate every referenced column.
+    if let Some(cols) = query.referenced_columns() {
+        for c in &cols {
+            schema.resolve(c)?;
+        }
+    }
+    // Projection: the columns the query touches, in schema order for
+    // deterministic wire format. SELECT * disables pruning.
+    let columns = query.referenced_columns().map(|cols| {
+        let mut ordered: Vec<String> = schema
+            .fields
+            .iter()
+            .filter(|f| cols.iter().any(|c| f.name.eq_ignore_ascii_case(c)))
+            .map(|f| f.name.clone())
+            .collect();
+        // A scan must produce at least one column (e.g. SELECT COUNT(*)).
+        if ordered.is_empty() {
+            if let Some(first) = schema.fields.first() {
+                ordered.push(first.name.clone());
+            }
+        }
+        ordered
+    });
+
+    // Selection: split the WHERE into conjuncts; push what converts.
+    let mut pushed: Vec<Predicate> = Vec::new();
+    let mut residual: Vec<Expr> = Vec::new();
+    if let Some(w) = &query.where_clause {
+        for conjunct in split_conjuncts(w) {
+            match to_predicate(&conjunct) {
+                Some(p) => pushed.push(p),
+                None => residual.push(conjunct),
+            }
+        }
+    }
+    let pushed_conjuncts = pushed.len();
+    let residual_conjuncts = residual.len();
+    let predicate = Predicate::and_all(pushed);
+    let residual_where = residual
+        .into_iter()
+        .reduce(|a, b| Expr::Binary { op: BinOp::And, left: Box::new(a), right: Box::new(b) });
+
+    let scan_schema = match &columns {
+        None => schema.clone(),
+        Some(cols) => schema.project(cols)?,
+    };
+    // All columns projected → None (no pruning benefit, keep wire identical).
+    let columns = match columns {
+        Some(cols) if cols.len() == schema.len() => None,
+        other => other,
+    };
+
+    Ok(PlannedQuery {
+        query: query.clone(),
+        pushdown: PushdownSpec { columns, predicate, has_header },
+        residual_where,
+        scan_schema,
+        pushed_conjuncts,
+        residual_conjuncts,
+    })
+}
+
+/// Split an expression into top-level AND conjuncts.
+pub fn split_conjuncts(expr: &Expr) -> Vec<Expr> {
+    match expr {
+        Expr::Binary { op: BinOp::And, left, right } => {
+            let mut out = split_conjuncts(left);
+            out.extend(split_conjuncts(right));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// Try to express an expression in the Data-Sources filter language.
+fn to_predicate(expr: &Expr) -> Option<Predicate> {
+    match expr {
+        Expr::Binary { op, left, right } => {
+            match op {
+                BinOp::And => Some(Predicate::And(
+                    Box::new(to_predicate(left)?),
+                    Box::new(to_predicate(right)?),
+                )),
+                BinOp::Or => Some(Predicate::Or(
+                    Box::new(to_predicate(left)?),
+                    Box::new(to_predicate(right)?),
+                )),
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    // column <op> literal, possibly flipped.
+                    let (col, lit, op) = match (&**left, &**right) {
+                        (Expr::Column(c), Expr::Literal(v)) => (c, v, *op),
+                        (Expr::Literal(v), Expr::Column(c)) => (c, v, flip(*op)),
+                        _ => return None,
+                    };
+                    if lit.is_null() {
+                        return None; // `col = NULL` is never true; leave residual
+                    }
+                    Some(match op {
+                        BinOp::Eq => Predicate::Eq(col.clone(), lit.clone()),
+                        BinOp::Ne => Predicate::Ne(col.clone(), lit.clone()),
+                        BinOp::Lt => Predicate::Lt(col.clone(), lit.clone()),
+                        BinOp::Le => Predicate::Le(col.clone(), lit.clone()),
+                        BinOp::Gt => Predicate::Gt(col.clone(), lit.clone()),
+                        BinOp::Ge => Predicate::Ge(col.clone(), lit.clone()),
+                        _ => unreachable!(),
+                    })
+                }
+                _ => None,
+            }
+        }
+        Expr::Like { expr, pattern, negated: false } => match &**expr {
+            Expr::Column(c) => {
+                // Specialize anchored patterns (Spark emits StringStartsWith
+                // and friends for these).
+                let inner = &pattern[..];
+                let has_underscore = inner.contains('_');
+                if !has_underscore {
+                    let pct = inner.matches('%').count();
+                    if pct == 0 {
+                        return Some(Predicate::Eq(c.clone(), Value::Str(inner.to_string())));
+                    }
+                    if pct == 1 && inner.ends_with('%') {
+                        return Some(Predicate::StartsWith(
+                            c.clone(),
+                            inner[..inner.len() - 1].to_string(),
+                        ));
+                    }
+                    if pct == 1 && inner.starts_with('%') {
+                        return Some(Predicate::EndsWith(c.clone(), inner[1..].to_string()));
+                    }
+                    if pct == 2 && inner.starts_with('%') && inner.ends_with('%') {
+                        let mid = &inner[1..inner.len() - 1];
+                        if !mid.contains('%') {
+                            return Some(Predicate::Contains(c.clone(), mid.to_string()));
+                        }
+                    }
+                }
+                Some(Predicate::Like(c.clone(), pattern.clone()))
+            }
+            _ => None,
+        },
+        Expr::InList { expr, list, negated: false } => match &**expr {
+            Expr::Column(c) => {
+                let mut values = Vec::with_capacity(list.len());
+                for item in list {
+                    match item {
+                        Expr::Literal(v) if !v.is_null() => values.push(v.clone()),
+                        _ => return None,
+                    }
+                }
+                Some(Predicate::In(c.clone(), values))
+            }
+            _ => None,
+        },
+        Expr::IsNull { expr, negated } => match &**expr {
+            Expr::Column(c) => Some(if *negated {
+                Predicate::IsNotNull(c.clone())
+            } else {
+                Predicate::IsNull(c.clone())
+            }),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+/// Validate the plan's internal consistency (used by tests & debug builds):
+/// every pushed/residual column must exist in the scan schema.
+pub fn check_plan(plan: &PlannedQuery) -> Result<()> {
+    if let Some(pred) = &plan.pushdown.predicate {
+        for c in pred.columns() {
+            plan.scan_schema.resolve(&c)?;
+        }
+    }
+    if let Some(res) = &plan.residual_where {
+        let mut cols = Vec::new();
+        res.columns(&mut cols);
+        for c in cols {
+            plan.scan_schema.resolve(&c)?;
+        }
+    }
+    Ok(())
+}
+
+impl PlannedQuery {
+    /// True when the store does all the filtering (no residual WHERE).
+    pub fn fully_pushed(&self) -> bool {
+        self.residual_conjuncts == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use scoop_csv::schema::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("vid", DataType::Str),
+            Field::new("date", DataType::Str),
+            Field::new("index", DataType::Float),
+            Field::new("city", DataType::Str),
+            Field::new("state", DataType::Str),
+            Field::new("lat", DataType::Float),
+        ])
+    }
+
+    fn plan(sql: &str) -> PlannedQuery {
+        let q = parse(sql).unwrap();
+        let p = plan_query(&q, &schema(), true).unwrap();
+        check_plan(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn showmapcons_fully_pushes() {
+        let p = plan(
+            "SELECT vid, sum(index) as max, first_value(lat) as lat FROM t \
+             WHERE date LIKE '2015-01%' GROUP BY SUBSTRING(date, 0, 7), vid \
+             ORDER BY SUBSTRING(date, 0, 7), vid",
+        );
+        assert!(p.fully_pushed());
+        assert_eq!(p.pushed_conjuncts, 1);
+        // Prefix LIKE specializes to StartsWith.
+        assert_eq!(
+            p.pushdown.predicate,
+            Some(Predicate::StartsWith("date".into(), "2015-01".into()))
+        );
+        // Projection keeps only touched columns, in schema order.
+        assert_eq!(
+            p.pushdown.columns,
+            Some(vec!["vid".into(), "date".into(), "index".into(), "lat".into()])
+        );
+        assert_eq!(p.scan_schema.len(), 4);
+    }
+
+    #[test]
+    fn like_specializations() {
+        assert_eq!(
+            plan("SELECT vid FROM t WHERE city LIKE 'Rotterdam'").pushdown.predicate,
+            Some(Predicate::Eq("city".into(), Value::Str("Rotterdam".into())))
+        );
+        assert_eq!(
+            plan("SELECT vid FROM t WHERE state LIKE 'U%'").pushdown.predicate,
+            Some(Predicate::StartsWith("state".into(), "U".into()))
+        );
+        assert_eq!(
+            plan("SELECT vid FROM t WHERE city LIKE '%dam'").pushdown.predicate,
+            Some(Predicate::EndsWith("city".into(), "dam".into()))
+        );
+        assert_eq!(
+            plan("SELECT vid FROM t WHERE city LIKE '%tt%'").pushdown.predicate,
+            Some(Predicate::Contains("city".into(), "tt".into()))
+        );
+        assert_eq!(
+            plan("SELECT vid FROM t WHERE date LIKE '2015-01-__ 10%'").pushdown.predicate,
+            Some(Predicate::Like("date".into(), "2015-01-__ 10%".into()))
+        );
+    }
+
+    #[test]
+    fn comparison_flip_and_mixed_residual() {
+        let p = plan(
+            "SELECT vid FROM t WHERE 100 <= index AND SUBSTRING(date, 0, 4) = '2015'",
+        );
+        assert_eq!(p.pushed_conjuncts, 1);
+        assert_eq!(p.residual_conjuncts, 1);
+        assert_eq!(
+            p.pushdown.predicate,
+            Some(Predicate::Ge("index".into(), Value::Float(100.0))),
+        );
+        assert!(p.residual_where.is_some());
+        assert!(!p.fully_pushed());
+    }
+
+    #[test]
+    fn or_pushes_only_when_both_sides_do() {
+        let p = plan("SELECT vid FROM t WHERE city LIKE 'Paris' OR state IN ('FRA')");
+        assert!(p.fully_pushed());
+        assert!(matches!(p.pushdown.predicate, Some(Predicate::Or(_, _))));
+        let p = plan(
+            "SELECT vid FROM t WHERE city LIKE 'Paris' OR SUBSTRING(date,0,4) = '2015'",
+        );
+        assert_eq!(p.pushed_conjuncts, 0);
+        assert_eq!(p.residual_conjuncts, 1);
+    }
+
+    #[test]
+    fn not_and_negations_stay_residual() {
+        for sql in [
+            "SELECT vid FROM t WHERE NOT city LIKE 'Paris'",
+            "SELECT vid FROM t WHERE city NOT LIKE 'Paris'",
+            "SELECT vid FROM t WHERE state NOT IN ('FRA')",
+            "SELECT vid FROM t WHERE index + 1 > 2",
+            "SELECT vid FROM t WHERE index = NULL",
+        ] {
+            let p = plan(sql);
+            assert_eq!(p.pushed_conjuncts, 0, "{sql}");
+            assert_eq!(p.residual_conjuncts, 1, "{sql}");
+        }
+    }
+
+    #[test]
+    fn null_tests_push() {
+        let p = plan("SELECT vid FROM t WHERE index IS NULL AND lat IS NOT NULL");
+        assert!(p.fully_pushed());
+        assert_eq!(p.pushed_conjuncts, 2);
+    }
+
+    #[test]
+    fn select_star_disables_pruning() {
+        let p = plan("SELECT * FROM t WHERE state LIKE 'FRA'");
+        assert_eq!(p.pushdown.columns, None);
+        assert_eq!(p.scan_schema.len(), 6);
+    }
+
+    #[test]
+    fn all_columns_referenced_disables_pruning() {
+        let p = plan("SELECT vid, date, index, city, state, lat FROM t");
+        assert_eq!(p.pushdown.columns, None);
+    }
+
+    #[test]
+    fn count_star_scans_one_column() {
+        let p = plan("SELECT count(*) FROM t");
+        assert_eq!(p.pushdown.columns, Some(vec!["vid".into()]));
+        assert_eq!(p.scan_schema.len(), 1);
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let q = parse("SELECT ghost FROM t").unwrap();
+        assert!(plan_query(&q, &schema(), true).is_err());
+    }
+
+    #[test]
+    fn in_list_pushes_literals_only() {
+        let p = plan("SELECT vid FROM t WHERE state IN ('FRA', 'NLD')");
+        assert!(p.fully_pushed());
+        let p = plan("SELECT vid FROM t WHERE state IN ('FRA', vid)");
+        assert_eq!(p.pushed_conjuncts, 0);
+    }
+}

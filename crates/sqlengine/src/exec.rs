@@ -1,0 +1,971 @@
+//! Query execution over row streams.
+//!
+//! Two entry points:
+//!
+//! * [`execute`] / [`execute_with_where`] — run a whole query on one row
+//!   iterator (the driver-only path, used for correctness references).
+//! * [`Aggregator`] — Spark-style two-phase aggregation: workers fold their
+//!   partition's rows into a [`PartialAgg`] (map-side combine), the driver
+//!   merges partials and finalizes. The compute crate drives this.
+//!
+//! NULL handling follows SQL three-valued logic, arranged to agree exactly
+//! with the raw-field evaluation in `scoop_csv::filter` so pushdown is
+//! transparent.
+
+use crate::ast::{BinOp, Expr, Query, SelectItem};
+use crate::functions::{eval_scalar, AggState};
+use scoop_common::{Result, ScoopError};
+use scoop_csv::pushdown::like_match;
+use scoop_csv::{Schema, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// A materialized query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Render as CSV (header + rows) — handy for result comparison and docs.
+    pub fn to_csv(&self) -> String {
+        let mut w = scoop_csv::CsvWriter::new();
+        let refs: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+        w.write_strs(&refs);
+        for row in &self.rows {
+            w.write_row(row);
+        }
+        String::from_utf8_lossy(&w.into_bytes()).into_owned()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Structural equality with a relative tolerance on floats. Two-phase
+    /// aggregation sums floats in partition order, so results from different
+    /// partitionings of the same data can differ in the last ulps.
+    pub fn approx_eq(&self, other: &ResultSet, rel_tol: f64) -> bool {
+        if self.columns != other.columns || self.rows.len() != other.rows.len() {
+            return false;
+        }
+        self.rows.iter().zip(&other.rows).all(|(a, b)| {
+            a.len() == b.len()
+                && a.iter().zip(b).all(|(x, y)| match (x.as_f64(), y.as_f64()) {
+                    (Some(fx), Some(fy)) => {
+                        let scale = fx.abs().max(fy.abs()).max(1.0);
+                        (fx - fy).abs() <= rel_tol * scale
+                    }
+                    _ => x == y,
+                })
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+/// Evaluate a scalar expression against a row. Aggregate nodes are an error
+/// here; aggregated queries substitute them before calling.
+pub fn eval(expr: &Expr, row: &[Value], schema: &Schema) -> Result<Value> {
+    match expr {
+        Expr::Column(name) => {
+            let idx = schema.resolve(name)?;
+            Ok(row.get(idx).cloned().unwrap_or(Value::Null))
+        }
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Star => Err(ScoopError::Sql("'*' outside COUNT(*)".into())),
+        Expr::Agg { .. } => Err(ScoopError::Sql(
+            "aggregate used outside aggregation context".into(),
+        )),
+        Expr::Func { name, args } => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval(a, row, schema))
+                .collect::<Result<_>>()?;
+            eval_scalar(name, &vals)
+        }
+        Expr::Binary { op, left, right } => match op {
+            BinOp::And | BinOp::Or => Ok(tri_to_value(eval_pred(expr, row, schema)?)),
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                Ok(tri_to_value(eval_pred(expr, row, schema)?))
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                let l = eval(left, row, schema)?;
+                let r = eval(right, row, schema)?;
+                Ok(arith(*op, &l, &r))
+            }
+        },
+        Expr::Not(_) | Expr::Like { .. } | Expr::InList { .. } | Expr::IsNull { .. } => {
+            Ok(tri_to_value(eval_pred(expr, row, schema)?))
+        }
+    }
+}
+
+fn tri_to_value(t: Option<bool>) -> Value {
+    match t {
+        None => Value::Null,
+        Some(true) => Value::Int(1),
+        Some(false) => Value::Int(0),
+    }
+}
+
+/// Arithmetic with SQL NULL propagation; non-numeric operands yield NULL
+/// (matching Spark's permissive casts on semi-structured data).
+fn arith(op: BinOp, l: &Value, r: &Value) -> Value {
+    let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+        return Value::Null;
+    };
+    let both_int = matches!(l, Value::Int(_)) && matches!(r, Value::Int(_));
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Mod if both_int => {
+            let (x, y) = (a as i64, b as i64);
+            match op {
+                BinOp::Add => Value::Int(x.wrapping_add(y)),
+                BinOp::Sub => Value::Int(x.wrapping_sub(y)),
+                BinOp::Mul => Value::Int(x.wrapping_mul(y)),
+                BinOp::Mod => {
+                    if y == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(x % y)
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        BinOp::Add => Value::Float(a + b),
+        BinOp::Sub => Value::Float(a - b),
+        BinOp::Mul => Value::Float(a * b),
+        BinOp::Div => {
+            if b == 0.0 {
+                Value::Null
+            } else {
+                Value::Float(a / b)
+            }
+        }
+        BinOp::Mod => {
+            if b == 0.0 {
+                Value::Null
+            } else {
+                Value::Float(a % b)
+            }
+        }
+        _ => unreachable!("arith called with comparison op"),
+    }
+}
+
+/// Three-valued predicate evaluation (Kleene logic for AND/OR/NOT).
+pub fn eval_pred(expr: &Expr, row: &[Value], schema: &Schema) -> Result<Option<bool>> {
+    match expr {
+        Expr::Binary { op: BinOp::And, left, right } => {
+            let l = eval_pred(left, row, schema)?;
+            let r = eval_pred(right, row, schema)?;
+            Ok(match (l, r) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            })
+        }
+        Expr::Binary { op: BinOp::Or, left, right } => {
+            let l = eval_pred(left, row, schema)?;
+            let r = eval_pred(right, row, schema)?;
+            Ok(match (l, r) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            })
+        }
+        Expr::Not(inner) => Ok(eval_pred(inner, row, schema)?.map(|b| !b)),
+        Expr::Binary {
+            op: op @ (BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge),
+            left,
+            right,
+        } => {
+            let l = eval(left, row, schema)?;
+            let r = eval(right, row, schema)?;
+            Ok(l.sql_cmp(&r).map(|ord| match op {
+                BinOp::Eq => ord == Ordering::Equal,
+                BinOp::Ne => ord != Ordering::Equal,
+                BinOp::Lt => ord == Ordering::Less,
+                BinOp::Le => ord != Ordering::Greater,
+                BinOp::Gt => ord == Ordering::Greater,
+                BinOp::Ge => ord != Ordering::Less,
+                _ => unreachable!(),
+            }))
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let v = eval(expr, row, schema)?;
+            Ok(match v {
+                Value::Null => None,
+                other => {
+                    let text = match &other {
+                        Value::Str(s) => s.clone(),
+                        v => v.to_string(),
+                    };
+                    Some(like_match(pattern, &text) != *negated)
+                }
+            })
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = eval(expr, row, schema)?;
+            if v.is_null() {
+                return Ok(None);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let candidate = eval(item, row, schema)?;
+                if candidate.is_null() {
+                    saw_null = true;
+                } else if v.sql_eq(&candidate) {
+                    return Ok(Some(!negated));
+                }
+            }
+            Ok(if saw_null { None } else { Some(*negated) })
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, row, schema)?;
+            Ok(Some(v.is_null() != *negated))
+        }
+        other => {
+            // Fallback: numeric truthiness of the evaluated value.
+            let v = eval(other, row, schema)?;
+            Ok(match v {
+                Value::Null => None,
+                v => v.as_f64().map(|f| f != 0.0),
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// Per-group accumulated state.
+#[derive(Debug, Clone)]
+pub struct GroupState {
+    /// One accumulator per collected aggregate call.
+    pub states: Vec<AggState>,
+    /// First row of the group — evaluates non-aggregate expressions
+    /// (functionally dependent on the key in well-formed queries).
+    pub rep_row: Vec<Value>,
+}
+
+/// Partial aggregation result (one worker's contribution).
+#[derive(Debug, Clone, Default)]
+pub struct PartialAgg {
+    /// group key → state.
+    pub groups: HashMap<Vec<Value>, GroupState>,
+    /// Rows folded in (for accounting).
+    pub rows_seen: u64,
+}
+
+/// Drives grouping + two-phase aggregation for one query.
+pub struct Aggregator {
+    query: Query,
+    schema: Schema,
+    /// Deduplicated aggregate calls appearing anywhere in the output/order.
+    agg_calls: Vec<Expr>,
+}
+
+impl Aggregator {
+    /// Prepare for a query (must be an aggregate query).
+    pub fn new(query: &Query, schema: &Schema) -> Result<Aggregator> {
+        if !query.is_aggregate() {
+            return Err(ScoopError::Sql("query does not aggregate".into()));
+        }
+        if query.items.iter().any(|i| matches!(i.expr, Expr::Star)) {
+            return Err(ScoopError::Sql("SELECT * cannot be aggregated".into()));
+        }
+        let mut agg_calls = Vec::new();
+        for item in &query.items {
+            collect_agg_calls(&item.expr, &mut agg_calls);
+        }
+        if let Some(h) = &query.having {
+            collect_agg_calls(h, &mut agg_calls);
+        }
+        for o in &query.order_by {
+            collect_agg_calls(&o.expr, &mut agg_calls);
+        }
+        Ok(Aggregator { query: query.clone(), schema: schema.clone(), agg_calls })
+    }
+
+    /// Fresh empty partial.
+    pub fn make_partial(&self) -> PartialAgg {
+        PartialAgg::default()
+    }
+
+    /// Fold one (already WHERE-filtered) row into a partial.
+    pub fn update(&self, partial: &mut PartialAgg, row: &[Value]) -> Result<()> {
+        partial.rows_seen += 1;
+        let key: Vec<Value> = self
+            .query
+            .group_by
+            .iter()
+            .map(|g| eval(g, row, &self.schema))
+            .collect::<Result<_>>()?;
+        let entry = partial.groups.entry(key).or_insert_with(|| GroupState {
+            states: self
+                .agg_calls
+                .iter()
+                .map(|c| match c {
+                    Expr::Agg { func, .. } => AggState::new(*func),
+                    _ => unreachable!("agg_calls holds Agg nodes"),
+                })
+                .collect(),
+            rep_row: row.to_vec(),
+        });
+        for (call, state) in self.agg_calls.iter().zip(entry.states.iter_mut()) {
+            let Expr::Agg { arg, .. } = call else { unreachable!() };
+            let v = match arg {
+                None => Value::Int(1), // COUNT(*)
+                Some(a) => eval(a, row, &self.schema)?,
+            };
+            state.update(&v);
+        }
+        Ok(())
+    }
+
+    /// Merge another partial into `into` (driver-side reduce).
+    pub fn merge(&self, into: &mut PartialAgg, other: PartialAgg) {
+        into.rows_seen += other.rows_seen;
+        for (key, state) in other.groups {
+            match into.groups.entry(key) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(state);
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    let dst = o.get_mut();
+                    for (a, b) in dst.states.iter_mut().zip(state.states.iter()) {
+                        a.merge(b);
+                    }
+                    // rep_row keeps the first-seen representative.
+                }
+            }
+        }
+    }
+
+    /// Finalize: evaluate output expressions per group, sort, limit.
+    pub fn finalize(&self, mut partial: PartialAgg) -> Result<ResultSet> {
+        let columns: Vec<String> =
+            self.query.items.iter().map(SelectItem::output_name).collect();
+        // SQL: a global aggregate (no GROUP BY) over zero rows still yields
+        // one row — COUNT is 0, the other aggregates NULL.
+        if self.query.group_by.is_empty() && partial.groups.is_empty() {
+            partial.groups.insert(
+                Vec::new(),
+                GroupState {
+                    states: self
+                        .agg_calls
+                        .iter()
+                        .map(|c| match c {
+                            Expr::Agg { func, .. } => AggState::new(*func),
+                            _ => unreachable!("agg_calls holds Agg nodes"),
+                        })
+                        .collect(),
+                    rep_row: Vec::new(),
+                },
+            );
+        }
+        let mut keyed_rows: Vec<(Vec<Value>, Vec<Value>)> =
+            Vec::with_capacity(partial.groups.len());
+        for state in partial.groups.into_values() {
+            let agg_values: Vec<Value> =
+                state.states.iter().map(AggState::finish).collect();
+            let out_row: Vec<Value> = self
+                .query
+                .items
+                .iter()
+                .map(|item| {
+                    eval_with_aggs(
+                        &item.expr,
+                        &self.agg_calls,
+                        &agg_values,
+                        &state.rep_row,
+                        &self.schema,
+                    )
+                })
+                .collect::<Result<_>>()?;
+            // HAVING: post-aggregation filter, evaluated with aggregates
+            // substituted (truthy = keep).
+            if let Some(h) = &self.query.having {
+                let v = eval_with_aggs(h, &self.agg_calls, &agg_values, &state.rep_row, &self.schema)?;
+                let keep = matches!(v.as_f64(), Some(f) if f != 0.0);
+                if !keep {
+                    continue;
+                }
+            }
+            let sort_key: Vec<Value> = self
+                .query
+                .order_by
+                .iter()
+                .map(|o| {
+                    self.order_value(&o.expr, &out_row, &state.rep_row, &agg_values)
+                })
+                .collect::<Result<_>>()?;
+            keyed_rows.push((sort_key, out_row));
+        }
+        if self.query.distinct {
+            dedup_rows(&mut keyed_rows);
+        }
+        sort_and_trim(&mut keyed_rows, &self.query);
+        Ok(ResultSet { columns, rows: keyed_rows.into_iter().map(|(_, r)| r).collect() })
+    }
+
+    /// Resolve an ORDER BY expression for an aggregated query: alias or
+    /// identical select expression first, else evaluate on the group's
+    /// representative row (with aggregates substituted).
+    fn order_value(
+        &self,
+        expr: &Expr,
+        out_row: &[Value],
+        rep_row: &[Value],
+        agg_values: &[Value],
+    ) -> Result<Value> {
+        if let Expr::Column(name) = expr {
+            if let Some(i) = self
+                .query
+                .items
+                .iter()
+                .position(|it| it.alias.as_deref() == Some(name.as_str()))
+            {
+                return Ok(out_row[i].clone());
+            }
+        }
+        if let Some(i) = self.query.items.iter().position(|it| &it.expr == expr) {
+            return Ok(out_row[i].clone());
+        }
+        eval_with_aggs(expr, &self.agg_calls, agg_values, rep_row, &self.schema)
+    }
+}
+
+fn collect_agg_calls(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::Agg { .. } => {
+            if !out.contains(expr) {
+                out.push(expr.clone());
+            }
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_agg_calls(left, out);
+            collect_agg_calls(right, out);
+        }
+        Expr::Not(e) | Expr::Like { expr: e, .. } | Expr::IsNull { expr: e, .. } => {
+            collect_agg_calls(e, out)
+        }
+        Expr::InList { expr: e, list, .. } => {
+            collect_agg_calls(e, out);
+            for i in list {
+                collect_agg_calls(i, out);
+            }
+        }
+        Expr::Func { args, .. } => {
+            for a in args {
+                collect_agg_calls(a, out);
+            }
+        }
+        Expr::Column(_) | Expr::Literal(_) | Expr::Star => {}
+    }
+}
+
+/// Evaluate an expression substituting aggregate calls with finished values.
+fn eval_with_aggs(
+    expr: &Expr,
+    agg_calls: &[Expr],
+    agg_values: &[Value],
+    rep_row: &[Value],
+    schema: &Schema,
+) -> Result<Value> {
+    if let Some(i) = agg_calls.iter().position(|c| c == expr) {
+        return Ok(agg_values[i].clone());
+    }
+    match expr {
+        Expr::Binary { op, left, right } => {
+            let substituted = Expr::Binary {
+                op: *op,
+                left: Box::new(substitute(left, agg_calls, agg_values)),
+                right: Box::new(substitute(right, agg_calls, agg_values)),
+            };
+            eval(&substituted, rep_row, schema)
+        }
+        Expr::Func { name, args } => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_with_aggs(a, agg_calls, agg_values, rep_row, schema))
+                .collect::<Result<_>>()?;
+            eval_scalar(name, &vals)
+        }
+        other => eval(other, rep_row, schema),
+    }
+}
+
+/// Replace aggregate sub-expressions with literal finished values.
+fn substitute(expr: &Expr, agg_calls: &[Expr], agg_values: &[Value]) -> Expr {
+    if let Some(i) = agg_calls.iter().position(|c| c == expr) {
+        return Expr::Literal(agg_values[i].clone());
+    }
+    match expr {
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(substitute(left, agg_calls, agg_values)),
+            right: Box::new(substitute(right, agg_calls, agg_values)),
+        },
+        Expr::Func { name, args } => Expr::Func {
+            name: name.clone(),
+            args: args.iter().map(|a| substitute(a, agg_calls, agg_values)).collect(),
+        },
+        other => other.clone(),
+    }
+}
+
+fn sort_and_trim(keyed_rows: &mut Vec<(Vec<Value>, Vec<Value>)>, query: &Query) {
+    if !query.order_by.is_empty() {
+        let descs: Vec<bool> = query.order_by.iter().map(|o| o.desc).collect();
+        keyed_rows.sort_by(|(a, _), (b, _)| {
+            for ((x, y), desc) in a.iter().zip(b.iter()).zip(&descs) {
+                let ord = x.total_cmp(y);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+    if let Some(n) = query.limit {
+        keyed_rows.truncate(n);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-query execution
+// ---------------------------------------------------------------------------
+
+/// Execute a query applying its own WHERE clause.
+pub fn execute(
+    query: &Query,
+    schema: &Schema,
+    rows: impl Iterator<Item = Result<Vec<Value>>>,
+) -> Result<ResultSet> {
+    execute_with_where(query, schema, query.where_clause.as_ref(), rows)
+}
+
+/// Execute with an overridden WHERE (the *residual* predicate in pushdown
+/// mode, where the store already applied the pushed conjuncts).
+pub fn execute_with_where(
+    query: &Query,
+    schema: &Schema,
+    where_clause: Option<&Expr>,
+    rows: impl Iterator<Item = Result<Vec<Value>>>,
+) -> Result<ResultSet> {
+    if query.is_aggregate() {
+        let agg = Aggregator::new(query, schema)?;
+        let mut partial = agg.make_partial();
+        for row in rows {
+            let row = row?;
+            if passes(where_clause, &row, schema)? {
+                agg.update(&mut partial, &row)?;
+            }
+        }
+        return agg.finalize(partial);
+    }
+    // Non-aggregate path.
+    let has_star = query.items.iter().any(|i| matches!(i.expr, Expr::Star));
+    let columns: Vec<String> = if has_star {
+        schema.names().iter().map(|s| s.to_string()).collect()
+    } else {
+        query.items.iter().map(SelectItem::output_name).collect()
+    };
+    let mut keyed_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+    for row in rows {
+        let row = row?;
+        if !passes(where_clause, &row, schema)? {
+            continue;
+        }
+        let out_row: Vec<Value> = if has_star {
+            row.clone()
+        } else {
+            query
+                .items
+                .iter()
+                .map(|i| eval(&i.expr, &row, schema))
+                .collect::<Result<_>>()?
+        };
+        let sort_key: Vec<Value> = query
+            .order_by
+            .iter()
+            .map(|o| order_value_plain(query, &o.expr, &out_row, &row, schema))
+            .collect::<Result<_>>()?;
+        keyed_rows.push((sort_key, out_row));
+    }
+    if query.distinct {
+        dedup_rows(&mut keyed_rows);
+    }
+    sort_and_trim(&mut keyed_rows, query);
+    Ok(ResultSet { columns, rows: keyed_rows.into_iter().map(|(_, r)| r).collect() })
+}
+
+/// SELECT DISTINCT: keep the first occurrence of each output row.
+fn dedup_rows(keyed_rows: &mut Vec<(Vec<Value>, Vec<Value>)>) {
+    let mut seen: std::collections::HashSet<Vec<Value>> = std::collections::HashSet::new();
+    keyed_rows.retain(|(_, row)| seen.insert(row.clone()));
+}
+
+fn order_value_plain(
+    query: &Query,
+    expr: &Expr,
+    out_row: &[Value],
+    row: &[Value],
+    schema: &Schema,
+) -> Result<Value> {
+    if let Expr::Column(name) = expr {
+        if let Some(i) = query
+            .items
+            .iter()
+            .position(|it| it.alias.as_deref() == Some(name.as_str()))
+        {
+            return Ok(out_row[i].clone());
+        }
+    }
+    eval(expr, row, schema)
+}
+
+fn passes(where_clause: Option<&Expr>, row: &[Value], schema: &Schema) -> Result<bool> {
+    match where_clause {
+        None => Ok(true),
+        Some(w) => Ok(eval_pred(w, row, schema)? == Some(true)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use scoop_csv::schema::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("vid", DataType::Str),
+            Field::new("date", DataType::Str),
+            Field::new("index", DataType::Float),
+            Field::new("city", DataType::Str),
+            Field::new("state", DataType::Str),
+        ])
+    }
+
+    fn rows() -> Vec<Vec<Value>> {
+        let mk = |vid: &str, date: &str, idx: Option<f64>, city: &str, state: &str| {
+            vec![
+                Value::Str(vid.into()),
+                Value::Str(date.into()),
+                idx.map(Value::Float).unwrap_or(Value::Null),
+                Value::Str(city.into()),
+                Value::Str(state.into()),
+            ]
+        };
+        vec![
+            mk("m1", "2015-01-03 10:00:00", Some(10.0), "Rotterdam", "NLD"),
+            mk("m1", "2015-01-04 11:00:00", Some(20.0), "Rotterdam", "NLD"),
+            mk("m2", "2015-01-03 09:00:00", Some(5.0), "Paris", "FRA"),
+            mk("m2", "2015-02-01 09:00:00", Some(7.0), "Paris", "FRA"),
+            mk("m3", "2015-01-05 08:00:00", None, "Utrecht", "NLD"),
+        ]
+    }
+
+    fn run(sql: &str) -> ResultSet {
+        let q = parse(sql).unwrap();
+        execute(&q, &schema(), rows().into_iter().map(Ok)).unwrap()
+    }
+
+    #[test]
+    fn simple_projection_and_filter() {
+        let rs = run("SELECT vid, index FROM t WHERE city LIKE 'Rotterdam' ORDER BY index DESC");
+        assert_eq!(rs.columns, vec!["vid", "index"]);
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][1], Value::Float(20.0));
+    }
+
+    #[test]
+    fn select_star_and_limit() {
+        let rs = run("SELECT * FROM t ORDER BY vid LIMIT 2");
+        assert_eq!(rs.columns.len(), 5);
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn group_by_with_aliases_and_order() {
+        let rs = run(
+            "SELECT vid, sum(index) as total, count(*) as n FROM t \
+             WHERE date LIKE '2015-01%' GROUP BY vid ORDER BY vid",
+        );
+        assert_eq!(rs.columns, vec!["vid", "total", "n"]);
+        assert_eq!(rs.rows.len(), 3);
+        assert_eq!(rs.rows[0], vec![Value::Str("m1".into()), Value::Float(30.0), Value::Int(2)]);
+        assert_eq!(rs.rows[1], vec![Value::Str("m2".into()), Value::Float(5.0), Value::Int(1)]);
+        // m3's index is NULL → SUM null, COUNT(*) still 1.
+        assert_eq!(rs.rows[2][1], Value::Null);
+        assert_eq!(rs.rows[2][2], Value::Int(1));
+    }
+
+    #[test]
+    fn gridpocket_style_substring_group() {
+        let rs = run(
+            "SELECT SUBSTRING(date, 0, 7) as sDate, sum(index) as max FROM t \
+             GROUP BY SUBSTRING(date, 0, 7) ORDER BY SUBSTRING(date, 0, 7)",
+        );
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][0], Value::Str("2015-01".into()));
+        assert_eq!(rs.rows[0][1], Value::Float(35.0));
+        assert_eq!(rs.rows[1][0], Value::Str("2015-02".into()));
+    }
+
+    #[test]
+    fn first_value_and_min_max() {
+        let rs = run(
+            "SELECT vid, first_value(city) as city, min(index) as lo, max(index) as hi \
+             FROM t GROUP BY vid ORDER BY vid",
+        );
+        assert_eq!(rs.rows[0][1], Value::Str("Rotterdam".into()));
+        assert_eq!(rs.rows[0][2], Value::Float(10.0));
+        assert_eq!(rs.rows[0][3], Value::Float(20.0));
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let rs = run("SELECT count(*) as n, avg(index) as a FROM t");
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(5));
+        assert_eq!(rs.rows[0][1], Value::Float(10.5));
+    }
+
+    #[test]
+    fn arithmetic_in_select_and_where() {
+        let rs = run("SELECT vid, index * 2 + 1 FROM t WHERE index / 5 >= 2 ORDER BY vid");
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][1], Value::Float(21.0));
+    }
+
+    #[test]
+    fn null_semantics_in_where() {
+        // index > 0 is NULL for m3 → excluded; NOT (index > 0) also excludes.
+        assert_eq!(run("SELECT vid FROM t WHERE index > 0").rows.len(), 4);
+        assert_eq!(run("SELECT vid FROM t WHERE NOT index > 0").rows.len(), 0);
+        assert_eq!(run("SELECT vid FROM t WHERE index IS NULL").rows.len(), 1);
+        // OR with null: null OR true = true.
+        assert_eq!(
+            run("SELECT vid FROM t WHERE index > 0 OR city LIKE 'Utrecht'").rows.len(),
+            5
+        );
+        // IN with null element: no match → NULL → excluded.
+        assert_eq!(
+            run("SELECT vid FROM t WHERE index IN (NULL, 999)").rows.len(),
+            0
+        );
+    }
+
+    #[test]
+    fn in_list_and_not_like() {
+        assert_eq!(
+            run("SELECT vid FROM t WHERE state IN ('FRA', 'DEU')").rows.len(),
+            2
+        );
+        assert_eq!(
+            run("SELECT vid FROM t WHERE city NOT LIKE 'P%'").rows.len(),
+            3
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        assert_eq!(run("SELECT vid FROM t WHERE index / 0 > 0").rows.len(), 0);
+        let rs = run("SELECT index / 0 FROM t LIMIT 1");
+        assert_eq!(rs.rows[0][0], Value::Null);
+    }
+
+    #[test]
+    fn two_phase_equals_single_pass() {
+        let q = parse(
+            "SELECT vid, sum(index) as total, count(*) as n, min(date) as d \
+             FROM t WHERE date LIKE '2015%' GROUP BY vid ORDER BY vid",
+        )
+        .unwrap();
+        let schema = schema();
+        let single = execute(&q, &schema, rows().into_iter().map(Ok)).unwrap();
+
+        let agg = Aggregator::new(&q, &schema).unwrap();
+        // Split rows into 2 partitions, update separately, merge, finalize.
+        let all = rows();
+        let mut merged = agg.make_partial();
+        for part in all.chunks(2) {
+            let mut partial = agg.make_partial();
+            for row in part {
+                // WHERE applied before partial agg, as workers do.
+                if passes(q.where_clause.as_ref(), row, &schema).unwrap() {
+                    agg.update(&mut partial, row).unwrap();
+                }
+            }
+            agg.merge(&mut merged, partial);
+        }
+        let two_phase = agg.finalize(merged).unwrap();
+        assert_eq!(two_phase, single);
+    }
+
+    #[test]
+    fn aggregate_in_arithmetic() {
+        let rs = run("SELECT vid, sum(index) / count(*) as mean FROM t GROUP BY vid ORDER BY vid");
+        assert_eq!(rs.rows[0][1], Value::Float(15.0));
+    }
+
+    #[test]
+    fn order_by_aggregate_value() {
+        let rs = run("SELECT vid, sum(index) as s FROM t GROUP BY vid ORDER BY sum(index) DESC");
+        assert_eq!(rs.rows[0][0], Value::Str("m1".into()));
+    }
+
+    #[test]
+    fn errors_on_bad_queries() {
+        let q = parse("SELECT ghost FROM t").unwrap();
+        assert!(execute(&q, &schema(), rows().into_iter().map(Ok)).is_err());
+        let q = parse("SELECT * , sum(index) FROM t").unwrap();
+        assert!(execute(&q, &schema(), rows().into_iter().map(Ok)).is_err());
+    }
+
+    #[test]
+    fn result_set_to_csv() {
+        let rs = run("SELECT vid FROM t WHERE state LIKE 'FRA' ORDER BY date");
+        let csv = rs.to_csv();
+        assert!(csv.starts_with("vid\n"));
+        assert_eq!(csv.matches("m2").count(), 2);
+    }
+}
+
+#[cfg(test)]
+mod distinct_having_tests {
+    use super::*;
+    use crate::parser::parse;
+    use scoop_csv::schema::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("city", DataType::Str),
+            Field::new("state", DataType::Str),
+            Field::new("index", DataType::Float),
+        ])
+    }
+
+    fn rows() -> Vec<Vec<Value>> {
+        let mk = |city: &str, state: &str, idx: f64| {
+            vec![
+                Value::Str(city.into()),
+                Value::Str(state.into()),
+                Value::Float(idx),
+            ]
+        };
+        vec![
+            mk("Rotterdam", "NLD", 10.0),
+            mk("Rotterdam", "NLD", 20.0),
+            mk("Paris", "FRA", 5.0),
+            mk("Paris", "FRA", 6.0),
+            mk("Nice", "FRA", 1.0),
+        ]
+    }
+
+    fn run(sql: &str) -> ResultSet {
+        let q = parse(sql).unwrap();
+        execute(&q, &schema(), rows().into_iter().map(Ok)).unwrap()
+    }
+
+    #[test]
+    fn select_distinct_dedups() {
+        let rs = run("SELECT DISTINCT state FROM t ORDER BY state");
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][0], Value::Str("FRA".into()));
+        let rs = run("SELECT DISTINCT city, state FROM t");
+        assert_eq!(rs.rows.len(), 3);
+        // Without DISTINCT all rows come through.
+        assert_eq!(run("SELECT state FROM t").rows.len(), 5);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let rs = run(
+            "SELECT city, count(*) as n FROM t GROUP BY city \
+             HAVING count(*) > 1 ORDER BY city",
+        );
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][0], Value::Str("Paris".into()));
+        // HAVING may reference aggregates absent from the select list.
+        let rs = run(
+            "SELECT city FROM t GROUP BY city HAVING sum(index) >= 11 ORDER BY city",
+        );
+        assert_eq!(rs.rows.len(), 2); // Paris (11), Rotterdam (30)
+    }
+
+    #[test]
+    fn having_with_group_key_predicate() {
+        let rs = run(
+            "SELECT state, sum(index) as s FROM t GROUP BY state \
+             HAVING state LIKE 'F%' ORDER BY state",
+        );
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][1], Value::Float(12.0));
+    }
+
+    #[test]
+    fn distinct_on_aggregate_output() {
+        // Two groups with equal aggregate values collapse under DISTINCT.
+        let rs = run(
+            "SELECT DISTINCT count(*) as n FROM t GROUP BY city ORDER BY n",
+        );
+        assert_eq!(rs.rows.len(), 2); // n=1 (Nice), n=2 (Paris, Rotterdam)
+    }
+
+    #[test]
+    fn having_without_group_by_on_global_aggregate() {
+        assert_eq!(
+            run("SELECT count(*) as n FROM t HAVING count(*) > 10").rows.len(),
+            0
+        );
+        assert_eq!(
+            run("SELECT count(*) as n FROM t HAVING count(*) > 1").rows.len(),
+            1
+        );
+    }
+}
+
+#[cfg(test)]
+mod empty_aggregate_tests {
+    use super::*;
+    use crate::parser::parse;
+    use scoop_csv::schema::{DataType, Field};
+
+    #[test]
+    fn global_aggregate_over_zero_rows_yields_one_row() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let q = parse("SELECT count(*) as n, sum(x) as s, min(x) as lo FROM t").unwrap();
+        let rs = execute(&q, &schema, std::iter::empty()).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(0));
+        assert!(rs.rows[0][1].is_null());
+        assert!(rs.rows[0][2].is_null());
+        // With GROUP BY, zero rows still mean zero groups.
+        let q = parse("SELECT x, count(*) FROM t GROUP BY x").unwrap();
+        let rs = execute(&q, &schema, std::iter::empty()).unwrap();
+        assert!(rs.is_empty());
+        // WHERE that excludes everything behaves the same.
+        let q = parse("SELECT count(*) as n FROM t WHERE x > 100").unwrap();
+        let rs = execute(&q, &schema, vec![Ok(vec![Value::Int(1)])].into_iter()).unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(0));
+    }
+}

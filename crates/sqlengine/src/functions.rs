@@ -1,0 +1,404 @@
+//! Scalar functions and aggregate accumulators.
+
+use crate::ast::AggFunc;
+use scoop_common::{Result, ScoopError};
+use scoop_csv::Value;
+
+/// Evaluate a scalar function.
+///
+/// Supported: `SUBSTRING(str, start, len)` (1-based like Spark SQL; a start of
+/// 0 is treated as 1, which Table I's `SUBSTRING(date, 0, 7)` relies on),
+/// `UPPER`, `LOWER`, `LENGTH`, `CONCAT`, `ABS`, `ROUND`, `COALESCE`,
+/// `YEAR`/`MONTH`/`DAY` (on `YYYY-MM-DD...` strings).
+pub fn eval_scalar(name: &str, args: &[Value]) -> Result<Value> {
+    match name {
+        "substring" | "substr" => {
+            if args.len() != 3 {
+                return Err(ScoopError::Sql(format!(
+                    "{name} expects 3 arguments, got {}",
+                    args.len()
+                )));
+            }
+            let (s, start, len) = (&args[0], &args[1], &args[2]);
+            if s.is_null() || start.is_null() || len.is_null() {
+                return Ok(Value::Null);
+            }
+            let text = match s {
+                Value::Str(t) => t.clone(),
+                other => other.to_string(),
+            };
+            let start = start
+                .as_f64()
+                .ok_or_else(|| ScoopError::Sql("substring start must be numeric".into()))?
+                as i64;
+            let len = len
+                .as_f64()
+                .ok_or_else(|| ScoopError::Sql("substring length must be numeric".into()))?
+                as i64;
+            // Spark: 1-based, start 0 behaves like 1; negative counts from end.
+            let chars: Vec<char> = text.chars().collect();
+            let n = chars.len() as i64;
+            let begin = if start > 0 {
+                start - 1
+            } else if start == 0 {
+                0
+            } else {
+                (n + start).max(0)
+            };
+            let begin = begin.clamp(0, n) as usize;
+            let take = len.max(0) as usize;
+            Ok(Value::Str(chars[begin..].iter().take(take).collect()))
+        }
+        "upper" => unary_str(name, args, |s| s.to_uppercase()),
+        "lower" => unary_str(name, args, |s| s.to_lowercase()),
+        "length" => {
+            let [v] = args else {
+                return Err(ScoopError::Sql("length expects 1 argument".into()));
+            };
+            Ok(match v {
+                Value::Null => Value::Null,
+                Value::Str(s) => Value::Int(s.chars().count() as i64),
+                other => Value::Int(other.to_string().chars().count() as i64),
+            })
+        }
+        "concat" => {
+            let mut out = String::new();
+            for a in args {
+                if a.is_null() {
+                    return Ok(Value::Null);
+                }
+                out.push_str(&a.to_string());
+            }
+            Ok(Value::Str(out))
+        }
+        "abs" => {
+            let [v] = args else {
+                return Err(ScoopError::Sql("abs expects 1 argument".into()));
+            };
+            Ok(match v {
+                Value::Null => Value::Null,
+                Value::Int(i) => Value::Int(i.abs()),
+                Value::Float(f) => Value::Float(f.abs()),
+                other => {
+                    return Err(ScoopError::Sql(format!("abs on non-numeric {other}")))
+                }
+            })
+        }
+        "round" => {
+            if args.is_empty() || args.len() > 2 {
+                return Err(ScoopError::Sql("round expects 1 or 2 arguments".into()));
+            }
+            if args[0].is_null() {
+                return Ok(Value::Null);
+            }
+            let v = args[0]
+                .as_f64()
+                .ok_or_else(|| ScoopError::Sql("round on non-numeric".into()))?;
+            let digits = match args.get(1) {
+                None => 0i32,
+                Some(d) => d
+                    .as_f64()
+                    .ok_or_else(|| ScoopError::Sql("round digits must be numeric".into()))?
+                    as i32,
+            };
+            let factor = 10f64.powi(digits);
+            Ok(Value::Float((v * factor).round() / factor))
+        }
+        "coalesce" => Ok(args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null)),
+        "year" => date_part(args, 0, 4),
+        "month" => date_part(args, 5, 2),
+        "day" => date_part(args, 8, 2),
+        other => Err(ScoopError::Sql(format!("unknown function '{other}'"))),
+    }
+}
+
+fn unary_str(name: &str, args: &[Value], f: impl Fn(&str) -> String) -> Result<Value> {
+    let [v] = args else {
+        return Err(ScoopError::Sql(format!("{name} expects 1 argument")));
+    };
+    Ok(match v {
+        Value::Null => Value::Null,
+        Value::Str(s) => Value::Str(f(s)),
+        other => Value::Str(f(&other.to_string())),
+    })
+}
+
+fn date_part(args: &[Value], offset: usize, len: usize) -> Result<Value> {
+    let [v] = args else {
+        return Err(ScoopError::Sql("date function expects 1 argument".into()));
+    };
+    match v {
+        Value::Null => Ok(Value::Null),
+        Value::Str(s) => Ok(s
+            .get(offset..offset + len)
+            .and_then(|p| p.parse::<i64>().ok())
+            .map(Value::Int)
+            .unwrap_or(Value::Null)),
+        _ => Ok(Value::Null),
+    }
+}
+
+/// A mergeable aggregate accumulator — supports Spark-style two-phase
+/// aggregation (partial on workers, merge + finish on the driver).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggState {
+    /// Running sum and whether any non-null value was seen.
+    Sum { total: f64, seen: bool },
+    /// Row/value count.
+    Count(u64),
+    /// Running minimum.
+    Min(Option<Value>),
+    /// Running maximum.
+    Max(Option<Value>),
+    /// Sum + count for the average.
+    Avg { total: f64, count: u64 },
+    /// First value in encounter order.
+    First(Option<Value>),
+}
+
+impl AggState {
+    /// Fresh accumulator for a function.
+    pub fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Sum => AggState::Sum { total: 0.0, seen: false },
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Avg => AggState::Avg { total: 0.0, count: 0 },
+            AggFunc::First => AggState::First(None),
+        }
+    }
+
+    /// Fold one input value. For `COUNT(*)` pass `Value::Int(1)`; NULLs are
+    /// ignored by all aggregates except `COUNT(*)` (per SQL semantics the
+    /// caller passes non-null markers for `*`).
+    pub fn update(&mut self, v: &Value) {
+        match self {
+            AggState::Count(c) => {
+                if !v.is_null() {
+                    *c += 1;
+                }
+            }
+            AggState::Sum { total, seen } => {
+                if let Some(x) = v.as_f64() {
+                    *total += x;
+                    *seen = true;
+                }
+            }
+            AggState::Min(cur) => {
+                if !v.is_null() && cur.as_ref().is_none_or(|c| v.total_cmp(c).is_lt()) {
+                    *cur = Some(v.clone());
+                }
+            }
+            AggState::Max(cur) => {
+                if !v.is_null() && cur.as_ref().is_none_or(|c| v.total_cmp(c).is_gt()) {
+                    *cur = Some(v.clone());
+                }
+            }
+            AggState::Avg { total, count } => {
+                if let Some(x) = v.as_f64() {
+                    *total += x;
+                    *count += 1;
+                }
+            }
+            AggState::First(cur) => {
+                if cur.is_none() && !v.is_null() {
+                    *cur = Some(v.clone());
+                }
+            }
+        }
+    }
+
+    /// Merge another partial accumulator of the same kind.
+    pub fn merge(&mut self, other: &AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (
+                AggState::Sum { total: ta, seen: sa },
+                AggState::Sum { total: tb, seen: sb },
+            ) => {
+                *ta += tb;
+                *sa |= sb;
+            }
+            (AggState::Min(a), AggState::Min(Some(b))) => {
+                if a.as_ref().is_none_or(|c| b.total_cmp(c).is_lt()) {
+                    *a = Some(b.clone());
+                }
+            }
+            (AggState::Max(a), AggState::Max(Some(b))) => {
+                if a.as_ref().is_none_or(|c| b.total_cmp(c).is_gt()) {
+                    *a = Some(b.clone());
+                }
+            }
+            (AggState::Min(_), AggState::Min(None))
+            | (AggState::Max(_), AggState::Max(None)) => {}
+            (
+                AggState::Avg { total: ta, count: ca },
+                AggState::Avg { total: tb, count: cb },
+            ) => {
+                *ta += tb;
+                *ca += cb;
+            }
+            (AggState::First(a), AggState::First(b)) => {
+                if a.is_none() {
+                    *a = b.clone();
+                }
+            }
+            (a, b) => panic!("merging mismatched aggregate states {a:?} / {b:?}"),
+        }
+    }
+
+    /// Produce the final value.
+    pub fn finish(&self) -> Value {
+        match self {
+            AggState::Count(c) => Value::Int(*c as i64),
+            AggState::Sum { total, seen } => {
+                if *seen {
+                    Value::Float(*total)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) | AggState::First(v) => {
+                v.clone().unwrap_or(Value::Null)
+            }
+            AggState::Avg { total, count } => {
+                if *count > 0 {
+                    Value::Float(*total / *count as f64)
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &str) -> Value {
+        Value::Str(v.into())
+    }
+
+    #[test]
+    fn substring_is_spark_compatible() {
+        // Spark: SUBSTRING('2015-01-03', 0, 7) == SUBSTRING(.., 1, 7) == "2015-01".
+        let d = s("2015-01-03 10:20:00");
+        assert_eq!(
+            eval_scalar("substring", &[d.clone(), Value::Int(0), Value::Int(7)]).unwrap(),
+            s("2015-01")
+        );
+        assert_eq!(
+            eval_scalar("substring", &[d.clone(), Value::Int(1), Value::Int(7)]).unwrap(),
+            s("2015-01")
+        );
+        assert_eq!(
+            eval_scalar("substring", &[d.clone(), Value::Int(0), Value::Int(10)]).unwrap(),
+            s("2015-01-03")
+        );
+        assert_eq!(
+            eval_scalar("substring", &[d.clone(), Value::Int(-5), Value::Int(5)]).unwrap(),
+            s("20:00")
+        );
+        assert_eq!(
+            eval_scalar("substring", &[Value::Null, Value::Int(1), Value::Int(2)]).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_scalar("substring", &[d, Value::Int(100), Value::Int(5)]).unwrap(),
+            s("")
+        );
+    }
+
+    #[test]
+    fn misc_scalars() {
+        assert_eq!(eval_scalar("upper", &[s("abc")]).unwrap(), s("ABC"));
+        assert_eq!(eval_scalar("lower", &[s("AbC")]).unwrap(), s("abc"));
+        assert_eq!(eval_scalar("length", &[s("héllo")]).unwrap(), Value::Int(5));
+        assert_eq!(
+            eval_scalar("concat", &[s("a"), Value::Int(1)]).unwrap(),
+            s("a1")
+        );
+        assert_eq!(eval_scalar("abs", &[Value::Int(-4)]).unwrap(), Value::Int(4));
+        assert_eq!(
+            eval_scalar("round", &[Value::Float(2.567), Value::Int(1)]).unwrap(),
+            Value::Float(2.6)
+        );
+        assert_eq!(
+            eval_scalar("coalesce", &[Value::Null, Value::Int(7)]).unwrap(),
+            Value::Int(7)
+        );
+        assert_eq!(eval_scalar("year", &[s("2015-01-03")]).unwrap(), Value::Int(2015));
+        assert_eq!(eval_scalar("month", &[s("2015-01-03")]).unwrap(), Value::Int(1));
+        assert_eq!(eval_scalar("day", &[s("2015-01-03")]).unwrap(), Value::Int(3));
+        assert!(eval_scalar("nope", &[]).is_err());
+        assert!(eval_scalar("substring", &[s("x")]).is_err());
+    }
+
+    #[test]
+    fn agg_update_and_finish() {
+        let mut sum = AggState::new(AggFunc::Sum);
+        sum.update(&Value::Int(2));
+        sum.update(&Value::Null);
+        sum.update(&Value::Float(0.5));
+        assert_eq!(sum.finish(), Value::Float(2.5));
+
+        let mut count = AggState::new(AggFunc::Count);
+        count.update(&Value::Int(1));
+        count.update(&Value::Null);
+        assert_eq!(count.finish(), Value::Int(1));
+
+        let mut min = AggState::new(AggFunc::Min);
+        min.update(&s("b"));
+        min.update(&s("a"));
+        assert_eq!(min.finish(), s("a"));
+
+        let mut avg = AggState::new(AggFunc::Avg);
+        avg.update(&Value::Int(1));
+        avg.update(&Value::Int(3));
+        assert_eq!(avg.finish(), Value::Float(2.0));
+
+        let mut first = AggState::new(AggFunc::First);
+        first.update(&Value::Null);
+        first.update(&s("x"));
+        first.update(&s("y"));
+        assert_eq!(first.finish(), s("x"));
+
+        assert_eq!(AggState::new(AggFunc::Sum).finish(), Value::Null);
+        assert_eq!(AggState::new(AggFunc::Avg).finish(), Value::Null);
+        assert_eq!(AggState::new(AggFunc::Count).finish(), Value::Int(0));
+    }
+
+    #[test]
+    fn partial_merge_equals_single_pass() {
+        let values: Vec<Value> = (0..100).map(Value::Int).collect();
+        for func in [
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+            AggFunc::First,
+        ] {
+            let mut whole = AggState::new(func);
+            for v in &values {
+                whole.update(v);
+            }
+            // Split into 3 partials, merge.
+            let mut merged = AggState::new(func);
+            for chunk in values.chunks(34) {
+                let mut partial = AggState::new(func);
+                for v in chunk {
+                    partial.update(v);
+                }
+                merged.merge(&partial);
+            }
+            assert_eq!(merged.finish(), whole.finish(), "{func:?}");
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! SQL tokenizer.
+
+use scoop_common::{Result, ScoopError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (kept as written; keyword checks are
+    /// case-insensitive).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal ('' escapes a quote).
+    Str(String),
+    /// Punctuation / operator.
+    Symbol(Symbol),
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semicolon,
+}
+
+impl Token {
+    /// True when this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::Symbol(Symbol::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::Symbol(Symbol::RParen));
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Symbol(Symbol::Comma));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Symbol(Symbol::Star));
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Symbol(Symbol::Plus));
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Symbol(Symbol::Minus));
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Symbol(Symbol::Slash));
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Symbol(Symbol::Percent));
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Symbol(Symbol::Semicolon));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Symbol(Symbol::Eq));
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Symbol(Symbol::Ne));
+                    i += 2;
+                } else {
+                    return Err(ScoopError::Sql(format!("unexpected '!' at {i}")));
+                }
+            }
+            '<' => match chars.get(i + 1) {
+                Some('=') => {
+                    tokens.push(Token::Symbol(Symbol::Le));
+                    i += 2;
+                }
+                Some('>') => {
+                    tokens.push(Token::Symbol(Symbol::Ne));
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Symbol(Symbol::Lt));
+                    i += 1;
+                }
+            },
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Symbol(Symbol::Ge));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Symbol::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(ScoopError::Sql(
+                                "unterminated string literal".into(),
+                            ))
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || (chars[i] == '.' && !is_float && chars
+                            .get(i + 1)
+                            .is_some_and(|c| c.is_ascii_digit())))
+                {
+                    if chars[i] == '.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    tokens.push(Token::Float(text.parse().map_err(|_| {
+                        ScoopError::Sql(format!("bad float literal '{text}'"))
+                    })?));
+                } else {
+                    tokens.push(Token::Int(text.parse().map_err(|_| {
+                        ScoopError::Sql(format!("bad int literal '{text}'"))
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => {
+                return Err(ScoopError::Sql(format!(
+                    "unexpected character '{other}' at {i}"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_gridpocket_query() {
+        let toks = tokenize(
+            "SELECT vid, sum(index) as max FROM largeMeter \
+             WHERE date LIKE '2015-01%' GROUP BY vid ORDER BY vid",
+        )
+        .unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(toks.iter().any(|t| matches!(t, Token::Str(s) if s == "2015-01%")));
+        assert!(toks.iter().any(|t| t.is_kw("group")));
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        let toks = tokenize("a >= 1.5 AND b <> 2 OR c != 3 < 4 <= 5 > 6").unwrap();
+        assert!(toks.contains(&Token::Float(1.5)));
+        assert!(toks.contains(&Token::Symbol(Symbol::Ge)));
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t, Token::Symbol(Symbol::Ne)))
+                .count(),
+            2
+        );
+        assert!(toks.contains(&Token::Symbol(Symbol::Lt)));
+        assert!(toks.contains(&Token::Symbol(Symbol::Le)));
+        assert!(toks.contains(&Token::Symbol(Symbol::Gt)));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+        assert!(tokenize("'open").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a @ b").is_err());
+    }
+
+    #[test]
+    fn substring_call_shape() {
+        let toks = tokenize("SUBSTRING(date, 0, 7)").unwrap();
+        assert_eq!(toks.len(), 8);
+        assert!(matches!(&toks[0], Token::Ident(s) if s == "SUBSTRING"));
+        assert_eq!(toks[2], Token::Ident("date".into()));
+        assert_eq!(toks[3], Token::Symbol(Symbol::Comma));
+        assert_eq!(toks[4], Token::Int(0));
+    }
+}

@@ -1,0 +1,31 @@
+//! A Spark-SQL-shaped query engine with Catalyst-style pushdown extraction.
+//!
+//! Scoop's analytics side needs exactly three things from Spark SQL, all
+//! reproduced here:
+//!
+//! 1. **SQL parsing** of the GridPocket query dialect (Table I): SELECT with
+//!    expressions and aliases, WHERE, GROUP BY, ORDER BY, LIMIT, aggregates
+//!    (`sum`, `min`, `max`, `count`, `avg`, `first_value`), `SUBSTRING`,
+//!    `LIKE`, `IN`, `IS NULL` — [`lexer`], [`parser`], [`ast`].
+//! 2. **Catalyst filter extraction**: "given a SQL query, the optimizer
+//!    extracts the projection and selection filters implied by the query",
+//!    which the Data Sources API hands to the scan — [`catalyst`] produces a
+//!    [`scoop_csv::PushdownSpec`] plus the residual (non-pushable) predicate.
+//! 3. **Execution** over row streams, including two-phase aggregation
+//!    (worker-side partial + driver-side final merge) mirroring Spark's
+//!    map-side combine — [`exec`], [`functions`].
+//!
+//! The transparency invariant — pushdown + residual ≡ full query — is what
+//! makes Scoop safe, and is property-tested across the workspace.
+
+pub mod ast;
+pub mod catalyst;
+pub mod exec;
+pub mod functions;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AggFunc, BinOp, Expr, OrderItem, Query, SelectItem};
+pub use catalyst::{plan_query, PlannedQuery};
+pub use exec::{execute, ResultSet};
+pub use parser::parse;

@@ -1,0 +1,233 @@
+//! Adaptive pushdown execution — the Crystal sketch of Section VII.
+//!
+//! "Under peak workloads and CPU/parallelism constraints at the object
+//! store, an administrator may decide that only 'gold' tenants enjoy the
+//! pushdown service ... the effectiveness of the filter could be modeled
+//! —e.g., in the SQL pushdown filter by approximating the data selectivity—
+//! and contribute to the decision ... the system should dynamically take
+//! these decisions based on real-time monitoring information and
+//! transparently to the administrator."
+//!
+//! [`AdaptiveController`] is that control process: fed a storage-load signal
+//! and the storlet engine's own per-tenant effectiveness observations, it
+//! flips tenants between Gold and Bronze in the [`PolicyStore`] — which the
+//! storlet middleware already honours transparently (bronze requests fall
+//! back to plain ingestion, and the connector filters client-side).
+
+use crate::engine::StorletEngine;
+use crate::policy::{PolicyStore, Tier};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Controller thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptivePolicy {
+    /// Storage CPU load (0–1) above which pushdown is shed from
+    /// low-priority tenants.
+    pub max_storage_load: f64,
+    /// Minimum observed data selectivity for pushdown to be worthwhile: a
+    /// filter that discards less than this fraction consumes storage CPU
+    /// without offloading the network.
+    pub min_selectivity: f64,
+    /// Observations required before the selectivity gate activates.
+    pub min_observations: u64,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            max_storage_load: 0.8,
+            min_selectivity: 0.25,
+            min_observations: 3,
+        }
+    }
+}
+
+/// Per-tenant effectiveness observations (an online selectivity model).
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantStats {
+    invocations: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    /// Whether the controller demoted this tenant (so it can restore it).
+    demoted: bool,
+    /// Priority: higher sheds later under load (admins can pin tenants).
+    priority: u32,
+}
+
+impl TenantStats {
+    fn selectivity(&self) -> f64 {
+        if self.bytes_in == 0 {
+            0.0
+        } else {
+            1.0 - self.bytes_out as f64 / self.bytes_in as f64
+        }
+    }
+}
+
+/// The control process.
+pub struct AdaptiveController {
+    policy_store: Arc<PolicyStore>,
+    policy: AdaptivePolicy,
+    tenants: RwLock<HashMap<String, TenantStats>>,
+}
+
+impl AdaptiveController {
+    /// Create a controller acting on the given policy store.
+    pub fn new(policy_store: Arc<PolicyStore>, policy: AdaptivePolicy) -> Self {
+        AdaptiveController { policy_store, policy, tenants: RwLock::new(HashMap::new()) }
+    }
+
+    /// Register a tenant with a shedding priority (higher = shed later).
+    pub fn register_tenant(&self, account: &str, priority: u32) {
+        self.tenants
+            .write()
+            .entry(account.to_string())
+            .or_default()
+            .priority = priority;
+    }
+
+    /// Record one pushdown invocation's effectiveness for a tenant (bytes
+    /// read vs bytes produced, e.g. from [`StorletEngine`] deltas).
+    pub fn observe(&self, account: &str, bytes_in: u64, bytes_out: u64) {
+        let mut tenants = self.tenants.write();
+        let t = tenants.entry(account.to_string()).or_default();
+        t.invocations += 1;
+        t.bytes_in += bytes_in;
+        t.bytes_out += bytes_out;
+    }
+
+    /// Convenience: fold the engine's cumulative csvfilter stats in as one
+    /// observation for `account` (single-tenant deployments).
+    pub fn observe_engine(&self, account: &str, engine: &StorletEngine) {
+        let s = engine.stats("csvfilter");
+        let mut tenants = self.tenants.write();
+        let t = tenants.entry(account.to_string()).or_default();
+        t.invocations = s.invocations;
+        t.bytes_in = s.bytes_in;
+        t.bytes_out = s.bytes_out;
+    }
+
+    /// The controller's current selectivity estimate for a tenant.
+    pub fn estimated_selectivity(&self, account: &str) -> Option<f64> {
+        let tenants = self.tenants.read();
+        let t = tenants.get(account)?;
+        if t.invocations < self.policy.min_observations {
+            None
+        } else {
+            Some(t.selectivity())
+        }
+    }
+
+    /// Run one control step with the current storage load (0–1). Returns the
+    /// accounts whose tier changed in this step.
+    ///
+    /// Rules, in order:
+    /// 1. A tenant whose observed selectivity stays below `min_selectivity`
+    ///    (after `min_observations`) is demoted — its filters burn storage
+    ///    CPU without saving meaningful transfer.
+    /// 2. Under overload (`load > max_storage_load`), tenants are demoted in
+    ///    ascending priority order until only the highest-priority tier
+    ///    keeps pushdown.
+    /// 3. When neither rule applies, previously demoted tenants are
+    ///    restored.
+    pub fn control_step(&self, storage_load: f64) -> Vec<(String, Tier)> {
+        let mut changes = Vec::new();
+        let mut tenants = self.tenants.write();
+        let max_priority = tenants.values().map(|t| t.priority).max().unwrap_or(0);
+        for (account, t) in tenants.iter_mut() {
+            let ineffective = t.invocations >= self.policy.min_observations
+                && t.selectivity() < self.policy.min_selectivity;
+            let shed_for_load =
+                storage_load > self.policy.max_storage_load && t.priority < max_priority;
+            let want_bronze = ineffective || shed_for_load;
+            let is_bronze = self.policy_store.tier_of(account) == Tier::Bronze;
+            if want_bronze && !is_bronze {
+                self.policy_store.set_tier(account, Tier::Bronze);
+                t.demoted = true;
+                changes.push((account.clone(), Tier::Bronze));
+            } else if !want_bronze && is_bronze && t.demoted {
+                self.policy_store.set_tier(account, Tier::Gold);
+                t.demoted = false;
+                changes.push((account.clone(), Tier::Gold));
+            }
+        }
+        changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Arc<PolicyStore>, AdaptiveController) {
+        let store = Arc::new(PolicyStore::new());
+        let ctl = AdaptiveController::new(store.clone(), AdaptivePolicy::default());
+        (store, ctl)
+    }
+
+    #[test]
+    fn ineffective_filters_get_demoted_and_restored() {
+        let (store, ctl) = setup();
+        ctl.register_tenant("low-sel", 1);
+        // Three observations at ~5% selectivity: below the 25% gate.
+        for _ in 0..3 {
+            ctl.observe("low-sel", 1000, 950);
+        }
+        assert!(ctl.estimated_selectivity("low-sel").unwrap() < 0.25);
+        let changes = ctl.control_step(0.1);
+        assert_eq!(changes, vec![("low-sel".to_string(), Tier::Bronze)]);
+        assert_eq!(store.tier_of("low-sel"), Tier::Bronze);
+        // The workload becomes selective again → restored.
+        for _ in 0..30 {
+            ctl.observe("low-sel", 1000, 10);
+        }
+        let changes = ctl.control_step(0.1);
+        assert_eq!(changes, vec![("low-sel".to_string(), Tier::Gold)]);
+        assert_eq!(store.tier_of("low-sel"), Tier::Gold);
+    }
+
+    #[test]
+    fn overload_sheds_by_priority() {
+        let (store, ctl) = setup();
+        ctl.register_tenant("gold-tenant", 10);
+        ctl.register_tenant("bronze-tenant", 1);
+        for account in ["gold-tenant", "bronze-tenant"] {
+            for _ in 0..5 {
+                ctl.observe(account, 1000, 50); // very selective: keep both
+            }
+        }
+        // Calm: nobody demoted.
+        assert!(ctl.control_step(0.5).is_empty());
+        // Overload: only the lower-priority tenant is shed.
+        let changes = ctl.control_step(0.95);
+        assert_eq!(changes, vec![("bronze-tenant".to_string(), Tier::Bronze)]);
+        assert_eq!(store.tier_of("gold-tenant"), Tier::Gold);
+        // Load subsides: restored.
+        let changes = ctl.control_step(0.4);
+        assert_eq!(changes, vec![("bronze-tenant".to_string(), Tier::Gold)]);
+    }
+
+    #[test]
+    fn too_few_observations_keep_pushdown() {
+        let (store, ctl) = setup();
+        ctl.observe("new-tenant", 1000, 1000);
+        assert!(ctl.estimated_selectivity("new-tenant").is_none());
+        assert!(ctl.control_step(0.1).is_empty());
+        assert_eq!(store.tier_of("new-tenant"), Tier::Gold);
+    }
+
+    #[test]
+    fn manual_demotions_are_not_overridden() {
+        let (store, ctl) = setup();
+        // Admin pins a tenant to bronze; the controller must not restore it
+        // (it only restores tenants it demoted itself).
+        store.set_tier("pinned", Tier::Bronze);
+        for _ in 0..5 {
+            ctl.observe("pinned", 1000, 10);
+        }
+        assert!(ctl.control_step(0.1).is_empty());
+        assert_eq!(store.tier_of("pinned"), Tier::Bronze);
+    }
+}

@@ -1,0 +1,187 @@
+//! Run-length compression storlets.
+//!
+//! Section VII of the paper proposes "intelligent combinations of data
+//! filtering and compression for low data selectivity queries"; these two
+//! storlets make that combination expressible as a pipeline
+//! (`csvfilter` → `rlecompress` at the store, `rledecompress` at the client).
+//!
+//! ## Format
+//!
+//! A stream of frames: `0x00 len u8[len]` (literal run, 1–255 bytes) or
+//! `0x01 count byte` (repeat run, 4–255 repetitions). Runs shorter than 4 are
+//! folded into literals.
+
+use crate::api::{InvocationContext, Storlet};
+use bytes::Bytes;
+use scoop_common::{ByteStream, Result, ScoopError};
+use std::sync::atomic::Ordering;
+
+/// Compress a whole buffer.
+pub fn rle_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 8);
+    let mut literal: Vec<u8> = Vec::new();
+    let mut i = 0usize;
+    let flush_literal = |lit: &mut Vec<u8>, out: &mut Vec<u8>| {
+        for chunk in lit.chunks(255) {
+            out.push(0x00);
+            out.push(chunk.len() as u8);
+            out.extend_from_slice(chunk);
+        }
+        lit.clear();
+    };
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == b && run < 255 {
+            run += 1;
+        }
+        if run >= 4 {
+            flush_literal(&mut literal, &mut out);
+            out.push(0x01);
+            out.push(run as u8);
+            out.push(b);
+        } else {
+            literal.extend(std::iter::repeat_n(b, run));
+        }
+        i += run;
+    }
+    flush_literal(&mut literal, &mut out);
+    out
+}
+
+/// Decompress a whole buffer.
+pub fn rle_decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut i = 0usize;
+    while i < data.len() {
+        match data[i] {
+            0x00 => {
+                let len = *data
+                    .get(i + 1)
+                    .ok_or_else(|| ScoopError::Storlet("truncated RLE literal".into()))?
+                    as usize;
+                let body = data
+                    .get(i + 2..i + 2 + len)
+                    .ok_or_else(|| ScoopError::Storlet("truncated RLE literal body".into()))?;
+                out.extend_from_slice(body);
+                i += 2 + len;
+            }
+            0x01 => {
+                let count = *data
+                    .get(i + 1)
+                    .ok_or_else(|| ScoopError::Storlet("truncated RLE run".into()))?
+                    as usize;
+                let byte = *data
+                    .get(i + 2)
+                    .ok_or_else(|| ScoopError::Storlet("truncated RLE run byte".into()))?;
+                out.extend(std::iter::repeat_n(byte, count));
+                i += 3;
+            }
+            tag => {
+                return Err(ScoopError::Storlet(format!("bad RLE frame tag {tag}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Helper: run an eager whole-buffer transformation as a lazy single-yield
+/// stream with metrics.
+fn eager_transform(
+    input: ByteStream,
+    ctx: &InvocationContext,
+    f: impl FnOnce(&[u8]) -> Result<Vec<u8>> + Send + 'static,
+) -> Result<ByteStream> {
+    let metrics = ctx.metrics.clone();
+    let mut input = Some(input);
+    let mut f = Some(f);
+    Ok(Box::new(std::iter::from_fn(move || {
+        let inp = input.take()?;
+        let run = || -> Result<Bytes> {
+            let data = scoop_common::stream::collect(inp)?;
+            metrics.bytes_in.fetch_add(data.len() as u64, Ordering::Relaxed);
+            let out = (f.take().expect("single invocation"))(&data)?;
+            metrics.bytes_out.fetch_add(out.len() as u64, Ordering::Relaxed);
+            Ok(Bytes::from(out))
+        };
+        Some(run())
+    })))
+}
+
+/// Compressing storlet.
+pub struct RleCompressStorlet;
+
+impl Storlet for RleCompressStorlet {
+    fn name(&self) -> &str {
+        "rlecompress"
+    }
+
+    fn invoke(&self, input: ByteStream, ctx: InvocationContext) -> Result<ByteStream> {
+        eager_transform(input, &ctx, |d| Ok(rle_compress(d)))
+    }
+}
+
+/// Decompressing storlet.
+pub struct RleDecompressStorlet;
+
+impl Storlet for RleDecompressStorlet {
+    fn name(&self) -> &str {
+        "rledecompress"
+    }
+
+    fn invoke(&self, input: ByteStream, ctx: InvocationContext) -> Result<ByteStream> {
+        eager_transform(input, &ctx, rle_decompress)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scoop_common::stream;
+    use std::collections::HashMap;
+
+    #[test]
+    fn roundtrip_various_payloads() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            b"abc".to_vec(),
+            vec![7u8; 1000],
+            (0..=255u8).collect(),
+            b"aaaabbbbbbbbccddddddddddddd".to_vec(),
+            vec![0u8, 1, 0, 1, 0, 1],
+        ];
+        for case in cases {
+            let comp = rle_compress(&case);
+            assert_eq!(rle_decompress(&comp).unwrap(), case);
+        }
+    }
+
+    #[test]
+    fn compresses_runs() {
+        let data = vec![b'x'; 10_000];
+        let comp = rle_compress(&data);
+        assert!(comp.len() < 200, "compressed to {} bytes", comp.len());
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        assert!(rle_decompress(&[0x01, 5]).is_err());
+        assert!(rle_decompress(&[0x00, 10, 1, 2]).is_err());
+        assert!(rle_decompress(&[0x77]).is_err());
+    }
+
+    #[test]
+    fn storlet_pipeline_roundtrip() {
+        let data = Bytes::from(vec![b'z'; 5000]);
+        let ctx = InvocationContext::new(HashMap::new());
+        let compressed = RleCompressStorlet
+            .invoke(stream::chunked(data.clone(), 512), ctx.clone())
+            .unwrap();
+        let restored = RleDecompressStorlet
+            .invoke(compressed, InvocationContext::new(HashMap::new()))
+            .unwrap();
+        assert_eq!(stream::collect(restored).unwrap(), data);
+        assert_eq!(ctx.metrics.bytes_in.load(Ordering::Relaxed), 5000);
+        assert!(ctx.metrics.bytes_out.load(Ordering::Relaxed) < 200);
+    }
+}

@@ -1,0 +1,135 @@
+//! Line-grep storlet: early discard of lines lacking a substring.
+//!
+//! The simplest useful pushdown filter — the shape of Diamond-style "early
+//! discard" cited by the paper — and a second, independent storlet to exercise
+//! pipelining (e.g. `linegrep` → `rlecompress`).
+
+use crate::api::{InvocationContext, Storlet};
+use bytes::Bytes;
+use scoop_common::{ByteStream, Result};
+use scoop_csv::record::RecordSplitter;
+use std::sync::atomic::Ordering;
+
+/// Keeps lines containing the `pattern` parameter. With `invert=1`, keeps
+/// lines *not* containing it.
+pub struct LineGrepStorlet;
+
+impl Storlet for LineGrepStorlet {
+    fn name(&self) -> &str {
+        "linegrep"
+    }
+
+    fn invoke(&self, input: ByteStream, ctx: InvocationContext) -> Result<ByteStream> {
+        let pattern = ctx.require("pattern")?.as_bytes().to_vec();
+        let invert = ctx.params.get("invert").map(String::as_str) == Some("1");
+        let metrics = ctx.metrics.clone();
+        let mut splitter = Some(RecordSplitter::new());
+        let mut input = Some(input);
+        let stream = std::iter::from_fn(move || loop {
+            let splitter_ref = splitter.as_mut()?;
+            let mut out: Vec<u8> = Vec::new();
+            match input.as_mut().and_then(Iterator::next) {
+                Some(Err(e)) => return Some(Err(e)),
+                Some(Ok(chunk)) => {
+                    metrics.bytes_in.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                    let m = &metrics;
+                    let pat = &pattern;
+                    splitter_ref.push(&chunk, |line| {
+                        m.records_in.fetch_add(1, Ordering::Relaxed);
+                        let hit = contains(line, pat);
+                        if hit != invert {
+                            m.records_out.fetch_add(1, Ordering::Relaxed);
+                            out.extend_from_slice(line);
+                            out.push(b'\n');
+                        }
+                    });
+                }
+                None => {
+                    let m = &metrics;
+                    let pat = &pattern;
+                    splitter.take().expect("checked above").finish(|line| {
+                        m.records_in.fetch_add(1, Ordering::Relaxed);
+                        let hit = contains(line, pat);
+                        if hit != invert {
+                            m.records_out.fetch_add(1, Ordering::Relaxed);
+                            out.extend_from_slice(line);
+                            out.push(b'\n');
+                        }
+                    });
+                    input = None;
+                }
+            }
+            if !out.is_empty() {
+                metrics.bytes_out.fetch_add(out.len() as u64, Ordering::Relaxed);
+                return Some(Ok(Bytes::from(out)));
+            }
+            splitter.as_ref()?;
+        });
+        Ok(Box::new(stream))
+    }
+}
+
+/// Byte-level substring search (empty needle matches everything).
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    haystack
+        .windows(needle.len())
+        .any(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scoop_common::stream;
+    use std::collections::HashMap;
+
+    fn run(data: &'static [u8], pattern: &str, invert: bool) -> String {
+        let mut params = HashMap::new();
+        params.insert("pattern".to_string(), pattern.to_string());
+        if invert {
+            params.insert("invert".to_string(), "1".to_string());
+        }
+        let out = LineGrepStorlet
+            .invoke(
+                stream::chunked(Bytes::from_static(data), 5),
+                InvocationContext::new(params),
+            )
+            .unwrap();
+        String::from_utf8(stream::collect(out).unwrap().to_vec()).unwrap()
+    }
+
+    #[test]
+    fn keeps_matching_lines() {
+        let data = b"ERROR disk full\nINFO ok\nERROR net down\n";
+        assert_eq!(run(data, "ERROR", false), "ERROR disk full\nERROR net down\n");
+    }
+
+    #[test]
+    fn invert_drops_matches() {
+        let data = b"ERROR a\nINFO b\n";
+        assert_eq!(run(data, "ERROR", true), "INFO b\n");
+    }
+
+    #[test]
+    fn empty_pattern_matches_all() {
+        let data = b"a\nb";
+        assert_eq!(run(data, "", false), "a\nb\n");
+    }
+
+    #[test]
+    fn requires_pattern_param() {
+        assert!(LineGrepStorlet
+            .invoke(stream::empty(), InvocationContext::new(HashMap::new()))
+            .is_err());
+    }
+
+    #[test]
+    fn substring_search_reference() {
+        assert!(contains(b"hello world", b"lo w"));
+        assert!(!contains(b"hello", b"world"));
+        assert!(contains(b"abc", b""));
+        assert!(!contains(b"ab", b"abc"));
+    }
+}

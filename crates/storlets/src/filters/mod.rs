@@ -1,0 +1,21 @@
+//! Storlets shipped with Scoop.
+//!
+//! * [`csv`] — the paper's `CSVStorlet`: SQL projection/selection pushdown on
+//!   CSV objects, byte-range aware.
+//! * [`grep`] — line filtering by substring, the "early discard" classic.
+//! * [`compress`] — RLE compression/decompression, for the paper's proposed
+//!   "intelligent combinations of data filtering and compression".
+//! * [`stats`] — storage-side aggregation of a numeric column ("it can perform
+//!   aggregations on individual object requests").
+//! * [`metadata`] — EXIF-style metadata extraction from binary objects (the
+//!   Section VII non-textual data source).
+//! * [`etl`] — PUT-path data cleansing and column-splitting transformations
+//!   ("ETL often requires data transformations. Storlets permits this in the
+//!   PUT data path").
+
+pub mod compress;
+pub mod csv;
+pub mod etl;
+pub mod grep;
+pub mod metadata;
+pub mod stats;

@@ -1,0 +1,501 @@
+//! The storlet WSGI middleware.
+//!
+//! "With Storlets a developer can write code, package and deploy it ... and
+//! then explicitly invoke it on data objects as if the code was part of the
+//! Swift's WSGI pipeline. Request interception can occur not only at the proxy
+//! but also at the object servers." This middleware implements that
+//! interception on both tiers, plus the two capabilities the paper added:
+//! **staging control** (`X-Storlet-Run-On`) and **byte-range execution**
+//! (logical ranges handled record-aligned by the storlet while the backend
+//! serves an open-ended read that the lazy filter stream terminates early).
+
+use crate::api::InvocationContext;
+use crate::engine::StorletEngine;
+use crate::policy::{PolicyStore, Tier};
+use scoop_objectstore::middleware::{Handler, Middleware};
+use scoop_objectstore::objserver::{STAGE_HEADER, STAGE_OBJECT, STAGE_PROXY};
+use scoop_objectstore::request::{ByteRange, Method, Request, Response};
+use scoop_common::{stream, Result, ScoopError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Header names understood by the middleware.
+pub mod headers {
+    /// Comma-separated storlet pipeline to execute.
+    pub const RUN_STORLET: &str = "x-run-storlet";
+    /// Invocation parameters, `k=v` pairs joined by `;` (percent-escaped).
+    pub const PARAMETERS: &str = "x-storlet-parameters";
+    /// Execution stage: `proxy` or `object` (default `object`).
+    pub const RUN_ON: &str = "x-storlet-run-on";
+    /// Logical byte range handled by the storlet (record-aligned), e.g.
+    /// `bytes=1048576-2097151`.
+    pub const STORLET_RANGE: &str = "x-storlet-range";
+    /// Response marker listing executed storlets.
+    pub const INVOKED: &str = "x-storlet-invoked";
+}
+
+/// Encode invocation parameters for [`headers::PARAMETERS`].
+pub fn encode_params(params: &HashMap<String, String>) -> String {
+    let mut keys: Vec<&String> = params.keys().collect();
+    keys.sort();
+    let esc = |s: &str| -> String {
+        let mut out = String::with_capacity(s.len());
+        for b in s.bytes() {
+            match b {
+                b'%' | b';' | b'=' => out.push_str(&format!("%{b:02X}")),
+                _ => out.push(b as char),
+            }
+        }
+        out
+    };
+    keys.iter()
+        .map(|k| format!("{}={}", esc(k), esc(&params[*k])))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Decode [`headers::PARAMETERS`].
+pub fn decode_params(header: &str) -> Result<HashMap<String, String>> {
+    let unesc = |s: &str| -> Result<String> {
+        let bytes = s.as_bytes();
+        let mut out = Vec::with_capacity(bytes.len());
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'%' {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| ScoopError::InvalidRequest("bad %-escape".into()))?;
+                let v = u8::from_str_radix(
+                    std::str::from_utf8(hex)
+                        .map_err(|_| ScoopError::InvalidRequest("bad %-escape".into()))?,
+                    16,
+                )
+                .map_err(|_| ScoopError::InvalidRequest("bad %-escape".into()))?;
+                out.push(v);
+                i += 3;
+            } else {
+                out.push(bytes[i]);
+                i += 1;
+            }
+        }
+        String::from_utf8(out).map_err(|_| ScoopError::InvalidRequest("non-utf8 param".into()))
+    };
+    let mut map = HashMap::new();
+    for pair in header.split(';').filter(|p| !p.is_empty()) {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| ScoopError::InvalidRequest(format!("bad parameter pair '{pair}'")))?;
+        map.insert(unesc(k)?, unesc(v)?);
+    }
+    Ok(map)
+}
+
+/// The middleware. Install one instance (sharing the engine) on both the
+/// proxy and object-server pipelines.
+pub struct StorletMiddleware {
+    engine: Arc<StorletEngine>,
+    policy: Option<Arc<PolicyStore>>,
+}
+
+impl StorletMiddleware {
+    /// Middleware without policies (explicit invocation only).
+    pub fn new(engine: Arc<StorletEngine>) -> Self {
+        StorletMiddleware { engine, policy: None }
+    }
+
+    /// Middleware consulting a policy store at the proxy stage.
+    pub fn with_policy(engine: Arc<StorletEngine>, policy: Arc<PolicyStore>) -> Self {
+        StorletMiddleware { engine, policy: Some(policy) }
+    }
+
+    /// The shared engine (for stats inspection).
+    pub fn engine(&self) -> &Arc<StorletEngine> {
+        &self.engine
+    }
+
+    /// Proxy-stage policy work: strip pushdown for bronze tenants, inject
+    /// configured storlets for matching rules.
+    fn apply_policy(&self, req: &mut Request) {
+        let Some(policy) = &self.policy else { return };
+        if policy.tier_of(&req.path.account) == Tier::Bronze {
+            req.headers.remove(headers::RUN_STORLET);
+            req.headers.remove(headers::PARAMETERS);
+            req.headers.remove(headers::RUN_ON);
+            // Degrade X-Storlet-Range to an *open-ended* plain range so the
+            // compute side can record-align (it must read past the logical
+            // end to finish the last owned record). The client detects the
+            // missing x-storlet-invoked response header and filters locally.
+            if let Some(r) = req.headers.remove(headers::STORLET_RANGE) {
+                if let Ok(parsed) = ByteRange::parse(&r) {
+                    req.headers.set(
+                        "range",
+                        ByteRange { start: parsed.start, end: None }.to_header(),
+                    );
+                }
+            }
+            return;
+        }
+        if !req.headers.contains(headers::RUN_STORLET) {
+            if let Some(rule) = policy.matching_rule(
+                &req.path.account,
+                &req.path.container,
+                req.method,
+            ) {
+                req.headers.set(headers::RUN_STORLET, rule.storlets.clone());
+                req.headers
+                    .set(headers::PARAMETERS, encode_params(&rule.params));
+            }
+        }
+    }
+
+    fn build_context(req: &Request) -> Result<InvocationContext> {
+        let params = match req.headers.get(headers::PARAMETERS) {
+            Some(h) => decode_params(h)?,
+            None => HashMap::new(),
+        };
+        Ok(InvocationContext::new(params))
+    }
+
+    fn pipeline_names(header: &str) -> Vec<String> {
+        header
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// GET with storlet: resolve ranges, fetch (open-ended when record
+    /// alignment is needed), and wrap the response body in the filter stream.
+    fn run_get(
+        &self,
+        names: &[String],
+        mut req: Request,
+        next: &dyn Handler,
+    ) -> Result<Response> {
+        let mut ctx = Self::build_context(&req)?;
+        // Logical range: X-Storlet-Range wins, else a plain Range is promoted
+        // to a storlet-handled (record-aligned) range.
+        let logical = match req.headers.remove(headers::STORLET_RANGE) {
+            Some(h) => Some(ByteRange::parse(&h)?),
+            None => req.range()?,
+        };
+        req.headers.remove("range");
+        if let Some(r) = logical {
+            ctx.range_start = r.start;
+            ctx.range_end = r.end;
+            // Backend serves from the range start to EOF; the storlet's lazy
+            // stream stops pulling once past the logical end.
+            req.headers
+                .set("range", ByteRange { start: r.start, end: None }.to_header());
+        }
+        // Don't re-run downstream.
+        let invoked = names.join(",");
+        req.headers.remove(headers::RUN_STORLET);
+        req.headers.remove(headers::PARAMETERS);
+        req.headers.remove(headers::RUN_ON);
+        let resp = next.call(req)?;
+        if !resp.is_success() {
+            return Ok(resp);
+        }
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let body = self.engine.invoke_pipeline(&name_refs, resp.body, &ctx)?;
+        let mut out = Response { status: 200, headers: resp.headers, body };
+        // Filtered length is unknown until the stream is consumed.
+        out.headers.remove("content-length");
+        out.headers.remove("content-range");
+        out.headers.set(headers::INVOKED, invoked);
+        Ok(out)
+    }
+
+    /// PUT with storlet (ETL path): transform the body once, then store the
+    /// transformed object.
+    fn run_put(
+        &self,
+        names: &[String],
+        mut req: Request,
+        next: &dyn Handler,
+    ) -> Result<Response> {
+        let ctx = Self::build_context(&req)?;
+        let body = req.body.take().unwrap_or_default();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let transformed = self
+            .engine
+            .invoke_pipeline(&name_refs, stream::once(body), &ctx)?;
+        let new_body = stream::collect(transformed)?;
+        req.body = Some(new_body);
+        let invoked = names.join(",");
+        req.headers.remove(headers::RUN_STORLET);
+        req.headers.remove(headers::PARAMETERS);
+        req.headers.remove(headers::RUN_ON);
+        let resp = next.call(req)?;
+        Ok(resp.with_header(headers::INVOKED, invoked))
+    }
+}
+
+impl Middleware for StorletMiddleware {
+    fn name(&self) -> &str {
+        "storlets"
+    }
+
+    fn handle(&self, mut req: Request, next: &dyn Handler) -> Result<Response> {
+        let stage = req
+            .headers
+            .get(STAGE_HEADER)
+            .unwrap_or(STAGE_OBJECT)
+            .to_string();
+        if stage == STAGE_PROXY {
+            self.apply_policy(&mut req);
+        }
+        let Some(run_header) = req.headers.get(headers::RUN_STORLET).map(str::to_string)
+        else {
+            return next.call(req);
+        };
+        let names = Self::pipeline_names(&run_header);
+        if names.is_empty() {
+            return next.call(req);
+        }
+        match req.method {
+            Method::Get => {
+                // GET storlets honour the requested execution stage.
+                let run_on = req
+                    .headers
+                    .get(headers::RUN_ON)
+                    .unwrap_or(STAGE_OBJECT)
+                    .to_string();
+                if run_on != stage {
+                    return next.call(req);
+                }
+                self.run_get(&names, req, next)
+            }
+            // PUT-path ETL always runs at the proxy, *before* replication
+            // fan-out, so each replica stores the transformed object.
+            Method::Put if stage == STAGE_PROXY => self.run_put(&names, req, next),
+            _ => next.call(req),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use scoop_csv::{Predicate, PushdownSpec};
+    use scoop_objectstore::middleware::Pipeline;
+    use scoop_objectstore::{ObjectPath, SwiftCluster, SwiftConfig};
+
+    const DATA: &[u8] = b"vid,date,index,city\n\
+        m1,2015-01-03,100.5,Rotterdam\n\
+        m2,2015-01-04,200.0,Paris\n\
+        m3,2015-02-01,50.0,Utrecht\n";
+
+    fn cluster_with_storlets() -> (Arc<SwiftCluster>, Arc<StorletEngine>, Arc<PolicyStore>) {
+        let cluster = SwiftCluster::new(SwiftConfig::default()).unwrap();
+        let engine = Arc::new(StorletEngine::with_builtin_filters());
+        let policy = Arc::new(PolicyStore::new());
+        let mut obj_pipe = Pipeline::new();
+        obj_pipe.push(Arc::new(StorletMiddleware::new(engine.clone())));
+        cluster.set_object_pipeline(obj_pipe);
+        let mut proxy_pipe = Pipeline::new();
+        proxy_pipe.push(Arc::new(StorletMiddleware::with_policy(
+            engine.clone(),
+            policy.clone(),
+        )));
+        cluster.set_proxy_pipeline(proxy_pipe);
+        (cluster, engine, policy)
+    }
+
+    fn csv_params() -> HashMap<String, String> {
+        let spec = PushdownSpec {
+            columns: Some(vec!["vid".into(), "index".into()]),
+            predicate: Some(Predicate::Like("date".into(), "2015-01%".into())),
+            has_header: true,
+        };
+        let mut p = HashMap::new();
+        p.insert("spec".to_string(), spec.to_header());
+        p.insert("schema".to_string(), "vid,date,index,city".to_string());
+        p
+    }
+
+    fn path() -> ObjectPath {
+        ObjectPath::new("AUTH_gp", "meters", "jan.csv").unwrap()
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let mut p = HashMap::new();
+        p.insert("spec".to_string(), "hdr=1;cols=a,b;pred=(eq c s:x=y)".to_string());
+        p.insert("schema".to_string(), "a,b,c".to_string());
+        let enc = encode_params(&p);
+        assert_eq!(decode_params(&enc).unwrap(), p);
+        assert!(decode_params("novalue").is_err());
+        assert!(decode_params("k=%zz").is_err());
+        assert!(decode_params("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn get_pushdown_at_object_stage() {
+        let (cluster, engine, _) = cluster_with_storlets();
+        let client = cluster.anonymous_client("AUTH_gp");
+        client.create_container("meters");
+        client
+            .put_object("meters", "jan.csv", Bytes::from_static(DATA))
+            .unwrap();
+
+        let req = scoop_objectstore::Request::get(path())
+            .with_header(headers::RUN_STORLET, "csvfilter")
+            .with_header(headers::PARAMETERS, encode_params(&csv_params()));
+        let resp = client.request(req).unwrap();
+        assert_eq!(resp.headers.get(headers::INVOKED), Some("csvfilter"));
+        assert_eq!(resp.read_body().unwrap(), "m1,100.5\nm2,200.0\n");
+        assert_eq!(engine.stats("csvfilter").invocations, 1);
+    }
+
+    #[test]
+    fn get_pushdown_at_proxy_stage() {
+        let (cluster, engine, _) = cluster_with_storlets();
+        let client = cluster.anonymous_client("AUTH_gp");
+        client.create_container("meters");
+        client
+            .put_object("meters", "jan.csv", Bytes::from_static(DATA))
+            .unwrap();
+        let req = scoop_objectstore::Request::get(path())
+            .with_header(headers::RUN_STORLET, "csvfilter")
+            .with_header(headers::RUN_ON, "proxy")
+            .with_header(headers::PARAMETERS, encode_params(&csv_params()));
+        let resp = client.request(req).unwrap();
+        assert_eq!(resp.read_body().unwrap(), "m1,100.5\nm2,200.0\n");
+        assert_eq!(engine.stats("csvfilter").invocations, 1);
+    }
+
+    #[test]
+    fn ranged_pushdown_is_record_aligned() {
+        let (cluster, _, _) = cluster_with_storlets();
+        let client = cluster.anonymous_client("AUTH_gp");
+        client.create_container("meters");
+        client
+            .put_object("meters", "jan.csv", Bytes::from_static(DATA))
+            .unwrap();
+        // Collect ranged outputs over a 30-byte split plan; concatenation
+        // must equal the unranged result.
+        let whole = {
+            let req = scoop_objectstore::Request::get(path())
+                .with_header(headers::RUN_STORLET, "csvfilter")
+                .with_header(headers::PARAMETERS, encode_params(&csv_params()));
+            client.request(req).unwrap().read_body().unwrap()
+        };
+        let mut combined = Vec::new();
+        for (s, e) in scoop_csv::split::plan_splits(DATA.len() as u64, 30) {
+            let req = scoop_objectstore::Request::get(path())
+                .with_header(headers::RUN_STORLET, "csvfilter")
+                .with_header(headers::PARAMETERS, encode_params(&csv_params()))
+                .with_header(
+                    headers::STORLET_RANGE,
+                    ByteRange { start: s, end: Some(e - 1) }.to_header(),
+                );
+            combined.extend_from_slice(&client.request(req).unwrap().read_body().unwrap());
+        }
+        assert_eq!(combined, whole);
+    }
+
+    #[test]
+    fn put_path_etl_transforms_before_storage() {
+        let (cluster, engine, _) = cluster_with_storlets();
+        let client = cluster.anonymous_client("AUTH_gp");
+        client.create_container("meters");
+        let raw = b"vid,date,index\n m1 ,2015-01-03, 5 \nbad,row\n";
+        let mut params = HashMap::new();
+        params.insert("schema".to_string(), "vid,date,index".to_string());
+        params.insert("header".to_string(), "1".to_string());
+        let req = scoop_objectstore::Request::put(path(), Bytes::from_static(raw))
+            .with_header(headers::RUN_STORLET, "etlcleanse")
+            .with_header(headers::PARAMETERS, encode_params(&params));
+        let resp = client.request(req).unwrap();
+        assert_eq!(resp.status, 201);
+        assert_eq!(resp.headers.get(headers::INVOKED), Some("etlcleanse"));
+        // Stored object is the cleansed version.
+        let got = client.get_object("meters", "jan.csv").unwrap();
+        assert_eq!(got.read_body().unwrap(), "vid,date,index\nm1,2015-01-03,5\n");
+        // ETL ran exactly once (at the proxy), not once per replica.
+        assert_eq!(engine.stats("etlcleanse").invocations, 1);
+    }
+
+    #[test]
+    fn pipelined_filters_compose() {
+        let (cluster, engine, _) = cluster_with_storlets();
+        let client = cluster.anonymous_client("AUTH_gp");
+        client.create_container("meters");
+        client
+            .put_object("meters", "jan.csv", Bytes::from_static(DATA))
+            .unwrap();
+        let mut params = csv_params();
+        params.insert("pattern".to_string(), "m1".to_string());
+        // csvfilter then linegrep: filtered rows further narrowed to m1.
+        let req = scoop_objectstore::Request::get(path())
+            .with_header(headers::RUN_STORLET, "csvfilter,linegrep")
+            .with_header(headers::PARAMETERS, encode_params(&params));
+        let resp = client.request(req).unwrap();
+        assert_eq!(resp.read_body().unwrap(), "m1,100.5\n");
+        assert_eq!(engine.stats("csvfilter").invocations, 1);
+        assert_eq!(engine.stats("linegrep").invocations, 1);
+    }
+
+    #[test]
+    fn bronze_tenants_get_plain_ingestion() {
+        let (cluster, engine, policy) = cluster_with_storlets();
+        policy.set_tier("AUTH_gp", Tier::Bronze);
+        let client = cluster.anonymous_client("AUTH_gp");
+        client.create_container("meters");
+        client
+            .put_object("meters", "jan.csv", Bytes::from_static(DATA))
+            .unwrap();
+        let req = scoop_objectstore::Request::get(path())
+            .with_header(headers::RUN_STORLET, "csvfilter")
+            .with_header(headers::PARAMETERS, encode_params(&csv_params()));
+        let resp = client.request(req).unwrap();
+        // Full object returned; no storlet ran.
+        assert_eq!(resp.read_body().unwrap(), DATA);
+        assert_eq!(engine.stats("csvfilter").invocations, 0);
+    }
+
+    #[test]
+    fn policy_auto_applies_put_etl() {
+        let (cluster, engine, policy) = cluster_with_storlets();
+        let mut params = HashMap::new();
+        params.insert("schema".to_string(), "vid,date,index".to_string());
+        params.insert("header".to_string(), "1".to_string());
+        policy.add_rule(crate::policy::PolicyRule {
+            account: "AUTH_gp".into(),
+            container: Some("meters".into()),
+            method: Method::Put,
+            storlets: "etlcleanse".into(),
+            params,
+        });
+        let client = cluster.anonymous_client("AUTH_gp");
+        client.create_container("meters");
+        // Plain PUT with no storlet headers — the policy injects the ETL.
+        client
+            .put_object(
+                "meters",
+                "jan.csv",
+                Bytes::from_static(b"vid,date,index\n a ,b, 1 \n"),
+            )
+            .unwrap();
+        let got = client.get_object("meters", "jan.csv").unwrap();
+        assert_eq!(got.read_body().unwrap(), "vid,date,index\na,b,1\n");
+        assert_eq!(engine.stats("etlcleanse").invocations, 1);
+    }
+
+    #[test]
+    fn unknown_storlet_fails_request() {
+        let (cluster, _, _) = cluster_with_storlets();
+        let client = cluster.anonymous_client("AUTH_gp");
+        client.create_container("meters");
+        client
+            .put_object("meters", "jan.csv", Bytes::from_static(DATA))
+            .unwrap();
+        let req = scoop_objectstore::Request::get(path())
+            .with_header(headers::RUN_STORLET, "nope");
+        assert!(client.request(req).is_err());
+    }
+}

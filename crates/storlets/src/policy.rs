@@ -1,0 +1,132 @@
+//! Enforcement policies: per-tenant/container storlet rules and tiering.
+//!
+//! The paper manages pushdown filters "via simple policies" on tenants or
+//! containers, and its discussion section sketches tier-aware control: "under
+//! peak workloads ... only 'gold' tenants enjoy the pushdown service, whereas
+//! 'bronze' tenants will ingest data in the traditional way". Both are
+//! implemented here and consulted by the storlet middleware at the proxy.
+
+use parking_lot::RwLock;
+use scoop_objectstore::request::Method;
+use std::collections::HashMap;
+
+/// Service tier of a tenant (account).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tier {
+    /// Pushdown allowed (default).
+    #[default]
+    Gold,
+    /// Pushdown stripped: requests ingest data the traditional way.
+    Bronze,
+}
+
+/// A rule that auto-applies a storlet pipeline to matching requests that do
+/// not explicitly request one.
+#[derive(Debug, Clone)]
+pub struct PolicyRule {
+    /// Account the rule applies to.
+    pub account: String,
+    /// Restrict to one container (`None` = all containers of the account).
+    pub container: Option<String>,
+    /// Which method triggers the rule (GET pushdown or PUT-path ETL).
+    pub method: Method,
+    /// Comma-separated storlet pipeline (as in `X-Run-Storlet`).
+    pub storlets: String,
+    /// Invocation parameters.
+    pub params: HashMap<String, String>,
+}
+
+/// Shared policy state.
+#[derive(Debug, Default)]
+pub struct PolicyStore {
+    rules: RwLock<Vec<PolicyRule>>,
+    tiers: RwLock<HashMap<String, Tier>>,
+}
+
+impl PolicyStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an auto-apply rule.
+    pub fn add_rule(&self, rule: PolicyRule) {
+        self.rules.write().push(rule);
+    }
+
+    /// Remove all rules for an account (returns how many were removed).
+    pub fn clear_rules(&self, account: &str) -> usize {
+        let mut rules = self.rules.write();
+        let before = rules.len();
+        rules.retain(|r| r.account != account);
+        before - rules.len()
+    }
+
+    /// First rule matching the request coordinates.
+    pub fn matching_rule(
+        &self,
+        account: &str,
+        container: &str,
+        method: Method,
+    ) -> Option<PolicyRule> {
+        self.rules
+            .read()
+            .iter()
+            .find(|r| {
+                r.account == account
+                    && r.method == method
+                    && r.container.as_deref().is_none_or(|c| c == container)
+            })
+            .cloned()
+    }
+
+    /// Set a tenant's tier.
+    pub fn set_tier(&self, account: &str, tier: Tier) {
+        self.tiers.write().insert(account.to_string(), tier);
+    }
+
+    /// Tenant tier (Gold when unset).
+    pub fn tier_of(&self, account: &str) -> Tier {
+        self.tiers.read().get(account).copied().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_matching_respects_scope() {
+        let store = PolicyStore::new();
+        store.add_rule(PolicyRule {
+            account: "gp".into(),
+            container: Some("meters".into()),
+            method: Method::Put,
+            storlets: "etlcleanse".into(),
+            params: HashMap::new(),
+        });
+        store.add_rule(PolicyRule {
+            account: "gp".into(),
+            container: None,
+            method: Method::Get,
+            storlets: "linegrep".into(),
+            params: HashMap::new(),
+        });
+        assert!(store.matching_rule("gp", "meters", Method::Put).is_some());
+        assert!(store.matching_rule("gp", "other", Method::Put).is_none());
+        assert!(store.matching_rule("gp", "anything", Method::Get).is_some());
+        assert!(store.matching_rule("other", "meters", Method::Put).is_none());
+        assert_eq!(store.clear_rules("gp"), 2);
+        assert!(store.matching_rule("gp", "meters", Method::Put).is_none());
+    }
+
+    #[test]
+    fn tiers_default_gold() {
+        let store = PolicyStore::new();
+        assert_eq!(store.tier_of("anyone"), Tier::Gold);
+        store.set_tier("cheap", Tier::Bronze);
+        assert_eq!(store.tier_of("cheap"), Tier::Bronze);
+        store.set_tier("cheap", Tier::Gold);
+        assert_eq!(store.tier_of("cheap"), Tier::Gold);
+    }
+}

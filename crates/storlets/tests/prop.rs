@@ -1,0 +1,129 @@
+//! Property tests for the storlet layer: the ranged CSV storlet must
+//! partition any object exactly like the reference `aligned_slice`, for any
+//! split plan — including splits landing exactly on record boundaries.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use scoop_common::stream;
+use scoop_csv::filter::filter_buffer;
+use scoop_csv::split::{aligned_slice, plan_splits};
+use scoop_csv::{Predicate, PushdownSpec, Value};
+use scoop_storlets::filters::csv::CsvFilterStorlet;
+use scoop_storlets::{InvocationContext, Storlet};
+use std::collections::HashMap;
+
+const SCHEMA: &str = "vid,n,city";
+
+fn make_csv(rows: &[(u32, i32, u8)]) -> Vec<u8> {
+    let mut out = Vec::from(&b"vid,n,city\n"[..]);
+    for (vid, n, city) in rows {
+        let city = ["Rotterdam", "Paris", "Nice"][*city as usize % 3];
+        out.extend_from_slice(format!("m{vid},{n},{city}\n").as_bytes());
+    }
+    out
+}
+
+fn invoke_range(
+    data: &[u8],
+    spec: &PushdownSpec,
+    start: u64,
+    end_exclusive: u64,
+    chunk: usize,
+) -> Vec<u8> {
+    let mut params = HashMap::new();
+    params.insert("spec".to_string(), spec.to_header());
+    params.insert("schema".to_string(), SCHEMA.to_string());
+    let mut ctx = InvocationContext::new(params);
+    ctx.range_start = start;
+    // Storlets receive the inclusive HTTP-style end byte.
+    ctx.range_end = Some(end_exclusive.saturating_sub(1));
+    let body = Bytes::from(data[start as usize..].to_vec());
+    let out = CsvFilterStorlet
+        .invoke(stream::chunked(body, chunk.max(1)), ctx)
+        .unwrap();
+    stream::collect(out).unwrap().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Concatenated ranged outputs == the filter over the whole object, for
+    /// any split size and stream chunking.
+    #[test]
+    fn ranged_storlet_partitions_exactly(
+        rows in proptest::collection::vec((0u32..30, -100i32..100, 0u8..3), 1..40),
+        split in 1u64..120,
+        chunk in 1usize..64,
+        filtered in any::<bool>(),
+    ) {
+        let data = make_csv(&rows);
+        let spec = PushdownSpec {
+            columns: Some(vec!["vid".into(), "n".into()]),
+            predicate: filtered
+                .then(|| Predicate::Eq("city".into(), Value::Str("Rotterdam".into()))),
+            has_header: true,
+        };
+        let header: Vec<String> = SCHEMA.split(',').map(str::to_string).collect();
+        // Reference: filter over each aligned slice.
+        let mut reference = Vec::new();
+        let mut combined = Vec::new();
+        for (s, e) in plan_splits(data.len() as u64, split) {
+            let slice = aligned_slice(&data, s, e);
+            let spec_for_split =
+                PushdownSpec { has_header: spec.has_header && s == 0, ..spec.clone() };
+            let (r, _) = filter_buffer(&spec_for_split, &header, slice, true).unwrap();
+            reference.extend_from_slice(&r);
+            combined.extend_from_slice(&invoke_range(&data, &spec, s, e, chunk));
+        }
+        prop_assert_eq!(
+            String::from_utf8_lossy(&combined),
+            String::from_utf8_lossy(&reference)
+        );
+        // And the unranged invocation equals the whole-object filter.
+        let (whole, _) = filter_buffer(&spec, &header, &data, true).unwrap();
+        let mut params = HashMap::new();
+        params.insert("spec".to_string(), spec.to_header());
+        params.insert("schema".to_string(), SCHEMA.to_string());
+        let out = CsvFilterStorlet
+            .invoke(
+                stream::chunked(Bytes::from(data.clone()), chunk.max(1)),
+                InvocationContext::new(params),
+            )
+            .unwrap();
+        prop_assert_eq!(stream::collect(out).unwrap().to_vec(), whole);
+    }
+
+    /// Split boundaries landing exactly on record starts are the historical
+    /// bug class; force them explicitly.
+    #[test]
+    fn boundary_exact_splits(rows in proptest::collection::vec((0u32..10, 0i32..10, 0u8..3), 2..20)) {
+        let data = make_csv(&rows);
+        // Record start offsets (positions after each newline).
+        let starts: Vec<u64> = data
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'\n')
+            .map(|(i, _)| i as u64 + 1)
+            .filter(|&p| p < data.len() as u64)
+            .collect();
+        let spec = PushdownSpec { has_header: true, ..Default::default() };
+        let header: Vec<String> = SCHEMA.split(',').map(str::to_string).collect();
+        for &boundary in &starts {
+            let mut combined = Vec::new();
+            combined.extend_from_slice(&invoke_range(&data, &spec, 0, boundary, 7));
+            combined.extend_from_slice(&invoke_range(
+                &data,
+                &spec,
+                boundary,
+                data.len() as u64,
+                7,
+            ));
+            let (whole, _) = filter_buffer(&spec, &header, &data, true).unwrap();
+            prop_assert_eq!(
+                String::from_utf8_lossy(&combined),
+                String::from_utf8_lossy(&whole),
+                "boundary {}", boundary
+            );
+        }
+    }
+}

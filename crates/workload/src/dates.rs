@@ -1,0 +1,110 @@
+//! Minimal calendar arithmetic for `YYYY-MM-DD HH:MM:SS` timestamps.
+
+/// A timestamp with minute precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Timestamp {
+    /// Year (e.g. 2015).
+    pub year: u32,
+    /// Month 1–12.
+    pub month: u32,
+    /// Day 1–31.
+    pub day: u32,
+    /// Hour 0–23.
+    pub hour: u32,
+    /// Minute 0–59.
+    pub minute: u32,
+}
+
+/// Days in a month, honouring leap years.
+pub fn days_in_month(year: u32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400) {
+                29
+            } else {
+                28
+            }
+        }
+        other => panic!("invalid month {other}"),
+    }
+}
+
+impl Timestamp {
+    /// Midnight on the given date.
+    pub fn midnight(year: u32, month: u32, day: u32) -> Timestamp {
+        Timestamp { year, month, day, hour: 0, minute: 0 }
+    }
+
+    /// Advance by `minutes`.
+    pub fn plus_minutes(mut self, minutes: u32) -> Timestamp {
+        let total = self.minute + minutes;
+        self.minute = total % 60;
+        let mut hours = self.hour + total / 60;
+        self.hour = hours % 24;
+        hours /= 24;
+        let mut days = self.day + hours;
+        loop {
+            let dim = days_in_month(self.year, self.month);
+            if days <= dim {
+                break;
+            }
+            days -= dim;
+            self.month += 1;
+            if self.month > 12 {
+                self.month = 1;
+                self.year += 1;
+            }
+        }
+        self.day = days;
+        self
+    }
+
+    /// Render as `YYYY-MM-DD HH:MM:SS` (seconds always zero).
+    pub fn render(&self) -> String {
+        format!(
+            "{:04}-{:02}-{:02} {:02}:{:02}:00",
+            self.year, self.month, self.day, self.hour, self.minute
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_iso_like() {
+        let t = Timestamp::midnight(2015, 1, 3).plus_minutes(10 * 60 + 20);
+        assert_eq!(t.render(), "2015-01-03 10:20:00");
+    }
+
+    #[test]
+    fn advances_across_days_months_years() {
+        let t = Timestamp::midnight(2015, 1, 31).plus_minutes(24 * 60);
+        assert_eq!(t.render(), "2015-02-01 00:00:00");
+        let t = Timestamp::midnight(2015, 12, 31).plus_minutes(25 * 60);
+        assert_eq!(t.render(), "2016-01-01 01:00:00");
+    }
+
+    #[test]
+    fn leap_years() {
+        assert_eq!(days_in_month(2016, 2), 29);
+        assert_eq!(days_in_month(2015, 2), 28);
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+        let t = Timestamp::midnight(2016, 2, 28).plus_minutes(24 * 60);
+        assert_eq!(t.render(), "2016-02-29 00:00:00");
+    }
+
+    #[test]
+    fn textual_order_matches_chronological() {
+        let mut prev = Timestamp::midnight(2015, 1, 1);
+        for _ in 0..10_000 {
+            let next = prev.plus_minutes(137);
+            assert!(next.render() > prev.render());
+            prev = next;
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Deterministic synthetic meter-data generation.
+//!
+//! Ten columns, matching the paper's description and its public generator's
+//! structure: `vid, date, index, sumHC, sumHP, lat, long, city, state,
+//! region`. Readings arrive every 10 minutes per meter; `index` is the
+//! meter's cumulative consumption; `sumHC`/`sumHP` split it into off-peak
+//! ("heures creuses") and peak ("heures pleines") components.
+
+use crate::dates::Timestamp;
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scoop_common::rng::derive_seed;
+use scoop_csv::schema::{DataType, Field, Schema};
+
+/// A city with its geography.
+#[derive(Debug, Clone, Copy)]
+pub struct City {
+    /// City name.
+    pub name: &'static str,
+    /// Country/state code (3 letters, as the Table I predicates expect).
+    pub state: &'static str,
+    /// Administrative region.
+    pub region: &'static str,
+    /// Latitude.
+    pub lat: f64,
+    /// Longitude.
+    pub long: f64,
+}
+
+/// The fleet's cities. Includes Rotterdam (Showgraphcons/Showday), FRA states
+/// (ShowGraphHCHP) and `U%` states (ShowPiemonth).
+pub const CITIES: &[City] = &[
+    City { name: "Rotterdam", state: "NLD", region: "South Holland", lat: 51.92, long: 4.47 },
+    City { name: "Utrecht", state: "NLD", region: "Utrecht", lat: 52.09, long: 5.12 },
+    City { name: "Paris", state: "FRA", region: "Ile-de-France", lat: 48.85, long: 2.35 },
+    City { name: "Nice", state: "FRA", region: "PACA", lat: 43.70, long: 7.27 },
+    City { name: "Lyon", state: "FRA", region: "Auvergne-Rhone-Alpes", lat: 45.76, long: 4.83 },
+    City { name: "Kyiv", state: "UKR", region: "Kyiv Oblast", lat: 50.45, long: 30.52 },
+    City { name: "Austin", state: "USA", region: "Texas", lat: 30.27, long: -97.74 },
+    City { name: "Berlin", state: "DEU", region: "Brandenburg", lat: 52.52, long: 13.40 },
+    City { name: "Madrid", state: "ESP", region: "Comunidad de Madrid", lat: 40.42, long: -3.70 },
+    City { name: "Milan", state: "ITA", region: "Lombardy", lat: 45.46, long: 9.19 },
+];
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Number of meters in the fleet (the paper's datasets use 10K).
+    pub meters: usize,
+    /// First reading timestamp.
+    pub start: Timestamp,
+    /// Minutes between readings (paper: 10).
+    pub interval_minutes: u32,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 42,
+            meters: 10_000,
+            start: Timestamp::midnight(2015, 1, 1),
+            interval_minutes: 10,
+        }
+    }
+}
+
+/// One meter's static identity + consumption state.
+#[derive(Debug, Clone)]
+struct Meter {
+    vid: String,
+    city: &'static City,
+    /// Cumulative consumption so far (kWh).
+    index: f64,
+    sum_hc: f64,
+    sum_hp: f64,
+    /// Mean consumption per reading (meters differ).
+    rate: f64,
+}
+
+/// The 10-column schema of the generated data.
+pub fn meter_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("vid", DataType::Str),
+        Field::new("date", DataType::Str),
+        Field::new("index", DataType::Float),
+        Field::new("sumHC", DataType::Float),
+        Field::new("sumHP", DataType::Float),
+        Field::new("lat", DataType::Float),
+        Field::new("long", DataType::Float),
+        Field::new("city", DataType::Str),
+        Field::new("state", DataType::Str),
+        Field::new("region", DataType::Str),
+    ])
+}
+
+/// A streaming dataset generator: rows come out time-major (all meters at
+/// t0, then t1, ...), the order readings land in an ingestion pipeline.
+pub struct MeterDataset {
+    meters: Vec<Meter>,
+    clock: Timestamp,
+    interval: u32,
+    cursor: usize,
+    rng: StdRng,
+}
+
+impl MeterDataset {
+    /// Build the fleet and position the clock at the first reading.
+    pub fn new(config: &GeneratorConfig) -> MeterDataset {
+        let mut rng = StdRng::seed_from_u64(derive_seed(config.seed, "meter-fleet"));
+        let meters = (0..config.meters)
+            .map(|i| {
+                let city = &CITIES[rng.random_range(0..CITIES.len())];
+                Meter {
+                    vid: format!("M{i:05}"),
+                    city,
+                    index: rng.random_range(0.0..5_000.0),
+                    sum_hc: 0.0,
+                    sum_hp: 0.0,
+                    rate: rng.random_range(0.05..0.6),
+                }
+            })
+            .collect();
+        MeterDataset {
+            meters,
+            clock: config.start,
+            interval: config.interval_minutes,
+            cursor: 0,
+            rng: StdRng::seed_from_u64(derive_seed(config.seed, "meter-readings")),
+        }
+    }
+
+    /// Produce the next reading as raw string fields.
+    pub fn next_row(&mut self) -> Vec<String> {
+        if self.cursor >= self.meters.len() {
+            self.cursor = 0;
+            self.clock = self.clock.plus_minutes(self.interval);
+        }
+        let date = self.clock.render();
+        // Off-peak hours (HC): 22:00–06:00.
+        let off_peak = self.clock.hour >= 22 || self.clock.hour < 6;
+        let m = &mut self.meters[self.cursor];
+        self.cursor += 1;
+        let delta = (m.rate * self.rng.random_range(0.2..1.8)).max(0.0);
+        m.index += delta;
+        if off_peak {
+            m.sum_hc += delta;
+        } else {
+            m.sum_hp += delta;
+        }
+        vec![
+            m.vid.clone(),
+            date,
+            format!("{:.2}", m.index),
+            format!("{:.2}", m.sum_hc),
+            format!("{:.2}", m.sum_hp),
+            format!("{:.2}", m.city.lat),
+            format!("{:.2}", m.city.long),
+            m.city.name.to_string(),
+            m.city.state.to_string(),
+            m.city.region.to_string(),
+        ]
+    }
+
+    /// Write `rows` readings as a CSV object (with a header row).
+    pub fn csv_object(&mut self, rows: usize) -> Bytes {
+        let schema = meter_schema();
+        let mut w = scoop_csv::CsvWriter::with_capacity(rows * 96 + 128);
+        w.write_header(&schema);
+        for _ in 0..rows {
+            let row = self.next_row();
+            let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+            w.write_strs(&refs);
+        }
+        w.into_bytes()
+    }
+
+    /// Generate objects of roughly `object_bytes` each until at least
+    /// `total_bytes` of CSV have been produced. Returns `(name, data)` pairs.
+    pub fn csv_objects(
+        &mut self,
+        total_bytes: u64,
+        object_bytes: u64,
+    ) -> Vec<(String, Bytes)> {
+        assert!(object_bytes > 0);
+        let mut out = Vec::new();
+        let mut produced = 0u64;
+        let mut part = 0usize;
+        // Estimate rows per object from a probe row (~96 bytes each).
+        let rows_per_object = (object_bytes / 96).max(1) as usize;
+        while produced < total_bytes {
+            let data = self.csv_object(rows_per_object);
+            produced += data.len() as u64;
+            out.push((format!("part-{part:05}.csv"), data));
+            part += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let config = GeneratorConfig { meters: 5, ..Default::default() };
+        let a = MeterDataset::new(&config).csv_object(50);
+        let b = MeterDataset::new(&config).csv_object(50);
+        assert_eq!(a, b);
+        let c = MeterDataset::new(&GeneratorConfig { seed: 43, ..config }).csv_object(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ten_columns_and_parseable() {
+        let config = GeneratorConfig { meters: 3, ..Default::default() };
+        let data = MeterDataset::new(&config).csv_object(30);
+        let schema = scoop_csv::reader::infer_schema(&data, 30).unwrap();
+        assert_eq!(schema.len(), 10);
+        assert_eq!(schema.names()[0], "vid");
+        assert_eq!(schema.fields[2].dtype, DataType::Float);
+        let rows: Vec<_> = scoop_csv::CsvReader::new(
+            scoop_common::stream::once(data),
+            meter_schema(),
+            true,
+        )
+        .collect::<scoop_common::Result<Vec<_>>>()
+        .unwrap();
+        assert_eq!(rows.len(), 30);
+    }
+
+    #[test]
+    fn index_is_cumulative_per_meter() {
+        let config = GeneratorConfig { meters: 2, ..Default::default() };
+        let mut g = MeterDataset::new(&config);
+        let mut last: std::collections::HashMap<String, f64> = Default::default();
+        for _ in 0..40 {
+            let row = g.next_row();
+            let idx: f64 = row[2].parse().unwrap();
+            if let Some(prev) = last.get(&row[0]) {
+                assert!(idx >= *prev, "index decreased for {}", row[0]);
+            }
+            last.insert(row[0].clone(), idx);
+        }
+    }
+
+    #[test]
+    fn clock_advances_time_major() {
+        let config = GeneratorConfig { meters: 2, ..Default::default() };
+        let mut g = MeterDataset::new(&config);
+        let r1 = g.next_row();
+        let r2 = g.next_row();
+        let r3 = g.next_row();
+        assert_eq!(r1[1], r2[1]);
+        assert_ne!(r1[1], r3[1]);
+        assert_eq!(r3[1], "2015-01-01 00:10:00");
+    }
+
+    #[test]
+    fn hc_hp_partition_consumption() {
+        let config = GeneratorConfig { meters: 1, ..Default::default() };
+        let mut g = MeterDataset::new(&config);
+        let first: Vec<String> = g.next_row();
+        let base: f64 = first[2].parse().unwrap();
+        let mut row = first;
+        for _ in 0..2000 {
+            row = g.next_row();
+        }
+        let idx: f64 = row[2].parse().unwrap();
+        let hc: f64 = row[3].parse().unwrap();
+        let hp: f64 = row[4].parse().unwrap();
+        assert!(hc > 0.0 && hp > 0.0);
+        // index = initial + hc + hp (within rounding noise).
+        assert!(((idx - base) - (hc + hp)).abs() < 1.0, "{idx} {base} {hc} {hp}");
+    }
+
+    #[test]
+    fn objects_reach_target_size() {
+        let config = GeneratorConfig { meters: 10, ..Default::default() };
+        let objects = MeterDataset::new(&config).csv_objects(50_000, 10_000);
+        assert!(objects.len() >= 5);
+        let total: usize = objects.iter().map(|(_, d)| d.len()).sum();
+        assert!(total >= 50_000);
+        assert!(objects.iter().all(|(n, _)| n.ends_with(".csv")));
+    }
+}

@@ -1,0 +1,24 @@
+//! The GridPocket workload.
+//!
+//! The paper evaluates on "anonymized versions of CSV files containing energy
+//! consumption values captured by 10K GridPocket smart energy meters", with
+//! "identical structure, with 10 columns, and every row represents a reading
+//! taken every 10 minutes", and ships a synthetic generator mimicking those
+//! structural properties. This crate is that generator plus the query set:
+//!
+//! * [`generator`] — deterministic synthetic meter data: 10 columns
+//!   (`vid, date, index, sumHC, sumHP, lat, long, city, state, region`),
+//!   10-minute cadence, cumulative consumption indexes, European cities.
+//! * [`dates`] — minimal calendar arithmetic (no external deps).
+//! * [`queries`] — the seven Table I queries, verbatim, plus the synthetic
+//!   row/column/mixed selectivity-controlled queries of Section VI-A.
+//! * [`selectivity`] — measured column/row/data selectivity of a query over a
+//!   dataset (the Table I percentage columns).
+
+pub mod dates;
+pub mod generator;
+pub mod queries;
+pub mod selectivity;
+
+pub use generator::{GeneratorConfig, MeterDataset};
+pub use queries::{table1_queries, NamedQuery, SelectivityKind};

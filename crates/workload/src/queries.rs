@@ -1,0 +1,241 @@
+//! The query workload: Table I verbatim, plus synthetic
+//! selectivity-controlled queries.
+
+/// A named query with its description from Table I.
+#[derive(Debug, Clone)]
+pub struct NamedQuery {
+    /// Query name (as in Table I).
+    pub name: &'static str,
+    /// What it computes (Table I description).
+    pub description: &'static str,
+    /// SQL text.
+    pub sql: String,
+}
+
+/// The seven data-intensive GridPocket queries of Table I, verbatim.
+pub fn table1_queries() -> Vec<NamedQuery> {
+    vec![
+        NamedQuery {
+            name: "ShowMapCons",
+            description: "Per meter aggregated consumption for heatmap / per-state display",
+            sql: "SELECT vid, sum(index) as max, first_value(lat) as lat, \
+                  first_value(long) as long, first_value(state) as state \
+                  FROM largeMeter WHERE date LIKE '2015-01%' \
+                  GROUP BY SUBSTRING(date, 0, 7), vid \
+                  ORDER BY SUBSTRING(date, 0, 7), vid"
+                .to_string(),
+        },
+        NamedQuery {
+            name: "ShowMapMeter",
+            description: "Each meter with its info (city, id, ...) for a cluster map",
+            sql: "SELECT vid, sum(index) as max, first_value(city) as city, \
+                  first_value(lat) as lat, first_value(long) as long, \
+                  first_value(state) as state \
+                  FROM largeMeter WHERE date LIKE '2015-01%' \
+                  GROUP BY SUBSTRING(date, 0, 7), vid \
+                  ORDER BY SUBSTRING(date, 0, 7), vid"
+                .to_string(),
+        },
+        NamedQuery {
+            name: "ShowMapHeatmonth",
+            description: "Daily data for a given month for a per-day slider display",
+            sql: "SELECT SUBSTRING(date, 0, 10) as sDate, sum(index) as max, \
+                  first_value(lat) as lat, first_value(long) as long \
+                  FROM largeMeter WHERE date LIKE '2015-01%' \
+                  GROUP BY SUBSTRING(date, 0, 10), vid \
+                  ORDER BY SUBSTRING(date, 0, 10), vid"
+                .to_string(),
+        },
+        NamedQuery {
+            name: "Showgraphcons",
+            description: "Consumption of meters in Rotterdam for Jan. 2015",
+            sql: "SELECT SUBSTRING(date, 0, 10) as sDate, sum(index) as max, vid \
+                  FROM largeMeter WHERE city LIKE 'Rotterdam' AND date LIKE '2015-01-%' \
+                  GROUP BY SUBSTRING(date, 0, 10), vid \
+                  ORDER BY SUBSTRING(date, 0, 10), vid"
+                .to_string(),
+        },
+        NamedQuery {
+            name: "ShowPiemonth",
+            description: "Consumption for a specific subset of state consumption",
+            sql: "SELECT SUBSTRING(date, 0, 10) as sDate, state as vid, sum(index) as max \
+                  FROM largeMeter WHERE state LIKE 'U%' AND date LIKE '2015-01-%' \
+                  GROUP BY SUBSTRING(date, 0, 10), state \
+                  ORDER BY SUBSTRING(date, 0, 10), state"
+                .to_string(),
+        },
+        NamedQuery {
+            name: "ShowGraphHCHP",
+            description: "Peak versus shallow hour consumption",
+            sql: "SELECT SUBSTRING(date, 0, 10) as sDate, vid, min(sumHC) as minHC, \
+                  max(sumHC) as maxHC, min(sumHP) as minHP, max(sumHP) as maxHP \
+                  FROM largeMeter WHERE state LIKE 'FRA' AND date LIKE '2015-01-%' \
+                  GROUP BY SUBSTRING(date, 0, 10), vid \
+                  ORDER BY SUBSTRING(date, 0, 10), vid"
+                .to_string(),
+        },
+        NamedQuery {
+            name: "Showday",
+            description: "Consumption of any specified hour of a given month",
+            sql: "SELECT SUBSTRING(date, 0, 13) as sDate, sum(index) as max, vid \
+                  FROM largeMeter WHERE city LIKE 'Rotterdam' AND date LIKE '2015-01-%' \
+                  GROUP BY SUBSTRING(date, 0, 13), vid \
+                  ORDER BY SUBSTRING(date, 0, 13), vid"
+                .to_string(),
+        },
+    ]
+}
+
+/// Which dimension a synthetic query exercises (Section VI-A: "we executed
+/// specific experiments to analyze the impact of row, column and mixed data
+/// selectivity").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectivityKind {
+    /// Discard rows only (all 10 columns projected).
+    Row,
+    /// Discard columns only (all rows selected).
+    Column,
+    /// Both.
+    Mixed,
+}
+
+impl std::fmt::Display for SelectivityKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectivityKind::Row => write!(f, "row"),
+            SelectivityKind::Column => write!(f, "column"),
+            SelectivityKind::Mixed => write!(f, "mixed"),
+        }
+    }
+}
+
+/// All 10 columns in file order.
+const ALL_COLUMNS: [&str; 10] = [
+    "vid", "date", "index", "sumHC", "sumHP", "lat", "long", "city", "state", "region",
+];
+
+/// Build a synthetic query with a controlled selectivity fraction.
+///
+/// * Row selectivity exploits the zero-padded `vid` space: meters are named
+///   `M00000..M{n-1:05}`, so `vid < 'M%05d'` keeps an exact meter fraction.
+/// * Column selectivity keeps a prefix of the column list; actual byte
+///   selectivity is *measured*, not assumed (column widths differ).
+pub fn synthetic_query(
+    kind: SelectivityKind,
+    keep_row_fraction: f64,
+    keep_columns: usize,
+    total_meters: usize,
+) -> String {
+    let keep_columns = keep_columns.clamp(1, ALL_COLUMNS.len());
+    let projected: Vec<&str> = match kind {
+        SelectivityKind::Row => ALL_COLUMNS.to_vec(),
+        SelectivityKind::Column | SelectivityKind::Mixed => {
+            ALL_COLUMNS[..keep_columns].to_vec()
+        }
+    };
+    let select = projected.join(", ");
+    let row_pred = match kind {
+        SelectivityKind::Column => None,
+        SelectivityKind::Row | SelectivityKind::Mixed => {
+            let cutoff = ((total_meters as f64) * keep_row_fraction).round() as usize;
+            Some(format!("vid < 'M{cutoff:05}'"))
+        }
+    };
+    match row_pred {
+        Some(p) => format!("SELECT {select} FROM largeMeter WHERE {p}"),
+        None => format!("SELECT {select} FROM largeMeter"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scoop_sql::parse;
+
+    #[test]
+    fn all_table1_queries_parse_and_aggregate() {
+        let queries = table1_queries();
+        assert_eq!(queries.len(), 7);
+        for q in &queries {
+            let parsed = parse(&q.sql).unwrap_or_else(|e| panic!("{}: {e}", q.name));
+            assert!(parsed.is_aggregate(), "{} should aggregate", q.name);
+            assert_eq!(parsed.table, "largemeter");
+        }
+    }
+
+    #[test]
+    fn table1_queries_reference_expected_predicates() {
+        let queries = table1_queries();
+        assert!(queries[3].sql.contains("Rotterdam"));
+        assert!(queries[4].sql.contains("'U%'"));
+        assert!(queries[5].sql.contains("'FRA'"));
+    }
+
+    #[test]
+    fn synthetic_queries_parse() {
+        for kind in [SelectivityKind::Row, SelectivityKind::Column, SelectivityKind::Mixed] {
+            for frac in [0.0, 0.25, 0.5, 1.0] {
+                let sql = synthetic_query(kind, frac, 4, 10_000);
+                parse(&sql).unwrap_or_else(|e| panic!("{kind} {frac}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn row_cutoff_is_exact_on_vid_space() {
+        let sql = synthetic_query(SelectivityKind::Row, 0.3, 10, 10_000);
+        assert!(sql.contains("vid < 'M03000'"), "{sql}");
+        // Row kind projects all columns.
+        assert!(sql.contains("region"));
+        let col = synthetic_query(SelectivityKind::Column, 0.3, 3, 10_000);
+        assert!(!col.contains("WHERE"));
+        assert!(col.contains("vid, date, index"));
+    }
+}
+
+#[cfg(test)]
+mod catalyst_tests {
+    use super::*;
+    use crate::generator::meter_schema;
+    use scoop_sql::catalyst::plan_query;
+    use scoop_sql::parse;
+
+    /// Every Table I WHERE clause is expressible in the Data-Sources filter
+    /// language, so the store does all the filtering (the property the
+    /// paper's implementation section relies on).
+    #[test]
+    fn all_table1_queries_fully_push_their_filters() {
+        let schema = meter_schema();
+        for q in table1_queries() {
+            let parsed = parse(&q.sql).unwrap();
+            let plan = plan_query(&parsed, &schema, true).unwrap();
+            assert!(
+                plan.fully_pushed(),
+                "{}: {} residual conjunct(s)",
+                q.name,
+                plan.residual_conjuncts
+            );
+            assert!(plan.pushed_conjuncts >= 1, "{}", q.name);
+            // Projection prunes: none of the queries touches all 10 columns.
+            let cols = plan.pushdown.columns.as_ref().unwrap_or_else(|| {
+                panic!("{}: projection should prune", q.name)
+            });
+            assert!(cols.len() < 10, "{}: {} columns", q.name, cols.len());
+            // And the scan schema matches the projection.
+            assert_eq!(plan.scan_schema.len(), cols.len(), "{}", q.name);
+        }
+    }
+
+    /// The synthetic queries' predicates push too (the Fig. 5 sweep assumes
+    /// store-side filtering).
+    #[test]
+    fn synthetic_queries_fully_push() {
+        let schema = meter_schema();
+        for kind in [SelectivityKind::Row, SelectivityKind::Mixed] {
+            let sql = synthetic_query(kind, 0.5, 4, 10_000);
+            let parsed = parse(&sql).unwrap();
+            let plan = plan_query(&parsed, &schema, true).unwrap();
+            assert!(plan.fully_pushed(), "{kind}: {sql}");
+        }
+    }
+}

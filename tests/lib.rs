@@ -1,0 +1,34 @@
+//! Integration-test crate for the Scoop workspace.
+//!
+//! Shared fixtures live here; the actual cross-crate tests are under
+//! `tests/` (`end_to_end.rs`, `failure_injection.rs`, `transparency.rs`).
+
+use bytes::Bytes;
+use scoop_core::{ScoopConfig, ScoopContext};
+use scoop_workload::{GeneratorConfig, MeterDataset};
+use std::sync::Arc;
+
+/// A deployed system with `objects` uploaded CSV objects of `rows` readings
+/// each, under the `largemeter` container/table.
+pub fn deploy(
+    meters: usize,
+    objects: usize,
+    rows: usize,
+    chunk_size: u64,
+) -> (Arc<ScoopContext>, u64) {
+    let ctx = ScoopContext::new(ScoopConfig {
+        chunk_size,
+        ..Default::default()
+    })
+    .expect("deploy");
+    let mut gen = MeterDataset::new(&GeneratorConfig {
+        meters,
+        interval_minutes: 12 * 60,
+        ..Default::default()
+    });
+    let objs: Vec<(String, Bytes)> = (0..objects)
+        .map(|i| (format!("part-{i:02}.csv"), gen.csv_object(rows)))
+        .collect();
+    let report = ctx.upload_csv("largemeter", objs, None).expect("upload");
+    (ctx, report.bytes_in)
+}

@@ -1,0 +1,190 @@
+//! Integration tests for the Section VII extensions: the Spark-Storlets
+//! dataset, non-textual metadata extraction, adaptive pushdown, DISTINCT and
+//! HAVING through the full stack.
+
+use scoop_compute::{ExecutionMode, StorageConnector, StorletDataset, StorletPartitioning};
+use scoop_connector::SwiftConnector;
+use scoop_integration::deploy;
+use scoop_storlets::adaptive::{AdaptiveController, AdaptivePolicy};
+use scoop_storlets::filters::metadata::encode_simg;
+use scoop_storlets::Tier;
+use std::collections::HashMap;
+
+#[test]
+fn storlet_dataset_aggregates_in_the_store() {
+    let (ctx, dataset_bytes) = deploy(30, 3, 1_000, 64 * 1024);
+    let mut params = HashMap::new();
+    params.insert("column".to_string(), "index".to_string());
+    params.insert(
+        "schema".to_string(),
+        scoop_workload::generator::meter_schema().names().join(","),
+    );
+    params.insert("header".to_string(), "1".to_string());
+    let connector = SwiftConnector::new(ctx.client().clone());
+    let rdd = StorletDataset::new(connector.clone(), "largemeter", "aggregate", params)
+        .with_partitioning(StorletPartitioning::PerObject)
+        .with_workers(3);
+    let outputs = rdd.collect_bytes().unwrap();
+    assert_eq!(outputs.len(), 3);
+    // Each output is a 2-line CSV summary; the wire moved only summaries.
+    for out in &outputs {
+        let text = String::from_utf8_lossy(out);
+        assert!(text.starts_with("count,sum,min,max,mean\n"), "{text}");
+        let count: u64 = text
+            .lines()
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(count, 1_000);
+    }
+    assert!(connector.bytes_transferred() < dataset_bytes / 100);
+}
+
+#[test]
+fn storlet_dataset_ranged_csvfilter_covers_all_records() {
+    let (ctx, _) = deploy(20, 1, 600, 32 * 1024);
+    let spec = scoop_csv::PushdownSpec {
+        columns: Some(vec!["vid".into()]),
+        predicate: None,
+        has_header: true,
+    };
+    let mut params = HashMap::new();
+    params.insert("spec".to_string(), spec.to_header());
+    params.insert(
+        "schema".to_string(),
+        scoop_workload::generator::meter_schema().names().join(","),
+    );
+    let connector = SwiftConnector::new(ctx.client().clone());
+    let rdd = StorletDataset::new(connector, "largemeter", "csvfilter", params)
+        .with_partitioning(StorletPartitioning::PerRange { chunk_size: 8 * 1024 });
+    let schema = scoop_csv::Schema::new(vec![scoop_csv::schema::Field::new(
+        "vid",
+        scoop_csv::DataType::Str,
+    )]);
+    let rows = rdd.collect_rows(&schema).unwrap();
+    assert_eq!(rows.len(), 600, "each record exactly once across ranges");
+}
+
+#[test]
+fn metadata_extraction_through_the_store() {
+    let (ctx, _) = deploy(10, 1, 100, 64 * 1024);
+    let img = encode_simg(
+        &[("camera", "GP-Cam"), ("lat", "51.92")],
+        &vec![0u8; 300_000],
+    );
+    ctx.upload_csv(
+        "photos",
+        vec![("p.simg".to_string(), bytes::Bytes::from(img))],
+        None,
+    )
+    .unwrap();
+    let connector = SwiftConnector::new(ctx.client().clone());
+    let rdd = StorletDataset::new(connector.clone(), "photos", "metaextract", HashMap::new());
+    let out = rdd.collect_bytes().unwrap();
+    assert_eq!(
+        String::from_utf8_lossy(&out[0]),
+        "camera,GP-Cam\nlat,51.92\n"
+    );
+    // Only the object head crossed the wire, not the 300 KB payload.
+    assert!(connector.bytes_transferred() < 20_000);
+}
+
+#[test]
+fn adaptive_controller_from_live_engine_stats() {
+    let (ctx, _) = deploy(20, 2, 800, 32 * 1024);
+    let controller =
+        AdaptiveController::new(ctx.policy().clone(), AdaptivePolicy::default());
+    let account = ctx.config().account.clone();
+    controller.register_tenant(&account, 1);
+    // Run a *barely selective* pushdown workload (keeps everything).
+    for _ in 0..4 {
+        ctx.query(
+            "largemeter",
+            "SELECT vid, date, index, sumHC, sumHP, lat, long, city, state, region \
+             FROM largemeter WHERE vid < 'M99999'",
+            ExecutionMode::Pushdown,
+        )
+        .unwrap();
+    }
+    controller.observe_engine(&account, ctx.engine());
+    let sel = controller.estimated_selectivity(&account).unwrap();
+    assert!(sel < 0.25, "selectivity estimate {sel}");
+    let changes = controller.control_step(0.2);
+    assert_eq!(changes, vec![(account.clone(), Tier::Bronze)]);
+    // Bronze: the next "pushdown" query transparently ingests raw data.
+    let out = ctx
+        .query(
+            "largemeter",
+            "SELECT count(*) as n FROM largemeter",
+            ExecutionMode::Pushdown,
+        )
+        .unwrap();
+    assert_eq!(out.result.rows[0][0], scoop_csv::Value::Int(1600));
+}
+
+#[test]
+fn distinct_and_having_through_both_arms() {
+    let (ctx, _) = deploy(30, 2, 1_200, 32 * 1024);
+    for sql in [
+        "SELECT DISTINCT city, state FROM largemeter ORDER BY city",
+        "SELECT city, count(*) as n FROM largemeter GROUP BY city \
+         HAVING count(*) > 50 ORDER BY city",
+        "SELECT DISTINCT state FROM largemeter WHERE index > 100 ORDER BY state",
+    ] {
+        let vanilla = ctx.query("largemeter", sql, ExecutionMode::Vanilla).unwrap();
+        let pushed = ctx.query("largemeter", sql, ExecutionMode::Pushdown).unwrap();
+        assert_eq!(vanilla.result, pushed.result, "{sql}");
+        assert!(!vanilla.result.is_empty(), "{sql}");
+    }
+}
+
+#[test]
+fn explain_over_the_real_store() {
+    let (ctx, _) = deploy(10, 1, 300, 32 * 1024);
+    let session = ctx.session("largemeter", ExecutionMode::Pushdown);
+    let plan = session
+        .explain(
+            "SELECT vid, sum(index) as t FROM largemeter \
+             WHERE city LIKE 'Rotterdam' GROUP BY vid",
+        )
+        .unwrap();
+    assert!(plan.contains("at object store"), "{plan}");
+    assert!(plan.contains("partitions"), "{plan}");
+}
+
+#[test]
+fn collect_limit_stops_scanning_early() {
+    let (ctx, dataset_bytes) = deploy(40, 4, 3_000, 64 * 1024);
+    // Unsorted LIMIT: tasks stop pulling bytes once the quota is met.
+    let out = ctx
+        .query(
+            "largemeter",
+            "SELECT vid, city FROM largemeter LIMIT 5",
+            ExecutionMode::Vanilla,
+        )
+        .unwrap();
+    assert_eq!(out.result.len(), 5);
+    assert!(
+        out.metrics.bytes_transferred < dataset_bytes / 4,
+        "LIMIT scan moved {} of {dataset_bytes}",
+        out.metrics.bytes_transferred
+    );
+    // With ORDER BY the full scan is required; no early stop.
+    let ordered = ctx
+        .query(
+            "largemeter",
+            "SELECT vid, city FROM largemeter ORDER BY vid LIMIT 5",
+            ExecutionMode::Vanilla,
+        )
+        .unwrap();
+    assert_eq!(ordered.result.len(), 5);
+    assert!(ordered.metrics.bytes_transferred > out.metrics.bytes_transferred);
+    // Rows returned by the early-stopped scan are genuine data rows.
+    for row in &out.result.rows {
+        assert!(row[0].as_str().unwrap().starts_with('M'));
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based full-stack transparency: random queries over real data in
+//! the real store must return identical results with and without pushdown —
+//! the system-level version of the `scoop-sql` unit property.
+
+use proptest::prelude::*;
+use scoop_compute::ExecutionMode;
+use scoop_core::ScoopContext;
+use scoop_integration::deploy;
+use std::sync::{Arc, OnceLock};
+
+fn ctx() -> &'static Arc<ScoopContext> {
+    static CTX: OnceLock<Arc<ScoopContext>> = OnceLock::new();
+    CTX.get_or_init(|| deploy(30, 2, 1_200, 24 * 1024).0)
+}
+
+fn where_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("city LIKE 'Rotterdam'".to_string()),
+        Just("state IN ('FRA', 'NLD')".to_string()),
+        Just("index > 1000".to_string()),
+        Just("index <= 2500".to_string()),
+        Just("date LIKE '2015-01-0_%'".to_string()),
+        Just("vid < 'M00010'".to_string()),
+        Just("NOT state LIKE 'U%'".to_string()),
+        Just("SUBSTRING(date, 12, 2) = '00'".to_string()),
+        Just("sumHC IS NOT NULL".to_string()),
+        Just("lat >= 45.0 OR long < 4.0".to_string()),
+    ]
+}
+
+fn select_strategy() -> impl Strategy<Value = (String, String)> {
+    prop_oneof![
+        Just(("vid, index, city".to_string(), String::new())),
+        Just((
+            "vid, sum(index) as s, count(*) as n".to_string(),
+            " GROUP BY vid ORDER BY vid".to_string()
+        )),
+        Just((
+            "city, min(index) as lo, max(index) as hi, avg(sumHP) as a".to_string(),
+            " GROUP BY city ORDER BY city".to_string()
+        )),
+        Just((
+            "SUBSTRING(date, 0, 10) as d, first_value(state) as st, sum(sumHC) as hc"
+                .to_string(),
+            " GROUP BY SUBSTRING(date, 0, 10) ORDER BY SUBSTRING(date, 0, 10)".to_string()
+        )),
+        Just(("count(*) as n".to_string(), String::new())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn full_stack_pushdown_is_transparent(
+        (sel, tail) in select_strategy(),
+        w1 in where_strategy(),
+        w2 in where_strategy(),
+    ) {
+        let sql = format!("SELECT {sel} FROM largemeter WHERE ({w1}) AND ({w2}){tail}");
+        let ctx = ctx();
+        let vanilla = ctx
+            .query("largemeter", &sql, ExecutionMode::Vanilla)
+            .unwrap();
+        let pushed = ctx
+            .query("largemeter", &sql, ExecutionMode::Pushdown)
+            .unwrap();
+        // Same partitioning in both arms → results should match exactly; use
+        // a tight approx to stay robust to float summation order.
+        prop_assert!(
+            vanilla.result.approx_eq(&pushed.result, 1e-9),
+            "mismatch for: {}\nvanilla: {:?}\npushdown: {:?}",
+            sql,
+            vanilla.result.rows.len(),
+            pushed.result.rows.len()
+        );
+        prop_assert!(
+            pushed.metrics.bytes_transferred <= vanilla.metrics.bytes_transferred,
+            "pushdown moved more data for: {}",
+            sql
+        );
+    }
+}
