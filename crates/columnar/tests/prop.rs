@@ -77,7 +77,7 @@ proptest! {
             rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
             let row = vec![
                 Value::Str(format!("m{}", rng % 7)),
-                if rng % 5 == 0 { Value::Null } else { Value::Float((rng % 1000) as f64) },
+                if rng.is_multiple_of(5) { Value::Null } else { Value::Float((rng % 1000) as f64) },
                 Value::Int(i as i64),
             ];
             w.write_row(&row);

@@ -12,11 +12,13 @@
 //! * [`bytesize`] — human-friendly byte quantities.
 //! * [`timeseries`] — collectd-like metric recording for the cluster simulator.
 //! * [`rng`] — deterministic seed derivation so every experiment is reproducible.
+//! * [`retry`] — the shared retry/backoff policy used across the ingest path.
 //! * [`table`] — plain-text table rendering for the reproduction harness.
 
 pub mod bytesize;
 pub mod error;
 pub mod hash;
+pub mod retry;
 pub mod rng;
 pub mod stream;
 pub mod table;
@@ -24,4 +26,5 @@ pub mod timeseries;
 
 pub use bytesize::ByteSize;
 pub use error::{Result, ScoopError};
+pub use retry::RetryPolicy;
 pub use stream::{ByteStream, CountingStream, StreamExt};

@@ -65,6 +65,51 @@ pub fn collect(stream: ByteStream) -> Result<Bytes> {
     Ok(Bytes::from(out))
 }
 
+/// Wrap a stream so that ending before `expected` bytes have been delivered
+/// becomes a retryable I/O error instead of a silent truncation.
+///
+/// Object servers report `content-length` before streaming the body; a
+/// backend fault (or an injected chaos fault) can still cut the stream short.
+/// Consumers that stop pulling early never trigger the check — it fires only
+/// when the producer claims a natural end too soon. Excess bytes beyond
+/// `expected` fail too, as soon as they appear.
+pub fn enforce_length(inner: ByteStream, expected: u64) -> ByteStream {
+    let mut seen = 0u64;
+    let mut finished = false;
+    let mut inner = inner;
+    Box::new(std::iter::from_fn(move || {
+        if finished {
+            return None;
+        }
+        match inner.next() {
+            Some(Ok(chunk)) => {
+                seen += chunk.len() as u64;
+                if seen > expected {
+                    finished = true;
+                    return Some(Err(crate::ScoopError::Io(std::io::Error::other(
+                        format!("stream overran declared length: {seen} > {expected} bytes"),
+                    ))));
+                }
+                Some(Ok(chunk))
+            }
+            Some(Err(e)) => {
+                finished = true;
+                Some(Err(e))
+            }
+            None if seen < expected => {
+                finished = true;
+                Some(Err(crate::ScoopError::Io(std::io::Error::other(format!(
+                    "truncated stream: got {seen} of {expected} bytes"
+                )))))
+            }
+            None => {
+                finished = true;
+                None
+            }
+        }
+    }))
+}
+
 /// Shared byte counter observable while a stream is being consumed elsewhere.
 #[derive(Debug, Default, Clone)]
 pub struct ByteCounter(Arc<AtomicU64>);
@@ -178,6 +223,35 @@ mod tests {
         let got = collect(s).unwrap();
         assert_eq!(got.len(), 123_456);
         assert_eq!(counter.get(), 123_456);
+    }
+
+    #[test]
+    fn enforce_length_passes_exact_streams() {
+        let data = payload(10_000);
+        let s = enforce_length(chunked(data.clone(), 777), 10_000);
+        assert_eq!(collect(s).unwrap(), data);
+    }
+
+    #[test]
+    fn enforce_length_flags_truncation_as_retryable() {
+        let s = enforce_length(chunked(payload(100), 30), 150);
+        let err = collect(s).unwrap_err();
+        assert!(err.is_retryable());
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn enforce_length_flags_overrun() {
+        let s = enforce_length(chunked(payload(100), 30), 50);
+        assert!(collect(s).unwrap_err().to_string().contains("overran"));
+    }
+
+    #[test]
+    fn enforce_length_ignores_early_stop() {
+        // A consumer that stops pulling must not see a truncation error.
+        let mut s = enforce_length(chunked(payload(100), 10), 100);
+        assert!(s.next().unwrap().is_ok());
+        drop(s);
     }
 
     #[test]

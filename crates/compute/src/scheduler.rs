@@ -12,19 +12,43 @@ pub struct TaskResult<T> {
     pub index: usize,
     /// The task's produced value or error.
     pub result: Result<T>,
-    /// Wall time the task took.
+    /// Wall time the task took (summed across attempts).
     pub duration: Duration,
+    /// Executions of the task, including the successful (or final) one.
+    pub attempts: u32,
 }
 
 /// Run `n_tasks` tasks over `workers` threads. `task_fn` is invoked with the
 /// task index; tasks are claimed dynamically (work stealing by counter), like
 /// Spark assigning tasks to free executor slots. Results arrive indexed.
+/// Each task runs at most once; see [`run_tasks_with_retry`] for the
+/// fault-tolerant variant.
 pub fn run_tasks<T, F>(workers: usize, n_tasks: usize, task_fn: F) -> Vec<TaskResult<T>>
 where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
 {
+    run_tasks_with_retry(workers, n_tasks, 1, task_fn)
+}
+
+/// Like [`run_tasks`], but a task whose failure is retryable
+/// ([`scoop_common::ScoopError::is_retryable`]) is re-executed on the same
+/// worker up to `max_failures` total attempts — Spark's
+/// `spark.task.maxFailures` model, where a lost stream or a flaky storage
+/// node costs one task re-run, not the whole job. Panics count as retryable
+/// compute failures. Non-retryable errors fail the task immediately.
+pub fn run_tasks_with_retry<T, F>(
+    workers: usize,
+    n_tasks: usize,
+    max_failures: u32,
+    task_fn: F,
+) -> Vec<TaskResult<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
     let workers = workers.max(1);
+    let max_failures = max_failures.max(1);
     let next = AtomicUsize::new(0);
     let results: parking_lot::Mutex<Vec<TaskResult<T>>> =
         parking_lot::Mutex::new(Vec::with_capacity(n_tasks));
@@ -36,25 +60,34 @@ where
                     break;
                 }
                 let started = Instant::now();
-                // A panicking task must fail its own task, not the job: the
-                // executor survives, like a Spark task failure.
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    task_fn(i)
-                }))
-                .unwrap_or_else(|payload| {
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "task panicked".to_string());
-                    Err(scoop_common::ScoopError::Compute(format!(
-                        "task {i} panicked: {msg}"
-                    )))
-                });
+                let mut attempts = 0u32;
+                let result = loop {
+                    attempts += 1;
+                    // A panicking task must fail its own task, not the job:
+                    // the executor survives, like a Spark task failure.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        task_fn(i)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "task panicked".to_string());
+                        Err(scoop_common::ScoopError::Compute(format!(
+                            "task {i} panicked: {msg}"
+                        )))
+                    });
+                    match result {
+                        Err(e) if e.is_retryable() && attempts < max_failures => continue,
+                        other => break other,
+                    }
+                };
                 results.lock().push(TaskResult {
                     index: i,
                     result,
                     duration: started.elapsed(),
+                    attempts,
                 });
             });
         }
@@ -62,6 +95,15 @@ where
     let mut out = results.into_inner();
     out.sort_by_key(|r| r.index);
     out
+}
+
+/// Total task re-executions across a stage (0 when every task succeeded
+/// first try).
+pub fn total_retries<T>(results: &[TaskResult<T>]) -> u64 {
+    results
+        .iter()
+        .map(|r| u64::from(r.attempts.saturating_sub(1)))
+        .sum()
 }
 
 /// Collapse task results, propagating the first error.
@@ -109,6 +151,39 @@ mod tests {
         assert!(results.is_empty());
         let results = run_tasks(0, 3, Ok);
         assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn retry_reruns_retryable_failures_up_to_max() {
+        use std::sync::atomic::AtomicU32;
+        // Task 2 fails transiently twice, then succeeds; task 4 always fails.
+        let flaky = AtomicU32::new(0);
+        let results = run_tasks_with_retry(2, 6, 4, |i| match i {
+            2 => {
+                if flaky.fetch_add(1, Ordering::Relaxed) < 2 {
+                    Err(ScoopError::Io(std::io::Error::other("transient")))
+                } else {
+                    Ok(i)
+                }
+            }
+            4 => Err(ScoopError::Io(std::io::Error::other("hard down"))),
+            _ => Ok(i),
+        });
+        assert_eq!(*results[2].result.as_ref().unwrap(), 2);
+        assert_eq!(results[2].attempts, 3);
+        assert!(results[4].result.is_err());
+        assert_eq!(results[4].attempts, 4);
+        assert_eq!(results[0].attempts, 1);
+        assert_eq!(total_retries(&results), 2 + 3);
+    }
+
+    #[test]
+    fn retry_does_not_rerun_non_retryable_failures() {
+        let results = run_tasks_with_retry(1, 1, 5, |_| {
+            Err::<(), _>(ScoopError::NotFound("gone".into()))
+        });
+        assert_eq!(results[0].attempts, 1);
+        assert!(results[0].result.is_err());
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::columnar_relation::ColumnarRelation;
 use crate::csv_relation::CsvRelation;
 use crate::datasource::PrunedFilteredScan;
 use crate::partition::DEFAULT_CHUNK_SIZE;
-use crate::scheduler::{collect_ok, run_tasks};
+use crate::scheduler::{collect_ok, run_tasks_with_retry, total_retries};
 use parking_lot::RwLock;
 use scoop_common::{Result, ScoopError};
 use scoop_csv::{Schema, Value};
@@ -22,6 +22,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::connector::StorageConnector;
+
+/// Default total attempts per task (Spark ships `spark.task.maxFailures = 4`).
+pub const DEFAULT_MAX_TASK_FAILURES: u32 = 4;
 
 /// How a registered table is stored.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +88,8 @@ pub struct JobMetrics {
     pub wall: Duration,
     /// Per-task wall times.
     pub task_durations: Vec<Duration>,
+    /// Task re-executions after retryable failures (0 on a healthy run).
+    pub task_retries: u64,
 }
 
 /// A finished query: result + metrics.
@@ -103,6 +108,7 @@ pub struct Session {
     chunk_size: u64,
     pushdown: bool,
     stats_pruning: bool,
+    max_task_failures: u32,
     tables: RwLock<HashMap<String, TableDef>>,
 }
 
@@ -115,6 +121,7 @@ impl Session {
             chunk_size: DEFAULT_CHUNK_SIZE,
             pushdown: true,
             stats_pruning: false,
+            max_task_failures: DEFAULT_MAX_TASK_FAILURES,
             tables: RwLock::new(HashMap::new()),
         }
     }
@@ -134,6 +141,13 @@ impl Session {
     /// Enable columnar row-group stats skipping (extension).
     pub fn with_stats_pruning(mut self, enabled: bool) -> Session {
         self.stats_pruning = enabled;
+        self
+    }
+
+    /// Spark's `spark.task.maxFailures`: total attempts a task gets before
+    /// its retryable failure fails the job. `1` disables task retry.
+    pub fn with_max_task_failures(mut self, max_failures: u32) -> Session {
+        self.max_task_failures = max_failures.max(1);
         self
     }
 
@@ -334,7 +348,7 @@ impl Session {
             None
         };
         let collected = std::sync::atomic::AtomicUsize::new(0);
-        let results = run_tasks(self.workers, partitions.len(), |i| {
+        let results = run_tasks_with_retry(self.workers, partitions.len(), self.max_task_failures, |i| {
             let part = &partitions[i];
             let out = relation.scan_pruned_filtered(
                 part,
@@ -365,26 +379,41 @@ impl Session {
                 }
                 None => {
                     let mut kept = Vec::new();
-                    for row in out.rows {
-                        if let Some(lim) = early_limit {
-                            if collected.load(std::sync::atomic::Ordering::Relaxed) >= lim {
-                                break;
+                    let mut claimed = 0usize;
+                    let scan = (|| -> Result<()> {
+                        for row in out.rows {
+                            if let Some(lim) = early_limit {
+                                if collected.load(std::sync::atomic::Ordering::Relaxed) >= lim {
+                                    break;
+                                }
+                            }
+                            let row = row?;
+                            rows_in += 1;
+                            if passes(&effective, &row, &plan.scan_schema)? {
+                                if early_limit.is_some() {
+                                    collected
+                                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    claimed += 1;
+                                }
+                                kept.push(row);
                             }
                         }
-                        let row = row?;
-                        rows_in += 1;
-                        if passes(&effective, &row, &plan.scan_schema)? {
-                            if early_limit.is_some() {
-                                collected
-                                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            }
-                            kept.push(row);
+                        Ok(())
+                    })();
+                    if let Err(e) = scan {
+                        // A failed attempt's rows are discarded, so release
+                        // its claim on the LIMIT quota — otherwise a task
+                        // retry would under-collect.
+                        if claimed > 0 {
+                            collected.fetch_sub(claimed, std::sync::atomic::Ordering::Relaxed);
                         }
+                        return Err(e);
                     }
                     Ok(TaskOut::Rows(kept, rows_in))
                 }
             }
         });
+        let task_retries = total_retries(&results);
         let (outputs, task_durations) = collect_ok(results)?;
 
         // Driver-side merge/finalize.
@@ -438,6 +467,7 @@ impl Session {
                 residual_conjuncts: plan.residual_conjuncts,
                 wall: started.elapsed(),
                 task_durations,
+                task_retries,
             },
         })
     }
@@ -590,6 +620,143 @@ mod tests {
         s.sql("SELECT count(*) FROM largemeter").unwrap();
         let def = s.table("largemeter").unwrap();
         assert!(def.schema.is_some());
+    }
+}
+
+#[cfg(test)]
+mod retry_tests {
+    use super::*;
+    use crate::connector::{MemoryConnector, ObjectInfo, StorageConnector};
+    use bytes::Bytes;
+    use scoop_common::ByteStream;
+    use scoop_csv::PushdownSpec;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A connector whose reads fail with a retryable error the first
+    /// `failures` times they are opened — the session should absorb those
+    /// through task re-execution.
+    struct FlakyConnector {
+        inner: Arc<MemoryConnector>,
+        remaining: AtomicU64,
+        faults: AtomicU64,
+    }
+
+    impl FlakyConnector {
+        fn new(inner: Arc<MemoryConnector>, failures: u64) -> Arc<FlakyConnector> {
+            Arc::new(FlakyConnector {
+                inner,
+                remaining: AtomicU64::new(failures),
+                faults: AtomicU64::new(0),
+            })
+        }
+
+        fn trip(&self) -> Result<()> {
+            if self
+                .remaining
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| r.checked_sub(1))
+                .is_ok()
+            {
+                self.faults.fetch_add(1, Ordering::Relaxed);
+                return Err(ScoopError::Io(std::io::Error::other(
+                    "injected transient read failure",
+                )));
+            }
+            Ok(())
+        }
+    }
+
+    impl StorageConnector for FlakyConnector {
+        fn list(&self, location: &str, prefix: Option<&str>) -> Result<Vec<ObjectInfo>> {
+            self.inner.list(location, prefix)
+        }
+
+        fn read_from(&self, location: &str, object: &str, start: u64) -> Result<ByteStream> {
+            self.trip()?;
+            self.inner.read_from(location, object, start)
+        }
+
+        fn read_pushdown(
+            &self,
+            location: &str,
+            object: &str,
+            start: u64,
+            end_exclusive: Option<u64>,
+            spec: &PushdownSpec,
+            file_schema: &[String],
+        ) -> Result<ByteStream> {
+            self.trip()?;
+            self.inner
+                .read_pushdown(location, object, start, end_exclusive, spec, file_schema)
+        }
+
+        fn fetch_range(&self, location: &str, object: &str, start: u64, end: u64) -> Result<Bytes> {
+            self.inner.fetch_range(location, object, start, end)
+        }
+
+        fn supports_pushdown(&self) -> bool {
+            self.inner.supports_pushdown()
+        }
+
+        fn bytes_transferred(&self) -> u64 {
+            self.inner.bytes_transferred()
+        }
+
+        fn reset_transfer_counter(&self) {
+            self.inner.reset_transfer_counter()
+        }
+    }
+
+    fn flaky_session(failures: u64, max_task_failures: u32) -> (Session, Arc<FlakyConnector>) {
+        let mem = MemoryConnector::with_pushdown();
+        let mut data = String::from("vid,index\n");
+        for i in 0..50 {
+            data.push_str(&format!("m{},{}.0\n", i % 5, i));
+        }
+        mem.put("meters", "p.csv", Bytes::from(data));
+        let conn = FlakyConnector::new(mem, failures);
+        let s = Session::new(conn.clone(), 4)
+            .with_chunk_size(128)
+            .with_max_task_failures(max_task_failures);
+        s.register_table(
+            "largemeter",
+            "meters",
+            None,
+            TableFormat::Csv { has_header: true },
+            None,
+        );
+        (s, conn)
+    }
+
+    const QUERY: &str =
+        "SELECT vid, sum(index) as total FROM largemeter GROUP BY vid ORDER BY vid";
+
+    #[test]
+    fn task_retry_recovers_transient_read_failures() {
+        let (healthy, _) = flaky_session(0, DEFAULT_MAX_TASK_FAILURES);
+        let reference = healthy.sql(QUERY).unwrap();
+        assert_eq!(reference.metrics.task_retries, 0);
+
+        let (flaky, conn) = flaky_session(3, DEFAULT_MAX_TASK_FAILURES);
+        let out = flaky.sql(QUERY).unwrap();
+        assert_eq!(out.result, reference.result, "retries must not change results");
+        assert_eq!(conn.faults.load(Ordering::Relaxed), 3, "faults must actually fire");
+        assert_eq!(out.metrics.task_retries, 3);
+    }
+
+    #[test]
+    fn task_retry_disabled_fails_the_job() {
+        let (flaky, _) = flaky_session(1, 1);
+        assert!(flaky.sql(QUERY).is_err());
+    }
+
+    #[test]
+    fn limit_is_exact_across_task_retries() {
+        // A failed attempt must release its claim on the early-LIMIT quota.
+        let (flaky, _) = flaky_session(2, DEFAULT_MAX_TASK_FAILURES);
+        let out = flaky
+            .sql("SELECT vid, index FROM largemeter LIMIT 10")
+            .unwrap();
+        assert_eq!(out.result.rows.len(), 10);
     }
 }
 

@@ -1,7 +1,6 @@
 //! Property test: distributed execution (any chunk size, any worker count,
 //! pushdown on or off) equals the single-pass reference executor.
 
-use bytes::Bytes;
 use proptest::prelude::*;
 use scoop_compute::{MemoryConnector, Session, TableFormat};
 use scoop_csv::schema::{DataType, Field};
@@ -64,13 +63,13 @@ proptest! {
             for r in slab {
                 w.write_row(r);
             }
-            conn.put("t", &format!("part-{i}.csv"), Bytes::from(w.into_bytes()));
+            conn.put("t", &format!("part-{i}.csv"), w.into_bytes());
         }
         if rows.is_empty() {
             // Still need one (empty-but-headered) object for schema inference.
             let mut w = CsvWriter::new();
             w.write_header(&schema());
-            conn.put("t", "part-0.csv", Bytes::from(w.into_bytes()));
+            conn.put("t", "part-0.csv", w.into_bytes());
         }
         let session = Session::new(conn, workers)
             .with_chunk_size(chunk)

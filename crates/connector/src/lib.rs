@@ -19,10 +19,11 @@
 //! the inter-cluster traffic the paper's Fig. 9(c) plots.
 
 use bytes::Bytes;
-use scoop_common::{Result, ScoopError};
+use scoop_common::rng::XorShift64;
+use scoop_common::{stream, ByteStream, Result, RetryPolicy, ScoopError};
 use scoop_compute::connector::{count_consumed, ObjectInfo, StorageConnector};
 use scoop_csv::PushdownSpec;
-use scoop_objectstore::request::{ByteRange, Request};
+use scoop_objectstore::request::{ByteRange, Request, Response};
 use scoop_objectstore::{ObjectPath, SwiftClient};
 use scoop_storlets::middleware::{encode_params, headers};
 use std::collections::HashMap;
@@ -46,41 +47,190 @@ pub struct SwiftConnector {
     run_on: RunOn,
     pushdown_supported: bool,
     transferred: Arc<AtomicU64>,
+    resumes: Arc<AtomicU64>,
 }
 
 impl SwiftConnector {
     /// Wrap an authenticated client session.
     pub fn new(client: SwiftClient) -> Arc<SwiftConnector> {
-        Arc::new(SwiftConnector {
-            client,
-            run_on: RunOn::default(),
-            pushdown_supported: true,
-            transferred: Arc::new(AtomicU64::new(0)),
-        })
+        Self::build(client, RunOn::default(), true)
     }
 
     /// Choose the storlet execution stage.
     pub fn with_run_on(client: SwiftClient, run_on: RunOn) -> Arc<SwiftConnector> {
-        Arc::new(SwiftConnector {
-            client,
-            run_on,
-            pushdown_supported: true,
-            transferred: Arc::new(AtomicU64::new(0)),
-        })
+        Self::build(client, run_on, true)
     }
 
     /// A connector that never pushes down (vanilla arm over the same store).
     pub fn without_pushdown(client: SwiftClient) -> Arc<SwiftConnector> {
+        Self::build(client, RunOn::default(), false)
+    }
+
+    fn build(client: SwiftClient, run_on: RunOn, pushdown_supported: bool) -> Arc<SwiftConnector> {
         Arc::new(SwiftConnector {
             client,
-            run_on: RunOn::default(),
-            pushdown_supported: false,
+            run_on,
+            pushdown_supported,
             transferred: Arc::new(AtomicU64::new(0)),
+            resumes: Arc::new(AtomicU64::new(0)),
         })
+    }
+
+    /// The client session behind this connector.
+    pub fn client(&self) -> &SwiftClient {
+        &self.client
+    }
+
+    /// Mid-stream resumes: plain reads re-issued as ranged GETs from the
+    /// last consumed byte after a retryable stream failure.
+    pub fn stream_resumes(&self) -> u64 {
+        self.resumes.load(Ordering::Relaxed)
+    }
+
+    /// Total recovery actions taken: request re-dispatches by the client
+    /// plus mid-stream resumes by the connector.
+    pub fn retries(&self) -> u64 {
+        self.client.retries() + self.stream_resumes()
     }
 
     fn path(&self, location: &str, object: &str) -> Result<ObjectPath> {
         ObjectPath::new(self.client.account(), location, object)
+    }
+}
+
+/// A byte stream over one object that survives mid-stream failures by
+/// re-issuing a ranged GET from the last byte it delivered downstream.
+///
+/// Plain reads are byte-addressed, so a broken stream can resume exactly
+/// where it left off — unlike pushdown streams, whose filtered output has no
+/// stable byte mapping back into the object and which therefore recover via
+/// whole-task re-execution in the compute scheduler.
+///
+/// Truncated bodies are detected by length-checking each GET against the
+/// store's `x-object-length` header: a stream that ends early surfaces a
+/// retryable error instead of silently passing short data to the query.
+struct ResumingStream {
+    client: SwiftClient,
+    path: ObjectPath,
+    /// Absolute offset of the next byte to deliver.
+    offset: u64,
+    inner: Option<ByteStream>,
+    policy: RetryPolicy,
+    rng: XorShift64,
+    /// Consecutive failures without delivering a byte.
+    failures: u32,
+    resumes: Arc<AtomicU64>,
+    done: bool,
+}
+
+impl ResumingStream {
+    fn open(
+        client: &SwiftClient,
+        path: &ObjectPath,
+        start: u64,
+        resumes: Arc<AtomicU64>,
+    ) -> Result<ResumingStream> {
+        let mut s = ResumingStream {
+            client: client.clone(),
+            path: path.clone(),
+            offset: start,
+            inner: None,
+            policy: client.retry_policy().clone(),
+            rng: XorShift64::new(client.retry_policy().seed ^ 0x9E37_79B9_7F4A_7C15),
+            failures: 0,
+            resumes,
+            done: false,
+        };
+        s.inner = Some(s.issue()?);
+        Ok(s)
+    }
+
+    /// GET from the current offset, length-checked against the whole-object
+    /// size advertised by the store.
+    fn issue(&self) -> Result<ByteStream> {
+        let mut req = Request::get(self.path.clone());
+        if self.offset > 0 {
+            req = req.with_range(ByteRange { start: self.offset, end: None });
+        }
+        let resp = self.client.request(req)?;
+        if !resp.is_success() {
+            return Err(ScoopError::Io(std::io::Error::other(format!(
+                "GET {} failed with status {}",
+                self.path, resp.status
+            ))));
+        }
+        Ok(checked_body(resp, self.offset))
+    }
+
+    /// Whether a mid-stream failure still has resume budget.
+    fn can_resume(&self, e: &ScoopError) -> bool {
+        e.is_retryable() && self.failures + 1 < self.policy.max_attempts
+    }
+}
+
+/// Wrap a GET response body so that a short body (relative to the store's
+/// `x-object-length`) errors instead of ending silently.
+fn checked_body(resp: Response, start: u64) -> ByteStream {
+    match resp
+        .headers
+        .get("x-object-length")
+        .and_then(|l| l.parse::<u64>().ok())
+    {
+        Some(total) => stream::enforce_length(resp.body, total.saturating_sub(start)),
+        None => resp.body,
+    }
+}
+
+impl Iterator for ResumingStream {
+    type Item = Result<Bytes>;
+
+    fn next(&mut self) -> Option<Result<Bytes>> {
+        loop {
+            if self.done {
+                return None;
+            }
+            if self.inner.is_none() {
+                // Re-open after a failure; dispatch errors count against the
+                // same resume budget as stream errors.
+                match self.issue() {
+                    Ok(s) => self.inner = Some(s),
+                    Err(e) if self.can_resume(&e) => {
+                        std::thread::sleep(self.policy.backoff(self.failures, &mut self.rng));
+                        self.failures += 1;
+                        self.resumes.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                }
+            }
+            let inner = self.inner.as_mut().expect("stream just opened");
+            match inner.next() {
+                Some(Ok(chunk)) => {
+                    self.offset += chunk.len() as u64;
+                    // Progress resets the failure budget: a long object may
+                    // legitimately hit more transient faults than one open.
+                    self.failures = 0;
+                    return Some(Ok(chunk));
+                }
+                Some(Err(e)) if self.can_resume(&e) => {
+                    std::thread::sleep(self.policy.backoff(self.failures, &mut self.rng));
+                    self.failures += 1;
+                    self.resumes.fetch_add(1, Ordering::Relaxed);
+                    self.inner = None;
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                None => {
+                    self.done = true;
+                    return None;
+                }
+            }
+        }
     }
 }
 
@@ -95,18 +245,13 @@ impl StorageConnector for SwiftConnector {
     }
 
     fn read_from(&self, location: &str, object: &str, start: u64) -> Result<ByteStreamAlias> {
-        let mut req = Request::get(self.path(location, object)?);
-        if start > 0 {
-            req = req.with_range(ByteRange { start, end: None });
-        }
-        let resp = self.client.request(req)?;
-        if !resp.is_success() {
-            return Err(ScoopError::Io(std::io::Error::other(format!(
-                "GET {location}/{object} failed with status {}",
-                resp.status
-            ))));
-        }
-        Ok(count_consumed(resp.body, self.transferred.clone()))
+        let stream = ResumingStream::open(
+            &self.client,
+            &self.path(location, object)?,
+            start,
+            self.resumes.clone(),
+        )?;
+        Ok(count_consumed(Box::new(stream), self.transferred.clone()))
     }
 
     fn read_pushdown(
@@ -122,6 +267,12 @@ impl StorageConnector for SwiftConnector {
             return Err(ScoopError::Unsupported(
                 "connector built without pushdown".into(),
             ));
+        }
+        // An empty split owns no records. Without this guard,
+        // `end_exclusive == Some(0)` would saturate to the inclusive range
+        // `bytes=0-0` below and re-read the first record.
+        if matches!(end_exclusive, Some(e) if e <= start) {
+            return Ok(stream::empty());
         }
         let mut params = HashMap::new();
         params.insert("spec".to_string(), spec.to_header());
@@ -156,7 +307,7 @@ impl StorageConnector for SwiftConnector {
         // it): the response is raw object bytes from `start`. Count the raw
         // transfer, then align + filter client-side so callers still receive
         // the contract's filtered record stream.
-        let raw = count_consumed(resp.body, self.transferred.clone());
+        let raw = count_consumed(checked_body(resp, start), self.transferred.clone());
         let compiled = scoop_csv::filter::CompiledSpec::compile(
             spec,
             file_schema,
@@ -347,6 +498,27 @@ mod tests {
                 "m1\nm2\nm3\nm4\n",
                 "chunk={chunk}"
             );
+        }
+    }
+
+    #[test]
+    fn degenerate_pushdown_range_yields_nothing() {
+        let cluster = cluster();
+        let conn = SwiftConnector::new(cluster.anonymous_client("AUTH_gp"));
+        let spec = PushdownSpec {
+            columns: Some(vec!["vid".into()]),
+            predicate: None,
+            has_header: true,
+        };
+        // Regression: [0, 0) used to saturate to the inclusive header
+        // `bytes=0-0` and re-deliver the first record of the object.
+        for (s, e) in [(0u64, 0u64), (5, 5), (10, 3)] {
+            let out = scoop_common::stream::collect(
+                conn.read_pushdown("meters", "jan.csv", s, Some(e), &spec, &schema())
+                    .unwrap(),
+            )
+            .unwrap();
+            assert!(out.is_empty(), "split [{s},{e}) must own no records");
         }
     }
 

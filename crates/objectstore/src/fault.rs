@@ -1,0 +1,489 @@
+//! Deterministic fault injection for the storage tier.
+//!
+//! The chaos harness wraps every device backend in a [`ChaosBackend`] that
+//! consults a shared [`FaultInjector`] before each operation. The injector
+//! samples a seeded PRNG ([`scoop_common::rng::XorShift64`]), so a run with a
+//! fixed [`FaultPlan`] replays the exact same fault sequence — a failing
+//! chaos test reproduces byte-for-byte from its seed.
+//!
+//! Fault classes (Section "Fault model & retry semantics" in DESIGN.md):
+//!
+//! * **transient errors** — an operation fails once with a retryable
+//!   [`ScoopError::Io`], like a dropped connection;
+//! * **truncated bodies** — a read returns only a prefix of the payload while
+//!   upstream headers still advertise the full length (detected by
+//!   `scoop_common::stream::enforce_length`);
+//! * **stalled reads** — a read blocks briefly before completing, modelling a
+//!   slow disk or an overloaded server;
+//! * **down windows** — a node rejects every operation while the injector's
+//!   logical clock (a global op counter) is inside a configured window,
+//!   modelling a reboot.
+//!
+//! Probabilistic faults respect `max_consecutive`: after that many
+//! back-to-back injections the next operation is forced through cleanly, so
+//! any retry budget larger than the cap is guaranteed to make progress.
+
+use crate::backend::{ObjectMeta, StorageBackend, StoredObject};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use scoop_common::rng::XorShift64;
+use scoop_common::{Result, ScoopError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A window of the injector's logical clock during which one node is down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DownWindow {
+    /// Node whose backends reject operations.
+    pub node: u32,
+    /// First op count (inclusive) of the outage.
+    pub from_op: u64,
+    /// Last op count (exclusive) of the outage.
+    pub to_op: u64,
+}
+
+/// What faults to inject, with what probability, from what seed.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Master seed; the injector derives its jitter stream from it.
+    pub seed: u64,
+    /// Probability that any backend operation fails with a transient error.
+    pub error_rate: f64,
+    /// Probability that a read returns a truncated body.
+    pub truncate_rate: f64,
+    /// Probability that a read stalls for [`FaultPlan::stall`] first.
+    pub stall_rate: f64,
+    /// How long a stalled read blocks.
+    pub stall: Duration,
+    /// Cap on back-to-back probabilistic faults; keep it strictly below the
+    /// retry budget (`RetryPolicy::max_attempts`) or retries can be starved.
+    pub max_consecutive: u32,
+    /// Scheduled per-node outages on the op-counter clock.
+    pub down_windows: Vec<DownWindow>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a builder base).
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            error_rate: 0.0,
+            truncate_rate: 0.0,
+            stall_rate: 0.0,
+            stall: Duration::from_millis(1),
+            max_consecutive: 2,
+            down_windows: Vec::new(),
+        }
+    }
+
+    /// Preset: transient I/O errors on ~1 in 4 operations.
+    pub fn transient_errors(seed: u64) -> Self {
+        FaultPlan { error_rate: 0.25, ..FaultPlan::quiet(seed) }
+    }
+
+    /// Preset: truncated read bodies on ~1 in 4 reads.
+    pub fn truncated_bodies(seed: u64) -> Self {
+        FaultPlan { truncate_rate: 0.25, ..FaultPlan::quiet(seed) }
+    }
+
+    /// Preset: stalled reads on ~1 in 4 reads.
+    pub fn stalled_reads(seed: u64) -> Self {
+        FaultPlan { stall_rate: 0.25, ..FaultPlan::quiet(seed) }
+    }
+
+    /// Builder: set the transient-error rate.
+    pub fn with_error_rate(mut self, rate: f64) -> Self {
+        self.error_rate = rate;
+        self
+    }
+
+    /// Builder: set the truncation rate.
+    pub fn with_truncate_rate(mut self, rate: f64) -> Self {
+        self.truncate_rate = rate;
+        self
+    }
+
+    /// Builder: set the stall rate and duration.
+    pub fn with_stalls(mut self, rate: f64, stall: Duration) -> Self {
+        self.stall_rate = rate;
+        self.stall = stall;
+        self
+    }
+
+    /// Builder: add a per-node down window on the op-counter clock.
+    pub fn with_down_window(mut self, node: u32, from_op: u64, to_op: u64) -> Self {
+        self.down_windows.push(DownWindow { node, from_op, to_op });
+        self
+    }
+
+    /// Builder: set the consecutive-fault cap.
+    pub fn with_max_consecutive(mut self, cap: u32) -> Self {
+        self.max_consecutive = cap;
+        self
+    }
+}
+
+/// Monotonic counters of injected faults, for assertions and reporting.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    /// Transient errors injected.
+    pub errors: AtomicU64,
+    /// Read bodies truncated.
+    pub truncations: AtomicU64,
+    /// Reads stalled.
+    pub stalls: AtomicU64,
+    /// Operations rejected inside a down window.
+    pub down_rejections: AtomicU64,
+    /// Operations that passed through unharmed.
+    pub clean_ops: AtomicU64,
+}
+
+/// Point-in-time copy of [`FaultStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStatsSnapshot {
+    /// Transient errors injected.
+    pub errors: u64,
+    /// Read bodies truncated.
+    pub truncations: u64,
+    /// Reads stalled.
+    pub stalls: u64,
+    /// Operations rejected inside a down window.
+    pub down_rejections: u64,
+    /// Operations that passed through unharmed.
+    pub clean_ops: u64,
+}
+
+impl FaultStatsSnapshot {
+    /// Total faults of every class.
+    pub fn total_faults(&self) -> u64 {
+        self.errors + self.truncations + self.stalls + self.down_rejections
+    }
+}
+
+/// What the injector decided for one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    None,
+    TransientError,
+    Truncate,
+    Stall,
+    Down,
+}
+
+/// Shared fault decision engine: one per cluster, consulted by every
+/// [`ChaosBackend`].
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Mutex<XorShift64>,
+    ops: AtomicU64,
+    consecutive: Mutex<u32>,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Build an injector from a plan.
+    pub fn new(plan: FaultPlan) -> Arc<FaultInjector> {
+        let rng = XorShift64::new(scoop_common::rng::derive_seed(plan.seed, "fault-injector"));
+        Arc::new(FaultInjector {
+            plan,
+            rng: Mutex::new(rng),
+            ops: AtomicU64::new(0),
+            consecutive: Mutex::new(0),
+            stats: FaultStats::default(),
+        })
+    }
+
+    /// The plan this injector runs.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> FaultStatsSnapshot {
+        FaultStatsSnapshot {
+            errors: self.stats.errors.load(Ordering::Relaxed),
+            truncations: self.stats.truncations.load(Ordering::Relaxed),
+            stalls: self.stats.stalls.load(Ordering::Relaxed),
+            down_rejections: self.stats.down_rejections.load(Ordering::Relaxed),
+            clean_ops: self.stats.clean_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Current logical clock (operations observed so far).
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Decide the fate of one backend operation on `node`. `is_read` gates
+    /// the read-only fault classes (truncation, stall).
+    fn decide(&self, node: u32, is_read: bool) -> Fault {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        // Down windows are scheduled, not sampled: they model a node reboot
+        // and are not subject to the consecutive cap (other replicas absorb
+        // the outage).
+        if self
+            .plan
+            .down_windows
+            .iter()
+            .any(|w| w.node == node && op >= w.from_op && op < w.to_op)
+        {
+            self.stats.down_rejections.fetch_add(1, Ordering::Relaxed);
+            return Fault::Down;
+        }
+        let mut consecutive = self.consecutive.lock();
+        if *consecutive >= self.plan.max_consecutive {
+            *consecutive = 0;
+            self.stats.clean_ops.fetch_add(1, Ordering::Relaxed);
+            return Fault::None;
+        }
+        let roll = self.rng.lock().next_f64();
+        let mut threshold = self.plan.error_rate;
+        if roll < threshold {
+            *consecutive += 1;
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return Fault::TransientError;
+        }
+        if is_read {
+            threshold += self.plan.truncate_rate;
+            if roll < threshold {
+                *consecutive += 1;
+                self.stats.truncations.fetch_add(1, Ordering::Relaxed);
+                return Fault::Truncate;
+            }
+            threshold += self.plan.stall_rate;
+            if roll < threshold {
+                // A stall delays but does not fail: it does not consume the
+                // consecutive-fault budget.
+                self.stats.stalls.fetch_add(1, Ordering::Relaxed);
+                return Fault::Stall;
+            }
+        }
+        *consecutive = 0;
+        self.stats.clean_ops.fetch_add(1, Ordering::Relaxed);
+        Fault::None
+    }
+}
+
+/// A [`StorageBackend`] decorator that injects the faults its
+/// [`FaultInjector`] decides on.
+pub struct ChaosBackend {
+    inner: Arc<dyn StorageBackend>,
+    node: u32,
+    injector: Arc<FaultInjector>,
+}
+
+impl ChaosBackend {
+    /// Wrap `inner` (a backend on `node`) with fault injection.
+    pub fn new(
+        inner: Arc<dyn StorageBackend>,
+        node: u32,
+        injector: Arc<FaultInjector>,
+    ) -> ChaosBackend {
+        ChaosBackend { inner, node, injector }
+    }
+
+    fn transient(&self, op: &str) -> ScoopError {
+        ScoopError::Io(std::io::Error::other(format!(
+            "injected transient {op} failure on node {}",
+            self.node
+        )))
+    }
+
+    fn down(&self) -> ScoopError {
+        ScoopError::Io(std::io::Error::other(format!(
+            "node {} is down (injected outage)",
+            self.node
+        )))
+    }
+
+    /// Run the pre-operation fault decision for a non-read op.
+    fn gate(&self, op: &str) -> Result<()> {
+        match self.injector.decide(self.node, false) {
+            Fault::Down => Err(self.down()),
+            Fault::TransientError => Err(self.transient(op)),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl StorageBackend for ChaosBackend {
+    fn put(&self, key: &str, obj: StoredObject) -> Result<()> {
+        self.gate("put")?;
+        self.inner.put(key, obj)
+    }
+
+    fn get(&self, key: &str) -> Result<StoredObject> {
+        match self.injector.decide(self.node, true) {
+            Fault::Down => Err(self.down()),
+            Fault::TransientError => Err(self.transient("get")),
+            Fault::Stall => {
+                std::thread::sleep(self.injector.plan.stall);
+                self.inner.get(key)
+            }
+            Fault::Truncate => {
+                let mut obj = self.inner.get(key)?;
+                obj.data = obj.data.slice(..obj.data.len() / 2);
+                Ok(obj)
+            }
+            Fault::None => self.inner.get(key),
+        }
+    }
+
+    fn get_range(&self, key: &str, start: u64, end: u64) -> Result<Bytes> {
+        match self.injector.decide(self.node, true) {
+            Fault::Down => Err(self.down()),
+            Fault::TransientError => Err(self.transient("get_range")),
+            Fault::Stall => {
+                std::thread::sleep(self.injector.plan.stall);
+                self.inner.get_range(key, start, end)
+            }
+            Fault::Truncate => {
+                let data = self.inner.get_range(key, start, end)?;
+                Ok(data.slice(..data.len() / 2))
+            }
+            Fault::None => self.inner.get_range(key, start, end),
+        }
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        self.gate("head")?;
+        self.inner.head(key)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.gate("delete")?;
+        self.inner.delete(key)
+    }
+
+    // Audit/repair plumbing stays fault-free: the replicator models rsync
+    // between object servers, outside the request path under test.
+    fn contains(&self, key: &str) -> bool {
+        self.inner.contains(key)
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.inner.keys()
+    }
+
+    fn bytes_used(&self) -> u64 {
+        self.inner.bytes_used()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use std::collections::BTreeMap;
+
+    fn seeded_obj() -> StoredObject {
+        StoredObject::new(Bytes::from(vec![7u8; 1000]), BTreeMap::new())
+    }
+
+    fn chaos(plan: FaultPlan) -> (ChaosBackend, Arc<FaultInjector>) {
+        let injector = FaultInjector::new(plan);
+        let inner = Arc::new(MemBackend::new());
+        inner.put("/a/c/o", seeded_obj()).unwrap();
+        (ChaosBackend::new(inner, 0, injector.clone()), injector)
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let (b, inj) = chaos(FaultPlan::quiet(1));
+        for _ in 0..100 {
+            assert_eq!(b.get("/a/c/o").unwrap().data.len(), 1000);
+        }
+        assert_eq!(inj.stats().total_faults(), 0);
+        assert_eq!(inj.stats().clean_ops, 100);
+    }
+
+    #[test]
+    fn transient_errors_fire_and_respect_consecutive_cap() {
+        let (b, inj) = chaos(FaultPlan::transient_errors(42).with_error_rate(1.0));
+        let mut failures_in_a_row = 0u32;
+        let mut worst = 0u32;
+        for _ in 0..200 {
+            match b.get("/a/c/o") {
+                Err(_) => {
+                    failures_in_a_row += 1;
+                    worst = worst.max(failures_in_a_row);
+                }
+                Ok(_) => failures_in_a_row = 0,
+            }
+        }
+        let stats = inj.stats();
+        assert!(stats.errors > 0);
+        // Even at rate 1.0 the cap forces a success every few ops.
+        assert!(worst <= 2, "saw {worst} consecutive failures");
+        assert!(stats.clean_ops > 0);
+    }
+
+    #[test]
+    fn truncation_halves_read_bodies() {
+        let (b, inj) = chaos(FaultPlan::truncated_bodies(7).with_truncate_rate(1.0));
+        let mut saw_short = false;
+        for _ in 0..10 {
+            let got = b.get("/a/c/o").unwrap();
+            if got.data.len() < 1000 {
+                saw_short = true;
+            }
+        }
+        assert!(saw_short);
+        assert!(inj.stats().truncations > 0);
+        // Writes are unaffected by the truncation class.
+        b.put("/a/c/p", seeded_obj()).unwrap();
+    }
+
+    #[test]
+    fn down_window_rejects_then_recovers() {
+        let (b, inj) = chaos(FaultPlan::quiet(3).with_down_window(0, 0, 5));
+        for _ in 0..5 {
+            assert!(b.get("/a/c/o").is_err());
+        }
+        assert!(b.get("/a/c/o").is_ok());
+        assert_eq!(inj.stats().down_rejections, 5);
+    }
+
+    #[test]
+    fn down_window_only_hits_its_node() {
+        let injector = FaultInjector::new(FaultPlan::quiet(3).with_down_window(9, 0, 100));
+        let inner = Arc::new(MemBackend::new());
+        inner.put("/a/c/o", seeded_obj()).unwrap();
+        let b = ChaosBackend::new(inner, 0, injector);
+        assert!(b.get("/a/c/o").is_ok());
+    }
+
+    #[test]
+    fn injected_errors_are_retryable() {
+        let (b, _) = chaos(FaultPlan::transient_errors(42).with_error_rate(1.0));
+        let err = loop {
+            match b.get("/a/c/o") {
+                Err(e) => break e,
+                Ok(_) => continue,
+            }
+        };
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn same_seed_replays_same_fault_sequence() {
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let (b, _) = chaos(FaultPlan::transient_errors(seed).with_error_rate(0.5));
+            (0..50).map(|_| b.get("/a/c/o").is_ok()).collect()
+        };
+        assert_eq!(outcomes(11), outcomes(11));
+        assert_ne!(outcomes(11), outcomes(12));
+    }
+
+    #[test]
+    fn stalls_delay_but_succeed() {
+        let (b, inj) =
+            chaos(FaultPlan::stalled_reads(5).with_stalls(1.0, Duration::from_millis(1)));
+        for _ in 0..5 {
+            assert!(b.get("/a/c/o").is_ok());
+        }
+        assert!(inj.stats().stalls > 0);
+    }
+}

@@ -16,6 +16,9 @@
 //! * Token **authentication** ([`auth`]), **replication** with failure
 //!   injection and repair ([`replication`]), and pluggable storage
 //!   **backends** (memory / disk) ([`backend`]).
+//! * A deterministic **fault-injection** layer ([`fault`]) that wraps device
+//!   backends with seeded transient errors, truncated bodies, stalled reads
+//!   and per-node down windows for the chaos test suite.
 //!
 //! The top-level entry point is [`swift::SwiftCluster`], which assembles the
 //! tiers exactly like the paper's testbed (6 proxies, 29 object servers, 10
@@ -23,6 +26,7 @@
 
 pub mod auth;
 pub mod backend;
+pub mod fault;
 pub mod middleware;
 pub mod objserver;
 pub mod path;
@@ -32,6 +36,7 @@ pub mod request;
 pub mod ring;
 pub mod swift;
 
+pub use fault::{ChaosBackend, DownWindow, FaultInjector, FaultPlan, FaultStatsSnapshot};
 pub use path::ObjectPath;
 pub use request::{Method, Request, Response};
 pub use ring::{DeviceId, Ring, RingBuilder};

@@ -172,6 +172,9 @@ pub struct ProxyStats {
     pub requests: AtomicU64,
     /// Body bytes relayed toward clients.
     pub bytes_to_clients: AtomicU64,
+    /// Read requests re-routed to another replica after a retryable
+    /// failure (the store's first line of defence under faults).
+    pub replica_failovers: AtomicU64,
 }
 
 /// A proxy server.
@@ -268,20 +271,36 @@ impl ProxyServer {
                         req.path.container_path()
                     )));
                 }
+                // The authoritative size is the body the proxy fanned out —
+                // not whatever a replica echoes back. A replica reporting a
+                // different stored length did not durably store this object
+                // and must not count toward the write quorum.
+                let size = req.body.as_ref().map(|b| b.len() as u64).unwrap_or(0);
                 let mut last_err = None;
                 let mut oks = 0usize;
                 let mut etag = String::new();
-                let mut size = 0u64;
                 for (dev, node) in &devices {
                     let server = self.server(*node)?;
                     match server.handle(*dev, req.clone()) {
                         Ok(resp) => {
+                            match resp.headers.get("content-length").map(|l| l.parse::<u64>()) {
+                                Some(Ok(stored)) if stored != size => {
+                                    last_err = Some(ScoopError::Internal(format!(
+                                        "replica on node {node} stored {stored} of {size} bytes"
+                                    )));
+                                    continue;
+                                }
+                                Some(Err(_)) => {
+                                    last_err = Some(ScoopError::Internal(format!(
+                                        "replica on node {node} returned a malformed length"
+                                    )));
+                                    continue;
+                                }
+                                _ => {}
+                            }
                             oks += 1;
                             if let Some(e) = resp.headers.get("etag") {
                                 etag = e.to_string();
-                            }
-                            if let Some(l) = resp.headers.get("content-length") {
-                                size = l.parse().unwrap_or(0);
                             }
                         }
                         Err(e) => last_err = Some(e),
@@ -316,7 +335,23 @@ impl ProxyServer {
                             return Ok(resp);
                         }
                         // Retryable errors (server down / IO) → next replica.
-                        Err(e) if e.is_retryable() => last_err = Some(e),
+                        // NotFound also moves on: a replica that missed an
+                        // under-replicated PUT (write quorum met elsewhere,
+                        // repair not yet run) must not mask the copies the
+                        // other replicas hold.
+                        Err(e) if e.is_retryable() || matches!(e, ScoopError::NotFound(_)) => {
+                            self.stats
+                                .replica_failovers
+                                .fetch_add(1, Ordering::Relaxed);
+                            // A stale replica's 404 must not mask a transient
+                            // failure on a replica that may hold the object:
+                            // surfacing the retryable error lets the client
+                            // re-dispatch and reach the healthy copy.
+                            match (&last_err, &e) {
+                                (Some(prev), ScoopError::NotFound(_)) if prev.is_retryable() => {}
+                                _ => last_err = Some(e),
+                            }
+                        }
                         Err(e) => return Err(e),
                     }
                 }
@@ -335,7 +370,11 @@ impl ProxyServer {
                         Err(e) => last_err = Some(e),
                     }
                 }
-                if oks >= 1 {
+                // Deletes need the same write quorum as PUT/POST: acking a
+                // delete that only reached a minority lets the object
+                // "resurrect" from the untouched majority after a repair
+                // pass, while the listing already dropped it.
+                if oks >= self.quorum() {
                     self.containers.record_delete(&req.path);
                     Ok(Response::no_content())
                 } else {
@@ -543,6 +582,103 @@ mod tests {
         proxy.servers[&node].set_down(true);
         let got = proxy.handle(Request::get(p("x.csv"))).unwrap();
         assert_eq!(got.read_body().unwrap(), "resilient");
+    }
+
+    #[test]
+    fn delete_requires_write_quorum() {
+        let (proxy, _) = make_proxy(false);
+        proxy.containers().create_container("AUTH_gp", "meters");
+        proxy
+            .handle(Request::put(p("x.csv"), Bytes::from_static(b"durable")))
+            .unwrap();
+        // Down every node but one: at most one replica can ack the delete,
+        // which is below the quorum of 2 — the delete must fail and the
+        // listing must keep the object.
+        let ring = proxy.ring.read();
+        let survivor = ring.device(ring.lookup(&p("x.csv").ring_key())[0]).node;
+        drop(ring);
+        for (node, server) in proxy.servers.iter() {
+            if *node != survivor {
+                server.set_down(true);
+            }
+        }
+        let err = proxy.handle(Request::delete(p("x.csv"))).unwrap_err();
+        assert!(err.is_retryable());
+        assert_eq!(
+            proxy
+                .containers()
+                .list_objects("AUTH_gp", "meters", None)
+                .unwrap()
+                .len(),
+            1
+        );
+        // Once the nodes recover, the delete reaches quorum.
+        for server in proxy.servers.values() {
+            server.set_down(false);
+        }
+        proxy.handle(Request::delete(p("x.csv"))).unwrap();
+        assert!(proxy
+            .containers()
+            .list_objects("AUTH_gp", "meters", None)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn put_records_request_body_size() {
+        let (proxy, _) = make_proxy(false);
+        proxy.containers().create_container("AUTH_gp", "meters");
+        proxy
+            .handle(Request::put(p("x.csv"), Bytes::from_static(b"12345678")))
+            .unwrap();
+        let listing = proxy
+            .containers()
+            .list_objects("AUTH_gp", "meters", None)
+            .unwrap();
+        assert_eq!(listing[0].size, 8);
+    }
+
+    #[test]
+    fn put_replica_size_mismatch_fails_that_replica() {
+        use crate::middleware::{Handler, Middleware, Pipeline};
+        // A middleware that lies about the stored length on one node,
+        // standing in for a replica that dropped part of the body.
+        struct ShortWriter;
+        impl Middleware for ShortWriter {
+            fn name(&self) -> &str {
+                "short-writer"
+            }
+            fn handle(&self, req: Request, next: &dyn Handler) -> Result<Response> {
+                let resp = next.call(req)?;
+                Ok(resp.with_header("content-length", "1"))
+            }
+        }
+        let (proxy, _) = make_proxy(false);
+        proxy.containers().create_container("AUTH_gp", "meters");
+        let ring = proxy.ring.read();
+        let nodes: Vec<u32> = ring
+            .lookup(&p("x.csv").ring_key())
+            .iter()
+            .map(|&d| ring.device(d).node)
+            .collect();
+        drop(ring);
+        // One lying replica out of three: quorum (2) still holds.
+        let mut pipe = Pipeline::new();
+        pipe.push(Arc::new(ShortWriter));
+        proxy.servers[&nodes[0]].set_pipeline(pipe.clone());
+        proxy
+            .handle(Request::put(p("x.csv"), Bytes::from_static(b"payload")))
+            .unwrap();
+        assert_eq!(
+            proxy.containers().list_objects("AUTH_gp", "meters", None).unwrap()[0].size,
+            7
+        );
+        // Two lying replicas: the mismatches break quorum and the PUT fails.
+        proxy.servers[&nodes[1]].set_pipeline(pipe);
+        let err = proxy
+            .handle(Request::put(p("x.csv"), Bytes::from_static(b"payload")))
+            .unwrap_err();
+        assert!(err.to_string().contains("stored 1 of 7 bytes"), "{err}");
     }
 
     #[test]

@@ -75,7 +75,9 @@ impl ByteRange {
     pub fn resolve(self, len: u64) -> (u64, u64) {
         let start = self.start.min(len);
         let end = match self.end {
-            Some(e) => (e + 1).min(len),
+            // Saturating: `bytes=0-18446744073709551615` is a valid header
+            // and must clamp to the object, not overflow-panic.
+            Some(e) => e.saturating_add(1).min(len),
             None => len,
         };
         (start, end.max(start))
@@ -266,6 +268,15 @@ mod tests {
         assert_eq!(ByteRange { start: 0, end: None }.resolve(100), (0, 100));
         assert_eq!(ByteRange { start: 50, end: Some(500) }.resolve(100), (50, 100));
         assert_eq!(ByteRange { start: 200, end: None }.resolve(100), (100, 100));
+    }
+
+    #[test]
+    fn byte_range_resolution_survives_u64_max() {
+        // Regression: `end + 1` used to overflow-panic on the largest legal
+        // header value, letting one request kill an object server thread.
+        let r = ByteRange::parse("bytes=0-18446744073709551615").unwrap();
+        assert_eq!(r.resolve(100), (0, 100));
+        assert_eq!(ByteRange { start: 5, end: Some(u64::MAX) }.resolve(10), (5, 10));
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! object ring.
 
 use crate::auth::AuthService;
-use crate::backend::{DiskBackend, StorageBackend};
+use crate::backend::{DiskBackend, MemBackend, StorageBackend};
+use crate::fault::{ChaosBackend, FaultInjector, FaultPlan, FaultStatsSnapshot};
 use crate::middleware::Pipeline;
 use crate::objserver::ObjectServer;
 use crate::path::ObjectPath;
@@ -17,10 +18,10 @@ use crate::request::{Request, Response};
 use crate::ring::{DeviceId, Ring, RingBuilder};
 use bytes::Bytes;
 use parking_lot::RwLock;
-use scoop_common::{Result, ScoopError};
+use scoop_common::{Result, RetryPolicy, ScoopError};
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Where device data lives.
@@ -52,6 +53,9 @@ pub struct SwiftConfig {
     pub auth_enabled: bool,
     /// Device storage kind.
     pub backend: BackendKind,
+    /// Optional chaos plan: when set, every device backend is wrapped in a
+    /// [`ChaosBackend`] driven by one shared, seeded [`FaultInjector`].
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for SwiftConfig {
@@ -65,6 +69,7 @@ impl Default for SwiftConfig {
             zones: 4,
             auth_enabled: false,
             backend: BackendKind::Memory,
+            fault_plan: None,
         }
     }
 }
@@ -82,6 +87,7 @@ impl SwiftConfig {
             zones: 5,
             auth_enabled: false,
             backend: BackendKind::Memory,
+            fault_plan: None,
         }
     }
 }
@@ -95,6 +101,7 @@ pub struct SwiftCluster {
     containers: Arc<ContainerService>,
     auth: Arc<AuthService>,
     next_proxy: AtomicUsize,
+    fault_injector: Option<Arc<FaultInjector>>,
 }
 
 impl SwiftCluster {
@@ -111,20 +118,25 @@ impl SwiftCluster {
         }
         let ring = Arc::new(RwLock::new(builder.build()?));
 
+        let fault_injector = config.fault_plan.clone().map(FaultInjector::new);
         let mut servers = HashMap::new();
         for (node, devs) in &device_map {
-            let server = match &config.backend {
-                BackendKind::Memory => ObjectServer::with_mem_devices(*node, devs),
-                BackendKind::Disk(root) => {
-                    let mut backends: HashMap<DeviceId, Arc<dyn StorageBackend>> = HashMap::new();
-                    for d in devs {
+            let mut backends: HashMap<DeviceId, Arc<dyn StorageBackend>> = HashMap::new();
+            for d in devs {
+                let base: Arc<dyn StorageBackend> = match &config.backend {
+                    BackendKind::Memory => Arc::new(MemBackend::new()),
+                    BackendKind::Disk(root) => {
                         let dir = root.join(format!("node-{node}")).join(format!("dev-{}", d.0));
-                        backends.insert(*d, Arc::new(DiskBackend::open(dir)?));
+                        Arc::new(DiskBackend::open(dir)?)
                     }
-                    ObjectServer::with_backends(*node, backends)
-                }
-            };
-            servers.insert(*node, Arc::new(server));
+                };
+                let backend = match &fault_injector {
+                    Some(inj) => Arc::new(ChaosBackend::new(base, *node, inj.clone())) as _,
+                    None => base,
+                };
+                backends.insert(*d, backend);
+            }
+            servers.insert(*node, Arc::new(ObjectServer::with_backends(*node, backends)));
         }
         let servers = Arc::new(servers);
         let containers = Arc::new(ContainerService::new());
@@ -151,7 +163,29 @@ impl SwiftCluster {
             containers,
             auth,
             next_proxy: AtomicUsize::new(0),
+            fault_injector,
         }))
+    }
+
+    /// The chaos injector, when the cluster was built with a fault plan.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.fault_injector.as_ref()
+    }
+
+    /// Injected-fault counters (zeroes when no fault plan is active).
+    pub fn fault_stats(&self) -> FaultStatsSnapshot {
+        self.fault_injector
+            .as_ref()
+            .map(|i| i.stats())
+            .unwrap_or_default()
+    }
+
+    /// Total read failovers to another replica, summed over all proxies.
+    pub fn replica_failovers(&self) -> u64 {
+        self.proxies
+            .iter()
+            .map(|p| p.stats.replica_failovers.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Cluster configuration.
@@ -252,12 +286,12 @@ impl SwiftCluster {
         } else {
             None
         };
-        Ok(SwiftClient { cluster: self.clone(), account: account.to_string(), token })
+        Ok(SwiftClient::assemble(self.clone(), account, token))
     }
 
     /// Open an unauthenticated client (only valid when auth is disabled).
     pub fn anonymous_client(self: &Arc<Self>, account: &str) -> SwiftClient {
-        SwiftClient { cluster: self.clone(), account: account.to_string(), token: None }
+        SwiftClient::assemble(self.clone(), account, None)
     }
 }
 
@@ -277,9 +311,21 @@ pub struct SwiftClient {
     cluster: Arc<SwiftCluster>,
     account: String,
     token: Option<String>,
+    retry: RetryPolicy,
+    retries: Arc<AtomicU64>,
 }
 
 impl SwiftClient {
+    fn assemble(cluster: Arc<SwiftCluster>, account: &str, token: Option<String>) -> SwiftClient {
+        SwiftClient {
+            cluster,
+            account: account.to_string(),
+            token,
+            retry: RetryPolicy::none(),
+            retries: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
     /// The account this client operates on.
     pub fn account(&self) -> &str {
         &self.account
@@ -290,12 +336,45 @@ impl SwiftClient {
         &self.cluster
     }
 
-    /// Send a request, attaching the auth token.
+    /// Builder: re-dispatch retryably-failed requests under `policy` with
+    /// exponential backoff + jitter. Retry covers the request/response
+    /// exchange; errors surfacing mid-body-stream are the consumer's to
+    /// handle (the connector resumes them with ranged GETs).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> SwiftClient {
+        self.retry = policy;
+        self
+    }
+
+    /// The retry policy in force.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Requests re-dispatched after a retryable failure, over this client's
+    /// lifetime (shared across clones).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Send a request, attaching the auth token; retryable failures are
+    /// re-dispatched per the client's [`RetryPolicy`].
     pub fn request(&self, mut req: Request) -> Result<Response> {
         if let Some(tok) = &self.token {
             req.headers.set("x-auth-token", tok.clone());
         }
-        self.cluster.handle(req)
+        let mut rng = scoop_common::rng::XorShift64::new(self.retry.seed);
+        let mut attempt = 0u32;
+        loop {
+            match self.cluster.handle(req.clone()) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if e.is_retryable() && attempt + 1 < self.retry.max_attempts => {
+                    std::thread::sleep(self.retry.backoff(attempt, &mut rng));
+                    attempt += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Create a container.
@@ -416,6 +495,36 @@ mod tests {
         let clean = cluster.repair().unwrap();
         assert_eq!(clean.replicas_restored, 0);
         assert_eq!(cluster.bytes_stored(), 40 * 100 * 3);
+    }
+
+    #[test]
+    fn get_fails_over_past_replicas_that_missed_the_put() {
+        // Regression: a PUT that reached write quorum while one node was
+        // down leaves that node without the object. Before repair runs, a
+        // GET probing the stale replica first used to abort with NotFound
+        // instead of failing over to the replicas that hold the object.
+        let cluster = SwiftCluster::new(SwiftConfig::default()).unwrap();
+        let client = cluster.anonymous_client("a");
+        client.create_container("c");
+        for node in 0..4 {
+            cluster.set_server_down(node, true).unwrap();
+            client
+                .put_object("c", &format!("o{node}"), Bytes::from(vec![b'a' + node as u8; 64]))
+                .unwrap();
+            cluster.set_server_down(node, false).unwrap();
+        }
+        // No repair pass: every object is missing exactly one replica.
+        for node in 0..4 {
+            let body = client
+                .get_object("c", &format!("o{node}"))
+                .unwrap()
+                .read_body()
+                .unwrap();
+            assert_eq!(body, Bytes::from(vec![b'a' + node as u8; 64]), "o{node}");
+        }
+        // A genuinely absent object still 404s after probing all replicas.
+        let err = client.get_object("c", "ghost").unwrap_err();
+        assert_eq!(err.kind(), "not_found");
     }
 
     #[test]

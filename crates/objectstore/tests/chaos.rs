@@ -1,0 +1,194 @@
+//! Store-level chaos suite: the Swift-like store, wrapped in the
+//! fault-injection harness, must keep serving byte-identical data under
+//! every fault class — transient I/O errors, truncated bodies, stalled
+//! reads, and per-node down windows — with the retry/failover counters
+//! proving the faults actually fired.
+//!
+//! Every test is single-threaded over a seeded [`FaultPlan`], so a failure
+//! reproduces exactly from its seed.
+
+use bytes::Bytes;
+use scoop_common::{stream, RetryPolicy};
+use scoop_objectstore::{FaultPlan, SwiftClient, SwiftCluster, SwiftConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const N_OBJECTS: usize = 12;
+
+/// Deterministic per-object payload (sizes straddle several chunks).
+fn payload(i: usize) -> Bytes {
+    let len = 700 + i * 137;
+    Bytes::from((0..len).map(|b| ((b * 31 + i * 7) % 251) as u8).collect::<Vec<u8>>())
+}
+
+/// Build a cluster under `plan`, load the fixture through a retrying
+/// client, and hand both back.
+fn chaos_cluster(plan: Option<FaultPlan>) -> (Arc<SwiftCluster>, SwiftClient) {
+    let cluster = SwiftCluster::new(SwiftConfig {
+        fault_plan: plan,
+        ..SwiftConfig::default()
+    })
+    .unwrap();
+    let client = cluster
+        .anonymous_client("AUTH_chaos")
+        .with_retry(RetryPolicy::default());
+    client.create_container("data");
+    for i in 0..N_OBJECTS {
+        client
+            .put_object("data", &format!("o{i}"), payload(i))
+            .unwrap();
+    }
+    (cluster, client)
+}
+
+/// GET an object and verify the body against the advertised length,
+/// re-issuing the request on a retryable failure — the client-side
+/// equivalent of the connector's resuming reads. Returns the body and how
+/// many re-issues were needed.
+fn get_verified(client: &SwiftClient, object: &str) -> (Bytes, u64) {
+    let mut reissues = 0u64;
+    loop {
+        let result = client
+            .get_object("data", object)
+            .and_then(|resp| {
+                let expected: u64 = resp
+                    .headers
+                    .get("content-length")
+                    .expect("GET responses advertise content-length")
+                    .parse()
+                    .unwrap();
+                stream::collect(stream::enforce_length(resp.body, expected))
+            });
+        match result {
+            Ok(body) => return (body, reissues),
+            Err(e) if e.is_retryable() && reissues < 16 => reissues += 1,
+            Err(e) => panic!("GET {object} failed beyond retry budget: {e}"),
+        }
+    }
+}
+
+/// Read every object back and compare against both the source payload and
+/// a fault-free cluster. Returns total verified-GET re-issues.
+fn assert_byte_identical(client: &SwiftClient, reference: &SwiftClient) -> u64 {
+    let mut reissues = 0;
+    for i in 0..N_OBJECTS {
+        let name = format!("o{i}");
+        let (body, r) = get_verified(client, &name);
+        reissues += r;
+        assert_eq!(body, payload(i), "object {name} corrupted under faults");
+        let (ref_body, _) = get_verified(reference, &name);
+        assert_eq!(body, ref_body, "object {name} diverges from fault-free run");
+    }
+    reissues
+}
+
+#[test]
+fn transient_errors_are_absorbed_by_failover_and_retry() {
+    let (reference, ref_client) = chaos_cluster(None);
+    let (cluster, client) = chaos_cluster(Some(FaultPlan::transient_errors(0xA11CE)));
+    let _ = reference;
+    assert_byte_identical(&client, &ref_client);
+
+    let stats = cluster.fault_stats();
+    assert!(stats.errors > 0, "no transient errors fired: {stats:?}");
+    // Recovery engaged somewhere in the stack: replica failover at proxies
+    // and/or request re-dispatch at the client.
+    assert!(
+        cluster.replica_failovers() + client.retries() > 0,
+        "faults fired but nothing retried (failovers {}, client retries {})",
+        cluster.replica_failovers(),
+        client.retries(),
+    );
+}
+
+#[test]
+fn truncated_bodies_are_detected_and_reread() {
+    let (_reference, ref_client) = chaos_cluster(None);
+    let (cluster, client) = chaos_cluster(Some(FaultPlan::truncated_bodies(0xBEEF)));
+    let reissues = assert_byte_identical(&client, &ref_client);
+
+    let stats = cluster.fault_stats();
+    assert!(stats.truncations > 0, "no truncations fired: {stats:?}");
+    // A truncated body passes the request/response exchange and only
+    // surfaces once the stream is length-checked — the re-read counter is
+    // the proof that detection, not luck, produced identical bytes.
+    assert!(reissues > 0, "truncations fired but no GET was re-read");
+}
+
+#[test]
+fn stalled_reads_delay_but_never_corrupt() {
+    let (_reference, ref_client) = chaos_cluster(None);
+    let (cluster, client) = chaos_cluster(Some(
+        FaultPlan::stalled_reads(0x57A11).with_stalls(0.25, Duration::from_micros(200)),
+    ));
+    assert_byte_identical(&client, &ref_client);
+
+    let stats = cluster.fault_stats();
+    assert!(stats.stalls > 0, "no stalls fired: {stats:?}");
+    assert_eq!(stats.errors, 0);
+}
+
+#[test]
+fn node_down_window_is_covered_by_surviving_replicas() {
+    let (_reference, ref_client) = chaos_cluster(None);
+    // Node 0 is down for the entire run: writes reach quorum on the other
+    // replicas, reads fail over past the dead node.
+    let (cluster, client) =
+        chaos_cluster(Some(FaultPlan::quiet(0xD0).with_down_window(0, 0, u64::MAX)));
+    assert_byte_identical(&client, &ref_client);
+
+    let stats = cluster.fault_stats();
+    assert!(stats.down_rejections > 0, "down window never hit: {stats:?}");
+    assert!(
+        cluster.replica_failovers() > 0,
+        "reads never failed over around the dead node"
+    );
+}
+
+#[test]
+fn mixed_fault_soak_stays_consistent() {
+    let (_reference, ref_client) = chaos_cluster(None);
+    let plan = FaultPlan::quiet(0x5C00F ^ 0x5EED)
+        .with_error_rate(0.15)
+        .with_truncate_rate(0.1)
+        .with_stalls(0.05, Duration::from_micros(100))
+        .with_down_window(1, 40, 120);
+    let (cluster, client) = chaos_cluster(Some(plan));
+    // Several passes, interleaving rereads with overwrites.
+    for round in 0..3 {
+        assert_byte_identical(&client, &ref_client);
+        let _ = round;
+    }
+    let stats = cluster.fault_stats();
+    assert!(stats.total_faults() > 0, "soak injected nothing: {stats:?}");
+}
+
+#[test]
+fn deletes_survive_faults_without_resurrection() {
+    // Regression companion to the DELETE-quorum fix: under transient
+    // faults a delete either reaches write quorum (and the object is gone
+    // everywhere that matters) or fails loudly — never a half-delete that
+    // a later failover resurrects.
+    let (_cluster, client) = chaos_cluster(Some(FaultPlan::transient_errors(0xDE1)));
+    for i in 0..N_OBJECTS {
+        let name = format!("o{i}");
+        let listed = |client: &SwiftClient| {
+            client
+                .list("data", None)
+                .unwrap()
+                .iter()
+                .any(|r| r.name == name)
+        };
+        match client.delete_object("data", &name) {
+            // Acked ⇒ write quorum reached ⇒ the listing entry is gone and
+            // a majority of replicas dropped the object, so no later
+            // failover or repair pass can serve it back.
+            Ok(_) => assert!(!listed(&client), "deleted {name} still listed"),
+            // Refused ⇒ below quorum ⇒ the listing entry must survive;
+            // the delete visibly failed instead of half-applying.
+            Err(e) => {
+                assert!(listed(&client), "failed delete of {name} dropped the listing: {e}");
+            }
+        }
+    }
+}

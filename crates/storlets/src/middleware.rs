@@ -198,8 +198,22 @@ impl StorletMiddleware {
         if !resp.is_success() {
             return Ok(resp);
         }
+        // Guard the raw body before it enters the filter: a backend that cut
+        // the stream short would otherwise just look like an early EOF and
+        // silently drop records from the filtered output. `enforce_length`
+        // turns that into a retryable error; lazy early termination by the
+        // range-aligned filter is unaffected (it stops pulling, which never
+        // trips the check).
+        let body = match resp
+            .headers
+            .get("content-length")
+            .and_then(|l| l.parse::<u64>().ok())
+        {
+            Some(expected) => stream::enforce_length(resp.body, expected),
+            None => resp.body,
+        };
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
-        let body = self.engine.invoke_pipeline(&name_refs, resp.body, &ctx)?;
+        let body = self.engine.invoke_pipeline(&name_refs, body, &ctx)?;
         let mut out = Response { status: 200, headers: resp.headers, body };
         // Filtered length is unknown until the stream is consumed.
         out.headers.remove("content-length");

@@ -1,0 +1,12 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace declares the dependency but does not currently call into it;
+//! `std::thread::scope` covers the scoped-thread use case on modern Rust.
+
+/// Spawn scoped threads; alias for [`std::thread::scope`].
+pub fn scope<'env, F, T>(f: F) -> std::thread::Result<T>
+where
+    F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+{
+    Ok(std::thread::scope(f))
+}

@@ -1,0 +1,108 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy generating any value of `T` (biased toward edge values for ints).
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+/// Canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                // One case in eight is an edge value; bugs cluster there.
+                if rng.below(8) == 0 {
+                    match rng.below(5) {
+                        0 => 0,
+                        1 => 1,
+                        2 => <$t>::MAX,
+                        3 => <$t>::MIN,
+                        _ => <$t>::MAX / 2,
+                    }
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                // Finite values only: sign * magnitude over a wide dynamic
+                // range, with occasional exact edge values.
+                if rng.below(8) == 0 {
+                    match rng.below(4) {
+                        0 => 0.0,
+                        1 => 1.0,
+                        2 => -1.0,
+                        _ => 0.5,
+                    }
+                } else {
+                    let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+                    let exp = rng.below(25) as i32 - 12; // 1e-12 ..= 1e12
+                    sign * (rng.unit_f64() as $t) * (10.0 as $t).powi(exp)
+                }
+            }
+        }
+    )*};
+}
+
+float_arbitrary!(f32, f64);
+
+impl Arbitrary for char {
+    fn arbitrary_value(rng: &mut TestRng) -> char {
+        // Printable ASCII keeps generated text debuggable.
+        (b' ' + rng.below(95) as u8) as char
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_are_finite() {
+        let mut rng = TestRng::for_case("floats_are_finite", 0);
+        for _ in 0..1000 {
+            assert!(f64::arbitrary_value(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn ints_hit_edges() {
+        let mut rng = TestRng::for_case("ints_hit_edges", 0);
+        let vals: Vec<i64> = (0..1000).map(|_| i64::arbitrary_value(&mut rng)).collect();
+        assert!(vals.contains(&0));
+        assert!(vals.contains(&i64::MAX));
+        assert!(vals.iter().any(|v| *v < 0));
+    }
+}

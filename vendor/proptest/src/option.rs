@@ -1,0 +1,40 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Generate `None` about a quarter of the time, otherwise `Some` of `inner`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Result of [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::for_case("produces_both_variants", 0);
+        let s = of(0u32..10);
+        let vals: Vec<Option<u32>> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.iter().any(Option::is_none));
+        assert!(vals.iter().any(Option::is_some));
+        assert!(vals.iter().flatten().all(|v| *v < 10));
+    }
+}

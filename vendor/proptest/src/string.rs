@@ -1,0 +1,216 @@
+//! String strategies from a small regex subset (`proptest::string::string_regex`).
+//!
+//! Supported syntax: literal characters, `\`-escapes, character classes with
+//! ranges (`[a-z0-9_-]`), and the quantifiers `{n}`, `{n,m}`, `{n,}` and `?`.
+//! That covers the anchored character-class patterns the workspace's property
+//! tests use; anything fancier (alternation, groups, `.` etc.) is rejected so
+//! a typo fails loudly instead of generating the wrong language.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::fmt;
+use std::iter::Peekable;
+use std::str::Chars;
+
+/// Pattern rejected by the subset parser.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// One quantified unit of the pattern: a character alphabet and a repeat count.
+#[derive(Debug, Clone)]
+struct Atom {
+    alphabet: Vec<char>,
+    min: usize,
+    max_inclusive: usize,
+}
+
+/// Strategy generating strings matching the parsed pattern.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    atoms: Vec<Atom>,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let n = rng.usize_in(atom.min, atom.max_inclusive + 1);
+            for _ in 0..n {
+                out.push(atom.alphabet[rng.usize_in(0, atom.alphabet.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Parse `pattern` into a generator strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let alphabet = match c {
+            '[' => parse_class(&mut chars)?,
+            '\\' => vec![unescape(
+                chars.next().ok_or_else(|| Error("dangling escape".into()))?,
+            )],
+            '(' | ')' | '|' | '*' | '+' | '.' | '^' | '$' | ']' | '{' | '}' => {
+                return Err(Error(format!("unsupported regex construct {c:?}")));
+            }
+            other => vec![other],
+        };
+        let (min, max_inclusive) = parse_quantifier(&mut chars)?;
+        atoms.push(Atom { alphabet, min, max_inclusive });
+    }
+    Ok(RegexGeneratorStrategy { atoms })
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        other => other,
+    }
+}
+
+fn parse_class(chars: &mut Peekable<Chars>) -> Result<Vec<char>, Error> {
+    let mut alphabet = Vec::new();
+    loop {
+        let c = match chars.next() {
+            None => return Err(Error("unterminated character class".into())),
+            Some(']') => break,
+            Some('\\') => unescape(
+                chars.next().ok_or_else(|| Error("dangling escape in class".into()))?,
+            ),
+            Some(other) => other,
+        };
+        // `a-z` is a range unless `-` is the last char before `]`.
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next();
+            if ahead.peek().is_some_and(|n| *n != ']') {
+                chars.next(); // consume '-'
+                let hi = match chars.next() {
+                    Some('\\') => unescape(
+                        chars.next().ok_or_else(|| Error("dangling escape in class".into()))?,
+                    ),
+                    Some(other) => other,
+                    None => return Err(Error("unterminated character class".into())),
+                };
+                if c > hi {
+                    return Err(Error(format!("inverted range {c}-{hi}")));
+                }
+                alphabet.extend(c..=hi);
+                continue;
+            }
+        }
+        alphabet.push(c);
+    }
+    if alphabet.is_empty() {
+        return Err(Error("empty character class".into()));
+    }
+    Ok(alphabet)
+}
+
+fn parse_quantifier(chars: &mut Peekable<Chars>) -> Result<(usize, usize), Error> {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            Ok((0, 1))
+        }
+        Some('{') => {
+            chars.next();
+            let min = parse_number(chars)?;
+            match chars.next() {
+                Some('}') => Ok((min, min)),
+                Some(',') => match chars.peek() {
+                    Some('}') => {
+                        chars.next();
+                        Ok((min, min + 8))
+                    }
+                    _ => {
+                        let max = parse_number(chars)?;
+                        if chars.next() != Some('}') {
+                            return Err(Error("unterminated quantifier".into()));
+                        }
+                        if max < min {
+                            return Err(Error(format!("inverted quantifier {{{min},{max}}}")));
+                        }
+                        Ok((min, max))
+                    }
+                },
+                _ => Err(Error("unterminated quantifier".into())),
+            }
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+fn parse_number(chars: &mut Peekable<Chars>) -> Result<usize, Error> {
+    let mut digits = String::new();
+    while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+        digits.push(chars.next().unwrap());
+    }
+    digits.parse().map_err(|_| Error(format!("bad quantifier bound {digits:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_many(pattern: &str, n: usize) -> Vec<String> {
+        let strat = string_regex(pattern).expect("pattern should parse");
+        let mut rng = TestRng::for_case(pattern, 0);
+        (0..n).map(|_| strat.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        for s in gen_many("[a-zA-Z0-9 ,%]{0,16}", 300) {
+            assert!(s.len() <= 16);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == ',' || c == '%'));
+        }
+    }
+
+    #[test]
+    fn class_with_escapes_and_trailing_dash() {
+        // Mirrors the csvengine field pattern: quotes, newlines and `-`.
+        let allowed = |c: char| {
+            c.is_ascii_alphanumeric()
+                || " ,\"\n\r%();=_-".contains(c)
+        };
+        let samples = gen_many("[a-zA-Z0-9 ,\"\n\r%();=_-]{0,12}", 500);
+        assert!(samples.iter().any(|s| s.contains('-') || s.contains('\n') || s.contains('"')));
+        for s in samples {
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(allowed), "bad sample {s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        for s in gen_many("ab[01]{3}c?", 100) {
+            assert!(s.starts_with("ab"));
+            let tail = &s[2..];
+            assert!(tail.len() == 3 || tail.len() == 4);
+            assert!(tail[..3].chars().all(|c| c == '0' || c == '1'));
+        }
+    }
+
+    #[test]
+    fn unsupported_constructs_rejected() {
+        assert!(string_regex("(ab)+").is_err());
+        assert!(string_regex("a|b").is_err());
+        assert!(string_regex("[a-z").is_err());
+        assert!(string_regex("a{3,1}").is_err());
+    }
+}
