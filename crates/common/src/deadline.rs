@@ -1,0 +1,133 @@
+//! Query-scoped time budgets.
+//!
+//! A [`Deadline`] is created once per query (or per external request) and
+//! propagated through every layer of the ingest path — scheduler tasks,
+//! connector requests, Swift client dispatch, proxy→object-server hops — so
+//! that no sub-request outlives the budget of the query it serves. Layers
+//! check the deadline before starting (or retrying) work and clamp their
+//! sleeps to the remaining budget, turning a saturated store into a prompt
+//! `deadline` error instead of an unbounded stall.
+//!
+//! `Deadline` is `Copy` and defaults to "no deadline", so threading it
+//! through existing call chains is cheap and backwards compatible.
+
+use crate::error::{Result, ScoopError};
+use std::time::{Duration, Instant};
+
+/// A point in time after which work on behalf of a query must stop.
+///
+/// The default value carries no deadline: [`Deadline::expired`] is always
+/// false and [`Deadline::check`] always succeeds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No deadline: every check passes, sleeps are never clamped.
+    pub fn none() -> Self {
+        Deadline { at: None }
+    }
+
+    /// A deadline `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Deadline { at: Some(Instant::now() + budget) }
+    }
+
+    /// A deadline at an explicit instant.
+    pub fn at(instant: Instant) -> Self {
+        Deadline { at: Some(instant) }
+    }
+
+    /// True if a deadline is set (even if already expired).
+    pub fn is_set(&self) -> bool {
+        self.at.is_some()
+    }
+
+    /// Budget left before the deadline; `None` when no deadline is set.
+    /// Returns `Some(ZERO)` once expired, never a negative-like panic.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at.map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// True once the deadline has passed. A `none()` deadline never expires.
+    pub fn expired(&self) -> bool {
+        matches!(self.remaining(), Some(d) if d.is_zero())
+    }
+
+    /// Fail with a [`ScoopError::DeadlineExceeded`] naming `label` if the
+    /// deadline has passed. The error is *not* retryable: retry loops at
+    /// every layer fail fast instead of burning the exhausted budget.
+    pub fn check(&self, label: &str) -> Result<()> {
+        if self.expired() {
+            Err(ScoopError::DeadlineExceeded(label.to_string()))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The tighter of two deadlines: a layer combining its own budget with
+    /// the query's keeps whichever runs out first.
+    pub fn earliest(&self, other: Deadline) -> Deadline {
+        match (self.at, other.at) {
+            (Some(a), Some(b)) => Deadline { at: Some(a.min(b)) },
+            (Some(a), None) => Deadline { at: Some(a) },
+            (None, b) => Deadline { at: b },
+        }
+    }
+
+    /// Clamp an intended sleep (e.g. a retry backoff) to the remaining
+    /// budget, so a retrying layer never sleeps through its own deadline.
+    pub fn clamp_sleep(&self, sleep: Duration) -> Duration {
+        match self.remaining() {
+            Some(rem) => sleep.min(rem),
+            None => sleep,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.is_set());
+        assert!(!d.expired());
+        assert!(d.remaining().is_none());
+        assert!(d.check("idle").is_ok());
+        assert_eq!(d.clamp_sleep(Duration::from_secs(9)), Duration::from_secs(9));
+    }
+
+    #[test]
+    fn expired_deadline_fails_check_with_deadline_kind() {
+        let d = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(d.expired());
+        let err = d.check("GET /c/o").unwrap_err();
+        assert_eq!(err.kind(), "deadline");
+        assert!(!err.is_retryable(), "deadline errors must fail fast");
+        assert!(err.to_string().contains("GET /c/o"));
+    }
+
+    #[test]
+    fn future_deadline_passes_and_clamps() {
+        let d = Deadline::within(Duration::from_secs(60));
+        assert!(d.is_set());
+        assert!(!d.expired());
+        assert!(d.check("ok").is_ok());
+        assert!(d.clamp_sleep(Duration::from_secs(3600)) <= Duration::from_secs(60));
+        assert_eq!(d.clamp_sleep(Duration::ZERO), Duration::ZERO);
+    }
+
+    #[test]
+    fn earliest_picks_the_tighter_budget() {
+        let near = Deadline::within(Duration::from_millis(10));
+        let far = Deadline::within(Duration::from_secs(60));
+        assert_eq!(near.earliest(far), near);
+        assert_eq!(far.earliest(near), near);
+        assert_eq!(near.earliest(Deadline::none()), near);
+        assert_eq!(Deadline::none().earliest(near), near);
+        assert_eq!(Deadline::none().earliest(Deadline::none()), Deadline::none());
+    }
+}

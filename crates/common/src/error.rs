@@ -35,6 +35,8 @@ pub enum ScoopError {
     Compute(String),
     /// The feature is recognized but intentionally not supported.
     Unsupported(String),
+    /// The query's time budget ran out before the operation completed.
+    DeadlineExceeded(String),
     /// Internal invariant violation; indicates a bug.
     Internal(String),
 }
@@ -54,11 +56,14 @@ impl ScoopError {
             ScoopError::Columnar(_) => "columnar",
             ScoopError::Compute(_) => "compute",
             ScoopError::Unsupported(_) => "unsupported",
+            ScoopError::DeadlineExceeded(_) => "deadline",
             ScoopError::Internal(_) => "internal",
         }
     }
 
     /// True if retrying the same request against another replica could succeed.
+    /// Deadline violations are deliberately excluded: once the budget is
+    /// gone, every retry layer must fail fast rather than keep burning it.
     pub fn is_retryable(&self) -> bool {
         matches!(self, ScoopError::Io(_) | ScoopError::Compute(_))
     }
@@ -78,6 +83,7 @@ impl fmt::Display for ScoopError {
             ScoopError::Columnar(m) => write!(f, "columnar error: {m}"),
             ScoopError::Compute(m) => write!(f, "compute error: {m}"),
             ScoopError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            ScoopError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
             ScoopError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -118,6 +124,14 @@ mod tests {
         assert!(e.is_retryable());
         assert!(std::error::Error::source(&e).is_some());
         assert!(!ScoopError::Sql("nope".into()).is_retryable());
+    }
+
+    #[test]
+    fn deadline_exceeded_is_terminal() {
+        let e = ScoopError::DeadlineExceeded("query q1".into());
+        assert_eq!(e.kind(), "deadline");
+        assert!(!e.is_retryable());
+        assert_eq!(e.to_string(), "deadline exceeded: query q1");
     }
 
     #[test]

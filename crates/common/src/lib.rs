@@ -13,9 +13,11 @@
 //! * [`timeseries`] — collectd-like metric recording for the cluster simulator.
 //! * [`rng`] — deterministic seed derivation so every experiment is reproducible.
 //! * [`retry`] — the shared retry/backoff policy used across the ingest path.
+//! * [`deadline`] — query-scoped time budgets propagated through every layer.
 //! * [`table`] — plain-text table rendering for the reproduction harness.
 
 pub mod bytesize;
+pub mod deadline;
 pub mod error;
 pub mod hash;
 pub mod retry;
@@ -25,6 +27,7 @@ pub mod table;
 pub mod timeseries;
 
 pub use bytesize::ByteSize;
+pub use deadline::Deadline;
 pub use error::{Result, ScoopError};
 pub use retry::RetryPolicy;
 pub use stream::{ByteStream, CountingStream, StreamExt};

@@ -9,6 +9,7 @@
 //! Jitter is drawn from a [`XorShift64`] seeded per policy, so a chaos run
 //! with a fixed master seed replays byte-identically.
 
+use crate::deadline::Deadline;
 use crate::error::{Result, ScoopError};
 use crate::rng::XorShift64;
 use std::time::Duration;
@@ -55,28 +56,66 @@ impl RetryPolicy {
         self
     }
 
+    /// Builder: set the backoff before the first retry.
+    pub fn with_base_delay(mut self, delay: Duration) -> Self {
+        self.base_delay = delay;
+        self
+    }
+
+    /// Builder: set the cap on any single backoff sleep.
+    pub fn with_max_delay(mut self, delay: Duration) -> Self {
+        self.max_delay = delay;
+        self
+    }
+
     /// Backoff before retry number `retry` (0-based): exponential growth
     /// capped at `max_delay`, scaled by a jitter factor in `[0.5, 1.0)` so
     /// concurrent retriers spread out instead of thundering together.
+    ///
+    /// Computed in 128-bit nanoseconds: `base << retry` overflows a u32
+    /// multiplier at retry 32 and u64 nanos soon after, and a wrapped or
+    /// saturated intermediate must never escape the `max_delay` cap.
     pub fn backoff(&self, retry: u32, rng: &mut XorShift64) -> Duration {
-        let exp = self
-            .base_delay
-            .saturating_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX))
-            .min(self.max_delay);
-        exp.mul_f64(0.5 + rng.next_f64() / 2.0)
+        let base = self.base_delay.as_nanos().max(1);
+        let cap = self.max_delay.as_nanos();
+        let exp = if retry >= 64 {
+            cap
+        } else {
+            base.saturating_mul(1u128 << retry).min(cap)
+        };
+        let capped = Duration::from_nanos(u64::try_from(exp).unwrap_or(u64::MAX));
+        capped.mul_f64(0.5 + rng.next_f64() / 2.0)
     }
 
     /// Run `op` until it succeeds, fails non-retryably, or the attempt budget
     /// is exhausted. Returns the value plus the number of retries performed
     /// (0 when the first attempt succeeded).
-    pub fn run<T>(&self, mut op: impl FnMut() -> Result<T>) -> Result<(T, u32)> {
+    pub fn run<T>(&self, op: impl FnMut() -> Result<T>) -> Result<(T, u32)> {
+        self.run_with_deadline(Deadline::none(), "retry", op)
+    }
+
+    /// Like [`RetryPolicy::run`] but bounded by `deadline`: fails with a
+    /// `deadline` error before the first attempt if the budget is already
+    /// gone, stops retrying (surfacing the last real error) once it expires
+    /// mid-loop, and clamps every backoff sleep to the remaining budget.
+    pub fn run_with_deadline<T>(
+        &self,
+        deadline: Deadline,
+        label: &str,
+        mut op: impl FnMut() -> Result<T>,
+    ) -> Result<(T, u32)> {
+        deadline.check(label)?;
         let mut rng = XorShift64::new(self.seed);
         let mut retries = 0u32;
         loop {
             match op() {
                 Ok(v) => return Ok((v, retries)),
-                Err(e) if e.is_retryable() && retries + 1 < self.max_attempts => {
-                    std::thread::sleep(self.backoff(retries, &mut rng));
+                Err(e)
+                    if e.is_retryable()
+                        && retries + 1 < self.max_attempts
+                        && !deadline.expired() =>
+                {
+                    std::thread::sleep(deadline.clamp_sleep(self.backoff(retries, &mut rng)));
                     retries += 1;
                 }
                 Err(e) => return Err(e),
@@ -166,6 +205,57 @@ mod tests {
         assert!(d4 <= Duration::from_millis(35));
         // Huge retry numbers must not overflow the shift.
         let _ = policy.backoff(63, &mut rng);
+    }
+
+    #[test]
+    fn backoff_is_overflow_safe_and_capped_at_high_attempts() {
+        // Regression: a u32-multiplier shift wraps at retry 32 and u64
+        // nanos overflow shortly after; every high attempt count must stay
+        // inside the configured cap (jitter keeps it in [cap/2, cap)).
+        let policy = RetryPolicy::default()
+            .with_base_delay(Duration::from_millis(3))
+            .with_max_delay(Duration::from_millis(40));
+        let mut rng = XorShift64::new(7);
+        for retry in [32u32, 33, 63, 64, 65, 127, 128, u32::MAX] {
+            let d = policy.backoff(retry, &mut rng);
+            assert!(d <= Duration::from_millis(40), "retry {retry} escaped cap: {d:?}");
+            assert!(d >= Duration::from_millis(20), "retry {retry} lost the backoff: {d:?}");
+        }
+        // A sub-nanosecond-free zero base still respects the cap.
+        let zero = RetryPolicy::default()
+            .with_base_delay(Duration::ZERO)
+            .with_max_delay(Duration::from_millis(1));
+        assert!(zero.backoff(40, &mut rng) <= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn expired_deadline_fails_before_first_attempt() {
+        let policy = RetryPolicy::default();
+        let deadline = Deadline::at(std::time::Instant::now() - Duration::from_millis(1));
+        let mut calls = 0;
+        let err = policy
+            .run_with_deadline(deadline, "GET /c/o", || -> Result<()> {
+                calls += 1;
+                Ok(())
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), "deadline");
+        assert_eq!(calls, 0, "no attempt may start after the budget is gone");
+    }
+
+    #[test]
+    fn deadline_expiry_mid_loop_surfaces_the_real_error() {
+        // Tiny budget: the first attempt runs, the deadline lapses, and the
+        // loop returns the underlying I/O error instead of retrying on.
+        let policy = RetryPolicy::default().with_max_attempts(50);
+        let deadline = Deadline::within(Duration::from_millis(2));
+        let err = policy
+            .run_with_deadline(deadline, "GET /c/o", || -> Result<()> {
+                std::thread::sleep(Duration::from_millis(3));
+                Err(ScoopError::Io(std::io::Error::other("slow replica")))
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), "io", "mid-loop expiry keeps the causal error");
     }
 
     #[test]

@@ -69,6 +69,12 @@ pub trait StorageConnector: Send + Sync {
         ))
     }
 
+    /// Propagate a query time budget to the storage layer: requests the
+    /// connector issues afterwards carry this deadline end-to-end (client
+    /// dispatch, proxy routing, object servers). [`scoop_common::Deadline::none`]
+    /// clears it. Connectors without deadline support may ignore it.
+    fn set_deadline(&self, _deadline: scoop_common::Deadline) {}
+
     /// Whether [`StorageConnector::read_pushdown`] executes at the store
     /// (true for Scoop) or must be emulated compute-side (false).
     fn supports_pushdown(&self) -> bool;

@@ -2,7 +2,7 @@
 //! partition, with per-task timing — the in-process equivalent of Spark's
 //! stage execution over its standalone cluster.
 
-use scoop_common::Result;
+use scoop_common::{Deadline, Result};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -47,6 +47,25 @@ where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
 {
+    run_tasks_with_deadline(workers, n_tasks, max_failures, Deadline::none(), task_fn)
+}
+
+/// Like [`run_tasks_with_retry`], but bounded by a query [`Deadline`]:
+/// a task is not *started* (or re-attempted) once the deadline has passed —
+/// it fails with the deadline error (first attempt) or its own last error
+/// (exhausted retries), so a query stops burning workers the moment its
+/// budget is gone.
+pub fn run_tasks_with_deadline<T, F>(
+    workers: usize,
+    n_tasks: usize,
+    max_failures: u32,
+    deadline: Deadline,
+    task_fn: F,
+) -> Vec<TaskResult<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
     let workers = workers.max(1);
     let max_failures = max_failures.max(1);
     let next = AtomicUsize::new(0);
@@ -62,6 +81,13 @@ where
                 let started = Instant::now();
                 let mut attempts = 0u32;
                 let result = loop {
+                    if attempts == 0 {
+                        // Budget already gone before the first attempt:
+                        // fail fast without invoking the task at all.
+                        if let Err(e) = deadline.check(&format!("task {i}")) {
+                            break Err(e);
+                        }
+                    }
                     attempts += 1;
                     // A panicking task must fail its own task, not the job:
                     // the executor survives, like a Spark task failure.
@@ -79,7 +105,15 @@ where
                         )))
                     });
                     match result {
-                        Err(e) if e.is_retryable() && attempts < max_failures => continue,
+                        // An expired deadline stops re-attempts; the task's
+                        // own (real) error surfaces, not a synthetic one.
+                        Err(e)
+                            if e.is_retryable()
+                                && attempts < max_failures
+                                && !deadline.expired() =>
+                        {
+                            continue
+                        }
                         other => break other,
                     }
                 };
@@ -184,6 +218,36 @@ mod tests {
         });
         assert_eq!(results[0].attempts, 1);
         assert!(results[0].result.is_err());
+    }
+
+    #[test]
+    fn expired_deadline_fails_tasks_without_running_them() {
+        use std::sync::atomic::AtomicU32;
+        let calls = AtomicU32::new(0);
+        let expired = Deadline::at(Instant::now() - Duration::from_millis(1));
+        let results = run_tasks_with_deadline(2, 4, 5, expired, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok(i)
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "tasks must not start");
+        for r in &results {
+            assert_eq!(r.result.as_ref().unwrap_err().kind(), "deadline");
+            assert_eq!(r.attempts, 0);
+        }
+    }
+
+    #[test]
+    fn deadline_expiry_mid_run_stops_retries_with_the_real_error() {
+        // Generous-enough budget to start, but each attempt exhausts it:
+        // the retry loop must stop early and surface the task's own error.
+        let deadline = Deadline::within(Duration::from_millis(5));
+        let results = run_tasks_with_deadline(1, 1, 100, deadline, |_| {
+            std::thread::sleep(Duration::from_millis(10));
+            Err::<(), _>(ScoopError::Io(std::io::Error::other("flaky node")))
+        });
+        let r = &results[0];
+        assert_eq!(r.result.as_ref().unwrap_err().kind(), "io");
+        assert!(r.attempts < 100, "retries must stop once the budget is gone");
     }
 
     #[test]

@@ -10,9 +10,9 @@ use crate::columnar_relation::ColumnarRelation;
 use crate::csv_relation::CsvRelation;
 use crate::datasource::PrunedFilteredScan;
 use crate::partition::DEFAULT_CHUNK_SIZE;
-use crate::scheduler::{collect_ok, run_tasks_with_retry, total_retries};
+use crate::scheduler::{collect_ok, run_tasks_with_deadline, total_retries};
 use parking_lot::RwLock;
-use scoop_common::{Result, ScoopError};
+use scoop_common::{Deadline, Result, ScoopError};
 use scoop_csv::{Schema, Value};
 use scoop_sql::catalyst::plan_query;
 use scoop_sql::exec::{execute_with_where, Aggregator, PartialAgg};
@@ -109,6 +109,7 @@ pub struct Session {
     pushdown: bool,
     stats_pruning: bool,
     max_task_failures: u32,
+    time_budget: Option<Duration>,
     tables: RwLock<HashMap<String, TableDef>>,
 }
 
@@ -122,8 +123,18 @@ impl Session {
             pushdown: true,
             stats_pruning: false,
             max_task_failures: DEFAULT_MAX_TASK_FAILURES,
+            time_budget: None,
             tables: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Give every query a wall-clock budget: a [`Deadline`] is created at
+    /// submission, propagated through the connector to every storage hop,
+    /// and enforced by the scheduler — tasks stop being (re)started once the
+    /// budget is gone and the query fails fast instead of hanging.
+    pub fn with_time_budget(mut self, budget: Duration) -> Session {
+        self.time_budget = Some(budget);
+        self
     }
 
     /// Set the partition-discovery chunk size (builder style).
@@ -277,6 +288,14 @@ impl Session {
     /// Parse and execute a SQL query.
     pub fn sql(&self, text: &str) -> Result<QueryOutcome> {
         let started = std::time::Instant::now();
+        // The query's time budget starts at submission and travels two ways:
+        // down the storage path via the connector (stamped on every request)
+        // and into the scheduler (gating task starts and retries).
+        let deadline = match self.time_budget {
+            Some(budget) => Deadline::within(budget),
+            None => Deadline::none(),
+        };
+        self.connector.set_deadline(deadline);
         let query = parse(text)?;
         let def = self.table(&query.table)?;
 
@@ -348,7 +367,7 @@ impl Session {
             None
         };
         let collected = std::sync::atomic::AtomicUsize::new(0);
-        let results = run_tasks_with_retry(self.workers, partitions.len(), self.max_task_failures, |i| {
+        let results = run_tasks_with_deadline(self.workers, partitions.len(), self.max_task_failures, deadline, |i| {
             let part = &partitions[i];
             let out = relation.scan_pruned_filtered(
                 part,
@@ -757,6 +776,24 @@ mod retry_tests {
             .sql("SELECT vid, index FROM largemeter LIMIT 10")
             .unwrap();
         assert_eq!(out.result.rows.len(), 10);
+    }
+
+    #[test]
+    fn time_budget_fails_fast_and_generous_budget_changes_nothing() {
+        // A generous budget is invisible: identical results, no retries.
+        let (unbudgeted, _) = flaky_session(0, DEFAULT_MAX_TASK_FAILURES);
+        let reference = unbudgeted.sql(QUERY).unwrap();
+        let (roomy, _) = flaky_session(0, DEFAULT_MAX_TASK_FAILURES);
+        let roomy = roomy.with_time_budget(Duration::from_secs(60));
+        assert_eq!(roomy.sql(QUERY).unwrap().result, reference.result);
+
+        // A zero budget expires before any task starts: the query fails
+        // with a deadline error instead of running to completion.
+        let (starved, conn) = flaky_session(0, DEFAULT_MAX_TASK_FAILURES);
+        let starved = starved.with_time_budget(Duration::ZERO);
+        let err = starved.sql(QUERY).unwrap_err();
+        assert_eq!(err.kind(), "deadline", "{err}");
+        assert_eq!(conn.faults.load(Ordering::Relaxed), 0);
     }
 }
 

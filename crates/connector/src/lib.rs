@@ -48,6 +48,7 @@ pub struct SwiftConnector {
     pushdown_supported: bool,
     transferred: Arc<AtomicU64>,
     resumes: Arc<AtomicU64>,
+    fallbacks: Arc<AtomicU64>,
 }
 
 impl SwiftConnector {
@@ -73,6 +74,7 @@ impl SwiftConnector {
             pushdown_supported,
             transferred: Arc::new(AtomicU64::new(0)),
             resumes: Arc::new(AtomicU64::new(0)),
+            fallbacks: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -87,6 +89,13 @@ impl SwiftConnector {
         self.resumes.load(Ordering::Relaxed)
     }
 
+    /// Pushdown reads that the store shed for overload (`503` +
+    /// `x-storlet-degraded`) and the connector transparently re-issued as
+    /// plain ranged GETs with client-side filtering.
+    pub fn pushdown_fallbacks(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
     /// Total recovery actions taken: request re-dispatches by the client
     /// plus mid-stream resumes by the connector.
     pub fn retries(&self) -> u64 {
@@ -95,6 +104,38 @@ impl SwiftConnector {
 
     fn path(&self, location: &str, object: &str) -> Result<ObjectPath> {
         ObjectPath::new(self.client.account(), location, object)
+    }
+
+    /// Apply `spec` compute-side over a raw byte stream starting at `start`,
+    /// producing the same record-aligned filtered stream a store-side
+    /// pushdown would have. Shared by the two degradation paths: bronze-tier
+    /// policy stripping and overload shedding.
+    fn filter_client_side(
+        raw: ByteStream,
+        start: u64,
+        end_exclusive: Option<u64>,
+        spec: &PushdownSpec,
+        file_schema: &[String],
+    ) -> Result<ByteStream> {
+        let compiled = scoop_csv::filter::CompiledSpec::compile(spec, file_schema)?;
+        let records = scoop_csv::split::RangedRecordStream::new(raw, start, end_exclusive);
+        let mut skip_header = spec.has_header && start == 0;
+        let filtered = records.filter_map(move |record| match record {
+            Err(e) => Some(Err(e)),
+            Ok(record) => {
+                if skip_header {
+                    skip_header = false;
+                    return None;
+                }
+                let mut out = Vec::new();
+                if compiled.filter_record(&record, &mut out) {
+                    Some(Ok(Bytes::from(out)))
+                } else {
+                    None
+                }
+            }
+        });
+        Ok(Box::new(filtered))
     }
 }
 
@@ -294,6 +335,21 @@ impl StorageConnector for SwiftConnector {
             req = req.with_header(headers::STORLET_RANGE, range.to_header());
         }
         let resp = self.client.request(req)?;
+        if resp.status == 503 && resp.headers.contains(headers::DEGRADED) {
+            // Overload shedding: the storlet engine refused the pushdown.
+            // Degrade transparently to a plain (resumable) ranged GET and
+            // filter compute-side — slower and heavier on the wire, but the
+            // query still completes with identical results.
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            let plain = ResumingStream::open(
+                &self.client,
+                &self.path(location, object)?,
+                start,
+                self.resumes.clone(),
+            )?;
+            let raw = count_consumed(Box::new(plain), self.transferred.clone());
+            return Self::filter_client_side(raw, start, end_exclusive, spec, file_schema);
+        }
         if !resp.is_success() {
             return Err(ScoopError::Io(std::io::Error::other(format!(
                 "pushdown GET {location}/{object} failed with status {}",
@@ -308,29 +364,7 @@ impl StorageConnector for SwiftConnector {
         // transfer, then align + filter client-side so callers still receive
         // the contract's filtered record stream.
         let raw = count_consumed(checked_body(resp, start), self.transferred.clone());
-        let compiled = scoop_csv::filter::CompiledSpec::compile(
-            spec,
-            file_schema,
-        )?;
-        let records =
-            scoop_csv::split::RangedRecordStream::new(raw, start, end_exclusive);
-        let mut skip_header = spec.has_header && start == 0;
-        let filtered = records.filter_map(move |record| match record {
-            Err(e) => Some(Err(e)),
-            Ok(record) => {
-                if skip_header {
-                    skip_header = false;
-                    return None;
-                }
-                let mut out = Vec::new();
-                if compiled.filter_record(&record, &mut out) {
-                    Some(Ok(Bytes::from(out)))
-                } else {
-                    None
-                }
-            }
-        });
-        Ok(Box::new(filtered))
+        Self::filter_client_side(raw, start, end_exclusive, spec, file_schema)
     }
 
     fn fetch_range(&self, location: &str, object: &str, start: u64, end: u64) -> Result<Bytes> {
@@ -380,6 +414,10 @@ impl StorageConnector for SwiftConnector {
             ))));
         }
         Ok(count_consumed(resp.body, self.transferred.clone()))
+    }
+
+    fn set_deadline(&self, deadline: scoop_common::Deadline) {
+        self.client.set_deadline(deadline);
     }
 
     fn supports_pushdown(&self) -> bool {

@@ -20,6 +20,20 @@ use scoop_storlets::{PolicyStore, StorletEngine, StorletMiddleware};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Base seeds are fixed for day-to-day reproducibility; the CI seed matrix
+/// exports `SCOOP_CHAOS_SEED` to perturb every plan, so each matrix leg
+/// explores a different deterministic fault sequence. A matrix failure
+/// reproduces locally by exporting the same value.
+fn seed(base: u64) -> u64 {
+    match std::env::var("SCOOP_CHAOS_SEED") {
+        Ok(s) => {
+            let mix: u64 = s.parse().expect("SCOOP_CHAOS_SEED must be a u64");
+            base ^ mix.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        }
+        Err(_) => base,
+    }
+}
+
 /// ~19 KB of GridPocket-style meter readings — enough for several splits.
 fn meter_csv() -> Bytes {
     let mut out = String::from("vid,date,index,city\n");
@@ -45,6 +59,7 @@ const QUERY: &str = "SELECT vid, sum(index) as total, count(*) as n \
 struct Run {
     cluster: Arc<SwiftCluster>,
     connector: Arc<SwiftConnector>,
+    session: Session,
     outcome: QueryOutcome,
 }
 
@@ -90,7 +105,7 @@ fn run_query(plan: Option<FaultPlan>, pushdown: bool) -> Run {
         None,
     );
     let outcome = session.sql(QUERY).unwrap();
-    Run { cluster, connector, outcome }
+    Run { cluster, connector, session, outcome }
 }
 
 /// Total recovery actions across the stack for a run.
@@ -105,32 +120,88 @@ fn pushdown_query_survives_transient_errors() {
     let reference = run_query(None, true);
     assert_eq!(recoveries(&reference), 0, "fault-free run must not retry");
 
-    let faulted = run_query(Some(FaultPlan::transient_errors(0xE1)), true);
+    let faulted = run_query(Some(FaultPlan::transient_errors(seed(0xE1))), true);
     assert_eq!(
         faulted.outcome.result, reference.outcome.result,
         "results diverge under transient errors"
     );
+    // A single query samples only a couple dozen fault rolls, so under an
+    // arbitrary matrix seed one pass can come up clean; soak until the
+    // plan's faults actually fire and something recovers.
+    let mut task_retries = faulted.outcome.metrics.task_retries;
+    for _ in 0..12 {
+        let stats = faulted.cluster.fault_stats();
+        let recovered =
+            faulted.cluster.replica_failovers() + faulted.connector.retries() + task_retries;
+        if stats.errors > 0 && recovered > 0 {
+            break;
+        }
+        let out = faulted.session.sql(QUERY).unwrap();
+        assert_eq!(
+            out.result, reference.outcome.result,
+            "results diverge under transient errors"
+        );
+        task_retries += out.metrics.task_retries;
+    }
     let stats = faulted.cluster.fault_stats();
     assert!(stats.errors > 0, "no faults fired: {stats:?}");
-    assert!(recoveries(&faulted) > 0, "faults fired but nothing recovered");
+    assert!(
+        faulted.cluster.replica_failovers() + faulted.connector.retries() + task_retries > 0,
+        "faults fired but nothing recovered"
+    );
 }
 
 #[test]
 fn pushdown_query_survives_truncated_bodies() {
     let reference = run_query(None, true);
-    let faulted = run_query(Some(FaultPlan::truncated_bodies(0x7B)), true);
+    // The pushdown arm samples only ~10 reads (one GET per task), so the
+    // preset 0.25 rate leaves a fat zero-truncation tail under arbitrary
+    // matrix seeds; 0.5 keeps every leg exercising the re-execution path.
+    let faulted = run_query(
+        Some(FaultPlan::quiet(seed(0x7B)).with_truncate_rate(0.5)),
+        true,
+    );
     assert_eq!(
         faulted.outcome.result, reference.outcome.result,
         "results diverge under truncated bodies"
     );
+    // A truncated pushdown stream is only detectable once the storlet's
+    // length-checked body runs dry mid-split — a cut past the split's
+    // logical end is never even pulled, so not every truncation is
+    // observable. Soak over more rounds until one lands inside a consumed
+    // range: a detected truncation either re-executes the broken task,
+    // resumes a broken plain read, or — once a retry budget is exhausted —
+    // fails the query loudly. What it must never do is silently drop
+    // records, which the byte-identity check on every successful round
+    // rules out.
+    let mut detections =
+        faulted.outcome.metrics.task_retries + faulted.connector.stream_resumes();
+    for _round in 0..12 {
+        if detections > 0 {
+            break;
+        }
+        match faulted.session.sql(QUERY) {
+            Ok(out) => {
+                assert_eq!(
+                    out.result, reference.outcome.result,
+                    "results diverge under truncated bodies"
+                );
+                detections += out.metrics.task_retries + faulted.connector.stream_resumes();
+            }
+            Err(e) => {
+                assert!(
+                    e.to_string().contains("truncated"),
+                    "job failed for a non-truncation reason: {e}"
+                );
+                detections += 1;
+            }
+        }
+    }
     let stats = faulted.cluster.fault_stats();
     assert!(stats.truncations > 0, "no truncations fired: {stats:?}");
-    // A truncated pushdown stream is only detectable once the storlet's
-    // length-checked body runs dry mid-split; the task whose stream broke
-    // must have been re-executed.
     assert!(
-        faulted.outcome.metrics.task_retries > 0,
-        "truncations fired but no task was re-executed"
+        detections > 0,
+        "truncations fired but none was ever detected: {stats:?}"
     );
 }
 
@@ -138,13 +209,25 @@ fn pushdown_query_survives_truncated_bodies() {
 fn pushdown_query_survives_stalled_streams() {
     let reference = run_query(None, true);
     let faulted = run_query(
-        Some(FaultPlan::stalled_reads(0x5A).with_stalls(0.3, Duration::from_micros(300))),
+        Some(FaultPlan::stalled_reads(seed(0x5A)).with_stalls(0.3, Duration::from_micros(300))),
         true,
     );
     assert_eq!(
         faulted.outcome.result, reference.outcome.result,
         "results diverge under stalled reads"
     );
+    // Stalls delay but never fail, so soaking extra rounds is cheap; keep
+    // reading until the plan actually fires one.
+    for _ in 0..12 {
+        if faulted.cluster.fault_stats().stalls > 0 {
+            break;
+        }
+        let out = faulted.session.sql(QUERY).unwrap();
+        assert_eq!(
+            out.result, reference.outcome.result,
+            "results diverge under stalled reads"
+        );
+    }
     let stats = faulted.cluster.fault_stats();
     assert!(stats.stalls > 0, "no stalls fired: {stats:?}");
 }
@@ -163,7 +246,7 @@ fn pushdown_query_survives_node_down_window() {
     let first_node = ring.device(ring.lookup(&key)[0]).node;
     drop(ring);
     let faulted = run_query(
-        Some(FaultPlan::quiet(0xD0).with_down_window(first_node, 0, u64::MAX)),
+        Some(FaultPlan::quiet(seed(0xD0)).with_down_window(first_node, 0, u64::MAX)),
         true,
     );
     assert_eq!(
@@ -185,7 +268,7 @@ fn vanilla_query_resumes_plain_reads_mid_stream() {
     // last consumed offset rather than re-running the task.
     let reference = run_query(None, false);
     let faulted = run_query(
-        Some(FaultPlan::quiet(0xF1).with_error_rate(0.2).with_truncate_rate(0.2)),
+        Some(FaultPlan::quiet(seed(0xF1)).with_error_rate(0.2).with_truncate_rate(0.2)),
         false,
     );
     assert_eq!(
@@ -193,15 +276,39 @@ fn vanilla_query_resumes_plain_reads_mid_stream() {
         "results diverge on the vanilla arm"
     );
     assert_eq!(reference.outcome.result, run_query(None, true).outcome.result);
+    let mut task_retries = faulted.outcome.metrics.task_retries;
+    for _ in 0..12 {
+        let stats = faulted.cluster.fault_stats();
+        let recovered = faulted.cluster.replica_failovers()
+            + faulted.connector.retries()
+            + faulted.connector.stream_resumes()
+            + task_retries;
+        if stats.errors + stats.truncations > 0 && recovered > 0 {
+            break;
+        }
+        let out = faulted.session.sql(QUERY).unwrap();
+        assert_eq!(
+            out.result, reference.outcome.result,
+            "results diverge on the vanilla arm"
+        );
+        task_retries += out.metrics.task_retries;
+    }
     let stats = faulted.cluster.fault_stats();
     assert!(stats.errors + stats.truncations > 0, "no faults fired: {stats:?}");
-    assert!(recoveries(&faulted) > 0, "faults fired but nothing recovered");
+    assert!(
+        faulted.cluster.replica_failovers()
+            + faulted.connector.retries()
+            + faulted.connector.stream_resumes()
+            + task_retries
+            > 0,
+        "faults fired but nothing recovered"
+    );
 }
 
 #[test]
 fn mixed_faults_full_stack_soak() {
     let reference = run_query(None, true);
-    let plan = FaultPlan::quiet(0xC4A05)
+    let plan = FaultPlan::quiet(seed(0xC4A05))
         .with_error_rate(0.12)
         .with_truncate_rate(0.08)
         .with_stalls(0.05, Duration::from_micros(100))

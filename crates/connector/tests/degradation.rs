@@ -1,0 +1,213 @@
+//! Overload-protection e2e suite: a cluster suffering a sustained slow
+//! node, a dead replica node, and a saturated storlet engine must still
+//! answer the Table I-style query within its time budget — and with
+//! byte-identical results — when the protection stack is on:
+//!
+//! * hedged GETs race a healthy replica past the slow one,
+//! * the circuit breaker learns the dead node and skips it proactively,
+//! * shed pushdown requests (`503` + `x-storlet-degraded`) fall back to a
+//!   plain ranged GET with client-side filtering.
+//!
+//! The control arm runs the *same* fault plan and budget with breakers and
+//! hedging disabled and must measurably violate the deadline.
+
+use bytes::Bytes;
+use scoop_common::RetryPolicy;
+use scoop_compute::{QueryOutcome, Session, TableFormat};
+use scoop_connector::SwiftConnector;
+use scoop_objectstore::middleware::Pipeline;
+use scoop_objectstore::{BreakerConfig, FaultPlan, ObjectPath, SwiftCluster, SwiftConfig};
+use scoop_storlets::{AdaptivePolicy, PolicyStore, StorletEngine, StorletMiddleware};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// ~19 KB of GridPocket-style meter readings — enough for several splits.
+fn meter_csv() -> Bytes {
+    let mut out = String::from("vid,date,index,city\n");
+    for i in 0..400 {
+        out.push_str(&format!(
+            "m{:02},2015-{:02}-{:02} 10:0{}:00,{}.{},{}\n",
+            i % 20,
+            i % 12 + 1,
+            i % 28 + 1,
+            i % 10,
+            i,
+            i % 100,
+            ["Rotterdam", "Paris", "Utrecht", "Delft"][i % 4],
+        ));
+    }
+    Bytes::from(out)
+}
+
+const QUERY: &str = "SELECT vid, sum(index) as total, count(*) as n \
+    FROM meters WHERE date LIKE '2015-01%' AND city LIKE 'Rotterdam' \
+    GROUP BY vid ORDER BY vid";
+
+/// Per-read latency of the slow node. Shed pushdown GETs are refused before
+/// any backend read, so each task pays exactly one slow read — the plain
+/// fallback GET. The unprotected arm's wall time is therefore sleep-bound
+/// (one `SLOW_READ` per task over the worker pool) regardless of host
+/// speed; the protected arm hedges past it in milliseconds.
+const SLOW_READ: Duration = Duration::from_millis(500);
+
+/// Hedge threshold: far above a healthy in-process replica read (~µs), far
+/// below `SLOW_READ`.
+const HEDGE_AFTER: Duration = Duration::from_millis(3);
+
+/// Query wall-clock budget shared by both arms. The unprotected arm's
+/// sleep-bound floor (≥ 10 tasks × 500 ms over 2 workers = 2.5 s) sits
+/// well past it; the protected arm's hedge-bound cost sits well under.
+const BUDGET: Duration = Duration::from_millis(1500);
+
+struct Run {
+    cluster: Arc<SwiftCluster>,
+    connector: Arc<SwiftConnector>,
+    engine: Arc<StorletEngine>,
+    outcome: scoop_common::Result<QueryOutcome>,
+}
+
+/// Build a storlet-enabled cluster from `config`, optionally saturate the
+/// engine's admission slots, load the fixture, and run the pushdown query
+/// under `budget`.
+fn run_query(config: SwiftConfig, saturate: bool, budget: Option<Duration>) -> Run {
+    let cluster = SwiftCluster::new(config).unwrap();
+    let engine = Arc::new(StorletEngine::with_builtin_filters());
+    let mut obj = Pipeline::new();
+    obj.push(Arc::new(StorletMiddleware::new(engine.clone())));
+    cluster.set_object_pipeline(obj);
+    let mut proxy = Pipeline::new();
+    proxy.push(Arc::new(StorletMiddleware::with_policy(
+        engine.clone(),
+        Arc::new(PolicyStore::new()),
+    )));
+    cluster.set_proxy_pipeline(proxy);
+    if saturate {
+        // Zero concurrency and zero burst slots: every pushdown GET sheds.
+        let policy = AdaptivePolicy {
+            max_concurrent_invocations: Some(0),
+            max_queue_depth: 0,
+            ..AdaptivePolicy::default()
+        };
+        policy.apply_admission(&engine);
+    }
+
+    let client = cluster
+        .anonymous_client("AUTH_gp")
+        .with_retry(RetryPolicy::default());
+    client.create_container("meters");
+    client.put_object("meters", "jan.csv", meter_csv()).unwrap();
+
+    let connector = SwiftConnector::new(client);
+    let mut session = Session::new(connector.clone(), 2)
+        .with_chunk_size(2048)
+        .with_max_task_failures(10);
+    if let Some(b) = budget {
+        session = session.with_time_budget(b);
+    }
+    session.register_table(
+        "meters",
+        "meters",
+        None,
+        TableFormat::Csv { has_header: true },
+        None,
+    );
+    let outcome = session.sql(QUERY);
+    Run { cluster, connector, engine, outcome }
+}
+
+/// The sustained overload plan: the object's first replica sits on a slow
+/// node, its second replica on a node that is down for the whole run.
+fn overload_plan(probe: &SwiftCluster, seed: u64) -> FaultPlan {
+    let key = ObjectPath::new("AUTH_gp", "meters", "jan.csv")
+        .unwrap()
+        .ring_key();
+    let ring = probe.ring();
+    let ring = ring.read();
+    let replicas = ring.lookup(&key);
+    let slow_node = ring.device(replicas[0]).node;
+    let down_node = ring.device(replicas[1]).node;
+    drop(ring);
+    FaultPlan::quiet(seed)
+        .with_slow_node(slow_node, SLOW_READ)
+        .with_down_window(down_node, 0, u64::MAX)
+}
+
+#[test]
+fn protected_query_beats_its_budget_under_sustained_overload() {
+    // Fault-free, unsaturated, unbudgeted reference run for byte identity.
+    let reference = run_query(SwiftConfig::default(), false, None);
+    let reference_outcome = reference.outcome.unwrap();
+
+    // Ring construction is deterministic for a fixed config, so the
+    // reference cluster's ring predicts the overloaded cluster's replicas.
+    let plan = overload_plan(&reference.cluster, 0xD16);
+    let protected = run_query(
+        SwiftConfig {
+            fault_plan: Some(plan),
+            breaker: Some(BreakerConfig {
+                failure_threshold: 2,
+                open_for: Duration::from_millis(100),
+            }),
+            hedge_after: Some(HEDGE_AFTER),
+            ..SwiftConfig::default()
+        },
+        true,
+        Some(BUDGET),
+    );
+    let outcome = protected
+        .outcome
+        .expect("protected query must complete within its budget");
+    assert_eq!(
+        outcome.result, reference_outcome.result,
+        "degraded-mode results diverge from the fault-free run"
+    );
+
+    // The faults actually fired…
+    let stats = protected.cluster.fault_stats();
+    assert!(stats.slow_node_delays > 0, "slow node never hit: {stats:?}");
+    assert!(stats.down_rejections > 0, "down node never hit: {stats:?}");
+    assert!(
+        protected.engine.admission_sheds() > 0,
+        "saturated engine never shed a pushdown request"
+    );
+    // …and every protection layer did real work.
+    assert!(
+        protected.cluster.hedged_gets() > 0,
+        "no hedge was launched against the slow node"
+    );
+    assert!(
+        protected.cluster.hedge_wins() > 0,
+        "no hedge beat the slow first replica"
+    );
+    assert!(
+        protected.cluster.breaker_skips() > 0,
+        "the breaker never skipped the dead node"
+    );
+    assert!(
+        protected.connector.pushdown_fallbacks() > 0,
+        "no shed pushdown fell back to a plain read"
+    );
+}
+
+#[test]
+fn unprotected_query_violates_the_same_budget() {
+    let probe = run_query(SwiftConfig::default(), false, None);
+    let plan = overload_plan(&probe.cluster, 0xD17);
+    // Same faults, same saturation, same budget — no breaker, no hedging.
+    let unprotected = run_query(
+        SwiftConfig {
+            fault_plan: Some(plan),
+            ..SwiftConfig::default()
+        },
+        true,
+        Some(BUDGET),
+    );
+    let err = unprotected
+        .outcome
+        .expect_err("sequential replica reads through the slow node must exhaust the budget");
+    assert_eq!(err.kind(), "deadline", "{err}");
+    assert!(
+        unprotected.cluster.fault_stats().slow_node_delays > 0,
+        "slow node never hit — the violation proves nothing"
+    );
+}

@@ -17,7 +17,11 @@
 //!   slow disk or an overloaded server;
 //! * **down windows** — a node rejects every operation while the injector's
 //!   logical clock (a global op counter) is inside a configured window,
-//!   modelling a reboot.
+//!   modelling a reboot;
+//! * **slow nodes** — every read served by a configured node is delayed by a
+//!   fixed latency skew (the node still answers correctly), modelling a
+//!   degraded disk or an overloaded server. This is the tail-latency class
+//!   the proxy's hedged GETs and circuit breaker are built to absorb.
 //!
 //! Probabilistic faults respect `max_consecutive`: after that many
 //! back-to-back injections the next operation is forced through cleanly, so
@@ -43,6 +47,15 @@ pub struct DownWindow {
     pub to_op: u64,
 }
 
+/// A node whose reads are uniformly delayed by a latency skew.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowNode {
+    /// Node whose reads are delayed.
+    pub node: u32,
+    /// Added latency per read on that node.
+    pub delay: Duration,
+}
+
 /// What faults to inject, with what probability, from what seed.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
@@ -61,6 +74,8 @@ pub struct FaultPlan {
     pub max_consecutive: u32,
     /// Scheduled per-node outages on the op-counter clock.
     pub down_windows: Vec<DownWindow>,
+    /// Nodes whose every read is delayed by a fixed latency skew.
+    pub slow_nodes: Vec<SlowNode>,
 }
 
 impl FaultPlan {
@@ -74,6 +89,7 @@ impl FaultPlan {
             stall: Duration::from_millis(1),
             max_consecutive: 2,
             down_windows: Vec::new(),
+            slow_nodes: Vec::new(),
         }
     }
 
@@ -122,6 +138,12 @@ impl FaultPlan {
         self.max_consecutive = cap;
         self
     }
+
+    /// Builder: delay every read served by `node` by `delay`.
+    pub fn with_slow_node(mut self, node: u32, delay: Duration) -> Self {
+        self.slow_nodes.push(SlowNode { node, delay });
+        self
+    }
 }
 
 /// Monotonic counters of injected faults, for assertions and reporting.
@@ -135,6 +157,8 @@ pub struct FaultStats {
     pub stalls: AtomicU64,
     /// Operations rejected inside a down window.
     pub down_rejections: AtomicU64,
+    /// Reads delayed by the slow-node latency skew.
+    pub slow_node_delays: AtomicU64,
     /// Operations that passed through unharmed.
     pub clean_ops: AtomicU64,
 }
@@ -150,6 +174,8 @@ pub struct FaultStatsSnapshot {
     pub stalls: u64,
     /// Operations rejected inside a down window.
     pub down_rejections: u64,
+    /// Reads delayed by the slow-node latency skew.
+    pub slow_node_delays: u64,
     /// Operations that passed through unharmed.
     pub clean_ops: u64,
 }
@@ -158,6 +184,7 @@ impl FaultStatsSnapshot {
     /// Total faults of every class.
     pub fn total_faults(&self) -> u64 {
         self.errors + self.truncations + self.stalls + self.down_rejections
+            + self.slow_node_delays
     }
 }
 
@@ -169,6 +196,7 @@ enum Fault {
     Truncate,
     Stall,
     Down,
+    SlowNode,
 }
 
 /// Shared fault decision engine: one per cluster, consulted by every
@@ -207,6 +235,7 @@ impl FaultInjector {
             truncations: self.stats.truncations.load(Ordering::Relaxed),
             stalls: self.stats.stalls.load(Ordering::Relaxed),
             down_rejections: self.stats.down_rejections.load(Ordering::Relaxed),
+            slow_node_delays: self.stats.slow_node_delays.load(Ordering::Relaxed),
             clean_ops: self.stats.clean_ops.load(Ordering::Relaxed),
         }
     }
@@ -231,6 +260,13 @@ impl FaultInjector {
         {
             self.stats.down_rejections.fetch_add(1, Ordering::Relaxed);
             return Fault::Down;
+        }
+        // Slow nodes are scheduled like down windows, not sampled: the skew
+        // models a persistently degraded node, so every read it serves is
+        // delayed. Delays never fail, so they skip the consecutive cap.
+        if is_read && self.plan.slow_nodes.iter().any(|s| s.node == node) {
+            self.stats.slow_node_delays.fetch_add(1, Ordering::Relaxed);
+            return Fault::SlowNode;
         }
         let mut consecutive = self.consecutive.lock();
         if *consecutive >= self.plan.max_consecutive {
@@ -306,6 +342,17 @@ impl ChaosBackend {
             _ => Ok(()),
         }
     }
+
+    /// Latency skew configured for this node (zero when not a slow node).
+    fn slow_delay(&self) -> Duration {
+        self.injector
+            .plan
+            .slow_nodes
+            .iter()
+            .find(|s| s.node == self.node)
+            .map(|s| s.delay)
+            .unwrap_or_default()
+    }
 }
 
 impl StorageBackend for ChaosBackend {
@@ -320,6 +367,10 @@ impl StorageBackend for ChaosBackend {
             Fault::TransientError => Err(self.transient("get")),
             Fault::Stall => {
                 std::thread::sleep(self.injector.plan.stall);
+                self.inner.get(key)
+            }
+            Fault::SlowNode => {
+                std::thread::sleep(self.slow_delay());
                 self.inner.get(key)
             }
             Fault::Truncate => {
@@ -337,6 +388,10 @@ impl StorageBackend for ChaosBackend {
             Fault::TransientError => Err(self.transient("get_range")),
             Fault::Stall => {
                 std::thread::sleep(self.injector.plan.stall);
+                self.inner.get_range(key, start, end)
+            }
+            Fault::SlowNode => {
+                std::thread::sleep(self.slow_delay());
                 self.inner.get_range(key, start, end)
             }
             Fault::Truncate => {
@@ -475,6 +530,26 @@ mod tests {
         };
         assert_eq!(outcomes(11), outcomes(11));
         assert_ne!(outcomes(11), outcomes(12));
+    }
+
+    #[test]
+    fn slow_node_delays_reads_but_serves_full_bodies() {
+        let (b, inj) = chaos(FaultPlan::quiet(9).with_slow_node(0, Duration::from_millis(2)));
+        let t0 = std::time::Instant::now();
+        for _ in 0..3 {
+            assert_eq!(b.get("/a/c/o").unwrap().data.len(), 1000);
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(6), "skew never applied");
+        let stats = inj.stats();
+        assert_eq!(stats.slow_node_delays, 3);
+        assert_eq!(stats.errors + stats.truncations, 0);
+        // The skew is read-only and per-node: writes here and reads on other
+        // nodes pass untouched.
+        b.put("/a/c/p", seeded_obj()).unwrap();
+        assert_eq!(inj.stats().slow_node_delays, 3);
+        let other = ChaosBackend::new(Arc::new(MemBackend::new()), 1, inj.clone());
+        let _ = other.get("/missing");
+        assert_eq!(inj.stats().slow_node_delays, 3);
     }
 
     #[test]

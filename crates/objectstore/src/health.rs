@@ -1,0 +1,249 @@
+//! Per-node health tracking and the proxy's circuit breaker.
+//!
+//! PR 1's replica failover rediscovers a dead or failing node by paying its
+//! timeout on *every* GET. The breaker makes that discovery stick: each
+//! node carries a closed → open → half-open state machine fed by the
+//! outcome of every replica request, and the proxy consults it before
+//! dispatching a read so replicas on repeatedly-failing nodes are skipped
+//! proactively.
+//!
+//! * **Closed** — healthy; failures are counted, successes reset the count.
+//! * **Open** — after `failure_threshold` consecutive failures the node is
+//!   skipped outright for `open_for`. The error that tripped the breaker is
+//!   remembered so a GET whose replicas were all short-circuited still
+//!   surfaces a *retryable* error, never a fabricated not-found.
+//! * **Half-open** — once `open_for` elapses, probe traffic is admitted
+//!   again: one success closes the breaker (re-admission is unconditional —
+//!   no permanent lockout), one failure re-opens it.
+//!
+//! The breaker is consulted for reads only. Writes always try every
+//! assigned replica: skipping one would silently shrink the write quorum.
+//!
+//! All transitions take an explicit `now: Instant` (with `Instant::now()`
+//! convenience wrappers) so the property tests can drive synthetic time.
+
+use parking_lot::Mutex;
+use scoop_common::ScoopError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Circuit-breaker tuning shared by every node's state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip a node's breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker short-circuits before admitting a probe.
+    pub open_for: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_for: Duration::from_millis(50),
+        }
+    }
+}
+
+/// One node's breaker state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum State {
+    /// Healthy; tracks the current run of consecutive failures.
+    Closed { consecutive_failures: u32 },
+    /// Tripped; short-circuits requests until the probe time.
+    Open { until: Instant },
+    /// Probing; the next outcome decides between closed and open.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct NodeState {
+    state: State,
+    /// Message of the failure that tripped (or last fed) the breaker.
+    last_error: Option<String>,
+}
+
+impl NodeState {
+    fn new() -> NodeState {
+        NodeState { state: State::Closed { consecutive_failures: 0 }, last_error: None }
+    }
+}
+
+/// Cluster-wide per-node health registry. One instance is shared by all
+/// proxies so every replica outcome, wherever observed, feeds the same
+/// breaker.
+#[derive(Debug)]
+pub struct NodeHealth {
+    config: BreakerConfig,
+    nodes: Mutex<HashMap<u32, NodeState>>,
+    skips: AtomicU64,
+}
+
+impl NodeHealth {
+    /// Build a registry with the given tuning.
+    pub fn new(config: BreakerConfig) -> Arc<NodeHealth> {
+        Arc::new(NodeHealth { config, nodes: Mutex::new(HashMap::new()), skips: AtomicU64::new(0) })
+    }
+
+    /// The tuning this registry runs.
+    pub fn config(&self) -> BreakerConfig {
+        self.config
+    }
+
+    /// Read requests short-circuited by an open breaker.
+    pub fn skips(&self) -> u64 {
+        self.skips.load(Ordering::Relaxed)
+    }
+
+    /// Should a read be dispatched to `node` right now?
+    pub fn admit(&self, node: u32) -> bool {
+        self.admit_at(node, Instant::now())
+    }
+
+    /// [`NodeHealth::admit`] on an explicit clock. An open breaker whose
+    /// window has elapsed moves to half-open and admits the probe, so a
+    /// recovered node is always re-admitted eventually.
+    pub fn admit_at(&self, node: u32, now: Instant) -> bool {
+        let mut nodes = self.nodes.lock();
+        let entry = nodes.entry(node).or_insert_with(NodeState::new);
+        match entry.state {
+            State::Closed { .. } | State::HalfOpen => true,
+            State::Open { until } => {
+                if now >= until {
+                    entry.state = State::HalfOpen;
+                    true
+                } else {
+                    self.skips.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful replica request on `node`: closes the breaker
+    /// from any state and clears the run of failures.
+    pub fn record_success(&self, node: u32) {
+        let mut nodes = self.nodes.lock();
+        let entry = nodes.entry(node).or_insert_with(NodeState::new);
+        entry.state = State::Closed { consecutive_failures: 0 };
+        entry.last_error = None;
+    }
+
+    /// Record a failed replica request on `node`.
+    pub fn record_failure(&self, node: u32, error: &ScoopError) {
+        self.record_failure_at(node, Instant::now(), error);
+    }
+
+    /// [`NodeHealth::record_failure`] on an explicit clock.
+    pub fn record_failure_at(&self, node: u32, now: Instant, error: &ScoopError) {
+        let mut nodes = self.nodes.lock();
+        let entry = nodes.entry(node).or_insert_with(NodeState::new);
+        entry.last_error = Some(error.to_string());
+        entry.state = match entry.state {
+            State::Closed { consecutive_failures } => {
+                let failures = consecutive_failures + 1;
+                if failures >= self.config.failure_threshold {
+                    State::Open { until: now + self.config.open_for }
+                } else {
+                    State::Closed { consecutive_failures: failures }
+                }
+            }
+            // A failed probe re-opens the breaker for a fresh window.
+            State::HalfOpen => State::Open { until: now + self.config.open_for },
+            State::Open { until } => State::Open { until },
+        };
+    }
+
+    /// The error remembered from the node's last failure, rebuilt as a
+    /// *retryable* I/O error. A GET whose candidate replicas were all
+    /// short-circuited reports this instead of a fabricated not-found, so
+    /// upstream retry layers keep treating the condition as transient.
+    pub fn last_error(&self, node: u32) -> Option<ScoopError> {
+        self.nodes.lock().get(&node).and_then(|s| {
+            s.last_error.as_ref().map(|msg| {
+                ScoopError::Io(std::io::Error::other(format!(
+                    "node {node} circuit open: {msg}"
+                )))
+            })
+        })
+    }
+
+    /// True if `node`'s breaker is currently open on the given clock.
+    pub fn is_open(&self, node: u32, now: Instant) -> bool {
+        matches!(
+            self.nodes.lock().get(&node).map(|s| &s.state),
+            Some(State::Open { until }) if now < *until
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn io_err() -> ScoopError {
+        ScoopError::Io(std::io::Error::other("replica timed out"))
+    }
+
+    #[test]
+    fn trips_after_threshold_and_short_circuits() {
+        let health = NodeHealth::new(BreakerConfig::default());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert!(health.admit_at(0, t0));
+            health.record_failure_at(0, t0, &io_err());
+        }
+        assert!(!health.admit_at(0, t0), "breaker should be open");
+        assert_eq!(health.skips(), 1);
+        let err = health.last_error(0).expect("open breaker remembers its error");
+        assert!(err.is_retryable(), "remembered error must stay retryable");
+        assert!(err.to_string().contains("replica timed out"));
+    }
+
+    #[test]
+    fn half_open_probe_success_closes() {
+        let config = BreakerConfig { failure_threshold: 1, open_for: Duration::from_secs(5) };
+        let health = NodeHealth::new(config);
+        let t0 = Instant::now();
+        health.record_failure_at(7, t0, &io_err());
+        assert!(!health.admit_at(7, t0 + Duration::from_secs(1)));
+        // Window elapsed: the probe is admitted, its success closes.
+        assert!(health.admit_at(7, t0 + Duration::from_secs(6)));
+        health.record_success(7);
+        assert!(health.admit_at(7, t0 + Duration::from_secs(6)));
+        assert!(health.last_error(7).is_none());
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let config = BreakerConfig { failure_threshold: 1, open_for: Duration::from_secs(5) };
+        let health = NodeHealth::new(config);
+        let t0 = Instant::now();
+        health.record_failure_at(2, t0, &io_err());
+        let probe_time = t0 + Duration::from_secs(6);
+        assert!(health.admit_at(2, probe_time));
+        health.record_failure_at(2, probe_time, &io_err());
+        assert!(!health.admit_at(2, probe_time + Duration::from_secs(1)));
+        // ... but the fresh window still expires.
+        assert!(health.admit_at(2, probe_time + Duration::from_secs(6)));
+    }
+
+    #[test]
+    fn unknown_nodes_are_admitted() {
+        let health = NodeHealth::new(BreakerConfig::default());
+        assert!(health.admit(99));
+        assert!(health.last_error(99).is_none());
+    }
+
+    #[test]
+    fn success_resets_the_failure_run() {
+        let health = NodeHealth::new(BreakerConfig { failure_threshold: 2, ..Default::default() });
+        let t0 = Instant::now();
+        health.record_failure_at(1, t0, &io_err());
+        health.record_success(1);
+        health.record_failure_at(1, t0, &io_err());
+        assert!(health.admit_at(1, t0), "interleaved successes keep the breaker closed");
+    }
+}

@@ -17,8 +17,10 @@
 //!   injection and repair ([`replication`]), and pluggable storage
 //!   **backends** (memory / disk) ([`backend`]).
 //! * A deterministic **fault-injection** layer ([`fault`]) that wraps device
-//!   backends with seeded transient errors, truncated bodies, stalled reads
-//!   and per-node down windows for the chaos test suite.
+//!   backends with seeded transient errors, truncated bodies, stalled reads,
+//!   per-node down windows and slow-node latency skew for the chaos suite.
+//! * Per-node **health tracking** ([`health`]): the closed → open →
+//!   half-open circuit breaker the proxies consult before replica reads.
 //!
 //! The top-level entry point is [`swift::SwiftCluster`], which assembles the
 //! tiers exactly like the paper's testbed (6 proxies, 29 object servers, 10
@@ -27,6 +29,7 @@
 pub mod auth;
 pub mod backend;
 pub mod fault;
+pub mod health;
 pub mod middleware;
 pub mod objserver;
 pub mod path;
@@ -36,7 +39,10 @@ pub mod request;
 pub mod ring;
 pub mod swift;
 
-pub use fault::{ChaosBackend, DownWindow, FaultInjector, FaultPlan, FaultStatsSnapshot};
+pub use fault::{
+    ChaosBackend, DownWindow, FaultInjector, FaultPlan, FaultStatsSnapshot, SlowNode,
+};
+pub use health::{BreakerConfig, NodeHealth};
 pub use path::ObjectPath;
 pub use request::{Method, Request, Response};
 pub use ring::{DeviceId, Ring, RingBuilder};

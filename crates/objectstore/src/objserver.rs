@@ -31,17 +31,25 @@ pub const STAGE_PROXY: &str = "proxy";
 /// Stage value at object servers.
 pub const STAGE_OBJECT: &str = "object";
 
+/// Per-upload idempotency token header. The client stamps every logical PUT
+/// with a fresh token; a re-dispatched PUT whose first attempt already
+/// landed on a replica is acked without re-storing, so it cannot
+/// double-count toward the write quorum.
+pub const UPLOAD_TOKEN_HEADER: &str = "x-upload-token";
+
 /// Monotonic counters exposed for experiments (bytes served, request counts).
 #[derive(Debug, Default)]
 pub struct ServerStats {
     /// GET requests served.
     pub gets: AtomicU64,
-    /// PUT requests served.
+    /// PUT requests served (actual stores; deduplicated re-PUTs excluded).
     pub puts: AtomicU64,
     /// Payload bytes written by PUTs.
     pub bytes_in: AtomicU64,
     /// Payload bytes read by GETs (before any middleware filtering).
     pub bytes_out: AtomicU64,
+    /// Re-dispatched PUTs acked idempotently via their upload token.
+    pub deduped_puts: AtomicU64,
 }
 
 impl ServerStats {
@@ -51,6 +59,7 @@ impl ServerStats {
             puts: self.puts.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            deduped_puts: self.deduped_puts.load(Ordering::Relaxed),
         }
     }
 }
@@ -60,12 +69,14 @@ impl ServerStats {
 pub struct StatsSnapshot {
     /// GET requests served.
     pub gets: u64,
-    /// PUT requests served.
+    /// PUT requests served (actual stores).
     pub puts: u64,
     /// Payload bytes written.
     pub bytes_in: u64,
     /// Payload bytes read.
     pub bytes_out: u64,
+    /// Re-dispatched PUTs acked idempotently via their upload token.
+    pub deduped_puts: u64,
 }
 
 /// An object server hosting several devices.
@@ -156,6 +167,8 @@ impl ObjectServer {
                 self.id
             ))));
         }
+        req.deadline
+            .check(&format!("object server {} {:?}", self.id, req.method))?;
         let backend = self.backend(device)?;
         req.headers.set(STAGE_HEADER, STAGE_OBJECT);
         let pipeline = self.pipeline.read().clone();
@@ -182,9 +195,40 @@ impl ObjectServer {
         match req.method {
             Method::Put => {
                 let body = req.body.clone().unwrap_or_default();
+                let token = req.headers.get(UPLOAD_TOKEN_HEADER);
+                // Idempotent re-dispatch: if the stored copy already carries
+                // this upload's token, the first attempt landed here — ack
+                // with the stored identity instead of storing again. The
+                // existence probe uses `contains` (fault- and op-free) so a
+                // first-time PUT consumes no extra fault-injector samples;
+                // only genuine overwrites pay the metadata read, and if that
+                // read faults we just store again (same token, same bytes).
+                if let Some(token) = token {
+                    if backend.contains(&key) {
+                        if let Ok(existing) = backend.head(&key) {
+                            if existing
+                                .metadata
+                                .get(UPLOAD_TOKEN_HEADER)
+                                .is_some_and(|t| t == token)
+                            {
+                                stats.deduped_puts.fetch_add(1, Ordering::Relaxed);
+                                return Ok(Response::created()
+                                    .with_header("etag", existing.etag.clone())
+                                    .with_header(
+                                        "content-length",
+                                        existing.size.to_string(),
+                                    ));
+                            }
+                        }
+                    }
+                }
                 stats.puts.fetch_add(1, Ordering::Relaxed);
                 stats.bytes_in.fetch_add(body.len() as u64, Ordering::Relaxed);
-                let obj = StoredObject::new(body, Self::user_metadata(&req));
+                let mut metadata = Self::user_metadata(&req);
+                if let Some(token) = token {
+                    metadata.insert(UPLOAD_TOKEN_HEADER.to_string(), token.to_string());
+                }
+                let obj = StoredObject::new(body, metadata);
                 let etag = obj.etag.clone();
                 let size = obj.data.len();
                 backend.put(&key, obj)?;
@@ -207,7 +251,9 @@ impl ObjectServer {
                     .with_header("etag", meta.etag)
                     .with_header("content-length", (end - start).to_string())
                     .with_header("x-object-length", meta.size.to_string());
-                for (k, v) in &meta.metadata {
+                // The upload token is replica-internal bookkeeping, not
+                // user metadata — it never leaves the server.
+                for (k, v) in meta.metadata.iter().filter(|(k, _)| *k != UPLOAD_TOKEN_HEADER) {
                     resp.headers.set(k, v.clone());
                 }
                 if req.range()?.is_some() {
@@ -224,7 +270,7 @@ impl ObjectServer {
                 let mut resp = Response::no_content()
                     .with_header("etag", meta.etag)
                     .with_header("content-length", meta.size.to_string());
-                for (k, v) in &meta.metadata {
+                for (k, v) in meta.metadata.iter().filter(|(k, _)| *k != UPLOAD_TOKEN_HEADER) {
                     resp.headers.set(k, v.clone());
                 }
                 Ok(resp)
@@ -323,6 +369,7 @@ mod tests {
             path: path(),
             headers: Default::default(),
             body: None,
+            deadline: Default::default(),
         }
         .with_header("x-object-meta-b", "2");
         s.handle(DeviceId(0), post).unwrap();
@@ -360,6 +407,45 @@ mod tests {
         assert_eq!(st.gets, 2);
         assert_eq!(st.bytes_in, 5);
         assert_eq!(st.bytes_out, 10);
+    }
+
+    #[test]
+    fn retried_put_with_same_token_stores_once() {
+        let s = server();
+        let put = Request::put(path(), Bytes::from_static(b"payload"))
+            .with_header(UPLOAD_TOKEN_HEADER, "upload-1");
+        let first = s.handle(DeviceId(0), put.clone()).unwrap();
+        // Re-dispatch of the same logical upload: acked with the stored
+        // identity, not stored again.
+        let second = s.handle(DeviceId(0), put).unwrap();
+        assert_eq!(second.status, 201);
+        assert_eq!(second.headers.get("etag"), first.headers.get("etag"));
+        assert_eq!(second.headers.get("content-length"), Some("7"));
+        let st = s.stats();
+        assert_eq!(st.puts, 1, "re-dispatch must not store twice");
+        assert_eq!(st.deduped_puts, 1);
+        // A *new* upload of the same object (fresh token) does store.
+        let third = Request::put(path(), Bytes::from_static(b"payload2"))
+            .with_header(UPLOAD_TOKEN_HEADER, "upload-2");
+        s.handle(DeviceId(0), third).unwrap();
+        assert_eq!(s.stats().puts, 2);
+        // The token is internal: it never surfaces on reads.
+        let got = s.handle(DeviceId(0), Request::get(path())).unwrap();
+        assert!(got.headers.get(UPLOAD_TOKEN_HEADER).is_none());
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_before_work() {
+        use scoop_common::Deadline;
+        use std::time::Duration;
+        let s = server();
+        s.handle(DeviceId(0), Request::put(path(), Bytes::from_static(b"x")))
+            .unwrap();
+        let late = Request::get(path())
+            .with_deadline(Deadline::at(std::time::Instant::now() - Duration::from_millis(1)));
+        let err = s.handle(DeviceId(0), late).unwrap_err();
+        assert_eq!(err.kind(), "deadline");
+        assert_eq!(s.stats().gets, 0, "expired requests must not reach the backend");
     }
 
     #[test]

@@ -8,16 +8,19 @@
 //! ... the 6 proxies".
 
 use crate::auth::AuthService;
+use crate::health::NodeHealth;
 use crate::middleware::Pipeline;
 use crate::objserver::{ObjectServer, STAGE_HEADER, STAGE_PROXY};
 use crate::path::ObjectPath;
 use crate::request::{Method, Request, Response};
-use crate::ring::Ring;
+use crate::ring::{DeviceId, Ring};
 use parking_lot::RwLock;
 use scoop_common::{Result, ScoopError};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One entry in a container listing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -175,6 +178,11 @@ pub struct ProxyStats {
     /// Read requests re-routed to another replica after a retryable
     /// failure (the store's first line of defence under faults).
     pub replica_failovers: AtomicU64,
+    /// Hedge requests launched: a second replica raced after the first
+    /// stayed silent past the hedge threshold.
+    pub hedged_gets: AtomicU64,
+    /// Hedged reads where a hedge (not the first replica) answered first.
+    pub hedge_wins: AtomicU64,
 }
 
 /// A proxy server.
@@ -187,6 +195,10 @@ pub struct ProxyServer {
     auth: Arc<AuthService>,
     auth_enabled: bool,
     pipeline: RwLock<Pipeline>,
+    /// Cluster-shared per-node circuit breakers (reads only).
+    health: Option<Arc<NodeHealth>>,
+    /// Race a second replica after this long without a first response.
+    hedge_after: Option<Duration>,
     /// Throughput counters.
     pub stats: ProxyStats,
 }
@@ -209,8 +221,26 @@ impl ProxyServer {
             auth,
             auth_enabled,
             pipeline: RwLock::new(Pipeline::new()),
+            health: None,
+            hedge_after: None,
             stats: ProxyStats::default(),
         }
+    }
+
+    /// Builder: consult (and feed) the given circuit-breaker registry for
+    /// replica reads. One registry is shared across all proxies of a
+    /// cluster so every replica outcome trains the same breakers.
+    pub fn with_health(mut self, health: Arc<NodeHealth>) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    /// Builder: enable hedged GETs — after `hedge_after` without a response
+    /// from the current replica, race the next one and stream back
+    /// whichever answers first.
+    pub fn with_hedging(mut self, hedge_after: Duration) -> Self {
+        self.hedge_after = Some(hedge_after);
+        self
     }
 
     /// Install the proxy-stage middleware pipeline.
@@ -239,6 +269,8 @@ impl ProxyServer {
     /// Handle a client request: auth → proxy middleware → route to replicas.
     pub fn handle(&self, mut req: Request) -> Result<Response> {
         self.authorize(&req)?;
+        req.deadline
+            .check(&format!("proxy {} {:?}", self.id, req.method))?;
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         req.headers.set(STAGE_HEADER, STAGE_PROXY);
         let pipeline = self.pipeline.read().clone();
@@ -315,49 +347,7 @@ impl ProxyServer {
                     }))
                 }
             }
-            Method::Get | Method::Head => {
-                let mut last_err: Option<ScoopError> = None;
-                for (dev, node) in &devices {
-                    let server = match self.server(*node) {
-                        Ok(s) => s,
-                        Err(e) => {
-                            last_err = Some(e);
-                            continue;
-                        }
-                    };
-                    match server.handle(*dev, req.clone()) {
-                        Ok(resp) => {
-                            if let Some(l) = resp.headers.get("content-length") {
-                                self.stats
-                                    .bytes_to_clients
-                                    .fetch_add(l.parse().unwrap_or(0), Ordering::Relaxed);
-                            }
-                            return Ok(resp);
-                        }
-                        // Retryable errors (server down / IO) → next replica.
-                        // NotFound also moves on: a replica that missed an
-                        // under-replicated PUT (write quorum met elsewhere,
-                        // repair not yet run) must not mask the copies the
-                        // other replicas hold.
-                        Err(e) if e.is_retryable() || matches!(e, ScoopError::NotFound(_)) => {
-                            self.stats
-                                .replica_failovers
-                                .fetch_add(1, Ordering::Relaxed);
-                            // A stale replica's 404 must not mask a transient
-                            // failure on a replica that may hold the object:
-                            // surfacing the retryable error lets the client
-                            // re-dispatch and reach the healthy copy.
-                            match (&last_err, &e) {
-                                (Some(prev), ScoopError::NotFound(_)) if prev.is_retryable() => {}
-                                _ => last_err = Some(e),
-                            }
-                        }
-                        Err(e) => return Err(e),
-                    }
-                }
-                Err(last_err
-                    .unwrap_or_else(|| ScoopError::NotFound(format!("object {key}"))))
-            }
+            Method::Get | Method::Head => self.fetch_read(&req, &devices, &key),
             Method::Delete => {
                 let mut oks = 0usize;
                 let mut last_err = None;
@@ -403,6 +393,177 @@ impl ProxyServer {
         }
     }
 
+    /// Dispatch a replica read: breaker admission → (optionally hedged)
+    /// fan-out over the admitted candidates.
+    fn fetch_read(
+        &self,
+        req: &Request,
+        devices: &[(DeviceId, u32)],
+        key: &str,
+    ) -> Result<Response> {
+        let mut last_err: Option<ScoopError> = None;
+        let mut candidates: Vec<(DeviceId, u32, Arc<ObjectServer>)> = Vec::new();
+        for &(dev, node) in devices {
+            // Replicas behind an open breaker are skipped proactively; the
+            // error that tripped the breaker (always retryable) stands in
+            // for the request we did not send, so a fully short-circuited
+            // GET still reports a retryable condition, never a fake 404.
+            if let Some(h) = &self.health {
+                if !h.admit(node) {
+                    if let Some(e) = h.last_error(node) {
+                        note_read_failure(&mut last_err, e);
+                    }
+                    continue;
+                }
+            }
+            match self.server(node) {
+                Ok(s) => candidates.push((dev, node, s)),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match self.hedge_after.filter(|_| candidates.len() >= 2) {
+            Some(after) => self.fetch_hedged(req, candidates, after, last_err, key),
+            None => self.fetch_sequential(req, candidates, last_err, key),
+        }
+    }
+
+    /// One replica at a time (PR 1 failover semantics), with every outcome
+    /// feeding the breaker.
+    fn fetch_sequential(
+        &self,
+        req: &Request,
+        candidates: Vec<(DeviceId, u32, Arc<ObjectServer>)>,
+        mut last_err: Option<ScoopError>,
+        key: &str,
+    ) -> Result<Response> {
+        for (dev, node, server) in candidates {
+            req.deadline.check(&format!("proxy read {key}"))?;
+            let result = server.handle(dev, req.clone());
+            Self::train_breaker(&self.health, node, &result);
+            match result {
+                Ok(resp) => {
+                    self.count_read(&resp);
+                    return Ok(resp);
+                }
+                // Retryable errors (server down / IO) → next replica.
+                // NotFound also moves on: a replica that missed an
+                // under-replicated PUT (write quorum met elsewhere, repair
+                // not yet run) must not mask the copies the others hold.
+                Err(e) if e.is_retryable() || matches!(e, ScoopError::NotFound(_)) => {
+                    self.stats.replica_failovers.fetch_add(1, Ordering::Relaxed);
+                    note_read_failure(&mut last_err, e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| ScoopError::NotFound(format!("object {key}"))))
+    }
+
+    /// Hedged read: dispatch the first replica on its own thread; if it
+    /// stays silent past the hedge threshold, race the next one. The first
+    /// successful byte stream wins; losers finish (and train the breaker)
+    /// in the background.
+    fn fetch_hedged(
+        &self,
+        req: &Request,
+        candidates: Vec<(DeviceId, u32, Arc<ObjectServer>)>,
+        hedge_after: Duration,
+        mut last_err: Option<ScoopError>,
+        key: &str,
+    ) -> Result<Response> {
+        let total = candidates.len();
+        let (tx, rx) = mpsc::channel::<(usize, Result<Response>)>();
+        let mut queue = candidates.into_iter();
+        let mut launched = 0usize;
+        let mut settled = 0usize;
+        let mut spawn_next = |launched: &mut usize| {
+            if let Some((dev, node, server)) = queue.next() {
+                let req = req.clone();
+                let health = self.health.clone();
+                let tx = tx.clone();
+                let idx = *launched;
+                std::thread::spawn(move || {
+                    let result = server.handle(dev, req);
+                    Self::train_breaker(&health, node, &result);
+                    let _ = tx.send((idx, result));
+                });
+                *launched += 1;
+            }
+        };
+        spawn_next(&mut launched);
+        loop {
+            // While unlaunched replicas remain, wait only a hedge interval;
+            // afterwards wait for the stragglers, clamped to the deadline.
+            let wait = if launched < total { hedge_after } else { Duration::from_secs(60) };
+            match rx.recv_timeout(req.deadline.clamp_sleep(wait)) {
+                Ok((idx, Ok(resp))) => {
+                    if idx > 0 {
+                        self.stats.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.count_read(&resp);
+                    return Ok(resp);
+                }
+                Ok((_, Err(e))) => {
+                    settled += 1;
+                    if e.is_retryable() || matches!(e, ScoopError::NotFound(_)) {
+                        self.stats.replica_failovers.fetch_add(1, Ordering::Relaxed);
+                        note_read_failure(&mut last_err, e);
+                    } else {
+                        return Err(e);
+                    }
+                    if settled == launched {
+                        if launched < total {
+                            // Everything in flight failed: go straight to
+                            // the next replica (a failover, not a hedge).
+                            spawn_next(&mut launched);
+                        } else {
+                            return Err(last_err.unwrap_or_else(|| {
+                                ScoopError::NotFound(format!("object {key}"))
+                            }));
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    req.deadline.check(&format!("proxy read {key}"))?;
+                    if launched < total {
+                        self.stats.hedged_gets.fetch_add(1, Ordering::Relaxed);
+                        spawn_next(&mut launched);
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(last_err.unwrap_or_else(|| {
+                        ScoopError::NotFound(format!("object {key}"))
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Feed one replica-read outcome into the shared breaker registry. Only
+    /// retryable failures indict a node's health: a 404 from a healthy
+    /// replica is a data condition, not a node one.
+    fn train_breaker(
+        health: &Option<Arc<NodeHealth>>,
+        node: u32,
+        result: &Result<Response>,
+    ) {
+        if let Some(h) = health {
+            match result {
+                Ok(_) => h.record_success(node),
+                Err(e) if e.is_retryable() => h.record_failure(node, e),
+                Err(_) => {}
+            }
+        }
+    }
+
+    fn count_read(&self, resp: &Response) {
+        if let Some(l) = resp.headers.get("content-length") {
+            self.stats
+                .bytes_to_clients
+                .fetch_add(l.parse().unwrap_or(0), Ordering::Relaxed);
+        }
+    }
+
     fn server(&self, node: u32) -> Result<Arc<ObjectServer>> {
         self.servers
             .get(&node)
@@ -413,6 +574,17 @@ impl ProxyServer {
     /// The shared container service (listings, container management).
     pub fn containers(&self) -> &ContainerService {
         &self.containers
+    }
+}
+
+/// Fold a failed replica read into the running error, preserving the rule
+/// that a stale replica's 404 must not mask a transient failure on a
+/// replica that may hold the object: surfacing the retryable error lets
+/// the client re-dispatch and reach the healthy copy.
+fn note_read_failure(last_err: &mut Option<ScoopError>, e: ScoopError) {
+    match (&*last_err, &e) {
+        (Some(prev), ScoopError::NotFound(_)) if prev.is_retryable() => {}
+        _ => *last_err = Some(e),
     }
 }
 

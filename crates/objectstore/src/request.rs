@@ -7,7 +7,7 @@
 
 use crate::path::ObjectPath;
 use bytes::Bytes;
-use scoop_common::{stream, ByteStream, Result, ScoopError};
+use scoop_common::{stream, ByteStream, Deadline, Result, ScoopError};
 use std::collections::BTreeMap;
 
 /// Request methods used by the store.
@@ -143,32 +143,65 @@ pub struct Request {
     pub headers: Headers,
     /// Body for PUT requests.
     pub body: Option<Bytes>,
+    /// Time budget of the query this request serves; every hop (client
+    /// dispatch, proxy routing, object server) checks it before working.
+    pub deadline: Deadline,
 }
 
 impl Request {
     /// Build a GET request.
     pub fn get(path: ObjectPath) -> Request {
-        Request { method: Method::Get, path, headers: Headers::new(), body: None }
+        Request {
+            method: Method::Get,
+            path,
+            headers: Headers::new(),
+            body: None,
+            deadline: Deadline::none(),
+        }
     }
 
     /// Build a PUT request with a body.
     pub fn put(path: ObjectPath, body: Bytes) -> Request {
-        Request { method: Method::Put, path, headers: Headers::new(), body: Some(body) }
+        Request {
+            method: Method::Put,
+            path,
+            headers: Headers::new(),
+            body: Some(body),
+            deadline: Deadline::none(),
+        }
     }
 
     /// Build a DELETE request.
     pub fn delete(path: ObjectPath) -> Request {
-        Request { method: Method::Delete, path, headers: Headers::new(), body: None }
+        Request {
+            method: Method::Delete,
+            path,
+            headers: Headers::new(),
+            body: None,
+            deadline: Deadline::none(),
+        }
     }
 
     /// Build a HEAD request.
     pub fn head(path: ObjectPath) -> Request {
-        Request { method: Method::Head, path, headers: Headers::new(), body: None }
+        Request {
+            method: Method::Head,
+            path,
+            headers: Headers::new(),
+            body: None,
+            deadline: Deadline::none(),
+        }
     }
 
     /// Attach a header (builder style).
     pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Request {
         self.headers.set(name, value);
+        self
+    }
+
+    /// Attach a time budget (builder style).
+    pub fn with_deadline(mut self, deadline: Deadline) -> Request {
+        self.deadline = deadline;
         self
     }
 
@@ -218,6 +251,11 @@ impl Response {
     /// 204 no content (DELETE ack, HEAD).
     pub fn no_content() -> Response {
         Response { status: 204, headers: Headers::new(), body: stream::empty() }
+    }
+
+    /// 503 service unavailable (overload shedding).
+    pub fn unavailable() -> Response {
+        Response { status: 503, headers: Headers::new(), body: stream::empty() }
     }
 
     /// Attach a header (builder style).

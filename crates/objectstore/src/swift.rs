@@ -9,20 +9,22 @@
 use crate::auth::AuthService;
 use crate::backend::{DiskBackend, MemBackend, StorageBackend};
 use crate::fault::{ChaosBackend, FaultInjector, FaultPlan, FaultStatsSnapshot};
+use crate::health::{BreakerConfig, NodeHealth};
 use crate::middleware::Pipeline;
-use crate::objserver::ObjectServer;
+use crate::objserver::{ObjectServer, UPLOAD_TOKEN_HEADER};
 use crate::path::ObjectPath;
 use crate::proxy::{ContainerService, ObjectRecord, ProxyServer};
 use crate::replication::{RepairReport, Replicator};
 use crate::request::{Request, Response};
 use crate::ring::{DeviceId, Ring, RingBuilder};
 use bytes::Bytes;
-use parking_lot::RwLock;
-use scoop_common::{Result, RetryPolicy, ScoopError};
+use parking_lot::{Mutex, RwLock};
+use scoop_common::{Deadline, Result, RetryPolicy, ScoopError};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Where device data lives.
 #[derive(Debug, Clone, Default)]
@@ -56,6 +58,12 @@ pub struct SwiftConfig {
     /// Optional chaos plan: when set, every device backend is wrapped in a
     /// [`ChaosBackend`] driven by one shared, seeded [`FaultInjector`].
     pub fault_plan: Option<FaultPlan>,
+    /// Optional per-node circuit breakers shared by all proxies: replicas
+    /// on nodes whose breaker is open are skipped proactively on reads.
+    pub breaker: Option<BreakerConfig>,
+    /// Optional hedged GETs: race a second replica after this long without
+    /// a first response, taking whichever byte stream answers first.
+    pub hedge_after: Option<Duration>,
 }
 
 impl Default for SwiftConfig {
@@ -70,6 +78,8 @@ impl Default for SwiftConfig {
             auth_enabled: false,
             backend: BackendKind::Memory,
             fault_plan: None,
+            breaker: None,
+            hedge_after: None,
         }
     }
 }
@@ -88,6 +98,8 @@ impl SwiftConfig {
             auth_enabled: false,
             backend: BackendKind::Memory,
             fault_plan: None,
+            breaker: None,
+            hedge_after: None,
         }
     }
 }
@@ -102,6 +114,7 @@ pub struct SwiftCluster {
     auth: Arc<AuthService>,
     next_proxy: AtomicUsize,
     fault_injector: Option<Arc<FaultInjector>>,
+    health: Option<Arc<NodeHealth>>,
 }
 
 impl SwiftCluster {
@@ -142,16 +155,26 @@ impl SwiftCluster {
         let containers = Arc::new(ContainerService::new());
         let auth = Arc::new(AuthService::new());
 
+        // One breaker registry for the whole cluster: every proxy's replica
+        // outcomes train the same per-node state machines.
+        let health = config.breaker.map(NodeHealth::new);
         let proxies = (0..config.proxies as u32)
             .map(|id| {
-                Arc::new(ProxyServer::new(
+                let mut proxy = ProxyServer::new(
                     id,
                     ring.clone(),
                     servers.clone(),
                     containers.clone(),
                     auth.clone(),
                     config.auth_enabled,
-                ))
+                );
+                if let Some(h) = &health {
+                    proxy = proxy.with_health(h.clone());
+                }
+                if let Some(after) = config.hedge_after {
+                    proxy = proxy.with_hedging(after);
+                }
+                Arc::new(proxy)
             })
             .collect();
 
@@ -164,6 +187,7 @@ impl SwiftCluster {
             auth,
             next_proxy: AtomicUsize::new(0),
             fault_injector,
+            health,
         }))
     }
 
@@ -185,6 +209,33 @@ impl SwiftCluster {
         self.proxies
             .iter()
             .map(|p| p.stats.replica_failovers.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// The shared per-node breaker registry, when breakers are enabled.
+    pub fn node_health(&self) -> Option<&Arc<NodeHealth>> {
+        self.health.as_ref()
+    }
+
+    /// Replica reads short-circuited by an open breaker (cluster-wide).
+    pub fn breaker_skips(&self) -> u64 {
+        self.health.as_ref().map(|h| h.skips()).unwrap_or(0)
+    }
+
+    /// Hedge requests launched, summed over all proxies.
+    pub fn hedged_gets(&self) -> u64 {
+        self.proxies
+            .iter()
+            .map(|p| p.stats.hedged_gets.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Hedged reads won by a hedge (not the first replica), summed over
+    /// all proxies.
+    pub fn hedge_wins(&self) -> u64 {
+        self.proxies
+            .iter()
+            .map(|p| p.stats.hedge_wins.load(Ordering::Relaxed))
             .sum()
     }
 
@@ -313,7 +364,13 @@ pub struct SwiftClient {
     token: Option<String>,
     retry: RetryPolicy,
     retries: Arc<AtomicU64>,
+    deadline: Arc<Mutex<Deadline>>,
 }
+
+/// Process-wide upload counter: tokens must be unique across every client
+/// (two clients re-writing one object must never share a token, or the
+/// second write would be mistaken for a replay and dropped).
+static NEXT_UPLOAD_ID: AtomicU64 = AtomicU64::new(0);
 
 impl SwiftClient {
     fn assemble(cluster: Arc<SwiftCluster>, account: &str, token: Option<String>) -> SwiftClient {
@@ -323,6 +380,7 @@ impl SwiftClient {
             token,
             retry: RetryPolicy::none(),
             retries: Arc::new(AtomicU64::new(0)),
+            deadline: Arc::new(Mutex::new(Deadline::none())),
         }
     }
 
@@ -356,19 +414,35 @@ impl SwiftClient {
         self.retries.load(Ordering::Relaxed)
     }
 
+    /// Set the time budget stamped on every subsequent request (shared
+    /// across clones of this client). [`Deadline::none()`] clears it.
+    pub fn set_deadline(&self, deadline: Deadline) {
+        *self.deadline.lock() = deadline;
+    }
+
     /// Send a request, attaching the auth token; retryable failures are
-    /// re-dispatched per the client's [`RetryPolicy`].
+    /// re-dispatched per the client's [`RetryPolicy`]. The client's deadline
+    /// (if set) is stamped on the request, bounds backoff sleeps, and stops
+    /// re-dispatch once expired — the last real error surfaces, not a
+    /// synthetic timeout.
     pub fn request(&self, mut req: Request) -> Result<Response> {
         if let Some(tok) = &self.token {
             req.headers.set("x-auth-token", tok.clone());
         }
+        req.deadline = req.deadline.earliest(*self.deadline.lock());
+        let deadline = req.deadline;
+        deadline.check("client dispatch")?;
         let mut rng = scoop_common::rng::XorShift64::new(self.retry.seed);
         let mut attempt = 0u32;
         loop {
             match self.cluster.handle(req.clone()) {
                 Ok(resp) => return Ok(resp),
-                Err(e) if e.is_retryable() && attempt + 1 < self.retry.max_attempts => {
-                    std::thread::sleep(self.retry.backoff(attempt, &mut rng));
+                Err(e)
+                    if e.is_retryable()
+                        && attempt + 1 < self.retry.max_attempts
+                        && !deadline.expired() =>
+                {
+                    std::thread::sleep(deadline.clamp_sleep(self.retry.backoff(attempt, &mut rng)));
                     attempt += 1;
                     self.retries.fetch_add(1, Ordering::Relaxed);
                 }
@@ -382,10 +456,13 @@ impl SwiftClient {
         self.cluster.containers.create_container(&self.account, container);
     }
 
-    /// Store an object.
+    /// Store an object. Each upload carries a unique idempotency token, so a
+    /// PUT re-dispatched by the retry loop after a lost ack cannot store (or
+    /// count toward replica quorum) twice.
     pub fn put_object(&self, container: &str, object: &str, data: Bytes) -> Result<Response> {
         let path = ObjectPath::new(self.account.clone(), container, object)?;
-        self.request(Request::put(path, data))
+        let token = format!("upload-{}", NEXT_UPLOAD_ID.fetch_add(1, Ordering::Relaxed));
+        self.request(Request::put(path, data).with_header(UPLOAD_TOKEN_HEADER, token))
     }
 
     /// Fetch a whole object.
@@ -533,6 +610,69 @@ mod tests {
         let a = cluster.next_proxy().id;
         let b = cluster.next_proxy().id;
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn breaker_skips_downed_node_then_readmits_it() {
+        let cluster = SwiftCluster::new(SwiftConfig {
+            breaker: Some(BreakerConfig {
+                failure_threshold: 2,
+                open_for: Duration::from_millis(20),
+            }),
+            ..Default::default()
+        })
+        .unwrap();
+        let client = cluster.anonymous_client("a");
+        client.create_container("c");
+        for i in 0..20 {
+            client
+                .put_object("c", &format!("o{i}"), Bytes::from(vec![b'x'; 32]))
+                .unwrap();
+        }
+        cluster.set_server_down(0, true).unwrap();
+        // Repeated reads train the breaker on node 0; once open, replicas
+        // there are skipped without being probed — reads still succeed.
+        for _ in 0..3 {
+            for i in 0..20 {
+                assert!(client.get_object("c", &format!("o{i}")).is_ok(), "o{i}");
+            }
+        }
+        assert!(cluster.breaker_skips() > 0, "breaker never skipped node 0");
+        // Recovery: after `open_for`, the half-open probe re-admits node 0
+        // and successful reads close the breaker again.
+        cluster.set_server_down(0, false).unwrap();
+        std::thread::sleep(Duration::from_millis(25));
+        for i in 0..20 {
+            assert!(client.get_object("c", &format!("o{i}")).is_ok(), "o{i}");
+        }
+        let health = cluster.node_health().unwrap();
+        assert!(!health.is_open(0, std::time::Instant::now()));
+    }
+
+    #[test]
+    fn hedged_get_races_past_a_slow_first_replica() {
+        // Find which node serves the first replica of the object, then make
+        // only that node slow: the hedge should win with a fast replica.
+        let probe = SwiftCluster::new(SwiftConfig::default()).unwrap();
+        let key = ObjectPath::new("a", "c", "o.csv").unwrap().ring_key();
+        let first_dev = probe.ring().read().lookup(&key)[0];
+        let slow_node = probe.ring().read().device(first_dev).node;
+
+        let cluster = SwiftCluster::new(SwiftConfig {
+            fault_plan: Some(
+                FaultPlan::quiet(7).with_slow_node(slow_node, Duration::from_millis(40)),
+            ),
+            hedge_after: Some(Duration::from_millis(2)),
+            ..Default::default()
+        })
+        .unwrap();
+        let client = cluster.anonymous_client("a");
+        client.create_container("c");
+        client.put_object("c", "o.csv", Bytes::from_static(b"hedged")).unwrap();
+        let body = client.get_object("c", "o.csv").unwrap().read_body().unwrap();
+        assert_eq!(body, "hedged");
+        assert!(cluster.hedged_gets() > 0, "no hedge was launched");
+        assert!(cluster.hedge_wins() > 0, "hedge never beat the slow replica");
     }
 
     #[test]

@@ -1,8 +1,33 @@
-//! Property-based tests for the ring and byte-range handling.
+//! Property-based tests for the ring, byte-range handling, and the
+//! per-node circuit breaker.
 
 use proptest::prelude::*;
 use scoop_objectstore::request::ByteRange;
 use scoop_objectstore::ring::{Device, DeviceId, RingBuilder};
+use scoop_objectstore::{BreakerConfig, NodeHealth};
+use std::time::{Duration, Instant};
+
+/// One step in a synthetic breaker history.
+#[derive(Debug, Clone)]
+enum BreakerEvent {
+    /// A replica request on the node failed retryably.
+    Fail,
+    /// A replica request on the node succeeded.
+    Succeed,
+    /// The clock advances by this many milliseconds.
+    Advance(u64),
+}
+
+fn breaker_event() -> impl Strategy<Value = BreakerEvent> {
+    // Uniform union; `Fail` appears twice to bias histories toward
+    // tripped breakers (the interesting regime for these properties).
+    prop_oneof![
+        Just(BreakerEvent::Fail),
+        Just(BreakerEvent::Fail),
+        Just(BreakerEvent::Succeed),
+        (0u64..120).prop_map(BreakerEvent::Advance),
+    ]
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -71,6 +96,64 @@ proptest! {
             uniq.dedup();
             prop_assert_eq!(uniq.len(), 3);
         }
+    }
+
+    /// No permanent lockout: whatever failure/success history a node has,
+    /// once it recovers (the open window elapses with no further failures)
+    /// the breaker admits a probe again, and a successful probe closes it.
+    /// Along the way, every short-circuited read must still have a
+    /// *retryable* remembered error to surface — never a silent skip.
+    #[test]
+    fn breaker_always_readmits_a_recovered_node(
+        events in proptest::collection::vec(breaker_event(), 1..40),
+        threshold in 1u32..5,
+        open_ms in 1u64..80,
+    ) {
+        let config = BreakerConfig {
+            failure_threshold: threshold,
+            open_for: Duration::from_millis(open_ms),
+        };
+        let health = NodeHealth::new(config);
+        let node = 0u32;
+        let err = scoop_common::ScoopError::Io(std::io::Error::other("injected"));
+        let base = Instant::now();
+        let mut now = base;
+        for ev in &events {
+            match ev {
+                BreakerEvent::Fail => {
+                    if health.admit_at(node, now) {
+                        health.record_failure_at(node, now, &err);
+                    } else {
+                        // Open-state short-circuit: the proxy folds the
+                        // remembered error into its failover bookkeeping,
+                        // so it must exist and must stay retryable.
+                        let remembered = health.last_error(node);
+                        prop_assert!(remembered.is_some(), "skip lost its error");
+                        prop_assert!(
+                            remembered.unwrap().is_retryable(),
+                            "remembered error must be retryable"
+                        );
+                    }
+                }
+                BreakerEvent::Succeed => {
+                    if health.admit_at(node, now) {
+                        health.record_success(node);
+                    }
+                }
+                BreakerEvent::Advance(ms) => now += Duration::from_millis(*ms),
+            }
+        }
+        // Recovery: after a full quiet open window the node is admitted…
+        let after_window = now + config.open_for;
+        prop_assert!(
+            health.admit_at(node, after_window),
+            "recovered node was locked out"
+        );
+        // …and one successful probe closes the breaker durably.
+        health.record_success(node);
+        prop_assert!(health.admit_at(node, after_window));
+        prop_assert!(!health.is_open(node, after_window));
+        prop_assert!(health.last_error(node).is_none());
     }
 
     /// Byte-range parse/render round-trips and resolution is always within

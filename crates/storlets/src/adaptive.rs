@@ -32,6 +32,12 @@ pub struct AdaptivePolicy {
     pub min_selectivity: f64,
     /// Observations required before the selectivity gate activates.
     pub min_observations: u64,
+    /// Maximum concurrently executing pushdown requests per engine;
+    /// `None` disables admission control entirely.
+    pub max_concurrent_invocations: Option<usize>,
+    /// Burst slots beyond the concurrency limit before pushdown requests
+    /// are shed with `503` + `x-storlet-degraded`.
+    pub max_queue_depth: usize,
 }
 
 impl Default for AdaptivePolicy {
@@ -40,7 +46,16 @@ impl Default for AdaptivePolicy {
             max_storage_load: 0.8,
             min_selectivity: 0.25,
             min_observations: 3,
+            max_concurrent_invocations: None,
+            max_queue_depth: 0,
         }
+    }
+}
+
+impl AdaptivePolicy {
+    /// Install this policy's admission limits on an engine.
+    pub fn apply_admission(&self, engine: &StorletEngine) {
+        engine.set_admission_limits(self.max_concurrent_invocations, self.max_queue_depth);
     }
 }
 

@@ -11,7 +11,7 @@ use crate::api::{InvocationContext, InvocationMetrics, Storlet};
 use parking_lot::RwLock;
 use scoop_common::{ByteStream, Result, ScoopError};
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Aggregated per-storlet counters.
@@ -36,10 +36,57 @@ struct StatsCell {
     inner: RwLock<EngineStats>,
 }
 
+/// Shared admission bookkeeping: concurrency limits, the live-invocation
+/// gauge, and the shed counter.
+#[derive(Debug, Default)]
+struct AdmissionState {
+    /// `(max_concurrent, max_queue_depth)`; `None` = admission control off.
+    limits: RwLock<Option<(usize, usize)>>,
+    /// Pushdown requests whose output stream is still live.
+    active: AtomicUsize,
+    /// Pushdown requests refused for overload.
+    sheds: AtomicU64,
+}
+
+/// RAII admission slot for one pushdown request. Dropping it (normally via
+/// the response stream it is attached to) releases the slot.
+pub struct AdmissionPermit {
+    state: Option<Arc<AdmissionState>>,
+}
+
+impl AdmissionPermit {
+    /// Tie the permit's lifetime to a response stream: the slot frees when
+    /// the consumer finishes (or abandons) the body.
+    pub fn attach(self, stream: ByteStream) -> ByteStream {
+        Box::new(PermittedStream { inner: stream, _permit: self })
+    }
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        if let Some(state) = &self.state {
+            state.active.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+struct PermittedStream {
+    inner: ByteStream,
+    _permit: AdmissionPermit,
+}
+
+impl Iterator for PermittedStream {
+    type Item = scoop_common::Result<bytes::Bytes>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
 /// The engine: registry + execution + accounting.
 pub struct StorletEngine {
     registry: RwLock<HashMap<String, Arc<dyn Storlet>>>,
     stats: RwLock<HashMap<String, Arc<StatsCell>>>,
+    admission: Arc<AdmissionState>,
 }
 
 impl Default for StorletEngine {
@@ -51,7 +98,54 @@ impl Default for StorletEngine {
 impl StorletEngine {
     /// Create an empty engine.
     pub fn new() -> Self {
-        StorletEngine { registry: RwLock::new(HashMap::new()), stats: RwLock::new(HashMap::new()) }
+        StorletEngine {
+            registry: RwLock::new(HashMap::new()),
+            stats: RwLock::new(HashMap::new()),
+            admission: Arc::new(AdmissionState::default()),
+        }
+    }
+
+    /// Bound concurrent pushdown execution: at most `max_concurrent` live
+    /// invocations plus `max_queue_depth` burst slots; anything beyond is
+    /// shed (the middleware answers 503 so clients fall back to a plain
+    /// GET). `None` removes the bound.
+    pub fn set_admission_limits(&self, max_concurrent: Option<usize>, max_queue_depth: usize) {
+        *self.admission.limits.write() = max_concurrent.map(|c| (c, max_queue_depth));
+    }
+
+    /// Try to claim an admission slot for one pushdown request. `None`
+    /// means the engine is saturated and the request must be shed.
+    pub fn try_admit(&self) -> Option<AdmissionPermit> {
+        let Some((max_concurrent, max_queue)) = *self.admission.limits.read() else {
+            return Some(AdmissionPermit { state: None });
+        };
+        let cap = max_concurrent.saturating_add(max_queue);
+        let mut current = self.admission.active.load(Ordering::Relaxed);
+        loop {
+            if current >= cap {
+                self.admission.sheds.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            match self.admission.active.compare_exchange(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(AdmissionPermit { state: Some(self.admission.clone()) }),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Pushdown requests shed for overload since startup.
+    pub fn admission_sheds(&self) -> u64 {
+        self.admission.sheds.load(Ordering::Relaxed)
+    }
+
+    /// Pushdown requests currently holding an admission slot.
+    pub fn active_invocations(&self) -> usize {
+        self.admission.active.load(Ordering::Relaxed)
     }
 
     /// Create an engine with all filters shipped in [`crate::filters`]
@@ -348,6 +442,34 @@ mod tests {
         stream::collect(out).unwrap();
         e.reset_stats();
         assert_eq!(e.stats("upper"), EngineStats::default());
+    }
+
+    #[test]
+    fn admission_limits_shed_and_release() {
+        let e = engine();
+        e.set_admission_limits(Some(1), 0);
+        let permit = e.try_admit().expect("first slot admitted");
+        let ctx = InvocationContext::new(HashMap::new());
+        let out = e
+            .invoke("upper", stream::once(Bytes::from_static(b"busy")), ctx)
+            .unwrap();
+        let held = permit.attach(out);
+        // Engine saturated while the stream is live.
+        assert!(e.try_admit().is_none());
+        assert_eq!(e.admission_sheds(), 1);
+        assert_eq!(e.active_invocations(), 1);
+        // Consuming/dropping the stream frees the slot.
+        drop(held);
+        assert_eq!(e.active_invocations(), 0);
+        assert!(e.try_admit().is_some());
+        // Queue depth grants burst slots; removing limits disables control.
+        e.set_admission_limits(Some(0), 2);
+        let a = e.try_admit().unwrap();
+        let b = e.try_admit().unwrap();
+        assert!(e.try_admit().is_none());
+        drop((a, b));
+        e.set_admission_limits(None, 0);
+        assert!(e.try_admit().is_some());
     }
 
     #[test]

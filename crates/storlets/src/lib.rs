@@ -21,7 +21,11 @@
 //!   gold/bronze tiering sketched in the paper's discussion section.
 //! * [`adaptive`] — the Section VII control process (the Crystal sketch):
 //!   demote/restore tenants' pushdown based on storage load and an online
-//!   selectivity model.
+//!   selectivity model, plus admission limits for overload shedding.
+//!
+//! Under overload the engine sheds pushdown GETs with `503` and the
+//! [`middleware::headers::DEGRADED`] marker; clients transparently fall
+//! back to a plain ranged GET and filter locally.
 
 pub mod adaptive;
 pub mod api;
@@ -31,7 +35,7 @@ pub mod middleware;
 pub mod policy;
 
 pub use api::{InvocationContext, Storlet, StorletLogger};
-pub use engine::{EngineStats, StorletEngine};
+pub use engine::{AdmissionPermit, EngineStats, StorletEngine};
 pub use middleware::{headers, StorletMiddleware};
 pub use adaptive::{AdaptiveController, AdaptivePolicy};
 pub use policy::{PolicyStore, Tier};

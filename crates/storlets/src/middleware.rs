@@ -32,6 +32,10 @@ pub mod headers {
     pub const STORLET_RANGE: &str = "x-storlet-range";
     /// Response marker listing executed storlets.
     pub const INVOKED: &str = "x-storlet-invoked";
+    /// Set on `503` responses when pushdown was shed for overload; names
+    /// the storlets that were *not* run so the client can fall back to a
+    /// plain GET and filter locally.
+    pub const DEGRADED: &str = "x-storlet-degraded";
 }
 
 /// Encode invocation parameters for [`headers::PARAMETERS`].
@@ -173,6 +177,14 @@ impl StorletMiddleware {
         mut req: Request,
         next: &dyn Handler,
     ) -> Result<Response> {
+        // Overload shedding: when the engine's admission slots are
+        // exhausted the request is refused *before* any backend read, and
+        // the degraded marker tells the client which filters to apply
+        // itself after a plain GET. (PUT-path ETL is never shed: dropping
+        // it would change what gets stored.)
+        let Some(permit) = self.engine.try_admit() else {
+            return Ok(Response::unavailable().with_header(headers::DEGRADED, names.join(",")));
+        };
         let mut ctx = Self::build_context(&req)?;
         // Logical range: X-Storlet-Range wins, else a plain Range is promoted
         // to a storlet-handled (record-aligned) range.
@@ -213,7 +225,7 @@ impl StorletMiddleware {
             None => resp.body,
         };
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
-        let body = self.engine.invoke_pipeline(&name_refs, body, &ctx)?;
+        let body = permit.attach(self.engine.invoke_pipeline(&name_refs, body, &ctx)?);
         let mut out = Response { status: 200, headers: resp.headers, body };
         // Filtered length is unknown until the stream is consumed.
         out.headers.remove("content-length");
@@ -498,6 +510,48 @@ mod tests {
         let got = client.get_object("meters", "jan.csv").unwrap();
         assert_eq!(got.read_body().unwrap(), "vid,date,index\na,b,1\n");
         assert_eq!(engine.stats("etlcleanse").invocations, 1);
+    }
+
+    #[test]
+    fn saturated_engine_sheds_with_degraded_marker() {
+        let (cluster, engine, _) = cluster_with_storlets();
+        let client = cluster.anonymous_client("AUTH_gp");
+        client.create_container("meters");
+        client
+            .put_object("meters", "jan.csv", Bytes::from_static(DATA))
+            .unwrap();
+        // Zero slots: every pushdown GET is shed before touching the disk.
+        engine.set_admission_limits(Some(0), 0);
+        let req = scoop_objectstore::Request::get(path())
+            .with_header(headers::RUN_STORLET, "csvfilter")
+            .with_header(headers::PARAMETERS, encode_params(&csv_params()));
+        let resp = client.request(req).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.headers.get(headers::DEGRADED), Some("csvfilter"));
+        assert!(resp.headers.get(headers::INVOKED).is_none());
+        assert_eq!(engine.stats("csvfilter").invocations, 0);
+        assert!(engine.admission_sheds() > 0);
+        // A plain GET (the client's fallback) is unaffected by shedding.
+        let full = client.get_object("meters", "jan.csv").unwrap();
+        assert_eq!(full.read_body().unwrap(), DATA);
+        // PUT-path ETL keeps running even while saturated.
+        let mut params = HashMap::new();
+        params.insert("schema".to_string(), "vid,date,index".to_string());
+        params.insert("header".to_string(), "1".to_string());
+        let put = scoop_objectstore::Request::put(
+            ObjectPath::new("AUTH_gp", "meters", "etl.csv").unwrap(),
+            Bytes::from_static(b"vid,date,index\n a ,b, 1 \n"),
+        )
+        .with_header(headers::RUN_STORLET, "etlcleanse")
+        .with_header(headers::PARAMETERS, encode_params(&params));
+        assert_eq!(client.request(put).unwrap().status, 201);
+        // Lifting the limit restores pushdown.
+        engine.set_admission_limits(None, 0);
+        let req = scoop_objectstore::Request::get(path())
+            .with_header(headers::RUN_STORLET, "csvfilter")
+            .with_header(headers::PARAMETERS, encode_params(&csv_params()));
+        let resp = client.request(req).unwrap();
+        assert_eq!(resp.headers.get(headers::INVOKED), Some("csvfilter"));
     }
 
     #[test]
