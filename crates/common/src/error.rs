@@ -10,6 +10,22 @@ use std::fmt;
 /// Convenience alias used across the workspace.
 pub type Result<T> = std::result::Result<T, ScoopError>;
 
+/// Whether retrying the same request (against another replica, after a
+/// backoff) could plausibly succeed.
+///
+/// Every [`ScoopError`] variant must be classified here *explicitly*:
+/// [`ScoopError::class`] is a wildcard-free match that `scoop-lint`'s
+/// invariant pass verifies covers every variant, so adding an error
+/// variant without deciding its retry semantics is a lint failure, not a
+/// silent default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Transient: another replica / a later attempt may succeed.
+    Retryable,
+    /// Deterministic: retrying burns budget without changing the outcome.
+    NonRetryable,
+}
+
 /// All error conditions produced by the Scoop workspace.
 #[derive(Debug)]
 pub enum ScoopError {
@@ -61,11 +77,34 @@ impl ScoopError {
         }
     }
 
-    /// True if retrying the same request against another replica could succeed.
-    /// Deadline violations are deliberately excluded: once the budget is
-    /// gone, every retry layer must fail fast rather than keep burning it.
+    /// Explicit retry classification of every variant. Kept wildcard-free
+    /// on purpose — `scoop-lint` checks that each variant of the enum
+    /// appears in exactly one arm, so a new variant cannot ship without a
+    /// deliberate retryability decision. Deadline violations are
+    /// deliberately non-retryable: once the budget is gone, every retry
+    /// layer must fail fast rather than keep burning it.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            ScoopError::Io(_) => ErrorClass::Retryable,
+            ScoopError::Compute(_) => ErrorClass::Retryable,
+            ScoopError::NotFound(_) => ErrorClass::NonRetryable,
+            ScoopError::Conflict(_) => ErrorClass::NonRetryable,
+            ScoopError::InvalidRequest(_) => ErrorClass::NonRetryable,
+            ScoopError::Unauthorized(_) => ErrorClass::NonRetryable,
+            ScoopError::Csv(_) => ErrorClass::NonRetryable,
+            ScoopError::Sql(_) => ErrorClass::NonRetryable,
+            ScoopError::Storlet(_) => ErrorClass::NonRetryable,
+            ScoopError::Columnar(_) => ErrorClass::NonRetryable,
+            ScoopError::Unsupported(_) => ErrorClass::NonRetryable,
+            ScoopError::DeadlineExceeded(_) => ErrorClass::NonRetryable,
+            ScoopError::Internal(_) => ErrorClass::NonRetryable,
+        }
+    }
+
+    /// True if retrying the same request against another replica could
+    /// succeed — shorthand for `class() == ErrorClass::Retryable`.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, ScoopError::Io(_) | ScoopError::Compute(_))
+        self.class() == ErrorClass::Retryable
     }
 }
 

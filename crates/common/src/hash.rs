@@ -35,6 +35,7 @@ pub fn hash64_seeded(data: &[u8], seed: u64) -> u64 {
     let mut acc = seed ^ (data.len() as u64).wrapping_mul(PRIME_1);
     let mut chunks = data.chunks_exact(8);
     for lane in &mut chunks {
+        // lint:allow(chunks_exact(8) yields exactly 8-byte lanes)
         let v = u64::from_le_bytes(lane.try_into().expect("8-byte lane"));
         acc ^= mix(v);
         acc = acc.rotate_left(27).wrapping_mul(PRIME_1).wrapping_add(PRIME_2);
@@ -107,6 +108,7 @@ impl Hasher64 {
         }
         let mut chunks = data.chunks_exact(8);
         for lane in &mut chunks {
+            // lint:allow(chunks_exact(8) yields exactly 8-byte lanes)
             self.consume_lane(u64::from_le_bytes(lane.try_into().expect("8-byte lane")));
         }
         let rem = chunks.remainder();

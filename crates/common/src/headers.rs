@@ -1,0 +1,78 @@
+//! The single home of every Scoop-specific HTTP header name.
+//!
+//! The ingest path speaks through `x-*` headers at several layers — auth
+//! tokens at the proxy, storlet invocation directives in the middleware,
+//! idempotency tokens at the object servers, degradation markers on shed
+//! responses. Scattering those names as string literals invites the classic
+//! connector bug: one layer renames a header (or typos its casing) and the
+//! peer silently stops seeing it. Every crate therefore imports the
+//! constants below; `scoop-lint`'s invariant pass rejects any `x-*` string
+//! literal that appears outside this module.
+
+/// Client authentication token, validated by the proxy (`X-Auth-Token`).
+pub const AUTH_TOKEN: &str = "x-auth-token";
+
+/// Per-upload idempotency token. The client stamps every logical PUT with a
+/// fresh token; a re-dispatched PUT whose first attempt already landed on a
+/// replica is acked without re-storing, so it cannot double-count toward
+/// the write quorum.
+pub const UPLOAD_TOKEN: &str = "x-upload-token";
+
+/// Stage marker set by servers before running their middleware pipeline, so
+/// a middleware (e.g. the storlet engine) knows which tier it executes on.
+pub const BACKEND_STAGE: &str = "x-backend-stage";
+
+/// Comma-separated storlet pipeline to execute on a GET.
+pub const RUN_STORLET: &str = "x-run-storlet";
+
+/// Storlet invocation parameters, `k=v` pairs joined by `;` (percent-escaped).
+pub const STORLET_PARAMETERS: &str = "x-storlet-parameters";
+
+/// Storlet execution stage: `proxy` or `object` (default `object`).
+pub const STORLET_RUN_ON: &str = "x-storlet-run-on";
+
+/// Logical byte range handled by the storlet (record-aligned), e.g.
+/// `bytes=1048576-2097151`.
+pub const STORLET_RANGE: &str = "x-storlet-range";
+
+/// Response marker listing executed storlets.
+pub const STORLET_INVOKED: &str = "x-storlet-invoked";
+
+/// Set on `503` responses when pushdown was shed for overload; names the
+/// storlets that were *not* run so the client can fall back to a plain GET
+/// and filter locally.
+pub const STORLET_DEGRADED: &str = "x-storlet-degraded";
+
+/// Stored object size in bytes, set on GET responses so streaming readers
+/// can detect truncated bodies.
+pub const OBJECT_LENGTH: &str = "x-object-length";
+
+/// Prefix of user-metadata headers persisted alongside an object.
+pub const OBJECT_META_PREFIX: &str = "x-object-meta-";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn header_names_are_lowercase_x_prefixed() {
+        for name in [
+            super::AUTH_TOKEN,
+            super::UPLOAD_TOKEN,
+            super::BACKEND_STAGE,
+            super::RUN_STORLET,
+            super::STORLET_PARAMETERS,
+            super::STORLET_RUN_ON,
+            super::STORLET_RANGE,
+            super::STORLET_INVOKED,
+            super::STORLET_DEGRADED,
+            super::OBJECT_LENGTH,
+            super::OBJECT_META_PREFIX,
+        ] {
+            assert!(name.starts_with("x-"), "{name} must be x-prefixed");
+            assert_eq!(name, name.to_ascii_lowercase(), "{name} must be lowercase");
+            assert!(
+                name.bytes().all(|b| b.is_ascii_lowercase() || b == b'-'),
+                "{name} must be [a-z-] only"
+            );
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! * [`error`] — the workspace-wide [`ScoopError`] and [`Result`] alias.
 //! * [`stream`] — chunked byte streams, the unit of data flow between the
 //!   object store, the storlet engine and the compute layer.
+//! * [`headers`] — every Scoop-specific `x-*` HTTP header name, in one place.
 //! * [`hash`] — a fast, from-scratch 64/128-bit hash used by the consistent
 //!   hash ring and object path hashing.
 //! * [`bytesize`] — human-friendly byte quantities.
@@ -20,6 +21,7 @@ pub mod bytesize;
 pub mod deadline;
 pub mod error;
 pub mod hash;
+pub mod headers;
 pub mod retry;
 pub mod rng;
 pub mod stream;
@@ -28,6 +30,6 @@ pub mod timeseries;
 
 pub use bytesize::ByteSize;
 pub use deadline::Deadline;
-pub use error::{Result, ScoopError};
+pub use error::{ErrorClass, Result, ScoopError};
 pub use retry::RetryPolicy;
 pub use stream::{ByteStream, CountingStream, StreamExt};

@@ -329,11 +329,12 @@ impl Session {
         };
         let schema = relation.schema()?;
         if def.schema.is_none() {
-            self.tables
-                .write()
-                .get_mut(&query.table)
-                .expect("table registered")
-                .schema = Some(schema.clone());
+            // The table was present when `def` was resolved; if it was
+            // dropped concurrently, skipping the schema cache write is
+            // harmless — the query proceeds on the resolved definition.
+            if let Some(t) = self.tables.write().get_mut(&query.table) {
+                t.schema = Some(schema.clone());
+            }
         }
 
         // Catalyst: extract pushdown + residual.

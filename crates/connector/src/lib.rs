@@ -214,7 +214,7 @@ impl ResumingStream {
 fn checked_body(resp: Response, start: u64) -> ByteStream {
     match resp
         .headers
-        .get("x-object-length")
+        .get(scoop_common::headers::OBJECT_LENGTH)
         .and_then(|l| l.parse::<u64>().ok())
     {
         Some(total) => stream::enforce_length(resp.body, total.saturating_sub(start)),
@@ -247,7 +247,15 @@ impl Iterator for ResumingStream {
                     }
                 }
             }
-            let inner = self.inner.as_mut().expect("stream just opened");
+            let Some(inner) = self.inner.as_mut() else {
+                // `open_at` above either set `self.inner` or bailed; surface
+                // a classified error rather than panicking mid-read if that
+                // invariant ever breaks.
+                self.done = true;
+                return Some(Err(ScoopError::Internal(
+                    "resumable stream lost its inner reader".into(),
+                )));
+            };
             match inner.next() {
                 Some(Ok(chunk)) => {
                     self.offset += chunk.len() as u64;

@@ -1,0 +1,109 @@
+//! Baseline handling: the committed set of accepted warn-level findings.
+//!
+//! The baseline file is plain text — one fingerprint per line, sorted —
+//! so diffs review like code. Deny-level findings never enter it: they
+//! must be fixed or carry a `lint:allow(justification)` at the site.
+//! A lint run fails only on *regressions*: findings whose fingerprint is
+//! absent from the baseline.
+
+use crate::findings::{Finding, Severity};
+use std::collections::BTreeSet;
+
+/// Parse a baseline document (one fingerprint per line; `#` comments and
+/// blank lines ignored).
+pub fn parse(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Render the baseline for the given findings (warn level only, sorted,
+/// deduplicated).
+pub fn render(findings: &[Finding]) -> String {
+    let set: BTreeSet<String> = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Warn)
+        .map(Finding::fingerprint)
+        .collect();
+    let mut out = String::from(
+        "# scoop-lint baseline: accepted warn-level findings, one fingerprint per\n\
+         # line. Regenerate with `cargo run -p scoop-lint -- --update-baseline`.\n\
+         # Deny-level findings never appear here; fix them or add a\n\
+         # `// lint:allow(justification)` at the site.\n",
+    );
+    for fp in set {
+        out.push_str(&fp);
+        out.push('\n');
+    }
+    out
+}
+
+/// Outcome of comparing a run against a baseline.
+#[derive(Debug)]
+pub struct Comparison {
+    /// Findings not covered by the baseline (deny findings are always
+    /// regressions).
+    pub regressions: Vec<Finding>,
+    /// Baseline entries no longer produced — candidates for removal.
+    pub stale: Vec<String>,
+}
+
+/// Compare findings against the baseline set.
+pub fn compare(findings: &[Finding], baseline: &BTreeSet<String>) -> Comparison {
+    let produced: BTreeSet<String> = findings.iter().map(Finding::fingerprint).collect();
+    let regressions = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny || !baseline.contains(&f.fingerprint()))
+        .cloned()
+        .collect();
+    let stale = baseline.difference(&produced).cloned().collect();
+    Comparison { regressions, stale }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warn(detail: &str) -> Finding {
+        Finding {
+            pass: "panic-path",
+            severity: Severity::Warn,
+            file: "crates/demo/src/lib.rs".into(),
+            function: "f".into(),
+            line: 1,
+            detail: detail.into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn baselined_warns_pass_new_warns_fail() {
+        let old = warn("indexing");
+        let baseline = parse(&render(std::slice::from_ref(&old)));
+        let new = warn("arithmetic");
+        let cmp = compare(&[old, new], &baseline);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].detail, "arithmetic");
+        assert!(cmp.stale.is_empty());
+    }
+
+    #[test]
+    fn deny_findings_are_always_regressions() {
+        let mut f = warn("unwrap");
+        f.severity = Severity::Deny;
+        // Even a baseline that (incorrectly) lists the fingerprint does
+        // not excuse a deny finding.
+        let baseline = parse(&f.fingerprint());
+        let cmp = compare(&[f], &baseline);
+        assert_eq!(cmp.regressions.len(), 1);
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let baseline = parse("panic-path|gone.rs|f|indexing\n");
+        let cmp = compare(&[], &baseline);
+        assert_eq!(cmp.stale, vec!["panic-path|gone.rs|f|indexing".to_string()]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Findings, fingerprints and report rendering (human text and JSON).
+
+use std::fmt::Write as _;
+
+/// How a finding gates CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Must be fixed or carry a `lint:allow(...)` justification; never
+    /// enters the baseline.
+    Deny,
+    /// Tolerated when present in the committed baseline; only *new*
+    /// occurrences fail the run.
+    Warn,
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Pass that produced it: `lock-order`, `panic-path`, `invariants`.
+    pub pass: &'static str,
+    pub severity: Severity,
+    /// Repo-relative file path.
+    pub file: String,
+    /// Qualified function name, or `<file>` for file-level findings.
+    pub function: String,
+    /// 1-based line (for the human report only — not part of the
+    /// fingerprint, so baselines survive unrelated edits).
+    pub line: u32,
+    /// Stable, line-number-free detail; part of the fingerprint.
+    pub detail: String,
+    /// Human-facing message (may carry counts and context).
+    pub message: String,
+}
+
+impl Finding {
+    /// Identity used for baseline comparison. Deliberately excludes line
+    /// numbers and free-form message text.
+    pub fn fingerprint(&self) -> String {
+        format!("{}|{}|{}|{}", self.pass, self.file, self.function, self.detail)
+    }
+}
+
+fn severity_name(s: Severity) -> &'static str {
+    match s {
+        Severity::Deny => "deny",
+        Severity::Warn => "warn",
+    }
+}
+
+/// Render findings as a human report, grouped by pass.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    let mut passes: Vec<&'static str> = findings.iter().map(|f| f.pass).collect();
+    passes.sort_unstable();
+    passes.dedup();
+    for pass in passes {
+        let _ = writeln!(out, "== {pass} ==");
+        for f in findings.iter().filter(|f| f.pass == pass) {
+            let _ = writeln!(
+                out,
+                "{}: {}:{} [{}] {}",
+                severity_name(f.severity),
+                f.file,
+                f.line,
+                f.function,
+                f.message
+            );
+        }
+    }
+    out
+}
+
+/// Minimal JSON string escape.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as a JSON document:
+/// `{"findings": [...], "summary": {"deny": n, "warn": n}}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"pass\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"function\": \"{}\", \"line\": {}, \"detail\": \"{}\", \"message\": \"{}\", \"fingerprint\": \"{}\"}}",
+            f.pass,
+            severity_name(f.severity),
+            esc(&f.file),
+            esc(&f.function),
+            f.line,
+            esc(&f.detail),
+            esc(&f.message),
+            esc(&f.fingerprint()),
+        );
+        out.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    let deny = findings.iter().filter(|f| f.severity == Severity::Deny).count();
+    let warn = findings.iter().filter(|f| f.severity == Severity::Warn).count();
+    let _ = write!(
+        out,
+        "  ],\n  \"summary\": {{\"deny\": {deny}, \"warn\": {warn}}}\n}}\n"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Finding {
+        Finding {
+            pass: "panic-path",
+            severity: Severity::Deny,
+            file: "crates/demo/src/lib.rs".into(),
+            function: "demo::f".into(),
+            line: 3,
+            detail: "unwrap".into(),
+            message: "call to unwrap() on a production data path".into(),
+        }
+    }
+
+    #[test]
+    fn fingerprint_excludes_line_and_message() {
+        let mut a = sample();
+        let mut b = sample();
+        a.line = 3;
+        b.line = 99;
+        b.message = "different".into();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let mut f = sample();
+        f.message = "uses \"x\"".into();
+        let json = render_json(&[f]);
+        assert!(json.contains("uses \\\"x\\\""));
+        assert!(json.contains("\"deny\": 1"));
+    }
+}

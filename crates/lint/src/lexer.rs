@@ -1,0 +1,475 @@
+//! A small Rust lexer: enough fidelity for token-level static analysis.
+//!
+//! The lexer's job is to make the later passes *sound against syntax*: a
+//! `panic!` inside a string literal, a `lock()` inside a comment, or a
+//! lifetime `'a` mistaken for a char literal must never produce a token the
+//! passes could misread. It handles line comments, nested block comments,
+//! (raw/byte) string literals, char literals vs. lifetimes, and numeric
+//! literals; everything else becomes identifier or punctuation tokens.
+//!
+//! Comments are not discarded entirely: `// lint:allow(reason)` directives
+//! are collected with the line of code they apply to, so findings can be
+//! suppressed at the site with an explicit justification (see
+//! [`Allow`]).
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `self`, `unwrap`, `_`, ...).
+    Ident(String),
+    /// Lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// String literal; the *cooked* content is kept (escapes resolved
+    /// best-effort) so passes can inspect e.g. header names.
+    Str(String),
+    /// Char or byte literal; content irrelevant to the passes.
+    Char,
+    /// Numeric literal (its raw text).
+    Num(String),
+    /// Single punctuation character (`.`, `{`, `!`, ...). Multi-character
+    /// operators arrive as consecutive tokens.
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A `// lint:allow(justification)` directive.
+///
+/// The justification may continue across consecutive `//` comment lines
+/// until the parenthesis closes. The directive suppresses findings on
+/// `target_line`: the same line when it trails code, otherwise the next
+/// line that carries any code.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub reason: String,
+    pub target_line: u32,
+}
+
+/// Lexer output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+}
+
+/// In-flight `lint:allow(` capture: accumulated reason and open-paren depth.
+struct PendingAllow {
+    reason: String,
+    depth: i32,
+    /// True when the opening comment trailed code on its own line.
+    trailing: bool,
+    start_line: u32,
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    // Line of the most recent token, to detect trailing comments.
+    let mut last_tok_line = 0u32;
+    let mut pending: Option<PendingAllow> = None;
+    // Finished directives waiting for their target line.
+    let mut unanchored: Vec<(String, u32, bool)> = Vec::new();
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = src[i..].find('\n').map(|o| i + o).unwrap_or(bytes.len());
+                let text = &src[i + 2..end];
+                feed_comment(
+                    text,
+                    line,
+                    last_tok_line == line,
+                    &mut pending,
+                    &mut unanchored,
+                );
+                i = end;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comment.
+                let start_line = line;
+                let trailing = last_tok_line == line;
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let inner_end = j.saturating_sub(2).max(i + 2);
+                feed_comment(
+                    &src[i + 2..inner_end],
+                    start_line,
+                    trailing,
+                    &mut pending,
+                    &mut unanchored,
+                );
+                i = j;
+            }
+            '"' => {
+                let (content, next, newlines) = lex_string(src, i + 1);
+                out.tokens.push(Token { tok: Tok::Str(content), line });
+                line += newlines;
+                i = next;
+                last_tok_line = line;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(bytes, i) => {
+                let (tok, next, newlines) = lex_prefixed_string(src, i);
+                out.tokens.push(Token { tok, line });
+                line += newlines;
+                i = next;
+                last_tok_line = line;
+            }
+            '\'' => {
+                // Lifetime (`'a` not closed by `'`) vs. char literal.
+                if is_lifetime(bytes, i) {
+                    let mut j = i + 1;
+                    while j < bytes.len() && is_ident_char(bytes[j] as char) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token { tok: Tok::Lifetime, line });
+                    i = j;
+                } else {
+                    let next = lex_char(bytes, i + 1);
+                    out.tokens.push(Token { tok: Tok::Char, line });
+                    i = next;
+                }
+                last_tok_line = line;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < bytes.len()
+                    && (is_ident_char(bytes[j] as char) || bytes[j] == b'.')
+                {
+                    // A `.` only belongs to the number when followed by a
+                    // digit (`1.5`), not a method call (`1.to_string()`)
+                    // or range (`0..2`).
+                    if bytes[j] == b'.'
+                        && !bytes
+                            .get(j + 1)
+                            .map(|b| b.is_ascii_digit())
+                            .unwrap_or(false)
+                    {
+                        break;
+                    }
+                    j += 1;
+                }
+                out.tokens.push(Token { tok: Tok::Num(src[i..j].to_string()), line });
+                i = j;
+                last_tok_line = line;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i;
+                while j < bytes.len() && is_ident_char(bytes[j] as char) {
+                    j += 1;
+                }
+                out.tokens.push(Token { tok: Tok::Ident(src[i..j].to_string()), line });
+                i = j;
+                last_tok_line = line;
+            }
+            c if c.is_whitespace() => i += 1,
+            c => {
+                out.tokens.push(Token { tok: Tok::Punct(c), line });
+                i += 1;
+                last_tok_line = line;
+            }
+        }
+        // Anchor finished directives: a trailing directive covers its own
+        // line; a standalone one covers the next line carrying code.
+        if !unanchored.is_empty() {
+            unanchored.retain(|(reason, dir_line, trailing)| {
+                if *trailing {
+                    out.allows.push(Allow { reason: reason.clone(), target_line: *dir_line });
+                    false
+                } else if last_tok_line > *dir_line {
+                    out.allows.push(Allow { reason: reason.clone(), target_line: last_tok_line });
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+    // Directives at EOF with no code after them: anchor to their own line
+    // (they will not suppress anything, but stay visible for the
+    // missing-justification check).
+    for (reason, dir_line, _) in unanchored {
+        out.allows.push(Allow { reason, target_line: dir_line });
+    }
+    out
+}
+
+/// Process one comment's text: continue or begin a `lint:allow(` capture.
+fn feed_comment(
+    text: &str,
+    line: u32,
+    trailing: bool,
+    pending: &mut Option<PendingAllow>,
+    done: &mut Vec<(String, u32, bool)>,
+) {
+    if let Some(p) = pending {
+        let (consumed, closed) = consume_until_balanced(text, &mut p.reason, &mut p.depth);
+        let _ = consumed;
+        if closed {
+            let p = pending.take().expect("pending allow present");
+            done.push((p.reason.trim().to_string(), line.max(p.start_line), p.trailing));
+        }
+        return;
+    }
+    if let Some(pos) = text.find("lint:allow(") {
+        let mut p = PendingAllow {
+            reason: String::new(),
+            depth: 1,
+            trailing,
+            start_line: line,
+        };
+        let rest = &text[pos + "lint:allow(".len()..];
+        let (_, closed) = consume_until_balanced(rest, &mut p.reason, &mut p.depth);
+        if closed {
+            done.push((p.reason.trim().to_string(), line, trailing));
+        } else {
+            *pending = Some(p);
+        }
+    }
+}
+
+/// Append `text` to `reason` until the paren depth returns to zero.
+/// Returns (chars consumed, reached balance).
+fn consume_until_balanced(text: &str, reason: &mut String, depth: &mut i32) -> (usize, bool) {
+    for (idx, c) in text.char_indices() {
+        match c {
+            '(' => *depth += 1,
+            ')' => {
+                *depth -= 1;
+                if *depth == 0 {
+                    return (idx + 1, true);
+                }
+            }
+            _ => {}
+        }
+        reason.push(c);
+    }
+    // Reason continues on the next comment line; join with a space.
+    reason.push(' ');
+    (text.len(), false)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || !c.is_ascii()
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || !c.is_ascii()
+}
+
+/// `'a` / `'static` — an apostrophe starting an identifier *not* closed by
+/// another apostrophe right after one char (which would be `'x'`).
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(&b) if is_ident_start(b as char) && b != b'\\' => {
+            // `'a'` is a char literal; `'a,` / `'a>` / `'a ` is a lifetime.
+            bytes.get(i + 2) != Some(&b'\'')
+        }
+        _ => false,
+    }
+}
+
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    match bytes.get(j) {
+        Some(&b'"') => true,
+        Some(&b'r') => {
+            let mut k = j + 1;
+            while bytes.get(k) == Some(&b'#') {
+                k += 1;
+            }
+            bytes.get(k) == Some(&b'"')
+        }
+        _ => false,
+    }
+}
+
+/// Lex a cooked string starting *after* the opening quote. Returns
+/// (content, index after closing quote, newline count).
+fn lex_string(src: &str, start: usize) -> (String, usize, u32) {
+    let bytes = src.as_bytes();
+    let mut content = String::new();
+    let mut i = start;
+    let mut newlines = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return (content, i + 1, newlines),
+            b'\\' => {
+                // Keep escapes opaque; header-name checks only need plain
+                // ASCII prefixes, which never contain escapes.
+                i += 2;
+            }
+            b'\n' => {
+                newlines += 1;
+                content.push('\n');
+                i += 1;
+            }
+            b => {
+                content.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    (content, i, newlines)
+}
+
+/// Lex `b"..."`, `r"..."`, `r#"..."#`, `br#"..."#` starting at the prefix.
+fn lex_prefixed_string(src: &str, start: usize) -> (Tok, usize, u32) {
+    let bytes = src.as_bytes();
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    let raw = bytes.get(i) == Some(&b'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(bytes.get(i), Some(&b'"'));
+    i += 1;
+    if !raw {
+        let (content, next, newlines) = lex_string(src, i);
+        return (Tok::Str(content), next, newlines);
+    }
+    // Raw string: scan for `"` followed by `hashes` hash marks.
+    let closer: String = std::iter::once('"').chain(std::iter::repeat_n('#', hashes)).collect();
+    match src[i..].find(&closer) {
+        Some(off) => {
+            let content = &src[i..i + off];
+            let newlines = content.matches('\n').count() as u32;
+            (Tok::Str(content.to_string()), i + off + closer.len(), newlines)
+        }
+        None => (Tok::Str(src[i..].to_string()), src.len(), 0),
+    }
+}
+
+/// Lex a char/byte literal starting *after* the opening apostrophe; returns
+/// the index after the closing apostrophe.
+fn lex_char(bytes: &[u8], start: usize) -> usize {
+    let mut i = start;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let mut src = String::new();
+        src.push_str("// panic!(\"not me\")\n");
+        src.push_str("/* unwrap() /* nested */ still comment */\n");
+        src.push_str("let s = \"panic!()\";\n");
+        src.push_str("let r = r#\"unwrap()\"#;\n");
+        let ids = idents(&src);
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        let lifetimes = toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn string_content_is_kept() {
+        let toks = lex(r#"let h = "x-auth-token";"#).tokens;
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Str(s) if s == "x-auth-token")));
+    }
+
+    #[test]
+    fn allow_directive_targets_next_code_line() {
+        let lexed = lex("let a = 1;\n// lint:allow(checked above)\nlet b = x.unwrap();\n");
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].reason, "checked above");
+        assert_eq!(lexed.allows[0].target_line, 3);
+    }
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let lexed = lex("let b = x.unwrap(); // lint:allow(infallible here)\n");
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].target_line, 1);
+    }
+
+    #[test]
+    fn multiline_allow_reason_joins_lines() {
+        let lexed = lex(
+            "// lint:allow(the ring only hands out ids\n// from its own table)\nlet d = m.expect(\"id\");\n",
+        );
+        assert_eq!(lexed.allows.len(), 1);
+        assert!(lexed.allows[0].reason.contains("hands out ids"));
+        assert!(lexed.allows[0].reason.contains("own table"));
+        assert_eq!(lexed.allows[0].target_line, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = lex("0..2usize; 1.max(2); 1.5");
+        let nums: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Num(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0", "2usize", "1", "2", "1.5"]);
+    }
+}

@@ -1,0 +1,96 @@
+//! `scoop-lint`: workspace static analysis for the Scoop codebase.
+//!
+//! Three passes over a token-level model of every crate's `src/`:
+//!
+//! * **lock-order** ([`passes::locks`]) — per-function lock-acquisition
+//!   spans, a workspace lock-order graph with call-graph resolution,
+//!   cycle detection, and blocking-call-under-guard checks;
+//! * **panic-path** ([`passes::panics`]) — latent panics (`unwrap`,
+//!   `expect`, `panic!`, indexing, unchecked arithmetic) on production
+//!   data paths, with a `// lint:allow(justification)` escape hatch;
+//! * **invariants** ([`passes::invariants`]) — Scoop-specific rules:
+//!   exhaustive `ScoopError` retryability classification, `x-*` header
+//!   literals confined to `scoop_common::headers`, retry loops bounded by
+//!   a `Deadline`.
+//!
+//! Output is machine-readable ([`findings::render_json`]) or human text,
+//! gated against a committed baseline ([`baseline`]) so CI fails only on
+//! regressions. The crate is dependency-free: it lexes Rust with its own
+//! lexer ([`lexer`]) and models items by brace matching ([`model`]) —
+//! `syn` is unavailable offline, and token-level analysis is enough for
+//! these rules (limits are documented per pass and in DESIGN.md).
+
+pub mod baseline;
+pub mod findings;
+pub mod lexer;
+pub mod model;
+pub mod passes;
+
+use findings::Finding;
+use model::{parse_file, ParsedFile};
+
+/// Parse the given `(path, source)` pairs and run every pass.
+///
+/// Findings are deduplicated by fingerprint (first occurrence wins) and
+/// sorted by file, line and pass, so output and baselines are stable.
+pub fn analyze(files: &[(String, String)]) -> Vec<Finding> {
+    let parsed: Vec<ParsedFile> =
+        files.iter().map(|(p, s)| parse_file(p, s)).collect();
+    let mut findings = Vec::new();
+    findings.extend(passes::locks::run(&parsed));
+    findings.extend(passes::panics::run(&parsed));
+    findings.extend(passes::invariants::run(&parsed));
+
+    let mut seen = std::collections::BTreeSet::new();
+    findings.retain(|f| seen.insert(f.fingerprint()));
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.pass).cmp(&(b.file.as_str(), b.line, b.pass))
+    });
+    findings
+}
+
+/// Collect the workspace's analyzable sources under `root`: every
+/// `crates/*/src/**/*.rs`, excluding this linter's own crate (an analysis
+/// tool, not a data path — and its sources must be free to *name* the
+/// patterns it detects).
+pub fn collect_workspace(root: &std::path::Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.file_name().map(|n| n != "lint").unwrap_or(false))
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, root, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn collect_rs(
+    dir: &std::path::Path,
+    root: &std::path::Path,
+    out: &mut Vec<(String, String)>,
+) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.filter_map(|e| e.ok()).collect();
+    entries.sort_by_key(|e| e.path());
+    for e in entries {
+        let path = e.path();
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().map(|x| x == "rs").unwrap_or(false) {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, std::fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,155 @@
+//! CLI driver: analyze the workspace, gate against the baseline.
+//!
+//! ```text
+//! scoop-lint [--root PATH] [--format text|json] [--baseline PATH]
+//!            [--update-baseline]
+//! ```
+//!
+//! Exit codes: `0` no regressions, `1` regressions found, `2` usage or
+//! I/O error. A *regression* is any deny-level finding, or a warn-level
+//! finding whose fingerprint is absent from the committed baseline
+//! (`lint-baseline.txt` at the workspace root by default).
+
+use scoop_lint::findings::{render_json, render_text, Severity};
+use scoop_lint::{analyze, baseline, collect_workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: bool,
+    update_baseline: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { root: None, baseline: None, json: false, update_baseline: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => opts.root = Some(args.next().ok_or("--root needs a path")?.into()),
+            "--baseline" => {
+                opts.baseline = Some(args.next().ok_or("--baseline needs a path")?.into())
+            }
+            "--format" => match args.next().as_deref() {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                _ => return Err("--format needs `text` or `json`".into()),
+            },
+            "--update-baseline" => opts.update_baseline = true,
+            "--help" | "-h" => {
+                println!(
+                    "scoop-lint [--root PATH] [--format text|json] [--baseline PATH] [--update-baseline]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Walk up from the current directory to the workspace root (the
+/// `Cargo.toml` containing `[workspace]`).
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("scoop-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match opts.root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("scoop-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let files = match collect_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("scoop-lint: reading workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = analyze(&files);
+
+    let baseline_path = opts.baseline.unwrap_or_else(|| root.join("lint-baseline.txt"));
+    if opts.update_baseline {
+        let denies: Vec<_> =
+            findings.iter().filter(|f| f.severity == Severity::Deny).collect();
+        if !denies.is_empty() {
+            eprintln!(
+                "scoop-lint: {} deny-level finding(s) cannot be baselined:",
+                denies.len()
+            );
+            eprint!("{}", render_text(&findings.iter().filter(|f| f.severity == Severity::Deny).cloned().collect::<Vec<_>>()));
+            return ExitCode::from(1);
+        }
+        if let Err(e) = std::fs::write(&baseline_path, baseline::render(&findings)) {
+            eprintln!("scoop-lint: writing baseline: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "scoop-lint: baseline updated ({} warn finding(s)) at {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_set = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => baseline::parse(&text),
+        Err(_) => Default::default(), // no baseline: everything is new
+    };
+    let cmp = baseline::compare(&findings, &baseline_set);
+
+    if opts.json {
+        print!("{}", render_json(&findings));
+    } else if !cmp.regressions.is_empty() {
+        print!("{}", render_text(&cmp.regressions));
+    }
+
+    if !cmp.regressions.is_empty() {
+        eprintln!(
+            "scoop-lint: {} regression(s) ({} finding(s) total, {} baselined)",
+            cmp.regressions.len(),
+            findings.len(),
+            findings.len() - cmp.regressions.len(),
+        );
+        eprintln!(
+            "scoop-lint: fix them, add `// lint:allow(reason)` at the site, or (warn level only) run with --update-baseline"
+        );
+        return ExitCode::from(1);
+    }
+    if !opts.json {
+        println!(
+            "scoop-lint: OK — {} finding(s), all baselined{}",
+            findings.len(),
+            if cmp.stale.is_empty() {
+                String::new()
+            } else {
+                format!("; {} stale baseline entr(ies) can be removed", cmp.stale.len())
+            }
+        );
+    }
+    ExitCode::SUCCESS
+}

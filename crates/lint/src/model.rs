@@ -1,0 +1,523 @@
+//! Token-level item model: files become functions, structs and enums with
+//! enough structure for the passes — no full AST, just brace-matched spans.
+//!
+//! The model tracks what the passes need and nothing more:
+//!
+//! * **functions** with their body token spans, enclosing module path and
+//!   `impl` type, and whether they are test code (`#[test]`, or inside a
+//!   `#[cfg(test)]` module);
+//! * **structs** with the fields whose type mentions `Mutex<`/`RwLock<`
+//!   (the lock-order pass's lock identities);
+//! * **enums** with their variant names (the error-classification lint).
+//!
+//! Limits (by design — documented in DESIGN.md): functions nested inside
+//! function bodies are not modelled separately (their tokens belong to the
+//! enclosing function), and type resolution is name-based, so two structs
+//! sharing a field name can alias in the lock graph.
+
+use crate::lexer::{lex, Allow, Tok, Token};
+
+/// Kind of lock primitive a field holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    Mutex,
+    RwLock,
+}
+
+/// A struct field of lock type.
+#[derive(Debug, Clone)]
+pub struct LockField {
+    pub owner: String,
+    pub field: String,
+    pub kind: LockKind,
+}
+
+/// One parsed function.
+#[derive(Debug)]
+pub struct Function {
+    /// Repo-relative path of the defining file.
+    pub file: String,
+    /// `module::path::fn_name`, with the impl type included when present
+    /// (e.g. `proxy::ProxyServer::fetch_hedged`).
+    pub qual_name: String,
+    /// Bare function name.
+    pub name: String,
+    /// Type the enclosing `impl` block targets, if any.
+    pub impl_type: Option<String>,
+    /// `#[test]` function, or inside a `#[cfg(test)]` module.
+    pub is_test: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the body (inside the braces), into
+    /// [`ParsedFile::tokens`]. Empty for bodiless trait-method signatures.
+    pub body: std::ops::Range<usize>,
+}
+
+/// One parsed enum.
+#[derive(Debug)]
+pub struct Enum {
+    pub file: String,
+    pub name: String,
+    pub variants: Vec<String>,
+    pub is_test: bool,
+}
+
+/// One lexed and item-parsed file.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Repo-relative path.
+    pub path: String,
+    /// Crate directory name (`objectstore`, `common`, ...).
+    pub crate_name: String,
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+    pub functions: Vec<Function>,
+    pub structs: Vec<LockField>,
+    pub enums: Vec<Enum>,
+    /// Token index ranges that are test code (bodies of `#[cfg(test)]`
+    /// modules); string literals inside are exempt from the header lint.
+    pub test_spans: Vec<std::ops::Range<usize>>,
+}
+
+impl ParsedFile {
+    /// Is the token at `idx` inside test code?
+    pub fn in_test_code(&self, idx: usize) -> bool {
+        self.test_spans.iter().any(|r| r.contains(&idx))
+            || self
+                .functions
+                .iter()
+                .any(|f| f.is_test && f.body.contains(&idx))
+    }
+
+    /// The justification for a finding on `line`, if an allow targets it.
+    pub fn allow_for(&self, line: u32) -> Option<&Allow> {
+        self.allows.iter().find(|a| a.target_line == line)
+    }
+}
+
+/// Derive the crate directory name from a repo-relative path like
+/// `crates/objectstore/src/proxy.rs`.
+fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        (Some(first), _) => first.to_string(),
+        _ => String::new(),
+    }
+}
+
+/// Parse one file into its item model.
+pub fn parse_file(path: &str, src: &str) -> ParsedFile {
+    let lexed = lex(src);
+    let tokens = lexed.tokens;
+    let mut pf = ParsedFile {
+        path: path.to_string(),
+        crate_name: crate_of(path),
+        allows: lexed.allows,
+        functions: Vec::new(),
+        structs: Vec::new(),
+        enums: Vec::new(),
+        test_spans: Vec::new(),
+        tokens: Vec::new(),
+    };
+    let mut walker = Walker { toks: &tokens, pf: &mut pf };
+    walker.items(0, tokens.len(), &mut ScopeCtx::default());
+    pf.tokens = tokens;
+    pf
+}
+
+/// Enclosing-scope context threaded through item parsing.
+#[derive(Debug, Default, Clone)]
+struct ScopeCtx {
+    module_path: Vec<String>,
+    impl_type: Option<String>,
+    in_cfg_test: bool,
+}
+
+struct Walker<'a> {
+    toks: &'a [Token],
+    pf: &'a mut ParsedFile,
+}
+
+impl<'a> Walker<'a> {
+    fn ident(&self, i: usize) -> Option<&'a str> {
+        match self.toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn punct(&self, i: usize) -> Option<char> {
+        match self.toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Punct(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Index just past the brace-balanced span opening at `open` (which
+    /// must be `{`, `(` or `[`).
+    fn skip_balanced(&self, open: usize, end: usize) -> usize {
+        let (o, c) = match self.punct(open) {
+            Some('{') => ('{', '}'),
+            Some('(') => ('(', ')'),
+            Some('[') => ('[', ']'),
+            _ => return open + 1,
+        };
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < end {
+            match self.punct(i) {
+                Some(x) if x == o => depth += 1,
+                Some(x) if x == c => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Parse the items in `[start, end)` under `ctx`.
+    fn items(&mut self, start: usize, end: usize, ctx: &mut ScopeCtx) {
+        let mut i = start;
+        // Attributes seen since the last item, flattened to ident strings.
+        let mut attrs: Vec<String> = Vec::new();
+        while i < end {
+            match &self.toks[i].tok {
+                Tok::Punct('#') if self.punct(i + 1) == Some('[') => {
+                    let close = self.skip_balanced(i + 1, end);
+                    for t in &self.toks[i + 2..close.saturating_sub(1)] {
+                        if let Tok::Ident(s) = &t.tok {
+                            attrs.push(s.clone());
+                        }
+                    }
+                    i = close;
+                }
+                Tok::Ident(kw) if kw == "mod" => {
+                    let name = self.ident(i + 1).unwrap_or("?").to_string();
+                    // `mod name;` (out-of-line) declares no span here.
+                    if self.punct(i + 2) == Some('{') {
+                        let close = self.skip_balanced(i + 2, end);
+                        let cfg_test = ctx.in_cfg_test
+                            || (attrs.contains(&"cfg".to_string())
+                                && attrs.contains(&"test".to_string()));
+                        let mut inner = ScopeCtx {
+                            module_path: {
+                                let mut p = ctx.module_path.clone();
+                                p.push(name);
+                                p
+                            },
+                            impl_type: None,
+                            in_cfg_test: cfg_test,
+                        };
+                        if cfg_test {
+                            self.pf.test_spans.push(i + 3..close.saturating_sub(1));
+                        }
+                        self.items(i + 3, close - 1, &mut inner);
+                        i = close;
+                    } else {
+                        i += 2;
+                    }
+                    attrs.clear();
+                }
+                Tok::Ident(kw) if kw == "impl" || kw == "trait" => {
+                    let is_impl = kw == "impl";
+                    // Scan to the opening brace, collecting candidate type
+                    // names at angle-depth 0.
+                    let mut j = i + 1;
+                    let mut angle = 0i32;
+                    let mut names: Vec<String> = Vec::new();
+                    let mut after_for: Option<String> = None;
+                    let mut saw_for = false;
+                    while j < end {
+                        match &self.toks[j].tok {
+                            Tok::Punct('{') => break,
+                            Tok::Punct(';') => break,
+                            Tok::Punct('<') => angle += 1,
+                            Tok::Punct('>') => angle -= 1,
+                            Tok::Ident(s) if angle == 0 => {
+                                if s == "for" {
+                                    saw_for = true;
+                                } else if s != "dyn" && s != "where" {
+                                    if saw_for && after_for.is_none() {
+                                        after_for = Some(s.clone());
+                                    }
+                                    names.push(s.clone());
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if self.punct(j) == Some('{') {
+                        let close = self.skip_balanced(j, end);
+                        let type_name = if is_impl {
+                            after_for.or_else(|| names.last().cloned())
+                        } else {
+                            names.first().cloned()
+                        };
+                        let mut inner = ScopeCtx {
+                            module_path: ctx.module_path.clone(),
+                            impl_type: type_name,
+                            in_cfg_test: ctx.in_cfg_test
+                                || (attrs.contains(&"cfg".to_string())
+                                    && attrs.contains(&"test".to_string())),
+                        };
+                        self.items(j + 1, close - 1, &mut inner);
+                        i = close;
+                    } else {
+                        i = j + 1;
+                    }
+                    attrs.clear();
+                }
+                Tok::Ident(kw) if kw == "fn" => {
+                    let name = self.ident(i + 1).unwrap_or("?").to_string();
+                    let line = self.toks[i].line;
+                    // Scan the signature to `{` (body) or `;` (declaration),
+                    // skipping balanced parens (the parameter list may
+                    // contain braces in default-expression position only in
+                    // const generics — rare; parens are the common case).
+                    let mut j = i + 2;
+                    while j < end {
+                        match self.punct(j) {
+                            Some('(') => j = self.skip_balanced(j, end),
+                            Some('{') => break,
+                            Some(';') => break,
+                            _ => j += 1,
+                        }
+                    }
+                    let body = if self.punct(j) == Some('{') {
+                        let close = self.skip_balanced(j, end);
+                        let b = j + 1..close - 1;
+                        j = close;
+                        b
+                    } else {
+                        j += 1;
+                        0..0
+                    };
+                    let is_test = ctx.in_cfg_test || attrs.iter().any(|a| a == "test");
+                    let mut qual: Vec<String> = ctx.module_path.clone();
+                    if let Some(t) = &ctx.impl_type {
+                        qual.push(t.clone());
+                    }
+                    qual.push(name.clone());
+                    self.pf.functions.push(Function {
+                        file: self.pf.path.clone(),
+                        qual_name: qual.join("::"),
+                        name,
+                        impl_type: ctx.impl_type.clone(),
+                        is_test,
+                        line,
+                        body,
+                    });
+                    i = j;
+                    attrs.clear();
+                }
+                Tok::Ident(kw) if kw == "struct" => {
+                    let name = self.ident(i + 1).unwrap_or("?").to_string();
+                    // Find `{` (record struct) before any `;` (unit/tuple).
+                    let mut j = i + 2;
+                    while j < end {
+                        match self.punct(j) {
+                            Some('(') => j = self.skip_balanced(j, end),
+                            Some('{') => break,
+                            Some(';') => break,
+                            _ => j += 1,
+                        }
+                    }
+                    if self.punct(j) == Some('{') {
+                        let close = self.skip_balanced(j, end);
+                        self.collect_lock_fields(&name, j + 1, close - 1);
+                        i = close;
+                    } else {
+                        i = j + 1;
+                    }
+                    attrs.clear();
+                }
+                Tok::Ident(kw) if kw == "enum" => {
+                    let name = self.ident(i + 1).unwrap_or("?").to_string();
+                    let mut j = i + 2;
+                    while j < end && self.punct(j) != Some('{') {
+                        j += 1;
+                    }
+                    if j < end {
+                        let close = self.skip_balanced(j, end);
+                        let variants = self.collect_variants(j + 1, close - 1);
+                        self.pf.enums.push(Enum {
+                            file: self.pf.path.clone(),
+                            name,
+                            variants,
+                            is_test: ctx.in_cfg_test,
+                        });
+                        i = close;
+                    } else {
+                        i = j;
+                    }
+                    attrs.clear();
+                }
+                // Skip other brace-introducing items wholesale so their
+                // contents are not mistaken for item starts (use/static/
+                // const bodies, match arms in const exprs, etc. are rare at
+                // item level; fall through token-by-token).
+                _ => {
+                    if self.punct(i) == Some('{') {
+                        // e.g. a const's block initializer at item level.
+                        i = self.skip_balanced(i, end);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record `name: Mutex<..>` / `name: RwLock<..>` fields in a struct
+    /// body span.
+    fn collect_lock_fields(&mut self, owner: &str, start: usize, end: usize) {
+        let mut i = start;
+        while i < end {
+            match self.punct(i) {
+                Some('{') | Some('(') | Some('[') => {
+                    i = self.skip_balanced(i, end);
+                    continue;
+                }
+                _ => {}
+            }
+            // Field pattern: Ident `:` ...type until `,` at depth 0.
+            if let (Some(field), Some(':')) = (self.ident(i), self.punct(i + 1)) {
+                // Exclude `::` path separators.
+                if self.punct(i + 2) == Some(':') {
+                    i += 3;
+                    continue;
+                }
+                let mut j = i + 2;
+                let mut angle = 0i32;
+                let mut kind: Option<LockKind> = None;
+                while j < end {
+                    match &self.toks[j].tok {
+                        Tok::Punct(',') if angle <= 0 => break,
+                        Tok::Punct('<') => angle += 1,
+                        Tok::Punct('>') => angle -= 1,
+                        Tok::Ident(s) if s == "Mutex" => kind = kind.or(Some(LockKind::Mutex)),
+                        Tok::Ident(s) if s == "RwLock" => kind = kind.or(Some(LockKind::RwLock)),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(kind) = kind {
+                    self.pf.structs.push(LockField {
+                        owner: owner.to_string(),
+                        field: field.to_string(),
+                        kind,
+                    });
+                }
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Variant names of an enum body: the ident starting each variant,
+    /// skipping attributes and payloads.
+    fn collect_variants(&self, start: usize, end: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut i = start;
+        let mut expect_variant = true;
+        while i < end {
+            match &self.toks[i].tok {
+                Tok::Punct('#') if self.punct(i + 1) == Some('[') => {
+                    i = self.skip_balanced(i + 1, end);
+                }
+                Tok::Punct('{') | Tok::Punct('(') => {
+                    i = self.skip_balanced(i, end);
+                }
+                Tok::Punct(',') => {
+                    expect_variant = true;
+                    i += 1;
+                }
+                Tok::Ident(s) if expect_variant => {
+                    out.push(s.clone());
+                    expect_variant = false;
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functions_modules_and_tests_are_modelled() {
+        let src = r#"
+            pub fn top() { helper(); }
+            mod inner {
+                impl Widget {
+                    fn method(&self) {}
+                }
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn checks() { top(); }
+            }
+        "#;
+        let pf = parse_file("crates/demo/src/lib.rs", src);
+        let names: Vec<_> = pf.functions.iter().map(|f| f.qual_name.as_str()).collect();
+        assert_eq!(names, vec!["top", "inner::Widget::method", "tests::checks"]);
+        assert!(!pf.functions[0].is_test);
+        assert_eq!(pf.functions[1].impl_type.as_deref(), Some("Widget"));
+        assert!(pf.functions[2].is_test);
+        assert_eq!(pf.crate_name, "demo");
+    }
+
+    #[test]
+    fn lock_fields_are_collected() {
+        let src = r#"
+            struct Registry {
+                nodes: Mutex<HashMap<u32, Node>>,
+                index: RwLock<BTreeMap<String, Entry>>,
+                plain: u64,
+            }
+        "#;
+        let pf = parse_file("crates/demo/src/lib.rs", src);
+        let fields: Vec<_> = pf.structs.iter().map(|l| (l.field.as_str(), l.kind)).collect();
+        assert_eq!(
+            fields,
+            vec![("nodes", LockKind::Mutex), ("index", LockKind::RwLock)]
+        );
+    }
+
+    #[test]
+    fn enum_variants_skip_payloads() {
+        let src = r#"
+            pub enum ScoopError {
+                Io(std::io::Error),
+                NotFound(String),
+                Config { key: String },
+                Overloaded,
+            }
+        "#;
+        let pf = parse_file("crates/common/src/error.rs", src);
+        assert_eq!(
+            pf.enums[0].variants,
+            vec!["Io", "NotFound", "Config", "Overloaded"]
+        );
+    }
+
+    #[test]
+    fn impl_trait_for_type_binds_to_the_type() {
+        let src = "impl Middleware for StorletEngine { fn handle(&self) {} }";
+        let pf = parse_file("crates/demo/src/lib.rs", src);
+        assert_eq!(pf.functions[0].impl_type.as_deref(), Some("StorletEngine"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Scoop invariant lints — project-specific rules the type system cannot
+//! express:
+//!
+//! 1. **Error classification**: every `ScoopError` variant must appear in
+//!    `ScoopError::class`, and the match must not use a `_` wildcard — a
+//!    new variant must force a conscious retryable/non-retryable decision.
+//! 2. **Header hygiene**: every `x-*` header string literal must come from
+//!    `scoop_common::headers`; a literal anywhere else (outside test code)
+//!    is a deny finding.
+//! 3. **Bounded retries**: a function that loops on `is_retryable`
+//!    decisions must consult a deadline — retry loops without a time bound
+//!    turn transient faults into hangs.
+
+use crate::findings::{Finding, Severity};
+use crate::lexer::Tok;
+use crate::model::ParsedFile;
+
+/// The one module allowed to define `x-*` header literals.
+const HEADERS_MODULE: &str = "crates/common/src/headers.rs";
+
+pub fn run(files: &[ParsedFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    check_error_classification(files, &mut out);
+    check_header_literals(files, &mut out);
+    check_retry_deadlines(files, &mut out);
+    out
+}
+
+/// Rule 1: `ScoopError::class` covers every variant, no wildcard.
+fn check_error_classification(files: &[ParsedFile], out: &mut Vec<Finding>) {
+    let enum_def = files
+        .iter()
+        .flat_map(|pf| pf.enums.iter().map(move |e| (pf, e)))
+        .find(|(_, e)| e.name == "ScoopError" && !e.is_test);
+    let class_fn = files
+        .iter()
+        .flat_map(|pf| pf.functions.iter().map(move |f| (pf, f)))
+        .find(|(_, f)| {
+            f.name == "class" && f.impl_type.as_deref() == Some("ScoopError") && !f.is_test
+        });
+    let ((epf, edef), (cpf, cdef)) = match (enum_def, class_fn) {
+        (Some(e), Some(c)) => (e, c),
+        _ => {
+            out.push(Finding {
+                pass: "invariants",
+                severity: Severity::Deny,
+                file: "crates/common/src/error.rs".into(),
+                function: "<file>".into(),
+                line: 1,
+                detail: "error-classification-missing".into(),
+                message: "could not locate `enum ScoopError` and `ScoopError::class`".into(),
+            });
+            return;
+        }
+    };
+    let _ = epf;
+    let toks = &cpf.tokens[cdef.body.clone()];
+    let mut mentioned: Vec<&str> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if let Tok::Ident(root) = &t.tok {
+            // `ScoopError::X` or `Self::X`
+            if (root == "ScoopError" || root == "Self")
+                && toks.get(i + 1).map(|t| t.tok == Tok::Punct(':')).unwrap_or(false)
+                && toks.get(i + 2).map(|t| t.tok == Tok::Punct(':')).unwrap_or(false)
+            {
+                if let Some(Tok::Ident(v)) = toks.get(i + 3).map(|t| &t.tok) {
+                    mentioned.push(v);
+                }
+            }
+            // `_ =>` wildcard arm
+            if root == "_"
+                && toks.get(i + 1).map(|t| t.tok == Tok::Punct('=')).unwrap_or(false)
+                && toks.get(i + 2).map(|t| t.tok == Tok::Punct('>')).unwrap_or(false)
+            {
+                out.push(Finding {
+                    pass: "invariants",
+                    severity: Severity::Deny,
+                    file: cpf.path.clone(),
+                    function: cdef.qual_name.clone(),
+                    line: t.line,
+                    detail: "error-classification-wildcard".into(),
+                    message: "`ScoopError::class` uses a `_` arm; new variants would be classified silently".into(),
+                });
+            }
+        }
+    }
+    for v in &edef.variants {
+        if !mentioned.iter().any(|m| m == v) {
+            out.push(Finding {
+                pass: "invariants",
+                severity: Severity::Deny,
+                file: cpf.path.clone(),
+                function: cdef.qual_name.clone(),
+                line: cdef.line,
+                detail: format!("error-variant-unclassified:{v}"),
+                message: format!(
+                    "`ScoopError::{v}` is not classified retryable/non-retryable in `class()`"
+                ),
+            });
+        }
+    }
+}
+
+/// Rule 2: `x-*` literals only in the headers module.
+fn check_header_literals(files: &[ParsedFile], out: &mut Vec<Finding>) {
+    for pf in files {
+        if pf.path.ends_with(HEADERS_MODULE) || pf.path == HEADERS_MODULE {
+            continue;
+        }
+        for (i, t) in pf.tokens.iter().enumerate() {
+            let Tok::Str(s) = &t.tok else { continue };
+            if !s.to_ascii_lowercase().starts_with("x-") || pf.in_test_code(i) {
+                continue;
+            }
+            if pf.allow_for(t.line).map(|a| !a.reason.trim().is_empty()).unwrap_or(false) {
+                continue;
+            }
+            let function = pf
+                .functions
+                .iter()
+                .find(|f| f.body.contains(&i))
+                .map(|f| f.qual_name.clone())
+                .unwrap_or_else(|| "<file>".into());
+            out.push(Finding {
+                pass: "invariants",
+                severity: Severity::Deny,
+                file: pf.path.clone(),
+                function,
+                line: t.line,
+                detail: format!("header-literal:{s}"),
+                message: format!(
+                    "header literal \"{s}\" outside scoop_common::headers; import the constant"
+                ),
+            });
+        }
+    }
+}
+
+/// Rule 3: retry loops consult a deadline.
+fn check_retry_deadlines(files: &[ParsedFile], out: &mut Vec<Finding>) {
+    for pf in files {
+        for f in &pf.functions {
+            if f.is_test {
+                continue;
+            }
+            let toks = &pf.tokens[f.body.clone()];
+            let mut loops = false;
+            let mut retry = false;
+            let mut deadline = false;
+            for t in toks {
+                if let Tok::Ident(s) = &t.tok {
+                    match s.as_str() {
+                        "loop" | "while" => loops = true,
+                        "is_retryable" => retry = true,
+                        _ if s.to_ascii_lowercase().contains("deadline") => deadline = true,
+                        _ => {}
+                    }
+                }
+            }
+            if loops && retry && !deadline {
+                if pf.allow_for(f.line).map(|a| !a.reason.trim().is_empty()).unwrap_or(false) {
+                    continue;
+                }
+                out.push(Finding {
+                    pass: "invariants",
+                    severity: Severity::Deny,
+                    file: pf.path.clone(),
+                    function: f.qual_name.clone(),
+                    line: f.line,
+                    detail: "retry-loop-without-deadline".into(),
+                    message: "loops on retryable errors without consulting a Deadline — unbounded retry".into(),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! The analysis passes. Each pass takes the parsed workspace and returns
+//! findings; the driver in [`crate::analyze`] merges and deduplicates.
+
+pub mod invariants;
+pub mod locks;
+pub mod panics;

@@ -1,0 +1,170 @@
+//! Panic-path audit: production data-path code must not contain latent
+//! panics.
+//!
+//! Deny-level: `unwrap()`, `expect()`, `panic!`, `unreachable!`, `todo!`,
+//! `unimplemented!` in non-test functions of the data-path crates. A
+//! `// lint:allow(justification)` on (or immediately above) the line
+//! suppresses the finding; an *empty* justification is itself a deny
+//! finding.
+//!
+//! Warn-level (baselined): slice/map indexing (`x[i]` panics on a miss)
+//! and unchecked integer arithmetic (`+`/`-`/`*` overflow panics in debug,
+//! wraps silently in release), reported once per function so the baseline
+//! is stable under edits within a function.
+
+use crate::findings::{Finding, Severity};
+use crate::lexer::Tok;
+use crate::model::ParsedFile;
+
+/// Crates whose `src/` is a production data path.
+pub const DATA_PATH_CRATES: &[&str] = &["objectstore", "storlets", "connector", "compute", "common"];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn run(files: &[ParsedFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for pf in files {
+        if !DATA_PATH_CRATES.contains(&pf.crate_name.as_str()) {
+            continue;
+        }
+        for f in &pf.functions {
+            if f.is_test {
+                continue;
+            }
+            let mut saw_indexing: Option<u32> = None;
+            let mut saw_arith: Option<u32> = None;
+            let toks = &pf.tokens[f.body.clone()];
+            for (i, t) in toks.iter().enumerate() {
+                match &t.tok {
+                    // `.unwrap(` / `.expect(`
+                    Tok::Ident(m) if (m == "unwrap" || m == "expect") => {
+                        let is_method = i > 0 && toks[i - 1].tok == Tok::Punct('.');
+                        let is_call = toks.get(i + 1).map(|n| n.tok == Tok::Punct('(')).unwrap_or(false);
+                        if is_method && is_call {
+                            push_deny(&mut out, pf, f, t.line, m.clone(), format!("call to `{m}()` on a production data path"));
+                        }
+                    }
+                    Tok::Ident(m) if PANIC_MACROS.contains(&m.as_str()) => {
+                        let is_macro = toks.get(i + 1).map(|n| n.tok == Tok::Punct('!')).unwrap_or(false);
+                        if is_macro {
+                            push_deny(&mut out, pf, f, t.line, format!("{m}!"), format!("`{m}!` reachable on a production data path"));
+                        }
+                    }
+                    // Indexing: `[` after a value (ident / `)` / `]`).
+                    // `x[..]` (full-range slicing) cannot panic.
+                    Tok::Punct('[')
+                        if i > 0 && is_value_end(&toks[i - 1].tok) && !is_full_range(toks, i) =>
+                    {
+                        saw_indexing.get_or_insert(t.line);
+                    }
+                    // Binary integer arithmetic.
+                    Tok::Punct(op @ ('+' | '-' | '*')) if i > 0 => {
+                        let prev = &toks[i - 1].tok;
+                        let next = toks.get(i + 1).map(|n| &n.tok);
+                        // `->`, `*=` handled below; `&mut *p`, `return -x`
+                        // etc. excluded by the binary-position test.
+                        let prev_value = is_value_end(prev) && !is_keyword_operand(prev);
+                        let next_value = matches!(
+                            next,
+                            Some(Tok::Ident(_)) | Some(Tok::Num(_)) | Some(Tok::Punct('('))
+                        );
+                        let arrow = *op == '-' && matches!(next, Some(Tok::Punct('>')));
+                        if prev_value && next_value && !arrow {
+                            saw_arith.get_or_insert(t.line);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(line) = saw_indexing {
+                push_warn(&mut out, pf, f, line, "indexing", "slice/map indexing can panic; prefer `get()`");
+            }
+            if let Some(line) = saw_arith {
+                push_warn(&mut out, pf, f, line, "arithmetic", "unchecked integer arithmetic; prefer checked/saturating ops");
+            }
+        }
+    }
+    out
+}
+
+/// Can the token end a value expression (making a following `[` an index,
+/// or a following operator binary)?
+fn is_value_end(t: &Tok) -> bool {
+    matches!(t, Tok::Ident(_) | Tok::Num(_) | Tok::Punct(')') | Tok::Punct(']'))
+}
+
+/// Keywords that look like idents but cannot be a left operand.
+fn is_keyword_operand(t: &Tok) -> bool {
+    matches!(
+        t,
+        Tok::Ident(s) if matches!(
+            s.as_str(),
+            "mut" | "return" | "in" | "if" | "while" | "match" | "else" | "let" | "as" | "move" | "break"
+        )
+    )
+}
+
+/// Is the bracket group opening at `open` exactly `[..]`?
+fn is_full_range(toks: &[crate::lexer::Token], open: usize) -> bool {
+    matches!(
+        (toks.get(open + 1).map(|t| &t.tok), toks.get(open + 2).map(|t| &t.tok), toks.get(open + 3).map(|t| &t.tok)),
+        (Some(Tok::Punct('.')), Some(Tok::Punct('.')), Some(Tok::Punct(']')))
+    )
+}
+
+fn push_deny(
+    out: &mut Vec<Finding>,
+    pf: &ParsedFile,
+    f: &crate::model::Function,
+    line: u32,
+    detail: String,
+    message: String,
+) {
+    if let Some(allow) = pf.allow_for(line) {
+        if !allow.reason.trim().is_empty() {
+            return; // justified at the site
+        }
+        // An empty justification defeats the purpose of the escape hatch.
+        out.push(Finding {
+            pass: "panic-path",
+            severity: Severity::Deny,
+            file: pf.path.clone(),
+            function: f.qual_name.clone(),
+            line,
+            detail: "allow-without-justification".into(),
+            message: "`lint:allow()` with an empty justification".into(),
+        });
+        return;
+    }
+    out.push(Finding {
+        pass: "panic-path",
+        severity: Severity::Deny,
+        file: pf.path.clone(),
+        function: f.qual_name.clone(),
+        line,
+        detail,
+        message,
+    });
+}
+
+fn push_warn(
+    out: &mut Vec<Finding>,
+    pf: &ParsedFile,
+    f: &crate::model::Function,
+    line: u32,
+    detail: &str,
+    message: &str,
+) {
+    if pf.allow_for(line).map(|a| !a.reason.trim().is_empty()).unwrap_or(false) {
+        return;
+    }
+    out.push(Finding {
+        pass: "panic-path",
+        severity: Severity::Warn,
+        file: pf.path.clone(),
+        function: f.qual_name.clone(),
+        line,
+        detail: detail.into(),
+        message: message.into(),
+    });
+}

@@ -1,0 +1,100 @@
+//! End-to-end fixture tests: known violations in `tests/fixtures/` must
+//! produce *exactly* the expected findings — positives and negatives in
+//! one assertion, so a regression in any pass (missed finding or fresh
+//! false positive) fails loudly.
+//!
+//! The fixtures are never compiled (cargo only builds top-level files in
+//! `tests/`), and the workspace scan skips `crates/lint` entirely, so the
+//! deliberate bugs cannot leak into real lint runs.
+
+use scoop_lint::analyze;
+use scoop_lint::findings::Severity;
+use std::collections::BTreeSet;
+
+/// Load a fixture under a synthetic workspace path (the linter's
+/// crate-based rules key off the path).
+fn fixture(name: &str, synthetic_path: &str) -> (String, String) {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {path}: {e}"));
+    (synthetic_path.to_string(), src)
+}
+
+#[test]
+fn fixtures_produce_exactly_the_expected_findings() {
+    let files = vec![
+        fixture("deadlock.rs", "crates/objectstore/src/fixture_deadlock.rs"),
+        fixture("panics.rs", "crates/storlets/src/fixture_panics.rs"),
+        fixture("invariants.rs", "crates/common/src/fixture_invariants.rs"),
+    ];
+    let findings = analyze(&files);
+    let got: BTreeSet<String> = findings.iter().map(|f| f.fingerprint()).collect();
+    let want: BTreeSet<String> = [
+        // deadlock.rs: the cycle (deny) and the sleep under guard (warn);
+        // `fast_append` (drop before sleep) and the correctly-ordered
+        // `forward` alone produce nothing.
+        "lock-order|crates/objectstore/src/fixture_deadlock.rs|Journal::backward|lock-cycle:Journal.entries,Registry.nodes",
+        "lock-order|crates/objectstore/src/fixture_deadlock.rs|Journal::slow_append|blocking-under-guard:Journal.entries:sleep",
+        // panics.rs: deny panic sites; `justified` is suppressed by its
+        // lint:allow; the empty allow is itself a finding; `clean` and the
+        // #[cfg(test)] module produce nothing.
+        "panic-path|crates/storlets/src/fixture_panics.rs|unwraps|unwrap",
+        "panic-path|crates/storlets/src/fixture_panics.rs|expects|expect",
+        "panic-path|crates/storlets/src/fixture_panics.rs|panics|panic!",
+        "panic-path|crates/storlets/src/fixture_panics.rs|empty_justification|allow-without-justification",
+        "panic-path|crates/storlets/src/fixture_panics.rs|indexes|indexing",
+        "panic-path|crates/storlets/src/fixture_panics.rs|adds|arithmetic",
+        // invariants.rs: unclassified variants, the wildcard arm, the
+        // smuggled header, the unbounded retry; `bounded_retry` produces
+        // nothing.
+        "invariants|crates/common/src/fixture_invariants.rs|ScoopError::class|error-variant-unclassified:Overloaded",
+        "invariants|crates/common/src/fixture_invariants.rs|ScoopError::class|error-variant-unclassified:Corrupt",
+        "invariants|crates/common/src/fixture_invariants.rs|ScoopError::class|error-classification-wildcard",
+        "invariants|crates/common/src/fixture_invariants.rs|smuggled_header|header-literal:x-smuggled-header",
+        "invariants|crates/common/src/fixture_invariants.rs|unbounded_retry|retry-loop-without-deadline",
+    ]
+    .into_iter()
+    .map(str::to_string)
+    .collect();
+
+    let missing: Vec<_> = want.difference(&got).collect();
+    let unexpected: Vec<_> = got.difference(&want).collect();
+    assert!(
+        missing.is_empty() && unexpected.is_empty(),
+        "missing findings: {missing:#?}\nunexpected findings: {unexpected:#?}"
+    );
+
+    // Severity split: the two per-function panic heuristics are warn
+    // (baselined), the sleep-under-guard is warn, everything else denies.
+    let deny = findings.iter().filter(|f| f.severity == Severity::Deny).count();
+    let warn = findings.iter().filter(|f| f.severity == Severity::Warn).count();
+    assert_eq!((deny, warn), (10, 3), "severity split changed");
+}
+
+#[test]
+fn clean_fixture_set_is_finding_free() {
+    // The justified allow and test-only code paths, alone: no findings at
+    // all (guards the suppression logic against over-reporting when the
+    // noisy fixtures are absent).
+    let src = r#"
+        pub fn careful(v: Option<u32>) -> u32 {
+            // lint:allow(verified non-empty by the caller's constructor)
+            v.unwrap()
+        }
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() {
+                assert_eq!(super::careful(Some(2)), 2);
+            }
+        }
+    "#;
+    let files = vec![("crates/objectstore/src/fixture_clean.rs".to_string(), src.to_string())];
+    let findings: Vec<_> = analyze(&files)
+        .into_iter()
+        // The single-file set has no ScoopError definition; ignore the
+        // classification-missing finding that correctly reports that.
+        .filter(|f| f.detail != "error-classification-missing")
+        .collect();
+    assert!(findings.is_empty(), "unexpected findings: {findings:#?}");
+}

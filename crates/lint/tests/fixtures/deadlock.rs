@@ -1,0 +1,52 @@
+//! Lock-order fixture: a known deadlock cycle, a transitive edge through a
+//! helper, a blocking call under a guard, and a correctly-ordered pair
+//! that must NOT be flagged.
+
+pub struct Registry {
+    nodes: Mutex<Vec<u32>>,
+}
+
+pub struct Journal {
+    entries: Mutex<Vec<String>>,
+}
+
+impl Registry {
+    /// Acquires Registry.nodes then Journal.entries.
+    pub fn forward(&self, journal: &Journal) {
+        let guard = self.nodes.lock();
+        let mut log = journal.entries.lock();
+        log.push(format!("{}", guard.len()));
+    }
+}
+
+impl Journal {
+    /// Acquires Journal.entries then (transitively, via a uniquely-named
+    /// helper) Registry.nodes — the reverse order: a cycle.
+    pub fn backward(&self, registry: &Registry) {
+        let log = self.entries.lock();
+        touch_registry_nodes(registry);
+        drop(log);
+    }
+
+    /// Sleeping while holding the journal lock stalls every writer.
+    pub fn slow_append(&self, line: String) {
+        let mut log = self.entries.lock();
+        sleep(Duration::from_millis(10));
+        log.push(line);
+    }
+
+    /// Correct usage: the guard is dropped before the blocking call — no
+    /// finding.
+    pub fn fast_append(&self, line: String) {
+        let mut log = self.entries.lock();
+        log.push(line);
+        drop(log);
+        sleep(Duration::from_millis(10));
+    }
+}
+
+/// Unique name workspace-wide, so calls to it resolve in the call graph.
+fn touch_registry_nodes(registry: &Registry) {
+    let nodes = registry.nodes.lock();
+    let _ = nodes.len();
+}

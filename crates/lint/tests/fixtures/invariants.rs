@@ -1,0 +1,57 @@
+//! Invariant fixture: an error enum whose `class()` misses a variant and
+//! hides behind a wildcard, an `x-*` header literal outside the headers
+//! module, a retry loop with no deadline, and a bounded retry loop that
+//! must NOT be flagged.
+
+pub enum ScoopError {
+    Io(std::io::Error),
+    NotFound(String),
+    Overloaded,
+    Corrupt(String),
+}
+
+impl ScoopError {
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            ScoopError::Io(_) => ErrorClass::Retryable,
+            ScoopError::NotFound(_) => ErrorClass::NonRetryable,
+            // `Overloaded` is never mentioned, and the wildcard silently
+            // classifies future variants.
+            _ => ErrorClass::NonRetryable,
+        }
+    }
+
+    pub fn is_retryable(&self) -> bool {
+        matches!(self.class(), ErrorClass::Retryable)
+    }
+}
+
+pub fn smuggled_header(req: &mut Request) {
+    req.headers.set("x-smuggled-header", "1");
+}
+
+/// Retries forever on retryable errors: no deadline consulted.
+pub fn unbounded_retry(op: &dyn Fn() -> Result<(), ScoopError>) -> Result<(), ScoopError> {
+    loop {
+        match op() {
+            Ok(()) => return Ok(()),
+            Err(e) if e.is_retryable() => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Bounded: consults the deadline every attempt — no finding.
+pub fn bounded_retry(
+    op: &dyn Fn() -> Result<(), ScoopError>,
+    deadline: Deadline,
+) -> Result<(), ScoopError> {
+    loop {
+        deadline.check("bounded retry")?;
+        match op() {
+            Ok(()) => return Ok(()),
+            Err(e) if e.is_retryable() => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Panic-path fixture: deny-level panic sites, warn-level indexing and
+//! arithmetic, a justified `lint:allow`, an empty (rejected) allow, and
+//! test code that must NOT be flagged.
+
+pub fn unwraps(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn expects(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn panics(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+pub fn justified(v: Option<u32>) -> u32 {
+    // lint:allow(the caller inserted the key two lines above; a miss is a
+    // logic bug, not a runtime condition)
+    v.unwrap()
+}
+
+pub fn empty_justification(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow()
+}
+
+pub fn indexes(data: &[u8], i: usize) -> u8 {
+    data[i]
+}
+
+pub fn adds(a: u32, b: u32) -> u32 {
+    a + b
+}
+
+/// Clean: `get` and checked ops only — no findings.
+pub fn clean(data: &[u8], i: usize) -> Option<u8> {
+    data.get(i).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let data = [1u8, 2, 3];
+        assert_eq!(data[0] + data[1], 3);
+    }
+}

@@ -22,12 +22,23 @@
 //! All transitions take an explicit `now: Instant` (with `Instant::now()`
 //! convenience wrappers) so the property tests can drive synthetic time.
 
-use parking_lot::Mutex;
 use scoop_common::ScoopError;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+// Under `--cfg loom` the lock and the skip counter come from the model
+// checker, so `tests/loom.rs` can exhaustively interleave concurrent
+// breaker transitions. The loom Mutex mirrors parking_lot's guard-returning
+// `lock()`, so the state-machine code below is identical in both builds.
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(loom)]
+use loom::sync::Mutex;
+#[cfg(not(loom))]
+use parking_lot::Mutex;
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Circuit-breaker tuning shared by every node's state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,134 @@
+//! The hedged-request race, extracted from the proxy so its
+//! winner-selection logic can run under the loom model checker.
+//!
+//! A read is dispatched to its first replica on a worker thread; if no
+//! response arrives within the hedge interval, the next replica is raced
+//! against it, and the first successful response wins. Losers run to
+//! completion in the background (their outcomes still train the circuit
+//! breaker — that happens inside each attempt closure, not here).
+//!
+//! Under `--cfg loom` the threads and the result channel come from the
+//! model checker, and `tests/loom.rs` drives this exact function through
+//! every interleaving of "replica A finishes / replica B finishes / the
+//! hedge timer fires".
+
+use scoop_common::{Deadline, Result, ScoopError};
+use std::time::Duration;
+
+#[cfg(loom)]
+use loom::{sync::mpsc, thread};
+#[cfg(not(loom))]
+use std::{sync::mpsc, thread};
+
+/// One replica dispatch: runs on its own thread, returns the replica's
+/// outcome. Breaker training belongs inside the closure so it happens for
+/// losers too.
+pub type Attempt<T> = Box<dyn FnOnce() -> Result<T> + Send + 'static>;
+
+/// How long to wait for stragglers once every replica has been launched.
+const STRAGGLER_WAIT: Duration = Duration::from_secs(60);
+
+/// What the race produced, plus the counters the proxy folds into its
+/// stats. Counters are returned (not injected) so the race itself has no
+/// shared mutable state beyond the result channel.
+#[derive(Debug)]
+pub struct RaceOutcome<T> {
+    /// `Ok((attempt_index, value))` for the winning replica, or the final
+    /// error once every candidate failed (or a non-retryable error or
+    /// deadline expiry cut the race short).
+    pub result: Result<(usize, T)>,
+    /// Hedge launches: replicas raced because the hedge interval elapsed.
+    pub hedges_launched: u64,
+    /// Replica failures absorbed by moving on to another candidate.
+    pub failovers: u64,
+}
+
+/// Race `attempts` against each other: launch the first, hedge with the
+/// next after `hedge_after` of silence, return the first success.
+///
+/// Failure policy matches the sequential failover path: retryable errors
+/// and 404s (a replica that missed an under-replicated PUT) move on;
+/// anything else aborts the race. `key` names the object in deadline and
+/// not-found messages.
+pub fn race<T: Send + 'static>(
+    attempts: Vec<Attempt<T>>,
+    hedge_after: Duration,
+    deadline: Deadline,
+    key: &str,
+    mut last_err: Option<ScoopError>,
+) -> RaceOutcome<T> {
+    let total = attempts.len();
+    let mut hedges_launched = 0u64;
+    let mut failovers = 0u64;
+    let (tx, rx) = mpsc::channel::<(usize, Result<T>)>();
+    let mut queue = attempts.into_iter();
+    let mut launched = 0usize;
+    let mut settled = 0usize;
+    let mut spawn_next = |launched: &mut usize| {
+        if let Some(attempt) = queue.next() {
+            let tx = tx.clone();
+            let idx = *launched;
+            thread::spawn(move || {
+                let _ = tx.send((idx, attempt()));
+            });
+            *launched += 1;
+        }
+    };
+    spawn_next(&mut launched);
+    let result = loop {
+        // While unlaunched replicas remain, wait only a hedge interval;
+        // afterwards wait for the stragglers, clamped to the deadline.
+        let wait = if launched < total { hedge_after } else { STRAGGLER_WAIT };
+        match rx.recv_timeout(deadline.clamp_sleep(wait)) {
+            Ok((idx, Ok(v))) => break Ok((idx, v)),
+            Ok((_, Err(e))) => {
+                settled += 1;
+                if e.is_retryable() || matches!(e, ScoopError::NotFound(_)) {
+                    failovers += 1;
+                    note_read_failure(&mut last_err, e);
+                } else {
+                    break Err(e);
+                }
+                if settled == launched {
+                    if launched < total {
+                        // Everything in flight failed: go straight to the
+                        // next replica (a failover, not a hedge).
+                        spawn_next(&mut launched);
+                    } else {
+                        break Err(take_final_error(&mut last_err, key));
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if let Err(e) = deadline.check(&format!("proxy read {key}")) {
+                    break Err(e);
+                }
+                if launched < total {
+                    hedges_launched += 1;
+                    spawn_next(&mut launched);
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                break Err(take_final_error(&mut last_err, key));
+            }
+        }
+    };
+    RaceOutcome { result, hedges_launched, failovers }
+}
+
+fn take_final_error(last_err: &mut Option<ScoopError>, key: &str) -> ScoopError {
+    last_err
+        .take()
+        .unwrap_or_else(|| ScoopError::NotFound(format!("object {key}")))
+}
+
+/// Fold a failed replica read into the running error, preserving the rule
+/// that a stale replica's 404 must not mask a transient failure on a
+/// replica that may hold the object: surfacing the retryable error lets
+/// the client re-dispatch and reach the healthy copy.
+pub fn note_read_failure(last_err: &mut Option<ScoopError>, e: ScoopError) {
+    match (&*last_err, &e) {
+        (Some(prev), ScoopError::NotFound(_)) if prev.is_retryable() => {}
+        _ => *last_err = Some(e),
+    }
+}

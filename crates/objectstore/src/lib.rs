@@ -30,6 +30,7 @@ pub mod auth;
 pub mod backend;
 pub mod fault;
 pub mod health;
+pub mod hedge;
 pub mod middleware;
 pub mod objserver;
 pub mod path;

@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 /// Stage marker header set by servers before running their pipeline, so a
 /// middleware (e.g. the storlet engine) knows which tier it executes on.
-pub const STAGE_HEADER: &str = "x-backend-stage";
+pub const STAGE_HEADER: &str = scoop_common::headers::BACKEND_STAGE;
 /// Stage value at proxies.
 pub const STAGE_PROXY: &str = "proxy";
 /// Stage value at object servers.
@@ -35,7 +35,7 @@ pub const STAGE_OBJECT: &str = "object";
 /// with a fresh token; a re-dispatched PUT whose first attempt already
 /// landed on a replica is acked without re-storing, so it cannot
 /// double-count toward the write quorum.
-pub const UPLOAD_TOKEN_HEADER: &str = "x-upload-token";
+pub const UPLOAD_TOKEN_HEADER: &str = scoop_common::headers::UPLOAD_TOKEN;
 
 /// Monotonic counters exposed for experiments (bytes served, request counts).
 #[derive(Debug, Default)]
@@ -181,7 +181,7 @@ impl ObjectServer {
     /// Extract `x-object-meta-*` headers into a metadata map.
     fn user_metadata(req: &Request) -> BTreeMap<String, String> {
         req.headers
-            .with_prefix("x-object-meta-")
+            .with_prefix(scoop_common::headers::OBJECT_META_PREFIX)
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect()
     }
@@ -250,7 +250,7 @@ impl ObjectServer {
                 let mut resp = Response::ok(stream::chunked(data, RESPONSE_CHUNK))
                     .with_header("etag", meta.etag)
                     .with_header("content-length", (end - start).to_string())
-                    .with_header("x-object-length", meta.size.to_string());
+                    .with_header(scoop_common::headers::OBJECT_LENGTH, meta.size.to_string());
                 // The upload token is replica-internal bookkeeping, not
                 // user metadata — it never leaves the server.
                 for (k, v) in meta.metadata.iter().filter(|(k, _)| *k != UPLOAD_TOKEN_HEADER) {

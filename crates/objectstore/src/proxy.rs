@@ -9,16 +9,16 @@
 
 use crate::auth::AuthService;
 use crate::health::NodeHealth;
+use crate::hedge::{self, note_read_failure};
 use crate::middleware::Pipeline;
 use crate::objserver::{ObjectServer, STAGE_HEADER, STAGE_PROXY};
 use crate::path::ObjectPath;
 use crate::request::{Method, Request, Response};
 use crate::ring::{DeviceId, Ring};
 use parking_lot::RwLock;
-use scoop_common::{Result, ScoopError};
+use scoop_common::{headers, Result, ScoopError};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -254,7 +254,7 @@ impl ProxyServer {
         }
         let token = req
             .headers
-            .get("x-auth-token")
+            .get(headers::AUTH_TOKEN)
             .ok_or_else(|| ScoopError::Unauthorized("missing X-Auth-Token".into()))?;
         match self.auth.validate(token) {
             Some(account) if account == req.path.account => Ok(()),
@@ -462,80 +462,44 @@ impl ProxyServer {
     /// Hedged read: dispatch the first replica on its own thread; if it
     /// stays silent past the hedge threshold, race the next one. The first
     /// successful byte stream wins; losers finish (and train the breaker)
-    /// in the background.
+    /// in the background. The race itself lives in [`crate::hedge`] so the
+    /// loom suite can model-check its winner selection.
     fn fetch_hedged(
         &self,
         req: &Request,
         candidates: Vec<(DeviceId, u32, Arc<ObjectServer>)>,
         hedge_after: Duration,
-        mut last_err: Option<ScoopError>,
+        last_err: Option<ScoopError>,
         key: &str,
     ) -> Result<Response> {
-        let total = candidates.len();
-        let (tx, rx) = mpsc::channel::<(usize, Result<Response>)>();
-        let mut queue = candidates.into_iter();
-        let mut launched = 0usize;
-        let mut settled = 0usize;
-        let mut spawn_next = |launched: &mut usize| {
-            if let Some((dev, node, server)) = queue.next() {
+        let attempts: Vec<hedge::Attempt<Response>> = candidates
+            .into_iter()
+            .map(|(dev, node, server)| {
                 let req = req.clone();
                 let health = self.health.clone();
-                let tx = tx.clone();
-                let idx = *launched;
-                std::thread::spawn(move || {
+                Box::new(move || {
                     let result = server.handle(dev, req);
                     Self::train_breaker(&health, node, &result);
-                    let _ = tx.send((idx, result));
-                });
-                *launched += 1;
+                    result
+                }) as hedge::Attempt<Response>
+            })
+            .collect();
+        let outcome = hedge::race(attempts, hedge_after, req.deadline, key, last_err);
+        self.stats
+            .hedged_gets
+            .fetch_add(outcome.hedges_launched, Ordering::Relaxed);
+        self.stats
+            .replica_failovers
+            .fetch_add(outcome.failovers, Ordering::Relaxed);
+        match outcome.result {
+            Ok((idx, resp)) => {
+                if idx > 0 {
+                    self.stats.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                }
+                self.count_read(&resp);
+                Ok(resp)
             }
-        };
-        spawn_next(&mut launched);
-        loop {
-            // While unlaunched replicas remain, wait only a hedge interval;
-            // afterwards wait for the stragglers, clamped to the deadline.
-            let wait = if launched < total { hedge_after } else { Duration::from_secs(60) };
-            match rx.recv_timeout(req.deadline.clamp_sleep(wait)) {
-                Ok((idx, Ok(resp))) => {
-                    if idx > 0 {
-                        self.stats.hedge_wins.fetch_add(1, Ordering::Relaxed);
-                    }
-                    self.count_read(&resp);
-                    return Ok(resp);
-                }
-                Ok((_, Err(e))) => {
-                    settled += 1;
-                    if e.is_retryable() || matches!(e, ScoopError::NotFound(_)) {
-                        self.stats.replica_failovers.fetch_add(1, Ordering::Relaxed);
-                        note_read_failure(&mut last_err, e);
-                    } else {
-                        return Err(e);
-                    }
-                    if settled == launched {
-                        if launched < total {
-                            // Everything in flight failed: go straight to
-                            // the next replica (a failover, not a hedge).
-                            spawn_next(&mut launched);
-                        } else {
-                            return Err(last_err.unwrap_or_else(|| {
-                                ScoopError::NotFound(format!("object {key}"))
-                            }));
-                        }
-                    }
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    req.deadline.check(&format!("proxy read {key}"))?;
-                    if launched < total {
-                        self.stats.hedged_gets.fetch_add(1, Ordering::Relaxed);
-                        spawn_next(&mut launched);
-                    }
-                }
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    return Err(last_err.unwrap_or_else(|| {
-                        ScoopError::NotFound(format!("object {key}"))
-                    }));
-                }
-            }
+            Err(e) => Err(e),
         }
     }
 
@@ -574,17 +538,6 @@ impl ProxyServer {
     /// The shared container service (listings, container management).
     pub fn containers(&self) -> &ContainerService {
         &self.containers
-    }
-}
-
-/// Fold a failed replica read into the running error, preserving the rule
-/// that a stale replica's 404 must not mask a transient failure on a
-/// replica that may hold the object: surfacing the retryable error lets
-/// the client re-dispatch and reach the healthy copy.
-fn note_read_failure(last_err: &mut Option<ScoopError>, e: ScoopError) {
-    match (&*last_err, &e) {
-        (Some(prev), ScoopError::NotFound(_)) if prev.is_retryable() => {}
-        _ => *last_err = Some(e),
     }
 }
 
@@ -713,7 +666,7 @@ mod tests {
         // Bad token.
         assert_eq!(
             proxy
-                .handle(Request::get(p("x.csv")).with_header("x-auth-token", "nope"))
+                .handle(Request::get(p("x.csv")).with_header(headers::AUTH_TOKEN, "nope"))
                 .unwrap_err()
                 .kind(),
             "unauthorized"
@@ -723,7 +676,7 @@ mod tests {
         let wrong = auth.issue_token("AUTH_other", "u", "k").unwrap();
         assert_eq!(
             proxy
-                .handle(Request::get(p("x.csv")).with_header("x-auth-token", wrong))
+                .handle(Request::get(p("x.csv")).with_header(headers::AUTH_TOKEN, wrong))
                 .unwrap_err()
                 .kind(),
             "unauthorized"
@@ -732,7 +685,7 @@ mod tests {
         let tok = auth.issue_token("AUTH_gp", "u", "k").unwrap();
         assert_eq!(
             proxy
-                .handle(Request::get(p("x.csv")).with_header("x-auth-token", tok))
+                .handle(Request::get(p("x.csv")).with_header(headers::AUTH_TOKEN, tok))
                 .unwrap_err()
                 .kind(),
             "not_found"

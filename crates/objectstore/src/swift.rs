@@ -427,7 +427,7 @@ impl SwiftClient {
     /// synthetic timeout.
     pub fn request(&self, mut req: Request) -> Result<Response> {
         if let Some(tok) = &self.token {
-            req.headers.set("x-auth-token", tok.clone());
+            req.headers.set(scoop_common::headers::AUTH_TOKEN, tok.clone());
         }
         req.deadline = req.deadline.earliest(*self.deadline.lock());
         let deadline = req.deadline;

@@ -1,0 +1,234 @@
+//! Model-checked concurrency suite: run with
+//! `RUSTFLAGS="--cfg loom" cargo test -p scoop-objectstore --test loom`.
+//!
+//! Each test wraps a scenario in `loom::model`, which executes it under
+//! *every* interleaving of the participating threads' synchronization
+//! operations (sequentially-consistent memory model — see the vendored
+//! `loom` crate docs for the model's limits). Two subsystems are covered:
+//!
+//! * the circuit breaker (`health::NodeHealth`) — concurrent failure
+//!   recording, probe admission across the open→half-open boundary, and
+//!   the probe-success/probe-failure race;
+//! * the hedged-GET race (`hedge::race`) — both replicas finishing in
+//!   either order, interleaved with the hedge timer firing or not.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc as LoomArc;
+use loom::thread;
+use scoop_common::{Deadline, ScoopError};
+use scoop_objectstore::health::{BreakerConfig, NodeHealth};
+use scoop_objectstore::hedge::{self, Attempt};
+use std::time::{Duration, Instant};
+
+fn io_err(msg: &str) -> ScoopError {
+    ScoopError::Io(std::io::Error::other(msg.to_string()))
+}
+
+/// Two threads record failures concurrently against a threshold of 2: no
+/// interleaving may lose an update — the breaker must end up open, and a
+/// read arriving afterwards must be short-circuited with the retryable
+/// error preserved.
+#[test]
+fn breaker_concurrent_failures_trip_exactly() {
+    loom::model(|| {
+        let health = NodeHealth::new(BreakerConfig {
+            failure_threshold: 2,
+            open_for: Duration::from_secs(5),
+        });
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let h = health.clone();
+                thread::spawn(move || h.record_failure_at(7, t0, &io_err("replica down")))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            health.is_open(7, t0 + Duration::from_secs(1)),
+            "two concurrent failures at threshold 2 must trip the breaker"
+        );
+        assert!(!health.admit_at(7, t0 + Duration::from_secs(1)));
+        let err = health.last_error(7).expect("open breaker remembers its error");
+        assert!(err.is_retryable(), "remembered error must stay retryable");
+    });
+}
+
+/// Closed→open→half-open under concurrent probes: once the open window
+/// elapses, two concurrent readers race to probe. Every interleaving must
+/// admit both (half-open does not limit probes here, and flipping
+/// open→half-open must not deadlock or lose the state), and a subsequent
+/// success must close the breaker.
+#[test]
+fn breaker_open_to_half_open_concurrent_probes() {
+    loom::model(|| {
+        let health = NodeHealth::new(BreakerConfig {
+            failure_threshold: 1,
+            open_for: Duration::from_secs(5),
+        });
+        let t0 = Instant::now();
+        health.record_failure_at(3, t0, &io_err("replica down"));
+        assert!(!health.admit_at(3, t0 + Duration::from_secs(1)));
+        let probe_time = t0 + Duration::from_secs(6);
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let h = health.clone();
+                thread::spawn(move || h.admit_at(3, probe_time))
+            })
+            .collect();
+        for h in handles {
+            assert!(
+                h.join().unwrap(),
+                "an elapsed open window must admit every probe"
+            );
+        }
+        health.record_success(3);
+        assert!(health.admit_at(3, probe_time));
+        assert!(health.last_error(3).is_none());
+    });
+}
+
+/// Half-open probe success races a concurrent failure: whichever order the
+/// model picks, the breaker must land in a *consistent* state — closed
+/// with no remembered error, or open with one — never a torn mix.
+#[test]
+fn breaker_probe_success_failure_race_is_consistent() {
+    loom::model(|| {
+        let health = NodeHealth::new(BreakerConfig {
+            failure_threshold: 1,
+            open_for: Duration::from_secs(5),
+        });
+        let t0 = Instant::now();
+        health.record_failure_at(9, t0, &io_err("first failure"));
+        let probe_time = t0 + Duration::from_secs(6);
+        assert!(health.admit_at(9, probe_time));
+
+        let ok = {
+            let h = health.clone();
+            thread::spawn(move || h.record_success(9))
+        };
+        let bad = {
+            let h = health.clone();
+            thread::spawn(move || h.record_failure_at(9, probe_time, &io_err("probe failed")))
+        };
+        ok.join().unwrap();
+        bad.join().unwrap();
+
+        let open = health.is_open(9, probe_time + Duration::from_secs(1));
+        let remembered = health.last_error(9);
+        if open {
+            assert!(
+                remembered.is_some(),
+                "an open breaker must remember the error that tripped it"
+            );
+        } else {
+            assert!(
+                remembered.is_none(),
+                "a closed breaker must not carry a stale error"
+            );
+            assert!(health.admit_at(9, probe_time + Duration::from_secs(1)));
+        }
+    });
+}
+
+/// Hedged GET with two successful replicas finishing in either order:
+/// every interleaving (including the hedge timer firing before or after
+/// the first result) must yield exactly one winner whose payload matches
+/// its index, and both attempts must still run to completion (the loser
+/// trains the breaker in the background).
+#[test]
+fn hedged_get_single_winner_either_order() {
+    loom::model(|| {
+        let completions = LoomArc::new(AtomicUsize::new(0));
+        let attempts: Vec<Attempt<usize>> = (0..2usize)
+            .map(|idx| {
+                let completions = completions.clone();
+                Box::new(move || {
+                    completions.fetch_add(1, Ordering::SeqCst);
+                    Ok(idx)
+                }) as Attempt<usize>
+            })
+            .collect();
+        let outcome = hedge::race(
+            attempts,
+            Duration::from_millis(1),
+            Deadline::none(),
+            "o1",
+            None,
+        );
+        let (winner, value) = outcome.result.expect("two healthy replicas must produce a winner");
+        assert_eq!(value, winner, "winner payload must come from the winning attempt");
+        assert!(winner < 2);
+        assert!(outcome.hedges_launched <= 1, "at most one hedge for two replicas");
+        assert_eq!(outcome.failovers, 0);
+        // The loser may still be running when race() returns; its
+        // completion is only guaranteed once the model drains all threads,
+        // which loom checks implicitly (no thread may be left blocked).
+        assert!(completions.load(Ordering::SeqCst) >= 1);
+    });
+}
+
+/// Hedged GET where the first replica fails retryably and the second
+/// succeeds: in every interleaving the success must win (never be masked
+/// by the earlier failure). Replica 1 is launched either by the hedge
+/// timer or by the failover path — and if the winner returns before the
+/// failure is drained, the failover is legitimately never counted.
+#[test]
+fn hedged_get_failure_never_masks_success() {
+    loom::model(|| {
+        let trained = LoomArc::new(AtomicUsize::new(0));
+        let mut attempts: Vec<Attempt<usize>> = Vec::new();
+        let t0 = trained.clone();
+        attempts.push(Box::new(move || {
+            t0.fetch_add(1, Ordering::SeqCst);
+            Err(io_err("replica 0 down"))
+        }));
+        let t1 = trained.clone();
+        attempts.push(Box::new(move || {
+            t1.fetch_add(1, Ordering::SeqCst);
+            Ok(41usize)
+        }));
+        let outcome = hedge::race(
+            attempts,
+            Duration::from_millis(1),
+            Deadline::none(),
+            "o2",
+            None,
+        );
+        let (winner, value) = outcome.result.expect("the healthy replica must win");
+        assert_eq!((winner, value), (1, 41));
+        assert!(outcome.failovers <= 1, "one failed replica is at most one failover");
+        assert!(outcome.hedges_launched <= 1);
+        assert!(
+            outcome.failovers + outcome.hedges_launched >= 1,
+            "replica 1 must have been launched by the hedge timer or the failover path"
+        );
+    });
+}
+
+/// Both replicas fail retryably: the race must terminate in every
+/// interleaving (no lost wake-up between the last failure and the
+/// receiver) and surface a retryable error — never a fabricated 404 and
+/// never a hang.
+#[test]
+fn hedged_get_all_failures_surface_retryable_error() {
+    loom::model(|| {
+        let attempts: Vec<Attempt<usize>> = (0..2)
+            .map(|idx| {
+                Box::new(move || Err(io_err(&format!("replica {idx} down")))) as Attempt<usize>
+            })
+            .collect();
+        let outcome = hedge::race(
+            attempts,
+            Duration::from_millis(1),
+            Deadline::none(),
+            "o3",
+            None,
+        );
+        let err = outcome.result.expect_err("all replicas failed");
+        assert!(err.is_retryable(), "surviving error must stay retryable: {err}");
+        assert_eq!(outcome.failovers, 2);
+    });
+}

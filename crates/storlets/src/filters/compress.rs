@@ -97,10 +97,11 @@ fn eager_transform(
     let mut f = Some(f);
     Ok(Box::new(std::iter::from_fn(move || {
         let inp = input.take()?;
+        let transform = f.take()?;
         let run = || -> Result<Bytes> {
             let data = scoop_common::stream::collect(inp)?;
             metrics.bytes_in.fetch_add(data.len() as u64, Ordering::Relaxed);
-            let out = (f.take().expect("single invocation"))(&data)?;
+            let out = transform(&data)?;
             metrics.bytes_out.fetch_add(out.len() as u64, Ordering::Relaxed);
             Ok(Bytes::from(out))
         };

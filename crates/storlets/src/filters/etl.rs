@@ -92,16 +92,22 @@ impl Storlet for EtlCleanseStorlet {
                 Some(Err(e)) => return Some(Err(e)),
                 Some(Ok(chunk)) => {
                     metrics.bytes_in.fetch_add(chunk.len() as u64, Ordering::Relaxed);
-                    splitter
-                        .as_mut()
-                        .expect("checked above")
-                        .push(&chunk, |r| process(r, &mut out));
+                    // The loop header already bailed on a consumed splitter;
+                    // a classified error beats a panic if that ever breaks.
+                    let Some(sp) = splitter.as_mut() else {
+                        return Some(Err(ScoopError::Internal(
+                            "etl record splitter consumed twice".into(),
+                        )));
+                    };
+                    sp.push(&chunk, |r| process(r, &mut out));
                 }
                 None => {
-                    splitter
-                        .take()
-                        .expect("checked above")
-                        .finish(|r| process(r, &mut out));
+                    let Some(sp) = splitter.take() else {
+                        return Some(Err(ScoopError::Internal(
+                            "etl record splitter consumed twice".into(),
+                        )));
+                    };
+                    sp.finish(|r| process(r, &mut out));
                     input = None;
                 }
             }

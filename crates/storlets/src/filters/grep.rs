@@ -47,7 +47,15 @@ impl Storlet for LineGrepStorlet {
                 None => {
                     let m = &metrics;
                     let pat = &pattern;
-                    splitter.take().expect("checked above").finish(|line| {
+                    // The loop header already bailed on a consumed splitter;
+                    // if that invariant ever breaks, surface a classified
+                    // error instead of panicking mid-stream.
+                    let Some(sp) = splitter.take() else {
+                        return Some(Err(scoop_common::ScoopError::Internal(
+                            "grep record splitter consumed twice".into(),
+                        )));
+                    };
+                    sp.finish(|line| {
                         m.records_in.fetch_add(1, Ordering::Relaxed);
                         let hit = contains(line, pat);
                         if hit != invert {

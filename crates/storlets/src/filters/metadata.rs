@@ -41,12 +41,10 @@ pub fn decode_simg_tags(data: &[u8]) -> Result<Vec<(String, String)>> {
     let mut tags = Vec::with_capacity(n);
     let mut i = 6usize;
     let read_str = |i: &mut usize| -> Result<String> {
-        let len = u16::from_le_bytes(
-            data.get(*i..*i + 2)
-                .ok_or_else(|| ScoopError::Storlet("truncated SIMG tag".into()))?
-                .try_into()
-                .expect("2 bytes"),
-        ) as usize;
+        let len = match data.get(*i..*i + 2) {
+            Some(&[lo, hi]) => u16::from_le_bytes([lo, hi]) as usize,
+            _ => return Err(ScoopError::Storlet("truncated SIMG tag".into())),
+        };
         *i += 2;
         let s = data
             .get(*i..*i + len)

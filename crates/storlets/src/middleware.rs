@@ -19,23 +19,25 @@ use scoop_common::{stream, Result, ScoopError};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Header names understood by the middleware.
+/// Header names understood by the middleware. The actual strings live in
+/// [`scoop_common::headers`] — the workspace's single constants module —
+/// and are re-exported here under the middleware's historical names.
 pub mod headers {
     /// Comma-separated storlet pipeline to execute.
-    pub const RUN_STORLET: &str = "x-run-storlet";
+    pub use scoop_common::headers::RUN_STORLET;
     /// Invocation parameters, `k=v` pairs joined by `;` (percent-escaped).
-    pub const PARAMETERS: &str = "x-storlet-parameters";
+    pub use scoop_common::headers::STORLET_PARAMETERS as PARAMETERS;
     /// Execution stage: `proxy` or `object` (default `object`).
-    pub const RUN_ON: &str = "x-storlet-run-on";
+    pub use scoop_common::headers::STORLET_RUN_ON as RUN_ON;
     /// Logical byte range handled by the storlet (record-aligned), e.g.
     /// `bytes=1048576-2097151`.
-    pub const STORLET_RANGE: &str = "x-storlet-range";
+    pub use scoop_common::headers::STORLET_RANGE;
     /// Response marker listing executed storlets.
-    pub const INVOKED: &str = "x-storlet-invoked";
+    pub use scoop_common::headers::STORLET_INVOKED as INVOKED;
     /// Set on `503` responses when pushdown was shed for overload; names
     /// the storlets that were *not* run so the client can fall back to a
     /// plain GET and filter locally.
-    pub const DEGRADED: &str = "x-storlet-degraded";
+    pub use scoop_common::headers::STORLET_DEGRADED as DEGRADED;
 }
 
 /// Encode invocation parameters for [`headers::PARAMETERS`].

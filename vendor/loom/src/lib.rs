@@ -1,0 +1,52 @@
+//! Offline stand-in for the [loom](https://github.com/tokio-rs/loom)
+//! concurrency model checker.
+//!
+//! The build environment has no route to crates.io, so this crate
+//! reimplements the subset of loom's API the workspace uses. Like real
+//! loom it is a *stateless model checker*: [`model`] runs the test closure
+//! many times, each run following one schedule of the controlled threads,
+//! and a depth-first search over scheduling decisions covers every
+//! interleaving of synchronization operations.
+//!
+//! ## How it works
+//!
+//! Exactly one controlled thread executes at a time; the token is handed
+//! over at *decision points* — before every visible operation (mutex
+//! acquire, atomic access, channel send/receive, spawn, join). At each
+//! decision point the scheduler consults a replay plan: the first run
+//! always picks the lowest-numbered runnable thread, and after each run
+//! the deepest decision that still has an unexplored alternative is
+//! advanced, until the whole tree is exhausted.
+//!
+//! Timeouts ([`sync::mpsc::Receiver::recv_timeout`]) are modeled as a
+//! nondeterministic choice between waiting and firing, so both outcomes
+//! are explored without any real clock.
+//!
+//! ## Differences from real loom
+//!
+//! * The memory model is **sequentially consistent**: `Ordering` arguments
+//!   are accepted but weak-memory reorderings are *not* explored. Lost
+//!   updates, deadlocks and ordering races at SC level are found; `Relaxed`
+//!   vs `Acquire/Release` bugs are not.
+//! * [`sync::Mutex::lock`] returns the guard directly (parking_lot style,
+//!   no poison `Result`), matching how the workspace wraps its locks.
+//! * Outside [`model`], every primitive falls back to its `std` behavior,
+//!   so code paths shared with production binaries still run.
+
+pub mod sched;
+pub mod sync;
+pub mod thread;
+
+/// Exhaustively explore every interleaving of the controlled threads
+/// spawned by `f`.
+///
+/// `f` is executed once per schedule; it must be deterministic apart from
+/// the scheduling itself. Panics (assertion failures) and deadlocks in any
+/// schedule abort the exploration and re-panic with the failure, so a
+/// `#[test]` wrapping `model` fails on the first buggy interleaving.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    sched::run_model(f);
+}

@@ -1,0 +1,415 @@
+//! The schedule explorer: token-passing execution of controlled threads
+//! plus depth-first search over scheduling decisions.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Hard cap on explored schedules; a run that exceeds it almost certainly
+/// has an unbounded decision loop rather than a large but finite tree.
+const MAX_SCHEDULES: usize = 200_000;
+
+/// Globally unique ids for blockable resources (mutexes, channels, thread
+/// joins). A plain global counter keeps ids unique even when a primitive
+/// outlives one `model` run or two models run on parallel test threads.
+static NEXT_RESOURCE: AtomicUsize = AtomicUsize::new(1);
+
+pub(crate) fn new_resource() -> usize {
+    NEXT_RESOURCE.fetch_add(1, Ordering::Relaxed)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Eligible to receive the token.
+    Runnable,
+    /// Waiting for the given resource to change state.
+    Blocked(usize),
+    /// Done (normally or via an aborted execution).
+    Finished,
+}
+
+struct ExecState {
+    status: Vec<Status>,
+    /// Join resource of each controlled thread.
+    join_res: Vec<usize>,
+    /// Thread currently holding the token.
+    current: usize,
+    /// Decisions taken this run: (alternative count, chosen position).
+    /// Single-alternative points are not recorded.
+    history: Vec<(usize, usize)>,
+    /// Chosen positions replayed from the previous run (DFS prefix).
+    preplan: Vec<usize>,
+    /// First failure (panic or deadlock) observed this run.
+    failed: Option<String>,
+}
+
+impl ExecState {
+    fn runnable(&self) -> Vec<usize> {
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Status::Runnable))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn all_finished(&self) -> bool {
+        self.status.iter().all(|s| matches!(s, Status::Finished))
+    }
+
+    /// Pick a position among `n` alternatives: replay the plan prefix,
+    /// then first-choice. Singleton decisions are not recorded so the
+    /// history only holds genuine branch points.
+    fn decide(&mut self, n: usize) -> usize {
+        if n == 1 {
+            return 0;
+        }
+        let pos = if self.history.len() < self.preplan.len() {
+            self.preplan[self.history.len()].min(n - 1)
+        } else {
+            0
+        };
+        self.history.push((n, pos));
+        pos
+    }
+}
+
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The active execution + controlled-thread id, if this OS thread is
+/// running under a model.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(v: Option<(Arc<Execution>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+impl Execution {
+    fn new(preplan: Vec<usize>) -> Arc<Execution> {
+        Arc::new(Execution {
+            state: Mutex::new(ExecState {
+                status: vec![Status::Runnable],
+                join_res: vec![new_resource()],
+                current: 0,
+                history: Vec::new(),
+                preplan,
+                failed: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        // The explorer's own lock is never held across user code, so
+        // poisoning can only come from a bug in this module; recover to
+        // keep the failure report readable.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pick the next thread among `runnable` and hand it the token, then
+    /// wait (if needed) until `me` is scheduled again. Call with the state
+    /// locked; returns with it locked.
+    fn reschedule<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, ExecState>,
+        me: usize,
+    ) -> std::sync::MutexGuard<'a, ExecState> {
+        let runnable = st.runnable();
+        debug_assert!(!runnable.is_empty());
+        let pos = st.decide(runnable.len());
+        st.current = runnable[pos];
+        self.cv.notify_all();
+        while !(st.current == me && matches!(st.status[me], Status::Runnable))
+            && st.failed.is_none()
+        {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st
+    }
+
+    fn abort_if_failed(&self, st: std::sync::MutexGuard<'_, ExecState>) {
+        let failed = st.failed.is_some();
+        drop(st);
+        if failed {
+            panic!("loom: execution aborted");
+        }
+    }
+}
+
+/// Decision point: hand the token to any runnable thread (possibly the
+/// caller) before the caller performs its next visible operation. No-op
+/// outside a model.
+pub(crate) fn switch() {
+    if let Some((exec, me)) = current() {
+        let st = exec.lock();
+        if st.failed.is_some() {
+            exec.abort_if_failed(st);
+            return;
+        }
+        let st = exec.reschedule(st, me);
+        exec.abort_if_failed_keep_running(st);
+    }
+}
+
+impl Execution {
+    /// After a wake-up, a set failure flag means some other thread
+    /// panicked or a deadlock was declared: unwind out of user code.
+    fn abort_if_failed_keep_running(&self, st: std::sync::MutexGuard<'_, ExecState>) {
+        let failed = st.failed.is_some();
+        drop(st);
+        if failed {
+            panic!("loom: execution aborted");
+        }
+    }
+}
+
+/// Nondeterministic choice among `n` alternatives (used to model timeout
+/// firing). Returns 0 outside a model.
+pub(crate) fn nondet(n: usize) -> usize {
+    match current() {
+        Some((exec, _me)) => {
+            let mut st = exec.lock();
+            if st.failed.is_some() {
+                exec.abort_if_failed(st);
+                return 0;
+            }
+            st.decide(n)
+        }
+        None => 0,
+    }
+}
+
+/// Block the calling controlled thread on `resource` until another thread
+/// calls [`unblock`] on it. Returns `false` (without blocking) when every
+/// other thread is blocked or finished — i.e. blocking would deadlock —
+/// so callers with an escape hatch (timeouts) can take it.
+pub(crate) fn block_on(resource: usize) -> bool {
+    let Some((exec, me)) = current() else {
+        return true; // fallback paths never call this
+    };
+    let mut st = exec.lock();
+    if st.failed.is_some() {
+        exec.abort_if_failed(st);
+        return false;
+    }
+    st.status[me] = Status::Blocked(resource);
+    if st.runnable().is_empty() {
+        st.status[me] = Status::Runnable;
+        return false;
+    }
+    let st = exec.reschedule(st, me);
+    exec.abort_if_failed_keep_running(st);
+    true
+}
+
+/// Like [`block_on`] but a dead end is a genuine deadlock: report and
+/// abort the execution.
+pub(crate) fn block_on_or_deadlock(resource: usize, what: &str) {
+    if !block_on(resource) {
+        fail(format!("loom: deadlock — every thread is blocked while waiting for {what}"));
+    }
+}
+
+/// Mark every thread blocked on `resource` runnable again. Quiet (no
+/// decision point): the woken threads only run once a later decision picks
+/// them, which keeps release operations usable from `Drop` during panics.
+pub(crate) fn unblock(resource: usize) {
+    if let Some((exec, _)) = current() {
+        let mut st = exec.lock();
+        for s in st.status.iter_mut() {
+            if *s == Status::Blocked(resource) {
+                *s = Status::Runnable;
+            }
+        }
+    }
+}
+
+/// Record a failure and wake everyone so the execution unwinds, then
+/// panic on the calling thread.
+pub(crate) fn fail(msg: String) -> ! {
+    if let Some((exec, _)) = current() {
+        let mut st = exec.lock();
+        if st.failed.is_none() {
+            st.failed = Some(msg.clone());
+        }
+        exec.cv.notify_all();
+    }
+    panic!("{msg}");
+}
+
+/// Spawn a controlled thread running `f`; returns its id and join resource.
+pub(crate) fn spawn_controlled<F>(f: F) -> (usize, usize)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let (exec, _me) = current().expect("loom primitives used outside a model");
+    switch();
+    let (id, join_res) = {
+        let mut st = exec.lock();
+        st.status.push(Status::Runnable);
+        let join_res = new_resource();
+        st.join_res.push(join_res);
+        (st.status.len() - 1, join_res)
+    };
+    let exec2 = exec.clone();
+    std::thread::spawn(move || {
+        set_current(Some((exec2.clone(), id)));
+        // Wait for the first token.
+        {
+            let mut st = exec2.lock();
+            while !(st.current == id && matches!(st.status[id], Status::Runnable))
+                && st.failed.is_none()
+            {
+                st = exec2.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if st.failed.is_some() {
+                drop(st);
+                finish_thread(&exec2, id, None);
+                return;
+            }
+        }
+        let result = catch_unwind(AssertUnwindSafe(f));
+        finish_thread(&exec2, id, result.err().map(panic_message));
+    });
+    (id, join_res)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic in controlled thread".to_string()
+    }
+}
+
+/// Mark `id` finished, record any panic, wake joiners and hand the token on.
+fn finish_thread(exec: &Arc<Execution>, id: usize, panicked: Option<String>) {
+    let mut st = exec.lock();
+    st.status[id] = Status::Finished;
+    let join_res = st.join_res[id];
+    for s in st.status.iter_mut() {
+        if *s == Status::Blocked(join_res) {
+            *s = Status::Runnable;
+        }
+    }
+    if let Some(msg) = panicked {
+        if st.failed.is_none() && msg != "loom: execution aborted" {
+            st.failed = Some(msg);
+        }
+        exec.cv.notify_all();
+        return;
+    }
+    if st.failed.is_some() {
+        exec.cv.notify_all();
+        return;
+    }
+    let runnable = st.runnable();
+    if runnable.is_empty() {
+        if !st.all_finished() {
+            let blocked: Vec<usize> = st
+                .status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, Status::Blocked(_)))
+                .map(|(i, _)| i)
+                .collect();
+            st.failed = Some(format!(
+                "loom: deadlock — threads {blocked:?} are blocked and no thread is runnable"
+            ));
+        }
+        exec.cv.notify_all();
+    } else {
+        let pos = st.decide(runnable.len());
+        st.current = runnable[pos];
+        exec.cv.notify_all();
+    }
+}
+
+/// Is `id` finished? (Join support.)
+pub(crate) fn is_finished(id: usize) -> bool {
+    let (exec, _) = current().expect("join outside a model");
+    let st = exec.lock();
+    matches!(st.status[id], Status::Finished)
+}
+
+pub(crate) fn join_resource(id: usize) -> usize {
+    let (exec, _) = current().expect("join outside a model");
+    let st = exec.lock();
+    st.join_res[id]
+}
+
+/// Drive the DFS over schedules.
+pub(crate) fn run_model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut preplan: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        schedules += 1;
+        if schedules > MAX_SCHEDULES {
+            panic!("loom: exceeded {MAX_SCHEDULES} schedules — unbounded decision loop?");
+        }
+        let exec = Execution::new(std::mem::take(&mut preplan));
+        let exec_main = exec.clone();
+        let fc = f.clone();
+        let main = std::thread::spawn(move || {
+            set_current(Some((exec_main.clone(), 0)));
+            let result = catch_unwind(AssertUnwindSafe(|| fc()));
+            finish_thread(&exec_main, 0, result.err().map(panic_message));
+        });
+        // Wait until every controlled thread has finished (normally, or by
+        // unwinding out of an aborted execution).
+        {
+            let mut st = exec.lock();
+            loop {
+                if st.all_finished() {
+                    break;
+                }
+                if st.failed.is_some() {
+                    // Failure: threads parked at decision points unwind on
+                    // wake-up; keep waiting for them to finish.
+                    exec.cv.notify_all();
+                }
+                st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        let _ = main.join();
+        let st = exec.lock();
+        if let Some(msg) = &st.failed {
+            let trace: Vec<usize> = st.history.iter().map(|(_, p)| *p).collect();
+            panic!("{msg}\n  failing schedule (decision positions): {trace:?}\n  schedules explored: {schedules}");
+        }
+        // Backtrack: advance the deepest decision with an untried
+        // alternative; exploration is complete when none remains.
+        let mut next: Option<Vec<usize>> = None;
+        for i in (0..st.history.len()).rev() {
+            let (n, pos) = st.history[i];
+            if pos + 1 < n {
+                let mut plan: Vec<usize> =
+                    st.history[..i].iter().map(|(_, p)| *p).collect();
+                plan.push(pos + 1);
+                next = Some(plan);
+                break;
+            }
+        }
+        drop(st);
+        match next {
+            Some(p) => preplan = p,
+            None => break,
+        }
+    }
+}

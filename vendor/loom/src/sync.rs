@@ -1,0 +1,387 @@
+//! Model-checked synchronization primitives: `Mutex` (parking_lot-style
+//! API), sequentially-consistent atomics, and an mpsc channel whose
+//! `recv_timeout` explores both the delivery and the timeout branch.
+
+use crate::sched;
+use std::sync::Condvar;
+use std::sync::Mutex as StdMutex;
+use std::sync::TryLockError;
+
+pub use std::sync::Arc;
+
+/// A mutex whose acquisitions are decision points of the explorer.
+///
+/// `lock` returns the guard directly (no poison `Result`), matching the
+/// parking_lot API the workspace uses under `cfg(not(loom))`.
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+    res: usize,
+}
+
+impl<T> Mutex<T> {
+    /// Create an unlocked mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex { inner: StdMutex::new(value), res: sched::new_resource() }
+    }
+
+    /// Acquire the lock, scheduling other threads first if the explorer
+    /// so decides.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if sched::current().is_none() {
+            let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            return MutexGuard { guard: Some(g), res: self.res, in_model: false };
+        }
+        loop {
+            sched::switch();
+            match self.inner.try_lock() {
+                Ok(g) => return MutexGuard { guard: Some(g), res: self.res, in_model: true },
+                Err(TryLockError::Poisoned(p)) => {
+                    return MutexGuard {
+                        guard: Some(p.into_inner()),
+                        res: self.res,
+                        in_model: true,
+                    }
+                }
+                Err(TryLockError::WouldBlock) => {
+                    // Held by a descheduled thread: block until released.
+                    sched::block_on_or_deadlock(self.res, "a mutex");
+                }
+            }
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inner.try_lock() {
+            Ok(g) => f.debug_tuple("Mutex").field(&*g).finish(),
+            Err(_) => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+/// Guard for [`Mutex`]; releasing wakes blocked acquirers (quietly, so it
+/// is safe from `Drop` during unwinding).
+pub struct MutexGuard<'a, T> {
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+    res: usize,
+    in_model: bool,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard = None; // release before waking waiters
+        if self.in_model {
+            sched::unblock(self.res);
+        }
+    }
+}
+
+pub mod atomic {
+    //! Sequentially-consistent model-checked atomics. `Ordering` arguments
+    //! are accepted for API compatibility; every access is a decision
+    //! point and executes with SC semantics (weak reorderings are not
+    //! explored — see the crate docs).
+
+    use crate::sched;
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! atomic_int {
+        ($name:ident, $ty:ty, $std:ty) => {
+            /// Model-checked atomic integer.
+            #[derive(Debug, Default)]
+            pub struct $name($std);
+
+            impl $name {
+                /// Create with an initial value.
+                pub const fn new(v: $ty) -> Self {
+                    Self(<$std>::new(v))
+                }
+
+                /// Read the value (decision point).
+                pub fn load(&self, _o: Ordering) -> $ty {
+                    sched::switch();
+                    self.0.load(Ordering::SeqCst)
+                }
+
+                /// Write the value (decision point).
+                pub fn store(&self, v: $ty, _o: Ordering) {
+                    sched::switch();
+                    self.0.store(v, Ordering::SeqCst)
+                }
+
+                /// Add and return the previous value (decision point).
+                pub fn fetch_add(&self, v: $ty, _o: Ordering) -> $ty {
+                    sched::switch();
+                    self.0.fetch_add(v, Ordering::SeqCst)
+                }
+
+                /// Subtract and return the previous value (decision point).
+                pub fn fetch_sub(&self, v: $ty, _o: Ordering) -> $ty {
+                    sched::switch();
+                    self.0.fetch_sub(v, Ordering::SeqCst)
+                }
+
+                /// Compare-and-exchange (decision point).
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    sched::switch();
+                    self.0.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    atomic_int!(AtomicU32, u32, std::sync::atomic::AtomicU32);
+    atomic_int!(AtomicU64, u64, std::sync::atomic::AtomicU64);
+    atomic_int!(AtomicUsize, usize, std::sync::atomic::AtomicUsize);
+
+    /// Model-checked atomic boolean.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+    impl AtomicBool {
+        /// Create with an initial value.
+        pub const fn new(v: bool) -> Self {
+            Self(std::sync::atomic::AtomicBool::new(v))
+        }
+
+        /// Read the value (decision point).
+        pub fn load(&self, _o: Ordering) -> bool {
+            sched::switch();
+            self.0.load(Ordering::SeqCst)
+        }
+
+        /// Write the value (decision point).
+        pub fn store(&self, v: bool, _o: Ordering) {
+            sched::switch();
+            self.0.store(v, Ordering::SeqCst)
+        }
+
+        /// Swap and return the previous value (decision point).
+        pub fn swap(&self, v: bool, _o: Ordering) -> bool {
+            sched::switch();
+            self.0.swap(v, Ordering::SeqCst)
+        }
+    }
+}
+
+pub mod mpsc {
+    //! Model-checked multi-producer single-consumer channel.
+    //!
+    //! `recv_timeout` is the interesting part: with the queue empty and
+    //! senders alive, the explorer branches between *waiting* (as `recv`
+    //! would) and the *timeout firing* — so every "the hedge timer beat /
+    //! lost against the first replica" ordering is covered. The timeout
+    //! branch is only offered once per channel state change; repeated
+    //! timeouts with no intervening send would loop the search forever
+    //! while adding no new behavior. When waiting would deadlock (nothing
+    //! else can run), the timeout fires instead, matching a real clock.
+
+    use super::Condvar;
+    use super::StdMutex;
+    use crate::sched;
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    struct Chan<T> {
+        state: StdMutex<Inner<T>>,
+        cv: Condvar,
+        res: usize,
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        /// Bumped on every send and sender-drop; lets `recv_timeout` offer
+        /// its timeout branch once per state change.
+        version: u64,
+    }
+
+    impl<T> Chan<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+        last_timeout_version: std::cell::Cell<Option<u64>>,
+    }
+
+    /// Create an unbounded channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: StdMutex::new(Inner { queue: VecDeque::new(), senders: 1, version: 0 }),
+            cv: Condvar::new(),
+            res: sched::new_resource(),
+        });
+        (
+            Sender { chan: chan.clone() },
+            Receiver { chan, last_timeout_version: std::cell::Cell::new(None) },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().senders += 1;
+            Sender { chan: self.chan.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.lock();
+            st.senders -= 1;
+            if st.senders == 0 {
+                st.version += 1;
+                drop(st);
+                sched::unblock(self.chan.res);
+                self.chan.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value; fails only when the receiver is gone (not modeled
+        /// — the workspace never drops receivers early).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            sched::switch();
+            let mut st = self.chan.lock();
+            st.queue.push_back(value);
+            st.version += 1;
+            drop(st);
+            sched::unblock(self.chan.res);
+            self.chan.cv.notify_all();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking until a value or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            loop {
+                sched::switch();
+                let mut st = self.chan.lock();
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                if sched::current().is_some() {
+                    drop(st);
+                    sched::block_on_or_deadlock(self.chan.res, "a channel receive");
+                } else {
+                    let _unused = self.chan.cv.wait(st);
+                }
+            }
+        }
+
+        /// Receive with a timeout. Under the model the duration is ignored
+        /// and the timeout is a nondeterministic branch (see module docs).
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            if sched::current().is_none() {
+                return self.recv_timeout_fallback(timeout);
+            }
+            loop {
+                sched::switch();
+                let mut st = self.chan.lock();
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let version = st.version;
+                let timeout_available = self.last_timeout_version.get() != Some(version);
+                drop(st);
+                if timeout_available && sched::nondet(2) == 1 {
+                    self.last_timeout_version.set(Some(version));
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                if !sched::block_on(self.chan.res) {
+                    // Waiting would deadlock: on a real clock the timeout
+                    // fires here.
+                    self.last_timeout_version.set(Some(version));
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        fn recv_timeout_fallback(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.chan.lock();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, timed_out) = self
+                    .chan
+                    .cv
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+                if timed_out.timed_out() && st.queue.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            sched::switch();
+            let mut st = self.chan.lock();
+            match st.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Controlled threads: `spawn`/`join`/`yield_now` mirroring `std::thread`.
+
+use crate::sched;
+use std::sync::{Arc, Mutex};
+
+/// Handle to a controlled (or, outside a model, a real) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Os(std::thread::JoinHandle<T>),
+    Model { id: usize, result: Arc<Mutex<Option<T>>> },
+}
+
+/// Spawn a thread. Inside [`crate::model`] the thread is scheduled by the
+/// explorer; outside it this is `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if sched::current().is_some() {
+        let result = Arc::new(Mutex::new(None));
+        let slot = result.clone();
+        let (id, _join_res) = sched::spawn_controlled(move || {
+            let v = f();
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+        });
+        JoinHandle { inner: Inner::Model { id, result } }
+    } else {
+        JoinHandle { inner: Inner::Os(std::thread::spawn(f)) }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its value.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Os(h) => h.join(),
+            Inner::Model { id, result } => {
+                loop {
+                    sched::switch();
+                    if sched::is_finished(id) {
+                        break;
+                    }
+                    sched::block_on_or_deadlock(sched::join_resource(id), "a thread join");
+                }
+                match result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    Some(v) => Ok(v),
+                    // The joined thread panicked; the execution is failing
+                    // already, but surface an error to the caller too.
+                    None => Err(Box::new("joined thread panicked")),
+                }
+            }
+        }
+    }
+}
+
+/// Decision point with no side effect.
+pub fn yield_now() {
+    sched::switch();
+}
