@@ -2,18 +2,73 @@
 //! paper's evaluation and prints them as text tables.
 //!
 //! ```text
-//! repro [all|fig1|table1|fig5|fig6|fig7|fig8|fig9|fig10|multi-tenant|ablations|calibration] ...
-//!       [--quick] [--series-dir DIR]
+//! repro [all|fig1|table1|fig5|fig6|fig7|fig8|fig9|fig10|multi-tenant|ablations|calibration|smoke] ...
+//!       [--quick] [--series-dir DIR] [--check-metrics]
 //! ```
 //!
 //! By default runs everything at the standard scale and writes the Fig. 9
-//! time-series CSVs under `target/figures/`.
+//! time-series CSVs under `target/figures/`. Every run ends with a dump of
+//! the process-wide telemetry snapshot; `--check-metrics` additionally fails
+//! the run if any registered data-path metric is missing from it. The
+//! `smoke` experiment (not part of `all`) runs one traced pushdown query
+//! over a deliberately degraded cluster and prints the resulting trace —
+//! the observability acceptance gate CI runs on every push.
 
 use scoop_core::experiments::{ablations, figures, lab, resources, table1, FigureResult, Lab, Scale};
+
+/// One traced pushdown query over a cluster where every object node is slow
+/// and hedging, breakers and chaos injection are all armed: exercises the
+/// whole ingest path so the trailing snapshot carries nonzero data-path
+/// counters, and prints the spans recorded under the query's trace ID.
+fn smoke() -> scoop_common::Result<()> {
+    use scoop_core::{ExecutionMode, ScoopConfig, ScoopContext};
+    use scoop_objectstore::{BreakerConfig, FaultPlan, SwiftConfig};
+    use scoop_workload::{GeneratorConfig, MeterDataset};
+    use std::time::Duration;
+
+    // Slow every object node so any replica placement forces the proxy to
+    // launch hedges once 1 ms passes without a first byte.
+    let mut plan = FaultPlan::quiet(0x5C00F);
+    for node in 0..4 {
+        plan = plan.with_slow_node(node, Duration::from_millis(10));
+    }
+    let ctx = ScoopContext::new(ScoopConfig {
+        swift: SwiftConfig {
+            fault_plan: Some(plan),
+            breaker: Some(BreakerConfig::default()),
+            hedge_after: Some(Duration::from_millis(1)),
+            ..SwiftConfig::default()
+        },
+        ..ScoopConfig::default()
+    })?;
+    let mut gen = MeterDataset::new(&GeneratorConfig { meters: 30, ..Default::default() });
+    let objects = (0..2)
+        .map(|i| (format!("part-{i}.csv"), gen.csv_object(400)))
+        .collect();
+    ctx.upload_csv("meters", objects, None)?;
+    let sql = "SELECT vid, sum(index) as total FROM meters \
+               WHERE city LIKE 'Rotterdam' GROUP BY vid ORDER BY vid";
+    let outcome = ctx.query("meters", sql, ExecutionMode::Pushdown)?;
+    let spans = scoop_common::telemetry::trace_spans(&outcome.metrics.trace);
+    println!("== smoke — one traced pushdown query over a degraded cluster ==");
+    println!(
+        "{} rows in {:?}; trace {} recorded {} spans:",
+        outcome.result.rows.len(),
+        outcome.metrics.wall,
+        outcome.metrics.trace,
+        spans.len()
+    );
+    for s in &spans {
+        println!("  {:>10}  {:>8} us  {}", s.layer, s.duration_us, s.detail);
+    }
+    println!();
+    Ok(())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let check_metrics = args.iter().any(|a| a == "--check-metrics");
     let series_dir = args
         .iter()
         .position(|a| a == "--series-dir")
@@ -103,6 +158,34 @@ fn main() {
         show(ablations::chunk_size(&scale));
         show(ablations::pipelining(&scale));
         show(ablations::tiering(&scale));
+    }
+    // Deliberately outside `all`: the degraded cluster exists to exercise the
+    // trace/metrics plumbing, not to reproduce a paper figure.
+    if wanted.contains(&"smoke") {
+        if let Err(e) = smoke() {
+            failures += 1;
+            eprintln!("smoke failed: {e}");
+        }
+    }
+
+    // Every run ends with the process-wide metrics dump, so figures always
+    // come with the wire/hedge/storlet accounting that produced them.
+    let snap = scoop_common::telemetry::snapshot();
+    println!("== telemetry snapshot ==");
+    println!("{}", snap.to_text());
+    if check_metrics {
+        let missing = scoop_common::telemetry::missing_data_path_metrics(&snap);
+        if !missing.is_empty() {
+            eprintln!(
+                "--check-metrics: {} registered data-path metric(s) missing from the snapshot:",
+                missing.len()
+            );
+            for name in missing {
+                eprintln!("  {name}");
+            }
+            std::process::exit(1);
+        }
+        println!("--check-metrics: all data-path metrics present");
     }
 
     if failures > 0 {

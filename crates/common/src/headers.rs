@@ -47,6 +47,11 @@ pub const STORLET_DEGRADED: &str = "x-storlet-degraded";
 /// can detect truncated bodies.
 pub const OBJECT_LENGTH: &str = "x-object-length";
 
+/// Request-scoped trace ID, minted per query by `compute::session` and
+/// propagated through every storage hop so each layer can record a timed
+/// span against the same trace (see `scoop_common::telemetry`).
+pub const TRACE: &str = "x-scoop-trace";
+
 /// Prefix of user-metadata headers persisted alongside an object.
 pub const OBJECT_META_PREFIX: &str = "x-object-meta-";
 
@@ -66,6 +71,7 @@ mod tests {
             super::STORLET_DEGRADED,
             super::OBJECT_LENGTH,
             super::OBJECT_META_PREFIX,
+            super::TRACE,
         ] {
             assert!(name.starts_with("x-"), "{name} must be x-prefixed");
             assert_eq!(name, name.to_ascii_lowercase(), "{name} must be lowercase");

@@ -16,6 +16,8 @@
 //! * [`retry`] — the shared retry/backoff policy used across the ingest path.
 //! * [`deadline`] — query-scoped time budgets propagated through every layer.
 //! * [`table`] — plain-text table rendering for the reproduction harness.
+//! * [`telemetry`] — the process-wide metrics registry (counters, gauges,
+//!   latency histograms) and request-scoped tracing spans.
 
 pub mod bytesize;
 pub mod deadline;
@@ -26,6 +28,7 @@ pub mod retry;
 pub mod rng;
 pub mod stream;
 pub mod table;
+pub mod telemetry;
 pub mod timeseries;
 
 pub use bytesize::ByteSize;

@@ -1,0 +1,687 @@
+//! Process-wide telemetry: a named-metric registry plus request-scoped
+//! tracing.
+//!
+//! The paper's evaluation is a set of throughput/latency claims measured
+//! across the whole pushdown path (driver → proxy → storlet → connector).
+//! This module is the substrate those measurements flow through:
+//!
+//! * **Counters** (`scoop_<layer>_<what>_total`) — monotonic event counts.
+//!   [`ScopedCounter`] pairs a per-instance counter (exact values for unit
+//!   tests and per-cluster accessors) with a process-wide mirror under a
+//!   registry name, so one snapshot covers every instance.
+//! * **Gauges** (`scoop_<layer>_<what>`) — instantaneous levels (e.g. active
+//!   storlet invocations).
+//! * **Histograms** (`scoop_<layer>_latency_us`) — fixed-boundary latency
+//!   distributions ([`LATENCY_BUCKETS_US`], microseconds).
+//! * **Traces** — a trace ID minted per query ([`new_trace_id`]), propagated
+//!   via the `x-scoop-trace` header (`scoop_common::headers::TRACE`); each
+//!   layer opens a [`span`] guard that records a timed [`SpanRecord`] on
+//!   drop. [`trace_spans`] returns the spans of one trace; the store keeps
+//!   the most recent [`TRACE_CAP`] traces.
+//!
+//! [`snapshot`] serializes the registry ([`Snapshot::to_text`] /
+//! [`Snapshot::to_json`]); [`missing_data_path_metrics`] is the CI gate that
+//! a smoke run registered every canonical data-path counter.
+//!
+//! Everything here is `std`-only (atomics, `Mutex`, `OnceLock`) so the
+//! module stays Miri-clean and usable from every crate in the workspace.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Canonical registry names for the data-path metrics. Wiring sites use
+/// these constants so [`DATA_PATH_METRICS`] can never drift from the code.
+pub mod names {
+    /// GET requests handled by object servers.
+    pub const OBJSERVER_GETS: &str = "scoop_objserver_gets_total";
+    /// PUT requests handled by object servers.
+    pub const OBJSERVER_PUTS: &str = "scoop_objserver_puts_total";
+    /// Payload bytes written into object servers.
+    pub const OBJSERVER_BYTES_IN: &str = "scoop_objserver_bytes_in_total";
+    /// Payload bytes served out of object servers.
+    pub const OBJSERVER_BYTES_OUT: &str = "scoop_objserver_bytes_out_total";
+    /// Replayed PUTs dropped by idempotency-token dedup.
+    pub const OBJSERVER_DEDUPED_PUTS: &str = "scoop_objserver_deduped_puts_total";
+    /// Requests accepted by proxies.
+    pub const PROXY_REQUESTS: &str = "scoop_proxy_requests_total";
+    /// Response-body bytes proxies returned to clients.
+    pub const PROXY_BYTES_TO_CLIENTS: &str = "scoop_proxy_bytes_to_clients_total";
+    /// Reads that failed over to another replica.
+    pub const PROXY_REPLICA_FAILOVERS: &str = "scoop_proxy_replica_failovers_total";
+    /// Hedge requests launched against a second replica.
+    pub const PROXY_HEDGED_GETS: &str = "scoop_proxy_hedged_gets_total";
+    /// Hedged reads won by the hedge rather than the first replica.
+    pub const PROXY_HEDGE_WINS: &str = "scoop_proxy_hedge_wins_total";
+    /// Replica reads short-circuited by an open circuit breaker.
+    pub const HEALTH_BREAKER_SKIPS: &str = "scoop_health_breaker_skips_total";
+    /// Storlet invocations completed.
+    pub const STORLETS_INVOCATIONS: &str = "scoop_storlets_invocations_total";
+    /// Bytes entering storlet pipelines.
+    pub const STORLETS_BYTES_IN: &str = "scoop_storlets_bytes_in_total";
+    /// Bytes leaving storlet pipelines.
+    pub const STORLETS_BYTES_OUT: &str = "scoop_storlets_bytes_out_total";
+    /// Pushdown GETs shed by storlet admission control.
+    pub const STORLETS_ADMISSION_SHEDS: &str = "scoop_storlets_admission_sheds_total";
+    /// Requests re-dispatched by the Swift client after retryable failures.
+    pub const CLIENT_RETRIES: &str = "scoop_client_retries_total";
+    /// Bytes the connector delivered across the storage→compute boundary.
+    pub const CONNECTOR_BYTES_TRANSFERRED: &str = "scoop_connector_bytes_transferred_total";
+    /// Mid-stream resumes (ranged-GET re-issues) by the connector.
+    pub const CONNECTOR_STREAM_RESUMES: &str = "scoop_connector_stream_resumes_total";
+    /// Pushdown GETs degraded to plain reads with client-side filtering.
+    pub const CONNECTOR_PUSHDOWN_FALLBACKS: &str = "scoop_connector_pushdown_fallbacks_total";
+    /// Storlet invocations currently executing (gauge).
+    pub const STORLETS_ACTIVE: &str = "scoop_storlets_active_invocations";
+}
+
+/// Every counter a full data-path exercise must register. The bench smoke
+/// target fails CI if a snapshot taken after such an exercise is missing
+/// any of these (see [`missing_data_path_metrics`]).
+pub const DATA_PATH_METRICS: &[&str] = &[
+    names::OBJSERVER_GETS,
+    names::OBJSERVER_PUTS,
+    names::OBJSERVER_BYTES_IN,
+    names::OBJSERVER_BYTES_OUT,
+    names::OBJSERVER_DEDUPED_PUTS,
+    names::PROXY_REQUESTS,
+    names::PROXY_BYTES_TO_CLIENTS,
+    names::PROXY_REPLICA_FAILOVERS,
+    names::PROXY_HEDGED_GETS,
+    names::PROXY_HEDGE_WINS,
+    names::HEALTH_BREAKER_SKIPS,
+    names::STORLETS_INVOCATIONS,
+    names::STORLETS_BYTES_IN,
+    names::STORLETS_BYTES_OUT,
+    names::STORLETS_ADMISSION_SHEDS,
+    names::CLIENT_RETRIES,
+    names::CONNECTOR_BYTES_TRANSFERRED,
+    names::CONNECTOR_STREAM_RESUMES,
+    names::CONNECTOR_PUSHDOWN_FALLBACKS,
+];
+
+/// Histogram bucket upper bounds, in microseconds. Fixed across the
+/// workspace so distributions from different runs are comparable; the final
+/// implicit bucket is `+inf`.
+pub const LATENCY_BUCKETS_US: &[u64] = &[
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000,
+];
+
+/// Most recent traces retained by the in-process span store.
+pub const TRACE_CAP: usize = 512;
+
+struct HistogramCell {
+    /// One slot per [`LATENCY_BUCKETS_US`] bound, plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+struct TraceStore {
+    spans: BTreeMap<String, Vec<SpanRecord>>,
+    /// Insertion order of trace IDs, for bounded eviction.
+    order: VecDeque<String>,
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
+    traces: Mutex<TraceStore>,
+    /// Process epoch span start offsets are reported against.
+    epoch: Instant,
+}
+
+fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+        traces: Mutex::new(TraceStore { spans: BTreeMap::new(), order: VecDeque::new() }),
+        epoch: Instant::now(),
+    })
+}
+
+/// Telemetry must never take a panic down with it: a poisoned registry lock
+/// (some unrelated thread panicked mid-update) is still structurally sound
+/// for counters and maps, so recover the guard.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A monotonic, process-wide counter registered under a name.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// The shared cell, for stream wrappers that count via `Arc<AtomicU64>`.
+    pub fn cell(&self) -> Arc<AtomicU64> {
+        self.cell.clone()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+/// Get-or-register the counter named `name`.
+pub fn counter(name: &str) -> Counter {
+    let mut map = lock(&registry().counters);
+    let cell = map
+        .entry(name.to_string())
+        .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+        .clone();
+    Counter { cell }
+}
+
+/// An instantaneous level registered under a name.
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Increase the level by `n`.
+    pub fn add(&self, n: i64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrease the level by `n`.
+    pub fn sub(&self, n: i64) {
+        self.cell.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Set the level.
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.get()).finish()
+    }
+}
+
+/// Get-or-register the gauge named `name`.
+pub fn gauge(name: &str) -> Gauge {
+    let mut map = lock(&registry().gauges);
+    let cell = map
+        .entry(name.to_string())
+        .or_insert_with(|| Arc::new(AtomicI64::new(0)))
+        .clone();
+    Gauge { cell }
+}
+
+/// A fixed-bucket latency histogram registered under a name.
+#[derive(Clone)]
+pub struct Histogram {
+    cell: Arc<HistogramCell>,
+}
+
+impl Histogram {
+    /// Record one observation of `us` microseconds.
+    pub fn observe_us(&self, us: u64) {
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|b| us <= *b)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        if let Some(b) = self.cell.buckets.get(idx) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        self.cell.count.fetch_add(1, Ordering::Relaxed);
+        self.cell.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Histogram").field(&self.count()).finish()
+    }
+}
+
+/// Get-or-register the histogram named `name`.
+pub fn histogram(name: &str) -> Histogram {
+    let mut map = lock(&registry().histograms);
+    let cell = map
+        .entry(name.to_string())
+        .or_insert_with(|| {
+            Arc::new(HistogramCell {
+                buckets: (0..LATENCY_BUCKETS_US.len().saturating_add(1))
+                    .map(|_| AtomicU64::new(0))
+                    .collect(),
+                count: AtomicU64::new(0),
+                sum_us: AtomicU64::new(0),
+            })
+        })
+        .clone();
+    Histogram { cell }
+}
+
+/// A per-instance counter mirrored into the process-wide registry: `get()`
+/// reads the exact local value (per server / per connector accessors keep
+/// their test-asserted semantics) while every `add` also feeds the named
+/// global metric.
+pub struct ScopedCounter {
+    local: AtomicU64,
+    global: Counter,
+}
+
+impl ScopedCounter {
+    /// A fresh local counter mirrored into the global metric `name`.
+    pub fn new(name: &str) -> ScopedCounter {
+        ScopedCounter { local: AtomicU64::new(0), global: counter(name) }
+    }
+
+    /// Add `n` locally and globally.
+    pub fn add(&self, n: u64) {
+        self.local.fetch_add(n, Ordering::Relaxed);
+        self.global.add(n);
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The local (per-instance) value.
+    pub fn get(&self) -> u64 {
+        self.local.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for ScopedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ScopedCounter").field(&self.get()).finish()
+    }
+}
+
+/// Mint a process-unique trace ID (stamped on requests as the
+/// `x-scoop-trace` header by the client layer).
+pub fn new_trace_id() -> String {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    format!("t{:016x}", NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+/// One recorded span of a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Layer that recorded the span (`session`, `scheduler`, `connector`,
+    /// `client`, `proxy`, `objserver`, `storlet`).
+    pub layer: &'static str,
+    /// Free-form context (object name, storlet list, task count, ...).
+    pub detail: String,
+    /// Start offset from the process telemetry epoch, microseconds.
+    pub start_us: u64,
+    /// Span duration, microseconds.
+    pub duration_us: u64,
+}
+
+/// A live span: records a [`SpanRecord`] (when a trace ID is present) and a
+/// `scoop_<layer>_latency_us` histogram observation when dropped.
+#[must_use = "a span measures until dropped; bind it to a guard variable"]
+pub struct Span {
+    trace: Option<String>,
+    layer: &'static str,
+    detail: String,
+    started: Instant,
+}
+
+/// Open a span for `layer`. `trace` is the request's `x-scoop-trace` value
+/// when one was propagated; without it the span still feeds the layer's
+/// latency histogram but records nothing in the trace store.
+pub fn span(trace: Option<&str>, layer: &'static str, detail: impl Into<String>) -> Span {
+    Span { trace: trace.map(str::to_string), layer, detail: detail.into(), started: Instant::now() }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let duration_us = self.started.elapsed().as_micros() as u64;
+        histogram(&format!("scoop_{}_latency_us", self.layer)).observe_us(duration_us);
+        let Some(trace) = self.trace.take() else { return };
+        let reg = registry();
+        let start_us = self.started.saturating_duration_since(reg.epoch).as_micros() as u64;
+        let record = SpanRecord {
+            layer: self.layer,
+            detail: std::mem::take(&mut self.detail),
+            start_us,
+            duration_us,
+        };
+        let mut store = lock(&reg.traces);
+        if !store.spans.contains_key(&trace) {
+            if store.order.len() >= TRACE_CAP {
+                if let Some(oldest) = store.order.pop_front() {
+                    store.spans.remove(&oldest);
+                }
+            }
+            store.order.push_back(trace.clone());
+        }
+        store.spans.entry(trace).or_default().push(record);
+    }
+}
+
+/// The spans recorded for `trace`, in completion order (a caller's span
+/// drops after its callees', so outermost layers appear last).
+pub fn trace_spans(trace: &str) -> Vec<SpanRecord> {
+    lock(&registry().traces).spans.get(trace).cloned().unwrap_or_default()
+}
+
+/// One histogram in a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Registry name.
+    pub name: String,
+    /// `(upper_bound_us, observations)` per bucket; the overflow bucket
+    /// reports `u64::MAX` as its bound.
+    pub buckets: Vec<(u64, u64)>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values, microseconds.
+    pub sum_us: u64,
+}
+
+/// A point-in-time copy of every registered metric.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)`, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, level)`, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The value of the counter `name`, if registered.
+    pub fn get_counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The level of the gauge `name`, if registered.
+    pub fn get_gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Plain-text rendering (one metric per line; histogram buckets
+    /// indented under their metric).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# scoop telemetry snapshot\n");
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter {name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge {name} {v}\n"));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!(
+                "histogram {} count={} sum_us={}\n",
+                h.name, h.count, h.sum_us
+            ));
+            for (bound, n) in &h.buckets {
+                if *bound == u64::MAX {
+                    out.push_str(&format!("  le +inf {n}\n"));
+                } else {
+                    out.push_str(&format!("  le {bound} {n}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON rendering (metric names are `[a-z0-9_]`, so no escaping is
+    /// needed).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for (name, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{name}\":{v}"));
+        }
+        out.push_str("},\"gauges\":{");
+        let mut first = true;
+        for (name, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{name}\":{v}"));
+        }
+        out.push_str("},\"histograms\":{");
+        let mut first = true;
+        for h in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum_us\":{},\"buckets\":[",
+                h.name, h.count, h.sum_us
+            ));
+            let mut first_bucket = true;
+            for (bound, n) in &h.buckets {
+                if !first_bucket {
+                    out.push(',');
+                }
+                first_bucket = false;
+                out.push_str(&format!("[{bound},{n}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Copy every registered metric out of the registry.
+pub fn snapshot() -> Snapshot {
+    let reg = registry();
+    let counters = lock(&reg.counters)
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect();
+    let gauges = lock(&reg.gauges)
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect();
+    let histograms = lock(&reg.histograms)
+        .iter()
+        .map(|(k, cell)| HistogramSnapshot {
+            name: k.clone(),
+            buckets: LATENCY_BUCKETS_US
+                .iter()
+                .copied()
+                .chain(std::iter::once(u64::MAX))
+                .zip(cell.buckets.iter().map(|b| b.load(Ordering::Relaxed)))
+                .collect(),
+            count: cell.count.load(Ordering::Relaxed),
+            sum_us: cell.sum_us.load(Ordering::Relaxed),
+        })
+        .collect();
+    Snapshot { counters, gauges, histograms }
+}
+
+/// The [`DATA_PATH_METRICS`] counters absent from `s` — nonempty means a
+/// data-path exercise failed to construct (and hence register) some layer's
+/// instrumentation.
+pub fn missing_data_path_metrics(s: &Snapshot) -> Vec<&'static str> {
+    DATA_PATH_METRICS
+        .iter()
+        .copied()
+        .filter(|m| s.get_counter(m).is_none())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_and_accumulate() {
+        let c = counter("test_telemetry_counter_total");
+        let before = c.get();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), before + 5);
+        // Same name resolves to the same cell.
+        assert_eq!(counter("test_telemetry_counter_total").get(), before + 5);
+        assert_eq!(
+            snapshot().get_counter("test_telemetry_counter_total"),
+            Some(before + 5)
+        );
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let g = gauge("test_telemetry_gauge");
+        g.set(0);
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+        assert_eq!(snapshot().get_gauge("test_telemetry_gauge"), Some(2));
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let h = histogram("test_telemetry_hist_us");
+        h.observe_us(50); // first bucket (<= 100)
+        h.observe_us(2_000_000); // overflow
+        assert_eq!(h.count(), 2);
+        let snap = snapshot();
+        let hs = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test_telemetry_hist_us")
+            .unwrap();
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.buckets.len(), LATENCY_BUCKETS_US.len() + 1);
+        assert_eq!(hs.buckets[0], (100, 1));
+        assert_eq!(*hs.buckets.last().unwrap(), (u64::MAX, 1));
+        assert!(hs.sum_us >= 2_000_050);
+    }
+
+    #[test]
+    fn scoped_counter_is_exact_locally_and_mirrored_globally() {
+        let global_before = counter("test_telemetry_scoped_total").get();
+        let a = ScopedCounter::new("test_telemetry_scoped_total");
+        let b = ScopedCounter::new("test_telemetry_scoped_total");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(b.get(), 1);
+        assert_eq!(counter("test_telemetry_scoped_total").get(), global_before + 3);
+    }
+
+    #[test]
+    fn trace_ids_are_unique() {
+        let a = new_trace_id();
+        let b = new_trace_id();
+        assert_ne!(a, b);
+        assert!(a.starts_with('t'));
+    }
+
+    #[test]
+    fn spans_record_into_their_trace() {
+        let trace = new_trace_id();
+        {
+            let _outer = span(Some(&trace), "proxy", "GET a/c/o");
+            let _inner = span(Some(&trace), "objserver", "GET");
+        }
+        let spans = trace_spans(&trace);
+        assert_eq!(spans.len(), 2);
+        // Inner drops first.
+        assert_eq!(spans[0].layer, "objserver");
+        assert_eq!(spans[1].layer, "proxy");
+        assert_eq!(spans[1].detail, "GET a/c/o");
+        // Unrelated traces see nothing.
+        assert!(trace_spans("t-no-such-trace").is_empty());
+    }
+
+    #[test]
+    fn span_without_trace_only_feeds_histograms() {
+        let h = histogram("scoop_testlayer_latency_us");
+        let before = h.count();
+        drop(span(None, "testlayer", ""));
+        assert_eq!(h.count(), before + 1);
+    }
+
+    #[test]
+    fn trace_store_is_bounded() {
+        // Unique prefix so the traces minted here are identifiable.
+        for i in 0..(TRACE_CAP + 8) {
+            let t = format!("bounded-test-{i}");
+            drop(span(Some(&t), "session", ""));
+        }
+        assert!(trace_spans(&format!("bounded-test-{}", TRACE_CAP + 7)).len() == 1);
+        // The earliest traces were evicted to keep the store bounded.
+        assert!(trace_spans("bounded-test-0").is_empty());
+    }
+
+    #[test]
+    fn snapshot_serializes_text_and_json() {
+        counter("test_telemetry_render_total").add(7);
+        gauge("test_telemetry_render_gauge").set(-2);
+        histogram("test_telemetry_render_us").observe_us(123);
+        let snap = snapshot();
+        let text = snap.to_text();
+        assert!(text.contains("counter test_telemetry_render_total"));
+        assert!(text.contains("gauge test_telemetry_render_gauge -2"));
+        assert!(text.contains("histogram test_telemetry_render_us"));
+        assert!(text.contains("le +inf"));
+        let json = snap.to_json();
+        assert!(json.contains("\"test_telemetry_render_total\":"));
+        assert!(json.contains("\"counters\":{"));
+        assert!(json.contains("\"histograms\":{"));
+        // Sanity: balanced braces.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn missing_data_path_metrics_reports_unregistered_names() {
+        let missing = missing_data_path_metrics(&Snapshot::default());
+        assert_eq!(missing.len(), DATA_PATH_METRICS.len());
+        let snap = Snapshot {
+            counters: DATA_PATH_METRICS.iter().map(|n| (n.to_string(), 0)).collect(),
+            ..Snapshot::default()
+        };
+        assert!(missing_data_path_metrics(&snap).is_empty());
+    }
+}

@@ -75,6 +75,13 @@ pub trait StorageConnector: Send + Sync {
     /// clears it. Connectors without deadline support may ignore it.
     fn set_deadline(&self, _deadline: scoop_common::Deadline) {}
 
+    /// Propagate a query trace ID to the storage layer: requests the
+    /// connector issues afterwards carry it as the `x-scoop-trace` header so
+    /// every hop records a span against the same trace (see
+    /// [`scoop_common::telemetry`]). `None` clears it. Connectors without
+    /// tracing support may ignore it.
+    fn set_trace(&self, _trace: Option<String>) {}
+
     /// Whether [`StorageConnector::read_pushdown`] executes at the store
     /// (true for Scoop) or must be emulated compute-side (false).
     fn supports_pushdown(&self) -> bool;

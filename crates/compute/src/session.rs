@@ -90,6 +90,9 @@ pub struct JobMetrics {
     pub task_durations: Vec<Duration>,
     /// Task re-executions after retryable failures (0 on a healthy run).
     pub task_retries: u64,
+    /// Trace ID minted for this query; every storage hop records its span
+    /// under it (query with [`scoop_common::telemetry::trace_spans`]).
+    pub trace: String,
 }
 
 /// A finished query: result + metrics.
@@ -296,8 +299,19 @@ impl Session {
             None => Deadline::none(),
         };
         self.connector.set_deadline(deadline);
+        // Mint the query's trace ID. It travels the same road as the
+        // deadline — stamped on every storage request as `x-scoop-trace` —
+        // so one pushdown query yields one trace whose spans cover session,
+        // scheduler, connector, client, proxy, object server and storlet.
+        let trace = scoop_common::telemetry::new_trace_id();
+        self.connector.set_trace(Some(trace.clone()));
         let query = parse(text)?;
         let def = self.table(&query.table)?;
+        let _query_span = scoop_common::telemetry::span(
+            Some(&trace),
+            "session",
+            format!("sql {}", query.table),
+        );
 
         // Build the relation (and cache the inferred schema).
         let (relation, mode): (Arc<dyn PrunedFilteredScan>, ExecutionMode) = match &def.format {
@@ -368,6 +382,11 @@ impl Session {
             None
         };
         let collected = std::sync::atomic::AtomicUsize::new(0);
+        let _sched_span = scoop_common::telemetry::span(
+            Some(&trace),
+            "scheduler",
+            format!("{} tasks over {} workers", partitions.len(), self.workers),
+        );
         let results = run_tasks_with_deadline(self.workers, partitions.len(), self.max_task_failures, deadline, |i| {
             let part = &partitions[i];
             let out = relation.scan_pruned_filtered(
@@ -433,6 +452,7 @@ impl Session {
                 }
             }
         });
+        drop(_sched_span);
         let task_retries = total_retries(&results);
         let (outputs, task_durations) = collect_ok(results)?;
 
@@ -488,6 +508,7 @@ impl Session {
                 wall: started.elapsed(),
                 task_durations,
                 task_retries,
+                trace,
             },
         })
     }

@@ -20,6 +20,7 @@
 
 use bytes::Bytes;
 use scoop_common::rng::XorShift64;
+use scoop_common::telemetry::{self, names};
 use scoop_common::{stream, ByteStream, Result, RetryPolicy, ScoopError};
 use scoop_compute::connector::{count_consumed, ObjectInfo, StorageConnector};
 use scoop_csv::PushdownSpec;
@@ -42,6 +43,12 @@ pub enum RunOn {
 }
 
 /// The connector. A *location* maps to a Swift container.
+///
+/// Wire accounting is double-entry: per-connector atomics back the exact
+/// accessors the experiments assert on, while registry counters
+/// (`scoop_connector_*_total`) aggregate the same events process-wide for
+/// [`scoop_common::telemetry::snapshot`]. Both are registered at
+/// construction so a snapshot lists them even before any traffic.
 pub struct SwiftConnector {
     client: SwiftClient,
     run_on: RunOn,
@@ -49,6 +56,9 @@ pub struct SwiftConnector {
     transferred: Arc<AtomicU64>,
     resumes: Arc<AtomicU64>,
     fallbacks: Arc<AtomicU64>,
+    transferred_global: telemetry::Counter,
+    resumes_global: telemetry::Counter,
+    fallbacks_global: telemetry::Counter,
 }
 
 impl SwiftConnector {
@@ -75,7 +85,19 @@ impl SwiftConnector {
             transferred: Arc::new(AtomicU64::new(0)),
             resumes: Arc::new(AtomicU64::new(0)),
             fallbacks: Arc::new(AtomicU64::new(0)),
+            transferred_global: telemetry::counter(names::CONNECTOR_BYTES_TRANSFERRED),
+            resumes_global: telemetry::counter(names::CONNECTOR_STREAM_RESUMES),
+            fallbacks_global: telemetry::counter(names::CONNECTOR_PUSHDOWN_FALLBACKS),
         })
+    }
+
+    /// Wrap a stream so consumed bytes land in both ledgers: the
+    /// per-connector counter and the process-wide registry mirror.
+    fn count(&self, inner: ByteStream) -> ByteStream {
+        count_consumed(
+            count_consumed(inner, self.transferred.clone()),
+            self.transferred_global.cell(),
+        )
     }
 
     /// The client session behind this connector.
@@ -161,6 +183,7 @@ struct ResumingStream {
     /// Consecutive failures without delivering a byte.
     failures: u32,
     resumes: Arc<AtomicU64>,
+    resumes_global: telemetry::Counter,
     done: bool,
 }
 
@@ -170,6 +193,7 @@ impl ResumingStream {
         path: &ObjectPath,
         start: u64,
         resumes: Arc<AtomicU64>,
+        resumes_global: telemetry::Counter,
     ) -> Result<ResumingStream> {
         let mut s = ResumingStream {
             client: client.clone(),
@@ -180,6 +204,7 @@ impl ResumingStream {
             rng: XorShift64::new(client.retry_policy().seed ^ 0x9E37_79B9_7F4A_7C15),
             failures: 0,
             resumes,
+            resumes_global,
             done: false,
         };
         s.inner = Some(s.issue()?);
@@ -239,6 +264,7 @@ impl Iterator for ResumingStream {
                         std::thread::sleep(self.policy.backoff(self.failures, &mut self.rng));
                         self.failures += 1;
                         self.resumes.fetch_add(1, Ordering::Relaxed);
+                        self.resumes_global.inc();
                         continue;
                     }
                     Err(e) => {
@@ -268,6 +294,7 @@ impl Iterator for ResumingStream {
                     std::thread::sleep(self.policy.backoff(self.failures, &mut self.rng));
                     self.failures += 1;
                     self.resumes.fetch_add(1, Ordering::Relaxed);
+                    self.resumes_global.inc();
                     self.inner = None;
                 }
                 Some(Err(e)) => {
@@ -294,13 +321,20 @@ impl StorageConnector for SwiftConnector {
     }
 
     fn read_from(&self, location: &str, object: &str, start: u64) -> Result<ByteStreamAlias> {
+        let trace = self.client.trace();
+        let _span = telemetry::span(
+            trace.as_deref(),
+            "connector",
+            format!("read {location}/{object} from {start}"),
+        );
         let stream = ResumingStream::open(
             &self.client,
             &self.path(location, object)?,
             start,
             self.resumes.clone(),
+            self.resumes_global.clone(),
         )?;
-        Ok(count_consumed(Box::new(stream), self.transferred.clone()))
+        Ok(self.count(Box::new(stream)))
     }
 
     fn read_pushdown(
@@ -317,6 +351,12 @@ impl StorageConnector for SwiftConnector {
                 "connector built without pushdown".into(),
             ));
         }
+        let trace = self.client.trace();
+        let _span = telemetry::span(
+            trace.as_deref(),
+            "connector",
+            format!("pushdown {location}/{object}"),
+        );
         // An empty split owns no records. Without this guard,
         // `end_exclusive == Some(0)` would saturate to the inclusive range
         // `bytes=0-0` below and re-read the first record.
@@ -349,13 +389,15 @@ impl StorageConnector for SwiftConnector {
             // filter compute-side — slower and heavier on the wire, but the
             // query still completes with identical results.
             self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            self.fallbacks_global.inc();
             let plain = ResumingStream::open(
                 &self.client,
                 &self.path(location, object)?,
                 start,
                 self.resumes.clone(),
+                self.resumes_global.clone(),
             )?;
-            let raw = count_consumed(Box::new(plain), self.transferred.clone());
+            let raw = self.count(Box::new(plain));
             return Self::filter_client_side(raw, start, end_exclusive, spec, file_schema);
         }
         if !resp.is_success() {
@@ -365,13 +407,13 @@ impl StorageConnector for SwiftConnector {
             ))));
         }
         if resp.headers.get(headers::INVOKED).is_some() {
-            return Ok(count_consumed(resp.body, self.transferred.clone()));
+            return Ok(self.count(resp.body));
         }
         // The store declined the pushdown (e.g. a bronze-tier policy stripped
         // it): the response is raw object bytes from `start`. Count the raw
         // transfer, then align + filter client-side so callers still receive
         // the contract's filtered record stream.
-        let raw = count_consumed(checked_body(resp, start), self.transferred.clone());
+        let raw = self.count(checked_body(resp, start));
         Self::filter_client_side(raw, start, end_exclusive, spec, file_schema)
     }
 
@@ -379,6 +421,12 @@ impl StorageConnector for SwiftConnector {
         if end <= start {
             return Ok(Bytes::new());
         }
+        let trace = self.client.trace();
+        let _span = telemetry::span(
+            trace.as_deref(),
+            "connector",
+            format!("fetch {location}/{object} [{start},{end})"),
+        );
         let req = Request::get(self.path(location, object)?)
             .with_range(ByteRange { start, end: Some(end - 1) });
         let resp = self.client.request(req)?;
@@ -391,6 +439,7 @@ impl StorageConnector for SwiftConnector {
         let data = resp.read_body()?;
         self.transferred
             .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.transferred_global.add(data.len() as u64);
         Ok(data)
     }
 
@@ -402,6 +451,12 @@ impl StorageConnector for SwiftConnector {
         params: &HashMap<String, String>,
         range: Option<(u64, u64)>,
     ) -> Result<scoop_common::ByteStream> {
+        let trace = self.client.trace();
+        let _span = telemetry::span(
+            trace.as_deref(),
+            "connector",
+            format!("storlet {storlets} on {location}/{object}"),
+        );
         let mut req = Request::get(self.path(location, object)?)
             .with_header(headers::RUN_STORLET, storlets)
             .with_header(headers::PARAMETERS, encode_params(params));
@@ -421,11 +476,15 @@ impl StorageConnector for SwiftConnector {
                 resp.status
             ))));
         }
-        Ok(count_consumed(resp.body, self.transferred.clone()))
+        Ok(self.count(resp.body))
     }
 
     fn set_deadline(&self, deadline: scoop_common::Deadline) {
         self.client.set_deadline(deadline);
+    }
+
+    fn set_trace(&self, trace: Option<String>) {
+        self.client.set_trace(trace);
     }
 
     fn supports_pushdown(&self) -> bool {

@@ -10,6 +10,10 @@
 //! 3. **Bounded retries**: a function that loops on `is_retryable`
 //!    decisions must consult a deadline — retry loops without a time bound
 //!    turn transient faults into hangs.
+//! 4. **Trace propagation**: the `x-scoop-trace` header may only be spelled
+//!    out in `scoop_common::headers` — everywhere else, *including test
+//!    code*, it must travel via the constant, and the headers module must
+//!    actually define it.
 
 use crate::findings::{Finding, Severity};
 use crate::lexer::Tok;
@@ -23,6 +27,7 @@ pub fn run(files: &[ParsedFile]) -> Vec<Finding> {
     check_error_classification(files, &mut out);
     check_header_literals(files, &mut out);
     check_retry_deadlines(files, &mut out);
+    check_trace_header(files, &mut out);
     out
 }
 
@@ -133,6 +138,68 @@ fn check_header_literals(files: &[ParsedFile], out: &mut Vec<Finding>) {
                 ),
             });
         }
+    }
+}
+
+/// Rule 4: the trace header is only ever spelled out in the headers module.
+///
+/// Stricter than rule 2 on purpose: it also covers test code. A test that
+/// hand-writes `"x-scoop-trace"` keeps passing if the constant drifts, and
+/// the trace silently unthreads from the very path the test claims to
+/// cover. When the headers module is part of the scanned set, it must also
+/// define the literal itself — otherwise the constant the rest of the tree
+/// imports no longer names the trace header.
+fn check_trace_header(files: &[ParsedFile], out: &mut Vec<Finding>) {
+    let mut saw_headers_module = false;
+    let mut headers_module_defines_it = false;
+    for pf in files {
+        let is_headers = pf.path.ends_with(HEADERS_MODULE) || pf.path == HEADERS_MODULE;
+        if is_headers {
+            saw_headers_module = true;
+        }
+        for (i, t) in pf.tokens.iter().enumerate() {
+            let Tok::Str(s) = &t.tok else { continue };
+            if !s.to_ascii_lowercase().contains("scoop-trace") {
+                continue;
+            }
+            if is_headers {
+                headers_module_defines_it = true;
+                continue;
+            }
+            if pf.allow_for(t.line).map(|a| !a.reason.trim().is_empty()).unwrap_or(false) {
+                continue;
+            }
+            let function = pf
+                .functions
+                .iter()
+                .find(|f| f.body.contains(&i))
+                .map(|f| f.qual_name.clone())
+                .unwrap_or_else(|| "<file>".into());
+            out.push(Finding {
+                pass: "invariants",
+                severity: Severity::Deny,
+                file: pf.path.clone(),
+                function,
+                line: t.line,
+                detail: "trace-header-literal".into(),
+                message: format!(
+                    "\"{s}\" spelled out instead of `scoop_common::headers::TRACE` — trace \
+                     propagation must go through the constant, in tests too"
+                ),
+            });
+        }
+    }
+    if saw_headers_module && !headers_module_defines_it {
+        out.push(Finding {
+            pass: "invariants",
+            severity: Severity::Deny,
+            file: HEADERS_MODULE.into(),
+            function: "<file>".into(),
+            line: 1,
+            detail: "trace-constant-missing".into(),
+            message: "`scoop_common::headers` no longer defines the `x-scoop-trace` constant"
+                .into(),
+        });
     }
 }
 

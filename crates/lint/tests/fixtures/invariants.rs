@@ -41,6 +41,17 @@ pub fn unbounded_retry(op: &dyn Fn() -> Result<(), ScoopError>) -> Result<(), Sc
     }
 }
 
+/// Hand-spelled trace header in *test* code: rule 2 (header hygiene) skips
+/// tests, but rule 4 (trace propagation) must still flag it.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn stamps_trace_by_hand() {
+        let mut req = Request::default();
+        req.headers.set("x-scoop-trace", "t1");
+    }
+}
+
 /// Bounded: consults the deadline every attempt — no finding.
 pub fn bounded_retry(
     op: &dyn Fn() -> Result<(), ScoopError>,

@@ -42,6 +42,19 @@ pub struct ObjectMeta {
     pub metadata: BTreeMap<String, String>,
 }
 
+/// Clamp a requested `[start, end)` range against an object of `len` bytes.
+///
+/// This is the single range-semantics contract shared by every backend:
+/// `start` and `end` are clamped to `len`, and an inverted range (end before
+/// start) collapses to the empty range at the clamped start. Past-EOF and
+/// overlong requests therefore return the available tail (possibly empty)
+/// rather than erroring, on memory and disk alike.
+pub fn clamp_range(len: u64, start: u64, end: u64) -> (u64, u64) {
+    let s = start.min(len);
+    let e = end.min(len).max(s);
+    (s, e)
+}
+
 /// Device-local storage operations.
 pub trait StorageBackend: Send + Sync {
     /// Store (or replace) an object.
@@ -51,10 +64,8 @@ pub trait StorageBackend: Send + Sync {
     /// Fetch `[start, end)` of an object's payload.
     fn get_range(&self, key: &str, start: u64, end: u64) -> Result<Bytes> {
         let obj = self.get(key)?;
-        let len = obj.data.len() as u64;
-        let s = start.min(len) as usize;
-        let e = end.min(len).max(start.min(len)) as usize;
-        Ok(obj.data.slice(s..e))
+        let (s, e) = clamp_range(obj.data.len() as u64, start, end);
+        Ok(obj.data.slice(s as usize..e as usize))
     }
     /// Metadata only.
     fn head(&self, key: &str) -> Result<ObjectMeta>;
@@ -249,12 +260,16 @@ impl StorageBackend for DiskBackend {
                 .cloned()
                 .ok_or_else(|| ScoopError::NotFound(format!("object {key}")))?
         };
-        let s = start.min(entry.size);
-        let e = end.min(entry.size).max(s);
         let mut f = std::fs::File::open(self.data_path(&entry.stem))?;
+        // Clamp against the file's *actual* length, not the index entry: a
+        // stale sidecar (crash between data and meta writes) must not make the
+        // disk backend return different bytes than the memory backend would
+        // for the same stored payload.
+        let len = f.seek(SeekFrom::End(0))?;
+        let (s, e) = clamp_range(len, start, end);
         f.seek(SeekFrom::Start(s))?;
-        let mut buf = vec![0u8; (e - s) as usize];
-        f.read_exact(&mut buf)?;
+        let mut buf = Vec::new();
+        f.take(e.saturating_sub(s)).read_to_end(&mut buf)?;
         Ok(Bytes::from(buf))
     }
 
@@ -319,6 +334,11 @@ mod tests {
         assert_eq!(backend.get_range("/a/c/o1", 6, 11).unwrap(), "world");
         assert_eq!(backend.get_range("/a/c/o1", 6, 999).unwrap(), "world");
         assert_eq!(backend.get_range("/a/c/o1", 999, 1000).unwrap().len(), 0);
+        // Inverted and empty ranges collapse identically on every backend.
+        assert_eq!(backend.get_range("/a/c/o1", 8, 3).unwrap().len(), 0);
+        assert_eq!(backend.get_range("/a/c/o1", 5, 5).unwrap().len(), 0);
+        assert_eq!(backend.get_range("/a/c/o1", 0, 0).unwrap().len(), 0);
+        assert_eq!(backend.get_range("/a/c/o1", 0, u64::MAX).unwrap(), "hello world");
 
         assert_eq!(backend.keys(), vec!["/a/c/o1".to_string()]);
         assert_eq!(backend.bytes_used(), 11);
@@ -358,6 +378,38 @@ mod tests {
         let got = b.get("/a/c/persist").unwrap();
         assert_eq!(got.data, "abc");
         assert_eq!(got.metadata["x-object-meta-owner"], "gp");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clamp_range_contract() {
+        assert_eq!(clamp_range(10, 2, 6), (2, 6));
+        assert_eq!(clamp_range(10, 2, 999), (2, 10));
+        assert_eq!(clamp_range(10, 999, 1000), (10, 10));
+        assert_eq!(clamp_range(10, 8, 3), (8, 8));
+        assert_eq!(clamp_range(0, 0, 5), (0, 0));
+        assert_eq!(clamp_range(10, 0, u64::MAX), (0, 10));
+    }
+
+    #[test]
+    fn disk_range_read_tolerates_stale_index_size() {
+        let dir =
+            std::env::temp_dir().join(format!("scoop-disk-stale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let b = DiskBackend::open(&dir).unwrap();
+        b.put(
+            "/a/c/o",
+            StoredObject::new(Bytes::from_static(b"0123456789"), BTreeMap::new()),
+        )
+        .unwrap();
+        // Truncate the data file behind the index's back, simulating a crash
+        // between the data write and the sidecar write.
+        let stem = scoop_common::hash::fingerprint_hex("/a/c/o".as_bytes());
+        std::fs::write(dir.join(format!("{stem}.data")), b"0123").unwrap();
+        // The read clamps to the file's actual length instead of erroring.
+        assert_eq!(b.get_range("/a/c/o", 0, 10).unwrap(), "0123");
+        assert_eq!(b.get_range("/a/c/o", 2, 999).unwrap(), "23");
+        assert_eq!(b.get_range("/a/c/o", 8, 9).unwrap().len(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -90,12 +90,24 @@ pub struct NodeHealth {
     config: BreakerConfig,
     nodes: Mutex<HashMap<u32, NodeState>>,
     skips: AtomicU64,
+    /// Registry mirror of `skips`. Absent under loom: the model checker
+    /// exercises the state machine, not the process-global telemetry.
+    #[cfg(not(loom))]
+    skips_global: scoop_common::telemetry::Counter,
 }
 
 impl NodeHealth {
     /// Build a registry with the given tuning.
     pub fn new(config: BreakerConfig) -> Arc<NodeHealth> {
-        Arc::new(NodeHealth { config, nodes: Mutex::new(HashMap::new()), skips: AtomicU64::new(0) })
+        Arc::new(NodeHealth {
+            config,
+            nodes: Mutex::new(HashMap::new()),
+            skips: AtomicU64::new(0),
+            #[cfg(not(loom))]
+            skips_global: scoop_common::telemetry::counter(
+                scoop_common::telemetry::names::HEALTH_BREAKER_SKIPS,
+            ),
+        })
     }
 
     /// The tuning this registry runs.
@@ -127,6 +139,8 @@ impl NodeHealth {
                     true
                 } else {
                     self.skips.fetch_add(1, Ordering::Relaxed);
+                    #[cfg(not(loom))]
+                    self.skips_global.inc();
                     false
                 }
             }

@@ -12,6 +12,7 @@ use crate::middleware::Pipeline;
 use crate::request::{Method, Request, Response};
 use crate::ring::DeviceId;
 use parking_lot::RwLock;
+use scoop_common::telemetry::{self, names, ScopedCounter};
 use scoop_common::{stream, Result, ScoopError};
 
 /// GET response chunk size. Small (like Hadoop's 4 KB I/O buffer) so lazy
@@ -20,7 +21,7 @@ use scoop_common::{stream, Result, ScoopError};
 /// overhead.
 pub const RESPONSE_CHUNK: usize = 4 * 1024;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Stage marker header set by servers before running their pipeline, so a
@@ -38,28 +39,43 @@ pub const STAGE_OBJECT: &str = "object";
 pub const UPLOAD_TOKEN_HEADER: &str = scoop_common::headers::UPLOAD_TOKEN;
 
 /// Monotonic counters exposed for experiments (bytes served, request counts).
-#[derive(Debug, Default)]
+/// Each is a [`ScopedCounter`]: the per-server value backs [`StatsSnapshot`]
+/// accessors exactly, while every increment also feeds the process-wide
+/// registry metric of the same role (`scoop_objserver_*`).
+#[derive(Debug)]
 pub struct ServerStats {
     /// GET requests served.
-    pub gets: AtomicU64,
+    pub gets: ScopedCounter,
     /// PUT requests served (actual stores; deduplicated re-PUTs excluded).
-    pub puts: AtomicU64,
+    pub puts: ScopedCounter,
     /// Payload bytes written by PUTs.
-    pub bytes_in: AtomicU64,
+    pub bytes_in: ScopedCounter,
     /// Payload bytes read by GETs (before any middleware filtering).
-    pub bytes_out: AtomicU64,
+    pub bytes_out: ScopedCounter,
     /// Re-dispatched PUTs acked idempotently via their upload token.
-    pub deduped_puts: AtomicU64,
+    pub deduped_puts: ScopedCounter,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            gets: ScopedCounter::new(names::OBJSERVER_GETS),
+            puts: ScopedCounter::new(names::OBJSERVER_PUTS),
+            bytes_in: ScopedCounter::new(names::OBJSERVER_BYTES_IN),
+            bytes_out: ScopedCounter::new(names::OBJSERVER_BYTES_OUT),
+            deduped_puts: ScopedCounter::new(names::OBJSERVER_DEDUPED_PUTS),
+        }
+    }
 }
 
 impl ServerStats {
     fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            gets: self.gets.load(Ordering::Relaxed),
-            puts: self.puts.load(Ordering::Relaxed),
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
-            deduped_puts: self.deduped_puts.load(Ordering::Relaxed),
+            gets: self.gets.get(),
+            puts: self.puts.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+            deduped_puts: self.deduped_puts.get(),
         }
     }
 }
@@ -170,6 +186,11 @@ impl ObjectServer {
         req.deadline
             .check(&format!("object server {} {:?}", self.id, req.method))?;
         let backend = self.backend(device)?;
+        let _span = telemetry::span(
+            req.headers.get(scoop_common::headers::TRACE),
+            "objserver",
+            format!("node {} {:?} {}", self.id, req.method, req.path.ring_key()),
+        );
         req.headers.set(STAGE_HEADER, STAGE_OBJECT);
         let pipeline = self.pipeline.read().clone();
         let stats = &self.stats;
@@ -211,7 +232,7 @@ impl ObjectServer {
                                 .get(UPLOAD_TOKEN_HEADER)
                                 .is_some_and(|t| t == token)
                             {
-                                stats.deduped_puts.fetch_add(1, Ordering::Relaxed);
+                                stats.deduped_puts.inc();
                                 return Ok(Response::created()
                                     .with_header("etag", existing.etag.clone())
                                     .with_header(
@@ -222,8 +243,8 @@ impl ObjectServer {
                         }
                     }
                 }
-                stats.puts.fetch_add(1, Ordering::Relaxed);
-                stats.bytes_in.fetch_add(body.len() as u64, Ordering::Relaxed);
+                stats.puts.inc();
+                stats.bytes_in.add(body.len() as u64);
                 let mut metadata = Self::user_metadata(&req);
                 if let Some(token) = token {
                     metadata.insert(UPLOAD_TOKEN_HEADER.to_string(), token.to_string());
@@ -238,25 +259,34 @@ impl ObjectServer {
             }
             Method::Get => {
                 let meta = backend.head(&key)?;
-                let (start, end) = match req.range()? {
-                    Some(r) => r.resolve(meta.size),
+                let spec = req.range_spec()?;
+                // RFC 7233: a range that selects no bytes (past-EOF start,
+                // zero-length suffix, empty object) is 416 with the total
+                // size, never a fabricated `bytes 0-0/N`.
+                if let Some(spec) = spec {
+                    if !spec.satisfiable(meta.size) {
+                        return Ok(Response::range_not_satisfiable(meta.size));
+                    }
+                }
+                let (start, end) = match spec {
+                    Some(spec) => spec.resolve(meta.size),
                     None => (0, meta.size),
                 };
                 let data = backend.get_range(&key, start, end)?;
-                stats.gets.fetch_add(1, Ordering::Relaxed);
-                stats
-                    .bytes_out
-                    .fetch_add(data.len() as u64, Ordering::Relaxed);
+                stats.gets.inc();
+                stats.bytes_out.add(data.len() as u64);
                 let mut resp = Response::ok(stream::chunked(data, RESPONSE_CHUNK))
                     .with_header("etag", meta.etag)
-                    .with_header("content-length", (end - start).to_string())
+                    .with_header("content-length", end.saturating_sub(start).to_string())
                     .with_header(scoop_common::headers::OBJECT_LENGTH, meta.size.to_string());
                 // The upload token is replica-internal bookkeeping, not
                 // user metadata — it never leaves the server.
                 for (k, v) in meta.metadata.iter().filter(|(k, _)| *k != UPLOAD_TOKEN_HEADER) {
                     resp.headers.set(k, v.clone());
                 }
-                if req.range()?.is_some() {
+                if spec.is_some() {
+                    // `end > start` here (unsatisfiable ranges returned 416
+                    // above), so the inclusive last-byte index is exact.
                     resp.status = 206;
                     resp.headers.set(
                         "content-range",
@@ -348,6 +378,44 @@ mod tests {
         assert_eq!(resp.status, 206);
         assert_eq!(resp.headers.get("content-range"), Some("bytes 2-5/10"));
         assert_eq!(resp.read_body().unwrap(), "2345");
+    }
+
+    #[test]
+    fn unsatisfiable_range_returns_416_not_fabricated_content_range() {
+        let s = server();
+        s.handle(DeviceId(0), Request::put(path(), Bytes::from_static(b"0123456789")))
+            .unwrap();
+        // Past-EOF open range selects nothing.
+        let resp = s
+            .handle(
+                DeviceId(0),
+                Request::get(path()).with_range(ByteRange { start: 10, end: None }),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 416);
+        assert_eq!(resp.headers.get("content-range"), Some("bytes */10"));
+        assert_eq!(resp.read_body().unwrap().len(), 0);
+        // Zero-length suffix likewise.
+        let resp = s
+            .handle(DeviceId(0), Request::get(path()).with_header("range", "bytes=-0"))
+            .unwrap();
+        assert_eq!(resp.status, 416);
+        // 416 GETs never count as served bytes.
+        assert_eq!(s.stats().gets, 0);
+        assert_eq!(s.stats().bytes_out, 0);
+    }
+
+    #[test]
+    fn suffix_range_serves_the_object_tail() {
+        let s = server();
+        s.handle(DeviceId(0), Request::put(path(), Bytes::from_static(b"0123456789")))
+            .unwrap();
+        let resp = s
+            .handle(DeviceId(0), Request::get(path()).with_header("range", "bytes=-4"))
+            .unwrap();
+        assert_eq!(resp.status, 206);
+        assert_eq!(resp.headers.get("content-range"), Some("bytes 6-9/10"));
+        assert_eq!(resp.read_body().unwrap(), "6789");
     }
 
     #[test]

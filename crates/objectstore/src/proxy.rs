@@ -16,9 +16,9 @@ use crate::path::ObjectPath;
 use crate::request::{Method, Request, Response};
 use crate::ring::{DeviceId, Ring};
 use parking_lot::RwLock;
-use scoop_common::{headers, Result, ScoopError};
+use scoop_common::telemetry::{self, names, ScopedCounter};
+use scoop_common::{headers, stream, Result, ScoopError};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -168,21 +168,35 @@ impl ContainerService {
     }
 }
 
-/// Counters for proxy throughput (drives the Fig. 9 network series).
-#[derive(Debug, Default)]
+/// Counters for proxy throughput (drives the Fig. 9 network series). Each
+/// is a [`ScopedCounter`]: per-proxy values stay exact while every increment
+/// also feeds the process-wide `scoop_proxy_*` registry metric.
+#[derive(Debug)]
 pub struct ProxyStats {
     /// Requests routed.
-    pub requests: AtomicU64,
+    pub requests: ScopedCounter,
     /// Body bytes relayed toward clients.
-    pub bytes_to_clients: AtomicU64,
+    pub bytes_to_clients: ScopedCounter,
     /// Read requests re-routed to another replica after a retryable
     /// failure (the store's first line of defence under faults).
-    pub replica_failovers: AtomicU64,
+    pub replica_failovers: ScopedCounter,
     /// Hedge requests launched: a second replica raced after the first
     /// stayed silent past the hedge threshold.
-    pub hedged_gets: AtomicU64,
+    pub hedged_gets: ScopedCounter,
     /// Hedged reads where a hedge (not the first replica) answered first.
-    pub hedge_wins: AtomicU64,
+    pub hedge_wins: ScopedCounter,
+}
+
+impl Default for ProxyStats {
+    fn default() -> Self {
+        ProxyStats {
+            requests: ScopedCounter::new(names::PROXY_REQUESTS),
+            bytes_to_clients: ScopedCounter::new(names::PROXY_BYTES_TO_CLIENTS),
+            replica_failovers: ScopedCounter::new(names::PROXY_REPLICA_FAILOVERS),
+            hedged_gets: ScopedCounter::new(names::PROXY_HEDGED_GETS),
+            hedge_wins: ScopedCounter::new(names::PROXY_HEDGE_WINS),
+        }
+    }
 }
 
 /// A proxy server.
@@ -271,10 +285,25 @@ impl ProxyServer {
         self.authorize(&req)?;
         req.deadline
             .check(&format!("proxy {} {:?}", self.id, req.method))?;
-        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.stats.requests.inc();
+        let _span = telemetry::span(
+            req.headers.get(headers::TRACE),
+            "proxy",
+            format!("proxy {} {:?} {}", self.id, req.method, req.path.ring_key()),
+        );
         req.headers.set(STAGE_HEADER, STAGE_PROXY);
         let pipeline = self.pipeline.read().clone();
         pipeline.execute(req, &|req: Request| self.route(req))
+    }
+
+    /// The `GET /info` endpoint: a plain-text dump of the process-wide
+    /// telemetry snapshot (Swift's recon/info analogue).
+    pub fn info(&self) -> Response {
+        let text = telemetry::snapshot().to_text();
+        let len = text.len();
+        Response::ok(stream::chunked(bytes::Bytes::from(text), crate::objserver::RESPONSE_CHUNK))
+            .with_header("content-type", "text/plain")
+            .with_header("content-length", len.to_string())
     }
 
     /// Quorum size for writes.
@@ -450,7 +479,7 @@ impl ProxyServer {
                 // under-replicated PUT (write quorum met elsewhere, repair
                 // not yet run) must not mask the copies the others hold.
                 Err(e) if e.is_retryable() || matches!(e, ScoopError::NotFound(_)) => {
-                    self.stats.replica_failovers.fetch_add(1, Ordering::Relaxed);
+                    self.stats.replica_failovers.inc();
                     note_read_failure(&mut last_err, e);
                 }
                 Err(e) => return Err(e),
@@ -485,16 +514,12 @@ impl ProxyServer {
             })
             .collect();
         let outcome = hedge::race(attempts, hedge_after, req.deadline, key, last_err);
-        self.stats
-            .hedged_gets
-            .fetch_add(outcome.hedges_launched, Ordering::Relaxed);
-        self.stats
-            .replica_failovers
-            .fetch_add(outcome.failovers, Ordering::Relaxed);
+        self.stats.hedged_gets.add(outcome.hedges_launched);
+        self.stats.replica_failovers.add(outcome.failovers);
         match outcome.result {
             Ok((idx, resp)) => {
                 if idx > 0 {
-                    self.stats.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                    self.stats.hedge_wins.inc();
                 }
                 self.count_read(&resp);
                 Ok(resp)
@@ -522,9 +547,7 @@ impl ProxyServer {
 
     fn count_read(&self, resp: &Response) {
         if let Some(l) = resp.headers.get("content-length") {
-            self.stats
-                .bytes_to_clients
-                .fetch_add(l.parse().unwrap_or(0), Ordering::Relaxed);
+            self.stats.bytes_to_clients.add(l.parse().unwrap_or(0));
         }
     }
 

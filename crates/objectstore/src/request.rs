@@ -84,6 +84,59 @@ impl ByteRange {
     }
 }
 
+/// A fully parsed `Range` header: either a range anchored at a start
+/// offset ([`ByteRange`]) or an RFC 7233 *suffix* range (`bytes=-n`, the
+/// final `n` bytes of the object). [`ByteRange::parse`] alone rejects the
+/// suffix form, which used to make the object server 400 a legal header;
+/// servers parse via [`RangeSpec::parse`] and share one resolution rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeSpec {
+    /// `bytes=a-b` / `bytes=a-`.
+    FromStart(ByteRange),
+    /// `bytes=-n`: the final `n` bytes of the object.
+    Suffix(u64),
+}
+
+impl RangeSpec {
+    /// Parse any `bytes=...` header form.
+    pub fn parse(header: &str) -> Result<RangeSpec> {
+        let spec = header
+            .strip_prefix("bytes=")
+            .ok_or_else(|| ScoopError::InvalidRequest(format!("bad range '{header}'")))?;
+        if let Some(n) = spec.strip_prefix('-') {
+            if !n.is_empty() {
+                let n: u64 = n.parse().map_err(|_| {
+                    ScoopError::InvalidRequest(format!("bad suffix range '{header}'"))
+                })?;
+                return Ok(RangeSpec::Suffix(n));
+            }
+            // `bytes=-` has neither a start nor a suffix length; fall
+            // through so ByteRange::parse reports it.
+        }
+        Ok(RangeSpec::FromStart(ByteRange::parse(header)?))
+    }
+
+    /// Resolve against an object of `len` bytes → clamped half-open
+    /// `[start, end)`. A suffix longer than the object clamps to the whole
+    /// object, per RFC 7233.
+    pub fn resolve(self, len: u64) -> (u64, u64) {
+        match self {
+            RangeSpec::FromStart(r) => r.resolve(len),
+            RangeSpec::Suffix(n) => (len.saturating_sub(n), len),
+        }
+    }
+
+    /// RFC 7233 satisfiability: does the range select at least one byte of
+    /// an object `len` bytes long? Unsatisfiable ranges (start past EOF,
+    /// `bytes=-0`, any range on an empty object) must be answered with
+    /// `416` + `Content-Range: bytes */len`, never with a fabricated empty
+    /// `206`.
+    pub fn satisfiable(self, len: u64) -> bool {
+        let (start, end) = self.resolve(len);
+        start < end
+    }
+}
+
 /// Case-insensitive header map (values keep their case).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Headers(BTreeMap<String, String>);
@@ -210,9 +263,15 @@ impl Request {
         self.with_header("range", range.to_header())
     }
 
-    /// Parse the `Range` header if present.
+    /// Parse the `Range` header if present. Rejects suffix ranges; callers
+    /// that must honor every RFC 7233 form use [`Request::range_spec`].
     pub fn range(&self) -> Result<Option<ByteRange>> {
         self.headers.get("range").map(ByteRange::parse).transpose()
+    }
+
+    /// Parse the `Range` header (including the suffix form) if present.
+    pub fn range_spec(&self) -> Result<Option<RangeSpec>> {
+        self.headers.get("range").map(RangeSpec::parse).transpose()
     }
 }
 
@@ -256,6 +315,13 @@ impl Response {
     /// 503 service unavailable (overload shedding).
     pub fn unavailable() -> Response {
         Response { status: 503, headers: Headers::new(), body: stream::empty() }
+    }
+
+    /// 416 range not satisfiable for an object of `total` bytes, carrying
+    /// the RFC 7233 `Content-Range: bytes */total` form.
+    pub fn range_not_satisfiable(total: u64) -> Response {
+        Response { status: 416, headers: Headers::new(), body: stream::empty() }
+            .with_header("content-range", format!("bytes */{total}"))
     }
 
     /// Attach a header (builder style).
@@ -315,6 +381,49 @@ mod tests {
         let r = ByteRange::parse("bytes=0-18446744073709551615").unwrap();
         assert_eq!(r.resolve(100), (0, 100));
         assert_eq!(ByteRange { start: 5, end: Some(u64::MAX) }.resolve(10), (5, 10));
+    }
+
+    #[test]
+    fn range_spec_covers_every_header_form() {
+        assert_eq!(
+            RangeSpec::parse("bytes=10-20").unwrap(),
+            RangeSpec::FromStart(ByteRange { start: 10, end: Some(20) })
+        );
+        assert_eq!(RangeSpec::parse("bytes=-5").unwrap(), RangeSpec::Suffix(5));
+        assert!(RangeSpec::parse("bytes=-").is_err());
+        assert!(RangeSpec::parse("bytes=-x").is_err());
+        assert!(RangeSpec::parse("10-20").is_err());
+        assert!(RangeSpec::parse("bytes=20-10").is_err());
+    }
+
+    #[test]
+    fn suffix_ranges_resolve_to_the_object_tail() {
+        assert_eq!(RangeSpec::Suffix(4).resolve(10), (6, 10));
+        // Longer than the object: the whole object, per RFC 7233.
+        assert_eq!(RangeSpec::Suffix(100).resolve(10), (0, 10));
+        assert_eq!(RangeSpec::Suffix(0).resolve(10), (10, 10));
+        assert_eq!(RangeSpec::Suffix(4).resolve(0), (0, 0));
+    }
+
+    #[test]
+    fn satisfiability_matches_rfc_7233() {
+        assert!(RangeSpec::Suffix(1).satisfiable(10));
+        assert!(!RangeSpec::Suffix(0).satisfiable(10), "bytes=-0 selects nothing");
+        assert!(!RangeSpec::Suffix(5).satisfiable(0), "empty objects satisfy no range");
+        let past_eof = RangeSpec::FromStart(ByteRange { start: 10, end: None });
+        assert!(!past_eof.satisfiable(10));
+        assert!(past_eof.satisfiable(11));
+        let bounded = RangeSpec::FromStart(ByteRange { start: 2, end: Some(5) });
+        assert!(bounded.satisfiable(3));
+        assert!(!bounded.satisfiable(2));
+    }
+
+    #[test]
+    fn range_not_satisfiable_reports_total_size() {
+        let r = Response::range_not_satisfiable(42);
+        assert_eq!(r.status, 416);
+        assert!(!r.is_success());
+        assert_eq!(r.headers.get("content-range"), Some("bytes */42"));
     }
 
     #[test]

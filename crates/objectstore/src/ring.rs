@@ -121,14 +121,18 @@ impl Ring {
         (hash64(key.as_bytes()) >> (64 - self.part_power)) as usize
     }
 
-    /// Devices responsible for a key, primary first.
+    /// Devices responsible for a key, primary first. Empty only when the
+    /// assignment table has no entry for the key's partition (a transient
+    /// rebalance window) — callers treat that as "no replicas reachable",
+    /// never a panic.
     pub fn lookup(&self, key: &str) -> &[DeviceId] {
-        &self.part2dev[self.partition_of(key)]
+        self.devices_of_partition(self.partition_of(key))
     }
 
-    /// Devices assigned to a raw partition index.
+    /// Devices assigned to a raw partition index; empty for out-of-range
+    /// partitions rather than panicking.
     pub fn devices_of_partition(&self, part: usize) -> &[DeviceId] {
-        &self.part2dev[part]
+        self.part2dev.get(part).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Position of a device id within the device table.
@@ -190,10 +194,12 @@ impl Ring {
 
     /// Rotate the replica list by a per-partition hash so the *primary* role
     /// (tried first on reads) spreads uniformly over a partition's devices.
+    /// `checked_rem` makes an empty replica set (drastic rebalance /
+    /// all-nodes-down windows) a deterministic no-op instead of a `% 0`
+    /// panic.
     fn rotate_primary(part: usize, replicas: &mut [DeviceId]) {
-        if replicas.len() > 1 {
-            let r = (hash64(&(part as u64).to_le_bytes()) % replicas.len() as u64) as usize;
-            replicas.rotate_left(r);
+        if let Some(r) = hash64(&(part as u64).to_le_bytes()).checked_rem(replicas.len() as u64) {
+            replicas.rotate_left(r as usize);
         }
     }
 
@@ -442,6 +448,22 @@ mod tests {
             );
             assert_eq!(ring.devices_of_partition(p).len(), 3);
         }
+    }
+
+    #[test]
+    fn degenerate_assignments_degrade_without_panicking() {
+        let ring = build_ring(4, 2, 8, 3);
+        // Out-of-range partitions answer with no replicas, not a panic.
+        assert!(ring.devices_of_partition(usize::MAX).is_empty());
+        assert!(ring.devices_of_partition(ring.partitions()).is_empty());
+        // Rotating an empty replica set is a deterministic no-op.
+        let mut empty: Vec<DeviceId> = Vec::new();
+        Ring::rotate_primary(7, &mut empty);
+        assert!(empty.is_empty());
+        // Single-replica sets are stable under rotation.
+        let mut one = vec![DeviceId(3)];
+        Ring::rotate_primary(7, &mut one);
+        assert_eq!(one, vec![DeviceId(3)]);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::request::{Request, Response};
 use crate::ring::{DeviceId, Ring, RingBuilder};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
+use scoop_common::telemetry::{self, names};
 use scoop_common::{Deadline, Result, RetryPolicy, ScoopError};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -208,7 +209,7 @@ impl SwiftCluster {
     pub fn replica_failovers(&self) -> u64 {
         self.proxies
             .iter()
-            .map(|p| p.stats.replica_failovers.load(Ordering::Relaxed))
+            .map(|p| p.stats.replica_failovers.get())
             .sum()
     }
 
@@ -226,7 +227,7 @@ impl SwiftCluster {
     pub fn hedged_gets(&self) -> u64 {
         self.proxies
             .iter()
-            .map(|p| p.stats.hedged_gets.load(Ordering::Relaxed))
+            .map(|p| p.stats.hedged_gets.get())
             .sum()
     }
 
@@ -235,7 +236,7 @@ impl SwiftCluster {
     pub fn hedge_wins(&self) -> u64 {
         self.proxies
             .iter()
-            .map(|p| p.stats.hedge_wins.load(Ordering::Relaxed))
+            .map(|p| p.stats.hedge_wins.get())
             .sum()
     }
 
@@ -365,6 +366,11 @@ pub struct SwiftClient {
     retry: RetryPolicy,
     retries: Arc<AtomicU64>,
     deadline: Arc<Mutex<Deadline>>,
+    /// Trace ID stamped on every request (shared across clones).
+    trace: Arc<Mutex<Option<String>>>,
+    /// Registry mirror of `retries` (registered at assembly so a snapshot
+    /// always carries the metric, even before the first retry).
+    retries_global: telemetry::Counter,
 }
 
 /// Process-wide upload counter: tokens must be unique across every client
@@ -381,6 +387,8 @@ impl SwiftClient {
             retry: RetryPolicy::none(),
             retries: Arc::new(AtomicU64::new(0)),
             deadline: Arc::new(Mutex::new(Deadline::none())),
+            trace: Arc::new(Mutex::new(None)),
+            retries_global: telemetry::counter(names::CLIENT_RETRIES),
         }
     }
 
@@ -420,6 +428,17 @@ impl SwiftClient {
         *self.deadline.lock() = deadline;
     }
 
+    /// Set the trace ID stamped (as `x-scoop-trace`) on every subsequent
+    /// request, shared across clones of this client. `None` clears it.
+    pub fn set_trace(&self, trace: Option<String>) {
+        *self.trace.lock() = trace;
+    }
+
+    /// The trace ID in force, if any.
+    pub fn trace(&self) -> Option<String> {
+        self.trace.lock().clone()
+    }
+
     /// Send a request, attaching the auth token; retryable failures are
     /// re-dispatched per the client's [`RetryPolicy`]. The client's deadline
     /// (if set) is stamped on the request, bounds backoff sleeps, and stops
@@ -429,6 +448,15 @@ impl SwiftClient {
         if let Some(tok) = &self.token {
             req.headers.set(scoop_common::headers::AUTH_TOKEN, tok.clone());
         }
+        let trace = self.trace.lock().clone();
+        if let Some(t) = &trace {
+            req.headers.set(scoop_common::headers::TRACE, t.clone());
+        }
+        let _span = telemetry::span(
+            trace.as_deref(),
+            "client",
+            format!("{:?} {}", req.method, req.path.ring_key()),
+        );
         req.deadline = req.deadline.earliest(*self.deadline.lock());
         let deadline = req.deadline;
         deadline.check("client dispatch")?;
@@ -445,6 +473,7 @@ impl SwiftClient {
                     std::thread::sleep(deadline.clamp_sleep(self.retry.backoff(attempt, &mut rng)));
                     attempt += 1;
                     self.retries.fetch_add(1, Ordering::Relaxed);
+                    self.retries_global.inc();
                 }
                 Err(e) => return Err(e),
             }
@@ -475,6 +504,13 @@ impl SwiftClient {
     pub fn delete_object(&self, container: &str, object: &str) -> Result<Response> {
         let path = ObjectPath::new(self.account.clone(), container, object)?;
         self.request(Request::delete(path))
+    }
+
+    /// `GET /info`: the telemetry snapshot served by whichever proxy the
+    /// load balancer picks — the Swift recon/info analogue, no auth (the
+    /// snapshot carries operational counters, not object data).
+    pub fn info(&self) -> Response {
+        self.cluster.next_proxy().info()
     }
 
     /// Object metadata.

@@ -9,6 +9,7 @@
 
 use crate::api::{InvocationContext, InvocationMetrics, Storlet};
 use parking_lot::RwLock;
+use scoop_common::telemetry::{self, names};
 use scoop_common::{ByteStream, Result, ScoopError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -38,7 +39,7 @@ struct StatsCell {
 
 /// Shared admission bookkeeping: concurrency limits, the live-invocation
 /// gauge, and the shed counter.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct AdmissionState {
     /// `(max_concurrent, max_queue_depth)`; `None` = admission control off.
     limits: RwLock<Option<(usize, usize)>>,
@@ -46,6 +47,23 @@ struct AdmissionState {
     active: AtomicUsize,
     /// Pushdown requests refused for overload.
     sheds: AtomicU64,
+    /// Registry mirror of `sheds` (registered at construction so snapshots
+    /// carry the metric even before the first shed).
+    sheds_global: telemetry::Counter,
+    /// Registry gauge mirroring `active` for limit-bounded invocations.
+    active_global: telemetry::Gauge,
+}
+
+impl Default for AdmissionState {
+    fn default() -> Self {
+        AdmissionState {
+            limits: RwLock::new(None),
+            active: AtomicUsize::new(0),
+            sheds: AtomicU64::new(0),
+            sheds_global: telemetry::counter(names::STORLETS_ADMISSION_SHEDS),
+            active_global: telemetry::gauge(names::STORLETS_ACTIVE),
+        }
+    }
 }
 
 /// RAII admission slot for one pushdown request. Dropping it (normally via
@@ -66,6 +84,7 @@ impl Drop for AdmissionPermit {
     fn drop(&mut self) {
         if let Some(state) = &self.state {
             state.active.fetch_sub(1, Ordering::Relaxed);
+            state.active_global.sub(1);
         }
     }
 }
@@ -82,11 +101,31 @@ impl Iterator for PermittedStream {
     }
 }
 
+/// Registry mirrors of the engine-wide invocation totals, registered at
+/// engine construction so a telemetry snapshot always carries the metrics.
+#[derive(Debug, Clone)]
+struct StorletGlobals {
+    invocations: telemetry::Counter,
+    bytes_in: telemetry::Counter,
+    bytes_out: telemetry::Counter,
+}
+
+impl Default for StorletGlobals {
+    fn default() -> Self {
+        StorletGlobals {
+            invocations: telemetry::counter(names::STORLETS_INVOCATIONS),
+            bytes_in: telemetry::counter(names::STORLETS_BYTES_IN),
+            bytes_out: telemetry::counter(names::STORLETS_BYTES_OUT),
+        }
+    }
+}
+
 /// The engine: registry + execution + accounting.
 pub struct StorletEngine {
     registry: RwLock<HashMap<String, Arc<dyn Storlet>>>,
     stats: RwLock<HashMap<String, Arc<StatsCell>>>,
     admission: Arc<AdmissionState>,
+    globals: StorletGlobals,
 }
 
 impl Default for StorletEngine {
@@ -102,6 +141,7 @@ impl StorletEngine {
             registry: RwLock::new(HashMap::new()),
             stats: RwLock::new(HashMap::new()),
             admission: Arc::new(AdmissionState::default()),
+            globals: StorletGlobals::default(),
         }
     }
 
@@ -124,6 +164,7 @@ impl StorletEngine {
         loop {
             if current >= cap {
                 self.admission.sheds.fetch_add(1, Ordering::Relaxed);
+                self.admission.sheds_global.inc();
                 return None;
             }
             match self.admission.active.compare_exchange(
@@ -132,7 +173,10 @@ impl StorletEngine {
                 Ordering::AcqRel,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return Some(AdmissionPermit { state: Some(self.admission.clone()) }),
+                Ok(_) => {
+                    self.admission.active_global.add(1);
+                    return Some(AdmissionPermit { state: Some(self.admission.clone()) });
+                }
                 Err(observed) => current = observed,
             }
         }
@@ -215,7 +259,12 @@ impl StorletEngine {
         let cell = self.stats_cell(name);
         let metrics = ctx.metrics.clone();
         let out = storlet.invoke(input, ctx)?;
-        Ok(Box::new(AccountedStream { inner: Some(out), metrics, cell }))
+        Ok(Box::new(AccountedStream {
+            inner: Some(out),
+            metrics,
+            cell,
+            globals: self.globals.clone(),
+        }))
     }
 
     /// Invoke a pipeline of storlets, each consuming the previous one's
@@ -292,6 +341,7 @@ struct AccountedStream {
     inner: Option<ByteStream>,
     metrics: Arc<InvocationMetrics>,
     cell: Arc<StatsCell>,
+    globals: StorletGlobals,
 }
 
 impl Iterator for AccountedStream {
@@ -305,13 +355,19 @@ impl Drop for AccountedStream {
     fn drop(&mut self) {
         // Drop the inner stream first so lazy storlets flush their counters.
         self.inner = None;
+        let bytes_in = self.metrics.bytes_in.load(Ordering::Relaxed);
+        let bytes_out = self.metrics.bytes_out.load(Ordering::Relaxed);
         let mut s = self.cell.inner.write();
         s.invocations += 1;
-        s.bytes_in += self.metrics.bytes_in.load(Ordering::Relaxed);
-        s.bytes_out += self.metrics.bytes_out.load(Ordering::Relaxed);
+        s.bytes_in += bytes_in;
+        s.bytes_out += bytes_out;
         s.records_in += self.metrics.records_in.load(Ordering::Relaxed);
         s.records_out += self.metrics.records_out.load(Ordering::Relaxed);
         s.busy_ns += self.metrics.busy_ns.load(Ordering::Relaxed);
+        drop(s);
+        self.globals.invocations.inc();
+        self.globals.bytes_in.add(bytes_in);
+        self.globals.bytes_out.add(bytes_out);
     }
 }
 

@@ -187,6 +187,11 @@ impl StorletMiddleware {
         let Some(permit) = self.engine.try_admit() else {
             return Ok(Response::unavailable().with_header(headers::DEGRADED, names.join(",")));
         };
+        let _span = scoop_common::telemetry::span(
+            req.headers.get(scoop_common::headers::TRACE),
+            "storlet",
+            format!("GET pipeline [{}]", names.join(",")),
+        );
         let mut ctx = Self::build_context(&req)?;
         // Logical range: X-Storlet-Range wins, else a plain Range is promoted
         // to a storlet-handled (record-aligned) range.
@@ -244,6 +249,11 @@ impl StorletMiddleware {
         mut req: Request,
         next: &dyn Handler,
     ) -> Result<Response> {
+        let _span = scoop_common::telemetry::span(
+            req.headers.get(scoop_common::headers::TRACE),
+            "storlet",
+            format!("PUT pipeline [{}]", names.join(",")),
+        );
         let ctx = Self::build_context(&req)?;
         let body = req.body.take().unwrap_or_default();
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();

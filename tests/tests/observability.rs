@@ -1,0 +1,139 @@
+//! End-to-end observability: one pushdown query must yield one trace whose
+//! spans cover every layer of the ingest path, and the process-wide
+//! telemetry snapshot must account for the work the query did.
+//!
+//! The cluster is deliberately degraded — every object node is slow and the
+//! hedge trigger is tight — so the snapshot also shows the protection
+//! machinery (hedged GETs) firing, as a production health check would.
+
+use bytes::Bytes;
+use scoop_common::telemetry::{self, names};
+use scoop_core::{ExecutionMode, ScoopConfig, ScoopContext};
+use scoop_objectstore::{BreakerConfig, FaultPlan, SwiftConfig};
+use scoop_workload::{GeneratorConfig, MeterDataset};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+const SQL: &str = "SELECT vid, sum(index) as total FROM meters \
+                   WHERE city LIKE 'Rotterdam' GROUP BY vid ORDER BY vid";
+
+/// A deployment where every replica read is slow enough to trip hedging.
+fn degraded_context() -> std::sync::Arc<ScoopContext> {
+    let mut plan = FaultPlan::quiet(0xB5EED);
+    for node in 0..4 {
+        plan = plan.with_slow_node(node, Duration::from_millis(8));
+    }
+    let ctx = ScoopContext::new(ScoopConfig {
+        swift: SwiftConfig {
+            fault_plan: Some(plan),
+            breaker: Some(BreakerConfig::default()),
+            hedge_after: Some(Duration::from_millis(1)),
+            ..SwiftConfig::default()
+        },
+        ..ScoopConfig::default()
+    })
+    .expect("deploy");
+    let mut gen = MeterDataset::new(&GeneratorConfig { meters: 30, ..Default::default() });
+    let objects: Vec<(String, Bytes)> = (0..2)
+        .map(|i| (format!("part-{i}.csv"), gen.csv_object(400)))
+        .collect();
+    ctx.upload_csv("meters", objects, None).expect("upload");
+    ctx
+}
+
+#[test]
+fn one_pushdown_query_yields_one_trace_across_the_whole_path() {
+    let ctx = degraded_context();
+    let outcome = ctx
+        .query("meters", SQL, ExecutionMode::Pushdown)
+        .expect("pushdown query");
+    assert!(!outcome.result.rows.is_empty());
+    assert!(!outcome.metrics.trace.is_empty(), "query must mint a trace ID");
+
+    let spans = telemetry::trace_spans(&outcome.metrics.trace);
+    let layers: BTreeSet<&str> = spans.iter().map(|s| s.layer).collect();
+    for layer in ["session", "scheduler", "connector", "client", "proxy", "objserver", "storlet"] {
+        assert!(
+            layers.contains(layer),
+            "trace {} is missing a {layer} span; got layers {layers:?}",
+            outcome.metrics.trace
+        );
+    }
+    assert!(
+        layers.len() >= 4,
+        "trace must cover at least 4 layers, got {layers:?}"
+    );
+    for span in &spans {
+        assert!(
+            span.duration_us < 60_000_000,
+            "span {span:?} reports an absurd duration"
+        );
+    }
+
+    // Two queries, two traces: each gets its own ID and its own full span
+    // set. (Span counts per trace are not compared — a hedge's losing
+    // replica may still be in flight when the query returns, and its span
+    // lands on the first trace slightly later.)
+    let second = ctx
+        .query("meters", SQL, ExecutionMode::Pushdown)
+        .expect("second query");
+    assert_ne!(outcome.metrics.trace, second.metrics.trace);
+    let second_layers: BTreeSet<&str> = telemetry::trace_spans(&second.metrics.trace)
+        .iter()
+        .map(|s| s.layer)
+        .collect();
+    for layer in ["session", "connector", "proxy", "objserver"] {
+        assert!(
+            second_layers.contains(layer),
+            "second trace missing {layer}: {second_layers:?}"
+        );
+    }
+}
+
+#[test]
+fn snapshot_accounts_for_bytes_hedges_and_storlet_runs() {
+    let ctx = degraded_context();
+    let outcome = ctx
+        .query("meters", SQL, ExecutionMode::Pushdown)
+        .expect("pushdown query");
+    assert!(!outcome.result.rows.is_empty());
+
+    // The registry is process-wide and cumulative (tests in this binary run
+    // in parallel), so assert nonzero rather than exact counts.
+    let snap = telemetry::snapshot();
+    for name in [
+        names::OBJSERVER_BYTES_OUT,
+        names::OBJSERVER_GETS,
+        names::PROXY_REQUESTS,
+        names::PROXY_HEDGED_GETS,
+        names::STORLETS_INVOCATIONS,
+        names::CONNECTOR_BYTES_TRANSFERRED,
+    ] {
+        assert!(
+            snap.get_counter(name).unwrap_or(0) > 0,
+            "snapshot counter {name} must be nonzero after a hedged pushdown query"
+        );
+    }
+    assert!(
+        telemetry::missing_data_path_metrics(&snap).is_empty(),
+        "every data-path metric must be registered: missing {:?}",
+        telemetry::missing_data_path_metrics(&snap)
+    );
+
+    // The snapshot renders in both formats with every counter present.
+    let text = snap.to_text();
+    let json = snap.to_json();
+    for &name in telemetry::DATA_PATH_METRICS {
+        assert!(text.contains(name), "text dump missing {name}");
+        assert!(json.contains(name), "json dump missing {name}");
+    }
+
+    // The proxy serves the same dump as its `GET /info` endpoint.
+    let info = ctx.client().info();
+    assert_eq!(info.status, 200);
+    let body = info.read_body().expect("info body");
+    let body = std::str::from_utf8(&body).expect("info is utf-8").to_string();
+    for &name in telemetry::DATA_PATH_METRICS {
+        assert!(body.contains(name), "GET /info missing {name}");
+    }
+}
