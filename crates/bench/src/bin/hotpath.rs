@@ -1,0 +1,320 @@
+//! Hot-path throughput gate for the SWAR CSV scan and columnar batch decode.
+//!
+//! Measures the four data-plane paths the zero-copy rework targets and
+//! compares the two calibration paths against the pre-rework seed numbers
+//! recorded in `repro_output.txt` (storlet CSV filter 86 MB/s, compute CSV
+//! parse 43 MB/s):
+//!
+//! * `storlet_csv_filter` — `filter_buffer` with the Fig. 5 projection and
+//!   `city LIKE 'Rot%'` predicate over generated meter CSV;
+//! * `compute_csv_parse`  — `CsvReader` typed parsing of the full schema;
+//! * `record_split`       — bare record splitting (the SWAR scanner alone);
+//! * `columnar_decode`    — `read_rows_selected` with a dictionary-coded
+//!   equality predicate over a generated columnar object.
+//!
+//! ```text
+//! cargo run -p scoop-bench --release --bin hotpath                 # table
+//! cargo run -p scoop-bench --release --bin hotpath -- --write     # + BENCH_hotpath.json
+//! cargo run -p scoop-bench --release --bin hotpath -- --quick --check BENCH_hotpath.json
+//! ```
+//!
+//! `--quick` shrinks the dataset and iteration count for CI smoke runs.
+//! `--check FILE` validates the committed JSON (parseable, every bench
+//! present) and fails when any current throughput regresses more than 30%
+//! below the recorded number. Throughputs are decimal MB/s, matching the
+//! `repro` calibration output.
+
+use bytes::Bytes;
+use scoop_columnar::{ColumnarReader, ColumnarWriter};
+use scoop_csv::filter::filter_buffer;
+use scoop_csv::record::RecordSplitter;
+use scoop_csv::{CsvReader, Predicate, PushdownSpec, Value};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Seed calibration of the per-byte implementation (repro_output.txt).
+const BASELINE_FILTER_MBS: f64 = 86.0;
+const BASELINE_PARSE_MBS: f64 = 43.0;
+/// CI gate: fail when current throughput drops below 70% of the recorded one.
+const REGRESSION_FLOOR: f64 = 0.7;
+
+const DEFAULT_JSON: &str = "BENCH_hotpath.json";
+
+struct BenchResult {
+    name: &'static str,
+    bytes: u64,
+    mb_per_s: f64,
+    baseline_mb_per_s: Option<f64>,
+}
+
+impl BenchResult {
+    fn speedup(&self) -> Option<f64> {
+        self.baseline_mb_per_s.map(|b| self.mb_per_s / b)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let write = args.iter().any(|a| a == "--write");
+    let check = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| DEFAULT_JSON.into()));
+
+    let (rows, iters) = if quick { (30_000, 3) } else { (150_000, 5) };
+    let results = run_benches(rows, iters);
+
+    println!("hot-path throughput ({} mode):", if quick { "quick" } else { "full" });
+    for r in &results {
+        match r.speedup() {
+            Some(s) => println!(
+                "  {:<20} {:>8.1} MB/s  ({:>5.1}x vs {:.0} MB/s seed)",
+                r.name,
+                r.mb_per_s,
+                s,
+                r.baseline_mb_per_s.unwrap_or(0.0)
+            ),
+            None => println!("  {:<20} {:>8.1} MB/s", r.name, r.mb_per_s),
+        }
+    }
+
+    if write {
+        let json = render_json(&results, quick);
+        std::fs::write(DEFAULT_JSON, json).expect("write BENCH_hotpath.json");
+        println!("wrote {DEFAULT_JSON}");
+    }
+
+    if let Some(path) = check {
+        match check_against(&results, &path) {
+            Ok(msgs) => {
+                for m in msgs {
+                    println!("  {m}");
+                }
+                println!("bench-smoke: OK ({path})");
+            }
+            Err(e) => {
+                eprintln!("bench-smoke: FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Benches
+// ---------------------------------------------------------------------------
+
+fn run_benches(rows: usize, iters: usize) -> Vec<BenchResult> {
+    let mut gen = scoop_workload::MeterDataset::new(&scoop_workload::GeneratorConfig {
+        seed: 7,
+        meters: 100,
+        interval_minutes: 60,
+        ..Default::default()
+    });
+    let csv = gen.csv_object(rows).to_vec();
+    let schema = scoop_workload::generator::meter_schema();
+    let header: Vec<String> = schema.names().iter().map(|s| s.to_string()).collect();
+
+    let mut results = Vec::new();
+
+    // 1. Storlet-side filter: projection + predicate, raw-slice emission.
+    let spec = PushdownSpec {
+        columns: Some(vec!["vid".into(), "index".into()]),
+        predicate: Some(Predicate::StartsWith("city".into(), "Rot".into())),
+        has_header: true,
+    };
+    let secs = best_of(iters, || {
+        let (out, _) = filter_buffer(&spec, &header, &csv, true).expect("filter");
+        black_box(out.len()) as u64
+    });
+    results.push(BenchResult {
+        name: "storlet_csv_filter",
+        bytes: csv.len() as u64,
+        mb_per_s: mbs(csv.len(), secs),
+        baseline_mb_per_s: Some(BASELINE_FILTER_MBS),
+    });
+
+    // 2. Compute-side typed parse of every field.
+    let secs = best_of(iters, || {
+        let reader = CsvReader::new(
+            scoop_common::stream::once(Bytes::from(csv.clone())),
+            schema.clone(),
+            true,
+        );
+        let mut n = 0u64;
+        for r in reader {
+            if r.is_ok() {
+                n += 1;
+            }
+        }
+        black_box(n)
+    });
+    results.push(BenchResult {
+        name: "compute_csv_parse",
+        bytes: csv.len() as u64,
+        mb_per_s: mbs(csv.len(), secs),
+        baseline_mb_per_s: Some(BASELINE_PARSE_MBS),
+    });
+
+    // 3. Bare record splitting — the SWAR scanner with zero-copy emission.
+    let secs = best_of(iters, || {
+        let mut n = 0u64;
+        let mut sp = RecordSplitter::new();
+        sp.push(&csv, |_| n += 1).expect("split");
+        sp.finish(|_| n += 1);
+        black_box(n)
+    });
+    results.push(BenchResult {
+        name: "record_split",
+        bytes: csv.len() as u64,
+        mb_per_s: mbs(csv.len(), secs),
+        baseline_mb_per_s: None,
+    });
+
+    // 4. Columnar batch decode with a dictionary-coded equality predicate.
+    let parsed: Vec<Vec<Value>> = CsvReader::new(
+        scoop_common::stream::once(Bytes::from(csv.clone())),
+        schema.clone(),
+        true,
+    )
+    .filter_map(|r| r.ok())
+    .collect();
+    let mut w = ColumnarWriter::with_row_group_rows(schema.clone(), 10_000);
+    for row in &parsed {
+        w.write_row(row);
+    }
+    let file = w.finish();
+    let pred = Predicate::Eq("city".into(), Value::Str("Rotterdam".into()));
+    let cols = vec!["vid".to_string(), "index".to_string()];
+    let secs = best_of(iters, || {
+        let reader = ColumnarReader::open_bytes(file.clone()).expect("open");
+        let rows = reader
+            .read_rows_selected(Some(&cols), Some(&pred))
+            .expect("selected read");
+        black_box(rows.len()) as u64
+    });
+    results.push(BenchResult {
+        name: "columnar_decode",
+        bytes: file.len() as u64,
+        mb_per_s: mbs(file.len(), secs),
+        baseline_mb_per_s: None,
+    });
+
+    results
+}
+
+/// Best wall-clock of `iters` runs (first run doubles as warmup).
+fn best_of(iters: usize, mut f: impl FnMut() -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
+    }
+    best
+}
+
+fn mbs(bytes: usize, secs: f64) -> f64 {
+    bytes as f64 / 1e6 / secs
+}
+
+// ---------------------------------------------------------------------------
+// Hand-rolled JSON (the workspace deliberately carries no serde_json)
+// ---------------------------------------------------------------------------
+
+fn render_json(results: &[BenchResult], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    out.push_str("  \"unit\": \"decimal MB/s\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let baseline = match r.baseline_mb_per_s {
+            Some(b) => format!("{b:.1}"),
+            None => "null".to_string(),
+        };
+        let speedup = match r.speedup() {
+            Some(s) => format!("{s:.2}"),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"bytes\": {}, \"mb_per_s\": {:.1}, \
+             \"baseline_mb_per_s\": {}, \"speedup_vs_baseline\": {} }}{}\n",
+            r.name,
+            r.bytes,
+            r.mb_per_s,
+            baseline,
+            speedup,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extract `(name, mb_per_s)` pairs from the one-result-per-line layout
+/// `render_json` emits.
+fn parse_results(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.contains("\"name\"") {
+            continue;
+        }
+        let name = extract_string(line, "\"name\"")
+            .ok_or_else(|| format!("malformed result line: {line}"))?;
+        let mbs = extract_number(line, "\"mb_per_s\"")
+            .ok_or_else(|| format!("missing mb_per_s in: {line}"))?;
+        out.push((name, mbs));
+    }
+    if out.is_empty() {
+        return Err("no results found in JSON".to_string());
+    }
+    Ok(out)
+}
+
+fn extract_string(line: &str, key: &str) -> Option<String> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let rest = rest.trim_start_matches([':', ' ']);
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn extract_number(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let rest = rest.trim_start_matches([':', ' ']);
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn check_against(results: &[BenchResult], path: &str) -> Result<Vec<String>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let recorded = parse_results(&text)?;
+    let mut msgs = Vec::new();
+    for r in results {
+        let Some(&(_, rec)) = recorded.iter().find(|(n, _)| n == r.name) else {
+            return Err(format!("bench '{}' missing from {path}", r.name));
+        };
+        if r.mb_per_s < rec * REGRESSION_FLOOR {
+            return Err(format!(
+                "'{}' regressed: {:.1} MB/s vs recorded {rec:.1} MB/s (floor {:.1})",
+                r.name,
+                r.mb_per_s,
+                rec * REGRESSION_FLOOR
+            ));
+        }
+        msgs.push(format!(
+            "{:<20} {:>8.1} MB/s vs recorded {rec:.1} MB/s",
+            r.name, r.mb_per_s
+        ));
+    }
+    Ok(msgs)
+}

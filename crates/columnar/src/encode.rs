@@ -90,12 +90,14 @@ impl<'a> Cursor<'a> {
 
     /// Read a u32.
     pub fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// Read a u64.
     pub fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 
     /// Read a varint.
@@ -186,7 +188,9 @@ pub fn encode_column(values: &[Value]) -> Vec<u8> {
         write_header(&mut out, values);
         let mut prev = 0i64;
         for v in &non_null {
-            let Value::Int(i) = v else { unreachable!() };
+            // Classification guarantees Int here; any other shape routed to
+            // the float or string encodings above.
+            let Value::Int(i) = v else { continue };
             put_varint(&mut out, zigzag(i.wrapping_sub(prev)));
             prev = *i;
         }
@@ -194,10 +198,7 @@ pub fn encode_column(values: &[Value]) -> Vec<u8> {
     }
     if !has_str {
         // Floats (or mixed numeric, or all-null): RLE when repeats pay off.
-        let floats: Vec<f64> = non_null
-            .iter()
-            .map(|v| v.as_f64().expect("numeric"))
-            .collect();
+        let floats: Vec<f64> = non_null.iter().filter_map(|v| v.as_f64()).collect();
         let runs = floats
             .windows(2)
             .filter(|w| w[0].to_bits() != w[1].to_bits())
@@ -281,48 +282,162 @@ fn write_header(out: &mut Vec<u8>, values: &[Value]) {
     out.extend_from_slice(&bitmap);
 }
 
-/// Decode a column chunk back into row-ordered values (with NULLs).
-pub fn decode_column(data: &[u8]) -> Result<Vec<Value>> {
+/// Typed payload of a batch-decoded column chunk. Arrays are *dense* — they
+/// hold only the non-null entries, in row order; NULL positions live in the
+/// validity bitmap of the owning [`DecodedColumn`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Decoded [`Encoding::DeltaInt`].
+    Int(Vec<i64>),
+    /// Decoded [`Encoding::PlainFloat`] or [`Encoding::FloatRle`].
+    Float(Vec<f64>),
+    /// Decoded [`Encoding::PlainStr`].
+    Str(Vec<String>),
+    /// Decoded [`Encoding::DictRle`]: the unique values plus one dictionary
+    /// code per dense entry. Kept unmaterialized so equality predicates can
+    /// compare codes instead of strings.
+    Dict {
+        /// Unique values in first-appearance order.
+        dict: Vec<String>,
+        /// One dictionary index per dense entry.
+        codes: Vec<u32>,
+    },
+}
+
+/// A column chunk decoded as a batch: typed arrays plus a validity bitmap,
+/// instead of one boxed [`Value`] per cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedColumn {
+    n_rows: usize,
+    validity: Vec<u8>,
+    data: ColumnData,
+}
+
+impl DecodedColumn {
+    /// Logical row count, including NULLs.
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// True when the chunk holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Whether row `row` is non-null.
+    pub fn is_valid(&self, row: usize) -> bool {
+        self.validity
+            .get(row / 8)
+            .is_some_and(|b| b & (1 << (row % 8)) != 0)
+    }
+
+    /// The typed dense payload.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Materialize the dense (non-null) entry at position `k`.
+    pub fn dense_value(&self, k: usize) -> Value {
+        match &self.data {
+            ColumnData::Int(v) => v.get(k).map_or(Value::Null, |&i| Value::Int(i)),
+            ColumnData::Float(v) => v.get(k).map_or(Value::Null, |&f| Value::Float(f)),
+            ColumnData::Str(v) => v.get(k).map_or(Value::Null, |s| Value::Str(s.as_str().into())),
+            ColumnData::Dict { dict, codes } => codes
+                .get(k)
+                .and_then(|&c| dict.get(c as usize))
+                .map_or(Value::Null, |s| Value::Str(s.as_str().into())),
+        }
+    }
+
+    /// Dictionary code of `needle` when dict-encoded: `Some(Some(code))` when
+    /// present, `Some(None)` when the dictionary proves no row can match, and
+    /// `None` when the chunk is not dictionary-encoded.
+    pub fn dict_code(&self, needle: &str) -> Option<Option<u32>> {
+        match &self.data {
+            ColumnData::Dict { dict, .. } => {
+                Some(dict.iter().position(|s| s == needle).map(|i| i as u32))
+            }
+            _ => None,
+        }
+    }
+
+    /// The dense dictionary codes when dict-encoded.
+    pub fn codes(&self) -> Option<&[u32]> {
+        match &self.data {
+            ColumnData::Dict { codes, .. } => Some(codes),
+            _ => None,
+        }
+    }
+
+    /// Re-interleave NULLs and materialize every cell — the row-at-a-time
+    /// compatibility shape.
+    pub fn to_values(&self) -> Vec<Value> {
+        let mut out = Vec::with_capacity(self.n_rows);
+        let mut k = 0usize;
+        for row in 0..self.n_rows {
+            if self.is_valid(row) {
+                out.push(self.dense_value(k));
+                k += 1;
+            } else {
+                out.push(Value::Null);
+            }
+        }
+        out
+    }
+}
+
+/// Read 8 bytes as a little-endian f64.
+fn take_f64(c: &mut Cursor<'_>) -> Result<f64> {
+    let b = c.take(8)?;
+    Ok(f64::from_le_bytes([
+        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+    ]))
+}
+
+/// Decode a column chunk into typed arrays: one pass per value or run, no
+/// per-cell [`Value`] boxing, RLE runs expanded with `resize` rather than a
+/// per-row push.
+pub fn decode_column_batch(data: &[u8]) -> Result<DecodedColumn> {
     let mut c = Cursor::new(data);
-    let tag = Encoding::from_tag(
-        *data
-            .first()
-            .ok_or_else(|| ScoopError::Columnar("empty chunk".into()))?,
-    )?;
-    c.pos = 1;
+    if data.is_empty() {
+        return Err(ScoopError::Columnar("empty chunk".into()));
+    }
+    let tag = Encoding::from_tag(c.bytes_one()?)?;
     let n = c.varint()? as usize;
     let bitmap_len = n.div_ceil(8);
-    let bitmap = c.take(bitmap_len)?.to_vec();
-    let is_valid = |i: usize| bitmap[i / 8] & (1 << (i % 8)) != 0;
+    let validity = c.take(bitmap_len)?.to_vec();
+    let is_valid =
+        |i: usize| validity.get(i / 8).is_some_and(|b| b & (1 << (i % 8)) != 0);
     let n_valid = (0..n).filter(|&i| is_valid(i)).count();
 
-    let mut non_null: Vec<Value> = Vec::with_capacity(n_valid);
-    match tag {
+    let data = match tag {
         Encoding::DeltaInt => {
+            let mut vals = Vec::with_capacity(n_valid);
             let mut prev = 0i64;
             for _ in 0..n_valid {
                 prev = prev.wrapping_add(unzigzag(c.varint()?));
-                non_null.push(Value::Int(prev));
+                vals.push(prev);
             }
+            ColumnData::Int(vals)
         }
         Encoding::PlainFloat => {
+            let mut vals = Vec::with_capacity(n_valid);
             for _ in 0..n_valid {
-                let raw: [u8; 8] = c.take(8)?.try_into().expect("8 bytes");
-                non_null.push(Value::Float(f64::from_le_bytes(raw)));
+                vals.push(take_f64(&mut c)?);
             }
+            ColumnData::Float(vals)
         }
         Encoding::FloatRle => {
-            while non_null.len() < n_valid {
+            let mut vals = Vec::with_capacity(n_valid);
+            while vals.len() < n_valid {
                 let run = c.varint()? as usize;
-                let raw: [u8; 8] = c.take(8)?.try_into().expect("8 bytes");
-                let v = f64::from_le_bytes(raw);
-                if non_null.len() + run > n_valid {
+                let v = take_f64(&mut c)?;
+                if vals.len() + run > n_valid {
                     return Err(ScoopError::Columnar("float RLE run overflow".into()));
                 }
-                for _ in 0..run {
-                    non_null.push(Value::Float(v));
-                }
+                vals.resize(vals.len() + run, v);
             }
+            ColumnData::Float(vals)
         }
         Encoding::DictRle => {
             let dict_len = c.varint()? as usize;
@@ -330,37 +445,34 @@ pub fn decode_column(data: &[u8]) -> Result<Vec<Value>> {
             for _ in 0..dict_len {
                 dict.push(String::from_utf8_lossy(c.bytes()?).into_owned());
             }
-            while non_null.len() < n_valid {
+            let mut codes: Vec<u32> = Vec::with_capacity(n_valid);
+            while codes.len() < n_valid {
                 let idx = c.varint()? as usize;
                 let run = c.varint()? as usize;
-                let s = dict
-                    .get(idx)
-                    .ok_or_else(|| ScoopError::Columnar("dict index out of range".into()))?;
-                for _ in 0..run {
-                    non_null.push(Value::Str(s.clone()));
+                if idx >= dict.len() {
+                    return Err(ScoopError::Columnar("dict index out of range".into()));
                 }
+                if codes.len() + run > n_valid {
+                    return Err(ScoopError::Columnar("RLE run overflow".into()));
+                }
+                codes.resize(codes.len() + run, idx as u32);
             }
-            if non_null.len() != n_valid {
-                return Err(ScoopError::Columnar("RLE run overflow".into()));
-            }
+            ColumnData::Dict { dict, codes }
         }
         Encoding::PlainStr => {
+            let mut vals = Vec::with_capacity(n_valid);
             for _ in 0..n_valid {
-                non_null.push(Value::Str(String::from_utf8_lossy(c.bytes()?).into_owned()));
+                vals.push(String::from_utf8_lossy(c.bytes()?).into_owned());
             }
+            ColumnData::Str(vals)
         }
-    }
-    // Re-interleave NULLs.
-    let mut out = Vec::with_capacity(n);
-    let mut it = non_null.into_iter();
-    for i in 0..n {
-        if is_valid(i) {
-            out.push(it.next().expect("validity count matches"));
-        } else {
-            out.push(Value::Null);
-        }
-    }
-    Ok(out)
+    };
+    Ok(DecodedColumn { n_rows: n, validity, data })
+}
+
+/// Decode a column chunk back into row-ordered values (with NULLs).
+pub fn decode_column(data: &[u8]) -> Result<Vec<Value>> {
+    Ok(decode_column_batch(data)?.to_values())
 }
 
 /// Convenience wrapper returning [`Bytes`].
@@ -437,11 +549,50 @@ mod tests {
     #[test]
     fn unique_strings_fall_back_to_plain_when_large() {
         let values: Vec<Value> =
-            (0..600).map(|i| Value::Str(format!("unique-{i}"))).collect();
+            (0..600).map(|i| Value::Str(format!("unique-{i}").into())).collect();
         let enc = encode_column(&values);
         // 600 unique of 600 → dict does not pay (dict > 256 and > half).
         assert_eq!(enc[0], Encoding::PlainStr as u8);
         roundtrip(values);
+    }
+
+    #[test]
+    fn dict_batch_exposes_codes() {
+        let values: Vec<Value> = ["a", "b", "a", "a", "c"]
+            .iter()
+            .map(|s| Value::Str(s.to_string().into()))
+            .collect();
+        let enc = encode_column(&values);
+        assert_eq!(enc[0], Encoding::DictRle as u8);
+        let col = decode_column_batch(&enc).unwrap();
+        assert_eq!(col.len(), 5);
+        assert_eq!(col.dict_code("b"), Some(Some(1)));
+        assert_eq!(col.dict_code("ghost"), Some(None));
+        assert_eq!(col.codes(), Some(&[0u32, 1, 0, 0, 2][..]));
+        assert_eq!(col.to_values(), values);
+    }
+
+    #[test]
+    fn batch_decode_matches_row_decode_with_nulls() {
+        let cases: Vec<Vec<Value>> = vec![
+            vec![Value::Int(7), Value::Null, Value::Int(9)],
+            vec![Value::Float(1.0), Value::Float(1.0), Value::Null, Value::Float(2.5)],
+            (0..40)
+                .map(|i| {
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Str(format!("s{}", i % 3).into())
+                    }
+                })
+                .collect(),
+        ];
+        for values in cases {
+            let enc = encode_column(&values);
+            let batch = decode_column_batch(&enc).unwrap();
+            assert_eq!(batch.to_values(), decode_column(&enc).unwrap());
+            assert_eq!(batch.to_values(), values);
+        }
     }
 
     #[test]

@@ -5,12 +5,13 @@
 //! actually fetched — the quantity the Fig. 8 Scoop-vs-Parquet comparison
 //! turns on (compressed, column-pruned transfer vs storlet-filtered CSV).
 
-use crate::encode::decode_column;
+use crate::encode::{decode_column_batch, DecodedColumn};
 use crate::format::{Footer, MAGIC};
 use bytes::Bytes;
 use scoop_common::{Result, ScoopError};
 use scoop_csv::{Predicate, Schema, Value};
 use std::cell::Cell;
+use std::collections::HashMap;
 
 /// Fetch `[start, end)` of the underlying object.
 pub type FetchFn<'a> = Box<dyn Fn(u64, u64) -> Result<Bytes> + 'a>;
@@ -33,7 +34,8 @@ impl<'a> ColumnarReader<'a> {
         if &tail[4..8] != MAGIC {
             return Err(ScoopError::Columnar("missing SCOL magic".into()));
         }
-        let footer_len = u32::from_le_bytes(tail[0..4].try_into().expect("4 bytes")) as u64;
+        let footer_len =
+            u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]) as u64;
         if footer_len + 8 > total_len {
             return Err(ScoopError::Columnar("footer length exceeds object".into()));
         }
@@ -112,22 +114,232 @@ impl<'a> ColumnarReader<'a> {
                     continue;
                 }
             }
-            let mut cols: Vec<Vec<Value>> = Vec::with_capacity(col_indices.len());
-            for &ci in &col_indices {
-                let chunk = &group.chunks[ci];
-                let data = self.fetch_range(chunk.offset, chunk.offset + chunk.length)?;
-                cols.push(decode_column(&data)?);
-            }
+            let cols = self.decode_group_columns(group, &col_indices)?;
             let n = group.rows as usize;
+            // Per-column dense cursors: each cell materializes exactly once.
+            let mut dense = vec![0usize; cols.len()];
             for r in 0..n {
-                rows.push(
-                    cols.iter()
-                        .map(|c| c.get(r).cloned().unwrap_or(Value::Null))
-                        .collect(),
-                );
+                let mut row = Vec::with_capacity(cols.len());
+                for (k, col) in cols.iter().enumerate() {
+                    if col.is_valid(r) {
+                        row.push(col.dense_value(dense[k]));
+                        dense[k] += 1;
+                    } else {
+                        row.push(Value::Null);
+                    }
+                }
+                rows.push(row);
             }
         }
         Ok(rows)
+    }
+
+    /// Like [`ColumnarReader::read_rows_filtered`], but additionally applies
+    /// the predicate *row-wise inside* surviving groups, evaluated on the
+    /// batch-decoded columns before any row is materialized. Equality against
+    /// a string literal on a dictionary-encoded chunk compares dictionary
+    /// codes — one integer compare per row, no string materialization — and a
+    /// literal absent from the dictionary drops the whole group outright.
+    pub fn read_rows_selected(
+        &self,
+        columns: Option<&[String]>,
+        predicate: Option<&Predicate>,
+    ) -> Result<Vec<Vec<Value>>> {
+        let schema = &self.footer.schema;
+        let col_indices: Vec<usize> = match columns {
+            None => (0..schema.len()).collect(),
+            Some(cols) => cols
+                .iter()
+                .map(|c| schema.resolve(c))
+                .collect::<Result<_>>()?,
+        };
+        // Predicate columns may not be projected; decode the union.
+        let mut needed = col_indices.clone();
+        if let Some(pred) = predicate {
+            for c in pred.columns() {
+                needed.push(schema.resolve(&c)?);
+            }
+        }
+        needed.sort_unstable();
+        needed.dedup();
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for group in &self.footer.row_groups {
+            if let Some(pred) = predicate {
+                if group_provably_empty(schema, group, pred) {
+                    continue;
+                }
+            }
+            let decoded = self.decode_group_columns(group, &needed)?;
+            let by_index: HashMap<usize, &DecodedColumn> =
+                needed.iter().copied().zip(decoded.iter()).collect();
+            let n = group.rows as usize;
+            let select = match predicate {
+                None => vec![true; n],
+                Some(pred) => selection(schema, &by_index, n, pred)?,
+            };
+            if !select.iter().any(|&b| b) {
+                continue;
+            }
+            let proj: Vec<&DecodedColumn> = col_indices
+                .iter()
+                .map(|ci| {
+                    by_index.get(ci).copied().ok_or_else(|| {
+                        ScoopError::Columnar("projected chunk not decoded".into())
+                    })
+                })
+                .collect::<Result<_>>()?;
+            let mut dense = vec![0usize; proj.len()];
+            for r in 0..n {
+                if select.get(r).copied().unwrap_or(false) {
+                    rows.push(
+                        proj.iter()
+                            .zip(&dense)
+                            .map(|(col, &k)| {
+                                if col.is_valid(r) {
+                                    col.dense_value(k)
+                                } else {
+                                    Value::Null
+                                }
+                            })
+                            .collect(),
+                    );
+                }
+                for (k, col) in proj.iter().enumerate() {
+                    if col.is_valid(r) {
+                        dense[k] += 1;
+                    }
+                }
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Fetch and batch-decode the chunks of `indices` for one row group.
+    fn decode_group_columns(
+        &self,
+        group: &crate::format::RowGroupMeta,
+        indices: &[usize],
+    ) -> Result<Vec<DecodedColumn>> {
+        let mut cols = Vec::with_capacity(indices.len());
+        for &ci in indices {
+            let chunk = group.chunks.get(ci).ok_or_else(|| {
+                ScoopError::Columnar("column index out of range".into())
+            })?;
+            let data = self.fetch_range(chunk.offset, chunk.offset + chunk.length)?;
+            cols.push(decode_column_batch(&data)?);
+        }
+        Ok(cols)
+    }
+}
+
+/// Row-selection bitmap for `pred` over one group's decoded columns. NULL
+/// cells never satisfy a comparison (SQL three-valued logic collapsed to
+/// false), matching the CSV-side filter semantics.
+fn selection(
+    schema: &Schema,
+    cols: &HashMap<usize, &DecodedColumn>,
+    n: usize,
+    pred: &Predicate,
+) -> Result<Vec<bool>> {
+    use std::cmp::Ordering;
+    let col = |name: &str| -> Result<&DecodedColumn> {
+        let i = schema.resolve(name)?;
+        cols.get(&i).copied().ok_or_else(|| {
+            ScoopError::Columnar(format!("predicate column '{name}' not decoded"))
+        })
+    };
+    Ok(match pred {
+        Predicate::And(a, b) => {
+            let (a, b) = (selection(schema, cols, n, a)?, selection(schema, cols, n, b)?);
+            a.iter().zip(&b).map(|(&x, &y)| x && y).collect()
+        }
+        Predicate::Or(a, b) => {
+            let (a, b) = (selection(schema, cols, n, a)?, selection(schema, cols, n, b)?);
+            a.iter().zip(&b).map(|(&x, &y)| x || y).collect()
+        }
+        Predicate::Not(p) => selection(schema, cols, n, p)?
+            .iter()
+            .map(|&x| !x)
+            .collect(),
+        Predicate::IsNull(c) => {
+            let col = col(c)?;
+            (0..n).map(|r| !col.is_valid(r)).collect()
+        }
+        Predicate::IsNotNull(c) => {
+            let col = col(c)?;
+            (0..n).map(|r| col.is_valid(r)).collect()
+        }
+        Predicate::Eq(c, v) => {
+            let column = col(c)?;
+            // The dictionary fast path: resolve a string literal to a code
+            // once, then compare codes — one integer compare per row. A
+            // literal absent from the dictionary drops every row.
+            if let Value::Str(s) = v {
+                match column.dict_code(s) {
+                    Some(Some(code)) => {
+                        let codes = column.codes().unwrap_or(&[]);
+                        return Ok(dense_map(column, n, |k| codes.get(k) == Some(&code)));
+                    }
+                    Some(None) => return Ok(vec![false; n]),
+                    None => {}
+                }
+            }
+            leaf(column, n, |x| x.sql_cmp(v) == Some(Ordering::Equal))
+        }
+        Predicate::Ne(c, v) => leaf(col(c)?, n, |x| {
+            matches!(x.sql_cmp(v), Some(o) if o != Ordering::Equal)
+        }),
+        Predicate::Lt(c, v) => leaf(col(c)?, n, |x| x.sql_cmp(v) == Some(Ordering::Less)),
+        Predicate::Le(c, v) => leaf(col(c)?, n, |x| {
+            matches!(x.sql_cmp(v), Some(Ordering::Less | Ordering::Equal))
+        }),
+        Predicate::Gt(c, v) => {
+            leaf(col(c)?, n, |x| x.sql_cmp(v) == Some(Ordering::Greater))
+        }
+        Predicate::Ge(c, v) => leaf(col(c)?, n, |x| {
+            matches!(x.sql_cmp(v), Some(Ordering::Greater | Ordering::Equal))
+        }),
+        Predicate::Like(c, pat) => {
+            leaf(col(c)?, n, |x| scoop_csv::pushdown::like_match(pat, &text_of(x)))
+        }
+        Predicate::StartsWith(c, p) => leaf(col(c)?, n, |x| text_of(x).starts_with(p.as_str())),
+        Predicate::EndsWith(c, p) => leaf(col(c)?, n, |x| text_of(x).ends_with(p.as_str())),
+        Predicate::Contains(c, p) => leaf(col(c)?, n, |x| text_of(x).contains(p.as_str())),
+        Predicate::In(c, vals) => leaf(col(c)?, n, |x| {
+            vals.iter().any(|v| x.sql_cmp(v) == Some(Ordering::Equal))
+        }),
+    })
+}
+
+/// Per-row evaluation over the dense entries; NULL rows are false.
+fn dense_map(
+    col: &DecodedColumn,
+    n: usize,
+    mut test: impl FnMut(usize) -> bool,
+) -> Vec<bool> {
+    let mut out = Vec::with_capacity(n);
+    let mut k = 0usize;
+    for r in 0..n {
+        if col.is_valid(r) {
+            out.push(test(k));
+            k += 1;
+        } else {
+            out.push(false);
+        }
+    }
+    out
+}
+
+/// Generic leaf: materialize each non-null cell and apply `test`.
+fn leaf(col: &DecodedColumn, n: usize, mut test: impl FnMut(&Value) -> bool) -> Vec<bool> {
+    dense_map(col, n, |k| test(&col.dense_value(k)))
+}
+
+/// The string a predicate's text operators see for a cell.
+fn text_of(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.as_str().to_owned(),
+        other => other.to_string(),
     }
 }
 
@@ -202,8 +414,8 @@ mod tests {
         let mut w = ColumnarWriter::with_row_group_rows(schema, 10);
         for i in 0..30 {
             w.write_row(&[
-                Value::Str(format!("m{}", i % 4)),
-                Value::Str(format!("2015-{:02}-01", i / 10 + 1)),
+                Value::Str(format!("m{}", i % 4).into()),
+                Value::Str(format!("2015-{:02}-01", i / 10 + 1).into()),
                 Value::Float(i as f64),
             ]);
         }
@@ -270,6 +482,44 @@ mod tests {
         assert!(r.read_rows_filtered(None, Some(&pred)).unwrap().is_empty());
         let pred = Predicate::StartsWith("date".into(), "2015-01".into());
         assert_eq!(r.read_rows_filtered(None, Some(&pred)).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn selected_read_filters_rows_within_groups() {
+        let r = ColumnarReader::open_bytes(sample()).unwrap();
+        // vid cycles m0..m3: "m2" is dictionary-encoded in every group.
+        let pred = Predicate::Eq("vid".into(), Value::Str("m2".into()));
+        let rows = r
+            .read_rows_selected(
+                Some(&["vid".to_string(), "index".to_string()]),
+                Some(&pred),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 7);
+        assert!(rows.iter().all(|row| row[0] == Value::Str("m2".into())));
+        // A literal absent from every dictionary yields nothing.
+        let pred = Predicate::Eq("vid".into(), Value::Str("ghost".into()));
+        assert!(r.read_rows_selected(None, Some(&pred)).unwrap().is_empty());
+        // Numeric comparison selects row-wise, not group-wise.
+        let pred = Predicate::Gt("index".into(), Value::Float(24.5));
+        let rows = r
+            .read_rows_selected(Some(&["index".to_string()]), Some(&pred))
+            .unwrap();
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn selected_matches_post_filtered_rows() {
+        let r = ColumnarReader::open_bytes(sample()).unwrap();
+        let pred = Predicate::Eq("date".into(), Value::Str("2015-02-01".into()));
+        let coarse = r.read_rows_filtered(None, Some(&pred)).unwrap();
+        let manual: Vec<Vec<Value>> = coarse
+            .into_iter()
+            .filter(|row| row[1] == Value::Str("2015-02-01".into()))
+            .collect();
+        let selected = r.read_rows_selected(None, Some(&pred)).unwrap();
+        assert_eq!(selected, manual);
+        assert_eq!(selected.len(), 10);
     }
 
     #[test]

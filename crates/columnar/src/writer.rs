@@ -99,7 +99,7 @@ mod tests {
         let rows: Vec<Vec<Value>> = (0..25)
             .map(|i| {
                 vec![
-                    Value::Str(format!("m{}", i % 3)),
+                    Value::Str(format!("m{}", i % 3).into()),
                     if i % 5 == 0 { Value::Null } else { Value::Float(i as f64 / 2.0) },
                     Value::Int(i),
                 ]
@@ -132,7 +132,7 @@ mod tests {
         let mut csv_len = 0usize;
         for i in 0..5000 {
             let row = vec![
-                Value::Str(format!("meter-{}", i % 10)),
+                Value::Str(format!("meter-{}", i % 10).into()),
                 Value::Float(100.0),
                 Value::Int(i),
             ];

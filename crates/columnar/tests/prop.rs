@@ -11,7 +11,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         Just(Value::Null),
         any::<i64>().prop_map(Value::Int),
         (-1e6f64..1e6).prop_map(Value::Float),
-        "[a-zA-Z0-9 ,%]{0,16}".prop_map(Value::Str),
+        "[a-zA-Z0-9 ,%]{0,16}".prop_map(|s| Value::Str(s.into())),
     ]
 }
 
@@ -34,7 +34,7 @@ fn column_strategy() -> impl Strategy<Value = Vec<Value>> {
             prop_oneof![
                 Just(Value::Null),
                 Just(Value::Str("Rotterdam".into())),
-                "[a-z]{0,10}".prop_map(Value::Str),
+                "[a-z]{0,10}".prop_map(|s| Value::Str(s.into())),
             ],
             0..200
         ),
@@ -53,7 +53,7 @@ proptest! {
                 (a, b) if a == b => {}
                 (Value::Float(f), Value::Int(i)) => prop_assert_eq!(*f, *i as f64),
                 // Mixed string columns store non-strings rendered.
-                (Value::Str(s), b) => prop_assert_eq!(s.clone(), b.to_string()),
+                (Value::Str(s), b) => prop_assert_eq!(s.as_str(), b.to_string()),
                 (a, b) => prop_assert!(false, "mismatch {:?} vs {:?}", a, b),
             }
         }
@@ -76,7 +76,7 @@ proptest! {
         for i in 0..n_rows {
             rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
             let row = vec![
-                Value::Str(format!("m{}", rng % 7)),
+                Value::Str(format!("m{}", rng % 7).into()),
                 if rng.is_multiple_of(5) { Value::Null } else { Value::Float((rng % 1000) as f64) },
                 Value::Int(i as i64),
             ];

@@ -139,7 +139,7 @@ mod tests {
             let mut w = ColumnarWriter::with_row_group_rows(schema.clone(), 5);
             for i in 0..12 {
                 w.write_row(&[
-                    Value::Str(format!("m{obj}-{i}")),
+                    Value::Str(format!("m{obj}-{i}").into()),
                     Value::Float((obj * 100 + i) as f64),
                 ]);
             }

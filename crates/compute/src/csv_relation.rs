@@ -98,6 +98,13 @@ impl CsvRelation {
             ),
         };
         let mut skip_header = self.has_header && partition.start == 0;
+        // Parse no further than the last field anything references: the full
+        // schema width without projection, the highest projected index with.
+        let parse_bound = match &indices {
+            None => full_schema.len(),
+            Some(idx) => idx.iter().max().map_or(0, |&i| i + 1),
+        };
+        let mut fields = scoop_csv::view::FieldBuf::default();
         let rows: RowStream = Box::new(records.filter_map(move |record| {
             let record = match record {
                 Ok(r) => r,
@@ -107,12 +114,18 @@ impl CsvRelation {
                 skip_header = false;
                 return None;
             }
-            let fields = scoop_csv::record::parse_fields(&record);
-            let refs: Vec<&str> = fields.iter().map(|c| c.as_ref()).collect();
-            let full_row = full_schema.parse_row(&refs);
+            let view = fields.parse_bounded(&record, parse_bound);
             Some(Ok(match &indices {
-                None => full_row,
-                Some(idx) => idx.iter().map(|&i| full_row[i].clone()).collect(),
+                None => full_schema.parse_view(&view),
+                Some(idx) => idx
+                    .iter()
+                    .map(|&i| match view.text(i) {
+                        Some(raw) => {
+                            scoop_csv::Value::parse_typed(&raw, full_schema.fields[i].dtype)
+                        }
+                        None => scoop_csv::Value::Null,
+                    })
+                    .collect(),
             }))
         }));
         Ok(ScanOutput {

@@ -10,10 +10,29 @@
 //! false (`IS NULL` / `IS NOT NULL` excepted), and comparisons between a
 //! numeric literal and a non-numeric field are false — exactly matching the
 //! typed evaluation in `scoop-sql`, which is what makes pushdown transparent.
+//!
+//! ## Byte fidelity
+//!
+//! Matching records are emitted as **untouched slices of the input**: the
+//! passthrough path copies the whole record verbatim, and the projection path
+//! copies each projected field's original bytes (quoting and escapes
+//! included) whenever that is safe — a field is only re-rendered through
+//! [`write_field`] when its raw form could corrupt downstream parsing (an
+//! unquoted field containing a literal `"` or a stray `\r`, or a malformed
+//! quoted field). A field holding `2` therefore ships as `2`, never `2.0`.
+//!
+//! ## Zero-copy evaluation
+//!
+//! Selection runs on a [`RecordView`]: the record is scanned once with the
+//! SWAR scanner, only the first `max(referenced field index) + 1` fields are
+//! delimited, and predicates read borrowed field bytes — no `String` or
+//! `Value` is allocated per field on the hot path.
 
 use crate::pushdown::{like_match, Predicate, PushdownSpec};
-use crate::record::{parse_fields, write_field, RecordSplitter};
+use crate::record::{write_field, RecordSplitter};
+use crate::scan;
 use crate::value::Value;
+use crate::view::{FieldBuf, RecordView};
 use scoop_common::{Result, ScoopError};
 use std::borrow::Cow;
 use std::cmp::Ordering;
@@ -83,7 +102,7 @@ fn cmp_field(field: &str, lit: &Value) -> Option<Ordering> {
         Value::Null => None,
         Value::Int(_) | Value::Float(_) => {
             let f = field.parse::<f64>().ok()?;
-            f.partial_cmp(&lit.as_f64().expect("numeric literal"))
+            f.partial_cmp(&lit.as_f64()?)
         }
         Value::Str(s) => Some(field.cmp(s.as_str())),
     }
@@ -95,25 +114,30 @@ fn eq_field(field: &str, lit: &Value) -> bool {
 }
 
 impl CompiledPred {
-    fn eval(&self, fields: &[Cow<'_, str>]) -> bool {
-        let get = |i: usize| fields.get(i).map(|c| c.as_ref()).unwrap_or("");
+    /// Evaluate with a field accessor (absent fields read as NULL/empty).
+    /// Generic so both the legacy slice path and the zero-copy view path
+    /// monomorphize to direct code.
+    fn eval_with<'a, F>(&self, get: &F) -> bool
+    where
+        F: Fn(usize) -> Cow<'a, str>,
+    {
         match self {
-            CompiledPred::Eq(i, v) => eq_field(get(*i), v),
+            CompiledPred::Eq(i, v) => eq_field(&get(*i), v),
             CompiledPred::Ne(i, v) => {
                 // SQL: NULL <> x is unknown → false.
-                matches!(cmp_field(get(*i), v), Some(o) if o != Ordering::Equal)
+                matches!(cmp_field(&get(*i), v), Some(o) if o != Ordering::Equal)
             }
-            CompiledPred::Lt(i, v) => cmp_field(get(*i), v) == Some(Ordering::Less),
+            CompiledPred::Lt(i, v) => cmp_field(&get(*i), v) == Some(Ordering::Less),
             CompiledPred::Le(i, v) => {
-                matches!(cmp_field(get(*i), v), Some(Ordering::Less | Ordering::Equal))
+                matches!(cmp_field(&get(*i), v), Some(Ordering::Less | Ordering::Equal))
             }
-            CompiledPred::Gt(i, v) => cmp_field(get(*i), v) == Some(Ordering::Greater),
+            CompiledPred::Gt(i, v) => cmp_field(&get(*i), v) == Some(Ordering::Greater),
             CompiledPred::Ge(i, v) => {
-                matches!(cmp_field(get(*i), v), Some(Ordering::Greater | Ordering::Equal))
+                matches!(cmp_field(&get(*i), v), Some(Ordering::Greater | Ordering::Equal))
             }
             CompiledPred::Like(i, p) => {
                 let f = get(*i);
-                !f.is_empty() && like_match(p, f)
+                !f.is_empty() && like_match(p, &f)
             }
             CompiledPred::StartsWith(i, p) => {
                 let f = get(*i);
@@ -127,12 +151,39 @@ impl CompiledPred {
                 let f = get(*i);
                 !f.is_empty() && f.contains(p.as_str())
             }
-            CompiledPred::In(i, vs) => vs.iter().any(|v| eq_field(get(*i), v)),
+            CompiledPred::In(i, vs) => {
+                let f = get(*i);
+                vs.iter().any(|v| eq_field(&f, v))
+            }
             CompiledPred::IsNull(i) => get(*i).is_empty(),
             CompiledPred::IsNotNull(i) => !get(*i).is_empty(),
-            CompiledPred::And(a, b) => a.eval(fields) && b.eval(fields),
-            CompiledPred::Or(a, b) => a.eval(fields) || b.eval(fields),
-            CompiledPred::Not(a) => !a.eval(fields),
+            CompiledPred::And(a, b) => a.eval_with(get) && b.eval_with(get),
+            CompiledPred::Or(a, b) => a.eval_with(get) || b.eval_with(get),
+            CompiledPred::Not(a) => !a.eval_with(get),
+        }
+    }
+
+    /// Largest field index this predicate reads.
+    fn max_index(&self, m: &mut usize) {
+        match self {
+            CompiledPred::Eq(i, _)
+            | CompiledPred::Ne(i, _)
+            | CompiledPred::Lt(i, _)
+            | CompiledPred::Le(i, _)
+            | CompiledPred::Gt(i, _)
+            | CompiledPred::Ge(i, _)
+            | CompiledPred::Like(i, _)
+            | CompiledPred::StartsWith(i, _)
+            | CompiledPred::EndsWith(i, _)
+            | CompiledPred::Contains(i, _)
+            | CompiledPred::In(i, _)
+            | CompiledPred::IsNull(i)
+            | CompiledPred::IsNotNull(i) => *m = (*m).max(*i),
+            CompiledPred::And(a, b) | CompiledPred::Or(a, b) => {
+                a.max_index(m);
+                b.max_index(m);
+            }
+            CompiledPred::Not(a) => a.max_index(m),
         }
     }
 }
@@ -144,6 +195,9 @@ pub struct CompiledSpec {
     /// Projected field indices in output order; `None` = all fields.
     projection: Option<Vec<usize>>,
     pred: Option<CompiledPred>,
+    /// Number of leading fields selection + projection actually read; the
+    /// per-record parse stops there.
+    parse_bound: usize,
     /// Whether the object's first record is a header row.
     pub has_header: bool,
 }
@@ -164,19 +218,41 @@ impl CompiledSpec {
             .as_ref()
             .map(|p| compile_pred(p, header))
             .transpose()?;
-        Ok(CompiledSpec { projection, pred, has_header: spec.has_header })
+        let mut max = None::<usize>;
+        if let Some(p) = &pred {
+            let mut m = 0;
+            p.max_index(&mut m);
+            max = Some(m);
+        }
+        if let Some(idx) = &projection {
+            for &i in idx {
+                max = Some(max.map_or(i, |m| m.max(i)));
+            }
+        }
+        let parse_bound = max.map_or(0, |m| m.saturating_add(1));
+        Ok(CompiledSpec { projection, pred, parse_bound, has_header: spec.has_header })
     }
 
     /// Evaluate the selection on parsed fields.
     pub fn matches(&self, fields: &[Cow<'_, str>]) -> bool {
-        self.pred.as_ref().is_none_or(|p| p.eval(fields))
+        self.pred.as_ref().is_none_or(|p| {
+            p.eval_with(&|i| Cow::Borrowed(fields.get(i).map(|c| c.as_ref()).unwrap_or("")))
+        })
+    }
+
+    /// Evaluate the selection on a zero-copy record view.
+    pub fn matches_view(&self, view: &RecordView<'_, '_>) -> bool {
+        self.pred
+            .as_ref()
+            .is_none_or(|p| p.eval_with(&|i| view.text(i).unwrap_or(Cow::Borrowed(""))))
     }
 
     /// Parse a raw record; when it passes selection, append the projected
-    /// record to `out` and return true.
-    pub fn filter_record(&self, record: &[u8], out: &mut Vec<u8>) -> bool {
-        let fields = parse_fields(record);
-        if !self.matches(&fields) {
+    /// record to `out` and return true. Allocation-free except for malformed
+    /// (escaped/stray) fields; `buf` is the caller's reusable parse state.
+    pub fn filter_record_buf(&self, record: &[u8], buf: &mut FieldBuf, out: &mut Vec<u8>) -> bool {
+        let view = buf.parse_bounded(record, self.parse_bound);
+        if !self.matches_view(&view) {
             return false;
         }
         match &self.projection {
@@ -189,10 +265,7 @@ impl CompiledSpec {
                 // blank line (readers skip those): quote it, matching
                 // `record::write_record`.
                 if idx.len() == 1
-                    && fields
-                        .get(idx[0])
-                        .map(|c| c.as_ref().is_empty())
-                        .unwrap_or(true)
+                    && view.bytes(idx[0]).map(|b| b.is_empty()).unwrap_or(true)
                 {
                     out.extend_from_slice(b"\"\"\n");
                     return true;
@@ -201,12 +274,46 @@ impl CompiledSpec {
                     if k > 0 {
                         out.push(b',');
                     }
-                    write_field(out, fields.get(i).map(|c| c.as_ref()).unwrap_or(""));
+                    emit_field(&view, i, out);
                 }
                 out.push(b'\n');
             }
         }
         true
+    }
+
+    /// One-shot variant of [`CompiledSpec::filter_record_buf`].
+    pub fn filter_record(&self, record: &[u8], out: &mut Vec<u8>) -> bool {
+        let mut buf = FieldBuf::default();
+        self.filter_record_buf(record, &mut buf, out)
+    }
+}
+
+/// Append field `i` of `view` to `out`, preserving the original bytes
+/// whenever their raw form is safe to re-parse.
+fn emit_field(view: &RecordView<'_, '_>, i: usize, out: &mut Vec<u8>) {
+    let Some(span) = view.span(i) else {
+        return; // absent field → empty
+    };
+    let raw = &view.raw()[span.start..span.end];
+    if span.quoted {
+        if span.is_simple() {
+            // Cleanly quoted in the input: ship the original bytes, quotes
+            // and all.
+            out.extend_from_slice(raw);
+            return;
+        }
+    } else if scan::find_byte2(raw, b'"', b'\r').is_none() {
+        // Plain field with no byte that could confuse a re-parse (commas and
+        // newlines cannot occur inside an unquoted span by construction).
+        out.extend_from_slice(raw);
+        return;
+    }
+    // Malformed or risky raw form: re-render with canonical quoting. For a
+    // well-formed doubled-quote escape this reproduces the input bytes
+    // exactly; only RFC-violating fields are normalized.
+    if let Some(t) = view.text(i) {
+        write_field(out, &t);
     }
 }
 
@@ -244,6 +351,7 @@ impl FilterStats {
 pub struct StreamFilter {
     compiled: CompiledSpec,
     splitter: RecordSplitter,
+    fields: FieldBuf,
     header_pending: bool,
     stats: FilterStats,
 }
@@ -256,34 +364,38 @@ impl StreamFilter {
         StreamFilter {
             compiled,
             splitter: RecordSplitter::new(),
+            fields: FieldBuf::default(),
             header_pending,
             stats: FilterStats::default(),
         }
     }
 
-    /// Feed a chunk; filtered output is appended to `out`.
-    pub fn push(&mut self, chunk: &[u8], out: &mut Vec<u8>) {
+    /// Feed a chunk; filtered output is appended to `out`. Fails when a
+    /// single record exceeds the splitter's record-size cap.
+    pub fn push(&mut self, chunk: &[u8], out: &mut Vec<u8>) -> Result<()> {
         self.stats.bytes_in += chunk.len() as u64;
         let compiled = &self.compiled;
+        let fields = &mut self.fields;
         let stats = &mut self.stats;
         let header_pending = &mut self.header_pending;
         let before = out.len();
-        self.splitter.push(chunk, |record| {
+        let res = self.splitter.push(chunk, |record| {
             if *header_pending {
                 *header_pending = false;
                 return;
             }
             stats.records_in += 1;
-            if compiled.filter_record(record, out) {
+            if compiled.filter_record_buf(record, fields, out) {
                 stats.records_out += 1;
             }
         });
         self.stats.bytes_out += (out.len() - before) as u64;
+        res
     }
 
     /// Flush the trailing record and return cumulative statistics.
     pub fn finish(self, out: &mut Vec<u8>) -> FilterStats {
-        let StreamFilter { compiled, splitter, mut header_pending, mut stats } = self;
+        let StreamFilter { compiled, splitter, mut fields, mut header_pending, mut stats } = self;
         let before = out.len();
         splitter.finish(|record| {
             if header_pending {
@@ -291,7 +403,7 @@ impl StreamFilter {
                 return;
             }
             stats.records_in += 1;
-            if compiled.filter_record(record, out) {
+            if compiled.filter_record_buf(record, &mut fields, out) {
                 stats.records_out += 1;
             }
         });
@@ -324,7 +436,7 @@ pub fn filter_buffer(
     let compiled = CompiledSpec::compile(spec, header)?;
     let mut f = StreamFilter::new(compiled, range_starts_at_zero);
     let mut out = Vec::new();
-    f.push(data, &mut out);
+    f.push(data, &mut out)?;
     let stats = f.finish(&mut out);
     Ok((out, stats))
 }
@@ -489,7 +601,7 @@ mod tests {
             let mut f = StreamFilter::new(compiled, true);
             let mut out = Vec::new();
             for c in DATA.chunks(chunk) {
-                f.push(c, &mut out);
+                f.push(c, &mut out).unwrap();
             }
             let stats = f.finish(&mut out);
             assert_eq!(out, whole, "chunk={chunk}");
@@ -497,5 +609,49 @@ mod tests {
             assert_eq!(stats.bytes_in, ws.bytes_in);
             assert_eq!(stats.bytes_out, ws.bytes_out);
         }
+    }
+
+    /// The byte-fidelity contract: every record (and projected field) in the
+    /// output is an untouched slice of the input.
+    #[test]
+    fn output_round_trips_original_bytes() {
+        // `2` must not become `2.0`; original quoting must survive.
+        let header: Vec<String> = ["id", "val", "note"].iter().map(|s| s.to_string()).collect();
+        let data: &[u8] = b"id,val,note\n\
+            a,2,\"Rot,terdam\"\n\
+            b,3.50,\"say \"\"hi\"\"\"\n\
+            c,2,plain\n";
+        let spec = PushdownSpec {
+            columns: None,
+            predicate: Some(Predicate::Eq("val".into(), Value::Int(2))),
+            has_header: true,
+        };
+        let (out, _) = filter_buffer(&spec, &header, data, true).unwrap();
+        assert_eq!(out, b"a,2,\"Rot,terdam\"\nc,2,plain\n".to_vec());
+        // Every output record is a verbatim sub-slice of the input.
+        for line in out.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+            assert!(
+                data.windows(line.len()).any(|w| w == line),
+                "output record {:?} not found in input",
+                String::from_utf8_lossy(line)
+            );
+        }
+    }
+
+    #[test]
+    fn projection_preserves_original_field_bytes() {
+        let header: Vec<String> = ["id", "val", "note"].iter().map(|s| s.to_string()).collect();
+        let data: &[u8] = b"id,val,note\n\
+            a,2,\"Rot,terdam\"\n\
+            b,007,\"say \"\"hi\"\"\"\n";
+        let spec = PushdownSpec {
+            columns: Some(vec!["note".into(), "val".into()]),
+            predicate: None,
+            has_header: true,
+        };
+        let (out, _) = filter_buffer(&spec, &header, data, true).unwrap();
+        // Quoted fields keep their exact original rendering (including the
+        // doubled-quote escape), numerics keep leading zeros.
+        assert_eq!(out, b"\"Rot,terdam\",2\n\"say \"\"hi\"\"\",007\n".to_vec());
     }
 }

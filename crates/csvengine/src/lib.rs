@@ -8,6 +8,10 @@
 //!   described by a [`schema::Schema`]).
 //! * [`record`] — byte-level record splitting and field parsing (RFC-4180
 //!   quoting, embedded delimiters/newlines).
+//! * [`scan`] — SWAR (8-bytes-per-word) delimiter scanning primitives the
+//!   record splitter and field parser are built on.
+//! * [`view`] — zero-copy [`view::RecordView`] field spans with lazy typed
+//!   access; the allocation-free fast path for predicate evaluation.
 //! * [`reader`] / [`writer`] — streaming readers and writers over
 //!   [`scoop_common::ByteStream`] chunked bodies.
 //! * [`split`] — record-aligned byte-range splits, matching Hadoop's
@@ -23,14 +27,19 @@ pub mod filter;
 pub mod pushdown;
 pub mod reader;
 pub mod record;
+pub mod scan;
 pub mod schema;
+pub mod smallstr;
 pub mod split;
 pub mod value;
+pub mod view;
 pub mod writer;
 
 pub use filter::CompiledSpec;
 pub use pushdown::{Predicate, PushdownSpec};
 pub use reader::CsvReader;
 pub use schema::{DataType, Field, Schema};
+pub use smallstr::SmallStr;
 pub use value::Value;
+pub use view::{FieldBuf, RecordView};
 pub use writer::CsvWriter;

@@ -368,12 +368,14 @@ fn dec_value(tok: &str) -> Result<Value> {
             .map_err(|_| ScoopError::InvalidRequest(format!("bad float literal '{rest}'")));
     }
     if let Some(rest) = tok.strip_prefix("s:") {
-        return Ok(Value::Str(dec(rest)?));
+        return Ok(Value::Str(dec(rest)?.into()));
     }
     Err(ScoopError::InvalidRequest(format!("bad value token '{tok}'")))
 }
 
 fn dec_pred(t: &mut Tokens<'_>) -> Result<Predicate> {
+    // lint:allow(Tokens::expect is a fallible parser combinator returning
+    // Result, not Option::expect — the `?` propagates, nothing panics)
     t.expect('(')?;
     let op = t.word()?.to_string();
     let pred = match op.as_str() {
@@ -429,6 +431,7 @@ fn dec_pred(t: &mut Tokens<'_>) -> Result<Predicate> {
             )))
         }
     };
+    // lint:allow(fallible Tokens::expect returning Result, same as above)
     t.expect(')')?;
     Ok(pred)
 }

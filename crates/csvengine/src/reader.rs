@@ -3,18 +3,41 @@
 use crate::record::{parse_fields, RecordSplitter};
 use crate::schema::Schema;
 use crate::value::Value;
+use crate::view::FieldBuf;
+use bytes::Bytes;
 use scoop_common::{ByteStream, Result};
-use std::collections::VecDeque;
+
+/// How many input bytes to run through the splitter per refill. Feeding the
+/// whole stream chunk at once would queue every row of an 8 MB GET before the
+/// consumer sees the first one — this bounds the queued `Vec<Value>` working
+/// set to what 64 KiB of input produces (under a thousand meter rows), which
+/// measured faster than both larger slices (cache-cold drain) and 16 KiB
+/// slices (per-refill overhead dominates).
+const FEED_CHUNK: usize = 64 * 1024;
 
 /// Iterator of typed rows over a chunked CSV byte stream.
 ///
 /// This is the compute-side ingestion path: Spark workers pull the (possibly
 /// storlet-filtered) GET body through one of these to materialize rows for the
-/// SQL executor.
+/// SQL executor. Rows are typed **inside the fused scanner's callback**,
+/// straight off the borrowed record slice while its bytes are still hot in
+/// cache: no per-record copy, no intermediate field strings, one pass over
+/// the input. The typed values land back-to-back in a flat block;
+/// [`Iterator::next`] moves one row's worth out per call, so the only
+/// allocations per row are the `Vec<Value>` itself and the spill storage of
+/// long `Str` columns.
 pub struct CsvReader {
     stream: ByteStream,
+    pending: Option<Bytes>,
+    pending_off: usize,
     splitter: Option<RecordSplitter>,
-    queue: VecDeque<Vec<u8>>,
+    fields: FieldBuf,
+    /// Typed values of the queued rows, `schema.len()` per row.
+    block: Vec<Value>,
+    /// Read cursor into `block`.
+    block_pos: usize,
+    /// Rows in `block` not yet handed to the consumer.
+    rows_queued: usize,
     schema: Schema,
     skip_header: bool,
 }
@@ -25,30 +48,88 @@ impl CsvReader {
     pub fn new(stream: ByteStream, schema: Schema, has_header: bool) -> Self {
         CsvReader {
             stream,
+            pending: None,
+            pending_off: 0,
             splitter: Some(RecordSplitter::new()),
-            queue: VecDeque::new(),
+            fields: FieldBuf::default(),
+            block: Vec::new(),
+            block_pos: 0,
+            rows_queued: 0,
             schema,
             skip_header: has_header,
         }
     }
 
-    fn fill_queue(&mut self) -> Result<()> {
-        while self.queue.is_empty() && self.splitter.is_some() {
+    /// Next bounded slice of input, spanning stream chunks. `None` at EOF.
+    fn next_slice(&mut self) -> Result<Option<Bytes>> {
+        loop {
+            if let Some(chunk) = &self.pending {
+                let end = (self.pending_off + FEED_CHUNK).min(chunk.len());
+                let slice = chunk.slice(self.pending_off..end);
+                self.pending_off = end;
+                if end >= chunk.len() {
+                    self.pending = None;
+                }
+                if slice.is_empty() {
+                    continue;
+                }
+                return Ok(Some(slice));
+            }
             match self.stream.next() {
                 Some(chunk) => {
-                    let chunk = chunk?;
-                    let queue = &mut self.queue;
-                    self.splitter
-                        .as_mut()
-                        .expect("checked in loop condition")
-                        .push(&chunk, |r| queue.push_back(r.to_vec()));
+                    self.pending = Some(chunk?);
+                    self.pending_off = 0;
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Refill the row queue from the next input slice. Out of line: the
+    /// per-row [`Iterator::next`] fast path is just a queue pop, and the
+    /// whole parse loop (with its large frame) only runs once per slice.
+    /// Deliberately NOT `#[cold]` — most cycles are spent inside this
+    /// function, and the cold hint makes LLVM deprioritize optimizing it.
+    #[inline(never)]
+    fn fill_queue(&mut self) -> Result<()> {
+        while self.rows_queued == 0 && self.splitter.is_some() {
+            let slice = self.next_slice()?;
+            self.block.clear();
+            self.block_pos = 0;
+            let mut rows = 0usize;
+            let block = &mut self.block;
+            let fields = &mut self.fields;
+            let schema = &self.schema;
+            let skip_header = &mut self.skip_header;
+            let width = schema.len();
+            // Typing happens right here in the scanner callback, while the
+            // record bytes and comma offsets are still in L1 — fusing the
+            // scan and decode passes measured ~25% faster end to end than
+            // recording row locations and typing them on pop.
+            let mut on_row = |r: &[u8], commas: Option<&[u32]>| {
+                if *skip_header {
+                    *skip_header = false;
+                    return;
+                }
+                match commas {
+                    Some(c) => schema.row_from_commas_into(r, c, block),
+                    None => schema.parse_view_into(&fields.parse_bounded(r, width), block),
+                }
+                rows += 1;
+            };
+            match slice {
+                Some(slice) => {
+                    if let Some(sp) = self.splitter.as_mut() {
+                        sp.push_rows(&slice, &mut on_row)?;
+                    }
                 }
                 None => {
-                    let splitter = self.splitter.take().expect("checked in loop condition");
-                    let queue = &mut self.queue;
-                    splitter.finish(|r| queue.push_back(r.to_vec()));
+                    if let Some(sp) = self.splitter.take() {
+                        sp.finish(|r| on_row(r, None));
+                    }
                 }
             }
+            self.rows_queued = rows;
         }
         Ok(())
     }
@@ -57,19 +138,26 @@ impl CsvReader {
 impl Iterator for CsvReader {
     type Item = Result<Vec<Value>>;
 
+    #[inline]
     fn next(&mut self) -> Option<Self::Item> {
         loop {
+            if self.rows_queued > 0 {
+                self.rows_queued -= 1;
+                let width = self.schema.len();
+                let start = self.block_pos.min(self.block.len());
+                let end = (start + width).min(self.block.len());
+                self.block_pos = end;
+                // Move the values out (leaving NULLs behind in the block);
+                // the freshly allocated row reuses the allocator slot the
+                // consumer's previous row just vacated.
+                let row: Vec<Value> =
+                    self.block[start..end].iter_mut().map(std::mem::take).collect();
+                return Some(Ok(row));
+            }
+            self.splitter.as_ref()?;
             if let Err(e) = self.fill_queue() {
                 return Some(Err(e));
             }
-            let record = self.queue.pop_front()?;
-            if self.skip_header {
-                self.skip_header = false;
-                continue;
-            }
-            let fields = parse_fields(&record);
-            let refs: Vec<&str> = fields.iter().map(|c| c.as_ref()).collect();
-            return Some(Ok(self.schema.parse_row(&refs)));
         }
     }
 }
@@ -85,7 +173,7 @@ pub fn read_header(data: &[u8]) -> Result<Vec<String>> {
             if header.is_none() {
                 header = Some(parse_fields(r).into_iter().map(|c| c.into_owned()).collect());
             }
-        });
+        })?;
         if header.is_some() {
             break;
         }
@@ -107,7 +195,7 @@ pub fn infer_schema(data: &[u8], sample_rows: usize) -> Result<Schema> {
             if records.len() <= sample_rows {
                 records.push(r.to_vec());
             }
-        });
+        })?;
         if records.len() > sample_rows {
             break;
         }
@@ -188,5 +276,19 @@ mod tests {
         // Header-only object still infers (all Str).
         let s = infer_schema(b"a,b\n", 5).unwrap();
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn quoted_and_wide_rows_parse_like_the_slow_path() {
+        let data = b"\"m,1\",2,\"Rott\"\"erdam\",extra1,extra2\nm2,,Nice\n";
+        let s = stream::chunked(Bytes::copy_from_slice(data), 3);
+        let rows: Vec<Vec<Value>> = CsvReader::new(s, schema(), false)
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(rows[0][0], Value::Str("m,1".into()));
+        assert_eq!(rows[0][1], Value::Float(2.0));
+        assert_eq!(rows[0][2], Value::Str("Rott\"erdam".into()));
+        assert_eq!(rows[0].len(), 3, "extra fields dropped");
+        assert!(rows[1][1].is_null());
     }
 }

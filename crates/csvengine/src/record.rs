@@ -2,11 +2,31 @@
 //! and RFC-4180 field parsing.
 //!
 //! This is the hot path of the whole system: the CSV storlet runs these
-//! routines at storage nodes over every byte of every object, so field parsing
-//! borrows from the record wherever possible and the splitter never rescans
-//! bytes it has already classified.
+//! routines at storage nodes over every byte of every object. The splitter
+//! scans with the SWAR primitives in [`crate::scan`] (8 bytes per step
+//! outside quoted regions) and emits **borrowed slices of the input chunk**
+//! whenever a record is fully contained in it — bytes are only copied into
+//! the internal buffer for records that straddle a chunk boundary. Field
+//! parsing lives in [`crate::view`] and borrows from the record wherever
+//! possible.
+//!
+//! ## Bounded buffering
+//!
+//! A corrupt object (an opening quote that never closes, or a single record
+//! with no newline) used to make the splitter buffer the entire remaining
+//! stream. [`RecordSplitter::push`] now enforces a configurable
+//! max-record-size cap ([`DEFAULT_MAX_RECORD_SIZE`]) on the *buffered*
+//! partial record and surfaces [`scoop_common::ScoopError::Csv`] instead of
+//! growing without bound. The error is sticky: a capped splitter stays
+//! failed.
 
+use crate::scan;
+use scoop_common::{Result, ScoopError};
 use std::borrow::Cow;
+
+/// Default cap on one buffered (chunk-straddling) record: 16 MiB. Far above
+/// any sane CSV record, far below "the rest of a multi-GB object".
+pub const DEFAULT_MAX_RECORD_SIZE: usize = 16 * 1024 * 1024;
 
 /// Incremental, quote-aware record splitter.
 ///
@@ -15,55 +35,258 @@ use std::borrow::Cow;
 /// double-quoted fields do not split records. Call
 /// [`RecordSplitter::finish`] to flush a trailing record that lacks a final
 /// newline.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RecordSplitter {
+    /// The current chunk-straddling partial record (empty at record
+    /// boundaries).
     buf: Vec<u8>,
-    /// Scan resume position within `buf` (bytes before it are already classified).
-    scan: usize,
     in_quotes: bool,
+    max_record: usize,
+    /// Sticky failure: the cap fired and the splitter is unusable.
+    overflowed: bool,
+    /// Reusable comma-offset table for [`RecordSplitter::push_rows`].
+    comma_buf: Vec<u32>,
+}
+
+impl Default for RecordSplitter {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl RecordSplitter {
-    /// Create an empty splitter.
+    /// Create a splitter with the default record-size cap.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_max_record_size(DEFAULT_MAX_RECORD_SIZE)
+    }
+
+    /// Create a splitter that errors once a single buffered record exceeds
+    /// `max_record` bytes (use [`usize::MAX`] to disable the cap).
+    pub fn with_max_record_size(max_record: usize) -> Self {
+        RecordSplitter {
+            buf: Vec::new(),
+            in_quotes: false,
+            max_record,
+            overflowed: false,
+            comma_buf: Vec::new(),
+        }
     }
 
     /// Feed a chunk, invoking `emit` once per completed record.
-    pub fn push(&mut self, chunk: &[u8], mut emit: impl FnMut(&[u8])) {
-        self.buf.extend_from_slice(chunk);
-        let mut record_start = 0usize;
-        let mut i = self.scan;
-        while i < self.buf.len() {
-            let b = self.buf[i];
-            if b == b'"' {
-                // A doubled quote inside a quoted field toggles twice — the
-                // net quote state is still correct for line-splitting.
-                self.in_quotes = !self.in_quotes;
-            } else if b == b'\n' && !self.in_quotes {
-                let mut end = i;
-                if end > record_start && self.buf[end - 1] == b'\r' {
-                    end -= 1;
+    ///
+    /// Records fully contained in `chunk` are emitted as borrowed slices of
+    /// `chunk` (zero-copy); only a trailing partial record is buffered.
+    pub fn push(&mut self, chunk: &[u8], mut emit: impl FnMut(&[u8])) -> Result<()> {
+        if self.overflowed {
+            return Err(self.cap_error());
+        }
+        let mut data = chunk;
+        if !self.buf.is_empty() {
+            // Finish the straddling record: find the first record boundary
+            // in `data` under the carried quote state.
+            match find_boundary(data, self.in_quotes) {
+                Boundary::Newline(nl) => {
+                    self.buf.extend_from_slice(&data[..nl]);
+                    self.check_cap()?;
+                    let mut end = self.buf.len();
+                    if end > 0 && self.buf[end - 1] == b'\r' {
+                        end -= 1;
+                    }
+                    // Blank lines are not records (Spark-CSV semantics).
+                    if end > 0 {
+                        emit(&self.buf[..end]);
+                    }
+                    self.buf.clear();
+                    self.in_quotes = false;
+                    data = &data[nl + 1..];
                 }
-                // Blank lines are not records (Spark-CSV semantics).
-                if end > record_start {
-                    emit(&self.buf[record_start..end]);
+                Boundary::None { in_quotes } => {
+                    self.buf.extend_from_slice(data);
+                    self.in_quotes = in_quotes;
+                    return self.check_cap();
                 }
-                record_start = i + 1;
             }
-            i += 1;
         }
-        if record_start > 0 {
-            self.buf.drain(..record_start);
+        // Zero-copy scan over the rest of the chunk. `buf` is empty, so we
+        // are at a record boundary and therefore outside any quoted region.
+        debug_assert!(!self.in_quotes);
+        let mut record_start = 0usize;
+        let mut pos = 0usize;
+        let mut in_quotes = false;
+        while pos < data.len() {
+            if in_quotes {
+                match scan::find_byte(&data[pos..], b'"') {
+                    // A doubled quote inside a quoted field toggles twice —
+                    // the net quote state is still correct for splitting.
+                    Some(q) => {
+                        pos += q + 1;
+                        in_quotes = false;
+                    }
+                    None => pos = data.len(),
+                }
+            } else {
+                match scan::find_byte2(&data[pos..], b'\n', b'"') {
+                    None => pos = data.len(),
+                    Some(i) => {
+                        let at = pos + i;
+                        if data[at] == b'"' {
+                            in_quotes = true;
+                        } else {
+                            let mut end = at;
+                            if end > record_start && data[end - 1] == b'\r' {
+                                end -= 1;
+                            }
+                            if end > record_start {
+                                emit(&data[record_start..end]);
+                            }
+                            record_start = at + 1;
+                        }
+                        pos = at + 1;
+                    }
+                }
+            }
         }
-        self.scan = self.buf.len();
+        self.buf.extend_from_slice(&data[record_start..]);
+        self.in_quotes = in_quotes;
+        self.check_cap()
+    }
+
+    /// Feed a chunk through the fused record-and-field scanner.
+    ///
+    /// One SWAR sweep computes the newline, comma and quote lanes of each
+    /// 8-byte word together, so the chunk is read once — not once for record
+    /// splitting plus once per record for field splitting. Quote-free records
+    /// fully contained in `chunk` reach `on_row` with `Some(commas)` — the
+    /// record-relative byte offsets of their commas, i.e. the field
+    /// boundaries; everything else — records containing a quote anywhere, and
+    /// records that straddle a chunk boundary — arrives with `None` and needs
+    /// the full quote-aware field parse. Record boundary semantics (quoted
+    /// newlines, CRLF trimming, blank-line skipping, the size cap) are
+    /// identical to [`RecordSplitter::push`].
+    pub fn push_rows(
+        &mut self,
+        chunk: &[u8],
+        mut on_row: impl FnMut(&[u8], Option<&[u32]>),
+    ) -> Result<()> {
+        if self.overflowed {
+            return Err(self.cap_error());
+        }
+        let mut data = chunk;
+        if !self.buf.is_empty() {
+            // Finish the straddling record under the carried quote state; it
+            // lives in `buf`, so it takes the messy (re-parsing) path.
+            match find_boundary(data, self.in_quotes) {
+                Boundary::Newline(nl) => {
+                    self.buf.extend_from_slice(&data[..nl]);
+                    self.check_cap()?;
+                    let mut end = self.buf.len();
+                    if end > 0 && self.buf[end - 1] == b'\r' {
+                        end -= 1;
+                    }
+                    if end > 0 {
+                        on_row(&self.buf[..end], None);
+                    }
+                    self.buf.clear();
+                    self.in_quotes = false;
+                    data = &data[nl + 1..];
+                }
+                Boundary::None { in_quotes } => {
+                    self.buf.extend_from_slice(data);
+                    self.in_quotes = in_quotes;
+                    return self.check_cap();
+                }
+            }
+        }
+        debug_assert!(!self.in_quotes);
+        let mut commas = std::mem::take(&mut self.comma_buf);
+        commas.clear();
+        let mut record_start = 0usize;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let word = if data.len() - pos >= 8 {
+                scan::load_word(&data[pos..pos + 8])
+            } else {
+                // Zero-pad the tail word: 0x00 is none of the three needles,
+                // so the phantom lanes can never match.
+                let mut w = 0u64;
+                for (k, &c) in data[pos..].iter().enumerate() {
+                    w |= (c as u64) << (8 * k);
+                }
+                w
+            };
+            // `u32` comma offsets can only overflow on a >4 GiB record, which
+            // the same fallback handles (and the cap then rejects).
+            if scan::match_lanes(word, b'"') != 0
+                || pos - record_start > (u32::MAX as usize) - 8
+            {
+                // Rare: a quote somewhere in this word. Hand the current
+                // record to the quote-aware boundary scanner, route it messy,
+                // and resume the fused scan right after it. The quote may
+                // belong to a *later* record in the same word — then this
+                // record goes messy needlessly, which is slower but correct.
+                commas.clear();
+                match find_boundary(&data[record_start..], false) {
+                    Boundary::Newline(rel) => {
+                        let at = record_start + rel;
+                        let mut end = at;
+                        if end > record_start && data[end - 1] == b'\r' {
+                            end -= 1;
+                        }
+                        if end > record_start {
+                            on_row(&data[record_start..end], None);
+                        }
+                        record_start = at + 1;
+                        pos = record_start;
+                        continue;
+                    }
+                    Boundary::None { in_quotes } => {
+                        // Partial record runs to the end of the chunk.
+                        self.buf.extend_from_slice(&data[record_start..]);
+                        self.in_quotes = in_quotes;
+                        self.comma_buf = commas;
+                        return self.check_cap();
+                    }
+                }
+            }
+            let nl = scan::match_lanes(word, b'\n');
+            let mut m = nl | scan::match_lanes(word, b',');
+            while m != 0 {
+                let at = pos + scan::lane_index(m);
+                let lane_bit = m & m.wrapping_neg();
+                if nl & lane_bit != 0 {
+                    let mut end = at;
+                    if end > record_start && data[end - 1] == b'\r' {
+                        end -= 1;
+                    }
+                    if end > record_start {
+                        on_row(&data[record_start..end], Some(&commas));
+                    }
+                    commas.clear();
+                    record_start = at + 1;
+                } else {
+                    commas.push((at - record_start) as u32);
+                }
+                m &= m - 1;
+            }
+            pos += 8;
+        }
+        // Trailing partial record: buffer it; its commas are recomputed when
+        // it completes (via the messy path), so the collected ones drop.
+        self.buf.extend_from_slice(&data[record_start..]);
+        self.comma_buf = commas;
+        self.check_cap()
     }
 
     /// Flush the final record (if any bytes remain) and consume the splitter.
     pub fn finish(mut self, mut emit: impl FnMut(&[u8])) {
+        if self.overflowed {
+            return;
+        }
         if !self.buf.is_empty() {
             let mut end = self.buf.len();
-            if self.buf[end - 1] == b'\r' {
+            // A trailing CR is a line-terminator fragment only *outside* a
+            // quoted region; inside an open quote it is record content.
+            if !self.in_quotes && self.buf[end - 1] == b'\r' {
                 end -= 1;
             }
             if end > 0 {
@@ -77,13 +300,70 @@ impl RecordSplitter {
     pub fn pending(&self) -> usize {
         self.buf.len()
     }
+
+    fn check_cap(&mut self) -> Result<()> {
+        if self.buf.len() > self.max_record {
+            self.overflowed = true;
+            // Release the hoarded bytes immediately — the point of the cap.
+            self.buf = Vec::new();
+            return Err(self.cap_error());
+        }
+        Ok(())
+    }
+
+    fn cap_error(&self) -> ScoopError {
+        ScoopError::Csv(format!(
+            "CSV record exceeds the {}-byte record-size cap \
+             (unterminated quote or missing newline in the object?)",
+            self.max_record
+        ))
+    }
+}
+
+/// Where the first record boundary of a slice lies, given the quote state
+/// carried in from previous chunks.
+enum Boundary {
+    /// Index of the first `\n` outside quotes.
+    Newline(usize),
+    /// No boundary in the slice; the quote state after consuming all of it.
+    None { in_quotes: bool },
+}
+
+fn find_boundary(data: &[u8], mut in_quotes: bool) -> Boundary {
+    let mut pos = 0usize;
+    while pos < data.len() {
+        if in_quotes {
+            match scan::find_byte(&data[pos..], b'"') {
+                Some(q) => {
+                    pos += q + 1;
+                    in_quotes = false;
+                }
+                None => return Boundary::None { in_quotes: true },
+            }
+        } else {
+            match scan::find_byte2(&data[pos..], b'\n', b'"') {
+                None => return Boundary::None { in_quotes: false },
+                Some(i) => {
+                    let at = pos + i;
+                    if data[at] == b'"' {
+                        in_quotes = true;
+                        pos = at + 1;
+                    } else {
+                        return Boundary::Newline(at);
+                    }
+                }
+            }
+        }
+    }
+    Boundary::None { in_quotes }
 }
 
 /// Split a whole in-memory buffer into records (helper over the splitter).
 pub fn split_records(data: &[u8]) -> Vec<Vec<u8>> {
     let mut out = Vec::new();
-    let mut sp = RecordSplitter::new();
-    sp.push(data, |r| out.push(r.to_vec()));
+    let mut sp = RecordSplitter::with_max_record_size(usize::MAX);
+    // With the cap disabled push cannot fail.
+    let _infallible = sp.push(data, |r| out.push(r.to_vec()));
     sp.finish(|r| out.push(r.to_vec()));
     out
 }
@@ -91,69 +371,28 @@ pub fn split_records(data: &[u8]) -> Vec<Vec<u8>> {
 /// Parse one record into fields.
 ///
 /// Unquoted fields are borrowed; quoted fields are unescaped into owned
-/// strings (doubled quotes collapse). Invalid UTF-8 is replaced lossily —
-/// object stores accept arbitrary bytes, but SQL operates on text.
+/// strings (doubled quotes collapse, and bytes between a closing quote and
+/// the next comma are preserved by concatenation rather than silently
+/// dropped). Invalid UTF-8 is replaced lossily — object stores accept
+/// arbitrary bytes, but SQL operates on text.
 pub fn parse_fields(record: &[u8]) -> Vec<Cow<'_, str>> {
-    let mut fields = Vec::new();
-    if record.is_empty() {
-        return fields;
-    }
-    let mut i = 0usize;
-    loop {
-        if i < record.len() && record[i] == b'"' {
-            // Quoted field.
-            let mut owned = Vec::new();
-            i += 1;
-            loop {
-                match record.get(i) {
-                    Some(b'"') if record.get(i + 1) == Some(&b'"') => {
-                        owned.push(b'"');
-                        i += 2;
-                    }
-                    Some(b'"') => {
-                        i += 1;
-                        break;
-                    }
-                    Some(&b) => {
-                        owned.push(b);
-                        i += 1;
-                    }
-                    // Unterminated quote: treat remainder as the field.
-                    None => break,
-                }
-            }
-            fields.push(Cow::Owned(
-                String::from_utf8_lossy(&owned).into_owned(),
-            ));
-            // Skip up to the next comma (tolerate stray bytes after the quote).
-            while i < record.len() && record[i] != b',' {
-                i += 1;
-            }
-        } else {
-            let start = i;
-            while i < record.len() && record[i] != b',' {
-                i += 1;
-            }
-            fields.push(String::from_utf8_lossy(&record[start..i]));
-        }
-        if i >= record.len() {
-            break;
-        }
-        i += 1; // consume the comma
-        if i == record.len() {
-            // Trailing comma → trailing empty field.
-            fields.push(Cow::Borrowed(""));
-            break;
+    let mut buf = crate::view::FieldBuf::default();
+    let view = buf.parse(record);
+    let n = view.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        match view.text(i) {
+            Some(t) => out.push(t),
+            None => break,
         }
     }
-    fields
+    out
 }
 
 /// True when the raw value needs quoting when written back out.
 pub fn needs_quoting(field: &str) -> bool {
-    field
-        .bytes()
-        .any(|b| matches!(b, b',' | b'"' | b'\n' | b'\r'))
+    scan::find_byte3(field.as_bytes(), b',', b'"', b'\n').is_some()
+        || scan::find_byte(field.as_bytes(), b'\r').is_some()
 }
 
 /// Append a single field to `out`, quoting/escaping as required.
@@ -189,6 +428,132 @@ pub fn write_record(out: &mut Vec<u8>, fields: &[&str]) {
         write_field(out, f);
     }
     out.push(b'\n');
+}
+
+/// The original per-byte splitter and field parser, kept verbatim (modulo the
+/// three correctness fixes this module now shares: quote-aware trailing-CR
+/// handling in `finish`, and stray-byte concatenation in field parsing) as
+/// the reference implementation for the differential property suite. Never
+/// compiled into release binaries.
+#[cfg(test)]
+pub(crate) mod reference {
+    use std::borrow::Cow;
+
+    #[derive(Debug, Default)]
+    pub struct RecordSplitter {
+        buf: Vec<u8>,
+        scan: usize,
+        in_quotes: bool,
+    }
+
+    impl RecordSplitter {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn push(&mut self, chunk: &[u8], mut emit: impl FnMut(&[u8])) {
+            self.buf.extend_from_slice(chunk);
+            let mut record_start = 0usize;
+            let mut i = self.scan;
+            while i < self.buf.len() {
+                let b = self.buf[i];
+                if b == b'"' {
+                    self.in_quotes = !self.in_quotes;
+                } else if b == b'\n' && !self.in_quotes {
+                    let mut end = i;
+                    if end > record_start && self.buf[end - 1] == b'\r' {
+                        end -= 1;
+                    }
+                    if end > record_start {
+                        emit(&self.buf[record_start..end]);
+                    }
+                    record_start = i + 1;
+                }
+                i += 1;
+            }
+            if record_start > 0 {
+                self.buf.drain(..record_start);
+            }
+            self.scan = self.buf.len();
+        }
+
+        pub fn finish(mut self, mut emit: impl FnMut(&[u8])) {
+            if !self.buf.is_empty() {
+                let mut end = self.buf.len();
+                if !self.in_quotes && self.buf[end - 1] == b'\r' {
+                    end -= 1;
+                }
+                if end > 0 {
+                    emit(&self.buf[..end]);
+                }
+                self.buf.clear();
+            }
+        }
+    }
+
+    pub fn split_records(data: &[u8]) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut sp = RecordSplitter::new();
+        sp.push(data, |r| out.push(r.to_vec()));
+        sp.finish(|r| out.push(r.to_vec()));
+        out
+    }
+
+    pub fn parse_fields(record: &[u8]) -> Vec<Cow<'_, str>> {
+        let mut fields = Vec::new();
+        if record.is_empty() {
+            return fields;
+        }
+        let mut i = 0usize;
+        loop {
+            if i < record.len() && record[i] == b'"' {
+                // Quoted field.
+                let mut owned = Vec::new();
+                i += 1;
+                loop {
+                    match record.get(i) {
+                        Some(b'"') if record.get(i + 1) == Some(&b'"') => {
+                            owned.push(b'"');
+                            i += 2;
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            owned.push(b);
+                            i += 1;
+                        }
+                        // Unterminated quote: treat remainder as the field.
+                        None => break,
+                    }
+                }
+                // Preserve stray bytes between the closing quote and the
+                // next comma (RFC-4180-tolerant concatenation).
+                while i < record.len() && record[i] != b',' {
+                    owned.push(record[i]);
+                    i += 1;
+                }
+                fields.push(Cow::Owned(String::from_utf8_lossy(&owned).into_owned()));
+            } else {
+                let start = i;
+                while i < record.len() && record[i] != b',' {
+                    i += 1;
+                }
+                fields.push(String::from_utf8_lossy(&record[start..i]));
+            }
+            if i >= record.len() {
+                break;
+            }
+            i += 1; // consume the comma
+            if i == record.len() {
+                // Trailing comma → trailing empty field.
+                fields.push(Cow::Borrowed(""));
+                break;
+            }
+        }
+        fields
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +597,15 @@ mod tests {
     }
 
     #[test]
+    fn trailing_cr_inside_open_quote_is_content() {
+        // `"a<CR>` at EOF: the CR is *inside* the unterminated quote, so the
+        // flushed record must keep it (the old splitter stripped it).
+        assert_eq!(records(b"\"a\r"), vec!["\"a\r"]);
+        // Outside quotes the CR is still a terminator fragment.
+        assert_eq!(records(b"\"a\"\r"), vec!["\"a\""]);
+    }
+
+    #[test]
     fn chunk_boundaries_are_invisible() {
         let data = b"alpha,1\n\"be,ta\",2\r\n\"ga\"\"mma\",3\nlast,4";
         let whole = records(data);
@@ -239,11 +613,39 @@ mod tests {
             let mut out = Vec::new();
             let mut sp = RecordSplitter::new();
             for c in data.chunks(chunk) {
-                sp.push(c, |r| out.push(String::from_utf8(r.to_vec()).unwrap()));
+                sp.push(c, |r| out.push(String::from_utf8(r.to_vec()).unwrap()))
+                    .unwrap();
             }
             sp.finish(|r| out.push(String::from_utf8(r.to_vec()).unwrap()));
             assert_eq!(out, whole, "chunk size {chunk}");
         }
+    }
+
+    #[test]
+    fn record_size_cap_errors_instead_of_buffering() {
+        // An unterminated quote makes everything after it one giant pending
+        // record; the cap must fire instead of buffering the whole stream.
+        let mut sp = RecordSplitter::with_max_record_size(64);
+        sp.push(b"ok,1\n\"never closed ", |_| {}).unwrap();
+        let mut err = None;
+        for _ in 0..100 {
+            if let Err(e) = sp.push(&[b'x'; 32], |_| panic!("no record can complete")) {
+                err = Some(e);
+                break;
+            }
+        }
+        let err = err.expect("cap must fire");
+        assert!(matches!(err, ScoopError::Csv(_)), "{err:?}");
+        assert!(err.to_string().contains("record-size cap"), "{err}");
+        // Sticky: further pushes keep failing, buffered bytes are released.
+        assert!(sp.push(b"a\n", |_| {}).is_err());
+        assert_eq!(sp.pending(), 0);
+    }
+
+    #[test]
+    fn cap_also_guards_missing_newlines() {
+        let mut sp = RecordSplitter::with_max_record_size(16);
+        assert!(sp.push(&[b'x'; 64], |_| {}).is_err());
     }
 
     #[test]
@@ -265,6 +667,15 @@ mod tests {
     }
 
     #[test]
+    fn stray_bytes_after_closing_quote_are_preserved() {
+        // RFC-4180-tolerant concatenation — the old parser silently ate
+        // `tail` here.
+        assert_eq!(fields("\"a\"tail,x"), vec!["atail", "x"]);
+        assert_eq!(fields("\"a\"\"b\"z"), vec!["a\"bz"]);
+        assert_eq!(fields("x,\"q\" ,y"), vec!["x", "q ", "y"]);
+    }
+
+    #[test]
     fn write_roundtrip() {
         let cases: Vec<Vec<&str>> = vec![
             vec!["a", "b"],
@@ -281,10 +692,238 @@ mod tests {
         }
     }
 
+    /// Run data through `push_rows` in `chunk`-byte steps, returning every
+    /// emitted record plus, for clean ones, the reported comma offsets.
+    fn fused_rows(data: &[u8], chunk: usize) -> Vec<(Vec<u8>, Option<Vec<u32>>)> {
+        let mut out = Vec::new();
+        let mut sp = RecordSplitter::new();
+        for c in data.chunks(chunk.max(1)) {
+            sp.push_rows(c, |r, commas| {
+                out.push((r.to_vec(), commas.map(|c| c.to_vec())));
+            })
+            .unwrap();
+        }
+        sp.finish(|r| out.push((r.to_vec(), None)));
+        out
+    }
+
+    #[test]
+    fn push_rows_emits_the_same_records_as_push() {
+        let cases: &[&[u8]] = &[
+            b"a,b,c\nd,e,f\n",
+            b"a,b\nc,d",
+            b"\r\n\n\r\n",
+            b"a\r\nb\r\n",
+            b"\"q,in\",x\nplain,y\n",
+            b"\"multi\nline\",1\nz,2\r\n",
+            b"one_long_record_with_no_newline_at_all,spanning,words",
+            b"short\n\"a\"\"b\",c\ntrailing,comma,\n",
+            b"\"unterminated, never closes\nstill inside",
+            b"x\ny\"z,w\nplain,tail\n",
+        ];
+        for data in cases {
+            for chunk in [1usize, 2, 3, 5, 7, 8, 9, 64] {
+                let fused: Vec<Vec<u8>> =
+                    fused_rows(data, chunk).into_iter().map(|(r, _)| r).collect();
+                assert_eq!(
+                    fused,
+                    split_records(data),
+                    "record divergence on {:?} chunk={chunk}",
+                    String::from_utf8_lossy(data)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn push_rows_comma_offsets_are_exact() {
+        let rows = fused_rows(b"a,bb,,ccc\nno_commas\n1,2\n", 64);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], (b"a,bb,,ccc".to_vec(), Some(vec![1, 4, 5])));
+        assert_eq!(rows[1], (b"no_commas".to_vec(), Some(vec![])));
+        assert_eq!(rows[2], (b"1,2".to_vec(), Some(vec![1])));
+        // Straddling records lose their offsets (messy path), clean in-chunk
+        // records keep them; a trailing CR is trimmed before the offsets are
+        // reported, so offsets always index into the emitted record.
+        let rows = fused_rows(b"aa,bb\ncc,dd\r\n", 8);
+        assert_eq!(rows[0], (b"aa,bb".to_vec(), Some(vec![2])));
+        assert_eq!(rows[1].0, b"cc,dd".to_vec());
+        // Quoted records never report offsets.
+        for (r, commas) in fused_rows(b"\"a,b\",c\nplain,row\n", 64) {
+            if r.starts_with(b"\"") {
+                assert!(commas.is_none(), "{:?}", String::from_utf8_lossy(&r));
+            } else {
+                assert_eq!(commas, Some(vec![5]));
+            }
+        }
+    }
+
+    #[test]
+    fn push_rows_respects_the_record_size_cap() {
+        let mut sp = RecordSplitter::with_max_record_size(16);
+        assert!(sp.push_rows(&[b'x'; 64], |_, _| {}).is_err());
+        // Sticky, like push().
+        assert!(sp.push_rows(b"a\n", |_, _| {}).is_err());
+    }
+
     #[test]
     fn pending_tracks_incomplete_record() {
         let mut sp = RecordSplitter::new();
-        sp.push(b"unfinished", |_| panic!("no record yet"));
+        sp.push(b"unfinished", |_| panic!("no record yet")).unwrap();
         assert_eq!(sp.pending(), 10);
+    }
+}
+
+/// Differential property suite: the SWAR zero-copy splitter/parser must be
+/// byte-identical to the per-byte [`reference`] implementation over random
+/// chunk boundaries, CRLF mixes, nested/doubled quotes and trailing commas.
+#[cfg(test)]
+mod differential {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Raw byte soup biased toward CSV structure: delimiters, quotes, CR/LF
+    /// and a little printable filler. This deliberately produces malformed
+    /// CSV (unbalanced quotes, bare CRs, stray bytes after closing quotes) —
+    /// the paths where the two implementations are most likely to diverge.
+    fn soup_strategy() -> impl Strategy<Value = Vec<u8>> {
+        // Repeated arms bias the (uniform) union toward structure bytes.
+        proptest::collection::vec(
+            prop_oneof![
+                Just(b'a'),
+                Just(b'a'),
+                Just(b'b'),
+                Just(b','),
+                Just(b','),
+                Just(b'"'),
+                Just(b'"'),
+                Just(b'"'),
+                Just(b'\n'),
+                Just(b'\n'),
+                Just(b'\r'),
+                Just(b'\r'),
+                Just(b' '),
+                Just(0xC3u8), // multi-byte UTF-8 lead / invalid tail
+            ],
+            0..160,
+        )
+    }
+
+    /// Structured rows joined with a mix of `\n` and `\r\n` terminators.
+    fn structured_strategy() -> impl Strategy<Value = Vec<u8>> {
+        let field = prop_oneof![
+            proptest::string::string_regex("[a-z0-9 ;=_-]{0,10}").expect("regex"),
+            proptest::string::string_regex("[a-z0-9 ;=_-]{0,10}").expect("regex"),
+            proptest::string::string_regex("\"[a-z,\n\r]{0,8}\"").expect("regex"),
+            proptest::string::string_regex("\"[a-z\"\"]{0,6}\"").expect("regex"),
+            Just(String::new()), // empty / trailing-comma fields
+        ];
+        let row = proptest::collection::vec(field, 1..6);
+        proptest::collection::vec((row, any::<bool>()), 0..20).prop_map(|rows| {
+            let mut buf = Vec::new();
+            for (fields, crlf) in rows {
+                buf.extend_from_slice(fields.join(",").as_bytes());
+                buf.extend_from_slice(if crlf { b"\r\n" } else { b"\n" });
+            }
+            buf
+        })
+    }
+
+    fn assert_equivalent(data: &[u8], chunk: usize) {
+        // Whole-buffer split.
+        let new = split_records(data);
+        let old = reference::split_records(data);
+        assert_eq!(new, old, "split divergence on {:?}", String::from_utf8_lossy(data));
+        // Chunked split with the given boundary stride.
+        let mut chunked = Vec::new();
+        let mut sp = RecordSplitter::with_max_record_size(usize::MAX);
+        for c in data.chunks(chunk.max(1)) {
+            sp.push(c, |r| chunked.push(r.to_vec())).expect("uncapped");
+        }
+        sp.finish(|r| chunked.push(r.to_vec()));
+        assert_eq!(chunked, old, "chunked split divergence (chunk={chunk})");
+        // Fused record+field scan: identical record stream, and the comma
+        // offsets reported for clean records must be exactly the commas a
+        // per-byte scan of the emitted record finds.
+        let mut fused = Vec::new();
+        let mut sp = RecordSplitter::with_max_record_size(usize::MAX);
+        for c in data.chunks(chunk.max(1)) {
+            sp.push_rows(c, |r, commas| {
+                if let Some(commas) = commas {
+                    let expect: Vec<u32> = r
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &b)| b == b',')
+                        .map(|(i, _)| i as u32)
+                        .collect();
+                    assert_eq!(commas, expect, "comma offsets on {:?}", String::from_utf8_lossy(r));
+                    assert!(!r.contains(&b'"'), "clean record contains a quote");
+                }
+                fused.push(r.to_vec());
+            })
+            .expect("uncapped");
+        }
+        sp.finish(|r| fused.push(r.to_vec()));
+        assert_eq!(fused, old, "fused split divergence (chunk={chunk})");
+        // Field parse of every record.
+        for rec in &old {
+            let new_fields: Vec<String> =
+                parse_fields(rec).into_iter().map(|c| c.into_owned()).collect();
+            let old_fields: Vec<String> = reference::parse_fields(rec)
+                .into_iter()
+                .map(|c| c.into_owned())
+                .collect();
+            assert_eq!(
+                new_fields,
+                old_fields,
+                "parse divergence on record {:?}",
+                String::from_utf8_lossy(rec)
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn swar_matches_reference_on_byte_soup(
+            data in soup_strategy(),
+            chunk in 1usize..48,
+        ) {
+            assert_equivalent(&data, chunk);
+        }
+
+        #[test]
+        fn swar_matches_reference_on_structured_csv(
+            data in structured_strategy(),
+            chunk in 1usize..48,
+        ) {
+            assert_equivalent(&data, chunk);
+        }
+    }
+
+    #[test]
+    fn swar_matches_reference_on_fixtures() {
+        let fixtures: &[&[u8]] = &[
+            b"",
+            b"\n",
+            b"\r\n",
+            b"\r",
+            b"a,b\nc,d",
+            b"a,b,\n,,\n",
+            b"\"a\nb\",c\r\nd,e\n",
+            b"\"unterminated, never closes\nstill inside\n",
+            b"\"a\"stray,b\n",
+            b"\"a\"\"b\"\"\",c\n",
+            b"trailing,comma,\n",
+            b"\"\"\n",
+            b"\"\r\n",
+            b"x\r\r\n",
+            b"\"q\"\r",
+        ];
+        for (i, f) in fixtures.iter().enumerate() {
+            for chunk in [1, 2, 3, 7, 64] {
+                assert_equivalent(f, chunk);
+            }
+            let _ = i;
+        }
     }
 }

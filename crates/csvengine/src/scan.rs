@@ -1,0 +1,231 @@
+//! SWAR (SIMD-within-a-register) byte scanning primitives.
+//!
+//! The CSV hot loops need exactly one operation: "find the next occurrence
+//! of one of these delimiter bytes". The portable way to do that at close to
+//! memory bandwidth without platform intrinsics is the classic memchr trick:
+//! broadcast the needle into a 64-bit word, XOR against 8 input bytes at a
+//! time, and use the `(x - 0x01..) & !x & 0x80..` zero-byte test to locate a
+//! match. Everything here is safe code — `chunks_exact(8)` +
+//! `u64::from_le_bytes` compiles to a single unaligned load.
+//!
+//! These functions are the only byte-searching code the record splitter,
+//! field parser, ranged streams, and storlet filter use; keeping them in one
+//! module makes the differential proptest surface (new SWAR path vs the
+//! per-byte reference) small and auditable.
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// Broadcast one byte into all 8 lanes of a word.
+#[inline(always)]
+const fn broadcast(b: u8) -> u64 {
+    LO * b as u64
+}
+
+/// Nonzero iff some byte of `x` is zero; the high bit of each zero lane is
+/// set in the result (Mycroft's zero-in-word test).
+#[inline(always)]
+const fn zero_lanes(x: u64) -> u64 {
+    x.wrapping_sub(LO) & !x & HI
+}
+
+/// Byte index of the first marked lane (little-endian: lowest address first).
+#[inline(always)]
+const fn first_lane(mask: u64) -> usize {
+    (mask.trailing_zeros() / 8) as usize
+}
+
+/// Exact mask of lanes equal to `needle` (high bit set in each matching
+/// lane). Unlike [`zero_lanes`] — whose borrow can leak into the lane above
+/// a match, which is harmless when only the *first* hit is consumed — this
+/// test has no inter-lane carries, so callers may iterate **all** set lanes.
+#[inline(always)]
+pub(crate) const fn match_lanes(word: u64, needle: u8) -> u64 {
+    let x = word ^ broadcast(needle);
+    // (x & 0x7F..) + 0x7F.. sets a lane's high bit iff its low 7 bits are
+    // nonzero; OR-ing x back in covers lanes with the high bit set. The
+    // complement therefore marks exactly the zero lanes.
+    let sub = (x & !HI).wrapping_add(!HI);
+    !(sub | x | !HI)
+}
+
+/// Load 8 bytes as a little-endian word (first byte in the low lane).
+#[inline(always)]
+pub(crate) fn load_word(chunk: &[u8]) -> u64 {
+    u64::from_le_bytes([
+        chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+    ])
+}
+
+/// Byte index of a marked lane within the word (little-endian).
+#[inline(always)]
+pub(crate) const fn lane_index(mask: u64) -> usize {
+    (mask.trailing_zeros() / 8) as usize
+}
+
+/// Find the first occurrence of `n1` in `haystack`, 8 bytes per step.
+#[inline]
+pub fn find_byte(haystack: &[u8], n1: u8) -> Option<usize> {
+    let b1 = broadcast(n1);
+    let mut offset = 0usize;
+    let mut chunks = haystack.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes([
+            chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+        ]);
+        let hits = zero_lanes(word ^ b1);
+        if hits != 0 {
+            return Some(offset + first_lane(hits));
+        }
+        offset += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == n1)
+        .map(|p| offset + p)
+}
+
+/// Find the first occurrence of `n1` *or* `n2`, 8 bytes per step.
+#[inline]
+pub fn find_byte2(haystack: &[u8], n1: u8, n2: u8) -> Option<usize> {
+    let b1 = broadcast(n1);
+    let b2 = broadcast(n2);
+    let mut offset = 0usize;
+    let mut chunks = haystack.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes([
+            chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+        ]);
+        let hits = zero_lanes(word ^ b1) | zero_lanes(word ^ b2);
+        if hits != 0 {
+            return Some(offset + first_lane(hits));
+        }
+        offset += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == n1 || b == n2)
+        .map(|p| offset + p)
+}
+
+/// Find the first occurrence of `n1`, `n2` or `n3`, 8 bytes per step.
+#[inline]
+pub fn find_byte3(haystack: &[u8], n1: u8, n2: u8, n3: u8) -> Option<usize> {
+    let b1 = broadcast(n1);
+    let b2 = broadcast(n2);
+    let b3 = broadcast(n3);
+    let mut offset = 0usize;
+    let mut chunks = haystack.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes([
+            chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+        ]);
+        let hits = zero_lanes(word ^ b1) | zero_lanes(word ^ b2) | zero_lanes(word ^ b3);
+        if hits != 0 {
+            return Some(offset + first_lane(hits));
+        }
+        offset += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == n1 || b == n2 || b == n3)
+        .map(|p| offset + p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Per-byte reference the SWAR implementations must match exactly.
+    fn reference(haystack: &[u8], needles: &[u8]) -> Option<usize> {
+        haystack.iter().position(|b| needles.contains(b))
+    }
+
+    #[test]
+    fn matches_reference_on_edges() {
+        let cases: Vec<Vec<u8>> = vec![
+            b"".to_vec(),
+            b"a".to_vec(),
+            b"abcdefg".to_vec(),
+            b"abcdefgh".to_vec(),
+            b"abcdefghi".to_vec(),
+            b"\n".to_vec(),
+            vec![b'x'; 7],
+            vec![b'x'; 8],
+            vec![b'x'; 9],
+            vec![b'x'; 31],
+        ];
+        for mut case in cases {
+            assert_eq!(find_byte(&case, b'\n'), reference(&case, b"\n"));
+            assert_eq!(find_byte2(&case, b'\n', b'"'), reference(&case, b"\n\""));
+            assert_eq!(
+                find_byte3(&case, b'\n', b'"', b','),
+                reference(&case, b"\n\",")
+            );
+            // Plant each needle at every position and re-check.
+            for i in 0..case.len() {
+                let orig = case[i];
+                for needle in [b'\n', b'"', b','] {
+                    case[i] = needle;
+                    assert_eq!(find_byte(&case, needle), reference(&case, &[needle]));
+                    assert_eq!(
+                        find_byte2(&case, b'\n', b'"'),
+                        reference(&case, b"\n\""),
+                    );
+                    assert_eq!(
+                        find_byte3(&case, b'\n', b'"', b','),
+                        reference(&case, b"\n\","),
+                    );
+                }
+                case[i] = orig;
+            }
+        }
+    }
+
+    #[test]
+    fn finds_first_of_several() {
+        let data = b"aaaa,bbb\"b\ncc";
+        assert_eq!(find_byte(data, b'\n'), Some(10));
+        assert_eq!(find_byte2(data, b'\n', b'"'), Some(8));
+        assert_eq!(find_byte3(data, b'\n', b'"', b','), Some(4));
+        assert_eq!(find_byte(data, b'z'), None);
+    }
+
+    #[test]
+    fn match_lanes_is_exact_on_every_lane() {
+        // zero_lanes' borrow false-positive case: a lane one greater than
+        // the needle sitting directly above a match (e.g. '-' = ',' + 1
+        // right after a comma). match_lanes must flag only true matches.
+        let mut data = *b"12,-4,,x";
+        let word = load_word(&data);
+        let m = match_lanes(word, b',');
+        let got: Vec<usize> = (0..8).filter(|&i| m & (0x80u64 << (8 * i)) != 0).collect();
+        assert_eq!(got, vec![2, 5, 6]);
+        // Exhaustive sweep: every byte value in every lane, no false hits.
+        for lane in 0..8 {
+            for v in 0u8..=255 {
+                data = *b"\x00\x2B\x2C\x2D\x7F\x80\xFF\x2C";
+                data[lane] = v;
+                let m = match_lanes(load_word(&data), b',');
+                for i in 0..8 {
+                    let flagged = m & (0x80u64 << (8 * i)) != 0;
+                    assert_eq!(flagged, data[i] == b',', "lane {i} of {data:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn high_bit_bytes_do_not_confuse_the_lane_test() {
+        // 0x80/0xFF neighbours are the classic false-positive risk for the
+        // zero-lane trick; the subtraction borrow must not leak across lanes.
+        let data = [0xFFu8, 0x80, 0x7F, 0x01, 0x00, 0xFE, b'\n', 0x80, 0xFF];
+        assert_eq!(find_byte(&data, b'\n'), Some(6));
+        assert_eq!(find_byte(&data, 0x00), Some(4));
+        assert_eq!(find_byte(&data, 0xFF), Some(0));
+        assert_eq!(find_byte2(&data, 0x01, 0xFE), Some(3));
+    }
+}

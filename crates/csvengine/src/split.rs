@@ -20,12 +20,11 @@
 //! assumes records do not contain embedded (quoted) newlines; whole-object
 //! reads through [`crate::reader::CsvReader`] have no such restriction.
 
+use crate::scan;
+
 /// Find the byte index of the first `\n` at or after `from`, if any.
 fn find_newline(data: &[u8], from: usize) -> Option<usize> {
-    data.get(from..)?
-        .iter()
-        .position(|&b| b == b'\n')
-        .map(|p| from + p)
+    scan::find_byte(data.get(from..)?, b'\n').map(|p| from + p)
 }
 
 /// Compute the record-aligned byte range `[a, b)` for logical split
@@ -116,36 +115,55 @@ impl RangedRecordStream {
 
     /// Drain complete records from `buf` into the queue. Returns true when
     /// the range end has been passed.
+    ///
+    /// Scans with an index cursor and drains the consumed prefix **once** at
+    /// the end — the old per-record `Vec::drain` made this loop quadratic in
+    /// records-per-chunk.
     fn drain(&mut self) -> bool {
+        let mut pos = 0usize;
+        let mut past_end = false;
         loop {
             if !self.aligned {
-                match self.buf.iter().position(|&b| b == b'\n') {
+                match scan::find_byte(&self.buf[pos..], b'\n') {
                     Some(nl) => {
-                        self.offset += (nl + 1) as u64;
-                        self.buf.drain(..=nl);
+                        pos += nl + 1;
                         self.aligned = true;
                     }
-                    None => return false,
+                    None => {
+                        // Everything so far precedes our first owned record.
+                        pos = self.buf.len();
+                        break;
+                    }
                 }
+                continue;
             }
-            let Some(nl) = self.buf.iter().position(|&b| b == b'\n') else {
-                return false;
-            };
+            // Absolute offset of the record starting at the cursor.
+            let rec_off = self.offset + pos as u64;
             if let Some(end) = self.end {
-                if self.offset > end {
-                    return true;
+                if rec_off > end {
+                    past_end = true;
+                    break;
                 }
             }
-            let mut rec_end = nl;
-            if rec_end > 0 && self.buf[rec_end - 1] == b'\r' {
-                rec_end -= 1;
+            match scan::find_byte(&self.buf[pos..], b'\n') {
+                None => break,
+                Some(nl) => {
+                    let mut rec_end = pos + nl;
+                    if rec_end > pos && self.buf[rec_end - 1] == b'\r' {
+                        rec_end -= 1;
+                    }
+                    if rec_end > pos {
+                        self.queue.push_back(self.buf[pos..rec_end].to_vec());
+                    }
+                    pos += nl + 1;
+                }
             }
-            if rec_end > 0 {
-                self.queue.push_back(self.buf[..rec_end].to_vec());
-            }
-            self.offset += (nl + 1) as u64;
-            self.buf.drain(..=nl);
         }
+        self.offset += pos as u64;
+        if pos > 0 {
+            self.buf.drain(..pos);
+        }
+        past_end
     }
 
     fn drain_tail(&mut self) {

@@ -6,11 +6,16 @@
 //! which is also how the paper's `date LIKE '2015-01%'`-style predicates rely
 //! on ISO-8601 dates sorting textually.
 
+use crate::smallstr::SmallStr;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// A scalar value flowing through the SQL engine and pushdown filters.
+///
+/// Strings are [`SmallStr`]: short values (every GridPocket meter field,
+/// including timestamps) are stored inline, so building and dropping typed
+/// rows on the ingest hot path does not touch the allocator.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Value {
     /// SQL NULL / empty CSV field in a numeric column.
@@ -20,7 +25,15 @@ pub enum Value {
     /// 64-bit float.
     Float(f64),
     /// UTF-8 string.
-    Str(String),
+    Str(SmallStr),
+}
+
+/// NULL, so a value can be cheaply `std::mem::take`n out of a decoded block.
+impl Default for Value {
+    #[inline]
+    fn default() -> Value {
+        Value::Null
+    }
 }
 
 impl Value {
@@ -35,12 +48,57 @@ impl Value {
             DataType::Int => field
                 .parse::<i64>()
                 .map(Value::Int)
-                .unwrap_or_else(|_| Value::Str(field.to_string())),
+                .unwrap_or_else(|_| Value::Str(field.into())),
             DataType::Float => field
                 .parse::<f64>()
                 .map(Value::Float)
-                .unwrap_or_else(|_| Value::Str(field.to_string())),
-            DataType::Str => Value::Str(field.to_string()),
+                .unwrap_or_else(|_| Value::Str(field.into())),
+            DataType::Str => Value::Str(field.into()),
+        }
+    }
+
+    /// Byte-level [`Value::parse_typed`]: identical semantics, but numeric
+    /// fields that hit the exact fast path skip the UTF-8 pass and the
+    /// general float parser entirely — this is the compute-ingest hot loop.
+    /// The body that inlines into callers is deliberately tiny; everything
+    /// rare (exponents, overflow, non-UTF-8) lives in the cold outlined
+    /// fallback so it doesn't pollute the per-field loop.
+    #[inline]
+    pub fn parse_field_bytes(field: &[u8], dtype: crate::schema::DataType) -> Value {
+        use crate::schema::DataType;
+        if field.is_empty() {
+            return Value::Null;
+        }
+        match dtype {
+            DataType::Int => match parse_i64_simple(field) {
+                Some(v) => Value::Int(v),
+                None => Self::parse_field_slow(field, dtype),
+            },
+            DataType::Float => match parse_f64_simple(field) {
+                Some(v) => Value::Float(v),
+                None => Self::parse_field_slow(field, dtype),
+            },
+            DataType::Str => Value::Str(SmallStr::from_utf8_lossy(field)),
+        }
+    }
+
+    /// Fallback for fields the exact numeric fast path rejects: lossy UTF-8
+    /// conversion plus the std parsers, preserving `parse_typed` semantics.
+    #[cold]
+    #[inline(never)]
+    fn parse_field_slow(field: &[u8], dtype: crate::schema::DataType) -> Value {
+        use crate::schema::DataType;
+        let text = String::from_utf8_lossy(field);
+        match dtype {
+            DataType::Int => text
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or_else(|_| Value::Str(text.into())),
+            DataType::Float => text
+                .parse::<f64>()
+                .map(Value::Float)
+                .unwrap_or_else(|_| Value::Str(text.into())),
+            DataType::Str => Value::Str(text.into()),
         }
     }
 
@@ -56,7 +114,7 @@ impl Value {
     /// String view (only for `Str`).
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_str()),
             _ => None,
         }
     }
@@ -97,11 +155,12 @@ impl Value {
         match (self, other) {
             (Value::Null, Value::Null) => Ordering::Equal,
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
-            (a, b) if rank(a) == 1 && rank(b) == 1 => {
-                let x = a.as_f64().expect("numeric");
-                let y = b.as_f64().expect("numeric");
-                x.total_cmp(&y)
-            }
+            (a, b) if rank(a) == 1 && rank(b) == 1 => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.total_cmp(&y),
+                // Rank 1 is Int/Float only, so both coercions succeed; keep a
+                // non-panicking fallback for the type system's sake.
+                _ => Ordering::Equal,
+            },
             (a, b) => rank(a).cmp(&rank(b)),
         }
     }
@@ -110,6 +169,137 @@ impl Value {
     pub fn render(&self) -> String {
         self.to_string()
     }
+}
+
+/// Exact fast path for `-?\d+(\.\d+)?` with an exactly-representable
+/// mantissa: a `u64` accumulate plus one correctly-rounded division by a
+/// power of ten — the classic strtod fast case, bit-identical to the general
+/// parser. Anything else (exponents, overflow, `inf`, stray bytes) returns
+/// `None` and falls back to `str::parse`.
+#[inline]
+fn parse_f64_simple(b: &[u8]) -> Option<f64> {
+    const POW10: [f64; 16] = [
+        1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13,
+        1e14, 1e15,
+    ];
+    let (neg, digits) = match b.split_first()? {
+        (b'-', rest) => (true, rest),
+        _ => (false, b),
+    };
+    if digits.is_empty() || digits.len() > 16 {
+        return None;
+    }
+    let mut mant = 0u64;
+    let mut frac = 0usize;
+    let mut seen_dot = false;
+    let mut n_digits = 0usize;
+    for &c in digits {
+        match c {
+            b'0'..=b'9' => {
+                mant = mant * 10 + (c - b'0') as u64;
+                n_digits += 1;
+                if seen_dot {
+                    frac += 1;
+                }
+            }
+            b'.' if !seen_dot => seen_dot = true,
+            _ => return None,
+        }
+    }
+    // ≤ 15 digits keeps the mantissa exactly representable (< 2^53).
+    if n_digits == 0 || n_digits > 15 {
+        return None;
+    }
+    let v = mant as f64 / POW10[frac];
+    Some(if neg { -v } else { v })
+}
+
+/// Broadcast `'0'` — the padding byte for the SWAR digit word.
+const ZERO_WORD: u64 = 0x3030_3030_3030_3030;
+
+/// Decimal value of 8 digit characters in string order (first digit in the
+/// low byte of the little-endian word), or `None` if any byte is not
+/// `'0'..='9'`. Pairwise Muła reduction: three multiplies instead of eight
+/// data-dependent multiply-adds.
+#[inline(always)]
+fn eight_digit_value(w: u64) -> Option<u64> {
+    // A byte is a digit iff its high nibble is 3 and adding 6 doesn't carry
+    // into the high nibble (0x39+6=0x3F stays, 0x3A+6=0x40 escapes).
+    let nibble_check = (w & 0xF0F0_F0F0_F0F0_F0F0)
+        | ((w.wrapping_add(0x0606_0606_0606_0606) & 0xF0F0_F0F0_F0F0_F0F0) >> 4);
+    if nibble_check != 0x3333_3333_3333_3333 {
+        return None;
+    }
+    let v = w - ZERO_WORD;
+    let v = v.wrapping_mul(2561) >> 8;
+    let v = (v & 0x00FF_00FF_00FF_00FF).wrapping_mul(6_553_601) >> 16;
+    let v = (v & 0x0000_FFFF_0000_FFFF).wrapping_mul(42_949_672_960_001) >> 32;
+    Some(v)
+}
+
+/// Branch-light float parse for a short field given over-read room: `window`
+/// is the rest of the record starting at the field, `len` the field's true
+/// length. One 8-byte load covers the whole field; bytes past `len` are
+/// masked to `'0'` so they can never affect the result. Returns exactly what
+/// [`parse_f64_simple`] would for the same field, or `None` to fall back
+/// (longer fields, exotic syntax, non-digits).
+#[inline(always)]
+pub(crate) fn parse_f64_window(window: &[u8], len: usize) -> Option<f64> {
+    const POW10: [f64; 9] = [1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8];
+    if len == 0 || len > 8 || window.len() < 8 {
+        return None;
+    }
+    let w = crate::scan::load_word(window);
+    let (w, len, neg) = if w as u8 == b'-' {
+        (w >> 8, len - 1, true)
+    } else {
+        (w, len, false)
+    };
+    if len == 0 {
+        return None;
+    }
+    let mask = if len == 8 { !0u64 } else { (1u64 << (8 * len)) - 1 };
+    let w = (w & mask) | (ZERO_WORD & !mask);
+    let dots = crate::scan::match_lanes(w, b'.');
+    // With pad count p and fractional digits f, the 8-char value is
+    // D·10^p, so the result is D/10^f = value/10^(p+f).
+    let (digits, exp) = if dots == 0 {
+        (w, 8 - len)
+    } else {
+        if dots & dots.wrapping_sub(1) != 0 || len == 1 {
+            // Two dots, or the field is just ".".
+            return None;
+        }
+        let d = crate::scan::lane_index(dots);
+        // Drop the dot byte, close the gap, pad the vacated top with '0'.
+        let low = w & ((1u64 << (8 * d)) - 1);
+        let high = if d == 7 { 0 } else { (w >> (8 * (d + 1))) << (8 * d) };
+        // p' = 8-(len-1), f = len-1-d, so p'+f = 8-d.
+        (low | high | (0xFFu64 << 56 & ZERO_WORD), 8 - d)
+    };
+    let mant = eight_digit_value(digits)?;
+    let v = mant as f64 / POW10[exp];
+    Some(if neg { -v } else { v })
+}
+
+/// Fast path for plain decimal integers; overflow and oddities fall back.
+#[inline]
+fn parse_i64_simple(b: &[u8]) -> Option<i64> {
+    let (neg, digits) = match b.split_first()? {
+        (b'-', rest) => (true, rest),
+        _ => (false, b),
+    };
+    if digits.is_empty() || digits.len() > 18 {
+        return None;
+    }
+    let mut v = 0i64;
+    for &c in digits {
+        if !c.is_ascii_digit() {
+            return None;
+        }
+        v = v * 10 + (c - b'0') as i64;
+    }
+    Some(if neg { -v } else { v })
 }
 
 impl PartialEq for Value {
@@ -168,6 +358,90 @@ mod tests {
     use crate::schema::DataType;
 
     #[test]
+    fn window_float_parse_matches_the_serial_parser() {
+        // Every candidate is parsed via the over-read window (padded with
+        // comma + junk, like a real record tail) and must agree bit-for-bit
+        // with parse_f64_simple / the std fallback on both value and
+        // accept/reject decision.
+        let pieces = [
+            "0", "5", "51", "92", "9244", "123456", "1234567", "99999999", "000123",
+        ];
+        let mut cases: Vec<String> = Vec::new();
+        for a in pieces {
+            cases.push(a.to_string());
+            cases.push(format!("-{a}"));
+            for b in pieces {
+                cases.push(format!("{a}.{b}"));
+                cases.push(format!("-{a}.{b}"));
+            }
+        }
+        for odd in [
+            ".", "-.", "..", "1.2.3", "5.", ".5", "-.5", "+5", "1e3", "abc", "12a",
+            "-", "--5", "12345678", "123456789", "1234.5678",
+        ] {
+            cases.push(odd.to_string());
+        }
+        for case in &cases {
+            let mut window = case.clone().into_bytes();
+            window.extend_from_slice(b",junk,tail");
+            let got = parse_f64_window(&window, case.len());
+            let reference = parse_f64_simple(case.as_bytes());
+            match (got, reference) {
+                (Some(g), Some(r)) => {
+                    assert_eq!(g.to_bits(), r.to_bits(), "{case:?}");
+                }
+                (Some(g), None) => panic!("window accepted {case:?} = {g} but serial rejects"),
+                (None, _) => {
+                    // Declining is always allowed; the caller falls back.
+                    // But anything short and plain must take the fast path.
+                    if case.len() <= 8
+                        && case.bytes().all(|b| b.is_ascii_digit())
+                        && !case.is_empty()
+                    {
+                        panic!("window parser must accept plain digits {case:?}");
+                    }
+                }
+            }
+        }
+        // Short-window guard: a field at the very end of a record (< 8 bytes
+        // of over-read room) declines rather than reading out of bounds.
+        assert_eq!(parse_f64_window(b"5.2", 3), None);
+    }
+
+    #[test]
+    fn fast_number_parse_matches_std() {
+        // Floats: sweep digit counts on both sides of the dot and compare
+        // bit patterns against the std parser.
+        let pieces = ["0", "5", "51", "9244", "12345678", "999999999", "000123"];
+        for int_p in pieces {
+            for frac_p in pieces {
+                for s in [
+                    format!("{int_p}.{frac_p}"),
+                    format!("-{int_p}.{frac_p}"),
+                    int_p.to_string(),
+                    format!("-{int_p}"),
+                ] {
+                    if let Some(got) = parse_f64_simple(s.as_bytes()) {
+                        let want: f64 = s.parse().unwrap();
+                        assert_eq!(got.to_bits(), want.to_bits(), "{s:?}");
+                    }
+                }
+            }
+        }
+        assert_eq!(parse_f64_simple(b"51.9244"), Some(51.9244));
+        assert_eq!(parse_f64_simple(b"1.2.3"), None);
+        assert_eq!(parse_f64_simple(b"."), None);
+        assert_eq!(parse_f64_simple(b"5."), Some(5.0));
+        assert_eq!(parse_f64_simple(b".5"), Some(0.5));
+        // Integers, including the 18-digit boundary.
+        for s in ["0", "42", "-42", "123456789", "123456789012345678", "-999999999999999999"] {
+            assert_eq!(parse_i64_simple(s.as_bytes()), Some(s.parse().unwrap()), "{s:?}");
+        }
+        assert_eq!(parse_i64_simple(b"1234567890123456789"), None, ">18 digits falls back");
+        assert_eq!(parse_i64_simple(b"12a4"), None);
+    }
+
+    #[test]
     fn parse_typed_respects_type_and_falls_back() {
         assert_eq!(Value::parse_typed("42", DataType::Int), Value::Int(42));
         assert_eq!(Value::parse_typed("4.5", DataType::Float), Value::Float(4.5));
@@ -212,7 +486,7 @@ mod tests {
             }
         }
         assert!(Value::Null < Value::Int(i64::MIN));
-        assert!(Value::Int(9) < Value::Str(String::new()));
+        assert!(Value::Int(9) < Value::Str("".into()));
     }
 
     #[test]

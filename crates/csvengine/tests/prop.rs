@@ -61,7 +61,7 @@ proptest! {
         let mut chunked = Vec::new();
         let mut sp = RecordSplitter::new();
         for c in buf.chunks(chunk) {
-            sp.push(c, |r| chunked.push(r.to_vec()));
+            sp.push(c, |r| chunked.push(r.to_vec())).unwrap();
         }
         sp.finish(|r| chunked.push(r.to_vec()));
         prop_assert_eq!(chunked, whole);
@@ -129,7 +129,7 @@ proptest! {
     fn value_total_order_laws(
         a in any::<i64>(), b in any::<f64>(), s in "[a-z]{0,6}",
     ) {
-        let vals = [Value::Null, Value::Int(a), Value::Float(b), Value::Str(s)];
+        let vals = [Value::Null, Value::Int(a), Value::Float(b), Value::Str(s.into())];
         for x in &vals {
             for y in &vals {
                 prop_assert_eq!(x.total_cmp(y), y.total_cmp(x).reverse());

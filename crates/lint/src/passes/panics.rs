@@ -17,7 +17,15 @@ use crate::lexer::Tok;
 use crate::model::ParsedFile;
 
 /// Crates whose `src/` is a production data path.
-pub const DATA_PATH_CRATES: &[&str] = &["objectstore", "storlets", "connector", "compute", "common"];
+pub const DATA_PATH_CRATES: &[&str] = &[
+    "objectstore",
+    "storlets",
+    "connector",
+    "compute",
+    "common",
+    "csvengine",
+    "columnar",
+];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 

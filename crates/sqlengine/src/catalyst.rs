@@ -157,7 +157,7 @@ fn to_predicate(expr: &Expr) -> Option<Predicate> {
                 if !has_underscore {
                     let pct = inner.matches('%').count();
                     if pct == 0 {
-                        return Some(Predicate::Eq(c.clone(), Value::Str(inner.to_string())));
+                        return Some(Predicate::Eq(c.clone(), Value::Str(inner.into())));
                     }
                     if pct == 1 && inner.ends_with('%') {
                         return Some(Predicate::StartsWith(

@@ -211,7 +211,7 @@ pub fn eval_pred(expr: &Expr, row: &[Value], schema: &Schema) -> Result<Option<b
                 other => {
                     let text = match &other {
                         Value::Str(s) => s.clone(),
-                        v => v.to_string(),
+                        v => v.to_string().into(),
                     };
                     Some(like_match(pattern, &text) != *negated)
                 }

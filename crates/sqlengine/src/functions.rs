@@ -25,7 +25,7 @@ pub fn eval_scalar(name: &str, args: &[Value]) -> Result<Value> {
             }
             let text = match s {
                 Value::Str(t) => t.clone(),
-                other => other.to_string(),
+                other => other.to_string().into(),
             };
             let start = start
                 .as_f64()
@@ -47,7 +47,7 @@ pub fn eval_scalar(name: &str, args: &[Value]) -> Result<Value> {
             };
             let begin = begin.clamp(0, n) as usize;
             let take = len.max(0) as usize;
-            Ok(Value::Str(chars[begin..].iter().take(take).collect()))
+            Ok(Value::Str(chars[begin..].iter().take(take).collect::<String>().into()))
         }
         "upper" => unary_str(name, args, |s| s.to_uppercase()),
         "lower" => unary_str(name, args, |s| s.to_lowercase()),
@@ -69,7 +69,7 @@ pub fn eval_scalar(name: &str, args: &[Value]) -> Result<Value> {
                 }
                 out.push_str(&a.to_string());
             }
-            Ok(Value::Str(out))
+            Ok(Value::Str(out.into()))
         }
         "abs" => {
             let [v] = args else {
@@ -122,8 +122,8 @@ fn unary_str(name: &str, args: &[Value], f: impl Fn(&str) -> String) -> Result<V
     };
     Ok(match v {
         Value::Null => Value::Null,
-        Value::Str(s) => Value::Str(f(s)),
-        other => Value::Str(f(&other.to_string())),
+        Value::Str(s) => Value::Str(f(s).into()),
+        other => Value::Str(f(&other.to_string()).into()),
     })
 }
 

@@ -18,6 +18,8 @@ use crate::api::{InvocationContext, InvocationMetrics, Storlet};
 use bytes::Bytes;
 use scoop_common::{ByteStream, Result, ScoopError};
 use scoop_csv::filter::CompiledSpec;
+use scoop_csv::scan;
+use scoop_csv::view::FieldBuf;
 use scoop_csv::PushdownSpec;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -49,6 +51,7 @@ impl Storlet for CsvFilterStorlet {
         Ok(Box::new(RangedCsvFilterStream {
             input: Some(input),
             compiled,
+            fields: FieldBuf::default(),
             buf: Vec::new(),
             offset: ctx.range_start,
             aligned: ctx.range_start == 0,
@@ -67,6 +70,8 @@ impl Storlet for CsvFilterStorlet {
 struct RangedCsvFilterStream {
     input: Option<ByteStream>,
     compiled: CompiledSpec,
+    /// Reusable per-record parse state (field span table).
+    fields: FieldBuf,
     /// Unprocessed input bytes; `offset` is the absolute object offset of
     /// `buf[0]`.
     buf: Vec<u8>,
@@ -85,48 +90,68 @@ struct RangedCsvFilterStream {
 impl RangedCsvFilterStream {
     /// Process complete records in `buf` into `out`. Returns true when the
     /// range end has been passed (caller should stop reading input).
+    ///
+    /// Scans with an index cursor (SWAR newline search) and drains the
+    /// consumed prefix once at the end; the old per-record `Vec::drain` made
+    /// this quadratic in records-per-chunk.
     fn drain_records(&mut self, out: &mut Vec<u8>) -> bool {
+        let mut pos = 0usize;
+        let mut past_end = false;
         loop {
             if !self.aligned {
                 // Discard through the first newline (Hadoop semantics).
-                match self.buf.iter().position(|&b| b == b'\n') {
+                match scan::find_byte(&self.buf[pos..], b'\n') {
                     Some(nl) => {
-                        self.offset += (nl + 1) as u64;
-                        self.buf.drain(..=nl);
+                        pos += nl + 1;
                         self.aligned = true;
                     }
-                    None => return false, // need more input
+                    None => {
+                        pos = self.buf.len();
+                        break; // need more input
+                    }
                 }
+                continue;
             }
-            let Some(nl) = self.buf.iter().position(|&b| b == b'\n') else {
-                return false;
-            };
-            let record_start = self.offset;
+            let record_start = self.offset + pos as u64;
             if let Some(end) = self.end {
                 // Records are owned while their start offset p satisfies
                 // p <= end (p > range_start is guaranteed by alignment).
                 if record_start > end {
-                    return true;
+                    past_end = true;
+                    break;
                 }
             }
-            let mut rec_end = nl;
-            if rec_end > 0 && self.buf[rec_end - 1] == b'\r' {
-                rec_end -= 1;
-            }
-            if rec_end > 0 {
-                // Non-blank record.
-                if self.header_pending {
-                    self.header_pending = false;
-                } else {
-                    self.metrics.records_in.fetch_add(1, Ordering::Relaxed);
-                    if self.compiled.filter_record(&self.buf[..rec_end], out) {
-                        self.metrics.records_out.fetch_add(1, Ordering::Relaxed);
+            match scan::find_byte(&self.buf[pos..], b'\n') {
+                None => break,
+                Some(nl) => {
+                    let mut rec_end = pos + nl;
+                    if rec_end > pos && self.buf[rec_end - 1] == b'\r' {
+                        rec_end -= 1;
                     }
+                    if rec_end > pos {
+                        // Non-blank record.
+                        if self.header_pending {
+                            self.header_pending = false;
+                        } else {
+                            self.metrics.records_in.fetch_add(1, Ordering::Relaxed);
+                            if self.compiled.filter_record_buf(
+                                &self.buf[pos..rec_end],
+                                &mut self.fields,
+                                out,
+                            ) {
+                                self.metrics.records_out.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    pos += nl + 1;
                 }
             }
-            self.offset += (nl + 1) as u64;
-            self.buf.drain(..=nl);
         }
+        self.offset += pos as u64;
+        if pos > 0 {
+            self.buf.drain(..pos);
+        }
+        past_end
     }
 
     /// Handle the final (newline-less) record at EOF.
@@ -151,7 +176,10 @@ impl RangedCsvFilterStream {
                 self.header_pending = false;
             } else {
                 self.metrics.records_in.fetch_add(1, Ordering::Relaxed);
-                if self.compiled.filter_record(&self.buf[..rec_end], out) {
+                if self
+                    .compiled
+                    .filter_record_buf(&self.buf[..rec_end], &mut self.fields, out)
+                {
                     self.metrics.records_out.fetch_add(1, Ordering::Relaxed);
                 }
             }

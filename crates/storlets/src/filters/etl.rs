@@ -99,7 +99,12 @@ impl Storlet for EtlCleanseStorlet {
                             "etl record splitter consumed twice".into(),
                         )));
                     };
-                    sp.push(&chunk, |r| process(r, &mut out));
+                    if let Err(e) = sp.push(&chunk, |r| process(r, &mut out)) {
+                        // Record-size cap tripped: surface the classified
+                        // error instead of buffering the rest of the object.
+                        splitter = None;
+                        return Some(Err(e));
+                    }
                 }
                 None => {
                     let Some(sp) = splitter.take() else {

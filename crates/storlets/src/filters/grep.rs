@@ -34,7 +34,7 @@ impl Storlet for LineGrepStorlet {
                     metrics.bytes_in.fetch_add(chunk.len() as u64, Ordering::Relaxed);
                     let m = &metrics;
                     let pat = &pattern;
-                    splitter_ref.push(&chunk, |line| {
+                    if let Err(e) = splitter_ref.push(&chunk, |line| {
                         m.records_in.fetch_add(1, Ordering::Relaxed);
                         let hit = contains(line, pat);
                         if hit != invert {
@@ -42,7 +42,12 @@ impl Storlet for LineGrepStorlet {
                             out.extend_from_slice(line);
                             out.push(b'\n');
                         }
-                    });
+                    }) {
+                        // Record-size cap tripped: surface the classified
+                        // error instead of buffering the rest of the object.
+                        splitter = None;
+                        return Some(Err(e));
+                    }
                 }
                 None => {
                     let m = &metrics;

@@ -65,7 +65,7 @@ impl Storlet for AggregateStorlet {
                 for chunk in input {
                     let chunk = chunk?;
                     metrics.bytes_in.fetch_add(chunk.len() as u64, Ordering::Relaxed);
-                    splitter.push(&chunk, &mut consume);
+                    splitter.push(&chunk, &mut consume)?;
                 }
                 splitter.finish(&mut consume);
                 let mean = if count > 0 { sum / count as f64 } else { 0.0 };

@@ -55,10 +55,16 @@ impl Storlet for AnonymizeStorlet {
             };
             match input.as_mut().and_then(Iterator::next) {
                 Some(Err(e)) => return Some(Err(e)),
-                Some(Ok(chunk)) => splitter
-                    .as_mut()
-                    .expect("checked above")
-                    .push(&chunk, |r| rewrite(r, &mut out)),
+                Some(Ok(chunk)) => {
+                    if let Err(e) = splitter
+                        .as_mut()
+                        .expect("checked above")
+                        .push(&chunk, |r| rewrite(r, &mut out))
+                    {
+                        splitter = None;
+                        return Some(Err(e));
+                    }
+                }
                 None => {
                     splitter
                         .take()
