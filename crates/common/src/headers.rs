@@ -55,6 +55,28 @@ pub const TRACE: &str = "x-scoop-trace";
 /// Prefix of user-metadata headers persisted alongside an object.
 pub const OBJECT_META_PREFIX: &str = "x-object-meta-";
 
+/// Remaining request time budget in milliseconds, stamped by the wire
+/// encoder from [`crate::Deadline::remaining`]. An `Instant` cannot cross a
+/// socket, so the client ships the *budget* and the server rebuilds a local
+/// deadline from it — every hop keeps consulting the same shrinking window.
+pub const DEADLINE_MS: &str = "x-scoop-deadline-ms";
+
+/// Machine-readable [`crate::ScoopError::kind`] on error responses, so the
+/// client can rebuild the exact error variant (and its retryability class)
+/// instead of guessing from the HTTP status code.
+pub const ERROR_KIND: &str = "x-scoop-error";
+
+/// Optional object-name prefix filter on container listing requests.
+pub const LIST_PREFIX: &str = "x-scoop-list-prefix";
+
+/// Chunked *trailer* carrying a mid-stream body error across the wire:
+/// `<kind> <message>`. A response head goes out before its body is pulled,
+/// so a stream that fails halfway can no longer change the status line —
+/// the server finishes the chunked frame with this trailer instead, and
+/// the client rebuilds the exact error variant (a length-enforcement
+/// "truncated" error must not flatten into a generic aborted frame).
+pub const STREAM_ERROR: &str = "x-scoop-stream-error";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -72,6 +94,10 @@ mod tests {
             super::OBJECT_LENGTH,
             super::OBJECT_META_PREFIX,
             super::TRACE,
+            super::DEADLINE_MS,
+            super::ERROR_KIND,
+            super::LIST_PREFIX,
+            super::STREAM_ERROR,
         ] {
             assert!(name.starts_with("x-"), "{name} must be x-prefixed");
             assert_eq!(name, name.to_ascii_lowercase(), "{name} must be lowercase");

@@ -74,6 +74,26 @@ pub mod names {
     pub const CONNECTOR_PUSHDOWN_FALLBACKS: &str = "scoop_connector_pushdown_fallbacks_total";
     /// Storlet invocations currently executing (gauge).
     pub const STORLETS_ACTIVE: &str = "scoop_storlets_active_invocations";
+    /// TCP connections currently open in client pools (gauge).
+    ///
+    /// The net-plane metrics below are *not* part of
+    /// [`super::DATA_PATH_METRICS`]: an in-process (non-TCP) exercise of the
+    /// data path legitimately never registers them.
+    pub const NET_POOL_OPEN: &str = "scoop_net_pool_open_connections";
+    /// Pooled TCP connections currently idle, awaiting reuse (gauge).
+    pub const NET_POOL_IDLE: &str = "scoop_net_pool_idle_connections";
+    /// Requests served over a reused (kept-alive) pooled connection.
+    pub const NET_POOL_REUSES: &str = "scoop_net_pool_reuses_total";
+    /// Fresh TCP connections dialed by client pools.
+    pub const NET_POOL_DIALS: &str = "scoop_net_pool_dials_total";
+    /// Pooled connections evicted (poisoned mid-stream or reaped as stale).
+    pub const NET_POOL_EVICTIONS: &str = "scoop_net_pool_evictions_total";
+    /// TCP connections accepted by net-plane servers.
+    pub const NET_SERVER_CONNECTIONS: &str = "scoop_net_server_connections_total";
+    /// Requests decoded and dispatched by net-plane servers.
+    pub const NET_SERVER_REQUESTS: &str = "scoop_net_server_requests_total";
+    /// Wire-level faults injected at the socket boundary (all classes).
+    pub const NET_WIRE_FAULTS: &str = "scoop_net_wire_faults_total";
 }
 
 /// Every counter a full data-path exercise must register. The bench smoke

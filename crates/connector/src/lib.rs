@@ -530,7 +530,7 @@ mod tests {
         )));
         cluster.set_proxy_pipeline(proxy);
         let client = cluster.anonymous_client("AUTH_gp");
-        client.create_container("meters");
+        client.create_container("meters").unwrap();
         client
             .put_object("meters", "jan.csv", Bytes::from_static(DATA))
             .unwrap();

@@ -85,7 +85,7 @@ fn run_query(plan: Option<FaultPlan>, pushdown: bool) -> Run {
     let client = cluster
         .anonymous_client("AUTH_gp")
         .with_retry(RetryPolicy::default());
-    client.create_container("meters");
+    client.create_container("meters").unwrap();
     client.put_object("meters", "jan.csv", meter_csv()).unwrap();
 
     let connector = if pushdown {

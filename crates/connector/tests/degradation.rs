@@ -94,7 +94,7 @@ fn run_query(config: SwiftConfig, saturate: bool, budget: Option<Duration>) -> R
     let client = cluster
         .anonymous_client("AUTH_gp")
         .with_retry(RetryPolicy::default());
-    client.create_container("meters");
+    client.create_container("meters").unwrap();
     client.put_object("meters", "jan.csv", meter_csv()).unwrap();
 
     let connector = SwiftConnector::new(client);

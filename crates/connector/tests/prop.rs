@@ -46,7 +46,7 @@ fn connector_over(data: Bytes, plan: FaultPlan) -> (Arc<SwiftCluster>, Arc<Swift
     let client = cluster
         .anonymous_client("AUTH_p")
         .with_retry(RetryPolicy::default());
-    client.create_container("c");
+    client.create_container("c").unwrap();
     client.put_object("c", "o.csv", data).unwrap();
     (cluster, SwiftConnector::new(client))
 }

@@ -122,7 +122,7 @@ impl ScoopContext {
         objects: Vec<(String, Bytes)>,
         etl: Option<&EtlSpec>,
     ) -> Result<UploadReport> {
-        self.client.create_container(container);
+        self.client.create_container(container)?;
         let mut report = UploadReport::default();
         for (name, data) in objects {
             report.objects += 1;
@@ -210,7 +210,7 @@ impl ScoopContext {
             let head = resp.read_body()?;
             scoop_csv::reader::infer_schema(&head, 200)?
         };
-        self.client.create_container(target);
+        self.client.create_container(target)?;
         let mut csv_bytes = 0u64;
         let mut col_bytes = 0u64;
         for obj in self.client.list(container, None)? {

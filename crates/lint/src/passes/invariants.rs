@@ -14,10 +14,15 @@
 //!    out in `scoop_common::headers` — everywhere else, *including test
 //!    code*, it must travel via the constant, and the headers module must
 //!    actually define it.
+//! 5. **Socket read timeouts**: a data-path function that opens a
+//!    `TcpStream` (connect or accept) must configure `set_read_timeout`
+//!    before reading — a raw blocking read turns one stalled peer into a
+//!    hung worker, defeating every deadline above it.
 
 use crate::findings::{Finding, Severity};
 use crate::lexer::Tok;
 use crate::model::ParsedFile;
+use crate::passes::panics::DATA_PATH_CRATES;
 
 /// The one module allowed to define `x-*` header literals.
 const HEADERS_MODULE: &str = "crates/common/src/headers.rs";
@@ -28,6 +33,7 @@ pub fn run(files: &[ParsedFile]) -> Vec<Finding> {
     check_header_literals(files, &mut out);
     check_retry_deadlines(files, &mut out);
     check_trace_header(files, &mut out);
+    check_tcp_read_timeouts(files, &mut out);
     out
 }
 
@@ -200,6 +206,58 @@ fn check_trace_header(files: &[ParsedFile], out: &mut Vec<Finding>) {
             message: "`scoop_common::headers` no longer defines the `x-scoop-trace` constant"
                 .into(),
         });
+    }
+}
+
+/// Rule 5: data-path sockets read under a timeout.
+///
+/// Keyed off the function that *opens* the stream (`TcpStream` plus a
+/// `connect*`/`accept*` call): that is where ownership starts, so that is
+/// where the timeout must be configured before any read can block. A
+/// function that merely reads a stream someone else opened inherits the
+/// opener's configuration and is not flagged.
+fn check_tcp_read_timeouts(files: &[ParsedFile], out: &mut Vec<Finding>) {
+    for pf in files {
+        if !DATA_PATH_CRATES.contains(&pf.crate_name.as_str()) {
+            continue;
+        }
+        for f in &pf.functions {
+            if f.is_test {
+                continue;
+            }
+            let toks = &pf.tokens[f.body.clone()];
+            let mut tcp = false;
+            let mut opens = false;
+            let mut timeout = false;
+            for t in toks {
+                if let Tok::Ident(s) = &t.tok {
+                    match s.as_str() {
+                        "TcpStream" => tcp = true,
+                        "set_read_timeout" => timeout = true,
+                        s if s.starts_with("connect") || s.starts_with("accept") => {
+                            opens = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if tcp && opens && !timeout {
+                if pf.allow_for(f.line).map(|a| !a.reason.trim().is_empty()).unwrap_or(false) {
+                    continue;
+                }
+                out.push(Finding {
+                    pass: "invariants",
+                    severity: Severity::Deny,
+                    file: pf.path.clone(),
+                    function: f.qual_name.clone(),
+                    line: f.line,
+                    detail: "tcp-read-without-timeout".into(),
+                    message: "opens a TcpStream without `set_read_timeout` — a stalled peer \
+                              would hang this data-path worker forever"
+                        .into(),
+                });
+            }
+        }
     }
 }
 

@@ -52,6 +52,26 @@ mod tests {
     }
 }
 
+/// Dials a socket and reads it with no read timeout: one stalled peer
+/// hangs this function forever (invariant 5).
+pub fn raw_socket_read(addr: &str) -> std::io::Result<Vec<u8>> {
+    use std::io::Read;
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+/// Same dial, but every read happens under a timeout — no finding.
+pub fn timed_socket_read(addr: &str) -> std::io::Result<Vec<u8>> {
+    use std::io::Read;
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
 /// Bounded: consults the deadline every attempt — no finding.
 pub fn bounded_retry(
     op: &dyn Fn() -> Result<(), ScoopError>,

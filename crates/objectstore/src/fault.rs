@@ -56,6 +56,49 @@ pub struct SlowNode {
     pub delay: Duration,
 }
 
+/// Wire-level fault classes injected at the socket boundary by the TCP
+/// data plane (`crate::net`). All rates default to zero, so in-process
+/// clusters and plans written before the net plane existed are unaffected.
+///
+/// * **RST mid-response** — the server aborts the connection after writing
+///   a prefix of the response frame;
+/// * **partial write then stall** — a response prefix is written, then the
+///   connection goes silent until the client's read timeout fires;
+/// * **slowloris** — request bytes arrive at the server one at a time with
+///   a delay in between, exercising the server's header-time guard;
+/// * **garbage frames** — response bytes are corrupted so the client-side
+///   decoder rejects the frame;
+/// * **half-close** — the server shuts down its write side after reading
+///   the request, so the client sees EOF where a response should start.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WireFaults {
+    /// Probability the connection is aborted mid-response.
+    pub rst_rate: f64,
+    /// Probability a response is cut to a prefix followed by a stall.
+    pub partial_rate: f64,
+    /// How long a partial write stalls before the connection dies.
+    pub partial_stall: Duration,
+    /// Probability the server reads this request one byte at a time.
+    pub slowloris_rate: f64,
+    /// Per-byte delay of a slowloris read.
+    pub slowloris_delay: Duration,
+    /// Probability the response frame is corrupted.
+    pub garbage_rate: f64,
+    /// Probability the write side is closed before the response.
+    pub half_close_rate: f64,
+}
+
+impl WireFaults {
+    /// True when at least one wire fault class can fire.
+    pub fn any(&self) -> bool {
+        self.rst_rate > 0.0
+            || self.partial_rate > 0.0
+            || self.slowloris_rate > 0.0
+            || self.garbage_rate > 0.0
+            || self.half_close_rate > 0.0
+    }
+}
+
 /// What faults to inject, with what probability, from what seed.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
@@ -76,6 +119,8 @@ pub struct FaultPlan {
     pub down_windows: Vec<DownWindow>,
     /// Nodes whose every read is delayed by a fixed latency skew.
     pub slow_nodes: Vec<SlowNode>,
+    /// Wire-level fault classes applied by the TCP data plane.
+    pub wire: WireFaults,
 }
 
 impl FaultPlan {
@@ -90,6 +135,7 @@ impl FaultPlan {
             max_consecutive: 2,
             down_windows: Vec::new(),
             slow_nodes: Vec::new(),
+            wire: WireFaults::default(),
         }
     }
 
@@ -144,6 +190,41 @@ impl FaultPlan {
         self.slow_nodes.push(SlowNode { node, delay });
         self
     }
+
+    /// Builder: abort connections mid-response with probability `rate`.
+    pub fn with_wire_rst(mut self, rate: f64) -> Self {
+        self.wire.rst_rate = rate;
+        self
+    }
+
+    /// Builder: cut responses to a prefix + `stall` silence with
+    /// probability `rate`.
+    pub fn with_wire_partial(mut self, rate: f64, stall: Duration) -> Self {
+        self.wire.partial_rate = rate;
+        self.wire.partial_stall = stall;
+        self
+    }
+
+    /// Builder: dribble request reads one byte per `delay` with
+    /// probability `rate`.
+    pub fn with_wire_slowloris(mut self, rate: f64, delay: Duration) -> Self {
+        self.wire.slowloris_rate = rate;
+        self.wire.slowloris_delay = delay;
+        self
+    }
+
+    /// Builder: corrupt response frames with probability `rate`.
+    pub fn with_wire_garbage(mut self, rate: f64) -> Self {
+        self.wire.garbage_rate = rate;
+        self
+    }
+
+    /// Builder: half-close connections before the response with
+    /// probability `rate`.
+    pub fn with_wire_half_close(mut self, rate: f64) -> Self {
+        self.wire.half_close_rate = rate;
+        self
+    }
 }
 
 /// Monotonic counters of injected faults, for assertions and reporting.
@@ -161,6 +242,16 @@ pub struct FaultStats {
     pub slow_node_delays: AtomicU64,
     /// Operations that passed through unharmed.
     pub clean_ops: AtomicU64,
+    /// Connections aborted mid-response (wire).
+    pub wire_rsts: AtomicU64,
+    /// Responses cut to a prefix followed by a stall (wire).
+    pub wire_partials: AtomicU64,
+    /// Requests read one byte at a time (wire).
+    pub wire_slowloris: AtomicU64,
+    /// Response frames corrupted (wire).
+    pub wire_garbage: AtomicU64,
+    /// Connections half-closed before the response (wire).
+    pub wire_half_closes: AtomicU64,
 }
 
 /// Point-in-time copy of [`FaultStats`].
@@ -178,13 +269,29 @@ pub struct FaultStatsSnapshot {
     pub slow_node_delays: u64,
     /// Operations that passed through unharmed.
     pub clean_ops: u64,
+    /// Connections aborted mid-response (wire).
+    pub wire_rsts: u64,
+    /// Responses cut to a prefix followed by a stall (wire).
+    pub wire_partials: u64,
+    /// Requests read one byte at a time (wire).
+    pub wire_slowloris: u64,
+    /// Response frames corrupted (wire).
+    pub wire_garbage: u64,
+    /// Connections half-closed before the response (wire).
+    pub wire_half_closes: u64,
 }
 
 impl FaultStatsSnapshot {
     /// Total faults of every class.
     pub fn total_faults(&self) -> u64 {
         self.errors + self.truncations + self.stalls + self.down_rejections
-            + self.slow_node_delays
+            + self.slow_node_delays + self.total_wire_faults()
+    }
+
+    /// Total wire-level faults across every class.
+    pub fn total_wire_faults(&self) -> u64 {
+        self.wire_rsts + self.wire_partials + self.wire_slowloris + self.wire_garbage
+            + self.wire_half_closes
     }
 }
 
@@ -199,6 +306,23 @@ enum Fault {
     SlowNode,
 }
 
+/// What the injector decided for one wire-level exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Serve the exchange cleanly.
+    None,
+    /// Abort the connection after a prefix of the response.
+    Rst,
+    /// Write a response prefix, then stall until the peer gives up.
+    Partial,
+    /// Read the request one byte at a time with a delay per byte.
+    Slowloris,
+    /// Corrupt the response frame.
+    Garbage,
+    /// Close the write side before the response.
+    HalfClose,
+}
+
 /// Shared fault decision engine: one per cluster, consulted by every
 /// [`ChaosBackend`].
 #[derive(Debug)]
@@ -207,6 +331,12 @@ pub struct FaultInjector {
     rng: Mutex<XorShift64>,
     ops: AtomicU64,
     consecutive: Mutex<u32>,
+    /// Wire faults track their own consecutive run: backend ops interleave
+    /// with exchanges (a clean backend read would reset a shared counter
+    /// mid-run), and the transport retry's progress guarantee — "after
+    /// `max_consecutive` wire faults the next exchange is clean" — must
+    /// hold regardless of what the storage layer is doing.
+    wire_consecutive: Mutex<u32>,
     stats: FaultStats,
 }
 
@@ -219,6 +349,7 @@ impl FaultInjector {
             rng: Mutex::new(rng),
             ops: AtomicU64::new(0),
             consecutive: Mutex::new(0),
+            wire_consecutive: Mutex::new(0),
             stats: FaultStats::default(),
         })
     }
@@ -237,6 +368,11 @@ impl FaultInjector {
             down_rejections: self.stats.down_rejections.load(Ordering::Relaxed),
             slow_node_delays: self.stats.slow_node_delays.load(Ordering::Relaxed),
             clean_ops: self.stats.clean_ops.load(Ordering::Relaxed),
+            wire_rsts: self.stats.wire_rsts.load(Ordering::Relaxed),
+            wire_partials: self.stats.wire_partials.load(Ordering::Relaxed),
+            wire_slowloris: self.stats.wire_slowloris.load(Ordering::Relaxed),
+            wire_garbage: self.stats.wire_garbage.load(Ordering::Relaxed),
+            wire_half_closes: self.stats.wire_half_closes.load(Ordering::Relaxed),
         }
     }
 
@@ -299,6 +435,59 @@ impl FaultInjector {
         *consecutive = 0;
         self.stats.clean_ops.fetch_add(1, Ordering::Relaxed);
         Fault::None
+    }
+
+    /// Decide the fate of one wire-level exchange (request/response pair on
+    /// a TCP connection). Applies the `max_consecutive` cap over its own
+    /// run of exchanges, so transport retries are guaranteed to make
+    /// progress as long as the retry budget exceeds the cap. Slowloris
+    /// delays but never fails, so — like stalls — it does not consume the
+    /// consecutive budget.
+    pub fn decide_wire(&self) -> WireFault {
+        if !self.plan.wire.any() {
+            return WireFault::None;
+        }
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        let mut consecutive = self.wire_consecutive.lock();
+        if *consecutive >= self.plan.max_consecutive {
+            *consecutive = 0;
+            self.stats.clean_ops.fetch_add(1, Ordering::Relaxed);
+            return WireFault::None;
+        }
+        let roll = self.rng.lock().next_f64();
+        let wire = &self.plan.wire;
+        let mut threshold = wire.rst_rate;
+        if roll < threshold {
+            *consecutive += 1;
+            self.stats.wire_rsts.fetch_add(1, Ordering::Relaxed);
+            return WireFault::Rst;
+        }
+        threshold += wire.partial_rate;
+        if roll < threshold {
+            *consecutive += 1;
+            self.stats.wire_partials.fetch_add(1, Ordering::Relaxed);
+            return WireFault::Partial;
+        }
+        threshold += wire.slowloris_rate;
+        if roll < threshold {
+            self.stats.wire_slowloris.fetch_add(1, Ordering::Relaxed);
+            return WireFault::Slowloris;
+        }
+        threshold += wire.garbage_rate;
+        if roll < threshold {
+            *consecutive += 1;
+            self.stats.wire_garbage.fetch_add(1, Ordering::Relaxed);
+            return WireFault::Garbage;
+        }
+        threshold += wire.half_close_rate;
+        if roll < threshold {
+            *consecutive += 1;
+            self.stats.wire_half_closes.fetch_add(1, Ordering::Relaxed);
+            return WireFault::HalfClose;
+        }
+        *consecutive = 0;
+        self.stats.clean_ops.fetch_add(1, Ordering::Relaxed);
+        WireFault::None
     }
 }
 

@@ -21,6 +21,10 @@
 //!   per-node down windows and slow-node latency skew for the chaos suite.
 //! * Per-node **health tracking** ([`health`]): the closed → open →
 //!   half-open circuit breaker the proxies consult before replica reads.
+//! * A real **TCP data plane** ([`net`]): an HTTP/1.1 server in front of
+//!   the proxies plus a pooled keep-alive client transport, with wire-level
+//!   chaos (RST, partial writes, slowloris, garbage frames, half-close)
+//!   injected at the socket boundary.
 //!
 //! The top-level entry point is [`swift::SwiftCluster`], which assembles the
 //! tiers exactly like the paper's testbed (6 proxies, 29 object servers, 10
@@ -32,6 +36,7 @@ pub mod fault;
 pub mod health;
 pub mod hedge;
 pub mod middleware;
+pub mod net;
 pub mod objserver;
 pub mod path;
 pub mod proxy;
@@ -41,9 +46,11 @@ pub mod ring;
 pub mod swift;
 
 pub use fault::{
-    ChaosBackend, DownWindow, FaultInjector, FaultPlan, FaultStatsSnapshot, SlowNode,
+    ChaosBackend, DownWindow, FaultInjector, FaultPlan, FaultStatsSnapshot, SlowNode, WireFault,
+    WireFaults,
 };
 pub use health::{BreakerConfig, NodeHealth};
+pub use net::{HttpPool, NetHandle, NetOptions, PoolConfig};
 pub use path::ObjectPath;
 pub use request::{Method, Request, Response};
 pub use ring::{DeviceId, Ring, RingBuilder};

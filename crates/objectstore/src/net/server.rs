@@ -1,0 +1,438 @@
+//! The HTTP/1.1-over-TCP front end of the proxy tier.
+//!
+//! [`NetServer::serve`] binds a loopback listener in front of a set of
+//! [`ProxyServer`]s and spawns an accept loop plus a fixed worker pool.
+//! Each worker owns one connection at a time and runs its keep-alive loop:
+//! decode a request frame, dispatch it through the round-robin proxy choice
+//! (the same "HAProxy stand-in" rule as the in-process path), stream the
+//! response back chunked. Timeouts:
+//!
+//! * every socket gets a read/write timeout at accept time (no raw
+//!   `TcpStream` read ever blocks forever — `scoop-lint` invariant 5);
+//! * a *total header time* guard bounds the whole head read, so a
+//!   slowloris peer dribbling one byte per second cannot hold a worker by
+//!   keeping each individual read under the per-read timeout;
+//! * per-request write timeouts are tightened to the request's propagated
+//!   [`scoop_common::Deadline`] budget, so a server never keeps pushing bytes for a query
+//!   whose budget is already gone.
+//!
+//! Wire faults from the cluster's [`crate::fault::FaultInjector`] are applied here, at
+//! the socket boundary, via [`FaultWriter`] — the proxy and object servers
+//! underneath are untouched, exactly as a real network fault would behave.
+
+use crate::fault::{FaultInjector, WireFault};
+use crate::net::chaos::FaultWriter;
+use crate::net::wire;
+use crate::proxy::{ContainerService, ProxyServer};
+use crate::request::{Headers, Method, Response};
+use bytes::Bytes;
+use scoop_common::telemetry::{self, names};
+use scoop_common::{headers, Result, ScoopError};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of the TCP front end.
+#[derive(Debug, Clone)]
+pub struct NetOptions {
+    /// Worker threads; each owns one live connection at a time.
+    pub workers: usize,
+    /// Per-read/-write socket timeout (the hard floor under every stall).
+    pub io_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests.
+    pub idle_timeout: Duration,
+    /// Total time budget for reading one request head (slowloris guard).
+    pub header_timeout: Duration,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            workers: 32,
+            io_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(5),
+            header_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A running TCP front end. Dropping the handle shuts the listener and
+/// worker pool down.
+pub struct NetHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl NetHandle {
+    /// The bound loopback address clients dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for NetHandle {
+    // lint:allow(wake-up dial only: the stream is dropped unread, so no read can block)
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway dial so it observes the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The TCP data-plane server: everything a worker needs to serve requests.
+pub struct NetServer {
+    proxies: Vec<Arc<ProxyServer>>,
+    containers: Arc<ContainerService>,
+    fault: Option<Arc<FaultInjector>>,
+    opts: NetOptions,
+    next_proxy: AtomicUsize,
+}
+
+impl NetServer {
+    /// Bind a loopback listener and start the accept loop + worker pool.
+    pub fn serve(
+        proxies: Vec<Arc<ProxyServer>>,
+        containers: Arc<ContainerService>,
+        fault: Option<Arc<FaultInjector>>,
+        opts: NetOptions,
+    ) -> Result<NetHandle> {
+        if proxies.is_empty() {
+            return Err(ScoopError::InvalidRequest("cannot serve zero proxies".into()));
+        }
+        let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(ScoopError::Io)?;
+        let addr = listener.local_addr().map_err(ScoopError::Io)?;
+        let server = Arc::new(NetServer {
+            proxies,
+            containers,
+            fault,
+            opts: opts.clone(),
+            next_proxy: AtomicUsize::new(0),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(opts.workers.max(1));
+        for _ in 0..opts.workers.max(1) {
+            let server = server.clone();
+            let rx = rx.clone();
+            workers.push(std::thread::spawn(move || loop {
+                // Lock only for the recv handoff, never while serving.
+                let conn = match rx.lock() {
+                    Ok(guard) => guard.recv(),
+                    Err(_) => return,
+                };
+                match conn {
+                    Ok(stream) => server.handle_connection(stream),
+                    Err(_) => return, // channel closed: shutdown
+                }
+            }));
+        }
+
+        let accept_shutdown = shutdown.clone();
+        let io_timeout = opts.io_timeout;
+        let accept_thread = std::thread::spawn(move || {
+            let accepted = telemetry::counter(names::NET_SERVER_CONNECTIONS);
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    return; // tx drops here; workers drain and exit
+                }
+                let Ok(stream) = stream else { continue };
+                // Every accepted socket is bounded before its first read:
+                // a peer that stops sending costs at most io_timeout per
+                // read, never a hung worker.
+                if stream.set_read_timeout(Some(io_timeout)).is_err()
+                    || stream.set_write_timeout(Some(io_timeout)).is_err()
+                {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                accepted.inc();
+                if tx.send(stream).is_err() {
+                    return;
+                }
+            }
+        });
+
+        Ok(NetHandle { addr, shutdown, accept_thread: Some(accept_thread), workers })
+    }
+
+    fn pick_proxy(&self) -> Arc<ProxyServer> {
+        let i = self.next_proxy.fetch_add(1, Ordering::Relaxed) % self.proxies.len();
+        self.proxies.get(i).cloned().unwrap_or_else(|| {
+            // Unreachable (serve() rejects empty proxy sets); index 0 exists.
+            self.proxies[0].clone() // lint:allow(guarded by serve() precondition)
+        })
+    }
+
+    /// Serve one connection's keep-alive loop until close/fault/idle.
+    fn handle_connection(&self, stream: TcpStream) {
+        let requests = telemetry::counter(names::NET_SERVER_REQUESTS);
+        let wire_faults = telemetry::counter(names::NET_WIRE_FAULTS);
+        let Ok(write_half) = stream.try_clone() else { return };
+        let mut reader = wire::FrameReader::new(PacedStream::new(stream));
+        loop {
+            // Wait for the first byte of the next request *before* deciding
+            // this exchange's wire fault. An idle keep-alive connection must
+            // not consume slots in the deterministic fault sequence — the
+            // consecutive-fault cap's progress guarantee ("after N faults
+            // the next exchange is clean") only holds if decisions map 1:1
+            // to real exchanges. Pipelined requests are already buffered,
+            // so only a drained reader needs to wait on the socket.
+            if reader.is_drained()
+                && !matches!(
+                    reader.inner_mut().wait_for_request(self.opts.idle_timeout),
+                    Ok(true)
+                )
+            {
+                break; // peer closed, or sat idle past the window
+            }
+            // Arm the per-exchange wire fault: slowloris acts on the read
+            // path, everything else on the write path of this exchange.
+            let fault = self
+                .fault
+                .as_ref()
+                .map(|f| f.decide_wire())
+                .unwrap_or(WireFault::None);
+            if fault != WireFault::None {
+                wire_faults.inc();
+            }
+            let stall = self
+                .fault
+                .as_ref()
+                .map(|f| f.plan().wire.partial_stall)
+                .unwrap_or_default();
+            let dribble = match fault {
+                WireFault::Slowloris => {
+                    self.fault.as_ref().map(|f| f.plan().wire.slowloris_delay)
+                }
+                _ => None,
+            };
+            // Total-header-time guard: the budget covers the whole head
+            // read, so a peer dribbling bytes under the per-read timeout
+            // still gets cut off. The first byte is already waiting, so the
+            // clock starts now.
+            reader.inner_mut().arm(self.opts.header_timeout, dribble);
+            let head = match reader.read_head() {
+                Ok(Some(head)) => head,
+                Ok(None) => break,  // peer closed between requests
+                Err(_) => break,    // malformed/timed out head: hang up
+            };
+            reader.inner_mut().disarm(self.opts.io_timeout);
+            requests.inc();
+
+            // An Err means the write side failed mid-response: hang up.
+            let keep_alive = self
+                .serve_exchange(&write_half, &mut reader, head, fault, stall)
+                .unwrap_or(false);
+            if !keep_alive {
+                break;
+            }
+        }
+        let _ = write_half.shutdown(Shutdown::Both);
+    }
+
+    /// Decode one request, dispatch it, write the response through the
+    /// armed fault. Returns whether the connection stays usable.
+    fn serve_exchange(
+        &self,
+        write_half: &TcpStream,
+        reader: &mut wire::FrameReader<PacedStream>,
+        head: wire::Head,
+        fault: WireFault,
+        stall: Duration,
+    ) -> Result<bool> {
+        let framing = wire::FrameReader::<PacedStream>::body_framing(&head)?;
+        let wire::StartLine::Request { method, target } = head.start else {
+            return Ok(false); // a response frame on the server side: hang up
+        };
+        let body = match framing {
+            wire::BodyFraming::ContentLength(n) => Some(reader.read_exact_body(n)?),
+            wire::BodyFraming::None => None,
+            wire::BodyFraming::Chunked => {
+                // Request bodies are always content-length framed by our
+                // encoder; chunked requests are not part of the protocol.
+                return Ok(false);
+            }
+        };
+
+        let outcome = self.dispatch(method, &target, head.headers, body, write_half);
+        let mut out = FaultWriter::new(write_half, fault, stall);
+        let clean = match outcome {
+            Ok(resp) => write_response(&mut out, resp).is_ok(),
+            Err(err) => write_error(&mut out, &err).is_ok(),
+        };
+        // A fired write fault or a mid-stream body error leaves the peer
+        // mid-frame: the connection must die, not serve another exchange.
+        Ok(clean && !out.poisoned())
+    }
+
+    /// Route a decoded request to the proxy tier / container service.
+    fn dispatch(
+        &self,
+        method: Method,
+        target: &str,
+        mut headers_map: Headers,
+        body: Option<Bytes>,
+        write_half: &TcpStream,
+    ) -> Result<Response> {
+        match wire::decode_target(target)? {
+            wire::Target::Info => {
+                if method != Method::Get {
+                    return Err(ScoopError::InvalidRequest("info endpoint is GET-only".into()));
+                }
+                Ok(self.pick_proxy().info())
+            }
+            wire::Target::Container { account, container } => {
+                let prefix = headers_map.remove(headers::LIST_PREFIX);
+                match method {
+                    Method::Put => {
+                        self.containers.create_container(&account, &container);
+                        Ok(Response::created())
+                    }
+                    Method::Get => {
+                        let records =
+                            self.containers.list_objects(&account, &container, prefix.as_deref())?;
+                        let listing = wire::encode_listing(&records);
+                        Ok(Response::ok(scoop_common::stream::once(Bytes::from(listing))))
+                    }
+                    _ => Err(ScoopError::InvalidRequest(format!(
+                        "unsupported container method {}",
+                        wire::method_name(method)
+                    ))),
+                }
+            }
+            wire::Target::Object(path) => {
+                let req = wire::request_from_parts(method, path, headers_map, body)?;
+                // Derive this connection's write window from the propagated
+                // budget: pushing bytes past the query's deadline is wasted
+                // work on both ends.
+                let window = match req.deadline.remaining() {
+                    Some(rem) if rem.is_zero() => {
+                        return Err(ScoopError::DeadlineExceeded(format!(
+                            "server received {} {} with exhausted budget",
+                            wire::method_name(method),
+                            req.path
+                        )))
+                    }
+                    Some(rem) => rem.min(self.opts.io_timeout),
+                    None => self.opts.io_timeout,
+                };
+                let _ = write_half.set_write_timeout(Some(window.max(Duration::from_millis(1))));
+                let resp = self.pick_proxy().handle(req);
+                let _ = write_half.set_write_timeout(Some(self.opts.io_timeout));
+                resp
+            }
+        }
+    }
+}
+
+/// Stream the response out chunked. A body-stream error mid-flight can no
+/// longer change the status line (the head already went out) — it finishes
+/// the frame with an error *trailer* instead, so the client rebuilds the
+/// exact error (a length-enforcement "truncated" error must not flatten
+/// into a generic aborted frame). The connection still closes afterwards:
+/// a stream that died mid-body is not a peer to keep.
+fn write_response(out: &mut impl Write, resp: Response) -> std::io::Result<()> {
+    let head = wire::encode_response_head(resp.status, &resp.headers)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    out.write_all(&head)?;
+    for chunk in resp.body {
+        match chunk {
+            Ok(data) => wire::write_chunk(out, &data)?,
+            Err(err) => {
+                wire::finish_chunks_with_error(out, &err)?;
+                out.flush()?;
+                return Err(std::io::Error::other("body stream failed mid-response"));
+            }
+        }
+    }
+    wire::finish_chunks(out)?;
+    out.flush()
+}
+
+/// Carry an error across the wire: status by kind, the exact kind in
+/// `x-scoop-error`, the message as the body.
+fn write_error(out: &mut impl Write, err: &ScoopError) -> std::io::Result<()> {
+    let mut headers_map = Headers::new();
+    headers_map.set(headers::ERROR_KIND, err.kind());
+    let head = wire::encode_response_head(wire::status_for_kind(err.kind()), &headers_map)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    out.write_all(&head)?;
+    wire::write_chunk(out, err.to_string().as_bytes())?;
+    wire::finish_chunks(out)?;
+    out.flush()
+}
+
+/// The server's read side: a [`TcpStream`] with (a) an optional total-time
+/// guard over the header phase and (b) an optional slowloris dribble that
+/// delivers one byte per delay, simulating a byte-at-a-time peer.
+pub struct PacedStream {
+    inner: TcpStream,
+    /// Wall-clock cutoff for the current header phase.
+    header_cutoff: Option<Instant>,
+    dribble: Option<Duration>,
+}
+
+impl PacedStream {
+    fn new(inner: TcpStream) -> Self {
+        PacedStream { inner, header_cutoff: None, dribble: None }
+    }
+
+    /// Block until the next request's first byte is waiting (`Ok(true)`),
+    /// the peer closed (`Ok(false)`), or the idle window lapsed (`Err`).
+    /// The byte stays in the kernel buffer for the real head read.
+    fn wait_for_request(&mut self, idle_timeout: Duration) -> std::io::Result<bool> {
+        self.inner.set_read_timeout(Some(idle_timeout))?;
+        let mut probe = [0u8; 1];
+        Ok(self.inner.peek(&mut probe)? > 0)
+    }
+
+    /// Enter the header phase: the total-time clock starts immediately
+    /// (the first byte is already waiting when this is called).
+    fn arm(&mut self, header_timeout: Duration, dribble: Option<Duration>) {
+        self.header_cutoff = Some(Instant::now() + header_timeout);
+        self.dribble = dribble;
+        let _ = self.inner.set_read_timeout(Some(header_timeout));
+    }
+
+    /// Leave the header phase; body reads run under the plain io timeout.
+    fn disarm(&mut self, io_timeout: Duration) {
+        self.header_cutoff = None;
+        self.dribble = None;
+        let _ = self.inner.set_read_timeout(Some(io_timeout));
+    }
+}
+
+impl Read for PacedStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if let Some(cutoff) = self.header_cutoff {
+            if Instant::now() >= cutoff {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "request head exceeded total header time",
+                ));
+            }
+        }
+        match self.dribble {
+            Some(delay) => {
+                // One byte per delay: the injected slowloris peer.
+                std::thread::sleep(delay);
+                let end = buf.len().min(1);
+                self.inner.read(buf.get_mut(..end).unwrap_or_default())
+            }
+            None => self.inner.read(buf),
+        }
+    }
+}

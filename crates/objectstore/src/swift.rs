@@ -11,11 +11,12 @@ use crate::backend::{DiskBackend, MemBackend, StorageBackend};
 use crate::fault::{ChaosBackend, FaultInjector, FaultPlan, FaultStatsSnapshot};
 use crate::health::{BreakerConfig, NodeHealth};
 use crate::middleware::Pipeline;
+use crate::net::{wire, HttpPool, NetHandle, NetOptions, NetServer, PoolConfig};
 use crate::objserver::{ObjectServer, UPLOAD_TOKEN_HEADER};
 use crate::path::ObjectPath;
 use crate::proxy::{ContainerService, ObjectRecord, ProxyServer};
 use crate::replication::{RepairReport, Replicator};
-use crate::request::{Request, Response};
+use crate::request::{ByteRange, Headers, Method, Request, Response};
 use crate::ring::{DeviceId, Ring, RingBuilder};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
@@ -116,6 +117,9 @@ pub struct SwiftCluster {
     next_proxy: AtomicUsize,
     fault_injector: Option<Arc<FaultInjector>>,
     health: Option<Arc<NodeHealth>>,
+    /// Lazily-started TCP front end (one per cluster, shared by every
+    /// TCP-transport client); shut down when the cluster drops.
+    net: Mutex<Option<Arc<NetHandle>>>,
 }
 
 impl SwiftCluster {
@@ -189,7 +193,26 @@ impl SwiftCluster {
             next_proxy: AtomicUsize::new(0),
             fault_injector,
             health,
+            net: Mutex::new(None),
         }))
+    }
+
+    /// Start (or fetch) the cluster's TCP front end. Idempotent: the first
+    /// call binds a loopback listener in front of the proxies; later calls
+    /// (regardless of options) return the same handle.
+    pub fn serve_net(&self, opts: NetOptions) -> Result<Arc<NetHandle>> {
+        let mut guard = self.net.lock();
+        if let Some(h) = guard.as_ref() {
+            return Ok(h.clone());
+        }
+        let handle = Arc::new(NetServer::serve(
+            self.proxies.clone(),
+            self.containers.clone(),
+            self.fault_injector.clone(),
+            opts,
+        )?);
+        *guard = Some(handle.clone());
+        Ok(handle)
     }
 
     /// The chaos injector, when the cluster was built with a fault plan.
@@ -357,6 +380,15 @@ impl std::fmt::Debug for SwiftCluster {
     }
 }
 
+/// How a [`SwiftClient`] reaches the proxy tier.
+#[derive(Clone)]
+enum Transport {
+    /// Direct in-process calls (the historical path; zero framing).
+    InProcess,
+    /// Real HTTP/1.1 frames over pooled loopback TCP connections.
+    Tcp(Arc<HttpPool>),
+}
+
 /// A client session bound to an account.
 #[derive(Clone)]
 pub struct SwiftClient {
@@ -371,6 +403,7 @@ pub struct SwiftClient {
     /// Registry mirror of `retries` (registered at assembly so a snapshot
     /// always carries the metric, even before the first retry).
     retries_global: telemetry::Counter,
+    transport: Transport,
 }
 
 /// Process-wide upload counter: tokens must be unique across every client
@@ -380,6 +413,18 @@ static NEXT_UPLOAD_ID: AtomicU64 = AtomicU64::new(0);
 
 impl SwiftClient {
     fn assemble(cluster: Arc<SwiftCluster>, account: &str, token: Option<String>) -> SwiftClient {
+        // `SCOOP_TRANSPORT=tcp` flips every client onto the TCP data plane,
+        // so the existing e2e suites run unmodified over real sockets. A
+        // failed listener bind falls back to in-process rather than
+        // panicking inside test setup.
+        let transport = if std::env::var("SCOOP_TRANSPORT").map(|v| v == "tcp").unwrap_or(false) {
+            match cluster.serve_net(NetOptions::default()) {
+                Ok(h) => Transport::Tcp(HttpPool::new(h.addr(), PoolConfig::default())),
+                Err(_) => Transport::InProcess,
+            }
+        } else {
+            Transport::InProcess
+        };
         SwiftClient {
             cluster,
             account: account.to_string(),
@@ -389,6 +434,41 @@ impl SwiftClient {
             deadline: Arc::new(Mutex::new(Deadline::none())),
             trace: Arc::new(Mutex::new(None)),
             retries_global: telemetry::counter(names::CLIENT_RETRIES),
+            transport,
+        }
+    }
+
+    /// Builder: switch this client onto the TCP data plane with default
+    /// server/pool options, starting the cluster's front end if needed.
+    pub fn over_tcp(self) -> Result<SwiftClient> {
+        self.over_tcp_with(NetOptions::default(), PoolConfig::default())
+    }
+
+    /// Builder: TCP transport with explicit server options and pool config.
+    pub fn over_tcp_with(mut self, opts: NetOptions, cfg: PoolConfig) -> Result<SwiftClient> {
+        let handle = self.cluster.serve_net(opts)?;
+        self.transport = Transport::Tcp(HttpPool::new(handle.addr(), cfg));
+        Ok(self)
+    }
+
+    /// True when requests ride real sockets.
+    pub fn is_tcp(&self) -> bool {
+        matches!(self.transport, Transport::Tcp(_))
+    }
+
+    /// The connection pool behind the TCP transport, for tests and reports.
+    pub fn transport_pool(&self) -> Option<&Arc<HttpPool>> {
+        match &self.transport {
+            Transport::Tcp(pool) => Some(pool),
+            Transport::InProcess => None,
+        }
+    }
+
+    /// One request/response exchange over whichever transport is in force.
+    fn dispatch(&self, req: Request) -> Result<Response> {
+        match &self.transport {
+            Transport::InProcess => self.cluster.handle(req),
+            Transport::Tcp(pool) => pool.send(&req),
         }
     }
 
@@ -463,7 +543,7 @@ impl SwiftClient {
         let mut rng = scoop_common::rng::XorShift64::new(self.retry.seed);
         let mut attempt = 0u32;
         loop {
-            match self.cluster.handle(req.clone()) {
+            match self.dispatch(req.clone()) {
                 Ok(resp) => return Ok(resp),
                 Err(e)
                     if e.is_retryable()
@@ -480,9 +560,74 @@ impl SwiftClient {
         }
     }
 
+    /// Stamp auth token and trace on a raw (non-object) request's headers.
+    fn raw_headers(&self) -> Headers {
+        let mut h = Headers::new();
+        if let Some(tok) = &self.token {
+            h.set(scoop_common::headers::AUTH_TOKEN, tok.clone());
+        }
+        if let Some(t) = self.trace.lock().as_ref() {
+            h.set(scoop_common::headers::TRACE, t.clone());
+        }
+        h
+    }
+
+    /// One raw (non-object) exchange under the client's retry policy.
+    /// Container creates and listings are idempotent, so re-dispatch after
+    /// a retryable wire failure is always safe.
+    fn raw_retrying(
+        &self,
+        pool: &Arc<HttpPool>,
+        method: Method,
+        target: &str,
+        headers: Headers,
+    ) -> Result<(u16, Headers, bytes::Bytes)> {
+        let deadline = *self.deadline.lock();
+        deadline.check("raw dispatch")?;
+        let mut rng = scoop_common::rng::XorShift64::new(self.retry.seed);
+        let mut attempt = 0u32;
+        loop {
+            match pool.send_raw(method, target, headers.clone(), deadline) {
+                Ok(out) => return Ok(out),
+                Err(e)
+                    if e.is_retryable()
+                        && attempt + 1 < self.retry.max_attempts
+                        && !deadline.expired() =>
+                {
+                    std::thread::sleep(deadline.clamp_sleep(self.retry.backoff(attempt, &mut rng)));
+                    attempt += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    self.retries_global.inc();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Create a container.
-    pub fn create_container(&self, container: &str) {
-        self.cluster.containers.create_container(&self.account, container);
+    pub fn create_container(&self, container: &str) -> Result<()> {
+        match &self.transport {
+            Transport::InProcess => {
+                self.cluster.containers.create_container(&self.account, container);
+                Ok(())
+            }
+            Transport::Tcp(pool) => {
+                let target = format!(
+                    "/{}/{}",
+                    wire::encode_segment(&self.account),
+                    wire::encode_segment(container)
+                );
+                let (status, _, _) =
+                    self.raw_retrying(pool, Method::Put, &target, self.raw_headers())?;
+                if status == 201 {
+                    Ok(())
+                } else {
+                    Err(ScoopError::Internal(format!(
+                        "container create answered unexpected status {status}"
+                    )))
+                }
+            }
+        }
     }
 
     /// Store an object. Each upload carries a unique idempotency token, so a
@@ -508,9 +653,22 @@ impl SwiftClient {
 
     /// `GET /info`: the telemetry snapshot served by whichever proxy the
     /// load balancer picks — the Swift recon/info analogue, no auth (the
-    /// snapshot carries operational counters, not object data).
+    /// snapshot carries operational counters, not object data). On the TCP
+    /// transport a wire failure degrades to `503` rather than erroring: the
+    /// snapshot is best-effort operational data.
     pub fn info(&self) -> Response {
-        self.cluster.next_proxy().info()
+        match &self.transport {
+            Transport::InProcess => self.cluster.next_proxy().info(),
+            Transport::Tcp(pool) => {
+                match pool.send_raw(Method::Get, "/info", self.raw_headers(), *self.deadline.lock())
+                {
+                    Ok((status, headers, body)) => {
+                        wire::response_from_parts(status, headers, body)
+                    }
+                    Err(_) => Response::unavailable(),
+                }
+            }
+        }
     }
 
     /// Object metadata.
@@ -521,9 +679,90 @@ impl SwiftClient {
 
     /// Container listing.
     pub fn list(&self, container: &str, prefix: Option<&str>) -> Result<Vec<ObjectRecord>> {
-        self.cluster
-            .containers
-            .list_objects(&self.account, container, prefix)
+        match &self.transport {
+            Transport::InProcess => {
+                self.cluster.containers.list_objects(&self.account, container, prefix)
+            }
+            Transport::Tcp(pool) => {
+                let target = format!(
+                    "/{}/{}",
+                    wire::encode_segment(&self.account),
+                    wire::encode_segment(container)
+                );
+                let mut headers = self.raw_headers();
+                if let Some(p) = prefix {
+                    headers.set(scoop_common::headers::LIST_PREFIX, p.to_string());
+                }
+                let (_, _, body) = self.raw_retrying(pool, Method::Get, &target, headers)?;
+                wire::decode_listing(&body)
+            }
+        }
+    }
+
+    /// Fetch several byte ranges of one object. Over TCP the batch is
+    /// *pipelined*: every GET frame is written back-to-back on one pooled
+    /// connection and the responses are read in order — one round trip of
+    /// latency for the whole batch. In-process the ranges dispatch
+    /// sequentially (there is no wire to amortize). Retryable wire failures
+    /// re-dispatch the whole batch under the client's [`RetryPolicy`]
+    /// (GETs are idempotent, so a replayed batch is safe).
+    pub fn get_ranges(
+        &self,
+        container: &str,
+        object: &str,
+        ranges: &[ByteRange],
+    ) -> Result<Vec<Response>> {
+        let path = ObjectPath::new(self.account.clone(), container, object)?;
+        match &self.transport {
+            Transport::InProcess => ranges
+                .iter()
+                .map(|r| self.request(Request::get(path.clone()).with_range(*r)))
+                .collect(),
+            Transport::Tcp(pool) => {
+                let deadline = *self.deadline.lock();
+                deadline.check("pipelined dispatch")?;
+                let trace = self.trace.lock().clone();
+                let _span = telemetry::span(
+                    trace.as_deref(),
+                    "client",
+                    format!("pipelined GET x{} {}", ranges.len(), path.ring_key()),
+                );
+                let reqs: Vec<Request> = ranges
+                    .iter()
+                    .map(|r| {
+                        let mut req =
+                            Request::get(path.clone()).with_range(*r).with_deadline(deadline);
+                        if let Some(tok) = &self.token {
+                            req.headers.set(scoop_common::headers::AUTH_TOKEN, tok.clone());
+                        }
+                        if let Some(t) = &trace {
+                            req.headers.set(scoop_common::headers::TRACE, t.clone());
+                        }
+                        req
+                    })
+                    .collect();
+                let mut rng = scoop_common::rng::XorShift64::new(self.retry.seed);
+                let mut attempt = 0u32;
+                loop {
+                    match pool.send_pipelined(&reqs) {
+                        Ok(responses) => return Ok(responses),
+                        Err(e)
+                            if e.is_retryable()
+                                && attempt + 1 < self.retry.max_attempts
+                                && !deadline.expired() =>
+                        {
+                            std::thread::sleep(
+                                deadline.clamp_sleep(self.retry.backoff(attempt, &mut rng)),
+                            );
+                            attempt += 1;
+                            self.retries.fetch_add(1, Ordering::Relaxed);
+                            self.retries_global.inc();
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -535,7 +774,7 @@ mod tests {
     fn default_cluster_end_to_end() {
         let cluster = SwiftCluster::new(SwiftConfig::default()).unwrap();
         let client = cluster.anonymous_client("AUTH_gp");
-        client.create_container("meters");
+        client.create_container("meters").unwrap();
         client
             .put_object("meters", "a.csv", Bytes::from_static(b"x,y\n1,2\n"))
             .unwrap();
@@ -558,7 +797,7 @@ mod tests {
         cluster.auth().register_user("AUTH_gp", "analyst", "pw");
         assert!(cluster.client("AUTH_gp", "analyst", "bad").is_err());
         let client = cluster.client("AUTH_gp", "analyst", "pw").unwrap();
-        client.create_container("c");
+        client.create_container("c").unwrap();
         client.put_object("c", "o", Bytes::from_static(b"d")).unwrap();
         assert_eq!(
             client.get_object("c", "o").unwrap().read_body().unwrap(),
@@ -585,7 +824,7 @@ mod tests {
     fn survives_node_failure_and_repairs() {
         let cluster = SwiftCluster::new(SwiftConfig::default()).unwrap();
         let client = cluster.anonymous_client("a");
-        client.create_container("c");
+        client.create_container("c").unwrap();
         for i in 0..25 {
             client
                 .put_object("c", &format!("o{i}"), Bytes::from(vec![b'z'; 100]))
@@ -618,7 +857,7 @@ mod tests {
         // instead of failing over to the replicas that hold the object.
         let cluster = SwiftCluster::new(SwiftConfig::default()).unwrap();
         let client = cluster.anonymous_client("a");
-        client.create_container("c");
+        client.create_container("c").unwrap();
         for node in 0..4 {
             cluster.set_server_down(node, true).unwrap();
             client
@@ -659,7 +898,7 @@ mod tests {
         })
         .unwrap();
         let client = cluster.anonymous_client("a");
-        client.create_container("c");
+        client.create_container("c").unwrap();
         for i in 0..20 {
             client
                 .put_object("c", &format!("o{i}"), Bytes::from(vec![b'x'; 32]))
@@ -703,7 +942,7 @@ mod tests {
         })
         .unwrap();
         let client = cluster.anonymous_client("a");
-        client.create_container("c");
+        client.create_container("c").unwrap();
         client.put_object("c", "o.csv", Bytes::from_static(b"hedged")).unwrap();
         let body = client.get_object("c", "o.csv").unwrap().read_body().unwrap();
         assert_eq!(body, "hedged");
@@ -725,7 +964,7 @@ mod tests {
         })
         .unwrap();
         let client = cluster.anonymous_client("a");
-        client.create_container("c");
+        client.create_container("c").unwrap();
         client
             .put_object("c", "o.csv", Bytes::from_static(b"persisted"))
             .unwrap();

@@ -46,7 +46,7 @@ fn chaos_cluster(plan: Option<FaultPlan>) -> (Arc<SwiftCluster>, SwiftClient) {
     let client = cluster
         .anonymous_client("AUTH_chaos")
         .with_retry(RetryPolicy::default());
-    client.create_container("data");
+    client.create_container("data").unwrap();
     for i in 0..N_OBJECTS {
         client
             .put_object("data", &format!("o{i}"), payload(i))

@@ -375,7 +375,7 @@ mod tests {
     fn get_pushdown_at_object_stage() {
         let (cluster, engine, _) = cluster_with_storlets();
         let client = cluster.anonymous_client("AUTH_gp");
-        client.create_container("meters");
+        client.create_container("meters").unwrap();
         client
             .put_object("meters", "jan.csv", Bytes::from_static(DATA))
             .unwrap();
@@ -393,7 +393,7 @@ mod tests {
     fn get_pushdown_at_proxy_stage() {
         let (cluster, engine, _) = cluster_with_storlets();
         let client = cluster.anonymous_client("AUTH_gp");
-        client.create_container("meters");
+        client.create_container("meters").unwrap();
         client
             .put_object("meters", "jan.csv", Bytes::from_static(DATA))
             .unwrap();
@@ -410,7 +410,7 @@ mod tests {
     fn ranged_pushdown_is_record_aligned() {
         let (cluster, _, _) = cluster_with_storlets();
         let client = cluster.anonymous_client("AUTH_gp");
-        client.create_container("meters");
+        client.create_container("meters").unwrap();
         client
             .put_object("meters", "jan.csv", Bytes::from_static(DATA))
             .unwrap();
@@ -440,7 +440,7 @@ mod tests {
     fn put_path_etl_transforms_before_storage() {
         let (cluster, engine, _) = cluster_with_storlets();
         let client = cluster.anonymous_client("AUTH_gp");
-        client.create_container("meters");
+        client.create_container("meters").unwrap();
         let raw = b"vid,date,index\n m1 ,2015-01-03, 5 \nbad,row\n";
         let mut params = HashMap::new();
         params.insert("schema".to_string(), "vid,date,index".to_string());
@@ -462,7 +462,7 @@ mod tests {
     fn pipelined_filters_compose() {
         let (cluster, engine, _) = cluster_with_storlets();
         let client = cluster.anonymous_client("AUTH_gp");
-        client.create_container("meters");
+        client.create_container("meters").unwrap();
         client
             .put_object("meters", "jan.csv", Bytes::from_static(DATA))
             .unwrap();
@@ -483,7 +483,7 @@ mod tests {
         let (cluster, engine, policy) = cluster_with_storlets();
         policy.set_tier("AUTH_gp", Tier::Bronze);
         let client = cluster.anonymous_client("AUTH_gp");
-        client.create_container("meters");
+        client.create_container("meters").unwrap();
         client
             .put_object("meters", "jan.csv", Bytes::from_static(DATA))
             .unwrap();
@@ -510,7 +510,7 @@ mod tests {
             params,
         });
         let client = cluster.anonymous_client("AUTH_gp");
-        client.create_container("meters");
+        client.create_container("meters").unwrap();
         // Plain PUT with no storlet headers — the policy injects the ETL.
         client
             .put_object(
@@ -528,7 +528,7 @@ mod tests {
     fn saturated_engine_sheds_with_degraded_marker() {
         let (cluster, engine, _) = cluster_with_storlets();
         let client = cluster.anonymous_client("AUTH_gp");
-        client.create_container("meters");
+        client.create_container("meters").unwrap();
         client
             .put_object("meters", "jan.csv", Bytes::from_static(DATA))
             .unwrap();
@@ -570,7 +570,7 @@ mod tests {
     fn unknown_storlet_fails_request() {
         let (cluster, _, _) = cluster_with_storlets();
         let client = cluster.anonymous_client("AUTH_gp");
-        client.create_container("meters");
+        client.create_container("meters").unwrap();
         client
             .put_object("meters", "jan.csv", Bytes::from_static(DATA))
             .unwrap();

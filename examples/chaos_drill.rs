@@ -52,7 +52,7 @@ fn build(plan: Option<FaultPlan>, retrying: bool, max_task_failures: u32) -> (Ar
     cluster.set_object_pipeline(obj);
     let client = cluster.anonymous_client("AUTH_drill");
     let client = if retrying { client.with_retry(RetryPolicy::default()) } else { client };
-    client.create_container("meters");
+    client.create_container("meters").unwrap();
     client.put_object("meters", "jan.csv", meter_csv()).unwrap();
     let connector = SwiftConnector::new(client);
     let session = Session::new(connector.clone(), 2)
@@ -101,7 +101,7 @@ fn main() {
     match SwiftCluster::new(SwiftConfig { fault_plan: Some(plan), ..SwiftConfig::default() }) {
         Ok(cluster) => {
             let client = cluster.anonymous_client("AUTH_dead").with_retry(RetryPolicy::default());
-            client.create_container("x");
+            client.create_container("x").unwrap();
             match client.put_object("x", "o", Bytes::from_static(b"hi")) {
                 Ok(_) => panic!("PUT succeeded with every node down"),
                 Err(e) => println!("probe: all nodes down → PUT refused: {e} ✔"),

@@ -78,7 +78,7 @@ fn rig(config: SwiftConfig, saturate: bool, budget: Option<Duration>) -> Rig {
     let client = cluster
         .anonymous_client("AUTH_gp")
         .with_retry(RetryPolicy::default());
-    client.create_container("meters");
+    client.create_container("meters").unwrap();
     client.put_object("meters", "jan.csv", meter_csv()).unwrap();
 
     let connector = SwiftConnector::new(client);

@@ -78,7 +78,7 @@ fn authenticated_cluster_end_to_end() {
     })
     .unwrap();
     // Anonymous access is rejected; queries fail with unauthorized.
-    ctx.client().create_container("meters");
+    ctx.client().create_container("meters").unwrap();
     let err = ctx
         .client()
         .put_object("meters", "x.csv", bytes::Bytes::from_static(b"a,b\n1,2\n"))
