@@ -23,6 +23,13 @@
 //! present) and fails when any current throughput regresses more than 30%
 //! below the recorded number. Throughputs are decimal MB/s, matching the
 //! `repro` calibration output.
+//!
+//! `--overhead-gate PCT` additionally runs the storlet filter path twice —
+//! once instrumented exactly like the production data path (a span per
+//! buffer, a record counter per batch) and once through an inlined no-op
+//! stub — and fails when live telemetry costs more than `PCT` percent of
+//! the stub's throughput. Both variants are monomorphized over the same
+//! generic loop, so the comparison isolates the telemetry calls themselves.
 
 use bytes::Bytes;
 use scoop_columnar::{ColumnarReader, ColumnarWriter};
@@ -61,6 +68,14 @@ fn main() {
         .iter()
         .position(|a| a == "--check")
         .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| DEFAULT_JSON.into()));
+    let overhead_gate = args
+        .iter()
+        .position(|a| a == "--overhead-gate")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse::<f64>().ok())
+                .expect("--overhead-gate needs a percentage, e.g. --overhead-gate 3")
+        });
 
     let (rows, iters) = if quick { (30_000, 3) } else { (150_000, 5) };
     let results = run_benches(rows, iters);
@@ -83,6 +98,16 @@ fn main() {
         let json = render_json(&results, quick);
         std::fs::write(DEFAULT_JSON, json).expect("write BENCH_hotpath.json");
         println!("wrote {DEFAULT_JSON}");
+    }
+
+    if let Some(pct) = overhead_gate {
+        match run_overhead_gate(rows, iters, pct) {
+            Ok(msg) => println!("  {msg}"),
+            Err(e) => {
+                eprintln!("overhead-gate: FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     if let Some(path) = check {
@@ -202,6 +227,110 @@ fn run_benches(rows: usize, iters: usize) -> Vec<BenchResult> {
     });
 
     results
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry overhead gate
+// ---------------------------------------------------------------------------
+
+/// The instrumentation surface the data path actually uses: one span per
+/// buffer processed, one counter batch-add per buffer of records. The live
+/// impl hits the real registry; the stub compiles to nothing. The hot loop
+/// is generic over this trait, so each variant is monomorphized separately
+/// and the stub's calls vanish entirely — exactly the "compiled-out"
+/// configuration the gate compares against.
+trait Instrument {
+    fn buffer_span(&self) -> Option<scoop_common::telemetry::Span>;
+    fn add_records(&self, n: u64);
+}
+
+struct LiveTelemetry {
+    trace: String,
+    records: scoop_common::telemetry::Counter,
+}
+
+impl Instrument for LiveTelemetry {
+    fn buffer_span(&self) -> Option<scoop_common::telemetry::Span> {
+        Some(scoop_common::telemetry::span(
+            Some(&self.trace),
+            scoop_common::telemetry::layers::STORLET,
+            "overhead-gate filter_buffer",
+        ))
+    }
+
+    fn add_records(&self, n: u64) {
+        self.records.add(n);
+    }
+}
+
+struct StubTelemetry;
+
+impl Instrument for StubTelemetry {
+    #[inline(always)]
+    fn buffer_span(&self) -> Option<scoop_common::telemetry::Span> {
+        None
+    }
+
+    #[inline(always)]
+    fn add_records(&self, _n: u64) {}
+}
+
+/// The instrumented hot loop: the storlet CSV filter with the production
+/// telemetry shape around it.
+fn instrumented_filter<I: Instrument>(
+    ins: &I,
+    spec: &PushdownSpec,
+    header: &[String],
+    csv: &[u8],
+) -> u64 {
+    let _span = ins.buffer_span();
+    let (out, stats) = filter_buffer(spec, header, csv, true).expect("filter");
+    ins.add_records(stats.records_in);
+    black_box(out.len()) as u64
+}
+
+/// Run the filter path live-instrumented and stub-instrumented, and fail if
+/// live telemetry costs more than `pct` percent of stub throughput.
+fn run_overhead_gate(rows: usize, iters: usize, pct: f64) -> Result<String, String> {
+    let mut gen = scoop_workload::MeterDataset::new(&scoop_workload::GeneratorConfig {
+        seed: 11,
+        meters: 100,
+        interval_minutes: 60,
+        ..Default::default()
+    });
+    let csv = gen.csv_object(rows).to_vec();
+    let schema = scoop_workload::generator::meter_schema();
+    let header: Vec<String> = schema.names().iter().map(|s| s.to_string()).collect();
+    let spec = PushdownSpec {
+        columns: Some(vec!["vid".into(), "index".into()]),
+        predicate: Some(Predicate::StartsWith("city".into(), "Rot".into())),
+        has_header: true,
+    };
+
+    // More samples than the throughput benches: a percent-level gate needs
+    // the noise floor below the threshold it enforces.
+    let gate_iters = (iters * 3).max(9);
+    let live = LiveTelemetry {
+        trace: scoop_common::telemetry::new_trace_id(),
+        records: scoop_common::telemetry::counter("scoop_overhead_gate_records_total"),
+    };
+    let stub = StubTelemetry;
+    // Interleaving would be fairer to thermal drift, but best-of already
+    // takes the fastest sample of each variant, which shrugs off one-sided
+    // slow outliers; run stub first so live pays any warmup cost.
+    let stub_secs = best_of(gate_iters, || instrumented_filter(&stub, &spec, &header, &csv));
+    let live_secs = best_of(gate_iters, || instrumented_filter(&live, &spec, &header, &csv));
+    let stub_mbs = mbs(csv.len(), stub_secs);
+    let live_mbs = mbs(csv.len(), live_secs);
+    let overhead_pct = (stub_mbs - live_mbs) / stub_mbs * 100.0;
+    let line = format!(
+        "overhead-gate: stub {stub_mbs:.1} MB/s, live {live_mbs:.1} MB/s, overhead {overhead_pct:.2}% (gate {pct}%)"
+    );
+    if overhead_pct > pct {
+        Err(line)
+    } else {
+        Ok(line)
+    }
 }
 
 /// Best wall-clock of `iters` runs (first run doubles as warmup).

@@ -173,6 +173,11 @@ fn main() {
     let snap = scoop_common::telemetry::snapshot();
     println!("== telemetry snapshot ==");
     println!("{}", snap.to_text());
+    // ... and with the wide-event log: one line per query, so a slow figure
+    // can be traced to the query (and layer) that produced it.
+    let events = scoop_common::telemetry::query_events();
+    println!("== query events ({}) ==", events.len());
+    print!("{}", scoop_common::telemetry::events_to_text(&events));
     if check_metrics {
         let missing = scoop_common::telemetry::missing_data_path_metrics(&snap);
         if !missing.is_empty() {

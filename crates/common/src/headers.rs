@@ -77,6 +77,15 @@ pub const LIST_PREFIX: &str = "x-scoop-list-prefix";
 /// "truncated" error must not flatten into a generic aborted frame).
 pub const STREAM_ERROR: &str = "x-scoop-stream-error";
 
+/// Chunked *trailer* shipping the server-side spans of the request's trace
+/// back to the client (compact form: `telemetry::encode_spans`). The
+/// trailer position is deliberate — proxy/objserver/storlet spans only
+/// finish once the body has streamed, so they cannot ride the response
+/// head. The client transport decodes the value and merges the spans into
+/// its local trace store tagged `remote` (`telemetry::merge_remote_spans`),
+/// keeping one coherent seven-layer timeline across the TCP boundary.
+pub const SERVER_SPANS: &str = "x-scoop-server-spans";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -98,6 +107,7 @@ mod tests {
             super::ERROR_KIND,
             super::LIST_PREFIX,
             super::STREAM_ERROR,
+            super::SERVER_SPANS,
         ] {
             assert!(name.starts_with("x-"), "{name} must be x-prefixed");
             assert_eq!(name, name.to_ascii_lowercase(), "{name} must be lowercase");

@@ -94,6 +94,63 @@ pub mod names {
     pub const NET_SERVER_REQUESTS: &str = "scoop_net_server_requests_total";
     /// Wire-level faults injected at the socket boundary (all classes).
     pub const NET_WIRE_FAULTS: &str = "scoop_net_wire_faults_total";
+    /// Wire faults: connection reset mid-exchange.
+    pub const NET_WIRE_FAULTS_RST: &str = "scoop_net_wire_faults_rst_total";
+    /// Wire faults: partial write followed by a stall.
+    pub const NET_WIRE_FAULTS_PARTIAL: &str = "scoop_net_wire_faults_partial_total";
+    /// Wire faults: slowloris byte-trickle.
+    pub const NET_WIRE_FAULTS_SLOWLORIS: &str = "scoop_net_wire_faults_slowloris_total";
+    /// Wire faults: garbage bytes over the status line.
+    pub const NET_WIRE_FAULTS_GARBAGE: &str = "scoop_net_wire_faults_garbage_total";
+    /// Wire faults: write side closed early (half-close).
+    pub const NET_WIRE_FAULTS_HALF_CLOSE: &str = "scoop_net_wire_faults_half_close_total";
+    /// Time spent waiting for a pooled connection (idle pop or fresh dial),
+    /// microseconds (histogram).
+    pub const NET_POOL_CHECKOUT_WAIT_US: &str = "scoop_net_pool_checkout_wait_us";
+    /// Pooled connections currently checked out serving a request (gauge).
+    pub const NET_POOL_IN_FLIGHT: &str = "scoop_net_pool_in_flight_requests";
+    /// Idle pooled connections reaped after outliving the idle timeout.
+    pub const NET_POOL_IDLE_REAPS: &str = "scoop_net_pool_idle_reaps_total";
+    /// Wide query events recorded into the slow-query ring.
+    pub const QUERY_EVENTS: &str = "scoop_query_events_total";
+    /// Wide query events that crossed the `SCOOP_SLOW_QUERY_MS` threshold.
+    pub const QUERY_EVENTS_SLOW: &str = "scoop_query_events_slow_total";
+}
+
+/// Canonical span layer names — the *only* strings [`span`] may be called
+/// with (scoop-lint invariant 6 denies hand-spelled literals at call sites).
+/// Keeping the set closed means per-layer latency histograms and the wide
+/// query events can never fragment across spelling variants, and the wire
+/// codec can reject unknown layers instead of interning attacker-controlled
+/// strings.
+pub mod layers {
+    /// Query session (driver-side SQL entry point).
+    pub const SESSION: &str = "session";
+    /// Task scheduler fan-out.
+    pub const SCHEDULER: &str = "scheduler";
+    /// Storage connector (compute ↔ object store boundary).
+    pub const CONNECTOR: &str = "connector";
+    /// Swift client request layer.
+    pub const CLIENT: &str = "client";
+    /// Proxy server routing/replication layer.
+    pub const PROXY: &str = "proxy";
+    /// Object server storage layer.
+    pub const OBJSERVER: &str = "objserver";
+    /// Storlet (pushdown computation) layer.
+    pub const STORLET: &str = "storlet";
+
+    /// Every canonical layer, client-side to storage-side.
+    pub const ALL: &[&str] = &[SESSION, SCHEDULER, CONNECTOR, CLIENT, PROXY, OBJSERVER, STORLET];
+
+    /// Layers recorded on the server side of the TCP data plane — the ones
+    /// the net server drains and ships back in the response trailer.
+    pub const SERVER_SIDE: &[&str] = &[PROXY, OBJSERVER, STORLET];
+
+    /// Map a decoded wire string back onto its canonical `&'static str`,
+    /// or `None` for anything outside the closed set.
+    pub fn canonical(name: &str) -> Option<&'static str> {
+        ALL.iter().copied().find(|l| *l == name)
+    }
 }
 
 /// Every counter a full data-path exercise must register. The bench smoke
@@ -132,6 +189,20 @@ pub const LATENCY_BUCKETS_US: &[u64] = &[
 /// Most recent traces retained by the in-process span store.
 pub const TRACE_CAP: usize = 512;
 
+/// Longest [`SpanRecord::detail`] retained, bytes; longer details are
+/// truncated at a char boundary when the span records. Bounds both the
+/// trace store's memory and the wire size of a span trailer.
+pub const MAX_SPAN_DETAIL: usize = 160;
+
+/// Upper bound on one encoded span-trailer value, bytes ([`encode_spans`]
+/// stops appending spans that would cross it). Kept comfortably below the
+/// wire codec's trailer-line limit.
+pub const MAX_ENCODED_SPANS: usize = 8 * 1024;
+
+/// Most recent wide query events retained by the in-process ring; slow
+/// events are evicted last.
+pub const EVENT_RING_CAP: usize = 256;
+
 struct HistogramCell {
     /// One slot per [`LATENCY_BUCKETS_US`] bound, plus the overflow bucket.
     buckets: Vec<AtomicU64>,
@@ -141,8 +212,32 @@ struct HistogramCell {
 
 struct TraceStore {
     spans: BTreeMap<String, Vec<SpanRecord>>,
-    /// Insertion order of trace IDs, for bounded eviction.
+    /// Trace IDs from least- to most-recently *touched* (not just created):
+    /// recording another span onto a live trace moves it to the back, so a
+    /// burst of single-span traces evicts stale traces first and can never
+    /// push out a multi-layer trace that is still accumulating mid-query.
     order: VecDeque<String>,
+}
+
+impl TraceStore {
+    /// Register a span landing on `trace`: refresh its recency, evicting
+    /// the least-recently-touched trace if the store is at capacity.
+    fn touch(&mut self, trace: &str) {
+        if self.spans.contains_key(trace) {
+            if let Some(pos) = self.order.iter().position(|t| t == trace) {
+                if let Some(id) = self.order.remove(pos) {
+                    self.order.push_back(id);
+                }
+            }
+            return;
+        }
+        if self.order.len() >= TRACE_CAP {
+            if let Some(oldest) = self.order.pop_front() {
+                self.spans.remove(&oldest);
+            }
+        }
+        self.order.push_back(trace.to_string());
+    }
 }
 
 struct Registry {
@@ -150,6 +245,7 @@ struct Registry {
     gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
     histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
     traces: Mutex<TraceStore>,
+    events: Mutex<VecDeque<QueryEvent>>,
     /// Process epoch span start offsets are reported against.
     epoch: Instant,
 }
@@ -161,8 +257,17 @@ fn registry() -> &'static Registry {
         gauges: Mutex::new(BTreeMap::new()),
         histograms: Mutex::new(BTreeMap::new()),
         traces: Mutex::new(TraceStore { spans: BTreeMap::new(), order: VecDeque::new() }),
+        events: Mutex::new(VecDeque::new()),
         epoch: Instant::now(),
     })
+}
+
+/// Microseconds elapsed since the process telemetry epoch — the clock all
+/// [`SpanRecord::start_us`] offsets are reported against. Client transports
+/// capture this around an exchange to bound the skew-correction window for
+/// remote spans.
+pub fn now_us() -> u64 {
+    Instant::now().saturating_duration_since(registry().epoch).as_micros() as u64
 }
 
 /// Telemetry must never take a panic down with it: a poisoned registry lock
@@ -358,15 +463,33 @@ pub fn new_trace_id() -> String {
 /// One recorded span of a trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
-    /// Layer that recorded the span (`session`, `scheduler`, `connector`,
-    /// `client`, `proxy`, `objserver`, `storlet`).
+    /// Layer that recorded the span — one of [`layers::ALL`].
     pub layer: &'static str,
-    /// Free-form context (object name, storlet list, task count, ...).
+    /// Free-form context (object name, storlet list, task count, ...),
+    /// truncated to [`MAX_SPAN_DETAIL`] bytes.
     pub detail: String,
-    /// Start offset from the process telemetry epoch, microseconds.
+    /// Start offset from the process telemetry epoch, microseconds. For
+    /// remote spans this is the offset after skew correction (see
+    /// [`merge_remote_spans`]).
     pub start_us: u64,
     /// Span duration, microseconds.
     pub duration_us: u64,
+    /// True when the span was recorded on the far side of the TCP data
+    /// plane and merged in from a response trailer.
+    pub remote: bool,
+}
+
+/// Truncate `s` to at most [`MAX_SPAN_DETAIL`] bytes on a char boundary.
+fn bound_detail(mut s: String) -> String {
+    if s.len() <= MAX_SPAN_DETAIL {
+        return s;
+    }
+    let mut cut = MAX_SPAN_DETAIL;
+    while cut > 0 && !s.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    s.truncate(cut);
+    s
 }
 
 /// A live span: records a [`SpanRecord`] (when a trace ID is present) and a
@@ -395,27 +518,338 @@ impl Drop for Span {
         let start_us = self.started.saturating_duration_since(reg.epoch).as_micros() as u64;
         let record = SpanRecord {
             layer: self.layer,
-            detail: std::mem::take(&mut self.detail),
+            detail: bound_detail(std::mem::take(&mut self.detail)),
             start_us,
             duration_us,
+            remote: false,
         };
         let mut store = lock(&reg.traces);
-        if !store.spans.contains_key(&trace) {
-            if store.order.len() >= TRACE_CAP {
-                if let Some(oldest) = store.order.pop_front() {
-                    store.spans.remove(&oldest);
-                }
-            }
-            store.order.push_back(trace.clone());
-        }
+        store.touch(&trace);
         store.spans.entry(trace).or_default().push(record);
     }
 }
 
 /// The spans recorded for `trace`, in completion order (a caller's span
-/// drops after its callees', so outermost layers appear last).
+/// drops after its callees', so outermost layers appear last). Remote spans
+/// appear after the exchange that carried them back.
 pub fn trace_spans(trace: &str) -> Vec<SpanRecord> {
     lock(&registry().traces).spans.get(trace).cloned().unwrap_or_default()
+}
+
+// ---------------------------------------------------------------------------
+// Wire-spanning traces: the net server drains its server-side spans for a
+// request's trace and ships them in an `x-scoop-server-spans` response
+// trailer; the client transport decodes and merges them back, tagged remote.
+// ---------------------------------------------------------------------------
+
+/// Remove and return the locally-recorded *server-side* spans of `trace`
+/// ([`layers::SERVER_SIDE`], `remote == false`). Called by the net server
+/// just before it writes a response's trailer: the drained spans travel to
+/// the client instead of lingering (and double-counting, when client and
+/// server share one process) in the server's store. Spans a concurrent
+/// exchange of the same trace recorded are drained too — they merge back
+/// into the same trace on the client, so nothing is lost.
+pub fn take_server_spans(trace: &str) -> Vec<SpanRecord> {
+    let mut store = lock(&registry().traces);
+    let Some(spans) = store.spans.get_mut(trace) else { return Vec::new() };
+    let mut taken = Vec::new();
+    let mut kept = Vec::with_capacity(spans.len());
+    for s in spans.drain(..) {
+        if !s.remote && layers::SERVER_SIDE.contains(&s.layer) {
+            taken.push(s);
+        } else {
+            kept.push(s);
+        }
+    }
+    *spans = kept;
+    taken
+}
+
+/// Serialize spans for the `x-scoop-server-spans` trailer. One span per
+/// `;`-separated segment, fields `~`-separated: `layer~start~duration~detail`
+/// with the detail percent-escaped so the value stays a single CTL-free
+/// header line. Spans that would push the value past [`MAX_ENCODED_SPANS`]
+/// are dropped (bounded trailers beat complete ones on a data plane).
+pub fn encode_spans(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        let mut seg = String::with_capacity(s.detail.len().saturating_add(24));
+        seg.push_str(s.layer);
+        seg.push('~');
+        seg.push_str(&s.start_us.to_string());
+        seg.push('~');
+        seg.push_str(&s.duration_us.to_string());
+        seg.push('~');
+        for &b in s.detail.as_bytes() {
+            match b {
+                b'%' | b'~' | b';' => seg.push_str(&format!("%{b:02x}")),
+                0x20..=0x7e => seg.push(b as char),
+                _ => seg.push_str(&format!("%{b:02x}")),
+            }
+        }
+        let sep = usize::from(!out.is_empty());
+        if out.len().saturating_add(sep).saturating_add(seg.len()) > MAX_ENCODED_SPANS {
+            break;
+        }
+        if sep == 1 {
+            out.push(';');
+        }
+        out.push_str(&seg);
+    }
+    out
+}
+
+/// Decode an `x-scoop-server-spans` trailer value back into span records
+/// (`remote` false — [`merge_remote_spans`] tags them). Rejects unknown
+/// layers (the layer set is closed), malformed numbers and broken escapes;
+/// for any input that decodes, encode→decode→encode is byte-identical.
+pub fn decode_spans(value: &str) -> Result<Vec<SpanRecord>, String> {
+    if value.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    for seg in value.split(';') {
+        let mut parts = seg.splitn(4, '~');
+        let (layer, start, dur, detail) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(l), Some(s), Some(d), Some(t)) => (l, s, d, t),
+                _ => return Err(format!("span segment has fewer than 4 fields: {seg:?}")),
+            };
+        let layer = layers::canonical(layer)
+            .ok_or_else(|| format!("unknown span layer {layer:?}"))?;
+        let start_us: u64 =
+            start.parse().map_err(|_| format!("bad span start {start:?}"))?;
+        let duration_us: u64 = dur.parse().map_err(|_| format!("bad span duration {dur:?}"))?;
+        let mut decoded = Vec::with_capacity(detail.len());
+        let bytes = detail.as_bytes();
+        let mut i = 0;
+        while let Some(&b) = bytes.get(i) {
+            match b {
+                b'%' => {
+                    let hex = bytes
+                        .get(i.saturating_add(1)..i.saturating_add(3))
+                        .and_then(|h| std::str::from_utf8(h).ok())
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                        .ok_or_else(|| format!("broken escape in span detail {detail:?}"))?;
+                    decoded.push(hex);
+                    i = i.saturating_add(3);
+                }
+                b @ 0x20..=0x7e => {
+                    decoded.push(b);
+                    i = i.saturating_add(1);
+                }
+                b => return Err(format!("raw control byte {b:#04x} in span detail")),
+            }
+        }
+        let detail = String::from_utf8(decoded)
+            .map_err(|_| "span detail is not UTF-8".to_string())?;
+        out.push(SpanRecord {
+            layer,
+            detail: bound_detail(detail),
+            start_us,
+            duration_us,
+            remote: false,
+        });
+    }
+    Ok(out)
+}
+
+/// Merge spans shipped back over the wire into `trace`'s local store,
+/// tagged `remote`. Clock-skew tolerance: the remote `start_us` offsets are
+/// against the *server's* epoch; if the whole batch already falls inside
+/// the client's observation window `[window_start_us, window_end_us]` (the
+/// single-process / shared-epoch case) it is trusted as-is, otherwise every
+/// span is shifted uniformly so the earliest one lands at the window start —
+/// relative timing within the batch is preserved and offsets stay monotone
+/// with respect to the exchange that carried them.
+pub fn merge_remote_spans(
+    trace: &str,
+    spans: Vec<SpanRecord>,
+    window_start_us: u64,
+    window_end_us: u64,
+) {
+    if spans.is_empty() {
+        return;
+    }
+    let min_start = spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+    let max_end = spans
+        .iter()
+        .map(|s| s.start_us.saturating_add(s.duration_us))
+        .max()
+        .unwrap_or(0);
+    let in_window = min_start >= window_start_us && max_end <= window_end_us;
+    let mut store = lock(&registry().traces);
+    store.touch(trace);
+    let slot = store.spans.entry(trace.to_string()).or_default();
+    for mut s in spans {
+        if !in_window {
+            // Uniform shift: earliest remote span lands at window start.
+            s.start_us = window_start_us.saturating_add(s.start_us.saturating_sub(min_start));
+        }
+        s.remote = true;
+        s.detail = bound_detail(s.detail);
+        slot.push(s);
+    }
+}
+
+/// Render one trace as JSON (the `GET /trace/{id}` body).
+pub fn trace_to_json(trace: &str) -> String {
+    let spans = trace_spans(trace);
+    let mut out = format!("{{\"trace\":{},\"spans\":[", json_string(trace));
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"layer\":{},\"detail\":{},\"start_us\":{},\"duration_us\":{},\"remote\":{}}}",
+            json_string(s.layer),
+            json_string(&s.detail),
+            s.start_us,
+            s.duration_us,
+            s.remote
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Minimal JSON string encoder for telemetry values (details, trace IDs).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len().saturating_add(2));
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Wide query events: one bounded structured record per query, ringed.
+// ---------------------------------------------------------------------------
+
+/// One wide event describing a whole query — the slow-query log record.
+#[derive(Debug, Clone)]
+pub struct QueryEvent {
+    /// The query's trace ID.
+    pub trace: String,
+    /// Chosen execution path (`pushdown`, `pushdown-fallback`, `vanilla`,
+    /// `auto`...).
+    pub path: String,
+    /// End-to-end wall time, microseconds.
+    pub total_us: u64,
+    /// Bytes moved across the storage→compute boundary.
+    pub bytes: u64,
+    /// Rows delivered to compute.
+    pub rows: u64,
+    /// Task-level + client-level retries observed during the query.
+    pub retries: u64,
+    /// Hedged replica GETs launched during the query.
+    pub hedges: u64,
+    /// Degradations (pushdown fallbacks) observed during the query.
+    pub degradations: u64,
+    /// Per-layer span durations: `(layer, summed duration_us)`, in
+    /// [`layers::ALL`] order, layers with no spans omitted.
+    pub layer_us: Vec<(&'static str, u64)>,
+    /// True when `total_us` crossed the `SCOOP_SLOW_QUERY_MS` threshold.
+    pub slow: bool,
+}
+
+/// The slow-query threshold, milliseconds (`SCOOP_SLOW_QUERY_MS`, default
+/// 250). Queries at or above it are flagged slow and survive ring eviction
+/// longest.
+pub fn slow_query_threshold_ms() -> u64 {
+    std::env::var("SCOOP_SLOW_QUERY_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250)
+}
+
+/// Record one wide query event into the ring. Every query is recorded (the
+/// ring is bounded, so always-on costs nothing); events at or above the
+/// slow threshold are flagged and evicted only when no fast event remains
+/// to evict first — a burst of fast queries cannot wash out the slow ones
+/// the log exists to explain.
+pub fn record_query_event(mut ev: QueryEvent) {
+    ev.slow = ev.total_us >= slow_query_threshold_ms().saturating_mul(1_000);
+    counter(names::QUERY_EVENTS).inc();
+    if ev.slow {
+        counter(names::QUERY_EVENTS_SLOW).inc();
+    }
+    let mut ring = lock(&registry().events);
+    if ring.len() >= EVENT_RING_CAP {
+        if let Some(pos) = ring.iter().position(|e| !e.slow) {
+            ring.remove(pos);
+        } else {
+            ring.pop_front();
+        }
+    }
+    ring.push_back(ev);
+}
+
+/// The ring's current contents, oldest first.
+pub fn query_events() -> Vec<QueryEvent> {
+    lock(&registry().events).iter().cloned().collect()
+}
+
+/// Render the event ring as JSON (the `GET /events` body).
+pub fn events_to_json(events: &[QueryEvent]) -> String {
+    let mut out = String::from("{\"events\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"trace\":{},\"path\":{},\"total_us\":{},\"bytes\":{},\"rows\":{},\
+             \"retries\":{},\"hedges\":{},\"degradations\":{},\"slow\":{},\"layer_us\":{{",
+            json_string(&e.trace),
+            json_string(&e.path),
+            e.total_us,
+            e.bytes,
+            e.rows,
+            e.retries,
+            e.hedges,
+            e.degradations,
+            e.slow
+        ));
+        for (j, (layer, us)) in e.layer_us.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{us}", json_string(layer)));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// One-line-per-event text rendering (the repro-run-end dump).
+pub fn events_to_text(events: &[QueryEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let layers: Vec<String> =
+            e.layer_us.iter().map(|(l, us)| format!("{l}={us}us")).collect();
+        out.push_str(&format!(
+            "{} {}{} total={}us bytes={} rows={} retries={} hedges={} degradations={} [{}]\n",
+            e.trace,
+            e.path,
+            if e.slow { " SLOW" } else { "" },
+            e.total_us,
+            e.bytes,
+            e.rows,
+            e.retries,
+            e.hedges,
+            e.degradations,
+            layers.join(" ")
+        ));
+    }
+    out
 }
 
 /// One histogram in a [`Snapshot`].
@@ -523,6 +957,41 @@ impl Snapshot {
             out.push_str("]}");
         }
         out.push_str("}}");
+        out
+    }
+
+    /// Prometheus text exposition (the `GET /metrics` body): `# TYPE`
+    /// comments, cumulative `_bucket{le="..."}` series per histogram plus
+    /// `_sum`/`_count`. Metric names are already `[a-z0-9_]`, so no label
+    /// escaping is needed.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!("# TYPE {} histogram\n", h.name));
+            let mut cumulative = 0u64;
+            for (bound, n) in &h.buckets {
+                cumulative = cumulative.saturating_add(*n);
+                if *bound == u64::MAX {
+                    out.push_str(&format!(
+                        "{}_bucket{{le=\"+Inf\"}} {cumulative}\n",
+                        h.name
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "{}_bucket{{le=\"{bound}\"}} {cumulative}\n",
+                        h.name
+                    ));
+                }
+            }
+            out.push_str(&format!("{}_sum {}\n", h.name, h.sum_us));
+            out.push_str(&format!("{}_count {}\n", h.name, h.count));
+        }
         out
     }
 }
@@ -692,6 +1161,248 @@ mod tests {
             json.matches('}').count(),
             "{json}"
         );
+    }
+
+    #[test]
+    fn span_detail_is_bounded() {
+        let trace = new_trace_id();
+        drop(span(Some(&trace), "session", "x".repeat(MAX_SPAN_DETAIL * 4)));
+        let spans = trace_spans(&trace);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].detail.len(), MAX_SPAN_DETAIL);
+        // Truncation lands on a char boundary even for multibyte input.
+        let trace = new_trace_id();
+        drop(span(Some(&trace), "session", "é".repeat(MAX_SPAN_DETAIL)));
+        let d = &trace_spans(&trace)[0].detail;
+        assert!(d.len() <= MAX_SPAN_DETAIL);
+        assert!(d.chars().all(|c| c == 'é'));
+    }
+
+    #[test]
+    fn live_trace_survives_a_burst_of_single_span_traces() {
+        // A query's trace receives its first span, then TRACE_CAP unrelated
+        // single-span traces land before its next layer reports. With FIFO
+        // eviction the in-progress trace would be gone; recency-touch
+        // eviction keeps it alive as long as it keeps accumulating.
+        let live = format!("lru-live-{}", new_trace_id());
+        drop(span(Some(&live), "session", "first layer"));
+        for i in 0..TRACE_CAP {
+            if i == TRACE_CAP / 2 {
+                // Mid-burst, the query's next layer reports: refreshes
+                // recency.
+                drop(span(Some(&live), "scheduler", "second layer"));
+            }
+            drop(span(Some(&format!("lru-burst-{i}")), "session", ""));
+        }
+        let spans = trace_spans(&live);
+        assert_eq!(
+            spans.len(),
+            2,
+            "in-progress trace was evicted mid-query by a burst of unrelated traces"
+        );
+    }
+
+    #[test]
+    fn span_codec_roundtrips_byte_identically() {
+        let spans = vec![
+            SpanRecord {
+                layer: layers::PROXY,
+                detail: "GET a/c/o~1;2%3 \"quoted\"".into(),
+                start_us: 12,
+                duration_us: 345,
+                remote: false,
+            },
+            SpanRecord {
+                layer: layers::STORLET,
+                detail: String::new(),
+                start_us: 0,
+                duration_us: u64::MAX,
+                remote: false,
+            },
+        ];
+        let wire = encode_spans(&spans);
+        assert!(!wire.contains('\r') && !wire.contains('\n'));
+        let decoded = decode_spans(&wire).unwrap();
+        assert_eq!(decoded, spans);
+        assert_eq!(encode_spans(&decoded), wire);
+        // Empty input encodes to the empty value and back.
+        assert_eq!(decode_spans("").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn span_codec_rejects_foreign_layers_and_broken_escapes() {
+        assert!(decode_spans("gateway~1~2~x").is_err(), "unknown layer accepted");
+        assert!(decode_spans("proxy~nope~2~x").is_err(), "bad number accepted");
+        assert!(decode_spans("proxy~1~2~%zz").is_err(), "broken escape accepted");
+        assert!(decode_spans("proxy~1").is_err(), "short segment accepted");
+    }
+
+    #[test]
+    fn encoded_spans_stay_bounded() {
+        let many: Vec<SpanRecord> = (0..2_000)
+            .map(|i| SpanRecord {
+                layer: layers::OBJSERVER,
+                detail: format!("object-{i}-{}", "p".repeat(64)),
+                start_us: i,
+                duration_us: 1,
+                remote: false,
+            })
+            .collect();
+        let wire = encode_spans(&many);
+        assert!(wire.len() <= MAX_ENCODED_SPANS);
+        // What survived still decodes.
+        assert!(!decode_spans(&wire).unwrap().is_empty());
+    }
+
+    #[test]
+    fn take_server_spans_drains_only_local_server_layers() {
+        let trace = new_trace_id();
+        {
+            let _c = span(Some(&trace), "client", "");
+            let _p = span(Some(&trace), "proxy", "");
+            let _o = span(Some(&trace), "objserver", "");
+        }
+        merge_remote_spans(
+            &trace,
+            vec![SpanRecord {
+                layer: layers::STORLET,
+                detail: "already merged".into(),
+                start_us: 1,
+                duration_us: 1,
+                remote: false,
+            }],
+            0,
+            u64::MAX,
+        );
+        let taken = take_server_spans(&trace);
+        let layers_taken: Vec<_> = taken.iter().map(|s| s.layer).collect();
+        assert_eq!(layers_taken, vec!["objserver", "proxy"], "drain order follows record order");
+        // The client span and the previously-merged remote span stay.
+        let left = trace_spans(&trace);
+        assert_eq!(left.len(), 2);
+        assert!(left.iter().any(|s| s.layer == "client" && !s.remote));
+        assert!(left.iter().any(|s| s.layer == "storlet" && s.remote));
+        // A second drain finds nothing.
+        assert!(take_server_spans(&trace).is_empty());
+    }
+
+    #[test]
+    fn merged_remote_spans_are_skew_shifted_into_the_window() {
+        let trace = new_trace_id();
+        // Remote epoch wildly ahead of the client window: shift preserves
+        // relative timing and pins the batch at window start.
+        let remote = vec![
+            SpanRecord {
+                layer: layers::OBJSERVER,
+                detail: String::new(),
+                start_us: 9_000_000,
+                duration_us: 10,
+                remote: false,
+            },
+            SpanRecord {
+                layer: layers::PROXY,
+                detail: String::new(),
+                start_us: 9_000_100,
+                duration_us: 20,
+                remote: false,
+            },
+        ];
+        merge_remote_spans(&trace, remote, 1_000, 2_000);
+        let spans = trace_spans(&trace);
+        assert_eq!(spans[0].start_us, 1_000);
+        assert_eq!(spans[1].start_us, 1_100);
+        assert!(spans.iter().all(|s| s.remote));
+
+        // A batch already inside the window is trusted untouched.
+        let trace = new_trace_id();
+        merge_remote_spans(
+            &trace,
+            vec![SpanRecord {
+                layer: layers::PROXY,
+                detail: String::new(),
+                start_us: 1_500,
+                duration_us: 100,
+                remote: false,
+            }],
+            1_000,
+            2_000,
+        );
+        assert_eq!(trace_spans(&trace)[0].start_us, 1_500);
+    }
+
+    #[test]
+    fn event_ring_is_bounded_and_keeps_slow_events() {
+        fn ev(trace: String, total_us: u64) -> QueryEvent {
+            QueryEvent {
+                trace,
+                path: "pushdown".into(),
+                total_us,
+                bytes: 1,
+                rows: 1,
+                retries: 0,
+                hedges: 0,
+                degradations: 0,
+                layer_us: vec![(layers::SESSION, total_us)],
+                slow: false,
+            }
+        }
+        // One slow event (way past any sane threshold), then floods of
+        // fast ones: the slow event must survive the eviction churn.
+        record_query_event(ev("ring-slow".into(), u64::MAX / 2));
+        for i in 0..(EVENT_RING_CAP * 2) {
+            record_query_event(ev(format!("ring-fast-{i}"), 0));
+        }
+        let events = query_events();
+        assert!(events.len() <= EVENT_RING_CAP);
+        let slow = events.iter().find(|e| e.trace == "ring-slow").expect("slow event evicted");
+        assert!(slow.slow);
+        let json = events_to_json(&events);
+        assert!(json.starts_with("{\"events\":["));
+        assert!(json.contains("\"trace\":\"ring-slow\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(events_to_text(&events).contains("ring-slow pushdown SLOW"));
+    }
+
+    #[test]
+    fn trace_json_escapes_details() {
+        let trace = new_trace_id();
+        drop(span(Some(&trace), "session", "say \"hi\"\\\n"));
+        let json = trace_to_json(&trace);
+        assert!(json.contains("\"layer\":\"session\""));
+        assert!(json.contains("say \\\"hi\\\"\\\\\\u000a"));
+        assert!(json.contains("\"remote\":false"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative() {
+        counter("test_telemetry_prom_total").add(3);
+        gauge("test_telemetry_prom_gauge").set(-1);
+        let h = histogram("test_telemetry_prom_us");
+        h.observe_us(50);
+        h.observe_us(60);
+        h.observe_us(2_000_000);
+        let text = snapshot().to_prometheus();
+        assert!(text.contains("# TYPE test_telemetry_prom_total counter"));
+        assert!(text.contains("test_telemetry_prom_total 3"));
+        assert!(text.contains("# TYPE test_telemetry_prom_gauge gauge"));
+        assert!(text.contains("test_telemetry_prom_gauge -1"));
+        // Buckets accumulate: the 100us bucket holds 2, +Inf holds all 3.
+        assert!(text.contains("test_telemetry_prom_us_bucket{le=\"100\"} 2"));
+        assert!(text.contains("test_telemetry_prom_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("test_telemetry_prom_us_count 3"));
+    }
+
+    #[test]
+    fn layer_names_are_canonical() {
+        assert_eq!(layers::ALL.len(), 7);
+        for l in layers::ALL {
+            assert_eq!(layers::canonical(l), Some(*l));
+        }
+        for l in layers::SERVER_SIDE {
+            assert!(layers::ALL.contains(l));
+        }
+        assert_eq!(layers::canonical("gateway"), None);
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Property tests for the span trailer codec (`telemetry::encode_spans` /
+//! `telemetry::decode_spans`).
+//!
+//! The codec carries server-side spans across the TCP data plane inside the
+//! `x-scoop-server-spans` chunked trailer, so it owes the wire the same
+//! contract as the frame codec: `encode → decode → encode` must reproduce
+//! the exact trailer bytes for every batch the types can legally express,
+//! and arbitrary (possibly hostile) trailer values must decode to a clean
+//! error — never a panic, never a mangled span.
+
+use proptest::prelude::*;
+use scoop_common::telemetry::{self, layers, SpanRecord};
+
+/// A legal span detail: anything `bound_detail` would keep. The recorder
+/// bounds details to [`telemetry::MAX_SPAN_DETAIL`] bytes before they reach
+/// the codec, so that is the domain the round trip must cover. Details may
+/// hold the codec's own metacharacters (`%`, `~`, `;`) and non-ASCII — the
+/// escape layer exists exactly for those.
+fn detail() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<char>(),          // printable ASCII
+            Just('%'),
+            Just('~'),
+            Just(';'),              // the codec's own metacharacters
+            Just('é'),
+            Just('☃'),              // multi-byte UTF-8 rides the escape layer
+            Just('\n'),
+            Just('\t'),             // control bytes must be escaped
+        ],
+        0..40,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn span() -> impl Strategy<Value = SpanRecord> {
+    (
+        0usize..layers::ALL.len(),
+        detail(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(layer, detail, start_us, duration_us, remote)| SpanRecord {
+            layer: layers::ALL[layer],
+            detail,
+            start_us,
+            duration_us,
+            remote,
+        })
+}
+
+proptest! {
+    /// encode → decode → encode is byte-identical for every batch small
+    /// enough to fit the trailer bound (so no span is dropped on the first
+    /// encode and the comparison is about fidelity, not truncation).
+    #[test]
+    fn span_trailer_roundtrips_byte_identically(
+        spans in proptest::collection::vec(span(), 0..12)
+    ) {
+        let wire = telemetry::encode_spans(&spans);
+        let decoded = telemetry::decode_spans(&wire).expect("encoded batch must decode");
+        let rewire = telemetry::encode_spans(&decoded);
+        prop_assert_eq!(&wire, &rewire, "re-encode diverged from the first encode");
+        // The decoded batch is the encoded prefix of the input: same
+        // layers/timing/details in order (the encoder may drop a tail to
+        // honor MAX_ENCODED_SPANS; it must never reorder or alter).
+        prop_assert!(decoded.len() <= spans.len());
+        for (d, s) in decoded.iter().zip(&spans) {
+            prop_assert_eq!(d.layer, s.layer);
+            prop_assert_eq!(d.start_us, s.start_us);
+            prop_assert_eq!(d.duration_us, s.duration_us);
+            prop_assert_eq!(&d.detail, &s.detail);
+        }
+    }
+
+    /// The encoded value always fits one trailer line and stays CTL-free —
+    /// the properties the HTTP framing depends on.
+    #[test]
+    fn encoded_trailer_is_bounded_printable_ascii(
+        spans in proptest::collection::vec(span(), 0..64)
+    ) {
+        let wire = telemetry::encode_spans(&spans);
+        prop_assert!(wire.len() <= telemetry::MAX_ENCODED_SPANS);
+        prop_assert!(
+            wire.bytes().all(|b| (0x20..=0x7e).contains(&b)),
+            "trailer value must be printable ASCII"
+        );
+    }
+
+    /// Arbitrary trailer values never panic the decoder, and whatever it
+    /// accepts re-encodes cleanly (no half-parsed state escapes).
+    #[test]
+    fn decoder_total_on_arbitrary_input(s in "[ -~]{0,200}") {
+        if let Ok(spans) = telemetry::decode_spans(&s) {
+            let _ = telemetry::encode_spans(&spans);
+        }
+    }
+}

@@ -305,11 +305,18 @@ impl Session {
         // scheduler, connector, client, proxy, object server and storlet.
         let trace = scoop_common::telemetry::new_trace_id();
         self.connector.set_trace(Some(trace.clone()));
+        // Baselines for the query's wide event: global counters are sampled
+        // before and after the run so the event carries *this* query's
+        // hedges/retries/degradations (single-process delta attribution).
+        use scoop_common::telemetry::{counter, names};
+        let hedges_before = counter(names::PROXY_HEDGED_GETS).get();
+        let retries_before = counter(names::CLIENT_RETRIES).get();
+        let fallbacks_before = counter(names::CONNECTOR_PUSHDOWN_FALLBACKS).get();
         let query = parse(text)?;
         let def = self.table(&query.table)?;
         let _query_span = scoop_common::telemetry::span(
             Some(&trace),
-            "session",
+            scoop_common::telemetry::layers::SESSION,
             format!("sql {}", query.table),
         );
 
@@ -384,7 +391,7 @@ impl Session {
         let collected = std::sync::atomic::AtomicUsize::new(0);
         let _sched_span = scoop_common::telemetry::span(
             Some(&trace),
-            "scheduler",
+            scoop_common::telemetry::layers::SCHEDULER,
             format!("{} tasks over {} workers", partitions.len(), self.workers),
         );
         let results = run_tasks_with_deadline(self.workers, partitions.len(), self.max_task_failures, deadline, |i| {
@@ -492,20 +499,59 @@ impl Session {
             }
         };
 
+        let bytes_transferred = self
+            .connector
+            .bytes_transferred()
+            .saturating_sub(transferred_before);
+        let wall = started.elapsed();
+
+        // Close the session span *now* so the wide event's per-layer
+        // durations include it (spans record on drop).
+        drop(_query_span);
+        let degradations =
+            counter(names::CONNECTOR_PUSHDOWN_FALLBACKS).get().saturating_sub(fallbacks_before);
+        let spans = scoop_common::telemetry::trace_spans(&trace);
+        let mut layer_us: Vec<(&'static str, u64)> = Vec::new();
+        for layer in scoop_common::telemetry::layers::ALL {
+            let sum: u64 = spans
+                .iter()
+                .filter(|s| s.layer == *layer)
+                .map(|s| s.duration_us)
+                .sum();
+            if sum > 0 {
+                layer_us.push((layer, sum));
+            }
+        }
+        scoop_common::telemetry::record_query_event(scoop_common::telemetry::QueryEvent {
+            trace: trace.clone(),
+            path: if degradations > 0 && mode == ExecutionMode::Pushdown {
+                "pushdown-fallback".to_string()
+            } else {
+                mode.to_string()
+            },
+            total_us: wall.as_micros() as u64,
+            bytes: bytes_transferred,
+            rows: rows_to_compute,
+            retries: task_retries.saturating_add(
+                counter(names::CLIENT_RETRIES).get().saturating_sub(retries_before),
+            ),
+            hedges: counter(names::PROXY_HEDGED_GETS).get().saturating_sub(hedges_before),
+            degradations,
+            layer_us,
+            slow: false, // settled by record_query_event from the threshold
+        });
+
         Ok(QueryOutcome {
             result,
             metrics: JobMetrics {
                 mode,
                 tasks: partitions.len(),
-                bytes_transferred: self
-                    .connector
-                    .bytes_transferred()
-                    .saturating_sub(transferred_before),
+                bytes_transferred,
                 rows_to_compute,
                 rows_after_filter,
                 pushed_conjuncts: plan.pushed_conjuncts,
                 residual_conjuncts: plan.residual_conjuncts,
-                wall: started.elapsed(),
+                wall,
                 task_durations,
                 task_retries,
                 trace,

@@ -324,7 +324,7 @@ impl StorageConnector for SwiftConnector {
         let trace = self.client.trace();
         let _span = telemetry::span(
             trace.as_deref(),
-            "connector",
+            telemetry::layers::CONNECTOR,
             format!("read {location}/{object} from {start}"),
         );
         let stream = ResumingStream::open(
@@ -354,7 +354,7 @@ impl StorageConnector for SwiftConnector {
         let trace = self.client.trace();
         let _span = telemetry::span(
             trace.as_deref(),
-            "connector",
+            telemetry::layers::CONNECTOR,
             format!("pushdown {location}/{object}"),
         );
         // An empty split owns no records. Without this guard,
@@ -424,7 +424,7 @@ impl StorageConnector for SwiftConnector {
         let trace = self.client.trace();
         let _span = telemetry::span(
             trace.as_deref(),
-            "connector",
+            telemetry::layers::CONNECTOR,
             format!("fetch {location}/{object} [{start},{end})"),
         );
         let req = Request::get(self.path(location, object)?)
@@ -454,7 +454,7 @@ impl StorageConnector for SwiftConnector {
         let trace = self.client.trace();
         let _span = telemetry::span(
             trace.as_deref(),
-            "connector",
+            telemetry::layers::CONNECTOR,
             format!("storlet {storlets} on {location}/{object}"),
         );
         let mut req = Request::get(self.path(location, object)?)

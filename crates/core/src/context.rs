@@ -26,6 +26,11 @@ pub struct ScoopConfig {
     pub account: String,
     /// Storlet execution stage for pushdown GETs.
     pub run_on: RunOn,
+    /// Route the assembled client over the TCP data plane (real HTTP/1.1
+    /// frames on pooled loopback sockets) instead of in-process calls.
+    /// Equivalent to `SCOOP_TRANSPORT=tcp`, but per-deployment rather than
+    /// process-global, so parallel tests can mix transports.
+    pub transport_tcp: bool,
 }
 
 impl Default for ScoopConfig {
@@ -36,6 +41,7 @@ impl Default for ScoopConfig {
             chunk_size: 512 * 1024,
             account: "AUTH_gridpocket".to_string(),
             run_on: RunOn::ObjectNode,
+            transport_tcp: false,
         }
     }
 }
@@ -85,7 +91,10 @@ impl ScoopContext {
             policy.clone(),
         )));
         cluster.set_proxy_pipeline(proxy_pipeline);
-        let client = cluster.anonymous_client(&config.account);
+        let mut client = cluster.anonymous_client(&config.account);
+        if config.transport_tcp {
+            client = client.over_tcp()?;
+        }
         Ok(Arc::new(ScoopContext { cluster, engine, policy, client, config }))
     }
 

@@ -18,6 +18,11 @@
 //!    `TcpStream` (connect or accept) must configure `set_read_timeout`
 //!    before reading — a raw blocking read turns one stalled peer into a
 //!    hung worker, defeating every deadline above it.
+//! 6. **Span layer names**: the layer argument of `telemetry::span` must
+//!    come from the `telemetry::layers` constants, never a string literal.
+//!    The span wire codec rejects layers outside `layers::ALL`, so a
+//!    hand-spelled layer (or a typo of one) records spans the trailer
+//!    silently refuses to ship — the trace loses a tier with no error.
 
 use crate::findings::{Finding, Severity};
 use crate::lexer::Tok;
@@ -27,6 +32,10 @@ use crate::passes::panics::DATA_PATH_CRATES;
 /// The one module allowed to define `x-*` header literals.
 const HEADERS_MODULE: &str = "crates/common/src/headers.rs";
 
+/// The one module allowed to spell span layer names as literals (it defines
+/// the `layers` constants and its tests exercise the codec's rejections).
+const TELEMETRY_MODULE: &str = "crates/common/src/telemetry.rs";
+
 pub fn run(files: &[ParsedFile]) -> Vec<Finding> {
     let mut out = Vec::new();
     check_error_classification(files, &mut out);
@@ -34,6 +43,7 @@ pub fn run(files: &[ParsedFile]) -> Vec<Finding> {
     check_retry_deadlines(files, &mut out);
     check_trace_header(files, &mut out);
     check_tcp_read_timeouts(files, &mut out);
+    check_span_layer_literals(files, &mut out);
     out
 }
 
@@ -257,6 +267,73 @@ fn check_tcp_read_timeouts(files: &[ParsedFile], out: &mut Vec<Finding>) {
                         .into(),
                 });
             }
+        }
+    }
+}
+
+/// Rule 6: span layer names travel via the `telemetry::layers` constants.
+///
+/// Flags any `span(...)` call whose *second* top-level argument is a string
+/// literal. Like rule 4 this covers test code: a test that hand-writes a
+/// layer keeps passing when the canonical list changes, while the wire
+/// codec starts dropping the very spans the test claims to observe. Calls
+/// whose second argument is anything else (an ident, a path, a non-string
+/// expression — e.g. `csvengine`'s unrelated `view.span(i)`) are ignored.
+fn check_span_layer_literals(files: &[ParsedFile], out: &mut Vec<Finding>) {
+    for pf in files {
+        if pf.path.ends_with(TELEMETRY_MODULE) || pf.path == TELEMETRY_MODULE {
+            continue;
+        }
+        for (i, t) in pf.tokens.iter().enumerate() {
+            if !matches!(&t.tok, Tok::Ident(s) if s == "span") {
+                continue;
+            }
+            if !pf.tokens.get(i + 1).map(|t| t.tok == Tok::Punct('(')).unwrap_or(false) {
+                continue;
+            }
+            // Walk the argument list, tracking bracket depth; remember the
+            // first token of the second depth-1 argument.
+            let mut depth = 0i32;
+            let mut commas = 0usize;
+            let mut second_arg: Option<&Tok> = None;
+            for t in &pf.tokens[i + 1..] {
+                match &t.tok {
+                    Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                    Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    Tok::Punct(',') if depth == 1 => commas += 1,
+                    tok if depth == 1 && commas == 1 && second_arg.is_none() => {
+                        second_arg = Some(tok);
+                    }
+                    _ => {}
+                }
+            }
+            let Some(Tok::Str(s)) = second_arg else { continue };
+            if pf.allow_for(t.line).map(|a| !a.reason.trim().is_empty()).unwrap_or(false) {
+                continue;
+            }
+            let function = pf
+                .functions
+                .iter()
+                .find(|f| f.body.contains(&i))
+                .map(|f| f.qual_name.clone())
+                .unwrap_or_else(|| "<file>".into());
+            out.push(Finding {
+                pass: "invariants",
+                severity: Severity::Deny,
+                file: pf.path.clone(),
+                function,
+                line: t.line,
+                detail: format!("span-layer-literal:{s}"),
+                message: format!(
+                    "span layer \"{s}\" spelled as a literal; use a `telemetry::layers` \
+                     constant — the span wire codec drops layers outside the canonical list"
+                ),
+            });
         }
     }
 }

@@ -72,6 +72,24 @@ pub fn timed_socket_read(addr: &str) -> std::io::Result<Vec<u8>> {
     Ok(buf)
 }
 
+/// Hand-spelled span layer (invariant 6): the wire codec would silently
+/// drop these spans from the trailer.
+pub fn literal_layer_span(trace: Option<&str>) {
+    let _span = telemetry::span(trace, "proxy", format!("handling {trace:?}"));
+}
+
+/// Layer via the canonical constant — no finding (the second argument is a
+/// path, not a string literal).
+pub fn const_layer_span(trace: Option<&str>) {
+    let _span = telemetry::span(trace, telemetry::layers::PROXY, "routing".to_string());
+}
+
+/// An unrelated `span` method whose arguments carry no layer at all — the
+/// rule must not confuse it with telemetry spans.
+pub fn csv_field_span(view: &RecordView) -> (usize, usize) {
+    view.span(0)
+}
+
 /// Bounded: consults the deadline every attempt — no finding.
 pub fn bounded_retry(
     op: &dyn Fn() -> Result<(), ScoopError>,

@@ -69,6 +69,8 @@ pub struct PoolSnapshot {
     pub open: i64,
     /// Idle connections in the pool right now.
     pub idle: usize,
+    /// Connections currently checked out serving an exchange.
+    pub in_flight: i64,
     /// Fresh dials performed.
     pub dials: u64,
     /// Exchanges served over a reused keep-alive connection.
@@ -80,18 +82,24 @@ pub struct PoolSnapshot {
 #[derive(Debug, Default)]
 struct PoolCounters {
     open: AtomicI64,
+    in_flight: AtomicI64,
     dials: AtomicU64,
     reuses: AtomicU64,
     evictions: AtomicU64,
 }
 
 /// One pooled connection: buffered read half + write half of the same
-/// socket. Dropping it closes the socket and settles the open-count.
+/// socket. Dropping it closes the socket and settles the open-count (and
+/// the in-flight level, unless the connection had already gone idle).
 struct Conn {
     write: TcpStream,
     reader: wire::FrameReader<TcpStream>,
     idle_since: Instant,
     reused: bool,
+    /// Checked out (owned by an exchange) rather than parked idle. Kept on
+    /// the connection so *every* way out — checkin, evict, or a plain drop
+    /// on an error path — settles the in-flight gauge exactly once.
+    in_flight: bool,
     counters: Arc<PoolCounters>,
 }
 
@@ -99,6 +107,10 @@ impl Drop for Conn {
     fn drop(&mut self) {
         self.counters.open.fetch_sub(1, Ordering::Relaxed);
         telemetry::gauge(names::NET_POOL_OPEN).sub(1);
+        if self.in_flight {
+            self.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+            telemetry::gauge(names::NET_POOL_IN_FLIGHT).sub(1);
+        }
     }
 }
 
@@ -115,6 +127,20 @@ impl Conn {
         self.write.set_read_timeout(Some(window)).map_err(ScoopError::Io)?;
         self.write.set_write_timeout(Some(window)).map_err(ScoopError::Io)?;
         Ok(())
+    }
+}
+
+/// Fold the server-side spans a finished response shipped in its
+/// `x-scoop-server-spans` trailer into the local trace store, tagged remote
+/// and skew-corrected against the exchange window `[window_start_us, now]`.
+/// Always *takes* the trailer (even untraced or undecodable) so stale spans
+/// can never leak onto a later exchange of a pooled connection; spans are
+/// best-effort observability, so a bad trailer is dropped, never an error.
+fn merge_server_spans(conn: &mut Conn, trace: Option<&str>, window_start_us: u64) {
+    let Some(value) = conn.reader.take_server_spans() else { return };
+    let Some(trace) = trace else { return };
+    if let Ok(spans) = telemetry::decode_spans(&value) {
+        telemetry::merge_remote_spans(trace, spans, window_start_us, telemetry::now_us());
     }
 }
 
@@ -159,6 +185,7 @@ impl HttpPool {
         PoolSnapshot {
             open: self.counters.open.load(Ordering::Relaxed),
             idle: self.idle.lock().len(),
+            in_flight: self.counters.in_flight.load(Ordering::Relaxed),
             dials: self.counters.dials.load(Ordering::Relaxed),
             reuses: self.counters.reuses.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
@@ -175,12 +202,26 @@ impl HttpPool {
         if reaped > 0 {
             self.counters.evictions.fetch_add(reaped as u64, Ordering::Relaxed);
             telemetry::counter(names::NET_POOL_EVICTIONS).add(reaped as u64);
+            telemetry::counter(names::NET_POOL_IDLE_REAPS).add(reaped as u64);
             telemetry::gauge(names::NET_POOL_IDLE).sub(reaped as i64);
         }
     }
 
-    /// Take a connection: freshest idle one, else a new dial.
+    /// Take a connection: freshest idle one, else a new dial. The full wait
+    /// (reap + idle pop, or the dial) feeds the checkout-wait histogram;
+    /// the connection counts in flight until it is checked in or dies.
     fn checkout(&self) -> Result<Conn> {
+        let started = Instant::now();
+        let mut conn = self.checkout_inner()?;
+        telemetry::histogram(names::NET_POOL_CHECKOUT_WAIT_US)
+            .observe_us(started.elapsed().as_micros() as u64);
+        conn.in_flight = true;
+        self.counters.in_flight.fetch_add(1, Ordering::Relaxed);
+        telemetry::gauge(names::NET_POOL_IN_FLIGHT).add(1);
+        Ok(conn)
+    }
+
+    fn checkout_inner(&self) -> Result<Conn> {
         self.reap_idle();
         if let Some(mut conn) = self.idle.lock().pop() {
             telemetry::gauge(names::NET_POOL_IDLE).sub(1);
@@ -210,6 +251,7 @@ impl HttpPool {
             reader: wire::FrameReader::new(stream),
             idle_since: Instant::now(),
             reused: false,
+            in_flight: false,
             counters: self.counters.clone(),
         })
     }
@@ -228,6 +270,11 @@ impl HttpPool {
             return;
         }
         conn.idle_since = Instant::now();
+        if conn.in_flight {
+            conn.in_flight = false;
+            self.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+            telemetry::gauge(names::NET_POOL_IN_FLIGHT).sub(1);
+        }
         idle.push(conn);
         telemetry::gauge(names::NET_POOL_IDLE).add(1);
     }
@@ -266,6 +313,11 @@ impl HttpPool {
     /// Run one request/response exchange on `conn`.
     fn exchange(self: &Arc<Self>, mut conn: Conn, req: &Request) -> std::result::Result<Response, Exchange> {
         let deadline = req.deadline;
+        // The observation window for remote-span skew correction opens
+        // before the request hits the wire — every server-side span of this
+        // exchange must land inside it.
+        let window_start_us = telemetry::now_us();
+        let trace = req.headers.get(headers::TRACE).map(str::to_string);
         conn.tighten(self.cfg.io_timeout, deadline, "pool dispatch").map_err(Exchange::Fatal)?;
         let frame = wire::encode_request(req).map_err(Exchange::Fatal)?;
         if let Err(e) = conn.write.write_all(&frame).and_then(|_| conn.write.flush()) {
@@ -302,6 +354,7 @@ impl HttpPool {
             let body = self
                 .drain_body(&mut conn, framing, deadline)
                 .map_err(Exchange::Fatal)?;
+            merge_server_spans(&mut conn, trace.as_deref(), window_start_us);
             self.checkin(conn);
             let msg = String::from_utf8_lossy(&body).into_owned();
             return Err(Exchange::Fatal(wire::error_from_kind(&kind, msg)));
@@ -309,12 +362,15 @@ impl HttpPool {
 
         if (status == 200 || status == 206) && framing == wire::BodyFraming::Chunked {
             // Stream large bodies lazily; the connection rides inside the
-            // stream and is pooled again at the chunked terminator.
+            // stream and is pooled again at the chunked terminator (which is
+            // also where the span trailer arrives and merges).
             let body: ByteStream = Box::new(PooledBody {
                 pool: self.clone(),
                 conn: Some(conn),
                 io_timeout: self.cfg.io_timeout,
                 deadline,
+                trace,
+                window_start_us,
                 done: false,
             });
             return Ok(Response { status, headers: head.headers, body });
@@ -326,6 +382,7 @@ impl HttpPool {
         let body = self
             .drain_body(&mut conn, framing, deadline)
             .map_err(Exchange::Fatal)?;
+        merge_server_spans(&mut conn, trace.as_deref(), window_start_us);
         self.checkin(conn);
         Ok(wire::response_from_parts(status, head.headers, body))
     }
@@ -370,6 +427,7 @@ impl HttpPool {
             ));
         }
         let deadline = reqs.iter().fold(Deadline::none(), |d, r| d.earliest(r.deadline));
+        let window_start_us = telemetry::now_us();
         let mut conn = self.checkout()?;
         conn.tighten(self.cfg.io_timeout, deadline, "pipelined dispatch")?;
         let mut frames = Vec::new();
@@ -402,6 +460,11 @@ impl HttpPool {
             };
             let framing = wire::FrameReader::<TcpStream>::body_framing(&head)?;
             let body = self.drain_body(&mut conn, framing, req.deadline)?;
+            merge_server_spans(
+                &mut conn,
+                req.headers.get(headers::TRACE),
+                window_start_us,
+            );
             if let Some(kind) = head.headers.get(headers::ERROR_KIND) {
                 return Err(wire::error_from_kind(
                     kind,
@@ -423,6 +486,7 @@ impl HttpPool {
         headers_map: Headers,
         deadline: Deadline,
     ) -> Result<(u16, Headers, Bytes)> {
+        let window_start_us = telemetry::now_us();
         let mut conn = self.checkout()?;
         conn.tighten(self.cfg.io_timeout, deadline, "raw dispatch")?;
         let frame = wire::encode_raw_request(method, target, &headers_map, None, deadline)?;
@@ -448,6 +512,7 @@ impl HttpPool {
         };
         let framing = wire::FrameReader::<TcpStream>::body_framing(&head)?;
         let body = self.drain_body(&mut conn, framing, deadline)?;
+        merge_server_spans(&mut conn, headers_map.get(headers::TRACE), window_start_us);
         self.checkin(conn);
         if let Some(kind) = head.headers.get(headers::ERROR_KIND) {
             return Err(wire::error_from_kind(
@@ -475,6 +540,10 @@ struct PooledBody {
     conn: Option<Conn>,
     io_timeout: Duration,
     deadline: Deadline,
+    /// Trace of the request this body answers, for the span trailer merge.
+    trace: Option<String>,
+    /// When the exchange's request went out (`telemetry::now_us` clock).
+    window_start_us: u64,
     done: bool,
 }
 
@@ -499,14 +568,19 @@ impl Iterator for PooledBody {
             Ok(Some(chunk)) => Some(Ok(chunk)),
             Ok(None) => {
                 self.done = true;
-                if let Some(conn) = self.conn.take() {
+                if let Some(mut conn) = self.conn.take() {
+                    merge_server_spans(&mut conn, self.trace.as_deref(), self.window_start_us);
                     self.pool.checkin(conn);
                 }
                 None
             }
             Err(e) => {
                 self.done = true;
-                if let Some(conn) = self.conn.take() {
+                if let Some(mut conn) = self.conn.take() {
+                    // A stream-error trailer still carried the spans the
+                    // server recorded before the body died — merge them
+                    // even though the connection itself is poisoned.
+                    merge_server_spans(&mut conn, self.trace.as_deref(), self.window_start_us);
                     self.pool.evict(conn);
                 }
                 Some(Err(map_wire_err(e, self.deadline, "response body read")))

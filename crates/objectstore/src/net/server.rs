@@ -207,6 +207,9 @@ impl NetServer {
                 .unwrap_or(WireFault::None);
             if fault != WireFault::None {
                 wire_faults.inc();
+                if let Some(name) = wire_fault_class_metric(fault) {
+                    telemetry::counter(name).inc();
+                }
             }
             let stall = self
                 .fault
@@ -266,12 +269,17 @@ impl NetServer {
                 return Ok(false);
             }
         };
+        // A traced request gets its server-side spans shipped back in the
+        // response trailer (they finish before the trailer is written:
+        // handler spans drop when the handler returns, and the lazy body
+        // has fully streamed by then).
+        let trace = head.headers.get(headers::TRACE).map(str::to_string);
 
         let outcome = self.dispatch(method, &target, head.headers, body, write_half);
         let mut out = FaultWriter::new(write_half, fault, stall);
         let clean = match outcome {
-            Ok(resp) => write_response(&mut out, resp).is_ok(),
-            Err(err) => write_error(&mut out, &err).is_ok(),
+            Ok(resp) => write_response(&mut out, resp, trace.as_deref()).is_ok(),
+            Err(err) => write_error(&mut out, &err, trace.as_deref()).is_ok(),
         };
         // A fired write fault or a mid-stream body error leaves the peer
         // mid-frame: the connection must die, not serve another exchange.
@@ -293,6 +301,30 @@ impl NetServer {
                     return Err(ScoopError::InvalidRequest("info endpoint is GET-only".into()));
                 }
                 Ok(self.pick_proxy().info())
+            }
+            wire::Target::Metrics => {
+                if method != Method::Get {
+                    return Err(ScoopError::InvalidRequest("metrics endpoint is GET-only".into()));
+                }
+                let text = telemetry::snapshot().to_prometheus();
+                Ok(Response::ok(scoop_common::stream::once(Bytes::from(text)))
+                    .with_header("content-type", "text/plain; version=0.0.4"))
+            }
+            wire::Target::Trace(id) => {
+                if method != Method::Get {
+                    return Err(ScoopError::InvalidRequest("trace endpoint is GET-only".into()));
+                }
+                let json = telemetry::trace_to_json(&id);
+                Ok(Response::ok(scoop_common::stream::once(Bytes::from(json)))
+                    .with_header("content-type", "application/json"))
+            }
+            wire::Target::Events => {
+                if method != Method::Get {
+                    return Err(ScoopError::InvalidRequest("events endpoint is GET-only".into()));
+                }
+                let json = telemetry::events_to_json(&telemetry::query_events());
+                Ok(Response::ok(scoop_common::stream::once(Bytes::from(json)))
+                    .with_header("content-type", "application/json"))
             }
             wire::Target::Container { account, container } => {
                 let prefix = headers_map.remove(headers::LIST_PREFIX);
@@ -338,13 +370,40 @@ impl NetServer {
     }
 }
 
+/// The registry counter for one wire fault class (`None` fires nothing).
+fn wire_fault_class_metric(fault: WireFault) -> Option<&'static str> {
+    match fault {
+        WireFault::None => None,
+        WireFault::Rst => Some(names::NET_WIRE_FAULTS_RST),
+        WireFault::Partial => Some(names::NET_WIRE_FAULTS_PARTIAL),
+        WireFault::Slowloris => Some(names::NET_WIRE_FAULTS_SLOWLORIS),
+        WireFault::Garbage => Some(names::NET_WIRE_FAULTS_GARBAGE),
+        WireFault::HalfClose => Some(names::NET_WIRE_FAULTS_HALF_CLOSE),
+    }
+}
+
+/// The `x-scoop-server-spans` trailer for `trace`, if the request was
+/// traced and this server recorded spans for it. Draining (not copying)
+/// keeps the span store single-homed: once shipped, the spans live in the
+/// client's store — important when client and server share a process, where
+/// a copy would double-count every server-side span.
+fn server_span_trailer(trace: Option<&str>) -> Option<(&'static str, String)> {
+    let spans = telemetry::take_server_spans(trace?);
+    if spans.is_empty() {
+        return None;
+    }
+    Some((headers::SERVER_SPANS, telemetry::encode_spans(&spans)))
+}
+
 /// Stream the response out chunked. A body-stream error mid-flight can no
 /// longer change the status line (the head already went out) — it finishes
 /// the frame with an error *trailer* instead, so the client rebuilds the
 /// exact error (a length-enforcement "truncated" error must not flatten
 /// into a generic aborted frame). The connection still closes afterwards:
-/// a stream that died mid-body is not a peer to keep.
-fn write_response(out: &mut impl Write, resp: Response) -> std::io::Result<()> {
+/// a stream that died mid-body is not a peer to keep. Either way the
+/// trailer also carries the server-side spans of a traced request — they
+/// are only complete here, after the body streamed.
+fn write_response(out: &mut impl Write, resp: Response, trace: Option<&str>) -> std::io::Result<()> {
     let head = wire::encode_response_head(resp.status, &resp.headers)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     out.write_all(&head)?;
@@ -352,26 +411,36 @@ fn write_response(out: &mut impl Write, resp: Response) -> std::io::Result<()> {
         match chunk {
             Ok(data) => wire::write_chunk(out, &data)?,
             Err(err) => {
-                wire::finish_chunks_with_error(out, &err)?;
+                let mut trailers = vec![wire::stream_error_trailer(&err)];
+                trailers.extend(server_span_trailer(trace));
+                wire::finish_chunks_with_trailers(out, &trailers)?;
                 out.flush()?;
                 return Err(std::io::Error::other("body stream failed mid-response"));
             }
         }
     }
-    wire::finish_chunks(out)?;
+    match server_span_trailer(trace) {
+        Some(spans) => wire::finish_chunks_with_trailers(out, &[spans])?,
+        None => wire::finish_chunks(out)?,
+    }
     out.flush()
 }
 
 /// Carry an error across the wire: status by kind, the exact kind in
-/// `x-scoop-error`, the message as the body.
-fn write_error(out: &mut impl Write, err: &ScoopError) -> std::io::Result<()> {
+/// `x-scoop-error`, the message as the body. The spans recorded before the
+/// request failed still ship in the trailer — a failed query is exactly the
+/// one whose timeline is worth reading.
+fn write_error(out: &mut impl Write, err: &ScoopError, trace: Option<&str>) -> std::io::Result<()> {
     let mut headers_map = Headers::new();
     headers_map.set(headers::ERROR_KIND, err.kind());
     let head = wire::encode_response_head(wire::status_for_kind(err.kind()), &headers_map)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     out.write_all(&head)?;
     wire::write_chunk(out, err.to_string().as_bytes())?;
-    wire::finish_chunks(out)?;
+    match server_span_trailer(trace) {
+        Some(spans) => wire::finish_chunks_with_trailers(out, &[spans])?,
+        None => wire::finish_chunks(out)?,
+    }
     out.flush()
 }
 

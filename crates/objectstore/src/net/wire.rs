@@ -309,18 +309,39 @@ pub fn finish_chunks(w: &mut impl Write) -> std::io::Result<()> {
     w.write_all(b"0\r\n\r\n")
 }
 
-/// Terminate a chunked body with a mid-stream error trailer. The response
-/// head (status, headers) went out before the body failed; the trailer is
-/// the only slot left in the frame that can still carry the error's kind
-/// and message to the peer.
-pub fn finish_chunks_with_error(w: &mut impl Write, err: &ScoopError) -> std::io::Result<()> {
-    // Trailer values are one line: squash any control bytes in the message.
+/// Terminate a chunked body with trailer lines. The trailer slot is the
+/// only part of a frame that can still carry information discovered while
+/// the body streamed: a mid-stream error's kind/message, and the
+/// server-side spans of the request's trace (`x-scoop-server-spans`) —
+/// those only finish once the body has, so they cannot ride the head.
+pub fn finish_chunks_with_trailers(
+    w: &mut impl Write,
+    trailers: &[(&str, String)],
+) -> std::io::Result<()> {
+    w.write_all(b"0\r\n")?;
+    for (name, value) in trailers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")
+}
+
+/// The `x-scoop-stream-error` trailer line for `err` (control bytes in the
+/// message squashed so the value stays one line).
+pub fn stream_error_trailer(err: &ScoopError) -> (&'static str, String) {
     let msg: String = err
         .to_string()
         .chars()
         .map(|c| if c.is_control() { ' ' } else { c })
         .collect();
-    write!(w, "0\r\n{}: {} {}\r\n\r\n", headers::STREAM_ERROR, err.kind(), msg)
+    (headers::STREAM_ERROR, format!("{} {}", err.kind(), msg))
+}
+
+/// Terminate a chunked body with a mid-stream error trailer. The response
+/// head (status, headers) went out before the body failed; the trailer is
+/// the only slot left in the frame that can still carry the error's kind
+/// and message to the peer.
+pub fn finish_chunks_with_error(w: &mut impl Write, err: &ScoopError) -> std::io::Result<()> {
+    finish_chunks_with_trailers(w, &[stream_error_trailer(err)])
 }
 
 // ---------------------------------------------------------------------------
@@ -375,12 +396,23 @@ pub struct FrameReader<R> {
     buf: Vec<u8>,
     /// Consumed prefix of `buf`.
     pos: usize,
+    /// Raw `x-scoop-server-spans` trailer value of the most recently
+    /// terminated chunked body, parked for [`Self::take_server_spans`].
+    server_spans: Option<String>,
 }
 
 impl<R: Read> FrameReader<R> {
     /// Wrap a byte stream.
     pub fn new(inner: R) -> Self {
-        FrameReader { inner, buf: Vec::new(), pos: 0 }
+        FrameReader { inner, buf: Vec::new(), pos: 0, server_spans: None }
+    }
+
+    /// Take the `x-scoop-server-spans` trailer value the last chunked body
+    /// ended with, if any. Set whether the body terminated cleanly or with
+    /// a stream-error trailer — a failed exchange still ships the spans the
+    /// server recorded on the way down.
+    pub fn take_server_spans(&mut self) -> Option<String> {
+        self.server_spans.take()
     }
 
     /// The wrapped stream (buffer is discarded — only safe between frames
@@ -535,7 +567,9 @@ impl<R: Read> FrameReader<R> {
     }
 
     fn read_trailer_line(&mut self) -> Result<String> {
-        self.read_line_capped(4096, "chunk trailer line too long")
+        // Wide enough for a full span trailer (`telemetry::MAX_ENCODED_SPANS`
+        // value bytes plus the name) with headroom.
+        self.read_line_capped(16_384, "chunk trailer line too long")
     }
 
     /// Read the next chunk of a chunked body; `Ok(None)` after the
@@ -550,10 +584,13 @@ impl<R: Read> FrameReader<R> {
             return Err(malformed("chunk exceeds cap"));
         }
         if size == 0 {
-            // Trailer section: usually just the terminating CRLF, but a
-            // body that failed mid-stream ends with an error trailer — the
-            // sender finished the frame cleanly and parked the error's kind
-            // and message here, after the data it could no longer retract.
+            // Trailer section: usually just the terminating CRLF, but two
+            // trailers may precede it — a body that failed mid-stream ends
+            // with an error trailer (the sender finished the frame cleanly
+            // and parked the error's kind and message here, after the data
+            // it could no longer retract), and a traced request's response
+            // carries the server-side spans (which only finish once the
+            // body has streamed). Anything else is a malformed frame.
             let mut stream_error = None;
             loop {
                 let trailer = self.read_trailer_line()?;
@@ -563,7 +600,12 @@ impl<R: Read> FrameReader<R> {
                 let Some((name, value)) = trailer.split_once(':') else {
                     return Err(malformed("chunk trailer without ':'"));
                 };
-                if !name.trim().eq_ignore_ascii_case(headers::STREAM_ERROR) {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case(headers::SERVER_SPANS) {
+                    self.server_spans = Some(value.trim().to_string());
+                    continue;
+                }
+                if !name.eq_ignore_ascii_case(headers::STREAM_ERROR) {
                     return Err(malformed("unexpected chunk trailer"));
                 }
                 let value = value.trim();
@@ -618,10 +660,19 @@ fn parse_start_line(line: &str) -> Result<StartLine> {
 // ---------------------------------------------------------------------------
 
 /// What a decoded request target addresses.
+///
+/// The top-level segments `info`, `metrics`, `events` and `trace` are
+/// reserved endpoint namespaces and never parse as account names.
 #[derive(Debug)]
 pub enum Target {
-    /// `GET /info`: the telemetry snapshot endpoint.
+    /// `GET /info`: the telemetry snapshot endpoint (plain text).
     Info,
+    /// `GET /metrics`: Prometheus text exposition of the snapshot.
+    Metrics,
+    /// `GET /trace/{id}`: JSON span dump of one trace.
+    Trace(String),
+    /// `GET /events`: JSON dump of the wide query-event ring.
+    Events,
     /// `/account/container`: container create/list.
     Container {
         /// Account segment (decoded).
@@ -638,7 +689,31 @@ pub fn decode_target(target: &str) -> Result<Target> {
     if target == "/info" {
         return Ok(Target::Info);
     }
+    if target == "/metrics" {
+        return Ok(Target::Metrics);
+    }
+    if target == "/events" {
+        return Ok(Target::Events);
+    }
+    if let Some(id) = target.strip_prefix("/trace/") {
+        if id.is_empty() || id.contains('/') {
+            return Err(ScoopError::InvalidRequest(format!(
+                "trace endpoint takes exactly one ID segment, got '{target}'"
+            )));
+        }
+        return Ok(Target::Trace(decode_segment(id)?));
+    }
     let trimmed = target.strip_prefix('/').unwrap_or(target);
+    // The endpoint namespaces are reserved outright: a stray extra segment
+    // must surface as an unroutable target, not dispatch into a phantom
+    // "metrics" account.
+    if let Some(first) = trimmed.split('/').next() {
+        if matches!(first, "info" | "metrics" | "events" | "trace") {
+            return Err(ScoopError::InvalidRequest(format!(
+                "'/{first}' is a reserved endpoint namespace, got '{target}'"
+            )));
+        }
+    }
     let segments: Vec<&str> = trimmed.splitn(3, '/').collect();
     match segments.as_slice() {
         [account, container] => Ok(Target::Container {
@@ -861,6 +936,69 @@ mod tests {
         assert!(r.read_head().is_err());
         let mut r = FrameReader::new(Cursor::new(Vec::new()));
         assert!(r.read_head().unwrap().is_none());
+    }
+
+    #[test]
+    fn span_trailer_rides_the_chunk_terminator() {
+        use scoop_common::telemetry::{self, layers};
+        let spans = vec![telemetry::SpanRecord {
+            layer: layers::PROXY,
+            detail: "GET a/c/o".into(),
+            start_us: 10,
+            duration_us: 20,
+            remote: false,
+        }];
+        let encoded = telemetry::encode_spans(&spans);
+
+        // Clean termination: body chunks, then the spans trailer.
+        let mut buf = Vec::new();
+        write_chunk(&mut buf, b"rows").unwrap();
+        finish_chunks_with_trailers(&mut buf, &[(headers::SERVER_SPANS, encoded.clone())])
+            .unwrap();
+        let mut r = FrameReader::new(Cursor::new(buf));
+        assert_eq!(r.read_chunk().unwrap().unwrap(), Bytes::from_static(b"rows"));
+        assert!(r.read_chunk().unwrap().is_none());
+        let carried = r.take_server_spans().expect("spans trailer lost");
+        assert_eq!(telemetry::decode_spans(&carried).unwrap(), spans);
+        // One-shot: a second take finds nothing.
+        assert!(r.take_server_spans().is_none());
+
+        // Error termination: the spans ride alongside the stream error and
+        // survive even though the body read fails.
+        let mut buf = Vec::new();
+        write_chunk(&mut buf, b"partial").unwrap();
+        let failure = ScoopError::Io(std::io::Error::other("boom"));
+        finish_chunks_with_trailers(
+            &mut buf,
+            &[stream_error_trailer(&failure), (headers::SERVER_SPANS, encoded)],
+        )
+        .unwrap();
+        let mut r = FrameReader::new(Cursor::new(buf));
+        assert_eq!(r.read_chunk().unwrap().unwrap(), Bytes::from_static(b"partial"));
+        let err = r.read_chunk().unwrap_err();
+        assert_eq!(err.kind(), "io");
+        assert_eq!(
+            telemetry::decode_spans(&r.take_server_spans().unwrap()).unwrap(),
+            spans
+        );
+        // Unknown trailers are still rejected.
+        let mut buf = Vec::new();
+        finish_chunks_with_trailers(&mut buf, &[("x-mystery", "?".into())]).unwrap();
+        let mut r = FrameReader::new(Cursor::new(buf));
+        assert!(r.read_chunk().is_err());
+    }
+
+    #[test]
+    fn observability_targets_decode() {
+        assert!(matches!(decode_target("/metrics").unwrap(), Target::Metrics));
+        assert!(matches!(decode_target("/events").unwrap(), Target::Events));
+        let Target::Trace(id) = decode_target("/trace/t00ab").unwrap() else {
+            panic!("not a trace target")
+        };
+        assert_eq!(id, "t00ab");
+        assert!(decode_target("/trace/").is_err());
+        assert!(decode_target("/trace/a/b").is_err());
+        assert!(decode_target("/metrics/x").is_err(), "one-segment junk stays unroutable");
     }
 
     #[test]

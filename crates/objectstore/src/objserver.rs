@@ -188,7 +188,7 @@ impl ObjectServer {
         let backend = self.backend(device)?;
         let _span = telemetry::span(
             req.headers.get(scoop_common::headers::TRACE),
-            "objserver",
+            telemetry::layers::OBJSERVER,
             format!("node {} {:?} {}", self.id, req.method, req.path.ring_key()),
         );
         req.headers.set(STAGE_HEADER, STAGE_OBJECT);

@@ -288,7 +288,7 @@ impl ProxyServer {
         self.stats.requests.inc();
         let _span = telemetry::span(
             req.headers.get(headers::TRACE),
-            "proxy",
+            telemetry::layers::PROXY,
             format!("proxy {} {:?} {}", self.id, req.method, req.path.ring_key()),
         );
         req.headers.set(STAGE_HEADER, STAGE_PROXY);

@@ -534,7 +534,7 @@ impl SwiftClient {
         }
         let _span = telemetry::span(
             trace.as_deref(),
-            "client",
+            telemetry::layers::CLIENT,
             format!("{:?} {}", req.method, req.path.ring_key()),
         );
         req.deadline = req.deadline.earliest(*self.deadline.lock());
@@ -671,6 +671,75 @@ impl SwiftClient {
         }
     }
 
+    /// `GET /metrics`: the live Prometheus text rendering of the telemetry
+    /// registry. In-process transports render the local snapshot directly;
+    /// over TCP the request crosses the wire so the text reflects whichever
+    /// proxy answered. Best-effort like [`SwiftClient::info`].
+    pub fn metrics_text(&self) -> Result<String> {
+        match &self.transport {
+            Transport::InProcess => Ok(telemetry::snapshot().to_prometheus()),
+            Transport::Tcp(pool) => {
+                let (status, _, body) = pool.send_raw(
+                    Method::Get,
+                    "/metrics",
+                    self.raw_headers(),
+                    *self.deadline.lock(),
+                )?;
+                if status != 200 {
+                    return Err(ScoopError::Internal(format!(
+                        "/metrics answered unexpected status {status}"
+                    )));
+                }
+                Ok(String::from_utf8_lossy(&body).into_owned())
+            }
+        }
+    }
+
+    /// `GET /trace/{id}`: the JSON span dump for one trace. Over TCP the
+    /// spans come from the server's store; the caller's own client-side
+    /// spans for the same trace live in the local store (`trace_spans`).
+    pub fn trace_json(&self, trace: &str) -> Result<String> {
+        match &self.transport {
+            Transport::InProcess => Ok(telemetry::trace_to_json(trace)),
+            Transport::Tcp(pool) => {
+                let target = format!("/trace/{}", wire::encode_segment(trace));
+                let (status, _, body) = pool.send_raw(
+                    Method::Get,
+                    &target,
+                    self.raw_headers(),
+                    *self.deadline.lock(),
+                )?;
+                if status != 200 {
+                    return Err(ScoopError::Internal(format!(
+                        "/trace answered unexpected status {status}"
+                    )));
+                }
+                Ok(String::from_utf8_lossy(&body).into_owned())
+            }
+        }
+    }
+
+    /// `GET /events`: the wide-event (slow-query) ring as JSON.
+    pub fn events_json(&self) -> Result<String> {
+        match &self.transport {
+            Transport::InProcess => Ok(telemetry::events_to_json(&telemetry::query_events())),
+            Transport::Tcp(pool) => {
+                let (status, _, body) = pool.send_raw(
+                    Method::Get,
+                    "/events",
+                    self.raw_headers(),
+                    *self.deadline.lock(),
+                )?;
+                if status != 200 {
+                    return Err(ScoopError::Internal(format!(
+                        "/events answered unexpected status {status}"
+                    )));
+                }
+                Ok(String::from_utf8_lossy(&body).into_owned())
+            }
+        }
+    }
+
     /// Object metadata.
     pub fn head_object(&self, container: &str, object: &str) -> Result<Response> {
         let path = ObjectPath::new(self.account.clone(), container, object)?;
@@ -724,7 +793,7 @@ impl SwiftClient {
                 let trace = self.trace.lock().clone();
                 let _span = telemetry::span(
                     trace.as_deref(),
-                    "client",
+                    telemetry::layers::CLIENT,
                     format!("pipelined GET x{} {}", ranges.len(), path.ring_key()),
                 );
                 let reqs: Vec<Request> = ranges

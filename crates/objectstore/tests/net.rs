@@ -309,3 +309,97 @@ fn pipelined_range_gets_share_one_connection() {
         "pipelined ranges dialed per-request: {before:?} -> {after:?}"
     );
 }
+
+/// Observability smoke over a chaos-seeded wire: traced GETs under active
+/// wire faults must still merge server spans through the trailer, and the
+/// live `/metrics`, `/trace/{id}` and `/events` endpoints must answer over
+/// the same degraded transport — with the per-fault-class counters the
+/// faults just incremented visible in the Prometheus text.
+#[test]
+fn observability_endpoints_serve_over_a_chaos_seeded_wire() {
+    use scoop_common::telemetry;
+
+    let plan = FaultPlan::quiet(seed(0x0B5E))
+        .with_wire_rst(0.08)
+        .with_wire_partial(0.08, Duration::from_millis(2))
+        .with_wire_garbage(0.08);
+    let (cluster, client) = tcp_rig(Some(plan));
+    let body = payload(20_000);
+    client.put_object("data", "obs", body.clone()).unwrap();
+
+    let trace = telemetry::new_trace_id();
+    client.set_trace(Some(trace.clone()));
+    // Soak traced GETs until at least one wire fault has fired; each
+    // success must still deliver exact bytes despite the chaos.
+    for round in 0..200 {
+        match client.get_object("data", "obs").and_then(|r| r.read_body()) {
+            Ok(got) => assert_eq!(got, body, "round {round}: corrupted under chaos"),
+            Err(e) => assert!(
+                e.is_retryable() || e.kind() == "deadline",
+                "round {round}: fault outside the taxonomy: {e}"
+            ),
+        }
+        if round >= 20 && cluster.fault_stats().total_wire_faults() > 0 {
+            break;
+        }
+    }
+    assert!(cluster.fault_stats().total_wire_faults() > 0, "chaos never fired");
+
+    // Server spans crossed back through the trailer and were merged into
+    // the local store tagged remote — chaos must not unthread the trace.
+    let spans = telemetry::trace_spans(&trace);
+    assert!(
+        spans.iter().any(|s| s.remote && s.layer == telemetry::layers::PROXY),
+        "no remote proxy span survived the chaos soak: {spans:?}"
+    );
+    assert!(
+        spans.iter().any(|s| s.remote && s.layer == telemetry::layers::OBJSERVER),
+        "no remote objserver span survived the chaos soak: {spans:?}"
+    );
+    assert!(
+        spans.iter().any(|s| !s.remote && s.layer == telemetry::layers::CLIENT),
+        "no local client span recorded: {spans:?}"
+    );
+
+    // The endpoints ride the same faulty wire; a fetch may lose its own
+    // connection to a fault, so each gets a few attempts.
+    let fetch = |f: &dyn Fn() -> scoop_common::Result<String>| -> String {
+        for _ in 0..20 {
+            if let Ok(text) = f() {
+                return text;
+            }
+        }
+        panic!("endpoint never answered through the chaos");
+    };
+    let metrics = fetch(&|| client.metrics_text());
+    let stats = cluster.fault_stats();
+    for (count, name) in [
+        (stats.wire_rsts, telemetry::names::NET_WIRE_FAULTS_RST),
+        (stats.wire_partials, telemetry::names::NET_WIRE_FAULTS_PARTIAL),
+        (stats.wire_garbage, telemetry::names::NET_WIRE_FAULTS_GARBAGE),
+    ] {
+        if count > 0 {
+            assert!(
+                metrics.contains(name),
+                "/metrics missing fired fault-class series {name}"
+            );
+        }
+    }
+    for name in [
+        telemetry::names::NET_WIRE_FAULTS,
+        telemetry::names::NET_POOL_CHECKOUT_WAIT_US,
+        telemetry::names::NET_POOL_IN_FLIGHT,
+    ] {
+        assert!(metrics.contains(name), "/metrics missing {name}");
+    }
+
+    let trace_body = fetch(&|| client.trace_json(&trace));
+    assert!(
+        trace_body.contains(&trace),
+        "/trace/{{id}} must echo the trace ID: {trace_body}"
+    );
+    assert!(
+        trace_body.contains(telemetry::layers::OBJSERVER),
+        "/trace/{{id}} must carry the server-side spans: {trace_body}"
+    );
+}

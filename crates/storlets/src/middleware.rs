@@ -189,7 +189,7 @@ impl StorletMiddleware {
         };
         let _span = scoop_common::telemetry::span(
             req.headers.get(scoop_common::headers::TRACE),
-            "storlet",
+            scoop_common::telemetry::layers::STORLET,
             format!("GET pipeline [{}]", names.join(",")),
         );
         let mut ctx = Self::build_context(&req)?;
@@ -251,7 +251,7 @@ impl StorletMiddleware {
     ) -> Result<Response> {
         let _span = scoop_common::telemetry::span(
             req.headers.get(scoop_common::headers::TRACE),
-            "storlet",
+            scoop_common::telemetry::layers::STORLET,
             format!("PUT pipeline [{}]", names.join(",")),
         );
         let ctx = Self::build_context(&req)?;

@@ -52,7 +52,7 @@ fn one_pushdown_query_yields_one_trace_across_the_whole_path() {
 
     let spans = telemetry::trace_spans(&outcome.metrics.trace);
     let layers: BTreeSet<&str> = spans.iter().map(|s| s.layer).collect();
-    for layer in ["session", "scheduler", "connector", "client", "proxy", "objserver", "storlet"] {
+    for layer in telemetry::layers::ALL {
         assert!(
             layers.contains(layer),
             "trace {} is missing a {layer} span; got layers {layers:?}",
@@ -82,12 +82,133 @@ fn one_pushdown_query_yields_one_trace_across_the_whole_path() {
         .iter()
         .map(|s| s.layer)
         .collect();
-    for layer in ["session", "connector", "proxy", "objserver"] {
+    for layer in [
+        telemetry::layers::SESSION,
+        telemetry::layers::CONNECTOR,
+        telemetry::layers::PROXY,
+        telemetry::layers::OBJSERVER,
+    ] {
         assert!(
             second_layers.contains(layer),
             "second trace missing {layer}: {second_layers:?}"
         );
     }
+}
+
+/// The tentpole end-to-end: over the TCP data plane the server-side spans
+/// (proxy, object server, storlet) finish on the far side of a socket, ride
+/// back in the `x-scoop-server-spans` trailer, and are merged into the
+/// client's trace store tagged `remote` — one query, one coherent
+/// seven-layer timeline.
+#[test]
+fn tcp_transport_merges_server_spans_into_one_trace() {
+    let mut plan = FaultPlan::quiet(0x7C9B5EED);
+    for node in 0..4 {
+        plan = plan.with_slow_node(node, Duration::from_millis(8));
+    }
+    let ctx = ScoopContext::new(ScoopConfig {
+        swift: SwiftConfig {
+            fault_plan: Some(plan),
+            breaker: Some(BreakerConfig::default()),
+            hedge_after: Some(Duration::from_millis(1)),
+            ..SwiftConfig::default()
+        },
+        transport_tcp: true,
+        ..ScoopConfig::default()
+    })
+    .expect("deploy over tcp");
+    assert!(ctx.client().is_tcp(), "transport_tcp must put the client on sockets");
+    let mut gen = MeterDataset::new(&GeneratorConfig { meters: 30, ..Default::default() });
+    let objects: Vec<(String, Bytes)> = (0..2)
+        .map(|i| (format!("part-{i}.csv"), gen.csv_object(400)))
+        .collect();
+    ctx.upload_csv("meters", objects, None).expect("upload");
+
+    let outcome = ctx
+        .query("meters", SQL, ExecutionMode::Pushdown)
+        .expect("pushdown query over tcp");
+    assert!(!outcome.result.rows.is_empty());
+    let trace = &outcome.metrics.trace;
+    let spans = telemetry::trace_spans(trace);
+
+    // All seven layers in one trace...
+    let seen: BTreeSet<&str> = spans.iter().map(|s| s.layer).collect();
+    for layer in telemetry::layers::ALL {
+        assert!(seen.contains(layer), "trace {trace} missing {layer}: {seen:?}");
+    }
+    // ... with every server-side layer present as a *remote* span (shipped
+    // via the trailer) and every client-side layer recorded locally.
+    for layer in telemetry::layers::SERVER_SIDE {
+        assert!(
+            spans.iter().any(|s| s.remote && s.layer == *layer),
+            "no remote {layer} span; the trailer merge lost a tier: {spans:?}"
+        );
+    }
+    for layer in [
+        telemetry::layers::SESSION,
+        telemetry::layers::SCHEDULER,
+        telemetry::layers::CONNECTOR,
+        telemetry::layers::CLIENT,
+    ] {
+        assert!(
+            spans.iter().any(|s| !s.remote && s.layer == layer),
+            "no local {layer} span: {spans:?}"
+        );
+    }
+    // Merged offsets stay monotone with the query that carried them: no
+    // remote span may start before the session span that minted the trace.
+    let session_start = spans
+        .iter()
+        .filter(|s| s.layer == telemetry::layers::SESSION)
+        .map(|s| s.start_us)
+        .min()
+        .expect("session span");
+    for s in spans.iter().filter(|s| s.remote) {
+        assert!(
+            s.start_us >= session_start,
+            "remote span starts before the query did: {s:?} (session at {session_start})"
+        );
+    }
+
+    // The live endpoints agree: /trace/{id} serves the merged trace as
+    // JSON, /metrics exposes the pool and wire-fault series in Prometheus
+    // text — both fetched over the same TCP transport under test.
+    let trace_json = ctx.client().trace_json(trace).expect("GET /trace/{id}");
+    for layer in telemetry::layers::ALL {
+        assert!(
+            trace_json.contains(&format!("\"layer\":\"{layer}\"")),
+            "GET /trace/{{id}} missing {layer}: {trace_json}"
+        );
+    }
+    let metrics = ctx.client().metrics_text().expect("GET /metrics");
+    for name in [
+        names::NET_POOL_CHECKOUT_WAIT_US,
+        names::NET_POOL_IN_FLIGHT,
+        names::NET_WIRE_FAULTS,
+        names::NET_POOL_REUSES,
+        names::PROXY_HEDGED_GETS,
+    ] {
+        assert!(metrics.contains(name), "GET /metrics missing {name}");
+    }
+    assert!(metrics.contains("# TYPE"), "metrics must be Prometheus text");
+
+    // The wide-event log captured the query: right trace, bytes moved,
+    // path attributed to pushdown (or its fallback under faults).
+    let event = telemetry::query_events()
+        .into_iter()
+        .find(|e| &e.trace == trace)
+        .expect("query event for the traced query");
+    assert!(event.bytes > 0, "event must account transferred bytes: {event:?}");
+    assert!(
+        event.path == "pushdown" || event.path == "pushdown-fallback",
+        "event path must attribute the chosen plan: {event:?}"
+    );
+    assert!(
+        event.layer_us.iter().any(|(l, _)| *l == telemetry::layers::OBJSERVER),
+        "event must carry per-layer durations incl. remote tiers: {event:?}"
+    );
+    let events_json = ctx.client().events_json().expect("GET /events");
+    assert!(events_json.contains(trace), "GET /events missing the query event");
 }
 
 #[test]
