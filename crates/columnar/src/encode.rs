@@ -66,12 +66,15 @@ impl<'a> Cursor<'a> {
 
     /// Remaining byte count.
     pub fn remaining(&self) -> usize {
-        self.data.len() - self.pos
+        self.data.len().saturating_sub(self.pos)
     }
 
     /// Read a single byte.
     pub fn bytes_one(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        self.take(1)?
+            .first()
+            .copied()
+            .ok_or_else(|| ScoopError::Corrupt("unexpected end of buffer".into()))
     }
 
     /// Read exactly `n` raw bytes.
@@ -80,24 +83,34 @@ impl<'a> Cursor<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| ScoopError::Corrupt("length overflows buffer offset".into()))?;
         let s = self
             .data
-            .get(self.pos..self.pos + n)
-            .ok_or_else(|| ScoopError::Columnar("unexpected end of buffer".into()))?;
-        self.pos += n;
+            .get(self.pos..end)
+            .ok_or_else(|| ScoopError::Corrupt("unexpected end of buffer".into()))?;
+        self.pos = end;
         Ok(s)
     }
 
     /// Read a u32.
     pub fn u32(&mut self) -> Result<u32> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let b: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| ScoopError::Corrupt("short u32".into()))?;
+        Ok(u32::from_le_bytes(b))
     }
 
     /// Read a u64.
     pub fn u64(&mut self) -> Result<u64> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        let b: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| ScoopError::Corrupt("short u64".into()))?;
+        Ok(u64::from_le_bytes(b))
     }
 
     /// Read a varint.
@@ -201,23 +214,23 @@ pub fn encode_column(values: &[Value]) -> Vec<u8> {
         let floats: Vec<f64> = non_null.iter().filter_map(|v| v.as_f64()).collect();
         let runs = floats
             .windows(2)
-            .filter(|w| w[0].to_bits() != w[1].to_bits())
+            .filter(|w| w.first().map(|f| f.to_bits()) != w.last().map(|f| f.to_bits()))
             .count()
-            + usize::from(!floats.is_empty());
-        if runs * 9 < floats.len() * 8 {
+            .saturating_add(usize::from(!floats.is_empty()));
+        if runs.saturating_mul(9) < floats.len().saturating_mul(8) {
             out.push(Encoding::FloatRle as u8);
             write_header(&mut out, values);
             let mut i = 0usize;
-            while i < floats.len() {
-                let mut run = 1usize;
-                while i + run < floats.len()
-                    && floats[i + run].to_bits() == floats[i].to_bits()
-                {
-                    run += 1;
-                }
+            while let Some(&first) = floats.get(i) {
+                let run = floats
+                    .iter()
+                    .skip(i)
+                    .take_while(|f| f.to_bits() == first.to_bits())
+                    .count();
                 put_varint(&mut out, run as u64);
-                out.extend_from_slice(&floats[i].to_le_bytes());
-                i += run;
+                out.extend_from_slice(&first.to_le_bytes());
+                // `run >= 1`: the element at `i` always matches itself.
+                i = i.saturating_add(run.max(1));
             }
         } else {
             out.push(Encoding::PlainFloat as u8);
@@ -238,7 +251,7 @@ pub fn encode_column(values: &[Value]) -> Vec<u8> {
     for s in &strings {
         index_of.entry(*s).or_insert_with(|| {
             dict.push(s);
-            dict.len() - 1
+            dict.len().saturating_sub(1)
         });
     }
     if dict.len() <= strings.len() / 2 || dict.len() <= 256 {
@@ -248,17 +261,19 @@ pub fn encode_column(values: &[Value]) -> Vec<u8> {
         for s in &dict {
             put_bytes(&mut out, s.as_bytes());
         }
-        // RLE over dictionary indices: (index, run_length)*.
+        // RLE over dictionary indices: (index, run_length)*. Every string
+        // was inserted into `index_of` above, so the lookup always hits.
+        let codes: Vec<usize> = strings
+            .iter()
+            .map(|s| index_of.get(s).copied().unwrap_or_default())
+            .collect();
         let mut i = 0usize;
-        while i < strings.len() {
-            let idx = index_of[strings[i]];
-            let mut run = 1usize;
-            while i + run < strings.len() && index_of[strings[i + run]] == idx {
-                run += 1;
-            }
+        while let Some(&idx) = codes.get(i) {
+            let run = codes.iter().skip(i).take_while(|&&c| c == idx).count();
             put_varint(&mut out, idx as u64);
             put_varint(&mut out, run as u64);
-            i += run;
+            // `run >= 1`: the element at `i` always matches itself.
+            i = i.saturating_add(run.max(1));
         }
     } else {
         out.push(Encoding::PlainStr as u8);
@@ -276,7 +291,9 @@ fn write_header(out: &mut Vec<u8>, values: &[Value]) {
     let mut bitmap = vec![0u8; values.len().div_ceil(8)];
     for (i, v) in values.iter().enumerate() {
         if !v.is_null() {
-            bitmap[i / 8] |= 1 << (i % 8);
+            if let Some(slot) = bitmap.get_mut(i / 8) {
+                *slot |= 1 << (i % 8);
+            }
         }
     }
     out.extend_from_slice(&bitmap);
@@ -388,10 +405,11 @@ impl DecodedColumn {
 
 /// Read 8 bytes as a little-endian f64.
 fn take_f64(c: &mut Cursor<'_>) -> Result<f64> {
-    let b = c.take(8)?;
-    Ok(f64::from_le_bytes([
-        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-    ]))
+    let b: [u8; 8] = c
+        .take(8)?
+        .try_into()
+        .map_err(|_| ScoopError::Corrupt("short f64".into()))?;
+    Ok(f64::from_le_bytes(b))
 }
 
 /// Decode a column chunk into typed arrays: one pass per value or run, no
@@ -432,10 +450,11 @@ pub fn decode_column_batch(data: &[u8]) -> Result<DecodedColumn> {
             while vals.len() < n_valid {
                 let run = c.varint()? as usize;
                 let v = take_f64(&mut c)?;
-                if vals.len() + run > n_valid {
-                    return Err(ScoopError::Columnar("float RLE run overflow".into()));
+                let new_len = vals.len().saturating_add(run);
+                if run == 0 || new_len > n_valid {
+                    return Err(ScoopError::Corrupt("float RLE run overflow".into()));
                 }
-                vals.resize(vals.len() + run, v);
+                vals.resize(new_len, v);
             }
             ColumnData::Float(vals)
         }
@@ -450,12 +469,13 @@ pub fn decode_column_batch(data: &[u8]) -> Result<DecodedColumn> {
                 let idx = c.varint()? as usize;
                 let run = c.varint()? as usize;
                 if idx >= dict.len() {
-                    return Err(ScoopError::Columnar("dict index out of range".into()));
+                    return Err(ScoopError::Corrupt("dict index out of range".into()));
                 }
-                if codes.len() + run > n_valid {
-                    return Err(ScoopError::Columnar("RLE run overflow".into()));
+                let new_len = codes.len().saturating_add(run);
+                if run == 0 || new_len > n_valid {
+                    return Err(ScoopError::Corrupt("RLE run overflow".into()));
                 }
-                codes.resize(codes.len() + run, idx as u32);
+                codes.resize(new_len, idx as u32);
             }
             ColumnData::Dict { dict, codes }
         }

@@ -47,6 +47,11 @@ pub enum ScoopError {
     Storlet(String),
     /// Columnar format corruption or version mismatch.
     Columnar(String),
+    /// Stored bytes are structurally invalid: truncated buffers, lengths
+    /// that overflow, offsets past the end. Distinct from [`Self::Columnar`]
+    /// (format/version-level problems) so checked decode arithmetic has a
+    /// precise place to land.
+    Corrupt(String),
     /// Failure inside the compute framework (task panic, lost partition).
     Compute(String),
     /// The feature is recognized but intentionally not supported.
@@ -70,6 +75,7 @@ impl ScoopError {
             ScoopError::Sql(_) => "sql",
             ScoopError::Storlet(_) => "storlet",
             ScoopError::Columnar(_) => "columnar",
+            ScoopError::Corrupt(_) => "corrupt",
             ScoopError::Compute(_) => "compute",
             ScoopError::Unsupported(_) => "unsupported",
             ScoopError::DeadlineExceeded(_) => "deadline",
@@ -95,6 +101,7 @@ impl ScoopError {
             ScoopError::Sql(_) => ErrorClass::NonRetryable,
             ScoopError::Storlet(_) => ErrorClass::NonRetryable,
             ScoopError::Columnar(_) => ErrorClass::NonRetryable,
+            ScoopError::Corrupt(_) => ErrorClass::NonRetryable,
             ScoopError::Unsupported(_) => ErrorClass::NonRetryable,
             ScoopError::DeadlineExceeded(_) => ErrorClass::NonRetryable,
             ScoopError::Internal(_) => ErrorClass::NonRetryable,
@@ -120,6 +127,7 @@ impl fmt::Display for ScoopError {
             ScoopError::Sql(m) => write!(f, "sql error: {m}"),
             ScoopError::Storlet(m) => write!(f, "storlet error: {m}"),
             ScoopError::Columnar(m) => write!(f, "columnar error: {m}"),
+            ScoopError::Corrupt(m) => write!(f, "corrupt data: {m}"),
             ScoopError::Compute(m) => write!(f, "compute error: {m}"),
             ScoopError::Unsupported(m) => write!(f, "unsupported: {m}"),
             ScoopError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
@@ -177,5 +185,13 @@ mod tests {
     fn display_includes_message() {
         let e = ScoopError::Storlet("csvfilter crashed".into());
         assert_eq!(e.to_string(), "storlet error: csvfilter crashed");
+    }
+
+    #[test]
+    fn corrupt_is_terminal() {
+        let e = ScoopError::Corrupt("length overflows buffer".into());
+        assert_eq!(e.kind(), "corrupt");
+        assert!(!e.is_retryable());
+        assert_eq!(e.to_string(), "corrupt data: length overflows buffer");
     }
 }

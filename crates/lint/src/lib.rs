@@ -1,10 +1,22 @@
 //! `scoop-lint`: workspace static analysis for the Scoop codebase.
 //!
-//! Three passes over a token-level model of every crate's `src/`:
+//! Six passes over a token-level model of every crate's `src/`, four of
+//! them interprocedural over the shared workspace call graph
+//! ([`analysis::Graph`]):
 //!
 //! * **lock-order** ([`passes::locks`]) — per-function lock-acquisition
-//!   spans, a workspace lock-order graph with call-graph resolution,
-//!   cycle detection, and blocking-call-under-guard checks;
+//!   spans, a workspace lock-order graph with call-graph resolution and
+//!   cycle detection;
+//! * **transitive-blocking** ([`passes::blocking`]) — lock guards held
+//!   across call chains that bottom out in sleeps, channel receives,
+//!   condvar waits, joins or bulk I/O, with the blocking class named;
+//! * **deadline-flow** ([`passes::deadline`]) — every socket
+//!   read/write/connect in the net plane reachable only through call
+//!   chains that establish a timeout, and a `Deadline` in scope must flow
+//!   into it;
+//! * **trace-propagation** ([`passes::trace`]) — request-construction
+//!   paths attach `headers::TRACE`; response-completion paths decode the
+//!   server-span trailer; response heads are followed by trailers;
 //! * **panic-path** ([`passes::panics`]) — latent panics (`unwrap`,
 //!   `expect`, `panic!`, indexing, unchecked arithmetic) on production
 //!   data paths, with a `// lint:allow(justification)` escape hatch;
@@ -20,6 +32,7 @@
 //! `syn` is unavailable offline, and token-level analysis is enough for
 //! these rules (limits are documented per pass and in DESIGN.md).
 
+pub mod analysis;
 pub mod baseline;
 pub mod findings;
 pub mod lexer;
@@ -36,8 +49,12 @@ use model::{parse_file, ParsedFile};
 pub fn analyze(files: &[(String, String)]) -> Vec<Finding> {
     let parsed: Vec<ParsedFile> =
         files.iter().map(|(p, s)| parse_file(p, s)).collect();
+    let graph = analysis::Graph::build(&parsed);
     let mut findings = Vec::new();
-    findings.extend(passes::locks::run(&parsed));
+    findings.extend(passes::locks::run(&graph));
+    findings.extend(passes::blocking::run(&graph));
+    findings.extend(passes::deadline::run(&graph));
+    findings.extend(passes::trace::run(&graph));
     findings.extend(passes::panics::run(&parsed));
     findings.extend(passes::invariants::run(&parsed));
 

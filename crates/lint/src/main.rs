@@ -2,13 +2,17 @@
 //!
 //! ```text
 //! scoop-lint [--root PATH] [--format text|json] [--baseline PATH]
-//!            [--update-baseline]
+//!            [--update-baseline] [--diff]
 //! ```
 //!
 //! Exit codes: `0` no regressions, `1` regressions found, `2` usage or
 //! I/O error. A *regression* is any deny-level finding, or a warn-level
 //! finding whose fingerprint is absent from the committed baseline
 //! (`lint-baseline.txt` at the workspace root by default).
+//!
+//! `--diff` restricts output to the regressions themselves (in either
+//! format): a CI failure then shows the handful of findings that are
+//! actually new, not every accepted baseline warn.
 
 use scoop_lint::findings::{render_json, render_text, Severity};
 use scoop_lint::{analyze, baseline, collect_workspace};
@@ -20,10 +24,17 @@ struct Options {
     baseline: Option<PathBuf>,
     json: bool,
     update_baseline: bool,
+    diff: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut opts = Options { root: None, baseline: None, json: false, update_baseline: false };
+    let mut opts = Options {
+        root: None,
+        baseline: None,
+        json: false,
+        update_baseline: false,
+        diff: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -37,9 +48,10 @@ fn parse_args() -> Result<Options, String> {
                 _ => return Err("--format needs `text` or `json`".into()),
             },
             "--update-baseline" => opts.update_baseline = true,
+            "--diff" => opts.diff = true,
             "--help" | "-h" => {
                 println!(
-                    "scoop-lint [--root PATH] [--format text|json] [--baseline PATH] [--update-baseline]"
+                    "scoop-lint [--root PATH] [--format text|json] [--baseline PATH] [--update-baseline] [--diff]"
                 );
                 std::process::exit(0);
             }
@@ -123,9 +135,12 @@ fn main() -> ExitCode {
     let cmp = baseline::compare(&findings, &baseline_set);
 
     if opts.json {
-        print!("{}", render_json(&findings));
+        let shown = if opts.diff { &cmp.regressions } else { &findings };
+        print!("{}", render_json(shown));
     } else if !cmp.regressions.is_empty() {
         print!("{}", render_text(&cmp.regressions));
+    } else if opts.diff {
+        println!("scoop-lint: no findings outside the baseline");
     }
 
     if !cmp.regressions.is_empty() {

@@ -32,6 +32,17 @@ pub struct LockField {
     pub kind: LockKind,
 }
 
+/// Any struct field, with the type names its declaration mentions (outer
+/// type first): `reader: FrameReader<TcpStream>` records
+/// `["FrameReader", "TcpStream"]`. The interprocedural resolver uses these
+/// to type `self.field.method(...)` receivers.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    pub owner: String,
+    pub field: String,
+    pub type_names: Vec<String>,
+}
+
 /// One parsed function.
 #[derive(Debug)]
 pub struct Function {
@@ -51,6 +62,10 @@ pub struct Function {
     /// Token index range of the body (inside the braces), into
     /// [`ParsedFile::tokens`]. Empty for bodiless trait-method signatures.
     pub body: std::ops::Range<usize>,
+    /// Token index range of the signature — from the `fn` keyword up to
+    /// (not including) the body's opening brace or the declaration's `;`.
+    /// The resolver reads parameter names and types out of this span.
+    pub sig: std::ops::Range<usize>,
 }
 
 /// One parsed enum.
@@ -73,6 +88,9 @@ pub struct ParsedFile {
     pub allows: Vec<Allow>,
     pub functions: Vec<Function>,
     pub structs: Vec<LockField>,
+    /// Every struct field with its type names (superset of [`Self::structs`],
+    /// which keeps only lock-typed fields).
+    pub fields: Vec<FieldDef>,
     pub enums: Vec<Enum>,
     /// Token index ranges that are test code (bodies of `#[cfg(test)]`
     /// modules); string literals inside are exempt from the header lint.
@@ -116,6 +134,7 @@ pub fn parse_file(path: &str, src: &str) -> ParsedFile {
         allows: lexed.allows,
         functions: Vec::new(),
         structs: Vec::new(),
+        fields: Vec::new(),
         enums: Vec::new(),
         test_spans: Vec::new(),
         tokens: Vec::new(),
@@ -290,6 +309,7 @@ impl<'a> Walker<'a> {
                             _ => j += 1,
                         }
                     }
+                    let sig = i..j.min(end);
                     let body = if self.punct(j) == Some('{') {
                         let close = self.skip_balanced(j, end);
                         let b = j + 1..close - 1;
@@ -313,6 +333,7 @@ impl<'a> Walker<'a> {
                         is_test,
                         line,
                         body,
+                        sig,
                     });
                     i = j;
                     attrs.clear();
@@ -375,8 +396,9 @@ impl<'a> Walker<'a> {
         }
     }
 
-    /// Record `name: Mutex<..>` / `name: RwLock<..>` fields in a struct
-    /// body span.
+    /// Record struct fields: every field with its type names (for the
+    /// interprocedural receiver-type resolver), and `Mutex<..>` /
+    /// `RwLock<..>` fields separately (the lock-order pass's identities).
     fn collect_lock_fields(&mut self, owner: &str, start: usize, end: usize) {
         let mut i = start;
         while i < end {
@@ -397,6 +419,7 @@ impl<'a> Walker<'a> {
                 let mut j = i + 2;
                 let mut angle = 0i32;
                 let mut kind: Option<LockKind> = None;
+                let mut type_names: Vec<String> = Vec::new();
                 while j < end {
                     match &self.toks[j].tok {
                         Tok::Punct(',') if angle <= 0 => break,
@@ -405,6 +428,11 @@ impl<'a> Walker<'a> {
                         Tok::Ident(s) if s == "Mutex" => kind = kind.or(Some(LockKind::Mutex)),
                         Tok::Ident(s) if s == "RwLock" => kind = kind.or(Some(LockKind::RwLock)),
                         _ => {}
+                    }
+                    if let Tok::Ident(s) = &self.toks[j].tok {
+                        if s.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                            type_names.push(s.clone());
+                        }
                     }
                     j += 1;
                 }
@@ -415,6 +443,11 @@ impl<'a> Walker<'a> {
                         kind,
                     });
                 }
+                self.pf.fields.push(FieldDef {
+                    owner: owner.to_string(),
+                    field: field.to_string(),
+                    type_names,
+                });
                 i = j + 1;
             } else {
                 i += 1;

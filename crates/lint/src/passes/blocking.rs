@@ -1,0 +1,104 @@
+//! Transitive blocking-under-guard analysis.
+//!
+//! Subsumes the old per-function `blocking-under-guard` / `blocking-via`
+//! warns: instead of flagging only blocking calls lexically inside a guard
+//! span (or one uniquely-named frame below it), this pass computes, for
+//! every workspace function, the set of [`BlockClass`]es its call tree can
+//! bottom out in (bottom-up fixpoint over the resolved call graph), then
+//! flags any call made while a lock guard is live whose transitive class
+//! set is non-empty — naming the blocking class(es) in the finding.
+//!
+//! Severity: chains reaching `thread::sleep` are deny — a sleep under a
+//! guard serialises every contender for the full duration and is never
+//! intentional here. The other classes (channel receives, condvar waits,
+//! joins, bulk I/O) stay warns: they are frequently bounded by timeouts
+//! the token model cannot see.
+//!
+//! Soundness: resolution misses trait dispatch and untyped locals (false
+//! negatives); guard spans over-approximate `if` conditions; `recv` /
+//! `wait` on deadline-bounded primitives still count as their class —
+//! `// lint:allow(reason)` is the escape hatch for those.
+
+use crate::analysis::{
+    block_class, find_acquisitions, is_net_file, lock_index, BlockClass, Graph,
+};
+use crate::findings::{Finding, Severity};
+use std::collections::BTreeSet;
+
+pub fn run(graph: &Graph<'_>) -> Vec<Finding> {
+    let by_field = lock_index(graph.files);
+
+    // Direct blocking classes per node.
+    let mut seed: Vec<BTreeSet<BlockClass>> = vec![BTreeSet::new(); graph.nodes.len()];
+    for (n, s) in seed.iter_mut().enumerate() {
+        let in_net = is_net_file(&graph.file(n).path);
+        let toks = graph.body_toks(n);
+        for c in &graph.calls[n] {
+            if let Some(cls) = block_class(toks, c.at, &c.name, in_net) {
+                s.insert(cls);
+            }
+        }
+    }
+    let class_sets = graph.propagate_up(seed);
+
+    let mut out = Vec::new();
+    for n in 0..graph.nodes.len() {
+        let pf = graph.file(n);
+        let f = graph.func(n);
+        let toks = graph.body_toks(n);
+        let in_net = is_net_file(&pf.path);
+        for a in find_acquisitions(toks, f, &by_field) {
+            let span = a.at..a.until.min(toks.len());
+            for c in &graph.calls[n] {
+                if !span.contains(&c.at) {
+                    continue;
+                }
+                if matches!(c.name.as_str(), "lock" | "read" | "write" | "drop") {
+                    continue;
+                }
+                // Direct blocking call under the guard, or a resolved call
+                // whose transitive class set is non-empty.
+                let classes: BTreeSet<BlockClass> =
+                    match block_class(toks, c.at, &c.name, in_net) {
+                        Some(cls) => BTreeSet::from([cls]),
+                        None => match c.target {
+                            Some(t) if t != n => class_sets[t].clone(),
+                            _ => BTreeSet::new(),
+                        },
+                    };
+                if classes.is_empty() {
+                    continue;
+                }
+                if pf.allow_for(c.line).map(|al| !al.reason.trim().is_empty()).unwrap_or(false) {
+                    continue;
+                }
+                let names: Vec<&str> = classes.iter().map(|cl| cl.name()).collect();
+                let severity = if classes.contains(&BlockClass::Sleep) {
+                    Severity::Deny
+                } else {
+                    Severity::Warn
+                };
+                out.push(Finding {
+                    pass: "transitive-blocking",
+                    severity,
+                    file: pf.path.clone(),
+                    function: f.qual_name.clone(),
+                    line: c.line,
+                    detail: format!(
+                        "held-across:{}:{}:{}",
+                        a.lock,
+                        c.name,
+                        names.join("+")
+                    ),
+                    message: format!(
+                        "`{}()` may block ({}) while `{}` is held",
+                        c.name,
+                        names.join(", "),
+                        a.lock
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

@@ -1,7 +1,7 @@
 //! Lock-order analysis.
 //!
 //! Builds a per-function lock-acquisition model and a workspace lock-order
-//! graph:
+//! graph on top of the shared call graph ([`crate::analysis::Graph`]):
 //!
 //! * **Lock identities** are `Struct.field` pairs for every struct field of
 //!   type `Mutex<_>` / `RwLock<_>` (parking_lot or std — the acquisition
@@ -11,196 +11,91 @@
 //!   end of the enclosing statement for temporaries, to the end of the
 //!   enclosing block (or an explicit `drop(guard)`) for `let`-bound guards.
 //! * While a guard is live, a second acquisition adds a lock-order edge,
-//!   and calls are resolved through the crate call graph (names that are
-//!   unique workspace-wide only — see limits below) so edges include locks
-//!   taken transitively by callees.
+//!   and calls resolved through the call graph contribute the locks their
+//!   callees take transitively (bottom-up summary propagation).
 //! * **Cycles** in the resulting graph across distinct locks are deny
 //!   findings; re-acquiring the *same* lock identity while it may be held
 //!   is a warn finding (name-based identity cannot distinguish instances).
-//! * Blocking calls (sleeps, channel receives, joins, file I/O) under a
-//!   live guard are warn findings.
 //!
-//! Known limits (documented in DESIGN.md): identities are name-based, so
-//! two structs sharing a field name alias unless the enclosing `impl` type
-//! disambiguates; calls are resolved only when the callee name is unique
-//! among non-test functions in the workspace (common names like `get` are
-//! skipped — false negatives, not false positives); guard spans
+//! Blocking calls under a guard are the transitive-blocking pass's job
+//! ([`crate::passes::blocking`]), which subsumes the old
+//! `blocking-under-guard` / `blocking-via` warns this pass used to emit.
+//!
+//! Known limits (documented in DESIGN.md §15): identities are name-based,
+//! so two structs sharing a field name alias unless the enclosing `impl`
+//! type disambiguates; call resolution is name-based through receiver
+//! types (false negatives, not false positives); guard spans
 //! over-approximate `if` conditions (a condition temporary is treated as
 //! live through the `if` body).
 
+use crate::analysis::{find_acquisitions, lock_index, Graph};
 use crate::findings::{Finding, Severity};
-use crate::lexer::Tok;
-use crate::model::{Function, LockField, ParsedFile};
+use crate::model::{Function, ParsedFile};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Callee names treated as blocking (sleeps, waits, file I/O).
-const BLOCKING_CALLS: &[&str] = &[
-    "sleep",
-    "recv",
-    "recv_timeout",
-    "join",
-    "wait",
-    "wait_timeout",
-    "read_to_end",
-    "read_exact",
-    "write_all",
-    "sync_all",
-];
+pub fn run(graph: &Graph<'_>) -> Vec<Finding> {
+    let by_field = lock_index(graph.files);
 
-/// One acquisition site inside a function body.
-#[derive(Debug, Clone)]
-struct Acquire {
-    /// `Struct.field` identity.
-    lock: String,
-    /// Body-relative token index of the receiver field ident.
-    at: usize,
-    /// Body-relative token index one past the guard's live span.
-    until: usize,
-    line: u32,
-}
+    // Direct acquisitions per node, then transitive lock summaries.
+    let acquires: Vec<_> = (0..graph.nodes.len())
+        .map(|n| find_acquisitions(graph.body_toks(n), graph.func(n), &by_field))
+        .collect();
+    let seed: Vec<BTreeSet<String>> = acquires
+        .iter()
+        .map(|acq| acq.iter().map(|a| a.lock.clone()).collect())
+        .collect();
+    let lock_sets = graph.propagate_up(seed);
 
-/// Per-function summary used for transitive resolution.
-#[derive(Debug, Default, Clone)]
-struct Summary {
-    locks: BTreeSet<String>,
-    blocking: bool,
-}
-
-pub fn run(files: &[ParsedFile]) -> Vec<Finding> {
-    // Lock identities: field name -> owning structs.
-    let mut by_field: BTreeMap<&str, Vec<&LockField>> = BTreeMap::new();
-    for pf in files {
-        for lf in &pf.structs {
-            by_field.entry(lf.field.as_str()).or_default().push(lf);
-        }
-    }
-
-    // Function index: name -> (file idx, fn idx) for unique-name call
-    // resolution among non-test functions.
-    let mut by_name: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
-    for (fi, pf) in files.iter().enumerate() {
-        for (gi, f) in pf.functions.iter().enumerate() {
-            if !f.is_test {
-                by_name.entry(f.name.as_str()).or_default().push((fi, gi));
-            }
-        }
-    }
-
-    // Direct per-function facts.
-    let mut acquires: BTreeMap<(usize, usize), Vec<Acquire>> = BTreeMap::new();
-    let mut calls: BTreeMap<(usize, usize), Vec<(String, bool)>> = BTreeMap::new();
-    let mut summaries: BTreeMap<(usize, usize), Summary> = BTreeMap::new();
-    for (fi, pf) in files.iter().enumerate() {
-        for (gi, f) in pf.functions.iter().enumerate() {
-            if f.is_test {
-                continue;
-            }
-            let toks = &pf.tokens[f.body.clone()];
-            let acq = find_acquisitions(toks, f, &by_field);
-            let called = find_calls(toks);
-            let s = Summary {
-                locks: acq.iter().map(|a| a.lock.clone()).collect(),
-                blocking: called.iter().any(|(_, blocking)| *blocking),
-            };
-            summaries.insert((fi, gi), s);
-            acquires.insert((fi, gi), acq);
-            calls.insert((fi, gi), called);
-        }
-    }
-
-    // Fixpoint: propagate callee locks/blocking through uniquely-named
-    // calls.
-    loop {
-        let mut changed = false;
-        for (&key, called) in &calls {
-            let mut add = Summary::default();
-            for (callee, _) in called {
-                let Some(targets) = by_name.get(callee.as_str()) else { continue };
-                if targets.len() != 1 || targets[0] == key {
-                    continue;
-                }
-                if let Some(t) = summaries.get(&targets[0]) {
-                    add.locks.extend(t.locks.iter().cloned());
-                    add.blocking |= t.blocking;
-                }
-            }
-            let cur = summaries.entry(key).or_default();
-            let before = (cur.locks.len(), cur.blocking);
-            cur.locks.extend(add.locks);
-            cur.blocking |= add.blocking;
-            if (cur.locks.len(), cur.blocking) != before {
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-
-    // Walk guard spans: collect edges, self-reacquisitions and blocking
-    // calls under guard.
+    // Walk guard spans: collect edges and self-reacquisitions.
     let mut out = Vec::new();
     // edge -> example (file, function, line)
     let mut edges: BTreeMap<(String, String), (String, String, u32)> = BTreeMap::new();
-    for (fi, pf) in files.iter().enumerate() {
-        for (gi, f) in pf.functions.iter().enumerate() {
-            let Some(acq) = acquires.get(&(fi, gi)) else { continue };
-            let toks = &pf.tokens[f.body.clone()];
-            for a in acq {
-                let span = a.at..a.until.min(toks.len());
-                // Other acquisitions while `a` is held.
-                for b in acq {
-                    if b.at <= a.at || !span.contains(&b.at) {
-                        continue;
-                    }
-                    if a.lock == b.lock {
-                        push(&mut out, pf, f, b.line, Severity::Warn,
-                            format!("reacquire:{}", a.lock),
-                            format!("`{}` may be re-acquired while already held (instance analysis is name-based)", a.lock));
+    for (n, acq) in acquires.iter().enumerate() {
+        let pf = graph.file(n);
+        let f = graph.func(n);
+        let toks = graph.body_toks(n);
+        for a in acq {
+            let span = a.at..a.until.min(toks.len());
+            // Other acquisitions while `a` is held.
+            for b in &acquires[n] {
+                if b.at <= a.at || !span.contains(&b.at) {
+                    continue;
+                }
+                if a.lock == b.lock {
+                    push(&mut out, pf, f, b.line, Severity::Warn,
+                        format!("reacquire:{}", a.lock),
+                        format!("`{}` may be re-acquired while already held (instance analysis is name-based)", a.lock));
+                } else {
+                    edges.entry((a.lock.clone(), b.lock.clone())).or_insert((
+                        pf.path.clone(),
+                        f.qual_name.clone(),
+                        b.line,
+                    ));
+                }
+            }
+            // Resolved calls while held contribute their transitive locks.
+            for c in &graph.calls[n] {
+                if !span.contains(&c.at) {
+                    continue;
+                }
+                if matches!(c.name.as_str(), "lock" | "read" | "write" | "drop") {
+                    continue;
+                }
+                let Some(t) = c.target else { continue };
+                if t == n {
+                    continue;
+                }
+                for callee_lock in &lock_sets[t] {
+                    if *callee_lock == a.lock {
+                        push(&mut out, pf, f, c.line, Severity::Warn,
+                            format!("reacquire-via:{}:{}", a.lock, c.name),
+                            format!("call to `{}()` may re-acquire `{}` already held here", c.name, a.lock));
                     } else {
-                        edges.entry((a.lock.clone(), b.lock.clone())).or_insert((
+                        edges.entry((a.lock.clone(), callee_lock.clone())).or_insert((
                             pf.path.clone(),
                             f.qual_name.clone(),
-                            b.line,
+                            c.line,
                         ));
-                    }
-                }
-                // Calls while held.
-                for (ci, t) in toks[span.clone()].iter().enumerate() {
-                    let i = a.at + ci;
-                    let Tok::Ident(name) = &t.tok else { continue };
-                    let is_call = toks.get(i + 1).map(|n| n.tok == Tok::Punct('(')).unwrap_or(false);
-                    if !is_call || name == "lock" || name == "read" || name == "write" || name == "drop" {
-                        continue;
-                    }
-                    if is_blocking_call(toks, i, name) {
-                        push(&mut out, pf, f, t.line, Severity::Warn,
-                            format!("blocking-under-guard:{}:{name}", a.lock),
-                            format!("blocking call `{name}()` while holding `{}`", a.lock));
-                        continue;
-                    }
-                    let Some(targets) = by_name.get(name.as_str()) else { continue };
-                    if targets.len() != 1 || targets[0] == (fi, gi) {
-                        continue;
-                    }
-                    let Some(sum) = summaries.get(&targets[0]) else { continue };
-                    for callee_lock in &sum.locks {
-                        if *callee_lock == a.lock {
-                            push(&mut out, pf, f, t.line, Severity::Warn,
-                                format!("reacquire-via:{}:{name}", a.lock),
-                                format!("call to `{name}()` may re-acquire `{}` already held here", a.lock));
-                        } else {
-                            edges.entry((a.lock.clone(), callee_lock.clone())).or_insert((
-                                pf.path.clone(),
-                                f.qual_name.clone(),
-                                t.line,
-                            ));
-                        }
-                    }
-                    if sum.blocking {
-                        push(&mut out, pf, f, t.line, Severity::Warn,
-                            format!("blocking-via:{}:{name}", a.lock),
-                            format!("call to `{name}()` may block while holding `{}`", a.lock));
                     }
                 }
             }
@@ -251,184 +146,6 @@ fn push(
         detail,
         message,
     });
-}
-
-/// Find `field.lock()` / `.read()` / `.write()` acquisitions in a body and
-/// compute each guard's live span.
-fn find_acquisitions(
-    toks: &[crate::lexer::Token],
-    f: &Function,
-    by_field: &BTreeMap<&str, Vec<&LockField>>,
-) -> Vec<Acquire> {
-    let mut out = Vec::new();
-    for (i, t) in toks.iter().enumerate() {
-        let Tok::Ident(field) = &t.tok else { continue };
-        let Some(owners) = by_field.get(field.as_str()) else { continue };
-        // Pattern: field `.` {lock|read|write} `(` `)`
-        let m = match (
-            toks.get(i + 1).map(|t| &t.tok),
-            toks.get(i + 2).map(|t| &t.tok),
-            toks.get(i + 3).map(|t| &t.tok),
-            toks.get(i + 4).map(|t| &t.tok),
-        ) {
-            (
-                Some(Tok::Punct('.')),
-                Some(Tok::Ident(m)),
-                Some(Tok::Punct('(')),
-                Some(Tok::Punct(')')),
-            ) if m == "lock" || m == "read" || m == "write" => m.clone(),
-            _ => continue,
-        };
-        let _ = m;
-        // Resolve the identity: prefer the enclosing impl type when it owns
-        // a matching field, else a unique owner, else the first (sorted).
-        let owner = f
-            .impl_type
-            .as_deref()
-            .filter(|t| owners.iter().any(|lf| lf.owner == *t))
-            .map(str::to_string)
-            .or_else(|| {
-                if owners.len() == 1 {
-                    Some(owners[0].owner.clone())
-                } else {
-                    None
-                }
-            })
-            .unwrap_or_else(|| {
-                let mut names: Vec<&str> = owners.iter().map(|lf| lf.owner.as_str()).collect();
-                names.sort_unstable();
-                names[0].to_string()
-            });
-        let lock = format!("{owner}.{field}");
-        let until = guard_span_end(toks, i);
-        out.push(Acquire { lock, at: i, until, line: t.line });
-    }
-    out
-}
-
-/// One past the end of the guard's live span for the acquisition whose
-/// receiver ident is at `at`.
-fn guard_span_end(toks: &[crate::lexer::Token], at: usize) -> usize {
-    // A guard immediately method-chained (`m.lock().remove(k)`) is a
-    // temporary even inside a `let` statement — the binding holds the
-    // method's result, not the guard.
-    let chained = matches!(toks.get(at + 5).map(|t| &t.tok), Some(Tok::Punct('.')));
-    // Let-bound? Scan backwards to the statement start.
-    let mut j = at;
-    let mut let_guard: Option<String> = None;
-    while !chained && j > 0 {
-        j -= 1;
-        match &toks[j].tok {
-            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => break,
-            Tok::Ident(kw) if kw == "let" => {
-                // Guard name: first ident after `let`, skipping `mut`.
-                let mut k = j + 1;
-                while let Some(Tok::Ident(n)) = toks.get(k).map(|t| &t.tok) {
-                    if n == "mut" {
-                        k += 1;
-                    } else {
-                        let_guard = Some(n.clone());
-                        break;
-                    }
-                }
-                break;
-            }
-            _ => {}
-        }
-    }
-    match let_guard {
-        Some(name) => {
-            // Live to the end of the enclosing block, or `drop(name)`.
-            let mut depth = 0i32;
-            let mut i = at;
-            while i < toks.len() {
-                match &toks[i].tok {
-                    Tok::Punct('{') => depth += 1,
-                    Tok::Punct('}') => {
-                        depth -= 1;
-                        if depth < 0 {
-                            return i;
-                        }
-                    }
-                    Tok::Ident(d) if d == "drop" && depth == 0 => {
-                        if let (Some(Tok::Punct('(')), Some(Tok::Ident(g))) =
-                            (toks.get(i + 1).map(|t| &t.tok), toks.get(i + 2).map(|t| &t.tok))
-                        {
-                            if *g == name {
-                                return i;
-                            }
-                        }
-                    }
-                    _ => {}
-                }
-                i += 1;
-            }
-            toks.len()
-        }
-        None => {
-            // Temporary: to the end of the statement — the next `;` with
-            // balanced delimiters (a `match` scrutinee guard lives through
-            // the whole match, so braces are skipped balanced). A brace
-            // group closing back to depth 0 with no continuation token
-            // after it ends the statement too (`if let ... {}` / `match
-            // ... {}` in statement position have no trailing `;`).
-            let mut depth = 0i32;
-            let mut i = at;
-            while i < toks.len() {
-                match &toks[i].tok {
-                    Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
-                    Tok::Punct('}') => {
-                        depth -= 1;
-                        if depth < 0 {
-                            return i;
-                        }
-                        if depth == 0 {
-                            match toks.get(i + 1).map(|t| &t.tok) {
-                                // `{...}.method()` / `{...}?` chains on.
-                                Some(Tok::Punct('.')) | Some(Tok::Punct('?')) => {}
-                                // `if ... {} else {}` continues.
-                                Some(Tok::Ident(k)) if k == "else" => {}
-                                _ => return i + 1,
-                            }
-                        }
-                    }
-                    Tok::Punct(')') | Tok::Punct(']') => {
-                        depth -= 1;
-                        if depth < 0 {
-                            return i;
-                        }
-                    }
-                    Tok::Punct(';') if depth == 0 => return i,
-                    _ => {}
-                }
-                i += 1;
-            }
-            toks.len()
-        }
-    }
-}
-
-/// Is the call at ident index `i` a blocking one? `join` only counts with
-/// zero arguments — `JoinHandle::join()`, not `PathBuf::join(p)` or
-/// `slice::join(sep)`.
-fn is_blocking_call(toks: &[crate::lexer::Token], i: usize, name: &str) -> bool {
-    if !BLOCKING_CALLS.contains(&name) {
-        return false;
-    }
-    name != "join" || matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(')')))
-}
-
-/// All callee names in a body (`name(...)` and `.name(...)`), macros
-/// excluded; the flag marks blocking callees (see [`is_blocking_call`]).
-fn find_calls(toks: &[crate::lexer::Token]) -> Vec<(String, bool)> {
-    let mut out = Vec::new();
-    for (i, t) in toks.iter().enumerate() {
-        let Tok::Ident(name) = &t.tok else { continue };
-        if toks.get(i + 1).map(|n| n.tok == Tok::Punct('(')).unwrap_or(false) {
-            out.push((name.clone(), is_blocking_call(toks, i, name)));
-        }
-    }
-    out
 }
 
 /// Simple cycles in the edge set, canonicalised (rotation-minimal) and

@@ -1,6 +1,10 @@
-//! The analysis passes. Each pass takes the parsed workspace and returns
-//! findings; the driver in [`crate::analyze`] merges and deduplicates.
+//! The analysis passes. Each pass takes the parsed workspace (or the
+//! shared call graph, for the interprocedural ones) and returns findings;
+//! the driver in [`crate::analyze`] merges and deduplicates.
 
+pub mod blocking;
+pub mod deadline;
 pub mod invariants;
 pub mod locks;
 pub mod panics;
+pub mod trace;

@@ -1,0 +1,68 @@
+//! Transitive-blocking fixture: lock guards held across call chains that
+//! bottom out in a sleep (deny) or a channel receive (warn), one and two
+//! frames below the guard, plus the clean shapes the pass must not flag.
+
+pub struct Cache {
+    map: Mutex<Vec<String>>,
+}
+
+/// Uniquely named helper that bottoms out in a sleep.
+fn backoff_pause() {
+    sleep(Duration::from_millis(5));
+}
+
+/// Uniquely named helper that bottoms out in a channel receive.
+fn wait_for_signal(rx: &Receiver<u32>) {
+    let _ = rx.recv();
+}
+
+/// Pure helper: resolves in the graph but never blocks.
+fn shape_entries(entries: &[String]) -> usize {
+    entries.len()
+}
+
+impl Cache {
+    /// Sleep two frames below the guard: deny, class named.
+    pub fn rebuild(&self) {
+        let mut map = self.map.lock();
+        backoff_pause();
+        map.clear();
+    }
+
+    /// Channel receive one frame below the guard: warn (receives are
+    /// frequently deadline-bounded in ways the token model cannot see).
+    pub fn drain(&self, rx: &Receiver<u32>) {
+        let map = self.map.lock();
+        wait_for_signal(rx);
+        let _ = map.len();
+    }
+
+    /// Direct receive under the guard: warn at the call site itself.
+    pub fn drain_inline(&self, rx: &Receiver<u32>) {
+        let map = self.map.lock();
+        let _ = rx.recv();
+        let _ = map.len();
+    }
+
+    /// Guard dropped before the blocking call: no finding.
+    pub fn rebuild_outside(&self) {
+        let mut map = self.map.lock();
+        map.clear();
+        drop(map);
+        backoff_pause();
+    }
+
+    /// Non-blocking resolved callee under the guard: no finding.
+    pub fn tally(&self) -> usize {
+        let map = self.map.lock();
+        shape_entries(&map)
+    }
+
+    /// Suppressed by a justified allow.
+    pub fn warmed(&self) {
+        let map = self.map.lock();
+        // lint:allow(5ms test-only pause, bounded by construction)
+        backoff_pause();
+        let _ = map.len();
+    }
+}

@@ -557,9 +557,12 @@ impl Iterator for PooledBody {
         let conn = self.conn.as_mut()?;
         if let Err(e) = conn.tighten(self.io_timeout, self.deadline, "body read") {
             // Budget lapsed between chunks: surface the deadline error and
-            // poison the connection (it is mid-frame).
+            // poison the connection (it is mid-frame). Any spans a trailer
+            // already delivered still belong to this trace — merge before
+            // the eviction discards the reader.
             self.done = true;
-            if let Some(conn) = self.conn.take() {
+            if let Some(mut conn) = self.conn.take() {
+                merge_server_spans(&mut conn, self.trace.as_deref(), self.window_start_us);
                 self.pool.evict(conn);
             }
             return Some(Err(e));

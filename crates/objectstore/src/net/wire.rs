@@ -194,6 +194,7 @@ pub fn error_from_kind(kind: &str, msg: String) -> ScoopError {
         "sql" => ScoopError::Sql(msg),
         "storlet" => ScoopError::Storlet(msg),
         "columnar" => ScoopError::Columnar(msg),
+        "corrupt" => ScoopError::Corrupt(msg),
         "compute" => ScoopError::Compute(msg),
         "unsupported" => ScoopError::Unsupported(msg),
         "deadline" => ScoopError::DeadlineExceeded(msg),
@@ -913,7 +914,7 @@ mod tests {
     fn error_kinds_roundtrip_with_retryability() {
         for kind in [
             "io", "not_found", "conflict", "invalid_request", "unauthorized", "csv", "sql",
-            "storlet", "columnar", "compute", "unsupported", "deadline", "internal",
+            "storlet", "columnar", "corrupt", "compute", "unsupported", "deadline", "internal",
         ] {
             let err = error_from_kind(kind, "msg".into());
             assert_eq!(err.kind(), kind, "kind must survive the wire");

@@ -201,8 +201,12 @@ impl SwiftCluster {
     /// call binds a loopback listener in front of the proxies; later calls
     /// (regardless of options) return the same handle.
     pub fn serve_net(&self, opts: NetOptions) -> Result<Arc<NetHandle>> {
-        let mut guard = self.net.lock();
-        if let Some(h) = guard.as_ref() {
+        // Double-checked so `NetServer::serve` (binds a listener, spawns
+        // workers — it blocks) never runs while `net` is held. Two racing
+        // first calls may both bind; the loser's handle drops and its
+        // listener shuts down, which only costs a discarded ephemeral
+        // port.
+        if let Some(h) = self.net.lock().as_ref() {
             return Ok(h.clone());
         }
         let handle = Arc::new(NetServer::serve(
@@ -211,6 +215,10 @@ impl SwiftCluster {
             self.fault_injector.clone(),
             opts,
         )?);
+        let mut guard = self.net.lock();
+        if let Some(h) = guard.as_ref() {
+            return Ok(h.clone());
+        }
         *guard = Some(handle.clone());
         Ok(handle)
     }
@@ -572,6 +580,13 @@ impl SwiftClient {
         h
     }
 
+    /// Snapshot the client's deadline. The guard is scoped to this frame,
+    /// so callers can sleep or dispatch on sockets without holding
+    /// `SwiftClient.deadline` across the blocking call.
+    fn current_deadline(&self) -> Deadline {
+        *self.deadline.lock()
+    }
+
     /// One raw (non-object) exchange under the client's retry policy.
     /// Container creates and listings are idempotent, so re-dispatch after
     /// a retryable wire failure is always safe.
@@ -582,7 +597,7 @@ impl SwiftClient {
         target: &str,
         headers: Headers,
     ) -> Result<(u16, Headers, bytes::Bytes)> {
-        let deadline = *self.deadline.lock();
+        let deadline = self.current_deadline();
         deadline.check("raw dispatch")?;
         let mut rng = scoop_common::rng::XorShift64::new(self.retry.seed);
         let mut attempt = 0u32;
@@ -788,7 +803,7 @@ impl SwiftClient {
                 .map(|r| self.request(Request::get(path.clone()).with_range(*r)))
                 .collect(),
             Transport::Tcp(pool) => {
-                let deadline = *self.deadline.lock();
+                let deadline = self.current_deadline();
                 deadline.check("pipelined dispatch")?;
                 let trace = self.trace.lock().clone();
                 let _span = telemetry::span(

@@ -10,7 +10,15 @@
 //!   recording, probe admission across the open→half-open boundary, and
 //!   the probe-success/probe-failure race;
 //! * the hedged-GET race (`hedge::race`) — both replicas finishing in
-//!   either order, interleaved with the hedge timer firing or not.
+//!   either order, interleaved with the hedge timer firing or not;
+//! * the connection pool's idle-list protocol (`net::pool::HttpPool`) —
+//!   checkout and checkin racing the idle reaper. The real `Conn` owns a
+//!   `TcpStream`, which cannot exist inside the model, so [`PoolModel`]
+//!   mirrors `pool.rs`'s exact lock/gauge discipline (reap-then-pop under
+//!   the idle mutex, `Drop`-settled `open`/`in_flight` counters) over
+//!   plain ids; the invariants checked are the pool's: a connection is
+//!   never both handed out and reaped, every eviction is counted exactly
+//!   once, and `open == in_flight + idle` at quiescence.
 #![cfg(loom)]
 
 use loom::sync::atomic::{AtomicUsize, Ordering};
@@ -230,5 +238,171 @@ fn hedged_get_all_failures_surface_retryable_error() {
         let err = outcome.result.expect_err("all replicas failed");
         assert!(err.is_retryable(), "surviving error must stay retryable: {err}");
         assert_eq!(outcome.failovers, 2);
+    });
+}
+
+// ---- connection-pool idle-list protocol ---------------------------------
+
+use loom::sync::Mutex as LoomMutex;
+
+/// Faithful model of `HttpPool`'s idle-list protocol: `(id, stale)` pairs
+/// stand in for pooled `Conn`s, and the counters follow the same settle
+/// points as the real pool (`dial` increments `open`, dropping a reaped or
+/// evicted connection decrements it, `checkout`/`checkin` flip
+/// `in_flight`).
+struct PoolModel {
+    idle: LoomMutex<Vec<(u64, bool)>>,
+    open: AtomicUsize,
+    in_flight: AtomicUsize,
+    evictions: AtomicUsize,
+    dials: AtomicUsize,
+}
+
+impl PoolModel {
+    fn new(idle: Vec<(u64, bool)>) -> PoolModel {
+        let open = idle.len();
+        PoolModel {
+            idle: LoomMutex::new(idle),
+            open: AtomicUsize::new(open),
+            in_flight: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            dials: AtomicUsize::new(0),
+        }
+    }
+
+    /// `HttpPool::reap_idle`: drop stale idle connections under the lock.
+    fn reap_idle(&self) {
+        let mut idle = self.idle.lock();
+        let before = idle.len();
+        idle.retain(|(_, stale)| !*stale);
+        let reaped = before - idle.len();
+        if reaped > 0 {
+            self.evictions.fetch_add(reaped, Ordering::SeqCst);
+            // Conn::drop settles the open gauge for each reaped conn.
+            self.open.fetch_sub(reaped, Ordering::SeqCst);
+        }
+    }
+
+    /// `HttpPool::checkout`: reap, pop the freshest idle conn, else dial.
+    fn checkout(&self) -> u64 {
+        self.reap_idle();
+        let popped = self.idle.lock().pop();
+        let id = match popped {
+            Some((id, _)) => id,
+            None => {
+                let n = self.dials.fetch_add(1, Ordering::SeqCst);
+                self.open.fetch_add(1, Ordering::SeqCst);
+                100 + n as u64
+            }
+        };
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        id
+    }
+
+    /// `HttpPool::checkin`: pool at a clean boundary, evict on overflow.
+    fn checkin(&self, id: u64, max_idle: usize) {
+        {
+            let mut idle = self.idle.lock();
+            if idle.len() < max_idle {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                idle.push((id, false));
+                return;
+            }
+        }
+        // Overflow: evicted; Conn::drop settles both gauges.
+        self.evictions.fetch_add(1, Ordering::SeqCst);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.open.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn idle_len(&self) -> usize {
+        self.idle.lock().len()
+    }
+}
+
+/// Checkout races the idle reaper over one stale and one fresh idle conn:
+/// in every interleaving the stale conn is reaped exactly once and never
+/// handed out, the fresh conn is reused (no dial), and the gauges agree
+/// (`open == in_flight + idle`).
+#[test]
+fn pool_checkout_races_idle_reaper() {
+    loom::model(|| {
+        let pool = LoomArc::new(PoolModel::new(vec![(1, true), (2, false)]));
+        let a = {
+            let p = pool.clone();
+            thread::spawn(move || p.checkout())
+        };
+        let b = {
+            let p = pool.clone();
+            thread::spawn(move || p.reap_idle())
+        };
+        let got = a.join().unwrap();
+        b.join().unwrap();
+
+        assert_eq!(got, 2, "the stale conn must never be handed out");
+        assert_eq!(pool.dials.load(Ordering::SeqCst), 0, "fresh idle conn must be reused");
+        assert_eq!(pool.evictions.load(Ordering::SeqCst), 1, "stale conn reaped exactly once");
+        assert_eq!(pool.in_flight.load(Ordering::SeqCst), 1);
+        assert_eq!(pool.idle_len(), 0);
+        assert_eq!(
+            pool.open.load(Ordering::SeqCst),
+            pool.in_flight.load(Ordering::SeqCst) + pool.idle_len(),
+            "open gauge must equal in_flight + idle at quiescence"
+        );
+    });
+}
+
+/// Checkin races the idle reaper: the conn being returned is fresh and
+/// must never be reaped, while the stale idle conn is reaped exactly once
+/// — whichever side of the checkin the reap lands on.
+#[test]
+fn pool_checkin_races_idle_reaper() {
+    loom::model(|| {
+        let pool = LoomArc::new(PoolModel::new(vec![(8, true)]));
+        // Conn 7 is in flight (dialed earlier).
+        pool.open.fetch_add(1, Ordering::SeqCst);
+        pool.in_flight.fetch_add(1, Ordering::SeqCst);
+
+        let a = {
+            let p = pool.clone();
+            thread::spawn(move || p.checkin(7, 4))
+        };
+        let b = {
+            let p = pool.clone();
+            thread::spawn(move || p.reap_idle())
+        };
+        a.join().unwrap();
+        b.join().unwrap();
+
+        assert_eq!(pool.evictions.load(Ordering::SeqCst), 1, "only the stale conn is evicted");
+        assert_eq!(pool.in_flight.load(Ordering::SeqCst), 0, "checkin must settle in_flight");
+        let idle = pool.idle.lock();
+        assert_eq!(&*idle, &[(7, false)], "the returned conn must survive the reaper");
+        drop(idle);
+        assert_eq!(pool.open.load(Ordering::SeqCst), 1);
+    });
+}
+
+/// Two concurrent checkouts against a single idle conn: exactly one
+/// reuses it and the other dials — no interleaving may hand the same conn
+/// to both threads or lose a dial.
+#[test]
+fn pool_concurrent_checkouts_never_share_a_conn() {
+    loom::model(|| {
+        let pool = LoomArc::new(PoolModel::new(vec![(3, false)]));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let p = pool.clone();
+                thread::spawn(move || p.checkout())
+            })
+            .collect();
+        let ids: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        assert_ne!(ids[0], ids[1], "one conn handed to two checkouts");
+        assert!(ids.contains(&3), "the idle conn must be reused by someone");
+        assert_eq!(pool.dials.load(Ordering::SeqCst), 1, "the other checkout dials");
+        assert_eq!(pool.in_flight.load(Ordering::SeqCst), 2);
+        assert_eq!(pool.open.load(Ordering::SeqCst), 2);
+        assert_eq!(pool.idle_len(), 0);
     });
 }

@@ -148,25 +148,33 @@ impl AdaptiveController {
     /// 3. When neither rule applies, previously demoted tenants are
     ///    restored.
     pub fn control_step(&self, storage_load: f64) -> Vec<(String, Tier)> {
+        // Two phases so `tenants` is never held across `policy_store`'s
+        // own lock: decide (and mark `demoted`) under the write guard,
+        // then apply the tier changes after it drops. A tier flipped by a
+        // concurrent manual pin between the phases is simply re-flipped —
+        // the next control step re-evaluates from observations either way.
         let mut changes = Vec::new();
-        let mut tenants = self.tenants.write();
-        let max_priority = tenants.values().map(|t| t.priority).max().unwrap_or(0);
-        for (account, t) in tenants.iter_mut() {
-            let ineffective = t.invocations >= self.policy.min_observations
-                && t.selectivity() < self.policy.min_selectivity;
-            let shed_for_load =
-                storage_load > self.policy.max_storage_load && t.priority < max_priority;
-            let want_bronze = ineffective || shed_for_load;
-            let is_bronze = self.policy_store.tier_of(account) == Tier::Bronze;
-            if want_bronze && !is_bronze {
-                self.policy_store.set_tier(account, Tier::Bronze);
-                t.demoted = true;
-                changes.push((account.clone(), Tier::Bronze));
-            } else if !want_bronze && is_bronze && t.demoted {
-                self.policy_store.set_tier(account, Tier::Gold);
-                t.demoted = false;
-                changes.push((account.clone(), Tier::Gold));
+        {
+            let mut tenants = self.tenants.write();
+            let max_priority = tenants.values().map(|t| t.priority).max().unwrap_or(0);
+            for (account, t) in tenants.iter_mut() {
+                let ineffective = t.invocations >= self.policy.min_observations
+                    && t.selectivity() < self.policy.min_selectivity;
+                let shed_for_load =
+                    storage_load > self.policy.max_storage_load && t.priority < max_priority;
+                let want_bronze = ineffective || shed_for_load;
+                let is_bronze = self.policy_store.tier_of(account) == Tier::Bronze;
+                if want_bronze && !is_bronze {
+                    t.demoted = true;
+                    changes.push((account.clone(), Tier::Bronze));
+                } else if !want_bronze && is_bronze && t.demoted {
+                    t.demoted = false;
+                    changes.push((account.clone(), Tier::Gold));
+                }
             }
+        }
+        for (account, tier) in &changes {
+            self.policy_store.set_tier(account, *tier);
         }
         changes
     }
