@@ -55,6 +55,25 @@ pub const TRACE: &str = "x-scoop-trace";
 /// Prefix of user-metadata headers persisted alongside an object.
 pub const OBJECT_META_PREFIX: &str = "x-object-meta-";
 
+/// Prefix of the numbered metadata chunks carrying an object's per-block
+/// zone-map statistics (`x-object-meta-scoop-stats-0`, `-1`, ...). The
+/// indexing storlet writes them at PUT time; the block-range planner in the
+/// storlet middleware reassembles and decodes them from a HEAD response
+/// (see `scoop_common::zonestats`). Deliberately under [`OBJECT_META_PREFIX`]
+/// so the chunks persist and replicate exactly like user metadata — but they
+/// are *internal*: metadata-only POSTs preserve them rather than letting a
+/// user-metadata replacement wipe the index.
+pub const SCOOP_STATS_PREFIX: &str = "x-object-meta-scoop-stats-";
+
+/// Response header: bytes of the object actually fetched by a planned
+/// (block-skipping) pushdown GET — the sum of the surviving coalesced
+/// block ranges.
+pub const SCANNED_BYTES: &str = "x-scoop-scanned-bytes";
+
+/// Response header: bytes of the object the block-range planner proved
+/// could not match the pushdown predicate and therefore never read.
+pub const SKIPPED_BYTES: &str = "x-scoop-skipped-bytes";
+
 /// Remaining request time budget in milliseconds, stamped by the wire
 /// encoder from [`crate::Deadline::remaining`]. An `Instant` cannot cross a
 /// socket, so the client ships the *budget* and the server rebuilds a local
@@ -102,6 +121,9 @@ mod tests {
             super::STORLET_DEGRADED,
             super::OBJECT_LENGTH,
             super::OBJECT_META_PREFIX,
+            super::SCOOP_STATS_PREFIX,
+            super::SCANNED_BYTES,
+            super::SKIPPED_BYTES,
             super::TRACE,
             super::DEADLINE_MS,
             super::ERROR_KIND,

@@ -18,6 +18,9 @@
 //! * [`table`] — plain-text table rendering for the reproduction harness.
 //! * [`telemetry`] — the process-wide metrics registry (counters, gauges,
 //!   latency histograms) and request-scoped tracing spans.
+//! * [`zonestats`] — per-block zone-map statistics (min/max, NULLs, bloom
+//!   digests) and their object-metadata codec, powering store-side data
+//!   skipping.
 
 pub mod bytesize;
 pub mod deadline;
@@ -30,6 +33,7 @@ pub mod stream;
 pub mod table;
 pub mod telemetry;
 pub mod timeseries;
+pub mod zonestats;
 
 pub use bytesize::ByteSize;
 pub use deadline::Deadline;

@@ -64,6 +64,17 @@ pub mod names {
     pub const STORLETS_BYTES_OUT: &str = "scoop_storlets_bytes_out_total";
     /// Pushdown GETs shed by storlet admission control.
     pub const STORLETS_ADMISSION_SHEDS: &str = "scoop_storlets_admission_sheds_total";
+    /// Pushdown GETs served through a zone-map block-skipping plan.
+    pub const STORLETS_SKIP_PLANS: &str = "scoop_storlets_skip_plans_total";
+    /// Pushdown GETs that fell back to a full scan (stats absent, stale or
+    /// undecodable).
+    pub const STORLETS_PLAN_FALLBACKS: &str = "scoop_storlets_plan_fallbacks_total";
+    /// Record blocks pruned by the planner (stats proved no record matches).
+    pub const STORLETS_BLOCKS_PRUNED: &str = "scoop_storlets_blocks_pruned_total";
+    /// Record blocks a planned pushdown GET actually read.
+    pub const STORLETS_BLOCKS_SCANNED: &str = "scoop_storlets_blocks_scanned_total";
+    /// Object bytes planned pushdown GETs proved unmatchable and never read.
+    pub const STORLETS_BYTES_SKIPPED: &str = "scoop_storlets_bytes_skipped_total";
     /// Requests re-dispatched by the Swift client after retryable failures.
     pub const CLIENT_RETRIES: &str = "scoop_client_retries_total";
     /// Bytes the connector delivered across the storage→compute boundary.
@@ -72,6 +83,9 @@ pub mod names {
     pub const CONNECTOR_STREAM_RESUMES: &str = "scoop_connector_stream_resumes_total";
     /// Pushdown GETs degraded to plain reads with client-side filtering.
     pub const CONNECTOR_PUSHDOWN_FALLBACKS: &str = "scoop_connector_pushdown_fallbacks_total";
+    /// Object bytes the store skipped (never read) on the connector's
+    /// behalf, as reported by `x-scoop-skipped-bytes` response headers.
+    pub const CONNECTOR_BYTES_SKIPPED: &str = "scoop_connector_bytes_skipped_total";
     /// Storlet invocations currently executing (gauge).
     pub const STORLETS_ACTIVE: &str = "scoop_storlets_active_invocations";
     /// TCP connections currently open in client pools (gauge).
@@ -172,10 +186,14 @@ pub const DATA_PATH_METRICS: &[&str] = &[
     names::STORLETS_BYTES_IN,
     names::STORLETS_BYTES_OUT,
     names::STORLETS_ADMISSION_SHEDS,
+    names::STORLETS_SKIP_PLANS,
+    names::STORLETS_PLAN_FALLBACKS,
+    names::STORLETS_BYTES_SKIPPED,
     names::CLIENT_RETRIES,
     names::CONNECTOR_BYTES_TRANSFERRED,
     names::CONNECTOR_STREAM_RESUMES,
     names::CONNECTOR_PUSHDOWN_FALLBACKS,
+    names::CONNECTOR_BYTES_SKIPPED,
 ];
 
 /// Histogram bucket upper bounds, in microseconds. Fixed across the

@@ -56,9 +56,11 @@ pub struct SwiftConnector {
     transferred: Arc<AtomicU64>,
     resumes: Arc<AtomicU64>,
     fallbacks: Arc<AtomicU64>,
+    skipped: Arc<AtomicU64>,
     transferred_global: telemetry::Counter,
     resumes_global: telemetry::Counter,
     fallbacks_global: telemetry::Counter,
+    skipped_global: telemetry::Counter,
 }
 
 impl SwiftConnector {
@@ -85,9 +87,11 @@ impl SwiftConnector {
             transferred: Arc::new(AtomicU64::new(0)),
             resumes: Arc::new(AtomicU64::new(0)),
             fallbacks: Arc::new(AtomicU64::new(0)),
+            skipped: Arc::new(AtomicU64::new(0)),
             transferred_global: telemetry::counter(names::CONNECTOR_BYTES_TRANSFERRED),
             resumes_global: telemetry::counter(names::CONNECTOR_STREAM_RESUMES),
             fallbacks_global: telemetry::counter(names::CONNECTOR_PUSHDOWN_FALLBACKS),
+            skipped_global: telemetry::counter(names::CONNECTOR_BYTES_SKIPPED),
         })
     }
 
@@ -116,6 +120,13 @@ impl SwiftConnector {
     /// plain ranged GETs with client-side filtering.
     pub fn pushdown_fallbacks(&self) -> u64 {
         self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Object-store bytes that pushdown reads never had to touch because the
+    /// store's block planner pruned them with zone maps (the sum of the
+    /// `x-scoop-skipped-bytes` response headers).
+    pub fn bytes_skipped(&self) -> u64 {
+        self.skipped.load(Ordering::Relaxed)
     }
 
     /// Total recovery actions taken: request re-dispatches by the client
@@ -407,6 +418,14 @@ impl StorageConnector for SwiftConnector {
             ))));
         }
         if resp.headers.get(headers::INVOKED).is_some() {
+            if let Some(skipped) = resp
+                .headers
+                .get(scoop_common::headers::SKIPPED_BYTES)
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                self.skipped.fetch_add(skipped, Ordering::Relaxed);
+                self.skipped_global.add(skipped);
+            }
             return Ok(self.count(resp.body));
         }
         // The store declined the pushdown (e.g. a bronze-tier policy stripped
@@ -577,6 +596,47 @@ mod tests {
         assert_eq!(out, "m1,100.5\nm4,75.0\n");
         // Only filtered bytes crossed the wire.
         assert_eq!(conn.bytes_transferred(), out.len() as u64);
+    }
+
+    #[test]
+    fn pushdown_over_indexed_object_counts_skipped_bytes() {
+        let cluster = cluster();
+        let client = cluster.anonymous_client("AUTH_gp");
+        // Index a clustered object at PUT time so the store can skip blocks.
+        let mut data = Vec::from(&b"vid,date,index,city\n"[..]);
+        for i in 0..400 {
+            data.extend_from_slice(format!("m{i},2015-01-01,{i},x\n").as_bytes());
+        }
+        let mut params = HashMap::new();
+        params.insert("schema".to_string(), "vid,date,index,city".to_string());
+        params.insert("header".to_string(), "1".to_string());
+        params.insert("block".to_string(), "512".to_string());
+        let put = Request::put(
+            ObjectPath::new("AUTH_gp", "meters", "big.csv").unwrap(),
+            Bytes::from(data.clone()),
+        )
+        .with_header(headers::RUN_STORLET, "zoneindex")
+        .with_header(headers::PARAMETERS, encode_params(&params));
+        assert_eq!(client.request(put).unwrap().status, 201);
+
+        let conn = SwiftConnector::new(cluster.anonymous_client("AUTH_gp"));
+        let spec = PushdownSpec {
+            columns: Some(vec!["vid".into()]),
+            predicate: Some(Predicate::Eq("index".into(), Value::Int(250))),
+            has_header: true,
+        };
+        let out = scoop_common::stream::collect(
+            conn.read_pushdown("meters", "big.csv", 0, None, &spec, &schema())
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(out, "m250\n");
+        assert!(
+            conn.bytes_skipped() > data.len() as u64 / 2,
+            "skipped {} of {} bytes",
+            conn.bytes_skipped(),
+            data.len()
+        );
     }
 
     #[test]

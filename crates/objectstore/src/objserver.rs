@@ -310,9 +310,25 @@ impl ObjectServer {
                 Ok(Response::no_content())
             }
             Method::Post => {
-                // Metadata-only update: replace user metadata, keep payload.
+                // Metadata-only update: replace *user* metadata, keep payload.
+                // Internal keys ride in the same map but are not the client's
+                // to replace: the upload token backs PUT-replay dedup and the
+                // scoop-stats chunks back block skipping — wholesale
+                // replacement used to destroy both (and let a client forge
+                // stats for data it never wrote, which is why user-supplied
+                // stats keys are dropped rather than honoured).
                 let mut obj = backend.get(&key)?;
-                obj.metadata = Self::user_metadata(&req);
+                let stats_prefix = scoop_common::headers::SCOOP_STATS_PREFIX;
+                let mut metadata: BTreeMap<String, String> = Self::user_metadata(&req)
+                    .into_iter()
+                    .filter(|(k, _)| !k.starts_with(stats_prefix))
+                    .collect();
+                for (k, v) in &obj.metadata {
+                    if k == UPLOAD_TOKEN_HEADER || k.starts_with(stats_prefix) {
+                        metadata.insert(k.clone(), v.clone());
+                    }
+                }
+                obj.metadata = metadata;
                 backend.put(&key, obj)?;
                 Ok(Response::no_content())
             }
@@ -447,6 +463,51 @@ mod tests {
 
         s.handle(DeviceId(0), Request::delete(path())).unwrap();
         assert!(s.handle(DeviceId(0), Request::head(path())).is_err());
+    }
+
+    #[test]
+    fn post_preserves_internal_metadata() {
+        let stats_key = format!("{}0", scoop_common::headers::SCOOP_STATS_PREFIX);
+        let s = server();
+        let put = Request::put(path(), Bytes::from_static(b"payload"))
+            .with_header(UPLOAD_TOKEN_HEADER, "upload-1")
+            .with_header(stats_key.as_str(), "v1|etag|...")
+            .with_header("x-object-meta-a", "1");
+        s.handle(DeviceId(0), put.clone()).unwrap();
+
+        // A metadata-only POST replaces user keys but must not destroy the
+        // internal ones, and must not let the client forge stats keys.
+        let post = Request {
+            method: Method::Post,
+            path: path(),
+            headers: Default::default(),
+            body: None,
+            deadline: Default::default(),
+        }
+        .with_header("x-object-meta-b", "2")
+        .with_header(stats_key.as_str(), "forged");
+        s.handle(DeviceId(0), post).unwrap();
+
+        let backend = s.backend(DeviceId(0)).unwrap();
+        let meta = backend.head(&path().ring_key()).unwrap();
+        assert!(!meta.metadata.contains_key("x-object-meta-a"));
+        assert_eq!(meta.metadata.get("x-object-meta-b").map(String::as_str), Some("2"));
+        assert_eq!(
+            meta.metadata.get(UPLOAD_TOKEN_HEADER).map(String::as_str),
+            Some("upload-1"),
+            "upload token must survive metadata-only POSTs"
+        );
+        assert_eq!(
+            meta.metadata.get(stats_key.as_str()).map(String::as_str),
+            Some("v1|etag|..."),
+            "stored stats must survive and forged stats must be dropped"
+        );
+
+        // PUT-replay dedup still works after the POST: same token, no re-store.
+        let replay = s.handle(DeviceId(0), put).unwrap();
+        assert_eq!(replay.status, 201);
+        assert_eq!(s.stats().puts, 1, "replayed PUT after POST must dedupe");
+        assert_eq!(s.stats().deduped_puts, 1);
     }
 
     #[test]

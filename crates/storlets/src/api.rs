@@ -88,10 +88,20 @@ pub struct InvocationContext {
     /// Logical end of the requested range (inclusive), if ranged; the storlet
     /// must apply record-alignment semantics against it.
     pub range_end: Option<u64>,
+    /// True when the caller guarantees the input stream already begins at a
+    /// record boundary it *owns* (the block-range planner fetches ranges cut
+    /// on record boundaries). Record-oriented storlets must then skip the
+    /// usual discard-through-first-newline alignment, which would throw the
+    /// first record away.
+    pub pre_aligned: bool,
     /// Shared logger.
     pub logger: Arc<StorletLogger>,
     /// Shared metrics sink.
     pub metrics: Arc<InvocationMetrics>,
+    /// Out-channel for metadata a storlet wants attached to the stored
+    /// object (PUT-side indexing storlets publish their stats here; the
+    /// middleware merges the pairs into the upstream PUT's headers).
+    pub extra_meta: Arc<Mutex<Vec<(String, String)>>>,
 }
 
 impl InvocationContext {
@@ -101,8 +111,10 @@ impl InvocationContext {
             params,
             range_start: 0,
             range_end: None,
+            pre_aligned: false,
             logger: Arc::new(StorletLogger::new()),
             metrics: Arc::new(InvocationMetrics::default()),
+            extra_meta: Arc::new(Mutex::new(Vec::new())),
         }
     }
 

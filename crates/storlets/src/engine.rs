@@ -120,12 +120,93 @@ impl Default for StorletGlobals {
     }
 }
 
+/// Counters for the block-range planner (store-side data skipping). Local
+/// atomics feed test assertions; the registry mirrors are registered at
+/// engine construction so snapshots always carry the metrics.
+#[derive(Debug)]
+pub struct SkipStats {
+    plans: AtomicU64,
+    fallbacks: AtomicU64,
+    blocks_pruned: AtomicU64,
+    blocks_scanned: AtomicU64,
+    bytes_skipped: AtomicU64,
+    plans_global: telemetry::Counter,
+    fallbacks_global: telemetry::Counter,
+    pruned_global: telemetry::Counter,
+    scanned_global: telemetry::Counter,
+    skipped_global: telemetry::Counter,
+}
+
+impl Default for SkipStats {
+    fn default() -> Self {
+        SkipStats {
+            plans: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            blocks_pruned: AtomicU64::new(0),
+            blocks_scanned: AtomicU64::new(0),
+            bytes_skipped: AtomicU64::new(0),
+            plans_global: telemetry::counter(names::STORLETS_SKIP_PLANS),
+            fallbacks_global: telemetry::counter(names::STORLETS_PLAN_FALLBACKS),
+            pruned_global: telemetry::counter(names::STORLETS_BLOCKS_PRUNED),
+            scanned_global: telemetry::counter(names::STORLETS_BLOCKS_SCANNED),
+            skipped_global: telemetry::counter(names::STORLETS_BYTES_SKIPPED),
+        }
+    }
+}
+
+impl SkipStats {
+    /// Record one GET served through a zone-map block plan.
+    pub fn record_plan(&self, pruned: u64, scanned: u64, bytes_skipped: u64) {
+        self.plans.fetch_add(1, Ordering::Relaxed);
+        self.plans_global.inc();
+        self.blocks_pruned.fetch_add(pruned, Ordering::Relaxed);
+        self.pruned_global.add(pruned);
+        self.blocks_scanned.fetch_add(scanned, Ordering::Relaxed);
+        self.scanned_global.add(scanned);
+        self.bytes_skipped.fetch_add(bytes_skipped, Ordering::Relaxed);
+        self.skipped_global.add(bytes_skipped);
+    }
+
+    /// Record one GET that wanted a plan but fell back to a full scan
+    /// (stats absent, stale, or undecodable).
+    pub fn record_fallback(&self) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.fallbacks_global.inc();
+    }
+
+    /// GETs served via a block plan.
+    pub fn plans(&self) -> u64 {
+        self.plans.load(Ordering::Relaxed)
+    }
+
+    /// GETs that fell back to a full scan.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Blocks pruned by the planner.
+    pub fn blocks_pruned(&self) -> u64 {
+        self.blocks_pruned.load(Ordering::Relaxed)
+    }
+
+    /// Blocks scanned after planning.
+    pub fn blocks_scanned(&self) -> u64 {
+        self.blocks_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Object bytes never read thanks to pruning.
+    pub fn bytes_skipped(&self) -> u64 {
+        self.bytes_skipped.load(Ordering::Relaxed)
+    }
+}
+
 /// The engine: registry + execution + accounting.
 pub struct StorletEngine {
     registry: RwLock<HashMap<String, Arc<dyn Storlet>>>,
     stats: RwLock<HashMap<String, Arc<StatsCell>>>,
     admission: Arc<AdmissionState>,
     globals: StorletGlobals,
+    skip: SkipStats,
 }
 
 impl Default for StorletEngine {
@@ -142,7 +223,13 @@ impl StorletEngine {
             stats: RwLock::new(HashMap::new()),
             admission: Arc::new(AdmissionState::default()),
             globals: StorletGlobals::default(),
+            skip: SkipStats::default(),
         }
+    }
+
+    /// Block-range planner counters.
+    pub fn skip_stats(&self) -> &SkipStats {
+        &self.skip
     }
 
     /// Bound concurrent pushdown execution: at most `max_concurrent` live
@@ -203,6 +290,7 @@ impl StorletEngine {
         engine.deploy(Arc::new(crate::filters::stats::AggregateStorlet));
         engine.deploy(Arc::new(crate::filters::etl::EtlCleanseStorlet));
         engine.deploy(Arc::new(crate::filters::metadata::MetadataExtractStorlet));
+        engine.deploy(Arc::new(crate::filters::index::ZoneIndexStorlet));
         engine
     }
 
@@ -286,6 +374,7 @@ impl StorletEngine {
                 InvocationContext {
                     range_start: 0,
                     range_end: None,
+                    pre_aligned: false,
                     metrics: Arc::new(InvocationMetrics::default()),
                     ..ctx.clone()
                 }
@@ -539,6 +628,7 @@ mod tests {
             "aggregate",
             "etlcleanse",
             "metaextract",
+            "zoneindex",
         ] {
             assert!(e.get(name).is_ok(), "{name} should be deployed");
         }

@@ -54,12 +54,15 @@ impl Storlet for CsvFilterStorlet {
             fields: FieldBuf::default(),
             buf: Vec::new(),
             offset: ctx.range_start,
-            aligned: ctx.range_start == 0,
+            aligned: ctx.range_start == 0 || ctx.pre_aligned,
             header_pending: ctx.range_start == 0 && spec.has_header,
             // ctx.range_end is the inclusive HTTP-style end byte; ownership
             // uses the exclusive split end (records with start <= end+1
-            // belong to this range — see scoop_csv::split).
-            end: ctx.range_end.map(|e| e + 1),
+            // belong to this range — see scoop_csv::split). Saturating: a
+            // suffix-style `bytes=0-18446744073709551615` end is a legal
+            // header, and u64::MAX already means "own everything", so the
+            // clamp loses nothing.
+            end: ctx.range_end.map(|e| e.saturating_add(1)),
             metrics: ctx.metrics,
             done: false,
         }))
@@ -373,6 +376,38 @@ mod tests {
             consumed < 20_000,
             "consumed {consumed} bytes for a 1000-byte range"
         );
+    }
+
+    #[test]
+    fn u64_max_range_end_owns_everything() {
+        // Regression: `e + 1` overflow-panicked on the largest legal
+        // inclusive end; it must behave exactly like an unbounded range.
+        let (unbounded, _) = invoke_range(DATA, &spec(), 0, None, 9);
+        let (clamped, _) = invoke_range(DATA, &spec(), 0, Some(u64::MAX), 9);
+        assert_eq!(clamped, unbounded);
+        assert_eq!(clamped, "m1,100.5\nm4,75.0\n");
+    }
+
+    #[test]
+    fn pre_aligned_range_keeps_first_record() {
+        // Byte 20 is the start of the m1 record; a planner-cut range
+        // starting there must not discard it through newline alignment.
+        let start = DATA.iter().position(|&b| b == b'\n').unwrap() as u64 + 1;
+        let mut params = HashMap::new();
+        params.insert("spec".to_string(), spec().to_header());
+        params.insert("schema".to_string(), SCHEMA.to_string());
+        let mut ctx = InvocationContext::new(params);
+        ctx.range_start = start;
+        ctx.range_end = None;
+        ctx.pre_aligned = true;
+        let body = Bytes::from_static(&DATA[start as usize..]);
+        let out = CsvFilterStorlet.invoke(stream::chunked(body, 13), ctx).unwrap();
+        let out = String::from_utf8(stream::collect(out).unwrap().to_vec()).unwrap();
+        // All data records present: nothing was discarded, no header skip.
+        assert_eq!(out, "m1,100.5\nm4,75.0\n");
+        // Without the flag, the same invocation drops the first record.
+        let (unaligned, _) = invoke_range(DATA, &spec(), start, None, 13);
+        assert_eq!(unaligned, "m4,75.0\n");
     }
 
     #[test]

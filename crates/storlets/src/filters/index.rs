@@ -1,0 +1,192 @@
+//! PUT-path zone-map indexing storlet.
+//!
+//! The paper puts computation where the data lands; this storlet runs on the
+//! ingestion path and computes the per-block statistics that later let GET
+//! pushdown skip whole byte ranges of an object (`scoop_storlets::planner`).
+//! It is a pure passthrough for the object bytes — its only product is
+//! metadata: a [`scoop_common::zonestats::ObjectStats`] serialized into
+//! `x-object-meta-scoop-stats-*` chunks and published through the invocation
+//! context's `extra_meta` out-channel, which the middleware merges into the
+//! upstream PUT.
+
+use crate::api::{InvocationContext, Storlet};
+use bytes::Bytes;
+use scoop_common::hash::fingerprint_hex;
+use scoop_common::zonestats::{ObjectStats, StatsBuilder};
+use scoop_common::{ByteStream, Result};
+use scoop_csv::record::parse_fields;
+use std::sync::atomic::Ordering;
+
+/// Nominal block size when the PUT does not specify one. Small enough that a
+/// selective predicate skips most of a multi-megabyte object, large enough
+/// that the per-block metadata stays a rounding error.
+pub const DEFAULT_BLOCK_BYTES: u64 = 64 * 1024;
+
+/// Parameters: `schema` (comma-separated column names, required), optional
+/// `header` ("1" when the object starts with a header row), optional `block`
+/// (nominal block size in bytes).
+pub struct ZoneIndexStorlet;
+
+impl Storlet for ZoneIndexStorlet {
+    fn name(&self) -> &str {
+        "zoneindex"
+    }
+
+    fn invoke(&self, input: ByteStream, ctx: InvocationContext) -> Result<ByteStream> {
+        let columns: Vec<String> = ctx
+            .require("schema")?
+            .split(',')
+            .map(str::to_string)
+            .collect();
+        let has_header = ctx.params.get("header").map(String::as_str) == Some("1");
+        let block_bytes = ctx
+            .params
+            .get("block")
+            .and_then(|b| b.parse::<u64>().ok())
+            .unwrap_or(DEFAULT_BLOCK_BYTES);
+        let metrics = ctx.metrics.clone();
+        let extra_meta = ctx.extra_meta.clone();
+
+        // Indexing needs exact byte offsets for every record, so it consumes
+        // the whole object before emitting it unchanged. That is the shape of
+        // the PUT path anyway: the middleware collects the transformed body
+        // before storing it.
+        let mut input_opt = Some(input);
+        Ok(Box::new(std::iter::from_fn(move || {
+            let input = input_opt.take()?;
+            let columns = columns.clone();
+            let run = || -> Result<Bytes> {
+                let mut data: Vec<u8> = Vec::new();
+                for chunk in input {
+                    let chunk = chunk?;
+                    metrics.bytes_in.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                    data.extend_from_slice(&chunk);
+                }
+                let mut builder = StatsBuilder::new(columns, has_header, block_bytes);
+                let mut header_pending = has_header;
+                let mut pos = 0usize;
+                while pos < data.len() {
+                    let (content_end, next) = record_span(&data, pos);
+                    let len = next.saturating_sub(pos) as u64;
+                    let raw = data.get(pos..content_end).unwrap_or_default();
+                    let content = raw.strip_suffix(b"\r").unwrap_or(raw);
+                    // Blank lines are not records (matching RecordSplitter),
+                    // and the header row carries no data — both only move the
+                    // byte cursor.
+                    if content.is_empty() || std::mem::take(&mut header_pending) {
+                        builder.skip_bytes(len);
+                    } else {
+                        metrics.records_in.fetch_add(1, Ordering::Relaxed);
+                        metrics.records_out.fetch_add(1, Ordering::Relaxed);
+                        let parsed = parse_fields(content);
+                        let fields: Vec<&str> = parsed.iter().map(|f| f.as_ref()).collect();
+                        builder.record(&fields, len);
+                    }
+                    pos = next;
+                }
+                // The etag stamps which bytes the stats describe. zoneindex is
+                // a passthrough, so when it runs last in the PUT pipeline this
+                // fingerprint equals the stored object's etag; any other
+                // arrangement yields a mismatch and the planner falls back.
+                let stats = builder.finish(fingerprint_hex(&data));
+                extra_meta.lock().extend(stats.to_metadata());
+                metrics.bytes_out.fetch_add(data.len() as u64, Ordering::Relaxed);
+                Ok(Bytes::from(data))
+            };
+            Some(run())
+        })))
+    }
+}
+
+/// Find the current record's span starting at `start`: returns
+/// `(content_end, next_start)` where `content_end` excludes the terminating
+/// newline and `next_start` is one past it. Newlines inside double-quoted
+/// fields do not terminate a record (same boundary rule as
+/// [`scoop_csv::record::RecordSplitter`]).
+fn record_span(data: &[u8], start: usize) -> (usize, usize) {
+    let mut in_quotes = false;
+    let mut i = start;
+    while let Some(&b) = data.get(i) {
+        match b {
+            b'"' => in_quotes = !in_quotes,
+            b'\n' if !in_quotes => return (i, i.saturating_add(1)),
+            _ => {}
+        }
+        i = i.saturating_add(1);
+    }
+    (data.len(), data.len())
+}
+
+/// Decode the stats a context's `extra_meta` channel accumulated (test and
+/// middleware helper).
+pub fn stats_from_context(ctx: &InvocationContext) -> Result<Option<ObjectStats>> {
+    let pairs = ctx.extra_meta.lock().clone();
+    ObjectStats::from_metadata(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scoop_common::stream;
+    use std::collections::HashMap;
+
+    const DATA: &[u8] = b"vid,index,city\nm1,100.5,Rotterdam\nm2,,Paris\nm3,50,Utrecht\nm4,75,Delft\n";
+
+    fn run(data: &'static [u8], block: &str) -> (String, InvocationContext) {
+        let mut params = HashMap::new();
+        params.insert("schema".to_string(), "vid,index,city".to_string());
+        params.insert("header".to_string(), "1".to_string());
+        params.insert("block".to_string(), block.to_string());
+        let ctx = InvocationContext::new(params);
+        let out = ZoneIndexStorlet
+            .invoke(stream::chunked(Bytes::from_static(data), 7), ctx.clone())
+            .unwrap();
+        let out = String::from_utf8(stream::collect(out).unwrap().to_vec()).unwrap();
+        (out, ctx)
+    }
+
+    #[test]
+    fn passthrough_and_stats_published() {
+        let (out, ctx) = run(DATA, "24");
+        assert_eq!(out.as_bytes(), DATA, "zoneindex must not alter the object");
+        let stats = stats_from_context(&ctx).unwrap().expect("stats published");
+        assert_eq!(stats.etag, fingerprint_hex(DATA));
+        assert!(stats.has_header);
+        assert_eq!(stats.columns, vec!["vid", "index", "city"]);
+        assert_eq!(stats.covered_len(), DATA.len() as u64);
+        assert_eq!(stats.blocks.iter().map(|b| b.rows).sum::<u64>(), 4);
+        assert!(stats.blocks.len() > 1, "small block size must cut blocks");
+        // Block boundaries are record boundaries: each interior boundary
+        // byte is preceded by a newline.
+        for b in &stats.blocks[1..] {
+            assert_eq!(DATA[b.start as usize - 1], b'\n');
+        }
+    }
+
+    #[test]
+    fn quoted_newlines_stay_in_one_record() {
+        let data: &[u8] = b"a,b\n\"x\ny\",1\n\"p\",2\n";
+        let mut params = HashMap::new();
+        params.insert("schema".to_string(), "a,b".to_string());
+        params.insert("header".to_string(), "1".to_string());
+        params.insert("block".to_string(), "4".to_string());
+        let ctx = InvocationContext::new(params);
+        let out = ZoneIndexStorlet
+            .invoke(stream::once(Bytes::from_static(data)), ctx.clone())
+            .unwrap();
+        stream::collect(out).unwrap();
+        let stats = stats_from_context(&ctx).unwrap().unwrap();
+        assert_eq!(stats.blocks.iter().map(|b| b.rows).sum::<u64>(), 2);
+        // The quoted-newline record is atomic: no block boundary lands
+        // inside it (bytes 4..12).
+        for b in &stats.blocks[1..] {
+            assert!(!(5..12).contains(&(b.start as usize)), "split inside quoted record");
+        }
+    }
+
+    #[test]
+    fn missing_schema_errors() {
+        let ctx = InvocationContext::new(HashMap::new());
+        assert!(ZoneIndexStorlet.invoke(stream::empty(), ctx).is_err());
+    }
+}

@@ -12,10 +12,13 @@
 //! * [`etl`] — PUT-path data cleansing and column-splitting transformations
 //!   ("ETL often requires data transformations. Storlets permits this in the
 //!   PUT data path").
+//! * [`index`] — PUT-path zone-map indexing: per-block min/max statistics
+//!   published as object metadata so GET pushdown can skip byte ranges.
 
 pub mod compress;
 pub mod csv;
 pub mod etl;
 pub mod grep;
+pub mod index;
 pub mod metadata;
 pub mod stats;

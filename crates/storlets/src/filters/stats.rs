@@ -68,11 +68,17 @@ impl Storlet for AggregateStorlet {
                     splitter.push(&chunk, &mut consume)?;
                 }
                 splitter.finish(&mut consume);
-                let mean = if count > 0 { sum / count as f64 } else { 0.0 };
-                let (min, max) = if count > 0 { (min, max) } else { (0.0, 0.0) };
-                let out = format!(
-                    "count,sum,min,max,mean\n{count},{sum},{min},{max},{mean}\n"
-                );
+                // Zero parsed rows: an explicit empty-aggregate row. min/max/
+                // mean have no value — emitting the raw accumulators would
+                // ship `inf`/`-inf`/NaN and fabricating `0` would claim a
+                // value that never occurred, so those fields stay empty
+                // (NULL), exactly how SQL MIN/MAX/AVG over no rows behave.
+                let out = if count == 0 {
+                    format!("count,sum,min,max,mean\n{count},{sum},,,\n")
+                } else {
+                    let mean = sum / count as f64;
+                    format!("count,sum,min,max,mean\n{count},{sum},{min},{max},{mean}\n")
+                };
                 metrics.bytes_out.fetch_add(out.len() as u64, Ordering::Relaxed);
                 metrics.records_out.fetch_add(1, Ordering::Relaxed);
                 Ok(Bytes::from(out))
@@ -113,7 +119,19 @@ mod tests {
     fn skips_non_numeric_and_handles_empty() {
         let data = b"vid,index\nm1,x\nm2,\n";
         let out = run(data);
-        assert!(out.contains("\n0,0,0,0,0\n"), "{out}");
+        assert_eq!(out, "count,sum,min,max,mean\n0,0,,,\n");
+    }
+
+    #[test]
+    fn zero_matching_rows_emit_no_inf_or_nan() {
+        // Regression: the unguarded accumulators are ±inf/NaN when no field
+        // parses; none of that may ever reach the wire.
+        for data in [&b"vid,index\n"[..], &b"vid,index\nm1,notanumber\n"[..]] {
+            let out = run(data);
+            assert!(!out.contains("inf"), "{out}");
+            assert!(!out.to_ascii_lowercase().contains("nan"), "{out}");
+            assert!(out.starts_with("count,sum,min,max,mean\n0,"), "{out}");
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod api;
 pub mod engine;
 pub mod filters;
 pub mod middleware;
+pub mod planner;
 pub mod policy;
 
 pub use api::{InvocationContext, Storlet, StorletLogger};

@@ -9,13 +9,16 @@
 //! (logical ranges handled record-aligned by the storlet while the backend
 //! serves an open-ended read that the lazy filter stream terminates early).
 
-use crate::api::InvocationContext;
+use crate::api::{InvocationContext, InvocationMetrics};
 use crate::engine::StorletEngine;
+use crate::planner::plan_ranges;
 use crate::policy::{PolicyStore, Tier};
+use scoop_common::zonestats::ObjectStats;
+use scoop_common::{stream, ByteStream, Result, ScoopError};
+use scoop_csv::PushdownSpec;
 use scoop_objectstore::middleware::{Handler, Middleware};
 use scoop_objectstore::objserver::{STAGE_HEADER, STAGE_OBJECT, STAGE_PROXY};
 use scoop_objectstore::request::{ByteRange, Method, Request, Response};
-use scoop_common::{stream, Result, ScoopError};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -200,6 +203,15 @@ impl StorletMiddleware {
             None => req.range()?,
         };
         req.headers.remove("range");
+        // Store-side data skipping: when the object carries fresh zone-map
+        // stats, serve the pushdown from a few bounded ranged GETs over the
+        // surviving blocks instead of one open-ended scan. Any reason the
+        // plan can't be trusted falls through to the classic path below.
+        if let Some(mut planned) = self.try_planned_get(names, &req, next, &ctx, logical)? {
+            planned.body = permit.attach(planned.body);
+            planned.headers.set(headers::INVOKED, names.join(","));
+            return Ok(planned);
+        }
         if let Some(r) = logical {
             ctx.range_start = r.start;
             ctx.range_end = r.end;
@@ -241,6 +253,155 @@ impl StorletMiddleware {
         Ok(out)
     }
 
+    /// Attempt the block-skipping GET path.
+    ///
+    /// Applicable when the pipeline head is `csvfilter` with a parseable
+    /// spec, and a HEAD shows the object carries zone-map stats that are
+    /// fresh (etag and length match) and consistent with the query's schema.
+    /// Returns `Ok(None)` whenever the plan cannot be trusted — the caller
+    /// then runs the classic full-scan path, so a bad or stale index is
+    /// never a correctness event, only a performance one.
+    fn try_planned_get(
+        &self,
+        names: &[String],
+        req: &Request,
+        next: &dyn Handler,
+        ctx: &InvocationContext,
+        logical: Option<ByteRange>,
+    ) -> Result<Option<Response>> {
+        if names.first().map(String::as_str) != Some("csvfilter") {
+            return Ok(None);
+        }
+        // An unparseable spec/schema goes down the classic path and fails
+        // there with the proper invocation error.
+        let Some(spec) = ctx
+            .params
+            .get("spec")
+            .and_then(|h| PushdownSpec::from_header(h).ok())
+        else {
+            return Ok(None);
+        };
+        let Some(schema) = ctx.params.get("schema") else {
+            return Ok(None);
+        };
+        let trace = req.headers.get(scoop_common::headers::TRACE).map(str::to_string);
+        let mut head = Request::head(req.path.clone()).with_deadline(req.deadline);
+        if let Some(t) = &trace {
+            head = head.with_header(scoop_common::headers::TRACE, t.as_str());
+        }
+        let Ok(head_resp) = next.call(head) else {
+            return Ok(None); // backend trouble: let the classic path surface it
+        };
+        if !head_resp.is_success() {
+            return Ok(None);
+        }
+        let skip = self.engine.skip_stats();
+        let stats = match ObjectStats::from_metadata(head_resp.headers.iter()) {
+            Ok(Some(s)) => s,
+            // Absent, undecodable, or corrupt stats: full scan.
+            Ok(None) | Err(_) => {
+                skip.record_fallback();
+                return Ok(None);
+            }
+        };
+        // Freshness: the stats must describe exactly the stored bytes
+        // (overwrites change the etag, truncations change the length), and
+        // the query must agree with the indexed schema — pruning evidence is
+        // positional, so a different column layout would be unsound.
+        let object_len = head_resp
+            .headers
+            .get("content-length")
+            .and_then(|l| l.parse::<u64>().ok());
+        let schema_matches = schema.split(',').map(str::trim).eq(stats
+            .columns
+            .iter()
+            .map(String::as_str));
+        if head_resp.headers.get("etag") != Some(stats.etag.as_str())
+            || object_len != Some(stats.covered_len())
+            || !schema_matches
+            || spec.has_header != stats.has_header
+        {
+            skip.record_fallback();
+            return Ok(None);
+        }
+
+        let (start, end) = logical.map(|r| (r.start, r.end)).unwrap_or((0, None));
+        let plan = plan_ranges(&stats, spec.predicate.as_ref(), start, end);
+        // Fetch every surviving coalesced range eagerly with a *bounded*
+        // GET (the handler borrow cannot escape into the lazy body), then
+        // chain the per-range filter streams lazily.
+        let mut parts: Vec<ByteStream> = Vec::new();
+        let mut scanned_bytes = 0u64;
+        for &(rs, re) in &plan.ranges {
+            // The first surviving block may begin before the requested
+            // start; fetch from the start and let newline alignment drop
+            // the unowned prefix, exactly like the classic path.
+            let fetch_start = rs.max(start);
+            let range_last = re.saturating_sub(1);
+            let mut get = Request::get(req.path.clone())
+                .with_deadline(req.deadline)
+                .with_range(ByteRange { start: fetch_start, end: Some(range_last) });
+            if let Some(t) = &trace {
+                get = get.with_header(scoop_common::headers::TRACE, t.as_str());
+            }
+            let Ok(resp) = next.call(get) else {
+                skip.record_fallback();
+                return Ok(None);
+            };
+            if !resp.is_success() {
+                skip.record_fallback();
+                return Ok(None);
+            }
+            let expected = re.saturating_sub(fetch_start);
+            scanned_bytes += expected;
+            let body = stream::enforce_length(resp.body, expected);
+            // A range cut at a block boundary past the request start begins
+            // at a record the range *owns*: alignment discard would lose it.
+            let range_ctx = InvocationContext {
+                range_start: fetch_start,
+                range_end: Some(end.map_or(range_last, |e| e.min(range_last))),
+                pre_aligned: fetch_start > start,
+                metrics: Arc::new(InvocationMetrics::default()),
+                ..ctx.clone()
+            };
+            parts.push(self.engine.invoke("csvfilter", body, range_ctx)?);
+        }
+        let chained: ByteStream = Box::new(parts.into_iter().flatten());
+        // Downstream pipeline stages see one concatenated derived stream,
+        // same as the classic path.
+        let rest: Vec<&str> = names
+            .get(1..)
+            .unwrap_or(&[])
+            .iter()
+            .map(String::as_str)
+            .collect();
+        let body = if rest.is_empty() {
+            chained
+        } else {
+            let down_ctx = InvocationContext {
+                range_start: 0,
+                range_end: None,
+                pre_aligned: false,
+                metrics: Arc::new(InvocationMetrics::default()),
+                ..ctx.clone()
+            };
+            self.engine.invoke_pipeline(&rest, chained, &down_ctx)?
+        };
+        skip.record_plan(plan.blocks_pruned, plan.blocks_scanned, plan.bytes_skipped);
+        let mut out = Response { status: 200, headers: head_resp.headers, body };
+        out.headers.remove("content-length");
+        out.headers.remove("content-range");
+        out.headers.set(
+            scoop_common::headers::SCANNED_BYTES,
+            scanned_bytes.to_string(),
+        );
+        out.headers.set(
+            scoop_common::headers::SKIPPED_BYTES,
+            stats.covered_len().saturating_sub(scanned_bytes).to_string(),
+        );
+        Ok(Some(out))
+    }
+
     /// PUT with storlet (ETL path): transform the body once, then store the
     /// transformed object.
     fn run_put(
@@ -262,6 +423,12 @@ impl StorletMiddleware {
             .invoke_pipeline(&name_refs, stream::once(body), &ctx)?;
         let new_body = stream::collect(transformed)?;
         req.body = Some(new_body);
+        // Indexing storlets publish metadata for the stored object (zone-map
+        // stats chunks) through the context's out-channel; attach it to the
+        // upstream PUT so it persists and replicates with the object.
+        for (k, v) in ctx.extra_meta.lock().iter() {
+            req.headers.set(k, v.clone());
+        }
         let invoked = names.join(",");
         req.headers.remove(headers::RUN_STORLET);
         req.headers.remove(headers::PARAMETERS);
@@ -564,6 +731,203 @@ mod tests {
             .with_header(headers::PARAMETERS, encode_params(&csv_params()));
         let resp = client.request(req).unwrap();
         assert_eq!(resp.headers.get(headers::INVOKED), Some("csvfilter"));
+    }
+
+    /// 400 rows with a clustered `index` column (0..400 ascending), indexed
+    /// at PUT time into ~512-byte blocks.
+    fn indexed_fixture() -> (Arc<SwiftCluster>, Arc<StorletEngine>, Vec<u8>) {
+        let (cluster, engine, _) = cluster_with_storlets();
+        let client = cluster.anonymous_client("AUTH_gp");
+        client.create_container("meters").unwrap();
+        let mut data = Vec::from(&b"vid,date,index,city\n"[..]);
+        for i in 0..400 {
+            data.extend_from_slice(
+                format!("m{i},2015-01-{:02},{i},city{}\n", i % 28 + 1, i % 7).as_bytes(),
+            );
+        }
+        let mut params = HashMap::new();
+        params.insert("schema".to_string(), "vid,date,index,city".to_string());
+        params.insert("header".to_string(), "1".to_string());
+        params.insert("block".to_string(), "512".to_string());
+        let put = scoop_objectstore::Request::put(path(), Bytes::from(data.clone()))
+            .with_header(headers::RUN_STORLET, "zoneindex")
+            .with_header(headers::PARAMETERS, encode_params(&params));
+        assert_eq!(client.request(put).unwrap().status, 201);
+        (cluster, engine, data)
+    }
+
+    fn eq_index_spec(v: i64) -> PushdownSpec {
+        PushdownSpec {
+            columns: None,
+            predicate: Some(Predicate::Eq("index".into(), scoop_csv::Value::Int(v))),
+            has_header: true,
+        }
+    }
+
+    fn pushdown_get(spec: &PushdownSpec) -> scoop_objectstore::Request {
+        let mut p = HashMap::new();
+        p.insert("spec".to_string(), spec.to_header());
+        p.insert("schema".to_string(), "vid,date,index,city".to_string());
+        scoop_objectstore::Request::get(path())
+            .with_header(headers::RUN_STORLET, "csvfilter")
+            .with_header(headers::PARAMETERS, encode_params(&p))
+    }
+
+    #[test]
+    fn planned_get_skips_blocks_and_matches_full_scan() {
+        let (cluster, engine, data) = indexed_fixture();
+        let client = cluster.anonymous_client("AUTH_gp");
+        let spec = eq_index_spec(123);
+        let resp = client.request(pushdown_get(&spec)).unwrap();
+        assert_eq!(resp.headers.get(headers::INVOKED), Some("csvfilter"));
+        let scanned: u64 = resp
+            .headers
+            .get(scoop_common::headers::SCANNED_BYTES)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let skipped: u64 = resp
+            .headers
+            .get(scoop_common::headers::SKIPPED_BYTES)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let body = resp.read_body().unwrap();
+        // Byte-identical to the reference full scan.
+        let header: Vec<String> =
+            "vid,date,index,city".split(',').map(str::to_string).collect();
+        let (reference, _) =
+            scoop_csv::filter::filter_buffer(&spec, &header, &data, true).unwrap();
+        assert_eq!(&body[..], &reference[..]);
+        assert!(body.starts_with(&b"m123,"[..]));
+        // The point of the exercise: almost everything was skipped.
+        assert_eq!(scanned + skipped, data.len() as u64);
+        assert!(
+            scanned < data.len() as u64 / 5,
+            "scanned {scanned} of {} bytes",
+            data.len()
+        );
+        let skip = engine.skip_stats();
+        assert_eq!(skip.plans(), 1);
+        assert_eq!(skip.fallbacks(), 0);
+        assert!(skip.blocks_pruned() > 0);
+        assert_eq!(skip.bytes_skipped(), skipped);
+        // The filter never saw the pruned bytes.
+        assert!(engine.stats("csvfilter").bytes_in <= scanned);
+    }
+
+    #[test]
+    fn planned_get_empty_plan_yields_empty_success() {
+        let (cluster, engine, _) = indexed_fixture();
+        let client = cluster.anonymous_client("AUTH_gp");
+        // No record can match index = -5: every block is pruned.
+        let resp = client.request(pushdown_get(&eq_index_spec(-5))).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.headers.get(headers::INVOKED), Some("csvfilter"));
+        assert_eq!(
+            resp.headers.get(scoop_common::headers::SCANNED_BYTES),
+            Some("0")
+        );
+        assert!(resp.read_body().unwrap().is_empty());
+        assert_eq!(engine.skip_stats().plans(), 1);
+        assert_eq!(engine.skip_stats().blocks_scanned(), 0);
+    }
+
+    #[test]
+    fn planned_ranged_splits_match_whole_object() {
+        let (cluster, _, data) = indexed_fixture();
+        let client = cluster.anonymous_client("AUTH_gp");
+        let spec = PushdownSpec {
+            columns: Some(vec!["vid".into()]),
+            predicate: Some(Predicate::Gt(
+                "index".into(),
+                scoop_csv::Value::Int(390),
+            )),
+            has_header: true,
+        };
+        let whole = client
+            .request(pushdown_get(&spec))
+            .unwrap()
+            .read_body()
+            .unwrap();
+        for split in [997u64, 2048, 5000] {
+            let mut combined = Vec::new();
+            for (s, e) in scoop_csv::split::plan_splits(data.len() as u64, split) {
+                let req = pushdown_get(&spec).with_header(
+                    headers::STORLET_RANGE,
+                    ByteRange { start: s, end: Some(e - 1) }.to_header(),
+                );
+                combined
+                    .extend_from_slice(&client.request(req).unwrap().read_body().unwrap());
+            }
+            assert_eq!(combined, whole, "split={split}");
+        }
+    }
+
+    #[test]
+    fn stale_stats_fall_back_to_full_scan() {
+        let (cluster, engine, _) = indexed_fixture();
+        let client = cluster.anonymous_client("AUTH_gp");
+        // Read the stored stats chunks, then overwrite the object with new
+        // bytes while replaying the OLD stats as user metadata: present but
+        // describing a different etag.
+        let head = client
+            .request(scoop_objectstore::Request::head(path()))
+            .unwrap();
+        let old_stats: Vec<(String, String)> = head
+            .headers
+            .iter()
+            .filter(|(k, _)| k.starts_with(scoop_common::headers::SCOOP_STATS_PREFIX))
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        assert!(!old_stats.is_empty(), "fixture must be indexed");
+        let new_data = b"vid,date,index,city\nm0,2016-01-01,123,newcity\n";
+        let mut put = scoop_objectstore::Request::put(path(), Bytes::from_static(new_data));
+        for (k, v) in &old_stats {
+            put = put.with_header(k.as_str(), v.as_str());
+        }
+        assert_eq!(client.request(put).unwrap().status, 201);
+
+        let before = engine.skip_stats().fallbacks();
+        let spec = eq_index_spec(123);
+        let resp = client.request(pushdown_get(&spec)).unwrap();
+        assert_eq!(resp.headers.get(headers::INVOKED), Some("csvfilter"));
+        // No skip headers: this was a full scan...
+        assert!(resp.headers.get(scoop_common::headers::SKIPPED_BYTES).is_none());
+        // ...with byte-identical results over the NEW object.
+        let header: Vec<String> =
+            "vid,date,index,city".split(',').map(str::to_string).collect();
+        let (reference, _) =
+            scoop_csv::filter::filter_buffer(&spec, &header, new_data, true).unwrap();
+        assert_eq!(resp.read_body().unwrap(), reference);
+        assert_eq!(engine.skip_stats().fallbacks(), before + 1);
+    }
+
+    #[test]
+    fn planned_get_composes_with_downstream_pipeline() {
+        let (cluster, _, data) = indexed_fixture();
+        let client = cluster.anonymous_client("AUTH_gp");
+        let spec = PushdownSpec {
+            columns: None,
+            predicate: Some(Predicate::Gt("index".into(), scoop_csv::Value::Int(395))),
+            has_header: true,
+        };
+        let mut p = HashMap::new();
+        p.insert("spec".to_string(), spec.to_header());
+        p.insert("schema".to_string(), "vid,date,index,city".to_string());
+        p.insert("pattern".to_string(), "m397".to_string());
+        let req = scoop_objectstore::Request::get(path())
+            .with_header(headers::RUN_STORLET, "csvfilter,linegrep")
+            .with_header(headers::PARAMETERS, encode_params(&p));
+        let resp = client.request(req).unwrap();
+        assert_eq!(resp.headers.get(headers::INVOKED), Some("csvfilter,linegrep"));
+        let body = resp.read_body().unwrap();
+        let expected: Vec<u8> = data
+            .split(|&b| b == b'\n')
+            .filter(|l| l.starts_with(b"m397,"))
+            .flat_map(|l| l.iter().copied().chain(std::iter::once(b'\n')))
+            .collect();
+        assert_eq!(&body[..], &expected[..]);
     }
 
     #[test]
